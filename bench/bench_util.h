@@ -1,0 +1,45 @@
+#ifndef COSTPERF_BENCH_BENCH_UTIL_H_
+#define COSTPERF_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "common/clock.h"
+#include "core/caching_store.h"
+#include "workload/workload.h"
+
+namespace costperf::bench {
+
+// Prints a banner naming the paper artifact a binary reproduces.
+inline void Banner(const char* experiment, const char* claim) {
+  printf("\n================================================================\n");
+  printf("%s\n", experiment);
+  printf("%s\n", claim);
+  printf("================================================================\n");
+}
+
+// Measures CPU nanoseconds of `fn` via thread CPU time (the paper's
+// performance measure: core execution time, excluding I/O waits).
+template <typename Fn>
+double CpuSeconds(Fn&& fn) {
+  const uint64_t start = ThreadCpuNanos();
+  fn();
+  return static_cast<double>(ThreadCpuNanos() - start) * 1e-9;
+}
+
+// Standard store configuration for the figure benches: unthrottled
+// simulated SSD (we measure CPU cost; the IOPS limit is modeled in the
+// cost analysis), 4K max pages as in the paper's Deuteronomy setup.
+inline core::CachingStoreOptions FigureStoreOptions() {
+  core::CachingStoreOptions o;
+  o.memory_budget_bytes = 0;          // explicit eviction control
+  o.maintenance_interval_ops = 0;     // no background interference
+  o.device.capacity_bytes = 2ull << 30;
+  o.device.max_iops = 0;
+  o.tree.max_page_bytes = 4096;
+  return o;
+}
+
+}  // namespace costperf::bench
+
+#endif  // COSTPERF_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,184 @@
+// Micro-benchmarks of the building blocks (google-benchmark): mapping
+// table CAS/Get (Fig. 4's indirection), Bw-tree and MassTree point ops,
+// delta-chain consolidation effects, epoch guards, CRC, compression, and
+// the zipfian generator. These are the per-operation numbers the figure
+// benches build on.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bwtree/bwtree.h"
+#include "common/crc32.h"
+#include "common/epoch.h"
+#include "common/random.h"
+#include "compression/compressor.h"
+#include "mapping/mapping_table.h"
+#include "masstree/masstree.h"
+
+namespace costperf {
+namespace {
+
+std::string Key(uint64_t i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "user%012llu",
+           static_cast<unsigned long long>(i));
+  return buf;
+}
+
+void BM_MappingTableGet(benchmark::State& state) {
+  mapping::MappingTable table(1 << 16);
+  for (int i = 0; i < 1000; ++i) table.Allocate(i);
+  Random rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Get(rng.Uniform(1000)));
+  }
+}
+BENCHMARK(BM_MappingTableGet);
+
+void BM_MappingTableCas(benchmark::State& state) {
+  mapping::MappingTable table(1 << 16);
+  mapping::PageId pid = table.Allocate(0);
+  uint64_t v = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Cas(pid, v, v + 2));
+    v += 2;
+  }
+}
+BENCHMARK(BM_MappingTableCas);
+
+void BM_BwTreeGetInMemory(benchmark::State& state) {
+  bwtree::BwTreeOptions opts;
+  auto tree = std::make_unique<bwtree::BwTree>(opts);
+  const uint64_t n = state.range(0);
+  for (uint64_t i = 0; i < n; ++i) {
+    (void)tree->Put(Slice(Key(i)), "value-0123456789");
+  }
+  Random rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->Get(Slice(Key(rng.Uniform(n)))));
+  }
+}
+BENCHMARK(BM_BwTreeGetInMemory)->Arg(10'000)->Arg(100'000);
+
+void BM_BwTreePutInMemory(benchmark::State& state) {
+  bwtree::BwTreeOptions opts;
+  auto tree = std::make_unique<bwtree::BwTree>(opts);
+  const uint64_t n = 100'000;
+  for (uint64_t i = 0; i < n; ++i) {
+    (void)tree->Put(Slice(Key(i)), "value-0123456789");
+  }
+  Random rng(3);
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    (void)tree->Put(Slice(Key(rng.Uniform(n))), "value-9876543210");
+    if (++ops % 8192 == 0) tree->ReclaimMemory();
+  }
+}
+BENCHMARK(BM_BwTreePutInMemory);
+
+void BM_MassTreeGet(benchmark::State& state) {
+  masstree::MassTree tree;
+  const uint64_t n = state.range(0);
+  for (uint64_t i = 0; i < n; ++i) {
+    (void)tree.Put(Slice(Key(i)), "value-0123456789");
+  }
+  Random rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.Get(Slice(Key(rng.Uniform(n)))));
+  }
+}
+BENCHMARK(BM_MassTreeGet)->Arg(10'000)->Arg(100'000);
+
+void BM_MassTreePut(benchmark::State& state) {
+  masstree::MassTree tree;
+  const uint64_t n = 100'000;
+  for (uint64_t i = 0; i < n; ++i) {
+    (void)tree.Put(Slice(Key(i)), "value-0123456789");
+  }
+  Random rng(5);
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    (void)tree.Put(Slice(Key(rng.Uniform(n))), "value-9876543210");
+    if (++ops % 8192 == 0) tree.ReclaimMemory();
+  }
+}
+BENCHMARK(BM_MassTreePut);
+
+void BM_EpochGuard(benchmark::State& state) {
+  EpochManager mgr;
+  for (auto _ : state) {
+    EpochGuard g(&mgr);
+    benchmark::DoNotOptimize(&g);
+  }
+}
+BENCHMARK(BM_EpochGuard);
+
+void BM_Crc32c4K(benchmark::State& state) {
+  std::string data(4096, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data.data(), data.size()));
+  }
+  state.SetBytesProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Crc32c4K);
+
+void BM_ZipfianNext(benchmark::State& state) {
+  ZipfianGenerator gen(1'000'000, 0.99);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next());
+  }
+}
+BENCHMARK(BM_ZipfianNext);
+
+void BM_CompressPage(benchmark::State& state) {
+  Random rng(6);
+  std::string page;
+  for (int i = 0; page.size() < 2700; ++i) {
+    page += "user" + std::to_string(i) + "|field=value_" +
+            std::to_string(i % 7) + "|";
+  }
+  std::string out;
+  for (auto _ : state) {
+    compression::Compressor::Compress(Slice(page), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * page.size());
+}
+BENCHMARK(BM_CompressPage);
+
+void BM_DecompressPage(benchmark::State& state) {
+  std::string page;
+  for (int i = 0; page.size() < 2700; ++i) {
+    page += "user" + std::to_string(i) + "|field=value_" +
+            std::to_string(i % 7) + "|";
+  }
+  std::string compressed, out;
+  compression::Compressor::Compress(Slice(page), &compressed);
+  for (auto _ : state) {
+    (void)compression::Compressor::Decompress(Slice(compressed), &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(state.iterations() * page.size());
+}
+BENCHMARK(BM_DecompressPage);
+
+// Delta-chain length vs read cost: the consolidation trade-off.
+void BM_BwTreeGetWithChainLength(benchmark::State& state) {
+  bwtree::BwTreeOptions opts;
+  opts.consolidate_threshold = state.range(0) + 1;
+  auto tree = std::make_unique<bwtree::BwTree>(opts);
+  (void)tree->Put("hot-key", "v0");
+  for (int i = 0; i < state.range(0); ++i) {
+    (void)tree->Put("hot-key", "v" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->Get("hot-key"));
+  }
+}
+BENCHMARK(BM_BwTreeGetWithChainLength)->Arg(0)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace costperf
+
+BENCHMARK_MAIN();

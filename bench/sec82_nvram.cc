@@ -1,0 +1,99 @@
+// Reproduces the §8.2 discussion quantitatively: where NVRAM could fit.
+// NVRAM is modeled as a byte-addressable tier priced between DRAM and
+// flash whose accesses cost a small CPU multiple of a DRAM operation
+// (no I/O path, no IOPS rental). The paper's two observations:
+//   (1) as an SSD replacement it loses — SS cost is dominated by the I/O
+//       execution path, which NVRAM-as-SSD would still pay, while flash
+//       keeps the $/byte advantage;
+//   (2) as main/extended memory it can displace DRAM for warm data if
+//       its performance is close enough — and even when hot data moves
+//       back to DRAM, fetching from NVRAM beats an SS operation.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "costmodel/five_minute_rule.h"
+#include "costmodel/operation_cost.h"
+
+namespace costperf {
+namespace {
+
+using bench::Banner;
+
+// Cost/sec of keeping a page in NVRAM-as-memory and operating on it N
+// times a second: storage = page * ($N + flash copy for capacity safety is
+// unnecessary — NVRAM is persistent), execution = slowdown * $P/ROPS.
+double NvramCost(double n, const costmodel::CostParams& p,
+                 double nvram_cost_per_byte, double slowdown) {
+  return p.page_size_bytes * nvram_cost_per_byte +
+         n * slowdown * p.processor_cost / p.rops;
+}
+
+int Run() {
+  Banner("§8.2 — new technology: NVRAM's two candidate roles",
+         "Priced between DRAM and flash; performance decides whether it "
+         "displaces DRAM for warm data. Fetching from NVRAM always beats "
+         "an SS operation.");
+
+  costmodel::CostParams p = costmodel::CostParams::PaperDefaults();
+  // NVRAM ~ 1/3 of DRAM price (between $M=5e-9 and $Fl=0.5e-9).
+  const double nvram_price = 1.7e-9;
+
+  printf("\nassumed NVRAM price: %.2g $/B (DRAM %.2g, flash %.2g)\n",
+         nvram_price, p.dram_cost_per_byte, p.flash_cost_per_byte);
+
+  // Role 1: inside an SSD. The $I + CPU path cost is unchanged; only the
+  // media price worsens vs flash — strictly dominated.
+  costmodel::CostParams nvram_ssd = p;
+  nvram_ssd.flash_cost_per_byte = nvram_price;
+  printf("\nrole 1 — NVRAM-based SSD: SS storage cost rises %.1fx with "
+         "zero execution saving (the I/O path dominates). Breakeven "
+         "shrinks from %.1f s to %.1f s — i.e. it only makes caching "
+         "LESS attractive. Flash keeps the SSD (paper's conclusion).\n",
+         nvram_price / p.flash_cost_per_byte,
+         costmodel::BreakevenIntervalSeconds(p),
+         costmodel::BreakevenIntervalSeconds(nvram_ssd));
+
+  // Role 2: extended memory, at several performance hypotheses.
+  printf("\nrole 2 — NVRAM as (extended) memory, cost per page at rate N "
+         "(slowdown = NVRAM op CPU vs DRAM op):\n");
+  printf("%12s %12s | %12s %12s %12s | %s\n", "N (ops/s)", "$DRAM(MM)",
+         "x2 slow", "x4 slow", "x8 slow", "cheapest");
+  for (double n = 0.001; n <= 70; n *= 4) {
+    double mm = costmodel::MmCost(n, p).total();
+    double n2 = NvramCost(n, p, nvram_price, 2);
+    double n4 = NvramCost(n, p, nvram_price, 4);
+    double n8 = NvramCost(n, p, nvram_price, 8);
+    const char* best = "DRAM";
+    double best_cost = mm;
+    if (n2 < best_cost) { best = "NVRAMx2"; best_cost = n2; }
+    printf("%12.3f %12.3e | %12.3e %12.3e %12.3e | %s\n", n, mm, n2, n4,
+           n8, best);
+  }
+  // Crossover: DRAM becomes cheaper than x2-NVRAM when the execution
+  // premium outweighs the storage saving.
+  double storage_saving =
+      p.page_size_bytes * (p.dram_cost_per_byte + p.flash_cost_per_byte -
+                           nvram_price);
+  double exec_premium_x2 = (2 - 1) * p.processor_cost / p.rops;
+  printf("\nDRAM/NVRAM(x2) crossover at N = %.2f ops/sec — hot data "
+         "migrates back to DRAM, warm data stays in NVRAM (the paper's "
+         "expected outcome).\n",
+         storage_saving / exec_premium_x2);
+
+  // And the paper's final point: an NVRAM fetch vs an SS operation.
+  double n_probe = 1.0;
+  printf("\nat N = %.0f ops/sec: NVRAM(x4) costs %.2e vs SS %.2e — "
+         "%.0fx cheaper: 'fetching data from NVRAM has much lower cost "
+         "and performance impact than an SS operation'.\n",
+         n_probe, NvramCost(n_probe, p, nvram_price, 4),
+         costmodel::SsCost(n_probe, p).total(),
+         costmodel::SsCost(n_probe, p).total() /
+             NvramCost(n_probe, p, nvram_price, 4));
+  return 0;
+}
+
+}  // namespace
+}  // namespace costperf
+
+int main() { return costperf::Run(); }

@@ -1,0 +1,95 @@
+// Reproduces the §4.1 "hardware costs" inventory and every derived
+// quantity the paper's analysis quotes, side by side with the values
+// measured on this substrate.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "costmodel/calibration.h"
+#include "costmodel/five_minute_rule.h"
+#include "costmodel/masstree_compare.h"
+#include "costmodel/operation_cost.h"
+
+namespace costperf {
+namespace {
+
+using bench::Banner;
+
+int Run() {
+  Banner("§4.1 table — hardware constants and derived quantities",
+         "Paper constants next to this substrate's measured equivalents.");
+
+  costmodel::CostParams p = costmodel::CostParams::PaperDefaults();
+
+  printf("\n%-44s %14s\n", "constant (paper §4.1)", "value");
+  printf("%-44s %14.3g\n", "$M  DRAM cost per byte", p.dram_cost_per_byte);
+  printf("%-44s %14.3g\n", "$Fl flash cost per byte", p.flash_cost_per_byte);
+  printf("%-44s %14.0f\n", "$P  processor cost", p.processor_cost);
+  printf("%-44s %14.0f\n", "$I  SSD I/O capability cost ($300-$250)",
+         p.ssd_io_capability_cost);
+  printf("%-44s %14.3g\n", "ROPS (MM ops/sec, 4-core experiments)", p.rops);
+  printf("%-44s %14.3g\n", "IOPS (device max)", p.iops);
+  printf("%-44s %14.2f\n", "R (SS/MM execution ratio)", p.r);
+  printf("%-44s %14.0f\n", "P_s average page size (bytes)",
+         p.page_size_bytes);
+
+  printf("\n%-44s %10s %12s\n", "derived quantity", "paper", "this model");
+  printf("%-44s %10s %12.1f\n", "T_i breakeven (s), Eq. 6", "~45",
+         costmodel::BreakevenIntervalSeconds(p));
+  printf("%-44s %10s %12.1f\n", "MM/SS storage cost ratio", "~11x",
+         costmodel::MmCost(0, p).storage / costmodel::SsCost(0, p).storage);
+  printf("%-44s %10s %12.1f\n", "SS/MM execution cost ratio", "~12x",
+         costmodel::SsCost(1000, p).execution /
+             costmodel::MmCost(1000, p).execution);
+  costmodel::SystemComparison sys;
+  printf("%-44s %10s %12.3g\n", "Eq. 8 coefficient (byte-seconds)", "8.3e3",
+         costmodel::CrossoverCoefficient(sys, p));
+  printf("%-44s %10s %12.3g\n", "6.1GB crossover rate (ops/sec)", "0.73e6",
+         costmodel::CrossoverOpsPerSec(sys, p));
+  sys.database_bytes = 100e9;
+  printf("%-44s %10s %12.3g\n", "100GB crossover rate (ops/sec)", "12e6",
+         costmodel::CrossoverOpsPerSec(sys, p));
+  sys.database_bytes = 6.1e9;
+  printf("%-44s %10s %12.1f\n", "2.7KB-page MassTree T_i threshold (s)",
+         "3.1",
+         costmodel::CrossoverCoefficient(sys, p) / 6.1e9 *
+             (6.1e9 / 2.7e3));
+
+  // Substrate measurements.
+  printf("\n--- measured on this substrate ---\n");
+  core::CachingStore store(bench::FigureStoreOptions());
+  workload::WorkloadSpec spec = workload::WorkloadSpec::YcsbC(50'000);
+  workload::Workload loader(spec);
+  if (!loader.Load(&store).ok()) return 1;
+  (void)store.Checkpoint();
+  Random rng(5);
+  auto* tree = store.tree();
+  for (int i = 0; i < 20'000; ++i) {
+    (void)tree->Get(Slice(loader.KeyAt(rng.Uniform(50'000))));
+  }
+  double rops = costmodel::MeasureRops(
+      [&] { (void)tree->Get(Slice(loader.KeyAt(rng.Uniform(50'000)))); },
+      100'000);
+  storage::SsdOptions dev;
+  dev.max_iops = 200'000;
+  storage::SsdDevice probe(dev);
+  double iops = probe.MeasureIops(50'000);
+  printf("%-44s %14.3g\n", "ROPS (1 thread, Bw-tree MM gets)", rops);
+  printf("%-44s %14.3g\n", "IOPS (simulated device)", iops);
+
+  // Average flushed page size on our store (the paper's P_s = 2.7e3 came
+  // from ~70%-utilized 4K-max pages).
+  (void)store.EvictAll();
+  auto ls = store.log_store()->stats();
+  if (ls.records_appended > 0) {
+    printf("%-44s %14.0f\n", "average flushed page image (bytes)",
+           double(ls.payload_bytes_appended) / ls.records_appended);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace costperf
+
+int main() { return costperf::Run(); }

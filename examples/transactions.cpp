@@ -1,0 +1,77 @@
+// Transactions through the Deuteronomy-style transaction component:
+// snapshot isolation over the Bw-tree data component, with the TC's
+// record caches (MVCC version store + read cache) absorbing reads and
+// commit-time blind updates flowing to the DC without page reads.
+
+#include <cstdio>
+
+#include "core/caching_store.h"
+#include "tc/transaction_component.h"
+
+using namespace costperf;
+
+int main() {
+  core::CachingStoreOptions options;
+  options.device.capacity_bytes = 1ull << 30;
+  options.maintenance_interval_ops = 0;
+  core::CachingStore store(options);
+
+  tc::RecoveryLog log;
+  tc::TransactionComponent tc(store.tree(), &log);
+
+  // Seed two accounts.
+  (void)tc.WriteOne("account:alice", "100");
+  (void)tc.WriteOne("account:bob", "100");
+
+  // A transfer transaction: read both, move 30, commit atomically.
+  tc::Transaction* txn = tc.Begin();
+  std::string alice, bob;
+  (void)tc.Read(txn, "account:alice", &alice);
+  (void)tc.Read(txn, "account:bob", &bob);
+  int a = atoi(alice.c_str()), b = atoi(bob.c_str());
+  tc.Write(txn, "account:alice", std::to_string(a - 30));
+  tc.Write(txn, "account:bob", std::to_string(b + 30));
+  Status s = tc.Commit(txn);
+  printf("transfer committed: %s\n", s.ToString().c_str());
+
+  (void)tc.ReadOne("account:alice", &alice);
+  (void)tc.ReadOne("account:bob", &bob);
+  printf("balances: alice=%s bob=%s\n", alice.c_str(), bob.c_str());
+
+  // Conflict: two transactions racing on the same account. The second
+  // committer loses (first-committer-wins snapshot isolation).
+  tc::Transaction* t1 = tc.Begin();
+  tc::Transaction* t2 = tc.Begin();
+  tc.Write(t1, "account:alice", "1000000");
+  tc.Write(t2, "account:alice", "0");
+  Status s1 = tc.Commit(t1);
+  Status s2 = tc.Commit(t2);
+  printf("\nconflict demo: t1 -> %s, t2 -> %s\n", s1.ToString().c_str(),
+         s2.ToString().c_str());
+
+  // Record caching at work: repeated reads never reach the data
+  // component, let alone the device.
+  std::string v;
+  for (int i = 0; i < 1000; ++i) (void)tc.ReadOne("account:bob", &v);
+  auto st = tc.stats();
+  printf("\nread path usage after 1000 re-reads:\n");
+  printf("  MVCC version store hits: %llu\n",
+         (unsigned long long)st.reads_from_version_store);
+  printf("  read cache hits:         %llu\n",
+         (unsigned long long)st.reads_from_read_cache);
+  printf("  data component reads:    %llu\n",
+         (unsigned long long)st.reads_from_dc);
+
+  // Crash recovery: replay the durable redo log into a fresh store.
+  core::CachingStore fresh_store(options);
+  tc::TransactionComponent recovered(fresh_store.tree(), &log);
+  if (!recovered.RecoverFromLog().ok()) return 1;
+  std::string ra, rb;
+  (void)recovered.ReadOne("account:alice", &ra);
+  (void)recovered.ReadOne("account:bob", &rb);
+  printf("\nafter simulated crash + redo replay: alice=%s bob=%s\n",
+         ra.c_str(), rb.c_str());
+  printf("(updates are applied identically during normal operation and "
+         "recovery — they are all timestamped blind updates, §6.2)\n");
+  return 0;
+}

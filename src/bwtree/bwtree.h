@@ -1,0 +1,287 @@
+#ifndef COSTPERF_BWTREE_BWTREE_H_
+#define COSTPERF_BWTREE_BWTREE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "bwtree/node.h"
+#include "bwtree/page_codec.h"
+#include "common/epoch.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "llama/cache_manager.h"
+#include "llama/log_store.h"
+#include "mapping/mapping_table.h"
+
+namespace costperf::bwtree {
+
+struct BwTreeOptions {
+  size_t mapping_capacity = 1 << 20;
+  // Consolidated-leaf payload size that triggers a split. The paper's
+  // Deuteronomy configuration caps pages at 4K with ~100% utilization.
+  uint64_t max_page_bytes = 4096;
+  // Delta-chain length that triggers consolidation on access.
+  uint32_t consolidate_threshold = 8;
+  // Inner-node fanout cap before an inner split.
+  size_t max_inner_children = 64;
+  // Log-structured store for page flush/load. May be null for a purely
+  // in-memory tree (paging calls then fail with FailedPrecondition).
+  llama::LogStructuredStore* log_store = nullptr;
+  // Optional resident-set accounting (leaf pages only; the index is
+  // assumed cached, as the paper does for blind updates).
+  llama::CacheManager* cache = nullptr;
+};
+
+// How a dirty page reaches flash (paper Fig. 5 and §7.2).
+enum class FlushMode {
+  kFullPage,   // write the full consolidated page image
+  kDeltaOnly,  // write just the in-memory deltas with a back-pointer to
+               // the previously stored image (valid when the base page is
+               // already on flash; falls back to full otherwise)
+  kCompressedPage,  // CSS tier: full consolidated image, compressed —
+                    // smaller media footprint, decompression CPU on load
+};
+
+// What stays in memory after eviction (paper §6.3).
+enum class EvictMode {
+  kFullEviction,  // mapping entry becomes a flash address
+  kKeepDeltas,    // record cache: deltas survive, base page is dropped
+};
+
+struct BwTreeStats {
+  // Operation counts.
+  uint64_t gets = 0, puts = 0, deletes = 0, scans = 0;
+  // MM = completed without any flash read; SS = needed >= 1 flash read.
+  uint64_t mm_ops = 0, ss_ops = 0;
+  uint64_t flash_record_reads = 0;  // individual log-store record reads
+  // Gets answered from an in-memory delta while the base page was on
+  // flash (§6.3 record-cache hits: an I/O avoided).
+  uint64_t record_cache_hits = 0;
+  uint64_t blind_updates = 0;  // puts/deletes posted onto non-resident bases
+  // Structure maintenance.
+  uint64_t consolidations = 0;
+  uint64_t leaf_splits = 0, inner_splits = 0, root_splits = 0;
+  uint64_t leaf_merges = 0, root_collapses = 0;
+  uint64_t cas_failures = 0;
+  // Paging.
+  uint64_t page_loads = 0;
+  uint64_t full_flushes = 0, delta_flushes = 0, compressed_flushes = 0;
+  uint64_t compressed_loads = 0;
+  uint64_t full_evictions = 0, record_cache_evictions = 0;
+  uint64_t bytes_flushed = 0;
+};
+
+// Latch-free B-tree over a mapping table with delta-record updates,
+// page consolidation, B-link splits, and LLAMA-backed paging — the data
+// component of the paper's Deuteronomy configuration.
+//
+// Concurrency: readers/writers are latch-free (epoch-protected CAS on
+// mapping entries). Flush/evict/GC entry points are safe to call
+// concurrently with operations but are expected to run on maintenance
+// paths (they may return Aborted when racing a writer; callers retry).
+class BwTree {
+ public:
+  explicit BwTree(BwTreeOptions options = {});
+  ~BwTree();
+
+  BwTree(const BwTree&) = delete;
+  BwTree& operator=(const BwTree&) = delete;
+
+  // --- data operations ---
+
+  // Blind upsert: never reads the base page (paper §6.2); a timestamped
+  // variant lets the transaction component order its updates.
+  Status Put(const Slice& key, const Slice& value) {
+    return Put(key, value, /*timestamp=*/0);
+  }
+  Status Put(const Slice& key, const Slice& value, uint64_t timestamp);
+
+  Result<std::string> Get(const Slice& key);
+
+  // Blind delete (posts a delete delta).
+  Status Delete(const Slice& key) { return Delete(key, 0); }
+  Status Delete(const Slice& key, uint64_t timestamp);
+
+  // Collects up to `limit` records with key >= start (and < end when end
+  // is non-empty), in key order.
+  Status Scan(const Slice& start, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out,
+              const Slice& end = Slice());
+
+  // --- paging operations (driven by the caching store / cache manager) ---
+
+  Status FlushPage(PageId pid, FlushMode mode);
+  Status EvictPage(PageId pid, EvictMode mode);
+  // Makes the page resident (SS work happens here).
+  Status LoadPage(PageId pid);
+  // Flushes every dirty leaf (full images).
+  Status FlushAll();
+
+  // Leaf page currently responsible for `key`.
+  Result<PageId> LeafOf(const Slice& key);
+  // All leaf page ids in key order (walks the B-link chain).
+  std::vector<PageId> LeafPageIds();
+  bool IsLeafResident(PageId pid) const;
+  bool IsDirty(PageId pid) const;
+
+  // --- structure maintenance ---
+
+  // Merges the right sibling of `left_pid` into it when their combined
+  // payload fits comfortably in a page (the canonical Bw-tree remove-
+  // node/merge-delta SMO). Both pages must be resident, consolidated and
+  // quiescent enough for the three CAS steps; returns Aborted on any
+  // race (callers retry on a later maintenance pass) and
+  // FailedPrecondition when the pair is not mergeable.
+  Status TryMergeRight(PageId left_pid);
+
+  // Maintenance sweep: merges adjacent underfull leaves (combined payload
+  // <= `fill_target` * max_page_bytes). Returns the number of merges.
+  size_t MergeUnderfullLeaves(double fill_target = 0.5);
+
+  // --- restart recovery ---
+
+  // Rebuilds the tree from the log-structured store after a restart:
+  // re-scans the device for the newest image of every page, restores the
+  // mapping entries (at their original page ids) as flash pointers, and
+  // bulk-builds the inner index from the recovered leaf fence chain.
+  // Discards any current in-memory contents; call on a freshly
+  // constructed tree over the old device. Unflushed pre-crash state is
+  // lost, by design (the transaction component's redo log covers it).
+  Status RecoverFromStore();
+
+  // --- GC integration (see LogStructuredStore::Collect*) ---
+
+  bool GcIsLive(PageId pid, FlashAddress addr) const;
+  bool GcInstall(PageId pid, FlashAddress old_addr, FlashAddress new_addr);
+  // Rewrites every page that has multi-record or resident state in the
+  // segment so only simply-relocatable records remain live there.
+  Status PrepareSegmentForGc(uint64_t segment_id, uint64_t segment_bytes);
+
+  // --- introspection ---
+
+  BwTreeStats stats() const;
+  // Total bytes of resident chains (the Bw-tree memory footprint; used to
+  // measure the paper's M_x).
+  uint64_t MemoryFootprintBytes() const;
+  uint64_t resident_leaves() const;
+  // Runs an epoch reclamation pass; call periodically from maintenance.
+  size_t ReclaimMemory() { return epochs_.TryReclaim(); }
+
+  EpochManager* epochs() { return &epochs_; }
+  mapping::MappingTable* mapping_table() { return &table_; }
+  PageId root_pid() const { return root_pid_.load(std::memory_order_acquire); }
+  const BwTreeOptions& options() const { return options_; }
+
+ private:
+  struct PageMeta {
+    // Flash records backing this page, newest first. Element 0 is the
+    // image the mapping entry / FlashPointer refers to; later elements
+    // are reachable via delta-page back-pointers.
+    std::vector<uint64_t> flash_chain;
+    // True when the resident base's content is newer than flash_chain.
+    bool base_dirty = false;
+  };
+
+  // Per-operation bookkeeping for MM/SS classification.
+  struct OpContext {
+    uint32_t flash_reads = 0;
+    bool touched_flash_tail = false;
+  };
+
+  // Finds the leaf pid covering `key`; records the inner path (root
+  // first) for split posting.
+  PageId DescendToLeaf(const Slice& key, std::vector<PageId>* path);
+
+  // Walks a resident chain for `key`. Returns true when an answer was
+  // determined (found or definitely-deleted); false when the base is
+  // needed but on flash.
+  bool SearchResidentChain(Node* head, const Slice& key, bool* found,
+                           std::string* value) const;
+
+  // Loads the flash portion of `pid` and installs a consolidated base.
+  // `entry_word` is the observed mapping word. On success the page is
+  // resident.
+  Status LoadAndInstall(PageId pid, uint64_t entry_word, OpContext* ctx);
+
+  // Reads and applies the flash image chain starting at addr into `leaf`.
+  Status MaterializeFromFlash(FlashAddress addr, LeafBase* leaf,
+                              OpContext* ctx);
+
+  // Builds a consolidated LeafBase from a fully resident chain.
+  LeafBase* ConsolidateChain(Node* head) const;
+
+  // Attempts consolidation (and split if oversized). Best effort.
+  void MaybeConsolidate(PageId pid, std::vector<PageId>* path);
+  // Consolidates regardless of chain length (merge-delta folding).
+  void MaybeConsolidateForced(PageId pid);
+
+  // Splits `base` (already consolidated, oversized); posts to parent.
+  // `expected_word` is the chain the consolidation was built from.
+  void SplitLeaf(PageId pid, uint64_t expected_word, LeafBase* base,
+                 std::vector<PageId>* path);
+
+  // Inserts (sep, right_pid) into the parent of left_pid; creates a new
+  // root when left_pid is the root.
+  void PostSplitToParent(PageId left_pid, const std::string& sep,
+                         PageId right_pid, std::vector<PageId>* path);
+  void SplitInner(PageId pid, InnerBase* inner, std::vector<PageId>* path);
+
+  // Finds the inner node whose children contain `child_pid`, descending
+  // toward `toward_key`. kInvalidPageId when child is the root or not
+  // found.
+  PageId FindParentOf(PageId child_pid, const Slice& toward_key);
+
+  // Removes `child_pid` (and its separator) from its parent after a
+  // merge; collapses the root when it shrinks to one child.
+  Status RemoveChildFromParent(PageId child_pid, const Slice& toward_key);
+  // Rewrites the unique ancestor separator equal to old_sep to new_sep
+  // (used when the removed page was its parent's first child).
+  Status ReplaceBoundarySep(const Slice& old_sep, const Slice& new_sep);
+
+  // Chain tail helpers.
+  static Node* ChainTail(Node* head);
+  static const Node* ChainTail(const Node* head);
+
+  void RetireChain(Node* head);
+  void RetireNode(Node* n);
+
+  void CacheInsertOrResize(PageId pid, Node* head);
+  void CacheTouch(PageId pid);
+
+  // Meta accessors.
+  void MetaSetChain(PageId pid, std::vector<uint64_t> chain, bool dirty);
+  void MetaPushDelta(PageId pid, uint64_t addr);
+  void MetaMarkDirty(PageId pid);
+  PageMeta MetaGet(PageId pid) const;
+  void MarkChainDead(const std::vector<uint64_t>& chain);
+
+  BwTreeOptions options_;
+  mapping::MappingTable table_;
+  EpochManager epochs_;
+  std::atomic<PageId> root_pid_;
+
+  mutable std::mutex meta_mu_;
+  std::unordered_map<PageId, PageMeta> meta_;
+
+  // Stats (relaxed atomics; snapshot via stats()).
+  mutable std::atomic<uint64_t> s_gets_{0}, s_puts_{0}, s_deletes_{0},
+      s_scans_{0};
+  mutable std::atomic<uint64_t> s_mm_{0}, s_ss_{0}, s_flash_reads_{0},
+      s_rc_hits_{0}, s_blind_{0};
+  mutable std::atomic<uint64_t> s_consolidations_{0}, s_leaf_splits_{0},
+      s_inner_splits_{0}, s_root_splits_{0}, s_leaf_merges_{0},
+      s_root_collapses_{0}, s_cas_failures_{0};
+  mutable std::atomic<uint64_t> s_loads_{0}, s_full_flushes_{0},
+      s_delta_flushes_{0}, s_compressed_flushes_{0}, s_compressed_loads_{0},
+      s_full_evictions_{0}, s_rc_evictions_{0}, s_bytes_flushed_{0};
+};
+
+}  // namespace costperf::bwtree
+
+#endif  // COSTPERF_BWTREE_BWTREE_H_

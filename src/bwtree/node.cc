@@ -1,0 +1,67 @@
+#include "bwtree/node.h"
+
+namespace costperf::bwtree {
+
+uint64_t NodeBytes(const Node* n) {
+  switch (n->type) {
+    case NodeType::kLeafBase:
+      return static_cast<const LeafBase*>(n)->ApproxBytes();
+    case NodeType::kInnerBase:
+      return static_cast<const InnerBase*>(n)->ApproxBytes();
+    case NodeType::kInsertDelta:
+      return static_cast<const InsertDelta*>(n)->ApproxBytes();
+    case NodeType::kDeleteDelta:
+      return static_cast<const DeleteDelta*>(n)->ApproxBytes();
+    case NodeType::kFlashPointer:
+      return sizeof(FlashPointer);
+    case NodeType::kRemoveNode:
+      return sizeof(RemoveNodeDelta);
+    case NodeType::kMergeDelta: {
+      const auto* m = static_cast<const MergeDelta*>(n);
+      // The merge delta carries the absorbed page's chain.
+      return sizeof(MergeDelta) + ChainBytes(m->right_chain);
+    }
+  }
+  return sizeof(Node);
+}
+
+uint64_t ChainBytes(const Node* head) {
+  uint64_t b = 0;
+  for (const Node* n = head; n != nullptr; n = n->next) b += NodeBytes(n);
+  return b;
+}
+
+void FreeChain(Node* head) {
+  while (head != nullptr) {
+    Node* next = head->next;
+    switch (head->type) {
+      case NodeType::kLeafBase:
+        delete static_cast<LeafBase*>(head);
+        break;
+      case NodeType::kInnerBase:
+        delete static_cast<InnerBase*>(head);
+        break;
+      case NodeType::kInsertDelta:
+        delete static_cast<InsertDelta*>(head);
+        break;
+      case NodeType::kDeleteDelta:
+        delete static_cast<DeleteDelta*>(head);
+        break;
+      case NodeType::kFlashPointer:
+        delete static_cast<FlashPointer*>(head);
+        break;
+      case NodeType::kRemoveNode:
+        delete static_cast<RemoveNodeDelta*>(head);
+        break;
+      case NodeType::kMergeDelta: {
+        auto* m = static_cast<MergeDelta*>(head);
+        FreeChain(m->right_chain);  // owned absorbed chain
+        delete m;
+        break;
+      }
+    }
+    head = next;
+  }
+}
+
+}  // namespace costperf::bwtree

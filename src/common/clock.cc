@@ -1,0 +1,31 @@
+#include "common/clock.h"
+
+#include <time.h>
+
+namespace costperf {
+
+namespace {
+uint64_t TimespecNanos(const timespec& ts) {
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+}  // namespace
+
+uint64_t RealClock::NowNanos() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return TimespecNanos(ts);
+}
+
+RealClock* RealClock::Global() {
+  static RealClock* const instance = new RealClock();
+  return instance;
+}
+
+uint64_t ThreadCpuNanos() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return TimespecNanos(ts);
+}
+
+}  // namespace costperf

@@ -1,0 +1,72 @@
+#ifndef COSTPERF_COMMON_CLOCK_H_
+#define COSTPERF_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+namespace costperf {
+
+// Time source abstraction. The simulated SSD and the cost-based cache
+// manager consume a Clock so tests and deterministic benchmarks can drive
+// time manually (VirtualClock) while real measurement runs use RealClock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  // Monotonic nanoseconds since an arbitrary origin.
+  virtual uint64_t NowNanos() = 0;
+
+  double NowSeconds() { return static_cast<double>(NowNanos()) * 1e-9; }
+};
+
+// Wall-clock-backed monotonic clock.
+class RealClock : public Clock {
+ public:
+  uint64_t NowNanos() override;
+
+  // Process-wide shared instance.
+  static RealClock* Global();
+};
+
+// Manually advanced clock for deterministic simulation.
+class VirtualClock : public Clock {
+ public:
+  explicit VirtualClock(uint64_t start_nanos = 0) : now_(start_nanos) {}
+
+  uint64_t NowNanos() override {
+    return now_.load(std::memory_order_acquire);
+  }
+
+  void AdvanceNanos(uint64_t delta) {
+    now_.fetch_add(delta, std::memory_order_acq_rel);
+  }
+  void AdvanceSeconds(double s) {
+    AdvanceNanos(static_cast<uint64_t>(s * 1e9));
+  }
+  void SetNanos(uint64_t t) { now_.store(t, std::memory_order_release); }
+
+ private:
+  std::atomic<uint64_t> now_;
+};
+
+// Thread CPU-time meter, nanoseconds of CPU consumed by the calling thread.
+// This is the quantity the paper's R is defined over: "the time the core
+// spends executing the operation", excluding I/O wait.
+uint64_t ThreadCpuNanos();
+
+// Simple scope timer over an arbitrary clock.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Clock* clock, uint64_t* out_nanos)
+      : clock_(clock), out_(out_nanos), start_(clock->NowNanos()) {}
+  ~ScopedTimer() { *out_ += clock_->NowNanos() - start_; }
+
+ private:
+  Clock* clock_;
+  uint64_t* out_;
+  uint64_t start_;
+};
+
+}  // namespace costperf
+
+#endif  // COSTPERF_COMMON_CLOCK_H_

@@ -1,0 +1,66 @@
+#include "common/crc32.h"
+
+#include <cstring>
+
+namespace costperf {
+
+namespace {
+
+// Slicing-by-8 CRC-32C tables (polynomial 0x1EDC6F41, reflected
+// 0x82F63B78). Processes 8 bytes per iteration — the table-per-byte
+// variant costs ~3ns/B, which would dominate SS-operation cost; this one
+// runs at ~0.4ns/B, comparable to hardware-assisted implementations real
+// stores use.
+struct Crc32cTables {
+  uint32_t t[8][256];
+  Crc32cTables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0x82F63B78u ^ (c >> 1)) : (c >> 1);
+      }
+      t[0][i] = c;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = t[0][i];
+      for (int slice = 1; slice < 8; ++slice) {
+        c = t[0][c & 0xFF] ^ (c >> 8);
+        t[slice][i] = c;
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables& tables = *new Crc32cTables();
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& tb = Tables();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+
+  // Align-free slicing-by-8 main loop.
+  while (len >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    memcpy(&lo, p, 4);
+    memcpy(&hi, p + 4, 4);
+    lo ^= c;
+    c = tb.t[7][lo & 0xFF] ^ tb.t[6][(lo >> 8) & 0xFF] ^
+        tb.t[5][(lo >> 16) & 0xFF] ^ tb.t[4][lo >> 24] ^
+        tb.t[3][hi & 0xFF] ^ tb.t[2][(hi >> 8) & 0xFF] ^
+        tb.t[1][(hi >> 16) & 0xFF] ^ tb.t[0][hi >> 24];
+    p += 8;
+    len -= 8;
+  }
+  while (len-- > 0) {
+    c = tb.t[0][(c ^ *p++) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace costperf

@@ -1,0 +1,26 @@
+#ifndef COSTPERF_COMMON_CRC32_H_
+#define COSTPERF_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace costperf {
+
+// CRC-32C (Castagnoli), software table implementation. Used to checksum
+// pages and log segments on the simulated flash device so corruption
+// injection and torn writes are detectable, as a real store would.
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+// Masked CRC (RocksDB-style rotation+offset) so that a CRC stored next to
+// the data it covers does not checksum to itself.
+inline uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+inline uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace costperf
+
+#endif  // COSTPERF_COMMON_CRC32_H_

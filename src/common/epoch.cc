@@ -1,0 +1,100 @@
+#include "common/epoch.h"
+
+namespace costperf {
+
+namespace {
+// Thread-local slot assignment, one per (thread, manager-generation). We
+// key by manager pointer to support multiple managers in one process.
+struct ThreadSlotCache {
+  const EpochManager* mgr = nullptr;
+  int slot = -1;
+};
+thread_local ThreadSlotCache tls_slot;
+thread_local int tls_depth = 0;
+}  // namespace
+
+EpochManager::EpochManager() : global_epoch_(1), next_slot_(0) {}
+
+EpochManager::~EpochManager() { ReclaimAll(); }
+
+int EpochManager::RegisterThread() {
+  if (tls_slot.mgr == this && tls_slot.slot >= 0) return tls_slot.slot;
+  int slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
+  slot %= kMaxThreads;  // Wrap: slots may be shared by >kMaxThreads threads;
+                        // sharing is safe but may delay reclamation.
+  slots_[slot].used.store(true, std::memory_order_release);
+  tls_slot.mgr = this;
+  tls_slot.slot = slot;
+  tls_depth = 0;
+  return slot;
+}
+
+void EpochManager::Enter() {
+  int slot = RegisterThread();
+  if (tls_depth++ > 0) return;  // Re-entrant: keep outer reservation.
+  uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  slots_[slot].reserved.store(e, std::memory_order_release);
+}
+
+void EpochManager::Exit() {
+  int slot = RegisterThread();
+  if (--tls_depth > 0) return;
+  slots_[slot].reserved.store(kIdle, std::memory_order_release);
+}
+
+void EpochManager::Retire(std::function<void()> deleter) {
+  uint64_t e = global_epoch_.load(std::memory_order_acquire);
+  std::lock_guard<std::mutex> lk(retired_mu_);
+  retired_.push_back(RetiredItem{e, std::move(deleter)});
+}
+
+uint64_t EpochManager::MinActiveEpoch() const {
+  uint64_t min_epoch = global_epoch_.load(std::memory_order_acquire);
+  for (int i = 0; i < kMaxThreads; ++i) {
+    if (!slots_[i].used.load(std::memory_order_acquire)) continue;
+    uint64_t r = slots_[i].reserved.load(std::memory_order_acquire);
+    if (r != kIdle && r < min_epoch) min_epoch = r;
+  }
+  return min_epoch;
+}
+
+size_t EpochManager::TryReclaim() {
+  global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  const uint64_t safe = MinActiveEpoch();
+
+  std::vector<std::function<void()>> to_run;
+  {
+    std::lock_guard<std::mutex> lk(retired_mu_);
+    size_t kept = 0;
+    for (size_t i = 0; i < retired_.size(); ++i) {
+      // An item retired at epoch E may still be referenced by threads in
+      // epochs <= E, so it is freeable only once min active epoch > E.
+      if (retired_[i].epoch < safe) {
+        to_run.push_back(std::move(retired_[i].deleter));
+      } else {
+        if (kept != i) retired_[kept] = std::move(retired_[i]);
+        ++kept;
+      }
+    }
+    retired_.resize(kept);
+  }
+  for (auto& d : to_run) d();
+  return to_run.size();
+}
+
+size_t EpochManager::ReclaimAll() {
+  std::vector<RetiredItem> items;
+  {
+    std::lock_guard<std::mutex> lk(retired_mu_);
+    items.swap(retired_);
+  }
+  for (auto& it : items) it.deleter();
+  return items.size();
+}
+
+size_t EpochManager::retired_count() const {
+  std::lock_guard<std::mutex> lk(retired_mu_);
+  return retired_.size();
+}
+
+}  // namespace costperf

@@ -1,0 +1,98 @@
+#ifndef COSTPERF_COMMON_EPOCH_H_
+#define COSTPERF_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace costperf {
+
+// Epoch-based memory reclamation for latch-free structures (Bw-tree delta
+// chains, mapping-table payloads, MassTree nodes).
+//
+// Threads enter an epoch (via EpochGuard) before dereferencing shared
+// latch-free pointers. Memory retired while any thread might still hold a
+// reference is queued with the current global epoch and only freed once
+// every thread has advanced past it. This is the same protection scheme
+// the Bw-tree paper relies on for its latch-free delta updates.
+//
+// Usage:
+//   EpochManager epochs;
+//   { EpochGuard g(&epochs); ... dereference shared pointers ... }
+//   epochs.Retire([p]{ delete p; });
+//   epochs.TryReclaim();   // called opportunistically
+class EpochManager {
+ public:
+  static constexpr int kMaxThreads = 64;
+
+  EpochManager();
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  // Registers the calling thread (idempotent); returns its slot index.
+  int RegisterThread();
+
+  // Enter/exit a protected region. Prefer EpochGuard.
+  void Enter();
+  void Exit();
+
+  // Queues a deleter to run once no thread can still observe the object.
+  void Retire(std::function<void()> deleter);
+
+  // Advances the global epoch and frees everything retired at epochs that
+  // all threads have passed. Returns number of deleters run.
+  size_t TryReclaim();
+
+  // Frees everything unconditionally. Only safe when no thread is inside
+  // a guard (e.g. destructor, tests).
+  size_t ReclaimAll();
+
+  uint64_t current_epoch() const {
+    return global_epoch_.load(std::memory_order_acquire);
+  }
+  size_t retired_count() const;
+
+ private:
+  static constexpr uint64_t kIdle = ~0ull;
+
+  struct RetiredItem {
+    uint64_t epoch;
+    std::function<void()> deleter;
+  };
+
+  // Smallest epoch any active thread is in, or current epoch if none.
+  uint64_t MinActiveEpoch() const;
+
+  std::atomic<uint64_t> global_epoch_;
+  // Per-thread reservation: the epoch a thread entered at, or kIdle.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> reserved{kIdle};
+    std::atomic<bool> used{false};
+  };
+  Slot slots_[kMaxThreads];
+  std::atomic<int> next_slot_;
+
+  mutable std::mutex retired_mu_;
+  std::vector<RetiredItem> retired_;
+};
+
+// RAII epoch protection.
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochManager* mgr) : mgr_(mgr) { mgr_->Enter(); }
+  ~EpochGuard() { mgr_->Exit(); }
+
+  EpochGuard(const EpochGuard&) = delete;
+  EpochGuard& operator=(const EpochGuard&) = delete;
+
+ private:
+  EpochManager* mgr_;
+};
+
+}  // namespace costperf
+
+#endif  // COSTPERF_COMMON_EPOCH_H_

@@ -1,0 +1,103 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace costperf {
+
+const std::vector<double>& Histogram::BucketLimits() {
+  static const std::vector<double>& limits = *new std::vector<double>([] {
+    std::vector<double> v;
+    double limit = 1.0;
+    v.push_back(0.0);
+    while (limit < 1e13) {
+      v.push_back(limit);
+      limit *= 1.5;
+    }
+    v.push_back(std::numeric_limits<double>::infinity());
+    return v;
+  }());
+  return limits;
+}
+
+Histogram::Histogram() { Clear(); }
+
+void Histogram::Clear() {
+  count_ = 0;
+  sum_ = 0;
+  sum_squares_ = 0;
+  min_ = std::numeric_limits<double>::infinity();
+  max_ = -std::numeric_limits<double>::infinity();
+  buckets_.assign(BucketLimits().size(), 0);
+}
+
+void Histogram::Add(double value) {
+  const auto& limits = BucketLimits();
+  // First bucket whose upper limit is > value.
+  size_t b = std::upper_bound(limits.begin(), limits.end(), value) -
+             limits.begin();
+  if (b >= buckets_.size()) b = buckets_.size() - 1;
+  buckets_[b] += 1;
+  ++count_;
+  sum_ += value;
+  sum_squares_ += value * value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_squares_ += other.sum_squares_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  for (size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+}
+
+double Histogram::min() const { return count_ ? min_ : 0; }
+double Histogram::max() const { return count_ ? max_ : 0; }
+
+double Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0;
+}
+
+double Histogram::stddev() const {
+  if (count_ == 0) return 0;
+  double n = static_cast<double>(count_);
+  double var = (sum_squares_ - sum_ * sum_ / n) / n;
+  return var > 0 ? std::sqrt(var) : 0;
+}
+
+double Histogram::Percentile(double p) const {
+  if (count_ == 0) return 0;
+  const auto& limits = BucketLimits();
+  double threshold = static_cast<double>(count_) * (p / 100.0);
+  double seen = 0;
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    if (buckets_[b] == 0) continue;
+    double next = seen + static_cast<double>(buckets_[b]);
+    if (next >= threshold) {
+      double lo = (b == 0) ? 0 : limits[b - 1];
+      double hi = limits[b];
+      if (!std::isfinite(hi)) hi = max_;
+      double frac = (threshold - seen) / static_cast<double>(buckets_[b]);
+      double r = lo + (hi - lo) * frac;
+      return std::clamp(r, min_, max_);
+    }
+    seen = next;
+  }
+  return max_;
+}
+
+std::string Histogram::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "count=%llu mean=%.2f p50=%.2f p95=%.2f p99=%.2f min=%.2f max=%.2f",
+           static_cast<unsigned long long>(count_), mean(), Percentile(50),
+           Percentile(95), Percentile(99), min(), max());
+  return buf;
+}
+
+}  // namespace costperf

@@ -1,0 +1,47 @@
+#ifndef COSTPERF_COMMON_HISTOGRAM_H_
+#define COSTPERF_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace costperf {
+
+// Log-bucketed histogram for latency/size distributions. Buckets grow
+// geometrically (~x1.5) so the structure covers nanoseconds-to-seconds in
+// ~100 buckets with bounded relative error on percentile estimates.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(double value);
+  void Merge(const Histogram& other);
+  void Clear();
+
+  uint64_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+  // Percentile estimate by linear interpolation inside the bucket; p in
+  // [0,100].
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  // Multi-line summary: count/mean/p50/p95/p99/max.
+  std::string ToString() const;
+
+ private:
+  static const std::vector<double>& BucketLimits();
+
+  uint64_t count_;
+  double sum_;
+  double sum_squares_;
+  double min_;
+  double max_;
+  std::vector<uint64_t> buckets_;
+};
+
+}  // namespace costperf
+
+#endif  // COSTPERF_COMMON_HISTOGRAM_H_

@@ -1,0 +1,135 @@
+#ifndef COSTPERF_COMMON_LATCH_H_
+#define COSTPERF_COMMON_LATCH_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace costperf {
+
+// Test-and-test-and-set spin latch. Used only on cold paths (flush buffer
+// sealing, GC bookkeeping); the hot index paths are latch-free by design.
+class SpinLatch {
+ public:
+  SpinLatch() : locked_(false) {}
+
+  SpinLatch(const SpinLatch&) = delete;
+  SpinLatch& operator=(const SpinLatch&) = delete;
+
+  void Lock() {
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) {
+        // spin
+      }
+    }
+  }
+
+  bool TryLock() {
+    return !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void Unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_;
+};
+
+class SpinLatchGuard {
+ public:
+  explicit SpinLatchGuard(SpinLatch* latch) : latch_(latch) { latch_->Lock(); }
+  ~SpinLatchGuard() { latch_->Unlock(); }
+
+  SpinLatchGuard(const SpinLatchGuard&) = delete;
+  SpinLatchGuard& operator=(const SpinLatchGuard&) = delete;
+
+ private:
+  SpinLatch* latch_;
+};
+
+// Optimistic version lock in the MassTree style: even = unlocked, odd =
+// locked; readers snapshot the version, do their reads, and revalidate.
+// Split/insert bump dedicated bits so readers can tell which kind of
+// change invalidated them.
+class OptimisticVersion {
+ public:
+  static constexpr uint64_t kLockBit = 1ull << 0;
+  static constexpr uint64_t kInserting = 1ull << 1;
+  static constexpr uint64_t kSplitting = 1ull << 2;
+  static constexpr uint64_t kDeleted = 1ull << 3;
+  static constexpr uint64_t kIsRoot = 1ull << 4;
+  static constexpr uint64_t kVInsertDelta = 1ull << 5;   // insert counter lsb
+  static constexpr uint64_t kVSplitDelta = 1ull << 20;   // split counter lsb
+  static constexpr uint64_t kVInsertMask = ((1ull << 15) - 1) << 5;
+  static constexpr uint64_t kVSplitMask = ~((1ull << 20) - 1);
+
+  OptimisticVersion() : v_(0) {}
+
+  uint64_t StableSnapshot() const {
+    uint64_t v = v_.load(std::memory_order_acquire);
+    while (v & (kLockBit | kInserting | kSplitting)) {
+      v = v_.load(std::memory_order_acquire);
+    }
+    return v;
+  }
+
+  // True if the structure may have changed since `snapshot` in a way that
+  // invalidates reads (any insert or split).
+  bool Changed(uint64_t snapshot) const {
+    uint64_t v = v_.load(std::memory_order_acquire);
+    return (v & (kVInsertMask | kVSplitMask)) !=
+           (snapshot & (kVInsertMask | kVSplitMask));
+  }
+
+  void Lock() {
+    for (;;) {
+      uint64_t v = v_.load(std::memory_order_acquire);
+      if (v & kLockBit) continue;
+      if (v_.compare_exchange_weak(v, v | kLockBit,
+                                   std::memory_order_acq_rel)) {
+        return;
+      }
+    }
+  }
+
+  void MarkInserting() {
+    v_.fetch_or(kInserting, std::memory_order_acq_rel);
+  }
+  void MarkSplitting() {
+    v_.fetch_or(kSplitting, std::memory_order_acq_rel);
+  }
+
+  // Releases the lock; bumps the insert/split counters for any marks set.
+  void Unlock() {
+    uint64_t v = v_.load(std::memory_order_acquire);
+    uint64_t nv = v;
+    if (v & kInserting) nv = (nv & ~kInserting) + kVInsertDelta;
+    if (v & kSplitting) nv = (nv & ~kSplitting) + kVSplitDelta;
+    nv &= ~kLockBit;
+    v_.store(nv, std::memory_order_release);
+  }
+
+  bool IsDeleted() const {
+    return v_.load(std::memory_order_acquire) & kDeleted;
+  }
+  void MarkDeleted() { v_.fetch_or(kDeleted, std::memory_order_acq_rel); }
+
+  bool IsRoot() const {
+    return v_.load(std::memory_order_acquire) & kIsRoot;
+  }
+  void SetRoot(bool is_root) {
+    if (is_root) {
+      v_.fetch_or(kIsRoot, std::memory_order_acq_rel);
+    } else {
+      v_.fetch_and(~kIsRoot, std::memory_order_acq_rel);
+    }
+  }
+
+  uint64_t raw() const { return v_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uint64_t> v_;
+};
+
+}  // namespace costperf
+
+#endif  // COSTPERF_COMMON_LATCH_H_

@@ -1,0 +1,84 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace costperf {
+
+ZipfianGenerator::ZipfianGenerator(uint64_t items, double theta, uint64_t seed)
+    : items_(items ? items : 1), theta_(theta), rng_(seed) {
+  zetan_ = Zeta(items_, theta_);
+  zeta2theta_ = Zeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+double ZipfianGenerator::Zeta(uint64_t n, double theta) {
+  // Exact sum for small n; for very large n this O(n) setup cost is paid
+  // once per generator, which is fine for our workload sizes (<= 1e8).
+  double sum = 0;
+  for (uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfianGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double v =
+      static_cast<double>(items_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t r = static_cast<uint64_t>(v);
+  if (r >= items_) r = items_ - 1;
+  return r;
+}
+
+uint64_t ScrambledZipfianGenerator::Next() {
+  return Hash64(zipf_.Next()) % items_;
+}
+
+HotspotGenerator::HotspotGenerator(uint64_t items, double hot_set_fraction,
+                                   double hot_prob, uint64_t seed)
+    : items_(items ? items : 1),
+      hot_start_(0),
+      hot_prob_(hot_prob),
+      rng_(seed) {
+  hot_size_ = static_cast<uint64_t>(
+      static_cast<double>(items_) * hot_set_fraction);
+  if (hot_size_ == 0) hot_size_ = 1;
+  if (hot_size_ > items_) hot_size_ = items_;
+}
+
+uint64_t HotspotGenerator::Next() {
+  if (rng_.Bernoulli(hot_prob_)) {
+    return (hot_start_ + rng_.Uniform(hot_size_)) % items_;
+  }
+  // Cold access: uniform over the complement (or whole space if hot==all).
+  if (hot_size_ == items_) return rng_.Uniform(items_);
+  uint64_t off = rng_.Uniform(items_ - hot_size_);
+  return (hot_start_ + hot_size_ + off) % items_;
+}
+
+void HotspotGenerator::ShiftHotSet(uint64_t delta) {
+  hot_start_ = (hot_start_ + delta) % items_;
+}
+
+uint64_t LatestGenerator::Next() {
+  // Rank 0 maps to the most recently inserted key.
+  uint64_t rank = zipf_.Next() % max_;
+  return max_ - 1 - rank;
+}
+
+uint64_t HashBytes(const char* data, size_t len) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+}  // namespace costperf

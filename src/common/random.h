@@ -1,0 +1,160 @@
+#ifndef COSTPERF_COMMON_RANDOM_H_
+#define COSTPERF_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <cstring>
+
+namespace costperf {
+
+// Fast xorshift64* PRNG. Deterministic across platforms, which the tests
+// and workload generators rely on for reproducible runs.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x2545F4914F6CDD1Dull) {
+    state_ = seed ? seed : 0x9E3779B97F4A7C15ull;
+  }
+
+  uint64_t Next() {
+    uint64_t x = state_;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    state_ = x;
+    return x * 0x2545F4914F6CDD1Dull;
+  }
+
+  // Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  // Uniform in [lo, hi).
+  uint64_t UniformRange(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  // Random byte string of the given length (for value payloads).
+  void Fill(char* dst, size_t len) {
+    size_t i = 0;
+    while (i + 8 <= len) {
+      uint64_t v = Next();
+      memcpy(dst + i, &v, 8);
+      i += 8;
+    }
+    if (i < len) {
+      uint64_t v = Next();
+      memcpy(dst + i, &v, len - i);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Zipfian distribution over [0, n) with skew theta (YCSB default 0.99),
+// using the Gray et al. rejection-free method from "Quickly Generating
+// Billion-Record Synthetic Databases" (SIGMOD '94), as popularized by YCSB.
+class ZipfianGenerator {
+ public:
+  // items must be >= 1; theta in (0, 1).
+  ZipfianGenerator(uint64_t items, double theta = 0.99,
+                   uint64_t seed = 0x8badf00d);
+
+  uint64_t Next();
+
+  uint64_t item_count() const { return items_; }
+  double theta() const { return theta_; }
+
+ private:
+  static double Zeta(uint64_t n, double theta);
+
+  uint64_t items_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+  Random rng_;
+};
+
+// Zipfian with the rank order scattered across the keyspace via a hash, so
+// the hot keys are not clustered at the low end (YCSB "scrambled zipfian").
+class ScrambledZipfianGenerator {
+ public:
+  ScrambledZipfianGenerator(uint64_t items, double theta = 0.99,
+                            uint64_t seed = 0x8badf00d)
+      : items_(items), zipf_(items, theta, seed) {}
+
+  uint64_t Next();
+
+ private:
+  uint64_t items_;
+  ZipfianGenerator zipf_;
+};
+
+// Hotspot distribution: a fraction `hot_set` of the keyspace receives a
+// fraction `hot_prob` of the accesses; both sets are uniform internally.
+// Used by the hot/cold tiering experiments, where the hot set can be
+// shifted over time to model a changing working set.
+class HotspotGenerator {
+ public:
+  HotspotGenerator(uint64_t items, double hot_set_fraction, double hot_prob,
+                   uint64_t seed = 0xdecafbad);
+
+  uint64_t Next();
+
+  // Rotates the hot region start by `delta` keys (wraps around); models
+  // working-set drift.
+  void ShiftHotSet(uint64_t delta);
+
+  uint64_t hot_start() const { return hot_start_; }
+  uint64_t hot_size() const { return hot_size_; }
+
+ private:
+  uint64_t items_;
+  uint64_t hot_start_;
+  uint64_t hot_size_;
+  double hot_prob_;
+  Random rng_;
+};
+
+// "Latest" distribution (YCSB-D): skewed toward recently inserted items.
+class LatestGenerator {
+ public:
+  explicit LatestGenerator(uint64_t items, double theta = 0.99,
+                           uint64_t seed = 0xfeedface)
+      : max_(items ? items : 1), zipf_(max_, theta, seed) {}
+
+  uint64_t Next();
+
+  // Grow the keyspace as items are inserted.
+  void set_max(uint64_t max) { max_ = max ? max : 1; }
+
+ private:
+  uint64_t max_;
+  ZipfianGenerator zipf_;
+};
+
+// 64-bit finalizer-style hash (fmix64 from MurmurHash3); good avalanche,
+// used for key scrambling and hash-table bucketing.
+inline uint64_t Hash64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdull;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+// FNV-1a over arbitrary bytes.
+uint64_t HashBytes(const char* data, size_t len);
+
+}  // namespace costperf
+
+#endif  // COSTPERF_COMMON_RANDOM_H_

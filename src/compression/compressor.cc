@@ -1,0 +1,119 @@
+#include "compression/compressor.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace costperf::compression {
+
+namespace {
+
+inline uint32_t HashFour(const char* p) {
+  uint32_t v;
+  memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - Compressor::kHashBits);
+}
+
+}  // namespace
+
+void Compressor::Compress(const Slice& input, std::string* out) {
+  out->clear();
+  PutVarint64(out, input.size());
+  const char* base = input.data();
+  const size_t n = input.size();
+  if (n == 0) {
+    PutVarint64(out, 0);  // no literals
+    PutVarint64(out, 0);  // end marker
+    return;
+  }
+
+  std::vector<int64_t> table(1 << kHashBits, -1);
+  size_t pos = 0;
+  size_t literal_start = 0;
+
+  auto emit = [&](size_t lit_from, size_t lit_len, size_t match_len,
+                  size_t offset) {
+    PutVarint64(out, lit_len);
+    out->append(base + lit_from, lit_len);
+    PutVarint64(out, match_len);
+    if (match_len > 0) PutVarint64(out, offset);
+  };
+
+  while (pos + kMinMatch <= n) {
+    uint32_t h = HashFour(base + pos);
+    int64_t cand = table[h];
+    table[h] = static_cast<int64_t>(pos);
+    if (cand >= 0 && pos - static_cast<size_t>(cand) <= kMaxOffset &&
+        memcmp(base + cand, base + pos, kMinMatch) == 0) {
+      // Extend the match.
+      size_t len = kMinMatch;
+      while (pos + len < n && base[cand + len] == base[pos + len]) ++len;
+      emit(literal_start, pos - literal_start, len, pos - cand);
+      // Seed the table inside the match sparsely to keep compression fast.
+      for (size_t i = pos + 1; i + kMinMatch <= pos + len; i += 7) {
+        table[HashFour(base + i)] = static_cast<int64_t>(i);
+      }
+      pos += len;
+      literal_start = pos;
+    } else {
+      ++pos;
+    }
+  }
+  // Trailing literals + end marker (match_len == 0).
+  emit(literal_start, n - literal_start, 0, 0);
+}
+
+Status Compressor::Decompress(const Slice& input, std::string* out,
+                              size_t max_raw_size) {
+  out->clear();
+  const char* p = input.data();
+  const char* limit = p + input.size();
+  uint64_t raw_size = 0;
+  p = GetVarint64(p, limit, &raw_size);
+  if (p == nullptr) return Status::Corruption("bad raw size");
+  if (raw_size > max_raw_size) {
+    return Status::Corruption("decompressed size exceeds limit");
+  }
+  out->reserve(raw_size);
+  for (;;) {
+    uint64_t lit_len = 0;
+    p = GetVarint64(p, limit, &lit_len);
+    if (p == nullptr) return Status::Corruption("truncated literal length");
+    if (static_cast<uint64_t>(limit - p) < lit_len) {
+      return Status::Corruption("truncated literals");
+    }
+    out->append(p, lit_len);
+    p += lit_len;
+    uint64_t match_len = 0;
+    p = GetVarint64(p, limit, &match_len);
+    if (p == nullptr) return Status::Corruption("truncated match length");
+    if (match_len == 0) break;  // end of stream
+    uint64_t offset = 0;
+    p = GetVarint64(p, limit, &offset);
+    if (p == nullptr) return Status::Corruption("truncated match offset");
+    if (offset == 0 || offset > out->size()) {
+      return Status::Corruption("match offset out of range");
+    }
+    if (out->size() + match_len > raw_size) {
+      return Status::Corruption("output overruns declared size");
+    }
+    // Byte-by-byte copy: offsets < match_len legitimately self-overlap
+    // (run-length encoding of repeats).
+    size_t from = out->size() - offset;
+    for (uint64_t i = 0; i < match_len; ++i) out->push_back((*out)[from + i]);
+  }
+  if (out->size() != raw_size) {
+    return Status::Corruption("decompressed size mismatch");
+  }
+  return Status::Ok();
+}
+
+double Compressor::MeasureRatio(const Slice& input) {
+  if (input.empty()) return 1.0;
+  std::string out;
+  Compress(input, &out);
+  return static_cast<double>(out.size()) / static_cast<double>(input.size());
+}
+
+}  // namespace costperf::compression

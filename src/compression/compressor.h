@@ -1,0 +1,43 @@
+#ifndef COSTPERF_COMPRESSION_COMPRESSOR_H_
+#define COSTPERF_COMPRESSION_COMPRESSOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace costperf::compression {
+
+// Byte-oriented LZ compressor for the compressed-secondary-storage (CSS)
+// tier of §7.2 / Fig. 8. Format (all varints LEB128):
+//
+//   [varint raw_size]
+//   repeat:
+//     [varint literal_len][literal bytes]
+//     [varint match_len][varint match_offset]   (match_len 0 ends stream)
+//
+// Matches are found with a 4-byte hash table over a 64 KiB window —
+// LZ4-class speed/ratio, which is what a store would actually run on its
+// cold tier. Decompression cost is the model's `decompress_r` input.
+class Compressor {
+ public:
+  // Appends the compressed form of `input` to *out (out is cleared first).
+  static void Compress(const Slice& input, std::string* out);
+
+  // Decompresses into *out (cleared first). Fails with Corruption on
+  // malformed input; refuses outputs larger than max_raw_size.
+  static Status Decompress(const Slice& input, std::string* out,
+                           size_t max_raw_size = 64 << 20);
+
+  // Convenience: compressed_size / raw_size for this input (1.0 for empty).
+  static double MeasureRatio(const Slice& input);
+
+  static constexpr int kMinMatch = 4;
+  static constexpr int kMaxOffset = 1 << 16;
+  static constexpr int kHashBits = 14;
+};
+
+}  // namespace costperf::compression
+
+#endif  // COSTPERF_COMPRESSION_COMPRESSOR_H_

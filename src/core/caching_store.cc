@@ -1,0 +1,209 @@
+#include "core/caching_store.h"
+
+#include <cstdio>
+
+namespace costperf::core {
+
+CachingStore::CachingStore(CachingStoreOptions options)
+    : options_(options) {
+  if (options_.clock != nullptr) options_.device.clock = options_.clock;
+  storage::SsdDevice* device = options_.external_device;
+  if (device == nullptr) {
+    device_ = std::make_unique<storage::SsdDevice>(options_.device);
+    device = device_.get();
+  }
+  attached_device_ = device;
+  log_ = std::make_unique<llama::LogStructuredStore>(device, options_.log);
+  llama::CacheOptions cache_opts;
+  cache_opts.memory_budget_bytes = options_.memory_budget_bytes == 0
+                                       ? ~0ull
+                                       : options_.memory_budget_bytes;
+  cache_opts.policy = options_.eviction_policy;
+  cache_opts.breakeven_interval_seconds =
+      options_.breakeven_interval_seconds;
+  cache_opts.clock = options_.clock;
+  cache_ = std::make_unique<llama::CacheManager>(cache_opts);
+
+  bwtree::BwTreeOptions tree_opts = options_.tree;
+  tree_opts.log_store = log_.get();
+  tree_opts.cache = cache_.get();
+  tree_ = std::make_unique<bwtree::BwTree>(tree_opts);
+}
+
+CachingStore::~CachingStore() = default;
+
+Status CachingStore::Put(const Slice& key, const Slice& value) {
+  Status s = tree_->Put(key, value);
+  MaybeMaintain();
+  return s;
+}
+
+Result<std::string> CachingStore::Get(const Slice& key) {
+  auto r = tree_->Get(key);
+  MaybeMaintain();
+  return r;
+}
+
+Status CachingStore::Delete(const Slice& key) {
+  Status s = tree_->Delete(key);
+  MaybeMaintain();
+  return s;
+}
+
+Status CachingStore::Scan(
+    const Slice& start, size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  Status s = tree_->Scan(start, limit, out);
+  MaybeMaintain();
+  return s;
+}
+
+void CachingStore::MaybeMaintain() {
+  uint64_t n = op_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (options_.maintenance_interval_ops != 0 &&
+      n % options_.maintenance_interval_ops == 0) {
+    Maintain();
+  }
+}
+
+void CachingStore::EnforceBudget() {
+  // Cost-based policy evicts past-breakeven pages even under budget
+  // (their DRAM rental no longer pays for itself); all policies evict to
+  // budget.
+  uint64_t want = 0;
+  const uint64_t budget = options_.memory_budget_bytes == 0
+                              ? ~0ull
+                              : options_.memory_budget_bytes;
+  uint64_t resident = cache_->resident_bytes();
+  if (resident > budget) want = resident - budget;
+  if (want == 0 &&
+      options_.eviction_policy != llama::EvictionPolicy::kCostBased) {
+    return;
+  }
+  auto victims = cache_->PickVictims(want);
+  for (auto pid : victims) {
+    // CSS tiering: the very coldest victims go to flash compressed — the
+    // Fig. 8 regime where even flash rental is worth shrinking.
+    if (options_.css_idle_interval_seconds > 0 &&
+        cache_->IdleSeconds(pid) > options_.css_idle_interval_seconds) {
+      (void)tree_->FlushPage(pid, bwtree::FlushMode::kCompressedPage);
+    }
+    (void)tree_->EvictPage(pid, options_.evict_mode);
+  }
+}
+
+void CachingStore::Maintain() {
+  EnforceBudget();
+  if (options_.merge_fill_target > 0) {
+    tree_->MergeUnderfullLeaves(options_.merge_fill_target);
+  }
+  if (options_.gc_live_threshold > 0) {
+    log_->CollectColdest(
+        [this](mapping::PageId pid, llama::FlashAddress a) {
+          return tree_->GcIsLive(pid, a);
+        },
+        [this](mapping::PageId pid, llama::FlashAddress o,
+               llama::FlashAddress n) { return tree_->GcInstall(pid, o, n); },
+        options_.gc_live_threshold);
+  }
+  tree_->ReclaimMemory();
+}
+
+Status CachingStore::Checkpoint() {
+  Status s = tree_->FlushAll();
+  if (!s.ok()) return s;
+  return log_->Flush();
+}
+
+Status CachingStore::Recover() { return tree_->RecoverFromStore(); }
+
+Status CachingStore::EvictAll() {
+  Status s = Checkpoint();
+  if (!s.ok()) return s;
+  for (auto pid : tree_->LeafPageIds()) {
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      s = tree_->EvictPage(pid, bwtree::EvictMode::kFullEviction);
+      if (s.ok()) break;
+      if (!s.IsAborted()) return s;
+    }
+  }
+  tree_->ReclaimMemory();
+  return Status::Ok();
+}
+
+Status CachingStore::RunGc(double live_threshold) {
+  auto live = [this](mapping::PageId pid, llama::FlashAddress a) {
+    return tree_->GcIsLive(pid, a);
+  };
+  auto install = [this](mapping::PageId pid, llama::FlashAddress o,
+                        llama::FlashAddress n) {
+    return tree_->GcInstall(pid, o, n);
+  };
+  for (int round = 0; round < 1024; ++round) {
+    // Find the victim the same way CollectColdest does, but prepare the
+    // segment first so multi-record chains are consolidated away.
+    uint64_t victim = UINT64_MAX;
+    double victim_live = 2.0;
+    for (const auto& seg : log_->segments()) {
+      if (!seg.sealed) continue;
+      if (seg.live_fraction() < victim_live) {
+        victim_live = seg.live_fraction();
+        victim = seg.id;
+      }
+    }
+    if (victim == UINT64_MAX || victim_live > live_threshold) {
+      return Status::Ok();
+    }
+    Status s =
+        tree_->PrepareSegmentForGc(victim, log_->options().segment_bytes);
+    if (!s.ok()) return s;
+    auto gc = log_->CollectSegment(victim, live, install);
+    if (!gc.ok()) return gc.status();
+  }
+  return Status::Ok();
+}
+
+uint64_t CachingStore::MemoryFootprintBytes() const {
+  return tree_->MemoryFootprintBytes();
+}
+
+std::string CachingStore::StatsString() const {
+  auto t = tree_->stats();
+  auto d = attached_device_->stats();
+  auto l = log_->stats();
+  auto c = cache_->stats();
+  char buf[1024];
+  snprintf(buf, sizeof(buf),
+           "bwtree: gets=%llu puts=%llu mm=%llu ss=%llu rc_hits=%llu "
+           "blind=%llu loads=%llu consolidations=%llu splits=%llu "
+           "full_flushes=%llu delta_flushes=%llu evictions=%llu/%llu\n"
+           "device: reads=%llu writes=%llu bytes_read=%llu "
+           "bytes_written=%llu occupied=%llu\n"
+           "log: appended=%llu segments=%llu buffer_reads=%llu gc_runs=%llu\n"
+           "cache: resident_bytes=%llu pages=%llu evictions=%llu",
+           (unsigned long long)t.gets, (unsigned long long)t.puts,
+           (unsigned long long)t.mm_ops, (unsigned long long)t.ss_ops,
+           (unsigned long long)t.record_cache_hits,
+           (unsigned long long)t.blind_updates,
+           (unsigned long long)t.page_loads,
+           (unsigned long long)t.consolidations,
+           (unsigned long long)t.leaf_splits,
+           (unsigned long long)t.full_flushes,
+           (unsigned long long)t.delta_flushes,
+           (unsigned long long)t.full_evictions,
+           (unsigned long long)t.record_cache_evictions,
+           (unsigned long long)d.reads, (unsigned long long)d.writes,
+           (unsigned long long)d.bytes_read,
+           (unsigned long long)d.bytes_written,
+           (unsigned long long)d.occupied_bytes,
+           (unsigned long long)l.records_appended,
+           (unsigned long long)l.segments_written,
+           (unsigned long long)l.buffer_reads,
+           (unsigned long long)l.gc_runs,
+           (unsigned long long)c.resident_bytes,
+           (unsigned long long)c.resident_pages,
+           (unsigned long long)c.evictions);
+  return buf;
+}
+
+}  // namespace costperf::core

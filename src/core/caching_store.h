@@ -1,0 +1,98 @@
+#ifndef COSTPERF_CORE_CACHING_STORE_H_
+#define COSTPERF_CORE_CACHING_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "bwtree/bwtree.h"
+#include "core/kv_store.h"
+#include "costmodel/advisor.h"
+#include "llama/cache_manager.h"
+#include "llama/log_store.h"
+#include "storage/device.h"
+
+namespace costperf::core {
+
+struct CachingStoreOptions {
+  // DRAM budget for resident leaf pages. 0 = unbounded (fully cached
+  // Bw-tree, the §5 configuration).
+  uint64_t memory_budget_bytes = 64ull << 20;
+  llama::EvictionPolicy eviction_policy = llama::EvictionPolicy::kLru;
+  // Breakeven interval for the cost-based policy; by default derived
+  // from CostParams::PaperDefaults() via Eq. (6).
+  double breakeven_interval_seconds = 45.0;
+  // What eviction keeps in memory and how dirty pages reach flash.
+  bwtree::EvictMode evict_mode = bwtree::EvictMode::kFullEviction;
+  bwtree::FlushMode flush_mode = bwtree::FlushMode::kFullPage;
+  // CSS tier (§7.2/Fig. 8): pages idle beyond this interval are flushed
+  // *compressed* when evicted — lower media footprint, decompression CPU
+  // on their next (rare) access. 0 disables the compressed tier.
+  double css_idle_interval_seconds = 0;
+  // Run maintenance every N operations.
+  uint32_t maintenance_interval_ops = 256;
+  // GC: collect segments below this live fraction during maintenance.
+  double gc_live_threshold = 0.0;  // 0 disables GC in maintenance
+  // Merge adjacent leaves whose combined payload is below this fraction
+  // of max_page_bytes during maintenance. 0 disables merging.
+  double merge_fill_target = 0.0;
+
+  bwtree::BwTreeOptions tree;        // log_store/cache filled in by us
+  storage::SsdOptions device;
+  llama::LogStoreOptions log;
+  Clock* clock = nullptr;
+  // When set, the store attaches to this device instead of creating its
+  // own — the restart path: reopen over the old media, then Recover().
+  // Not owned; must outlive the store.
+  storage::SsdDevice* external_device = nullptr;
+};
+
+// The paper's data caching system: Bw-tree data component over the LLAMA
+// log-structured cache/storage subsystem over a (simulated) flash SSD.
+class CachingStore : public KvStore {
+ public:
+  explicit CachingStore(CachingStoreOptions options = {});
+  ~CachingStore() override;
+
+  Status Put(const Slice& key, const Slice& value) override;
+  Result<std::string> Get(const Slice& key) override;
+  Status Delete(const Slice& key) override;
+  Status Scan(const Slice& start, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out) override;
+
+  uint64_t MemoryFootprintBytes() const override;
+  std::string StatsString() const override;
+  void Maintain() override;
+
+  // Forces everything dirty to flash and the write buffer to the device.
+  Status Checkpoint();
+  // Rebuilds the tree from the attached device's log after a restart
+  // (discards in-memory state; see BwTree::RecoverFromStore).
+  Status Recover();
+  // Evicts every leaf page (cold-cache state for miss-rate experiments).
+  Status EvictAll();
+  // Runs log-structure GC until no segment is below the live threshold.
+  Status RunGc(double live_threshold);
+
+  // Component access for benches and tests.
+  bwtree::BwTree* tree() { return tree_.get(); }
+  storage::SsdDevice* device() { return attached_device_; }
+  llama::LogStructuredStore* log_store() { return log_.get(); }
+  llama::CacheManager* cache() { return cache_.get(); }
+  const CachingStoreOptions& options() const { return options_; }
+
+ private:
+  void MaybeMaintain();
+  void EnforceBudget();
+
+  CachingStoreOptions options_;
+  std::unique_ptr<storage::SsdDevice> device_;  // null when external
+  storage::SsdDevice* attached_device_ = nullptr;
+  std::unique_ptr<llama::LogStructuredStore> log_;
+  std::unique_ptr<llama::CacheManager> cache_;
+  std::unique_ptr<bwtree::BwTree> tree_;
+  std::atomic<uint64_t> op_counter_{0};
+};
+
+}  // namespace costperf::core
+
+#endif  // COSTPERF_CORE_CACHING_STORE_H_

@@ -1,0 +1,77 @@
+#ifndef COSTPERF_CORE_CURSOR_H_
+#define COSTPERF_CORE_CURSOR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/kv_store.h"
+
+namespace costperf::core {
+
+// Forward iteration over any KvStore, implemented as batched range scans
+// so it works identically over the caching store (paging in leaves as it
+// goes) and the memory store. Snapshot semantics are per batch: records
+// inserted behind the cursor are not revisited, records ahead may or may
+// not appear — the usual contract of cursors over live stores.
+class Cursor {
+ public:
+  // Starts positioned at the first key >= start.
+  explicit Cursor(KvStore* store, const Slice& start = Slice(),
+                  size_t batch_size = 128)
+      : store_(store), batch_size_(batch_size ? batch_size : 1) {
+    next_start_ = start.ToString();
+    Refill();
+  }
+
+  bool Valid() const { return pos_ < batch_.size(); }
+  const std::string& key() const { return batch_[pos_].first; }
+  const std::string& value() const { return batch_[pos_].second; }
+
+  void Next() {
+    if (!Valid()) return;
+    ++pos_;
+    if (pos_ >= batch_.size() && !exhausted_) Refill();
+  }
+
+  // Repositions at the first key >= target.
+  void Seek(const Slice& target) {
+    next_start_ = target.ToString();
+    exhausted_ = false;
+    Refill();
+  }
+
+  // Status of the last scan (IoError etc. surface here).
+  const Status& status() const { return status_; }
+
+ private:
+  void Refill() {
+    batch_.clear();
+    pos_ = 0;
+    if (exhausted_) return;
+    status_ = store_->Scan(Slice(next_start_), batch_size_, &batch_);
+    if (!status_.ok() || batch_.empty()) {
+      exhausted_ = true;
+      batch_.clear();
+      return;
+    }
+    if (batch_.size() < batch_size_) {
+      exhausted_ = true;
+    } else {
+      // Continue strictly after the last key of this batch.
+      next_start_ = batch_.back().first + '\0';
+    }
+  }
+
+  KvStore* store_;
+  size_t batch_size_;
+  std::vector<std::pair<std::string, std::string>> batch_;
+  size_t pos_ = 0;
+  std::string next_start_;
+  bool exhausted_ = false;
+  Status status_;
+};
+
+}  // namespace costperf::core
+
+#endif  // COSTPERF_CORE_CURSOR_H_

@@ -1,0 +1,43 @@
+#ifndef COSTPERF_CORE_KV_STORE_H_
+#define COSTPERF_CORE_KV_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace costperf::core {
+
+// The library's public key-value abstraction. Implemented by
+// CachingStore (Bw-tree over LLAMA over the simulated SSD — the paper's
+// data caching system) and MemoryStore (MassTree — the paper's main
+// memory system). Workload generators and benches target this interface
+// so the two systems run identical workloads.
+class KvStore {
+ public:
+  virtual ~KvStore() = default;
+
+  virtual Status Put(const Slice& key, const Slice& value) = 0;
+  virtual Result<std::string> Get(const Slice& key) = 0;
+  virtual Status Delete(const Slice& key) = 0;
+  virtual Status Scan(
+      const Slice& start, size_t limit,
+      std::vector<std::pair<std::string, std::string>>* out) = 0;
+
+  // Resident DRAM footprint of the store (data + index + bookkeeping).
+  virtual uint64_t MemoryFootprintBytes() const = 0;
+
+  // Human-readable counters for reports.
+  virtual std::string StatsString() const = 0;
+
+  // Gives the store a chance to run maintenance (eviction, GC, epoch
+  // reclamation). Called periodically by workload runners.
+  virtual void Maintain() {}
+};
+
+}  // namespace costperf::core
+
+#endif  // COSTPERF_CORE_KV_STORE_H_

@@ -1,0 +1,24 @@
+#include "core/memory_store.h"
+
+#include <cstdio>
+
+namespace costperf::core {
+
+std::string MemoryStore::StatsString() const {
+  auto s = tree_->stats();
+  char buf[512];
+  snprintf(buf, sizeof(buf),
+           "masstree: gets=%llu puts=%llu deletes=%llu retries=%llu "
+           "border_splits=%llu interior_splits=%llu layers=%llu size=%llu "
+           "footprint=%llu",
+           (unsigned long long)s.gets, (unsigned long long)s.puts,
+           (unsigned long long)s.deletes, (unsigned long long)s.read_retries,
+           (unsigned long long)s.border_splits,
+           (unsigned long long)s.interior_splits,
+           (unsigned long long)s.layers_created,
+           (unsigned long long)tree_->size(),
+           (unsigned long long)tree_->MemoryFootprintBytes());
+  return buf;
+}
+
+}  // namespace costperf::core

@@ -1,0 +1,47 @@
+#ifndef COSTPERF_CORE_MEMORY_STORE_H_
+#define COSTPERF_CORE_MEMORY_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "core/kv_store.h"
+#include "masstree/masstree.h"
+
+namespace costperf::core {
+
+// The paper's main-memory system: a MassTree with all data permanently
+// resident. Higher per-op performance (P_x) bought with a larger memory
+// footprint (M_x).
+class MemoryStore : public KvStore {
+ public:
+  MemoryStore() : tree_(std::make_unique<masstree::MassTree>()) {}
+
+  Status Put(const Slice& key, const Slice& value) override {
+    return tree_->Put(key, value);
+  }
+  Result<std::string> Get(const Slice& key) override {
+    return tree_->Get(key);
+  }
+  Status Delete(const Slice& key) override { return tree_->Delete(key); }
+  Status Scan(const Slice& start, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out)
+      override {
+    return tree_->Scan(start, limit, out);
+  }
+
+  uint64_t MemoryFootprintBytes() const override {
+    return tree_->MemoryFootprintBytes();
+  }
+
+  std::string StatsString() const override;
+  void Maintain() override { tree_->ReclaimMemory(); }
+
+  masstree::MassTree* tree() { return tree_.get(); }
+
+ private:
+  std::unique_ptr<masstree::MassTree> tree_;
+};
+
+}  // namespace costperf::core
+
+#endif  // COSTPERF_CORE_MEMORY_STORE_H_

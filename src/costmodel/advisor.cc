@@ -1,0 +1,68 @@
+#include "costmodel/advisor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "costmodel/five_minute_rule.h"
+
+namespace costperf::costmodel {
+
+CostAdvisor::CostAdvisor(CostParams params)
+    : params_(params),
+      breakeven_interval_(BreakevenIntervalSeconds(params_)) {}
+
+CostAdvisor::CostAdvisor(CostParams params, CompressionParams compression)
+    : params_(params),
+      compression_(compression),
+      breakeven_interval_(BreakevenIntervalSeconds(params_)) {}
+
+Advice CostAdvisor::AdviseForRate(double ops_per_sec) const {
+  Advice a;
+  a.mm_cost = MmCost(ops_per_sec, params_).total();
+  a.ss_cost = SsCost(ops_per_sec, params_).total();
+  double best = std::min(a.mm_cost, a.ss_cost);
+  double worst = std::max(a.mm_cost, a.ss_cost);
+  a.tier = a.mm_cost <= a.ss_cost ? Tier::kMainMemory
+                                  : Tier::kSecondaryStorage;
+  if (compression_.has_value()) {
+    double css = CssCost(ops_per_sec, params_, *compression_).total();
+    a.css_cost = css;
+    if (css < best) {
+      best = css;
+      a.tier = Tier::kCompressedSecondary;
+    }
+    worst = std::max(worst, css);
+  }
+  a.savings_vs_worst = worst - best;
+  return a;
+}
+
+Advice CostAdvisor::AdviseForInterval(double interval_seconds) const {
+  // A page never accessed belongs on the cheapest storage.
+  double rate = interval_seconds > 0 ? 1.0 / interval_seconds : 1e12;
+  return AdviseForRate(rate);
+}
+
+bool CostAdvisor::ShouldEvict(double idle_seconds) const {
+  return idle_seconds > breakeven_interval_;
+}
+
+std::string CostAdvisor::DescribeRegimes() const {
+  char buf[512];
+  double n_star = MmSsBreakevenOpsPerSec(params_);
+  if (compression_.has_value()) {
+    double css_ss = CssSsBreakevenOpsPerSec(params_, *compression_);
+    snprintf(buf, sizeof(buf),
+             "CSS cheapest below %.3g ops/sec; SS cheapest in [%.3g, %.3g) "
+             "ops/sec; MM cheapest above %.3g ops/sec (T_i = %.1f s)",
+             css_ss, css_ss, n_star, n_star, breakeven_interval_);
+  } else {
+    snprintf(buf, sizeof(buf),
+             "SS cheapest below %.3g ops/sec; MM cheapest above %.3g "
+             "ops/sec (T_i = %.1f s)",
+             n_star, n_star, breakeven_interval_);
+  }
+  return buf;
+}
+
+}  // namespace costperf::costmodel

@@ -1,0 +1,57 @@
+#ifndef COSTPERF_COSTMODEL_ADVISOR_H_
+#define COSTPERF_COSTMODEL_ADVISOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "costmodel/cost_params.h"
+#include "costmodel/operation_cost.h"
+
+namespace costperf::costmodel {
+
+// Placement advice for one page/record given its observed access pattern.
+struct Advice {
+  Tier tier = Tier::kMainMemory;
+  double mm_cost = 0;   // $/lifetime at the observed rate
+  double ss_cost = 0;
+  std::optional<double> css_cost;  // set when compression enabled
+  double savings_vs_worst = 0;     // best-vs-worst total cost delta
+};
+
+// The paper's analysis packaged as a decision component (§4.2: "A data
+// caching system can use the breakeven point for guidance in choosing the
+// lower cost operation"). The LLAMA cache manager's cost-based eviction
+// policy and the cost_advisor example are both built on this.
+class CostAdvisor {
+ public:
+  explicit CostAdvisor(CostParams params);
+  CostAdvisor(CostParams params, CompressionParams compression);
+
+  // Advice for a page accessed every `interval_seconds` on average.
+  Advice AdviseForInterval(double interval_seconds) const;
+  // Advice for a page accessed `ops_per_sec` times per second.
+  Advice AdviseForRate(double ops_per_sec) const;
+
+  // True if a page last touched `idle_seconds` ago should be evicted under
+  // the updated five-minute rule (idle time exceeds breakeven T_i).
+  bool ShouldEvict(double idle_seconds) const;
+
+  // The MM/SS breakeven interval this advisor operates with.
+  double breakeven_interval_seconds() const { return breakeven_interval_; }
+
+  const CostParams& params() const { return params_; }
+  bool compression_enabled() const { return compression_.has_value(); }
+
+  // Human-readable multi-line summary of the regime boundaries.
+  std::string DescribeRegimes() const;
+
+ private:
+  CostParams params_;
+  std::optional<CompressionParams> compression_;
+  double breakeven_interval_;
+};
+
+}  // namespace costperf::costmodel
+
+#endif  // COSTPERF_COSTMODEL_ADVISOR_H_

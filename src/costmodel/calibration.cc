@@ -1,0 +1,69 @@
+#include "costmodel/calibration.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/clock.h"
+
+namespace costperf::costmodel {
+
+double MeasureRops(const std::function<void()>& op, uint64_t iterations) {
+  if (iterations == 0) return 0;
+  const uint64_t start = ThreadCpuNanos();
+  for (uint64_t i = 0; i < iterations; ++i) op();
+  const uint64_t end = ThreadCpuNanos();
+  const double secs = static_cast<double>(end - start) * 1e-9;
+  return secs > 0 ? static_cast<double>(iterations) / secs : 0;
+}
+
+CalibrationReport DeriveRFromObservations(
+    double p0, const std::vector<MixedObservation>& observations) {
+  CalibrationReport rep;
+  rep.p0 = p0;
+  rep.observations = observations;
+  rep.r = FitR(p0, observations);
+  rep.r_min = rep.r_max = rep.r;
+  bool first = true;
+  for (const auto& ob : observations) {
+    if (ob.f <= 0 || ob.pf <= 0) continue;
+    double r = DeriveR(p0, ob.pf, ob.f);
+    if (first) {
+      rep.r_min = rep.r_max = r;
+      first = false;
+    } else {
+      rep.r_min = std::min(rep.r_min, r);
+      rep.r_max = std::max(rep.r_max, r);
+    }
+  }
+  return rep;
+}
+
+CostParams ApplyCalibration(const CostParams& base,
+                            const CalibrationReport& report) {
+  CostParams p = base;
+  if (report.rops > 0) p.rops = report.rops;
+  if (report.iops > 0) p.iops = report.iops;
+  if (report.r > 0) p.r = report.r;
+  return p;
+}
+
+std::string CalibrationReport::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "rops=%.3g iops=%.3g R=%.2f (range %.2f..%.2f) p0=%.3g over %zu "
+           "observations",
+           rops, iops, r, r_min, r_max, p0, observations.size());
+  return buf;
+}
+
+std::string CostParams::ToString() const {
+  char buf[320];
+  snprintf(buf, sizeof(buf),
+           "$M=%.3g/B $Fl=%.3g/B $P=$%.0f $I=$%.0f ROPS=%.3g IOPS=%.3g "
+           "R=%.2f Ps=%.0fB",
+           dram_cost_per_byte, flash_cost_per_byte, processor_cost,
+           ssd_io_capability_cost, rops, iops, r, page_size_bytes);
+  return buf;
+}
+
+}  // namespace costperf::costmodel

@@ -1,0 +1,44 @@
+#ifndef COSTPERF_COSTMODEL_CALIBRATION_H_
+#define COSTPERF_COSTMODEL_CALIBRATION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "costmodel/cost_params.h"
+#include "costmodel/mixed_workload.h"
+
+namespace costperf::costmodel {
+
+// Translates running-system measurements into CostParams inputs, so the
+// model's R / ROPS / IOPS come from our substrate the same way the paper's
+// came from its experiments.
+
+struct CalibrationReport {
+  double rops = 0;          // measured MM ops/sec (one thread)
+  double iops = 0;          // measured device IOPS capability
+  double r = 0;             // fitted SS/MM execution ratio
+  double r_min = 0;         // min per-point R across observations
+  double r_max = 0;         // max per-point R across observations
+  std::vector<MixedObservation> observations;
+  double p0 = 0;            // all-cached ops/sec used for R derivation
+
+  std::string ToString() const;
+};
+
+// Measures MM ops/sec by timing `op` (which must perform exactly one MM
+// operation per call) with thread-CPU time over `iterations` calls.
+double MeasureRops(const std::function<void()>& op, uint64_t iterations);
+
+// Derives R from observations via Eq. (3) per point and a least-squares
+// fit overall (paper §2.2: "R was 5.8 ± 30% over most of the range").
+CalibrationReport DeriveRFromObservations(
+    double p0, const std::vector<MixedObservation>& observations);
+
+// Applies a report onto params (rops/iops/r), returning the updated copy.
+CostParams ApplyCalibration(const CostParams& base,
+                            const CalibrationReport& report);
+
+}  // namespace costperf::costmodel
+
+#endif  // COSTPERF_COSTMODEL_CALIBRATION_H_

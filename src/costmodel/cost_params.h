@@ -1,0 +1,50 @@
+#ifndef COSTPERF_COSTMODEL_COST_PARAMS_H_
+#define COSTPERF_COSTMODEL_COST_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace costperf::costmodel {
+
+// Infrastructure prices and measured performance quantities that feed the
+// cost model (paper §3.1, §4.1).
+//
+// All "$" quantities are dollars; the common lifetime divisor L cancels in
+// every comparison the model makes, exactly as in the paper, so costs are
+// reported in dollars amortized over a lifetime (relative values are the
+// meaningful output).
+struct CostParams {
+  // --- prices ---
+  double dram_cost_per_byte = 5e-9;     // $M  ($5/GB)
+  double flash_cost_per_byte = 0.5e-9;  // $Fl ($0.5/GB)
+  double processor_cost = 300.0;        // $P  (one core's share)
+  double ssd_io_capability_cost = 50.0; // $I  (SSD price minus flash price)
+
+  // --- measured rates ---
+  double rops = 4e6;    // MM operations/sec a core sustains (paper 4-core)
+  double iops = 2e5;    // device max I/O operations/sec
+  double r = 5.8;       // SS/MM CPU execution-time ratio (Eq. 3)
+
+  // --- data layout ---
+  double page_size_bytes = 2.7e3;  // average page footprint P_s (§4.1)
+
+  // Paper §4.1 constants. (These are also the field defaults; the named
+  // constructor documents provenance at call sites.)
+  static CostParams PaperDefaults() { return CostParams{}; }
+
+  std::string ToString() const;
+};
+
+// Parameters of the compressed secondary-storage tier (paper §7.2, Fig. 8).
+struct CompressionParams {
+  // Compressed bytes / raw bytes, in (0, 1].
+  double compression_ratio = 0.5;
+  // Extra CPU per operation for decompression, expressed as a multiple of
+  // an MM operation's execution time (so the CSS execution ratio becomes
+  // r + decompress_r).
+  double decompress_r = 3.0;
+};
+
+}  // namespace costperf::costmodel
+
+#endif  // COSTPERF_COSTMODEL_COST_PARAMS_H_

@@ -1,0 +1,49 @@
+#include "costmodel/five_minute_rule.h"
+
+#include <limits>
+
+namespace costperf::costmodel {
+
+double BreakevenIntervalSeconds(const CostParams& p) {
+  return (1.0 / (p.dram_cost_per_byte * p.page_size_bytes)) *
+         (p.ssd_io_capability_cost / p.iops +
+          (p.r - 1.0) * p.processor_cost / p.rops);
+}
+
+double BreakevenOpsPerSec(const CostParams& p) {
+  return 1.0 / BreakevenIntervalSeconds(p);
+}
+
+double RecordBreakevenIntervalSeconds(const CostParams& p,
+                                      double record_size_bytes) {
+  CostParams rp = p;
+  rp.page_size_bytes = record_size_bytes;
+  return BreakevenIntervalSeconds(rp);
+}
+
+double ClassicBreakevenIntervalSeconds(const CostParams& p) {
+  return (1.0 / (p.dram_cost_per_byte * p.page_size_bytes)) *
+         (p.ssd_io_capability_cost / p.iops);
+}
+
+double MmSsBreakevenOpsPerSec(const CostParams& p) {
+  return BreakevenOpsPerSec(p);
+}
+
+double CssSsBreakevenOpsPerSec(const CostParams& p,
+                               const CompressionParams& c) {
+  // SS:  P_s*$Fl            + N * ($I/IOPS + R*$P/ROPS)
+  // CSS: P_s*ratio*$Fl      + N * ($I/IOPS + (R+dr)*$P/ROPS)
+  // CSS is cheaper when N < storage_saving / extra_exec_per_op.
+  const double storage_saving =
+      p.page_size_bytes * (1.0 - c.compression_ratio) * p.flash_cost_per_byte;
+  const double extra_exec_per_op =
+      c.decompress_r * p.processor_cost / p.rops;
+  if (extra_exec_per_op <= 0) {
+    return storage_saving > 0 ? std::numeric_limits<double>::infinity() : 0.0;
+  }
+  if (storage_saving <= 0) return 0.0;
+  return storage_saving / extra_exec_per_op;
+}
+
+}  // namespace costperf::costmodel

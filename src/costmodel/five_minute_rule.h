@@ -1,0 +1,50 @@
+#ifndef COSTPERF_COSTMODEL_FIVE_MINUTE_RULE_H_
+#define COSTPERF_COSTMODEL_FIVE_MINUTE_RULE_H_
+
+#include "costmodel/cost_params.h"
+
+namespace costperf::costmodel {
+
+// The paper's updated five-minute rule (§4.2, Equation (6)).
+//
+// Setting Eq. (4) equal to Eq. (5) and solving for the inter-access
+// interval T_i = 1/N:
+//
+//   T_i = (1 / ($M * P_s)) * [ $I/IOPS + (R-1) * $P/ROPS ]
+//
+// Pages accessed more often than once per T_i are cheaper in main memory;
+// pages accessed less often are cheaper evicted to flash. The paper
+// evaluates this at its §4.1 constants to T_i ≈ 45 seconds.
+
+// Breakeven inter-access interval in seconds (Eq. 6).
+double BreakevenIntervalSeconds(const CostParams& p);
+
+// Breakeven rate N = 1/T_i in accesses/sec.
+double BreakevenOpsPerSec(const CostParams& p);
+
+// Record-granularity variant (§6.3): the same rule with the record's
+// footprint in place of the page size. With 10 records per page the
+// breakeven interval grows ~10x, widening the range where caching the
+// record is the cheapest choice.
+double RecordBreakevenIntervalSeconds(const CostParams& p,
+                                      double record_size_bytes);
+
+// Gray's classic formulation for reference: only the I/O-vs-memory storage
+// trade, i.e. Eq. (6) without the (R-1)*$P/ROPS CPU-path term. The gap
+// between the two is the paper's "additional cost" insight — as SSD IOPS
+// get cheap, the CPU cost of executing the I/O dominates the breakeven.
+double ClassicBreakevenIntervalSeconds(const CostParams& p);
+
+// Breakeven between SS and the compressed tier (Fig. 8's left crossover):
+// the access rate below which CSS (smaller storage, more CPU) is cheaper
+// than plain SS. Returns +inf if CSS is never cheaper, 0 if always.
+double CssSsBreakevenOpsPerSec(const CostParams& p,
+                               const CompressionParams& c);
+
+// Breakeven rate between MM and SS (the Fig. 2 crossover; equals
+// BreakevenOpsPerSec but named for symmetry with the CSS variant).
+double MmSsBreakevenOpsPerSec(const CostParams& p);
+
+}  // namespace costperf::costmodel
+
+#endif  // COSTPERF_COSTMODEL_FIVE_MINUTE_RULE_H_

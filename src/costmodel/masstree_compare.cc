@@ -1,0 +1,31 @@
+#include "costmodel/masstree_compare.h"
+
+namespace costperf::costmodel {
+
+double BwTreeCostPerOp(double t_i_seconds, const SystemComparison& sys,
+                       const CostParams& p) {
+  return t_i_seconds * sys.database_bytes * p.dram_cost_per_byte +
+         p.processor_cost / p.rops;
+}
+
+double MassTreeCostPerOp(double t_i_seconds, const SystemComparison& sys,
+                         const CostParams& p) {
+  return t_i_seconds * sys.mx * sys.database_bytes * p.dram_cost_per_byte +
+         p.processor_cost / (sys.px * p.rops);
+}
+
+double CrossoverCoefficient(const SystemComparison& sys, const CostParams& p) {
+  return (p.processor_cost / p.rops) * (1.0 / p.dram_cost_per_byte) *
+         (sys.px - 1.0) / (sys.px * (sys.mx - 1.0));
+}
+
+double CrossoverIntervalSeconds(const SystemComparison& sys,
+                                const CostParams& p) {
+  return CrossoverCoefficient(sys, p) / sys.database_bytes;
+}
+
+double CrossoverOpsPerSec(const SystemComparison& sys, const CostParams& p) {
+  return 1.0 / CrossoverIntervalSeconds(sys, p);
+}
+
+}  // namespace costperf::costmodel

@@ -1,0 +1,50 @@
+#ifndef COSTPERF_COSTMODEL_MASSTREE_COMPARE_H_
+#define COSTPERF_COSTMODEL_MASSTREE_COMPARE_H_
+
+#include "costmodel/cost_params.h"
+
+namespace costperf::costmodel {
+
+// Paper §5: cost comparison between the Bw-tree (data caching system,
+// fully cached) and MassTree (main-memory system) — Equations (7), (8)
+// and Figure 3.
+//
+// Because this is not a paging comparison, the footprint is the *whole
+// database* S rather than a page, and both systems keep everything in
+// DRAM. MassTree trades space for time:
+//   P_x : MassTree throughput / Bw-tree throughput (> 1)
+//   M_x : MassTree memory footprint / Bw-tree footprint (> 1)
+
+// Inputs measured from the two systems.
+struct SystemComparison {
+  double px = 2.6;  // paper's measured execution gain
+  double mx = 2.1;  // paper's measured memory expansion
+  double database_bytes = 6.1e9;  // Bw-tree footprint in the experiment
+};
+
+// Cost per operation, at inter-access interval t_i over the whole DB, for
+// the Bw-tree:  $DM = T_i * S * $M + $P/ROPS.
+double BwTreeCostPerOp(double t_i_seconds, const SystemComparison& sys,
+                       const CostParams& p);
+
+// MassTree:     $MTM = T_i * M_x * S * $M + $P/(P_x*ROPS).
+double MassTreeCostPerOp(double t_i_seconds, const SystemComparison& sys,
+                         const CostParams& p);
+
+// Equation (7): the breakeven inter-access interval
+//   T_i = (1/S) * [($P/ROPS) * (1/$M)] * (P_x - 1)/(P_x * (M_x - 1)).
+// Below this interval (hotter than breakeven) MassTree is cheaper; above
+// it the Bw-tree's smaller footprint wins.
+double CrossoverIntervalSeconds(const SystemComparison& sys,
+                                const CostParams& p);
+
+// The access rate (ops/sec over the DB) above which MassTree is cheaper.
+double CrossoverOpsPerSec(const SystemComparison& sys, const CostParams& p);
+
+// Equation (8)'s size-independent coefficient: T_i * S, in byte-seconds.
+// With the paper's constants this is ≈ 8.3e3.
+double CrossoverCoefficient(const SystemComparison& sys, const CostParams& p);
+
+}  // namespace costperf::costmodel
+
+#endif  // COSTPERF_COSTMODEL_MASSTREE_COMPARE_H_

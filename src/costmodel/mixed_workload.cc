@@ -1,0 +1,53 @@
+#include "costmodel/mixed_workload.h"
+
+#include <cassert>
+
+namespace costperf::costmodel {
+
+double MixedExecTimePerOp(double p0, double f, double r) {
+  assert(p0 > 0);
+  return (1.0 - f) * (1.0 / p0) + f * r * (1.0 / p0);
+}
+
+double MixedThroughput(double p0, double f, double r) {
+  return p0 / ((1.0 - f) + f * r);
+}
+
+double RelativeThroughput(double f, double r) {
+  return 1.0 / ((1.0 - f) + f * r);
+}
+
+double DeriveR(double p0, double pf, double f) {
+  assert(f > 0);
+  return 1.0 + (1.0 / f) * (p0 / pf - 1.0);
+}
+
+double FitR(double p0, const std::vector<MixedObservation>& observations) {
+  // In the 1/PF domain Eq. (1) reads: 1/PF = (1/P0) + (F/P0)*(R-1).
+  // Least squares for (R-1) with predictor x = F/P0 and response
+  // y = 1/PF - 1/P0:  R-1 = sum(x*y)/sum(x*x).
+  double sxy = 0, sxx = 0;
+  for (const auto& ob : observations) {
+    if (ob.f <= 0 || ob.pf <= 0) continue;
+    double x = ob.f / p0;
+    double y = 1.0 / ob.pf - 1.0 / p0;
+    sxy += x * y;
+    sxx += x * x;
+  }
+  if (sxx == 0) return 1.0;
+  return 1.0 + sxy / sxx;
+}
+
+std::vector<double> RelativeThroughputCurve(double r, int points) {
+  std::vector<double> curve;
+  curve.reserve(points);
+  for (int i = 0; i < points; ++i) {
+    double f = points == 1 ? 0.0
+                           : static_cast<double>(i) /
+                                 static_cast<double>(points - 1);
+    curve.push_back(RelativeThroughput(f, r));
+  }
+  return curve;
+}
+
+}  // namespace costperf::costmodel

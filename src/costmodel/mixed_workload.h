@@ -1,0 +1,48 @@
+#ifndef COSTPERF_COSTMODEL_MIXED_WORKLOAD_H_
+#define COSTPERF_COSTMODEL_MIXED_WORKLOAD_H_
+
+#include <vector>
+
+namespace costperf::costmodel {
+
+// The paper's §2.2 model of a mixed workload of MM (in-cache) and SS
+// (cache-miss) operations.
+//
+//   F  : fraction of operations that are SS (the cache miss ratio)
+//   R  : CPU execution time of one SS op / one MM op
+//   P0 : ops/sec when every operation is MM
+//   PF : ops/sec at miss fraction F
+
+// Equation (1): weighted per-op execution time, 1/PF, in seconds.
+double MixedExecTimePerOp(double p0, double f, double r);
+
+// Equation (2): PF = P0 / ((1-F) + F*R).
+double MixedThroughput(double p0, double f, double r);
+
+// Equation (2) normalized: PF/P0, independent of P0. This is the y-axis of
+// Figure 1.
+double RelativeThroughput(double f, double r);
+
+// Equation (3): derive R from an observed (F, PF) point and the all-cached
+// throughput P0. Requires f > 0.
+double DeriveR(double p0, double pf, double f);
+
+// One observed mixed-workload point.
+struct MixedObservation {
+  double f;   // SS fraction
+  double pf;  // ops/sec at that fraction
+};
+
+// Fits a single R to a set of observations by minimizing squared error of
+// Eq. (2) in the 1/PF domain (which is linear in R, so the fit is closed
+// form). Observations with f == 0 contribute to p0 handling only and are
+// ignored here; pass the measured p0 explicitly.
+double FitR(double p0, const std::vector<MixedObservation>& observations);
+
+// Samples the Figure-1 curve: relative throughput at `points` evenly
+// spaced miss fractions in [0, 1].
+std::vector<double> RelativeThroughputCurve(double r, int points);
+
+}  // namespace costperf::costmodel
+
+#endif  // COSTPERF_COSTMODEL_MIXED_WORKLOAD_H_

@@ -1,0 +1,59 @@
+#include "costmodel/operation_cost.h"
+
+namespace costperf::costmodel {
+
+CostBreakdown MmCost(double ops_per_sec, const CostParams& p) {
+  CostBreakdown b;
+  // DRAM rental plus the durable flash copy.
+  b.storage = p.page_size_bytes * (p.dram_cost_per_byte + p.flash_cost_per_byte);
+  b.execution = ops_per_sec * (p.processor_cost / p.rops);
+  return b;
+}
+
+CostBreakdown SsCost(double ops_per_sec, const CostParams& p) {
+  CostBreakdown b;
+  b.storage = p.page_size_bytes * p.flash_cost_per_byte;
+  b.execution = ops_per_sec * (p.ssd_io_capability_cost / p.iops +
+                               p.r * (p.processor_cost / p.rops));
+  return b;
+}
+
+CostBreakdown CssCost(double ops_per_sec, const CostParams& p,
+                      const CompressionParams& c) {
+  CostBreakdown b;
+  b.storage = p.page_size_bytes * c.compression_ratio * p.flash_cost_per_byte;
+  b.execution =
+      ops_per_sec * (p.ssd_io_capability_cost / p.iops +
+                     (p.r + c.decompress_r) * (p.processor_cost / p.rops));
+  return b;
+}
+
+std::string TierName(Tier t) {
+  switch (t) {
+    case Tier::kMainMemory:
+      return "MM";
+    case Tier::kSecondaryStorage:
+      return "SS";
+    case Tier::kCompressedSecondary:
+      return "CSS";
+  }
+  return "?";
+}
+
+Tier CheapestTier(double ops_per_sec, const CostParams& p) {
+  return MmCost(ops_per_sec, p).total() <= SsCost(ops_per_sec, p).total()
+             ? Tier::kMainMemory
+             : Tier::kSecondaryStorage;
+}
+
+Tier CheapestTier(double ops_per_sec, const CostParams& p,
+                  const CompressionParams& c) {
+  const double mm = MmCost(ops_per_sec, p).total();
+  const double ss = SsCost(ops_per_sec, p).total();
+  const double css = CssCost(ops_per_sec, p, c).total();
+  if (mm <= ss && mm <= css) return Tier::kMainMemory;
+  if (ss <= css) return Tier::kSecondaryStorage;
+  return Tier::kCompressedSecondary;
+}
+
+}  // namespace costperf::costmodel

@@ -1,0 +1,48 @@
+#ifndef COSTPERF_COSTMODEL_OPERATION_COST_H_
+#define COSTPERF_COSTMODEL_OPERATION_COST_H_
+
+#include <string>
+
+#include "costmodel/cost_params.h"
+
+namespace costperf::costmodel {
+
+// Cost-per-second of keeping one page and operating on it at a given rate
+// (paper §3.2, Equations (4) and (5); Fig. 8 adds the compressed tier).
+// Costs carry the paper's implicit 1/L lifetime factor, which cancels in
+// all comparisons.
+
+// Decomposed cost so benches can print storage vs execution contributions.
+struct CostBreakdown {
+  double storage = 0;    // $/lifetime for media rental
+  double execution = 0;  // $/lifetime for CPU (+ SSD I/O capability)
+  double total() const { return storage + execution; }
+};
+
+// Equation (4): MM operation. Page lives in DRAM *and* on flash (for
+// durability); execution is one MM op on the processor, N times a second.
+CostBreakdown MmCost(double ops_per_sec, const CostParams& p);
+
+// Equation (5): SS operation. Page lives only on flash; execution charges
+// R processor-op times plus one SSD I/O per operation.
+CostBreakdown SsCost(double ops_per_sec, const CostParams& p);
+
+// Fig. 8 CSS operation: page lives compressed on flash (smaller storage),
+// execution charges R + decompress_r processor-op times plus one I/O.
+CostBreakdown CssCost(double ops_per_sec, const CostParams& p,
+                      const CompressionParams& c);
+
+// The operation tiers the model can place a page in.
+enum class Tier { kMainMemory, kSecondaryStorage, kCompressedSecondary };
+
+std::string TierName(Tier t);
+
+// Cheapest tier for a page accessed ops_per_sec times a second. Without
+// compression params, chooses between MM and SS only.
+Tier CheapestTier(double ops_per_sec, const CostParams& p);
+Tier CheapestTier(double ops_per_sec, const CostParams& p,
+                  const CompressionParams& c);
+
+}  // namespace costperf::costmodel
+
+#endif  // COSTPERF_COSTMODEL_OPERATION_COST_H_

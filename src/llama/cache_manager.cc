@@ -1,0 +1,181 @@
+#include "llama/cache_manager.h"
+
+namespace costperf::llama {
+
+std::string EvictionPolicyName(EvictionPolicy p) {
+  switch (p) {
+    case EvictionPolicy::kLru:
+      return "lru";
+    case EvictionPolicy::kSecondChance:
+      return "second-chance";
+    case EvictionPolicy::kCostBased:
+      return "cost-based";
+  }
+  return "?";
+}
+
+CacheManager::CacheManager(CacheOptions options)
+    : options_(options),
+      clock_(options.clock ? options.clock : RealClock::Global()) {}
+
+void CacheManager::Insert(mapping::PageId pid, uint64_t bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(pid);
+  if (it != entries_.end()) {
+    // Re-insert of a resident page: treat as resize + touch.
+    resident_bytes_ += bytes - it->second.bytes;
+    it->second.bytes = bytes;
+    it->second.last_access_nanos = clock_->NowNanos();
+    it->second.referenced = true;
+    lru_.splice(lru_.end(), lru_, it->second.lru_pos);
+    return;
+  }
+  Entry e;
+  e.bytes = bytes;
+  e.last_access_nanos = clock_->NowNanos();
+  e.referenced = true;
+  lru_.push_back(pid);
+  e.lru_pos = std::prev(lru_.end());
+  entries_.emplace(pid, e);
+  resident_bytes_ += bytes;
+  stats_.insertions++;
+}
+
+void CacheManager::Touch(mapping::PageId pid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(pid);
+  if (it == entries_.end()) return;
+  it->second.last_access_nanos = clock_->NowNanos();
+  it->second.referenced = true;
+  lru_.splice(lru_.end(), lru_, it->second.lru_pos);
+  stats_.touches++;
+}
+
+void CacheManager::Resize(mapping::PageId pid, uint64_t new_bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(pid);
+  if (it == entries_.end()) return;
+  resident_bytes_ += new_bytes - it->second.bytes;
+  it->second.bytes = new_bytes;
+}
+
+void CacheManager::Erase(mapping::PageId pid) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(pid);
+  if (it == entries_.end()) return;
+  resident_bytes_ -= it->second.bytes;
+  lru_.erase(it->second.lru_pos);
+  entries_.erase(it);
+  stats_.evictions++;
+}
+
+bool CacheManager::Contains(mapping::PageId pid) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.count(pid) > 0;
+}
+
+uint64_t CacheManager::resident_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return resident_bytes_;
+}
+
+bool CacheManager::OverBudget() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return resident_bytes_ > options_.memory_budget_bytes;
+}
+
+double CacheManager::IdleSeconds(mapping::PageId pid) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = entries_.find(pid);
+  if (it == entries_.end()) return -1.0;
+  return static_cast<double>(clock_->NowNanos() -
+                             it->second.last_access_nanos) *
+         1e-9;
+}
+
+std::vector<mapping::PageId> CacheManager::PickVictims(uint64_t want_bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<mapping::PageId> victims;
+  uint64_t picked = 0;
+  const uint64_t now = clock_->NowNanos();
+  const uint64_t breakeven_nanos =
+      static_cast<uint64_t>(options_.breakeven_interval_seconds * 1e9);
+
+  switch (options_.policy) {
+    case EvictionPolicy::kLru: {
+      for (auto it = lru_.begin(); it != lru_.end() && picked < want_bytes;
+           ++it) {
+        victims.push_back(*it);
+        picked += entries_[*it].bytes;
+      }
+      break;
+    }
+    case EvictionPolicy::kSecondChance: {
+      // Sweep from LRU end, clearing reference bits; a page is victimized
+      // only when found unreferenced. Two full sweeps bound the scan.
+      size_t scanned = 0;
+      const size_t max_scan = 2 * lru_.size();
+      auto it = lru_.begin();
+      while (it != lru_.end() && picked < want_bytes &&
+             scanned++ < max_scan) {
+        Entry& e = entries_[*it];
+        if (e.referenced) {
+          e.referenced = false;
+          // Give it a second chance: rotate to MRU side.
+          auto cur = it++;
+          lru_.splice(lru_.end(), lru_, cur);
+          if (it == lru_.end()) it = lru_.begin();
+        } else {
+          victims.push_back(*it);
+          picked += e.bytes;
+          ++it;
+        }
+      }
+      break;
+    }
+    case EvictionPolicy::kCostBased: {
+      // First pass: every page idle past breakeven is worth evicting
+      // regardless of budget — its DRAM rental now exceeds the cost of an
+      // SS operation on its next access (paper §4.2).
+      for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+        const Entry& e = entries_[*it];
+        if (now - e.last_access_nanos > breakeven_nanos) {
+          victims.push_back(*it);
+          picked += e.bytes;
+        }
+        // lru_ is ordered by recency, so once we hit a page younger than
+        // breakeven every later page is younger too.
+        else {
+          break;
+        }
+      }
+      // Second pass: budget is a hard constraint; top up from LRU.
+      if (picked < want_bytes) {
+        for (auto it = lru_.begin(); it != lru_.end() && picked < want_bytes;
+             ++it) {
+          const Entry& e = entries_[*it];
+          if (now - e.last_access_nanos > breakeven_nanos) continue;  // taken
+          victims.push_back(*it);
+          picked += e.bytes;
+        }
+      }
+      break;
+    }
+  }
+  return victims;
+}
+
+CacheStats CacheManager::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  CacheStats s = stats_;
+  s.resident_bytes = resident_bytes_;
+  s.resident_pages = entries_.size();
+  return s;
+}
+
+void CacheManager::set_memory_budget(uint64_t bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  options_.memory_budget_bytes = bytes;
+}
+
+}  // namespace costperf::llama

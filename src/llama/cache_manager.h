@@ -1,0 +1,110 @@
+#ifndef COSTPERF_LLAMA_CACHE_MANAGER_H_
+#define COSTPERF_LLAMA_CACHE_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "mapping/mapping_table.h"
+
+namespace costperf::llama {
+
+// How the cache chooses eviction victims.
+enum class EvictionPolicy {
+  kLru,           // classic least-recently-used
+  kSecondChance,  // clock with one reference bit
+  // The paper's §4.2 policy: evict pages whose idle time exceeds the
+  // breakeven interval T_i from Eq. (6) — their continued DRAM rental
+  // costs more than paying for an SS operation on next access. Falls back
+  // to LRU order among eligible pages; under memory pressure with no page
+  // past breakeven, evicts LRU anyway (budget is a hard constraint).
+  kCostBased,
+};
+
+std::string EvictionPolicyName(EvictionPolicy p);
+
+struct CacheOptions {
+  uint64_t memory_budget_bytes = 64ull << 20;
+  EvictionPolicy policy = EvictionPolicy::kLru;
+  // Breakeven idle interval for kCostBased.
+  double breakeven_interval_seconds = 45.0;
+  Clock* clock = nullptr;  // defaults to RealClock::Global()
+};
+
+struct CacheStats {
+  uint64_t insertions = 0;
+  uint64_t touches = 0;
+  uint64_t evictions = 0;
+  uint64_t resident_bytes = 0;
+  uint64_t resident_pages = 0;
+};
+
+// Resident-set accounting and victim selection for the data cache. The
+// cache manager does not hold page contents — the Bw-tree owns those via
+// the mapping table; this class decides *which* logical pages should be
+// resident, which is the knob the paper's whole cost analysis is about.
+//
+// Thread-safe (single internal latch; all operations are O(1) or
+// O(victims)).
+class CacheManager {
+ public:
+  explicit CacheManager(CacheOptions options = {});
+
+  CacheManager(const CacheManager&) = delete;
+  CacheManager& operator=(const CacheManager&) = delete;
+
+  // Page became resident with the given footprint.
+  void Insert(mapping::PageId pid, uint64_t bytes);
+  // Page was accessed (moves to MRU / sets reference bit).
+  void Touch(mapping::PageId pid);
+  // Page footprint changed (delta prepend, consolidation).
+  void Resize(mapping::PageId pid, uint64_t new_bytes);
+  // Page no longer resident (evicted or freed). No-op if absent.
+  void Erase(mapping::PageId pid);
+  bool Contains(mapping::PageId pid) const;
+
+  uint64_t resident_bytes() const;
+  bool OverBudget() const;
+
+  // Picks victims whose combined size is >= want_bytes (or until the
+  // cache would be empty), in policy order. Does NOT erase them — the
+  // caller evicts each page (flushing if dirty) and then calls Erase.
+  // For kCostBased with want_bytes == 0, returns every page whose idle
+  // time exceeds breakeven (proactive cost-driven eviction).
+  std::vector<mapping::PageId> PickVictims(uint64_t want_bytes);
+
+  // Seconds since pid was last touched; negative if unknown.
+  double IdleSeconds(mapping::PageId pid) const;
+
+  CacheStats stats() const;
+  const CacheOptions& options() const { return options_; }
+  void set_memory_budget(uint64_t bytes);
+
+ private:
+  struct Entry {
+    uint64_t bytes = 0;
+    uint64_t last_access_nanos = 0;
+    bool referenced = false;  // second-chance bit
+    std::list<mapping::PageId>::iterator lru_pos;
+  };
+
+  CacheOptions options_;
+  Clock* clock_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<mapping::PageId, Entry> entries_;
+  // Front = LRU, back = MRU.
+  std::list<mapping::PageId> lru_;
+  // Clock hand for second chance (index into lru_ semantics: we reuse the
+  // lru_ list and rotate).
+  uint64_t resident_bytes_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace costperf::llama
+
+#endif  // COSTPERF_LLAMA_CACHE_MANAGER_H_

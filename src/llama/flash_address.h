@@ -1,0 +1,50 @@
+#ifndef COSTPERF_LLAMA_FLASH_ADDRESS_H_
+#define COSTPERF_LLAMA_FLASH_ADDRESS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace costperf::llama {
+
+// Location of a record on the log-structured device: byte offset of its
+// header plus total on-media length, packed into one word so it fits a
+// mapping-table entry. Offset gets 40 bits (1 TiB), length 24 bits
+// (16 MiB), which comfortably covers variable Bw-tree pages.
+class FlashAddress {
+ public:
+  static constexpr uint64_t kOffsetBits = 40;
+  static constexpr uint64_t kLenBits = 24;
+  static constexpr uint64_t kMaxOffset = (1ull << kOffsetBits) - 1;
+  static constexpr uint64_t kMaxLen = (1ull << kLenBits) - 1;
+
+  FlashAddress() : packed_(0) {}
+  FlashAddress(uint64_t offset, uint64_t len)
+      : packed_((offset << kLenBits) | len) {}
+
+  static FlashAddress FromPacked(uint64_t packed) {
+    FlashAddress a;
+    a.packed_ = packed;
+    return a;
+  }
+
+  uint64_t offset() const { return packed_ >> kLenBits; }
+  uint64_t len() const { return packed_ & kMaxLen; }
+  uint64_t packed() const { return packed_; }
+  bool valid() const { return packed_ != 0; }
+
+  friend bool operator==(FlashAddress a, FlashAddress b) {
+    return a.packed_ == b.packed_;
+  }
+  friend bool operator!=(FlashAddress a, FlashAddress b) {
+    return a.packed_ != b.packed_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  uint64_t packed_;
+};
+
+}  // namespace costperf::llama
+
+#endif  // COSTPERF_LLAMA_FLASH_ADDRESS_H_

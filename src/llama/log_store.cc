@@ -1,0 +1,325 @@
+#include "llama/log_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace costperf::llama {
+
+std::string FlashAddress::ToString() const {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "flash[%llu+%llu]",
+           static_cast<unsigned long long>(offset()),
+           static_cast<unsigned long long>(len()));
+  return buf;
+}
+
+LogStructuredStore::LogStructuredStore(storage::SsdDevice* device,
+                                       LogStoreOptions options)
+    : device_(device), options_(options) {
+  std::lock_guard<std::mutex> lk(mu_);
+  OpenSegmentLocked(next_segment_id_++);
+}
+
+void LogStructuredStore::OpenSegmentLocked(uint64_t id) {
+  open_segment_id_ = id;
+  open_buffer_.clear();
+  open_buffer_.reserve(options_.segment_bytes);
+  PutFixed32(&open_buffer_, kSegmentMagic);
+  PutFixed64(&open_buffer_, id);
+  SegmentInfo info;
+  info.id = id;
+  info.used_bytes = kSegmentHeaderBytes;
+  directory_[id] = info;
+}
+
+void LogStructuredStore::EncodeRecord(PageId pid, const Slice& image,
+                                      std::string* dst) {
+  PutFixed32(dst, kRecordMagic);
+  PutFixed64(dst, pid);
+  PutFixed32(dst, static_cast<uint32_t>(image.size()));
+  PutFixed32(dst, MaskCrc(Crc32c(image.data(), image.size())));
+  dst->append(image.data(), image.size());
+}
+
+Status LogStructuredStore::DecodeRecord(const char* data, uint64_t len,
+                                        bool verify, PageId* pid,
+                                        Slice* payload) {
+  if (len < kHeaderBytes) return Status::Corruption("record too short");
+  if (DecodeFixed32(data) != kRecordMagic) {
+    return Status::Corruption("bad record magic");
+  }
+  uint64_t record_pid = DecodeFixed64(data + 4);
+  uint32_t payload_len = DecodeFixed32(data + 12);
+  uint32_t stored_crc = UnmaskCrc(DecodeFixed32(data + 16));
+  if (kHeaderBytes + payload_len > len) {
+    return Status::Corruption("record payload truncated");
+  }
+  if (verify &&
+      Crc32c(data + kHeaderBytes, payload_len) != stored_crc) {
+    return Status::Corruption("record checksum mismatch");
+  }
+  *pid = record_pid;
+  *payload = Slice(data + kHeaderBytes, payload_len);
+  return Status::Ok();
+}
+
+Result<FlashAddress> LogStructuredStore::Append(PageId pid,
+                                                const Slice& image) {
+  const uint64_t record_len = kHeaderBytes + image.size();
+  if (record_len > options_.segment_bytes - kSegmentHeaderBytes) {
+    return Status::InvalidArgument("page image exceeds segment size");
+  }
+  if (record_len > FlashAddress::kMaxLen) {
+    return Status::InvalidArgument("page image exceeds address length field");
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (open_buffer_.size() + record_len > options_.segment_bytes) {
+    Status s = FlushLocked();
+    if (!s.ok()) return s;
+  }
+  const uint64_t in_segment = open_buffer_.size();
+  const uint64_t device_offset =
+      open_segment_id_ * options_.segment_bytes + in_segment;
+  EncodeRecord(pid, image, &open_buffer_);
+  directory_[open_segment_id_].used_bytes = open_buffer_.size();
+  stats_.records_appended++;
+  stats_.bytes_appended += record_len;
+  stats_.payload_bytes_appended += image.size();
+  return FlashAddress(device_offset, record_len);
+}
+
+Status LogStructuredStore::FlushLocked() {
+  if (open_buffer_.size() <= kSegmentHeaderBytes) return Status::Ok();
+  const uint64_t device_offset = open_segment_id_ * options_.segment_bytes;
+  Status s = device_->Write(device_offset, Slice(open_buffer_));
+  if (!s.ok()) return s;
+  directory_[open_segment_id_].sealed = true;
+  stats_.segments_written++;
+  OpenSegmentLocked(next_segment_id_++);
+  return Status::Ok();
+}
+
+Status LogStructuredStore::Flush() {
+  std::lock_guard<std::mutex> lk(mu_);
+  return FlushLocked();
+}
+
+Status LogStructuredStore::Read(FlashAddress addr, std::string* image,
+                                PageId* pid_out) {
+  if (!addr.valid()) return Status::InvalidArgument("invalid flash address");
+  const uint64_t seg = addr.offset() / options_.segment_bytes;
+  std::string raw;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (seg == open_segment_id_) {
+      // Served from the open write buffer: no device I/O.
+      const uint64_t in_seg = addr.offset() % options_.segment_bytes;
+      if (in_seg + addr.len() > open_buffer_.size()) {
+        return Status::Corruption("address beyond open buffer");
+      }
+      stats_.buffer_reads++;
+      PageId pid = 0;
+      Slice payload;
+      Status s = DecodeRecord(open_buffer_.data() + in_seg, addr.len(),
+                              options_.verify_checksums, &pid, &payload);
+      if (!s.ok()) return s;
+      if (pid_out != nullptr) *pid_out = pid;
+      image->assign(payload.data(), payload.size());
+      return Status::Ok();
+    }
+    stats_.device_reads++;
+  }
+  raw.resize(addr.len());
+  Status s = device_->Read(addr.offset(), addr.len(), raw.data());
+  if (!s.ok()) return s;
+  PageId pid = 0;
+  Slice payload;
+  s = DecodeRecord(raw.data(), raw.size(), options_.verify_checksums, &pid,
+                   &payload);
+  if (!s.ok()) return s;
+  if (pid_out != nullptr) *pid_out = pid;
+  image->assign(payload.data(), payload.size());
+  return Status::Ok();
+}
+
+void LogStructuredStore::MarkDead(FlashAddress addr) {
+  if (!addr.valid()) return;
+  const uint64_t seg = addr.offset() / options_.segment_bytes;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = directory_.find(seg);
+  if (it == directory_.end()) return;  // already collected
+  it->second.dead_bytes += addr.len();
+  stats_.dead_bytes_marked += addr.len();
+}
+
+Result<GcStats> LogStructuredStore::CollectSegment(uint64_t segment_id,
+                                                   const LivenessFn& live,
+                                                   const InstallFn& install) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = directory_.find(segment_id);
+    if (it == directory_.end()) return Status::NotFound("no such segment");
+    if (!it->second.sealed) {
+      return Status::FailedPrecondition("cannot collect the open segment");
+    }
+    stats_.gc_runs++;
+  }
+  // Read the whole segment in one I/O (GC is itself log-structured work).
+  std::string raw(options_.segment_bytes, '\0');
+  Status s = device_->Read(segment_id * options_.segment_bytes,
+                           options_.segment_bytes, raw.data());
+  if (!s.ok()) return s;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.device_reads++;
+  }
+
+  GcStats gc;
+  gc.segment_id = segment_id;
+  if (DecodeFixed32(raw.data()) != kSegmentMagic ||
+      DecodeFixed64(raw.data() + 4) != segment_id) {
+    return Status::Corruption("segment header mismatch during GC");
+  }
+
+  uint64_t pos = kSegmentHeaderBytes;
+  while (pos + kHeaderBytes <= raw.size() &&
+         DecodeFixed32(raw.data() + pos) == kRecordMagic) {
+    PageId pid = 0;
+    Slice payload;
+    s = DecodeRecord(raw.data() + pos, raw.size() - pos,
+                     options_.verify_checksums, &pid, &payload);
+    if (!s.ok()) return s;
+    const uint64_t record_len = kHeaderBytes + payload.size();
+    FlashAddress old_addr(segment_id * options_.segment_bytes + pos,
+                          record_len);
+    if (live(pid, old_addr)) {
+      Result<FlashAddress> appended = Append(pid, payload);
+      if (!appended.ok()) return appended.status();
+      if (install(pid, old_addr, *appended)) {
+        gc.relocated_records++;
+        gc.relocated_bytes += record_len;
+      } else {
+        // Page moved concurrently; the copy we just wrote is garbage.
+        MarkDead(*appended);
+      }
+    }
+    pos += record_len;
+  }
+
+  // Reclaim the media and forget the segment.
+  s = device_->Trim(segment_id * options_.segment_bytes,
+                    options_.segment_bytes);
+  if (!s.ok()) return s;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = directory_.find(segment_id);
+    if (it != directory_.end()) {
+      gc.reclaimed_bytes = options_.segment_bytes;
+      directory_.erase(it);
+    }
+    stats_.gc_relocated_records += gc.relocated_records;
+    stats_.gc_reclaimed_bytes += gc.reclaimed_bytes;
+  }
+  return gc;
+}
+
+Result<GcStats> LogStructuredStore::CollectColdest(const LivenessFn& live,
+                                                   const InstallFn& install,
+                                                   double live_threshold) {
+  uint64_t victim = 0;
+  double victim_live = 2.0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [id, info] : directory_) {
+      if (!info.sealed) continue;
+      double lf = info.live_fraction();
+      if (lf < victim_live) {
+        victim_live = lf;
+        victim = id;
+      }
+    }
+  }
+  if (victim_live > live_threshold) {
+    return Status::NotFound("no segment below live threshold");
+  }
+  return CollectSegment(victim, live, install);
+}
+
+Status LogStructuredStore::Recover(
+    const std::function<void(PageId, FlashAddress, const Slice&)>& visitor) {
+  // Scan the device in segment strides; rebuild directory from headers.
+  const uint64_t nsegs = device_->capacity_bytes() / options_.segment_bytes;
+  std::string raw(options_.segment_bytes, '\0');
+  uint64_t max_seen = 0;
+  bool any = false;
+  for (uint64_t seg = 0; seg < nsegs; ++seg) {
+    // Cheap header probe first.
+    char hdr[kSegmentHeaderBytes];
+    Status s = device_->Read(seg * options_.segment_bytes,
+                             kSegmentHeaderBytes, hdr);
+    if (!s.ok()) return s;
+    if (DecodeFixed32(hdr) != kSegmentMagic) continue;
+    if (DecodeFixed64(hdr + 4) != seg) continue;
+    s = device_->Read(seg * options_.segment_bytes, options_.segment_bytes,
+                      raw.data());
+    if (!s.ok()) return s;
+
+    SegmentInfo info;
+    info.id = seg;
+    info.sealed = true;
+    uint64_t pos = kSegmentHeaderBytes;
+    while (pos + kHeaderBytes <= raw.size() &&
+           DecodeFixed32(raw.data() + pos) == kRecordMagic) {
+      PageId pid = 0;
+      Slice payload;
+      s = DecodeRecord(raw.data() + pos, raw.size() - pos,
+                       options_.verify_checksums, &pid, &payload);
+      if (!s.ok()) return s;
+      const uint64_t record_len = kHeaderBytes + payload.size();
+      visitor(pid, FlashAddress(seg * options_.segment_bytes + pos,
+                                record_len),
+              payload);
+      pos += record_len;
+    }
+    info.used_bytes = pos;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      directory_[seg] = info;
+    }
+    max_seen = std::max(max_seen, seg);
+    any = true;
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (any && max_seen + 1 >= next_segment_id_) {
+    // Re-open the log past everything recovered. Drop the still-empty
+    // segment directory entry created at construction.
+    directory_.erase(open_segment_id_);
+    next_segment_id_ = max_seen + 1;
+    OpenSegmentLocked(next_segment_id_++);
+  }
+  return Status::Ok();
+}
+
+LogStoreStats LogStructuredStore::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+std::vector<SegmentInfo> LogStructuredStore::segments() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<SegmentInfo> out;
+  out.reserve(directory_.size());
+  for (const auto& [id, info] : directory_) out.push_back(info);
+  return out;
+}
+
+uint64_t LogStructuredStore::open_segment_id() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return open_segment_id_;
+}
+
+}  // namespace costperf::llama

@@ -1,0 +1,159 @@
+#ifndef COSTPERF_LLAMA_LOG_STORE_H_
+#define COSTPERF_LLAMA_LOG_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "llama/flash_address.h"
+#include "mapping/mapping_table.h"
+#include "storage/device.h"
+
+namespace costperf::llama {
+
+using mapping::PageId;
+
+struct LogStoreOptions {
+  // Segment == write buffer == GC unit. Aligned with the device's 1 MiB
+  // trim granularity so collected segments actually free media.
+  uint64_t segment_bytes = 1 << 20;
+  bool verify_checksums = true;
+};
+
+struct LogStoreStats {
+  uint64_t records_appended = 0;
+  uint64_t bytes_appended = 0;       // payload + headers
+  uint64_t payload_bytes_appended = 0;
+  uint64_t segments_written = 0;
+  uint64_t buffer_reads = 0;    // reads served from the open write buffer
+  uint64_t device_reads = 0;
+  uint64_t gc_runs = 0;
+  uint64_t gc_relocated_records = 0;
+  uint64_t gc_reclaimed_bytes = 0;
+  uint64_t dead_bytes_marked = 0;
+};
+
+struct SegmentInfo {
+  uint64_t id = 0;
+  uint64_t used_bytes = 0;
+  uint64_t dead_bytes = 0;
+  bool sealed = false;
+  double live_fraction() const {
+    return used_bytes == 0
+               ? 1.0
+               : 1.0 - static_cast<double>(dead_bytes) /
+                           static_cast<double>(used_bytes);
+  }
+};
+
+struct GcStats {
+  uint64_t segment_id = 0;
+  uint64_t relocated_records = 0;
+  uint64_t relocated_bytes = 0;
+  uint64_t reclaimed_bytes = 0;
+};
+
+// Deuteronomy-LLAMA-style log-structured store (paper §6.1, Fig. 4/5):
+// variable-size page images accumulate in a large in-memory write buffer
+// and reach the device in one large write per segment, shrinking both the
+// number of writes and (with variable sizes) the bytes written. Every
+// append relocates the page, so callers track positions via FlashAddress
+// and the mapping table.
+//
+// Thread-safe; appends serialize on a short latch (the buffered-write path
+// is cheap), reads are latch-free against the device and take the latch
+// only to check the open buffer.
+class LogStructuredStore {
+ public:
+  // `device` must outlive the store.
+  LogStructuredStore(storage::SsdDevice* device, LogStoreOptions options = {});
+
+  LogStructuredStore(const LogStructuredStore&) = delete;
+  LogStructuredStore& operator=(const LogStructuredStore&) = delete;
+
+  // Buffers one record; the returned address is final (the segment's
+  // device position is fixed at creation). Seals+writes the buffer first
+  // if the record does not fit.
+  Result<FlashAddress> Append(PageId pid, const Slice& image);
+
+  // Reads a record's payload. Serves from the open write buffer when the
+  // address has not been flushed yet (no I/O — this is what makes freshly
+  // written pages cheap to re-read). Verifies pid and checksum.
+  Status Read(FlashAddress addr, std::string* image,
+              PageId* pid_out = nullptr);
+
+  // Seals the open buffer and writes it to the device (no-op if empty).
+  Status Flush();
+
+  // Declares the record at addr superseded; fuels GC victim selection.
+  void MarkDead(FlashAddress addr);
+
+  // --- Garbage collection (paper §6.1: run when load is low; delaying it
+  // raises reclaimed-bytes-per-segment efficiency) ---
+
+  // Asks whether pid's current location is still `addr` (i.e. the record
+  // is live).
+  using LivenessFn = std::function<bool(PageId, FlashAddress)>;
+  // Atomically re-points pid from old to new location; false if the page
+  // moved concurrently (the relocated copy is then marked dead).
+  using InstallFn =
+      std::function<bool(PageId, FlashAddress old_addr, FlashAddress new_addr)>;
+
+  // Relocates live records out of a sealed segment, then trims it.
+  Result<GcStats> CollectSegment(uint64_t segment_id, const LivenessFn& live,
+                                 const InstallFn& install);
+
+  // Collects the sealed segment with the lowest live fraction, if any is
+  // below `live_threshold`. Returns NotFound if none qualifies.
+  Result<GcStats> CollectColdest(const LivenessFn& live,
+                                 const InstallFn& install,
+                                 double live_threshold = 0.75);
+
+  // Rebuilds segment directory and replays records after a restart. Calls
+  // the visitor with each record in log order (last call per pid wins).
+  // Only sealed (on-device) segments are recoverable, by construction.
+  Status Recover(
+      const std::function<void(PageId, FlashAddress, const Slice&)>& visitor);
+
+  LogStoreStats stats() const;
+  std::vector<SegmentInfo> segments() const;
+  uint64_t open_segment_id() const;
+  const LogStoreOptions& options() const { return options_; }
+
+  // On-media record header size (magic, pid, len, crc).
+  static constexpr uint64_t kHeaderBytes = 4 + 8 + 4 + 4;
+  static constexpr uint32_t kRecordMagic = 0x4C4C414Du;   // "LLAM"
+  static constexpr uint32_t kSegmentMagic = 0x5345474Du;  // "SEGM"
+  // Segment header: magic + id.
+  static constexpr uint64_t kSegmentHeaderBytes = 4 + 8;
+
+ private:
+  // Requires latch. Starts segment `id` with its header in the buffer.
+  void OpenSegmentLocked(uint64_t id);
+  // Requires latch. Writes and seals the open segment.
+  Status FlushLocked();
+  static void EncodeRecord(PageId pid, const Slice& image, std::string* dst);
+  // Parses the record at `data`; returns payload view or error.
+  static Status DecodeRecord(const char* data, uint64_t len, bool verify,
+                             PageId* pid, Slice* payload);
+
+  storage::SsdDevice* device_;
+  LogStoreOptions options_;
+
+  mutable std::mutex mu_;
+  std::string open_buffer_;        // contents of the open segment so far
+  uint64_t open_segment_id_ = 0;
+  uint64_t next_segment_id_ = 0;
+  std::map<uint64_t, SegmentInfo> directory_;
+
+  LogStoreStats stats_;
+};
+
+}  // namespace costperf::llama
+
+#endif  // COSTPERF_LLAMA_LOG_STORE_H_

@@ -1,0 +1,74 @@
+#include "mapping/mapping_table.h"
+
+#include <algorithm>
+
+namespace costperf::mapping {
+
+MappingTable::MappingTable(size_t capacity)
+    : capacity_(capacity),
+      entries_(new std::atomic<uint64_t>[capacity]),
+      next_unused_(0) {
+  for (size_t i = 0; i < capacity_; ++i) {
+    entries_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+PageId MappingTable::Allocate(uint64_t initial) {
+  {
+    std::lock_guard<std::mutex> lk(free_mu_);
+    if (!free_list_.empty()) {
+      PageId id = free_list_.back();
+      free_list_.pop_back();
+      entries_[id].store(initial, std::memory_order_release);
+      return id;
+    }
+  }
+  PageId id = next_unused_.fetch_add(1, std::memory_order_acq_rel);
+  if (id >= capacity_) {
+    next_unused_.fetch_sub(1, std::memory_order_acq_rel);
+    return kInvalidPageId;
+  }
+  entries_[id].store(initial, std::memory_order_release);
+  return id;
+}
+
+void MappingTable::Free(PageId id) {
+  entries_[id].store(0, std::memory_order_release);
+  std::lock_guard<std::mutex> lk(free_mu_);
+  free_list_.push_back(id);
+}
+
+bool MappingTable::AllocateExact(PageId id, uint64_t value) {
+  if (id >= capacity_) return false;
+  std::lock_guard<std::mutex> lk(free_mu_);
+  PageId next = next_unused_.load(std::memory_order_acquire);
+  if (id >= next) {
+    for (PageId skipped = next; skipped < id; ++skipped) {
+      free_list_.push_back(skipped);
+    }
+    next_unused_.store(id + 1, std::memory_order_release);
+  } else {
+    auto it = std::find(free_list_.begin(), free_list_.end(), id);
+    if (it == free_list_.end()) return false;  // already allocated
+    free_list_.erase(it);
+  }
+  entries_[id].store(value, std::memory_order_release);
+  return true;
+}
+
+void MappingTable::Reset() {
+  std::lock_guard<std::mutex> lk(free_mu_);
+  PageId hw = next_unused_.load(std::memory_order_acquire);
+  for (PageId i = 0; i < hw; ++i) {
+    entries_[i].store(0, std::memory_order_relaxed);
+  }
+  free_list_.clear();
+  next_unused_.store(0, std::memory_order_release);
+}
+
+size_t MappingTable::live_pages() const {
+  std::lock_guard<std::mutex> lk(free_mu_);
+  return next_unused_.load(std::memory_order_acquire) - free_list_.size();
+}
+
+}  // namespace costperf::mapping

@@ -1,0 +1,83 @@
+#ifndef COSTPERF_MAPPING_MAPPING_TABLE_H_
+#define COSTPERF_MAPPING_MAPPING_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace costperf::mapping {
+
+// Logical page identifier. The indirection through PageId is what lets the
+// Bw-tree update pages latch-free (CAS on the mapping entry) and lets
+// LLAMA relocate pages on every flush without touching the index
+// (paper Fig. 4).
+using PageId = uint64_t;
+inline constexpr PageId kInvalidPageId = ~0ull;
+
+// A fixed-capacity table of 64-bit words, one per logical page. The word's
+// encoding (memory pointer vs flash address) is owned by the layer above;
+// the table provides allocation, latch-free reads, and CAS installs.
+//
+// Thread-safe. Get/Cas/Set are lock-free; Allocate/Free take a short latch
+// on the free list only.
+class MappingTable {
+ public:
+  explicit MappingTable(size_t capacity = 1 << 20);
+
+  MappingTable(const MappingTable&) = delete;
+  MappingTable& operator=(const MappingTable&) = delete;
+
+  // Allocates a fresh page id (reusing freed ids first) and initializes
+  // its entry to `initial`. Returns kInvalidPageId when full.
+  PageId Allocate(uint64_t initial = 0);
+
+  // Returns the id to the free list. The caller is responsible for making
+  // sure no thread can still reach the id (epoch protection).
+  void Free(PageId id);
+
+  // Recovery-path allocation of a *specific* id (the id a page had before
+  // restart). Ids skipped over go to the free list. Returns false if the
+  // id is out of capacity or already allocated. Not for concurrent use.
+  bool AllocateExact(PageId id, uint64_t value);
+
+  // Drops every entry and the free list (recovery bootstrap). Not for
+  // concurrent use.
+  void Reset();
+
+  uint64_t Get(PageId id) const {
+    return entries_[id].load(std::memory_order_acquire);
+  }
+
+  // Single CAS — the Bw-tree's only write primitive on the index.
+  bool Cas(PageId id, uint64_t expected, uint64_t desired) {
+    return entries_[id].compare_exchange_strong(
+        expected, desired, std::memory_order_acq_rel);
+  }
+
+  // Unconditional store; for initialization and recovery only.
+  void Set(PageId id, uint64_t value) {
+    entries_[id].store(value, std::memory_order_release);
+  }
+
+  size_t capacity() const { return capacity_; }
+  // Number of ids currently live (allocated and not freed).
+  size_t live_pages() const;
+  // High-water mark of allocations (for iteration during recovery/GC).
+  PageId high_water() const {
+    return next_unused_.load(std::memory_order_acquire);
+  }
+
+ private:
+  size_t capacity_;
+  std::unique_ptr<std::atomic<uint64_t>[]> entries_;
+  std::atomic<PageId> next_unused_;
+
+  mutable std::mutex free_mu_;
+  std::vector<PageId> free_list_;
+};
+
+}  // namespace costperf::mapping
+
+#endif  // COSTPERF_MAPPING_MAPPING_TABLE_H_

@@ -1,0 +1,605 @@
+#include "masstree/masstree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace costperf::masstree {
+
+// ---------------------------------------------------------------------
+// Node structures
+// ---------------------------------------------------------------------
+
+struct MassTree::Border {
+  OptimisticVersion version;
+  int n = 0;
+  uint64_t slices[kLeafCap];
+  uint8_t lens[kLeafCap];  // 0..8 terminal; kLinkLen routes to a Layer*
+  void* payloads[kLeafCap];  // std::string* (terminal) or Layer* (link)
+  Border* next = nullptr;
+};
+
+struct MassTree::Interior {
+  OptimisticVersion version;
+  int n = 0;
+  int level = 1;  // 1 => children are Borders
+  uint64_t keys[kInteriorCap];
+  void* children[kInteriorCap + 1];
+};
+
+struct MassTree::Layer {
+  SpinLatch write_latch;
+  std::atomic<void*> root{nullptr};
+  std::atomic<int> root_level{0};  // 0 => root is a Border
+};
+
+namespace {
+
+// Composite (slice, len) ordering used within borders.
+inline bool EntryLess(uint64_t s1, uint8_t l1, uint64_t s2, uint8_t l2) {
+  return s1 < s2 || (s1 == s2 && l1 < l2);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Construction / destruction
+// ---------------------------------------------------------------------
+
+MassTree::MassTree()
+    : epochs_(std::make_unique<EpochManager>()), count_(0) {
+  root_layer_ = NewLayer();
+}
+
+MassTree::Layer* MassTree::NewLayer() {
+  auto* layer = new Layer();
+  auto* border = new Border();
+  layer->root.store(border, std::memory_order_release);
+  layer->root_level.store(0, std::memory_order_release);
+  s_layers_.fetch_add(1, std::memory_order_relaxed);
+  return layer;
+}
+
+namespace {
+
+template <typename BorderT, typename InteriorT>
+void FreeSubtree(void* node, int level,
+                 const std::function<void(BorderT*)>& free_border) {
+  if (level == 0) {
+    free_border(static_cast<BorderT*>(node));
+    return;
+  }
+  auto* in = static_cast<InteriorT*>(node);
+  for (int i = 0; i <= in->n; ++i) {
+    FreeSubtree<BorderT, InteriorT>(in->children[i], level - 1, free_border);
+  }
+  delete in;
+}
+
+}  // namespace
+
+void MassTree::FreeLayerTree(Layer* layer) {
+  std::function<void(Border*)> free_border = [&](Border* b) {
+    for (int i = 0; i < b->n; ++i) {
+      if (b->lens[i] == kLinkLen) {
+        FreeLayerTree(static_cast<Layer*>(b->payloads[i]));
+      } else {
+        delete static_cast<std::string*>(b->payloads[i]);
+      }
+    }
+    delete b;
+  };
+  FreeSubtree<Border, Interior>(layer->root.load(std::memory_order_acquire),
+                                layer->root_level.load(
+                                    std::memory_order_acquire),
+                                free_border);
+  delete layer;
+}
+
+MassTree::~MassTree() {
+  epochs_->ReclaimAll();
+  FreeLayerTree(root_layer_);
+}
+
+// ---------------------------------------------------------------------
+// Slices
+// ---------------------------------------------------------------------
+
+uint64_t MassTree::MakeSlice(const Slice& key, uint8_t* effective_len) {
+  unsigned char buf[8] = {0};
+  size_t take = key.size() < 8 ? key.size() : 8;
+  memcpy(buf, key.data(), take);
+  uint64_t slice = 0;
+  for (int i = 0; i < 8; ++i) slice = (slice << 8) | buf[i];  // big-endian
+  *effective_len =
+      key.size() > 8 ? kLinkLen : static_cast<uint8_t>(key.size());
+  return slice;
+}
+
+// ---------------------------------------------------------------------
+// Reads (optimistic)
+// ---------------------------------------------------------------------
+
+MassTree::Border* MassTree::FindBorder(const Layer* layer,
+                                       uint64_t slice) const {
+  for (;;) {
+    void* root = layer->root.load(std::memory_order_acquire);
+    int level = layer->root_level.load(std::memory_order_acquire);
+    if (layer->root.load(std::memory_order_acquire) != root) continue;
+    void* node = root;
+    bool restart = false;
+    while (level > 0) {
+      auto* in = static_cast<Interior*>(node);
+      uint64_t v = in->version.StableSnapshot();
+      int n = in->n;
+      int idx = 0;
+      while (idx < n && slice >= in->keys[idx]) ++idx;
+      void* child = in->children[idx];
+      if (in->version.Changed(v)) {
+        s_retries_.fetch_add(1, std::memory_order_relaxed);
+        restart = true;
+        break;
+      }
+      node = child;
+      --level;
+    }
+    if (restart) continue;
+    auto* b = static_cast<Border*>(node);
+    // B-link walk: a concurrent split may have moved the slice range
+    // right before the parent (or a stale root) reflected it. A border's
+    // first slice is its immutable lower bound, so this read is safe.
+    int hops = 0;
+    while (b->next != nullptr && b->next->n > 0 &&
+           slice >= b->next->slices[0] && hops++ < 1024) {
+      b = b->next;
+    }
+    return b;
+  }
+}
+
+Result<std::string> MassTree::GetInLayer(const Layer* layer,
+                                         const Slice& key) const {
+  uint8_t len = 0;
+  uint64_t slice = MakeSlice(key, &len);
+  for (int attempt = 0; attempt < 1 << 20; ++attempt) {
+    Border* b = FindBorder(layer, slice);
+    uint64_t v = b->version.StableSnapshot();
+    // Snapshot the matching entry.
+    void* payload = nullptr;
+    bool found = false;
+    for (int i = 0; i < b->n; ++i) {
+      if (b->slices[i] == slice && b->lens[i] == len) {
+        payload = b->payloads[i];
+        found = true;
+        break;
+      }
+    }
+    std::string value;
+    const Layer* sublayer = nullptr;
+    if (found) {
+      if (len == kLinkLen) {
+        sublayer = static_cast<Layer*>(payload);
+      } else {
+        value = *static_cast<std::string*>(payload);
+      }
+    }
+    if (b->version.Changed(v)) {
+      s_retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (!found) return Status::NotFound();
+    if (sublayer != nullptr) {
+      Slice suffix(key.data() + 8, key.size() - 8);
+      return GetInLayer(sublayer, suffix);
+    }
+    return value;
+  }
+  return Status::Internal("Get retry budget exhausted");
+}
+
+Result<std::string> MassTree::Get(const Slice& key) const {
+  s_gets_.fetch_add(1, std::memory_order_relaxed);
+  EpochGuard guard(epochs_.get());
+  return GetInLayer(root_layer_, key);
+}
+
+// ---------------------------------------------------------------------
+// Writes (layer latch + version marks for readers)
+// ---------------------------------------------------------------------
+
+MassTree::Border* MassTree::FindBorderLocked(
+    Layer* layer, uint64_t slice, std::vector<Interior*>* path) const {
+  path->clear();
+  void* node = layer->root.load(std::memory_order_acquire);
+  int level = layer->root_level.load(std::memory_order_acquire);
+  while (level > 0) {
+    auto* in = static_cast<Interior*>(node);
+    path->push_back(in);
+    int idx = 0;
+    while (idx < in->n && slice >= in->keys[idx]) ++idx;
+    node = in->children[idx];
+    --level;
+  }
+  return static_cast<Border*>(node);
+}
+
+void MassTree::InsertIntoParent(Layer* layer, std::vector<Interior*>* path,
+                                void* left, uint64_t sep, void* right,
+                                int level) {
+  if (path->empty()) {
+    // left was the root: grow.
+    auto* new_root = new Interior();
+    new_root->level = level + 1;
+    new_root->n = 1;
+    new_root->keys[0] = sep;
+    new_root->children[0] = left;
+    new_root->children[1] = right;
+    layer->root.store(new_root, std::memory_order_release);
+    layer->root_level.store(level + 1, std::memory_order_release);
+    return;
+  }
+  Interior* parent = path->back();
+  path->pop_back();
+
+  if (parent->n < kInteriorCap) {
+    parent->version.Lock();
+    parent->version.MarkInserting();
+    int idx = 0;
+    while (idx < parent->n && parent->keys[idx] < sep) ++idx;
+    for (int i = parent->n; i > idx; --i) {
+      parent->keys[i] = parent->keys[i - 1];
+      parent->children[i + 1] = parent->children[i];
+    }
+    parent->keys[idx] = sep;
+    parent->children[idx + 1] = right;
+    parent->n++;
+    parent->version.Unlock();
+    return;
+  }
+
+  // Split the parent. Build the full sorted sequence conceptually, then
+  // divide around the median.
+  s_interior_splits_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t all_keys[kInteriorCap + 1];
+  void* all_children[kInteriorCap + 2];
+  int idx = 0;
+  while (idx < parent->n && parent->keys[idx] < sep) ++idx;
+  for (int i = 0; i < idx; ++i) all_keys[i] = parent->keys[i];
+  all_keys[idx] = sep;
+  for (int i = idx; i < parent->n; ++i) all_keys[i + 1] = parent->keys[i];
+  for (int i = 0; i <= idx; ++i) all_children[i] = parent->children[i];
+  all_children[idx + 1] = right;
+  for (int i = idx + 1; i <= parent->n; ++i) {
+    all_children[i + 1] = parent->children[i];
+  }
+  const int total_keys = parent->n + 1;
+  const int mid = total_keys / 2;
+  const uint64_t up_key = all_keys[mid];
+
+  auto* right_in = new Interior();
+  right_in->level = parent->level;
+  right_in->n = total_keys - mid - 1;
+  for (int i = 0; i < right_in->n; ++i) {
+    right_in->keys[i] = all_keys[mid + 1 + i];
+  }
+  for (int i = 0; i <= right_in->n; ++i) {
+    right_in->children[i] = all_children[mid + 1 + i];
+  }
+
+  parent->version.Lock();
+  parent->version.MarkSplitting();
+  parent->n = mid;
+  for (int i = 0; i < mid; ++i) parent->keys[i] = all_keys[i];
+  for (int i = 0; i <= mid; ++i) parent->children[i] = all_children[i];
+  parent->version.Unlock();
+
+  InsertIntoParent(layer, path, parent, up_key, right_in, parent->level);
+}
+
+void MassTree::InsertIntoBorder(Layer* layer, Border* b,
+                                std::vector<Interior*>* path, uint64_t slice,
+                                uint8_t len, void* payload) {
+  if (b->n < kLeafCap) {
+    b->version.Lock();
+    b->version.MarkInserting();
+    int idx = 0;
+    while (idx < b->n && EntryLess(b->slices[idx], b->lens[idx], slice, len)) {
+      ++idx;
+    }
+    for (int i = b->n; i > idx; --i) {
+      b->slices[i] = b->slices[i - 1];
+      b->lens[i] = b->lens[i - 1];
+      b->payloads[i] = b->payloads[i - 1];
+    }
+    b->slices[idx] = slice;
+    b->lens[idx] = len;
+    b->payloads[idx] = payload;
+    b->n++;
+    b->version.Unlock();
+    return;
+  }
+
+  // Border split. Keep same-slice groups intact: pick a boundary index
+  // where the slice changes, closest to the middle. A boundary always
+  // exists because one slice contributes at most 10 variants (< cap).
+  s_border_splits_.fetch_add(1, std::memory_order_relaxed);
+  int split = -1;
+  for (int d = 0; d < kLeafCap; ++d) {
+    int lo = kLeafCap / 2 - d, hi = kLeafCap / 2 + d;
+    if (lo >= 1 && b->slices[lo] != b->slices[lo - 1]) {
+      split = lo;
+      break;
+    }
+    if (hi >= 1 && hi < b->n && b->slices[hi] != b->slices[hi - 1]) {
+      split = hi;
+      break;
+    }
+  }
+  assert(split > 0);
+
+  auto* right = new Border();
+  right->n = b->n - split;
+  for (int i = 0; i < right->n; ++i) {
+    right->slices[i] = b->slices[split + i];
+    right->lens[i] = b->lens[split + i];
+    right->payloads[i] = b->payloads[split + i];
+  }
+  right->next = b->next;
+
+  const uint64_t sep = right->slices[0];
+
+  b->version.Lock();
+  b->version.MarkSplitting();
+  b->n = split;
+  b->next = right;
+  b->version.Unlock();
+
+  std::vector<Interior*> parent_path(*path);
+  InsertIntoParent(layer, &parent_path, b, sep, right, 0);
+
+  // Route the pending entry into the correct half and insert (both halves
+  // now have room).
+  Border* target = slice < sep ? b : right;
+  // Path is only used for further splits, which cannot happen now.
+  std::vector<Interior*> empty_path;
+  InsertIntoBorder(layer, target, &empty_path, slice, len, payload);
+}
+
+Status MassTree::PutInLayer(Layer* layer, const Slice& key,
+                            const Slice& value) {
+  uint8_t len = 0;
+  uint64_t slice = MakeSlice(key, &len);
+
+  SpinLatchGuard latch(&layer->write_latch);
+  std::vector<Interior*> path;
+  Border* b = FindBorderLocked(layer, slice, &path);
+
+  for (int i = 0; i < b->n; ++i) {
+    if (b->slices[i] == slice && b->lens[i] == len) {
+      if (len == kLinkLen) {
+        // Descend into the sublayer (release this layer's latch first —
+        // layer latches nest strictly downward so ordering is safe, but
+        // holding it isn't needed once the link is stable).
+        auto* sub = static_cast<Layer*>(b->payloads[i]);
+        Slice suffix(key.data() + 8, key.size() - 8);
+        return PutInLayer(sub, suffix, value);
+      }
+      // Terminal overwrite: swap the value pointer, retire the old one.
+      auto* fresh = new std::string(value.ToString());
+      b->version.Lock();
+      b->version.MarkInserting();
+      auto* old = static_cast<std::string*>(b->payloads[i]);
+      b->payloads[i] = fresh;
+      b->version.Unlock();
+      epochs_->Retire([old] { delete old; });
+      return Status::Ok();
+    }
+  }
+
+  // No exact entry.
+  if (len == kLinkLen) {
+    // Create the sublayer, link it, then insert the suffix there.
+    Layer* sub = NewLayer();
+    InsertIntoBorder(layer, b, &path, slice, kLinkLen, sub);
+    Slice suffix(key.data() + 8, key.size() - 8);
+    Status s = PutInLayer(sub, suffix, value);
+    if (s.ok()) return s;
+    return s;
+  }
+  auto* fresh = new std::string(value.ToString());
+  InsertIntoBorder(layer, b, &path, slice, len, fresh);
+  count_.fetch_add(1, std::memory_order_acq_rel);
+  return Status::Ok();
+}
+
+Status MassTree::Put(const Slice& key, const Slice& value) {
+  s_puts_.fetch_add(1, std::memory_order_relaxed);
+  EpochGuard guard(epochs_.get());
+  return PutInLayer(root_layer_, key, value);
+}
+
+Status MassTree::DeleteInLayer(Layer* layer, const Slice& key) {
+  uint8_t len = 0;
+  uint64_t slice = MakeSlice(key, &len);
+
+  SpinLatchGuard latch(&layer->write_latch);
+  std::vector<Interior*> path;
+  Border* b = FindBorderLocked(layer, slice, &path);
+  for (int i = 0; i < b->n; ++i) {
+    if (b->slices[i] == slice && b->lens[i] == len) {
+      if (len == kLinkLen) {
+        auto* sub = static_cast<Layer*>(b->payloads[i]);
+        Slice suffix(key.data() + 8, key.size() - 8);
+        return DeleteInLayer(sub, suffix);
+      }
+      auto* old = static_cast<std::string*>(b->payloads[i]);
+      b->version.Lock();
+      b->version.MarkInserting();
+      for (int j = i; j < b->n - 1; ++j) {
+        b->slices[j] = b->slices[j + 1];
+        b->lens[j] = b->lens[j + 1];
+        b->payloads[j] = b->payloads[j + 1];
+      }
+      b->n--;
+      b->version.Unlock();
+      epochs_->Retire([old] { delete old; });
+      count_.fetch_sub(1, std::memory_order_acq_rel);
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound();
+}
+
+Status MassTree::Delete(const Slice& key) {
+  s_deletes_.fetch_add(1, std::memory_order_relaxed);
+  EpochGuard guard(epochs_.get());
+  return DeleteInLayer(root_layer_, key);
+}
+
+// ---------------------------------------------------------------------
+// Scans
+// ---------------------------------------------------------------------
+
+namespace {
+
+// Reconstructs the key bytes an entry contributes at this layer.
+std::string SliceBytes(uint64_t slice, int len) {
+  std::string out;
+  for (int i = 0; i < len; ++i) {
+    out.push_back(static_cast<char>((slice >> (8 * (7 - i))) & 0xFF));
+  }
+  return out;
+}
+
+}  // namespace
+
+bool MassTree::ScanLayer(
+    const Layer* layer, const std::string& layer_prefix,
+    const std::string& start_suffix, const Slice& global_end, size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) const {
+  uint8_t start_len = 0;
+  uint64_t start_slice = MakeSlice(Slice(start_suffix), &start_len);
+
+  Border* b = FindBorder(layer, start_slice);
+  while (b != nullptr) {
+    // Optimistically snapshot the border.
+    uint64_t v = b->version.StableSnapshot();
+    int n = b->n;
+    uint64_t slices[kLeafCap];
+    uint8_t lens[kLeafCap];
+    void* payloads[kLeafCap];
+    Border* next = b->next;
+    for (int i = 0; i < n && i < kLeafCap; ++i) {
+      slices[i] = b->slices[i];
+      lens[i] = b->lens[i];
+      payloads[i] = b->payloads[i];
+    }
+    if (b->version.Changed(v)) {
+      s_retries_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // retry the same border
+    }
+
+    for (int i = 0; i < n; ++i) {
+      // Skip entries before the start point.
+      if (EntryLess(slices[i], lens[i], start_slice, start_len)) continue;
+      if (lens[i] == kLinkLen) {
+        auto* sub = static_cast<Layer*>(payloads[i]);
+        std::string sub_prefix = layer_prefix + SliceBytes(slices[i], 8);
+        std::string sub_start;
+        if (slices[i] == start_slice && start_suffix.size() > 8) {
+          sub_start = start_suffix.substr(8);
+        }
+        if (!ScanLayer(sub, sub_prefix, sub_start, global_end, limit, out)) {
+          return false;
+        }
+      } else {
+        std::string key = layer_prefix + SliceBytes(slices[i], lens[i]);
+        if (Slice(key).compare(Slice(start_suffix.size() <= 8
+                                         ? layer_prefix + start_suffix
+                                         : key)) < 0) {
+          continue;
+        }
+        if (!global_end.empty() && Slice(key).compare(global_end) >= 0) {
+          return false;
+        }
+        out->emplace_back(std::move(key),
+                          *static_cast<std::string*>(payloads[i]));
+        if (out->size() >= limit) return false;
+      }
+    }
+    b = next;
+    // After the first border, everything qualifies.
+    start_slice = 0;
+    start_len = 0;
+  }
+  return true;
+}
+
+Status MassTree::Scan(const Slice& start, size_t limit,
+                      std::vector<std::pair<std::string, std::string>>* out,
+                      const Slice& end) const {
+  s_scans_.fetch_add(1, std::memory_order_relaxed);
+  out->clear();
+  if (limit == 0) return Status::Ok();
+  EpochGuard guard(epochs_.get());
+  ScanLayer(root_layer_, "", start.ToString(), end, limit, out);
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------
+
+uint64_t MassTree::MemoryFootprintBytes() const {
+  // Walk the whole trie. Not concurrency-safe; call at a quiescent point
+  // (measurement harnesses do).
+  //
+  // Each node, layer, and value is an individual heap allocation; charge
+  // the allocator's per-chunk overhead (header + size-class rounding),
+  // which is a real part of MassTree's memory expansion relative to the
+  // Bw-tree's packed pages.
+  constexpr uint64_t kAllocOverhead = 32;
+  uint64_t total = sizeof(MassTree);
+  std::function<void(const Layer*)> walk_layer = [&](const Layer* layer) {
+    total += sizeof(Layer) + kAllocOverhead;
+    std::function<void(const void*, int)> walk = [&](const void* node,
+                                                     int level) {
+      if (level > 0) {
+        const auto* in = static_cast<const Interior*>(node);
+        total += sizeof(Interior) + kAllocOverhead;
+        for (int i = 0; i <= in->n; ++i) walk(in->children[i], level - 1);
+        return;
+      }
+      const auto* b = static_cast<const Border*>(node);
+      total += sizeof(Border) + kAllocOverhead;
+      for (int i = 0; i < b->n; ++i) {
+        if (b->lens[i] == kLinkLen) {
+          walk_layer(static_cast<const Layer*>(b->payloads[i]));
+        } else {
+          const auto* s = static_cast<const std::string*>(b->payloads[i]);
+          total += sizeof(std::string) + kAllocOverhead +
+                   (s->capacity() > 15 ? s->capacity() + kAllocOverhead : 0);
+        }
+      }
+    };
+    walk(layer->root.load(std::memory_order_acquire),
+         layer->root_level.load(std::memory_order_acquire));
+  };
+  walk_layer(root_layer_);
+  return total;
+}
+
+MassTree::Stats MassTree::stats() const {
+  Stats s;
+  s.puts = s_puts_.load(std::memory_order_relaxed);
+  s.gets = s_gets_.load(std::memory_order_relaxed);
+  s.deletes = s_deletes_.load(std::memory_order_relaxed);
+  s.scans = s_scans_.load(std::memory_order_relaxed);
+  s.read_retries = s_retries_.load(std::memory_order_relaxed);
+  s.border_splits = s_border_splits_.load(std::memory_order_relaxed);
+  s.interior_splits = s_interior_splits_.load(std::memory_order_relaxed);
+  s.layers_created = s_layers_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace costperf::masstree

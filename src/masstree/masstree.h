@@ -1,0 +1,114 @@
+#ifndef COSTPERF_MASSTREE_MASSTREE_H_
+#define COSTPERF_MASSTREE_MASSTREE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/epoch.h"
+#include "common/latch.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace costperf::masstree {
+
+// From-scratch reimplementation of MassTree (Mao, Kohler, Morris,
+// EuroSys'12): a trie of B+-trees. Each layer indexes 8 bytes of key
+// ("key slice", big-endian so slice order == lexicographic order); keys
+// longer than the slice continue in a nested layer reached through a link
+// entry. Border (leaf) nodes hold up to 15 entries keyed by
+// (slice, effective length), where length 0..8 terminates a key in this
+// layer and the link pseudo-length 9 routes longer keys downward.
+//
+// Concurrency model: readers are latch-free — they snapshot per-node
+// optimistic versions (MassTree's technique) and retry on interference.
+// Writers serialize per layer on a spin latch; nested layers are
+// independent, so writes to different subtrees proceed in parallel. (The
+// original fine-grained hand-over-hand writer locking is out of scope;
+// the paper's P_x measurement is read-side.)
+//
+// This is the paper's main-memory comparison system: all data always in
+// DRAM, pointer-linked fixed-fanout nodes — faster per operation than the
+// Bw-tree but with a larger memory footprint (the M_x of Eq. 7).
+class MassTree {
+ public:
+  MassTree();
+  ~MassTree();
+
+  MassTree(const MassTree&) = delete;
+  MassTree& operator=(const MassTree&) = delete;
+
+  Status Put(const Slice& key, const Slice& value);
+  Result<std::string> Get(const Slice& key) const;
+  Status Delete(const Slice& key);
+
+  // Ordered scan: up to `limit` records with key >= start (and < end when
+  // end is non-empty).
+  Status Scan(const Slice& start, size_t limit,
+              std::vector<std::pair<std::string, std::string>>* out,
+              const Slice& end = Slice()) const;
+
+  uint64_t size() const { return count_.load(std::memory_order_acquire); }
+
+  // Total bytes of nodes + values + layer objects: the measured footprint
+  // that the paper's M_x compares against the Bw-tree's.
+  uint64_t MemoryFootprintBytes() const;
+
+  size_t ReclaimMemory() { return epochs_->TryReclaim(); }
+
+  struct Stats {
+    uint64_t puts = 0, gets = 0, deletes = 0, scans = 0;
+    uint64_t read_retries = 0;   // optimistic validation failures
+    uint64_t border_splits = 0, interior_splits = 0;
+    uint64_t layers_created = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Layer;
+  struct Border;
+  struct Interior;
+
+  static constexpr int kLeafCap = 15;
+  static constexpr int kInteriorCap = 15;  // keys; children = keys+1
+  static constexpr uint8_t kLinkLen = 9;
+
+  // Big-endian slice of up to 8 bytes, zero-padded.
+  static uint64_t MakeSlice(const Slice& key, uint8_t* effective_len);
+
+  Layer* NewLayer();
+  void FreeLayerTree(Layer* layer);
+
+  Status PutInLayer(Layer* layer, const Slice& key, const Slice& value);
+  Result<std::string> GetInLayer(const Layer* layer, const Slice& key) const;
+  Status DeleteInLayer(Layer* layer, const Slice& key);
+  bool ScanLayer(const Layer* layer, const std::string& layer_prefix,
+                 const std::string& start_suffix, const Slice& global_end,
+                 size_t limit,
+                 std::vector<std::pair<std::string, std::string>>* out) const;
+
+  Border* FindBorder(const Layer* layer, uint64_t slice) const;
+  // Writer-side descent (layer latch held).
+  Border* FindBorderLocked(Layer* layer, uint64_t slice,
+                           std::vector<Interior*>* path) const;
+  void InsertIntoBorder(Layer* layer, Border* b, std::vector<Interior*>* path,
+                        uint64_t slice, uint8_t len, void* payload);
+  void InsertIntoParent(Layer* layer, std::vector<Interior*>* path,
+                        void* left, uint64_t sep, void* right, int level);
+
+  std::unique_ptr<EpochManager> epochs_;
+  Layer* root_layer_;
+  std::atomic<uint64_t> count_;
+
+  mutable std::atomic<uint64_t> s_puts_{0}, s_gets_{0}, s_deletes_{0},
+      s_scans_{0}, s_retries_{0}, s_border_splits_{0}, s_interior_splits_{0},
+      s_layers_{0};
+};
+
+}  // namespace costperf::masstree
+
+#endif  // COSTPERF_MASSTREE_MASSTREE_H_

@@ -1,0 +1,62 @@
+#include "storage/io_path.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace costperf::storage {
+
+namespace {
+// Sink defeating dead-code elimination of the burn loop.
+volatile uint64_t g_burn_sink = 0;
+}  // namespace
+
+void BurnWork(uint32_t units) {
+  // Each unit: a few dependent ALU ops (xorshift step). Dependent chain
+  // prevents the compiler or CPU from collapsing the loop.
+  uint64_t x = g_burn_sink | 0x9E3779B97F4A7C15ull;
+  for (uint32_t i = 0; i < units; ++i) {
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    x *= 0x2545F4914F6CDD1Dull;
+  }
+  g_burn_sink = x;
+}
+
+IoPathSimulator::IoPathSimulator(IoPathOptions options) : options_(options) {}
+
+uint64_t IoPathSimulator::Execute(IoPathKind kind, char* transfer,
+                                  size_t bytes) {
+  uint64_t units = 0;
+  switch (kind) {
+    case IoPathKind::kUserLevel:
+      units = options_.user_level_units;
+      BurnWork(options_.user_level_units);
+      break;
+    case IoPathKind::kOsMediated:
+      units = options_.os_mediated_units;
+      BurnWork(options_.os_mediated_units);
+      if (options_.os_extra_copy && transfer != nullptr && bytes > 0) {
+        // Kernel <-> user buffer copy: one extra pass over the data.
+        std::vector<char> kernel_buf(bytes);
+        memcpy(kernel_buf.data(), transfer, bytes);
+        memcpy(transfer, kernel_buf.data(), bytes);
+        g_burn_sink =
+            g_burn_sink + static_cast<unsigned char>(kernel_buf[bytes / 2]);
+      }
+      break;
+  }
+  return units;
+}
+
+double IoPathSimulator::MeasureNanosPerUnit() {
+  constexpr uint32_t kProbeUnits = 2'000'000;
+  const uint64_t start = ThreadCpuNanos();
+  BurnWork(kProbeUnits);
+  const uint64_t end = ThreadCpuNanos();
+  return static_cast<double>(end - start) / kProbeUnits;
+}
+
+}  // namespace costperf::storage

@@ -1,0 +1,68 @@
+#ifndef COSTPERF_STORAGE_IO_PATH_H_
+#define COSTPERF_STORAGE_IO_PATH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace costperf::storage {
+
+// Which software path an I/O takes. The paper (§7.1.1) attributes a large
+// part of secondary-storage operation cost to the *execution* of the I/O:
+// with a conventional OS-mediated path the SS/MM execution ratio R was ~9x;
+// moving the path to user level (SPDK) cut the I/O execution path by about
+// a third and dropped R to ~5.8x.
+enum class IoPathKind {
+  // SPDK-style user-level I/O: polled completion, no protection-boundary
+  // crossing, no extra buffer copy.
+  kUserLevel,
+  // Conventional OS path: syscall crossing, kernel buffer copy, thread
+  // context switch on completion.
+  kOsMediated,
+};
+
+// Tuning for the synthetic I/O execution path. Units are abstract "work
+// units"; one unit is a short, fixed ALU sequence (see BurnWork). Defaults
+// are calibrated so that a full SS operation (path work + page checksum +
+// deserialization) costs ~5-6x an MM operation under kUserLevel and ~9x
+// under kOsMediated, mirroring the paper's measured ratios.
+struct IoPathOptions {
+  // Issue + poll-completion work for the user-level path (~1.5us on a
+  // typical core: SPDK submit + poll).
+  uint32_t user_level_units = 500;
+  // Syscall entry/exit, kernel dispatch, interrupt handling and the
+  // thread context switch for the OS path (~7.5us).
+  uint32_t os_mediated_units = 2500;
+  // The OS path additionally copies the transfer through a kernel buffer.
+  bool os_extra_copy = true;
+};
+
+// Burns a deterministic amount of CPU. Exposed so calibration code and
+// tests can measure the per-unit cost on the host.
+void BurnWork(uint32_t units);
+
+// Simulates the CPU execution cost of one I/O: burns path work and (for
+// the OS path) memcpy's the transfer once through a scratch buffer, then
+// returns the number of work units consumed. The actual CPU nanoseconds
+// show up in the caller's thread CPU time, which is what the paper's R
+// measures.
+class IoPathSimulator {
+ public:
+  explicit IoPathSimulator(IoPathOptions options = {});
+
+  // `transfer` is the destination/source buffer (may be nullptr with
+  // bytes==0 for pure-control operations like trim).
+  uint64_t Execute(IoPathKind kind, char* transfer, size_t bytes);
+
+  const IoPathOptions& options() const { return options_; }
+
+  // Measures nanoseconds per work unit on this host by burning a probe
+  // batch; used by calibration to translate units to expected CPU time.
+  static double MeasureNanosPerUnit();
+
+ private:
+  IoPathOptions options_;
+};
+
+}  // namespace costperf::storage
+
+#endif  // COSTPERF_STORAGE_IO_PATH_H_

@@ -1,0 +1,42 @@
+#ifndef COSTPERF_STORAGE_RATE_LIMITER_H_
+#define COSTPERF_STORAGE_RATE_LIMITER_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace costperf::storage {
+
+// Token-bucket rate limiter used to enforce the device's IOPS capacity.
+// `Acquire` reserves one token and returns the number of nanoseconds the
+// caller would have to wait for its I/O to be admitted (0 when the device
+// has headroom). Callers decide whether to actually wait: a throughput
+// bench that measures CPU cost only accounts the delay, while a
+// latency-faithful run sleeps it off.
+class RateLimiter {
+ public:
+  // rate_per_sec == 0 disables limiting. burst is the bucket depth.
+  RateLimiter(Clock* clock, double rate_per_sec, uint64_t burst = 64);
+
+  // Reserves one token; returns wait nanos until the token is usable.
+  uint64_t Acquire();
+
+  // Observed admission rate headroom: true if a token is available now.
+  bool TryAcquire();
+
+  double rate_per_sec() const { return rate_per_sec_; }
+  void set_rate_per_sec(double r);
+
+ private:
+  Clock* clock_;
+  double rate_per_sec_;
+  uint64_t interval_nanos_;  // nanoseconds per token
+  uint64_t burst_;
+  // Virtual time of the next free token slot.
+  std::atomic<uint64_t> next_slot_nanos_;
+};
+
+}  // namespace costperf::storage
+
+#endif  // COSTPERF_STORAGE_RATE_LIMITER_H_

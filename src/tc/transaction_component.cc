@@ -1,0 +1,355 @@
+#include "tc/transaction_component.h"
+
+#include <algorithm>
+
+namespace costperf::tc {
+
+// ---------------------------------------------------------------------
+// RecoveryLog
+// ---------------------------------------------------------------------
+
+uint64_t RecoveryLog::AppendCommit(const std::vector<RedoRecord>& records) {
+  std::lock_guard<std::mutex> lk(mu_);
+  commits_.push_back(records);
+  return commits_.size();
+}
+
+void RecoveryLog::Flush() {
+  std::lock_guard<std::mutex> lk(mu_);
+  durable_commits_ = commits_.size();
+}
+
+uint64_t RecoveryLog::durable_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return durable_commits_;
+}
+
+uint64_t RecoveryLog::end_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return commits_.size();
+}
+
+void RecoveryLog::ReplayDurable(
+    const std::function<void(const RedoRecord&)>& fn) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (uint64_t i = 0; i < durable_commits_; ++i) {
+    for (const auto& r : commits_[i]) fn(r);
+  }
+}
+
+uint64_t RecoveryLog::ApproxBytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t b = 0;
+  for (const auto& commit : commits_) {
+    for (const auto& r : commit) {
+      b += sizeof(RedoRecord) + r.key.size() + r.value.size();
+    }
+  }
+  return b;
+}
+
+// ---------------------------------------------------------------------
+// TransactionComponent
+// ---------------------------------------------------------------------
+
+TransactionComponent::TransactionComponent(bwtree::BwTree* data_component,
+                                           RecoveryLog* log,
+                                           TcOptions options)
+    : dc_(data_component),
+      log_(log),
+      options_(options),
+      next_ts_(1),
+      next_txn_id_(1) {}
+
+TransactionComponent::~TransactionComponent() = default;
+
+Transaction* TransactionComponent::Begin() {
+  s_begun_.fetch_add(1, std::memory_order_relaxed);
+  auto txn = std::make_unique<Transaction>();
+  txn->id_ = next_txn_id_.fetch_add(1, std::memory_order_acq_rel);
+  txn->begin_ts_ = next_ts_.fetch_add(1, std::memory_order_acq_rel);
+  Transaction* raw = txn.get();
+  std::lock_guard<std::mutex> lk(mu_);
+  active_[raw->begin_ts_] = raw;
+  txns_.push_back(std::move(txn));
+  return raw;
+}
+
+uint64_t TransactionComponent::OldestActiveTs() const {
+  // Caller holds mu_.
+  return active_.empty() ? next_ts_.load(std::memory_order_acquire)
+                         : active_.begin()->first;
+}
+
+Status TransactionComponent::Read(Transaction* txn, const Slice& key,
+                                  std::string* value) {
+  s_reads_.fetch_add(1, std::memory_order_relaxed);
+  const std::string k = key.ToString();
+
+  // 0. Own writes first.
+  auto wit = txn->writes.find(k);
+  if (wit != txn->writes.end()) {
+    if (wit->second.second) return Status::NotFound();
+    *value = wit->second.first;
+    return Status::Ok();
+  }
+  txn->read_set.push_back(k);
+
+  // 1. MVCC version store (the updated-record cache): newest version with
+  //    ts <= begin_ts.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = versions_.find(k);
+    if (it != versions_.end()) {
+      const auto& chain = it->second.versions;
+      for (auto vit = chain.rbegin(); vit != chain.rend(); ++vit) {
+        if (vit->ts <= txn->begin_ts_) {
+          s_vs_hits_.fetch_add(1, std::memory_order_relaxed);
+          if (vit->is_delete) return Status::NotFound();
+          *value = vit->value;
+          return Status::Ok();
+        }
+      }
+      // All versions are newer than our snapshot: the pre-image must come
+      // from below (read cache / DC), which holds only older state.
+    }
+  }
+
+  // 2. Read cache (records previously fetched from the DC).
+  if (ReadCacheGet(k, value)) {
+    s_rc_hits_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+
+  // 3. Data component.
+  s_dc_reads_.fetch_add(1, std::memory_order_relaxed);
+  auto r = dc_->Get(key);
+  if (!r.ok()) return r.status();
+  *value = *r;
+  ReadCachePut(k, *value);
+  return Status::Ok();
+}
+
+void TransactionComponent::Write(Transaction* txn, const Slice& key,
+                                 const Slice& value) {
+  s_writes_.fetch_add(1, std::memory_order_relaxed);
+  txn->writes[key.ToString()] = {value.ToString(), false};
+}
+
+void TransactionComponent::Delete(Transaction* txn, const Slice& key) {
+  s_writes_.fetch_add(1, std::memory_order_relaxed);
+  txn->writes[key.ToString()] = {"", true};
+}
+
+Status TransactionComponent::Commit(Transaction* txn) {
+  if (txn->finished) return Status::FailedPrecondition("txn finished");
+  if (txn->writes.empty()) {
+    Abort(txn);  // read-only: nothing to validate under SI
+    s_aborted_.fetch_sub(1, std::memory_order_relaxed);
+    s_committed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+
+  uint64_t commit_ts;
+  std::vector<RedoRecord> redo;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // First-committer-wins: any committed version newer than our snapshot
+    // on a key we write is a write-write conflict.
+    for (const auto& [k, wv] : txn->writes) {
+      auto it = versions_.find(k);
+      if (it == versions_.end()) continue;
+      const auto& chain = it->second.versions;
+      if (!chain.empty() && chain.back().ts > txn->begin_ts_) {
+        active_.erase(txn->begin_ts_);
+        txn->finished = true;
+        s_conflicts_.fetch_add(1, std::memory_order_relaxed);
+        s_aborted_.fetch_add(1, std::memory_order_relaxed);
+        return Status::Aborted("write-write conflict on " + k);
+      }
+    }
+    commit_ts = next_ts_.fetch_add(1, std::memory_order_acq_rel);
+    // Install versions (this is the updated-record cache growing).
+    for (const auto& [k, wv] : txn->writes) {
+      auto& chain = versions_[k];
+      chain.versions.push_back(Version{commit_ts, wv.second, wv.first});
+      version_bytes_ += sizeof(Version) + k.size() + wv.first.size();
+      redo.push_back(RedoRecord{txn->id_, commit_ts, wv.second, k, wv.first});
+    }
+    active_.erase(txn->begin_ts_);
+    txn->finished = true;
+  }
+
+  // Harden the redo log, then post blind updates to the DC. The paper:
+  // "all transactional updates are blind updates at the Bw-tree", ordered
+  // by timestamp, identical during normal operation and recovery.
+  log_->AppendCommit(redo);
+  log_->Flush();
+  for (const auto& r : redo) {
+    Status s = r.is_delete ? dc_->Delete(Slice(r.key), r.commit_ts)
+                           : dc_->Put(Slice(r.key), Slice(r.value),
+                                      r.commit_ts);
+    if (!s.ok()) return s;
+    s_blind_posts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& r : redo) {
+      auto it = versions_.find(r.key);
+      if (it == versions_.end()) continue;
+      for (auto& v : it->second.versions) {
+        if (v.ts == r.commit_ts) v.posted_to_dc = true;
+      }
+    }
+  }
+  s_committed_.fetch_add(1, std::memory_order_relaxed);
+  if (version_store_bytes() > options_.version_store_bytes) PruneVersions();
+  return Status::Ok();
+}
+
+void TransactionComponent::Abort(Transaction* txn) {
+  if (txn->finished) return;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    active_.erase(txn->begin_ts_);
+  }
+  txn->finished = true;
+  s_aborted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status TransactionComponent::ReadOne(const Slice& key, std::string* value) {
+  Transaction* txn = Begin();
+  Status s = Read(txn, key, value);
+  Abort(txn);  // read-only; no log traffic
+  s_aborted_.fetch_sub(1, std::memory_order_relaxed);
+  s_committed_.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+Status TransactionComponent::WriteOne(const Slice& key, const Slice& value) {
+  Transaction* txn = Begin();
+  Write(txn, key, value);
+  return Commit(txn);
+}
+
+Status TransactionComponent::RecoverFromLog() {
+  Status out = Status::Ok();
+  log_->ReplayDurable([&](const RedoRecord& r) {
+    Status s = r.is_delete ? dc_->Delete(Slice(r.key), r.commit_ts)
+                           : dc_->Put(Slice(r.key), Slice(r.value),
+                                      r.commit_ts);
+    if (!s.ok()) out = s;
+    s_blind_posts_.fetch_add(1, std::memory_order_relaxed);
+  });
+  return out;
+}
+
+size_t TransactionComponent::PruneVersions() {
+  std::lock_guard<std::mutex> lk(mu_);
+  const uint64_t horizon = OldestActiveTs();
+  size_t pruned = 0;
+  for (auto it = versions_.begin(); it != versions_.end();) {
+    auto& chain = it->second.versions;
+    // Keep the newest version visible at the horizon plus anything newer;
+    // drop older posted versions.
+    size_t keep_from = 0;
+    for (size_t i = chain.size(); i-- > 0;) {
+      if (chain[i].ts <= horizon) {
+        keep_from = i;  // newest version <= horizon stays
+        break;
+      }
+    }
+    size_t removable = 0;
+    for (size_t i = 0; i < keep_from; ++i) {
+      if (chain[i].posted_to_dc) ++removable;
+    }
+    if (removable > 0) {
+      size_t removed = 0;
+      std::vector<Version> kept;
+      kept.reserve(chain.size() - removable);
+      for (size_t i = 0; i < chain.size(); ++i) {
+        if (i < keep_from && chain[i].posted_to_dc) {
+          version_bytes_ -=
+              std::min<uint64_t>(version_bytes_,
+                                 sizeof(Version) + it->first.size() +
+                                     chain[i].value.size());
+          ++removed;
+          continue;
+        }
+        kept.push_back(std::move(chain[i]));
+      }
+      chain.swap(kept);
+      pruned += removed;
+    }
+    if (chain.empty()) {
+      it = versions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  s_pruned_.fetch_add(pruned, std::memory_order_relaxed);
+  return pruned;
+}
+
+void TransactionComponent::ReadCachePut(const std::string& key,
+                                        const std::string& value) {
+  std::lock_guard<std::mutex> lk(rc_mu_);
+  auto it = read_cache_.find(key);
+  if (it != read_cache_.end()) {
+    rc_bytes_ -= it->second.value.size();
+    it->second.value = value;
+    rc_bytes_ += value.size();
+    rc_lru_.splice(rc_lru_.end(), rc_lru_, it->second.pos);
+    return;
+  }
+  rc_lru_.push_back(key);
+  read_cache_[key] = RcEntry{value, std::prev(rc_lru_.end())};
+  rc_bytes_ += key.size() + value.size();
+  while (rc_bytes_ > options_.read_cache_bytes && !rc_lru_.empty()) {
+    const std::string& victim = rc_lru_.front();
+    auto vit = read_cache_.find(victim);
+    if (vit != read_cache_.end()) {
+      rc_bytes_ -= victim.size() + vit->second.value.size();
+      read_cache_.erase(vit);
+    }
+    rc_lru_.pop_front();
+  }
+}
+
+bool TransactionComponent::ReadCacheGet(const std::string& key,
+                                        std::string* value) {
+  std::lock_guard<std::mutex> lk(rc_mu_);
+  auto it = read_cache_.find(key);
+  if (it == read_cache_.end()) return false;
+  *value = it->second.value;
+  rc_lru_.splice(rc_lru_.end(), rc_lru_, it->second.pos);
+  return true;
+}
+
+TcStats TransactionComponent::stats() const {
+  TcStats s;
+  s.begun = s_begun_.load(std::memory_order_relaxed);
+  s.committed = s_committed_.load(std::memory_order_relaxed);
+  s.aborted = s_aborted_.load(std::memory_order_relaxed);
+  s.conflicts = s_conflicts_.load(std::memory_order_relaxed);
+  s.reads = s_reads_.load(std::memory_order_relaxed);
+  s.writes = s_writes_.load(std::memory_order_relaxed);
+  s.reads_from_version_store = s_vs_hits_.load(std::memory_order_relaxed);
+  s.reads_from_read_cache = s_rc_hits_.load(std::memory_order_relaxed);
+  s.reads_from_dc = s_dc_reads_.load(std::memory_order_relaxed);
+  s.blind_posts_to_dc = s_blind_posts_.load(std::memory_order_relaxed);
+  s.versions_pruned = s_pruned_.load(std::memory_order_relaxed);
+  return s;
+}
+
+uint64_t TransactionComponent::version_store_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return version_bytes_;
+}
+
+uint64_t TransactionComponent::read_cache_bytes() const {
+  std::lock_guard<std::mutex> lk(rc_mu_);
+  return rc_bytes_;
+}
+
+}  // namespace costperf::tc

@@ -1,0 +1,181 @@
+#ifndef COSTPERF_TC_TRANSACTION_COMPONENT_H_
+#define COSTPERF_TC_TRANSACTION_COMPONENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bwtree/bwtree.h"
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace costperf::tc {
+
+// One redo record on the recovery log.
+struct RedoRecord {
+  uint64_t txn_id = 0;
+  uint64_t commit_ts = 0;
+  bool is_delete = false;
+  std::string key;
+  std::string value;
+};
+
+// In-memory recovery log. Buffers are append-only; "flushing" marks them
+// durable but — and this is the paper's §6.3 point — the buffers are
+// RETAINED in memory afterwards, so the redo records double as an
+// updated-record cache. Shareable across TC instances to model restart.
+class RecoveryLog {
+ public:
+  RecoveryLog() = default;
+
+  // Appends a committed transaction's redo records; returns its LSN.
+  uint64_t AppendCommit(const std::vector<RedoRecord>& records);
+  // Marks everything up to the current end durable.
+  void Flush();
+  uint64_t durable_lsn() const;
+  uint64_t end_lsn() const;
+
+  // Replays all durable records in commit order.
+  void ReplayDurable(
+      const std::function<void(const RedoRecord&)>& fn) const;
+
+  uint64_t ApproxBytes() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::vector<RedoRecord>> commits_;
+  uint64_t durable_commits_ = 0;
+};
+
+struct TcOptions {
+  // Read-cache capacity (records read from the DC, §6.3 / Fig. 6).
+  uint64_t read_cache_bytes = 8ull << 20;
+  // Versions older than the oldest active transaction and already posted
+  // to the DC are pruned when the store exceeds this budget.
+  uint64_t version_store_bytes = 32ull << 20;
+};
+
+struct TcStats {
+  uint64_t begun = 0, committed = 0, aborted = 0, conflicts = 0;
+  uint64_t reads = 0, writes = 0;
+  // Where reads were served (the record-cache effect: the first two avoid
+  // both the I/O *and* the trip into the data component).
+  uint64_t reads_from_version_store = 0;
+  uint64_t reads_from_read_cache = 0;
+  uint64_t reads_from_dc = 0;
+  uint64_t blind_posts_to_dc = 0;
+  uint64_t versions_pruned = 0;
+};
+
+class TransactionComponent;
+
+// Handle for an open transaction. Obtained from Begin(); owned by the TC.
+class Transaction {
+ public:
+  uint64_t id() const { return id_; }
+  uint64_t begin_ts() const { return begin_ts_; }
+
+ private:
+  friend class TransactionComponent;
+  uint64_t id_ = 0;
+  uint64_t begin_ts_ = 0;
+  bool finished = false;
+  // Write set: key -> (value, is_delete). Last write wins.
+  std::map<std::string, std::pair<std::string, bool>> writes;
+  std::vector<std::string> read_set;
+};
+
+// Deuteronomy-style transaction component over the Bw-tree data
+// component (paper §6.2/§6.3, Fig. 6):
+//  - multi-version concurrency control whose hash table stores the record
+//    versions themselves (an updated-record cache),
+//  - a recovery redo log whose retained buffers serve the same versions,
+//  - a log-structured read cache for records fetched from the DC,
+//  - commit-time posting of updates to the DC as timestamped *blind*
+//    updates — the DC page need not be resident.
+//
+// Isolation: snapshot reads at begin_ts with first-committer-wins
+// write-write conflict detection (standard SI).
+class TransactionComponent {
+ public:
+  TransactionComponent(bwtree::BwTree* data_component, RecoveryLog* log,
+                       TcOptions options = {});
+  ~TransactionComponent();
+
+  TransactionComponent(const TransactionComponent&) = delete;
+  TransactionComponent& operator=(const TransactionComponent&) = delete;
+
+  Transaction* Begin();
+  Status Read(Transaction* txn, const Slice& key, std::string* value);
+  void Write(Transaction* txn, const Slice& key, const Slice& value);
+  void Delete(Transaction* txn, const Slice& key);
+  // Returns Aborted on write-write conflict (txn is finished either way).
+  Status Commit(Transaction* txn);
+  void Abort(Transaction* txn);
+
+  // Non-transactional single ops (auto-commit).
+  Status ReadOne(const Slice& key, std::string* value);
+  Status WriteOne(const Slice& key, const Slice& value);
+
+  // Replays the durable log into the DC (restart path; §6.2 notes updates
+  // are handled identically during normal operation and recovery).
+  Status RecoverFromLog();
+
+  // Prunes posted, globally-visible old versions.
+  size_t PruneVersions();
+
+  TcStats stats() const;
+  uint64_t version_store_bytes() const;
+  uint64_t read_cache_bytes() const;
+
+ private:
+  struct Version {
+    uint64_t ts;
+    bool is_delete;
+    std::string value;
+    bool posted_to_dc = false;
+  };
+  struct VersionChain {
+    std::vector<Version> versions;  // ascending ts
+  };
+
+  uint64_t OldestActiveTs() const;
+  void ReadCachePut(const std::string& key, const std::string& value);
+  bool ReadCacheGet(const std::string& key, std::string* value);
+
+  bwtree::BwTree* dc_;
+  RecoveryLog* log_;
+  TcOptions options_;
+
+  std::atomic<uint64_t> next_ts_;
+  std::atomic<uint64_t> next_txn_id_;
+
+  mutable std::mutex mu_;  // guards versions_, active_, txns_
+  std::unordered_map<std::string, VersionChain> versions_;
+  uint64_t version_bytes_ = 0;
+  std::map<uint64_t, Transaction*> active_;  // begin_ts -> txn
+  std::vector<std::unique_ptr<Transaction>> txns_;
+
+  mutable std::mutex rc_mu_;  // read cache
+  std::list<std::string> rc_lru_;  // keys, front = LRU
+  struct RcEntry {
+    std::string value;
+    std::list<std::string>::iterator pos;
+  };
+  std::unordered_map<std::string, RcEntry> read_cache_;
+  uint64_t rc_bytes_ = 0;
+
+  mutable std::atomic<uint64_t> s_begun_{0}, s_committed_{0}, s_aborted_{0},
+      s_conflicts_{0}, s_reads_{0}, s_writes_{0}, s_vs_hits_{0},
+      s_rc_hits_{0}, s_dc_reads_{0}, s_blind_posts_{0}, s_pruned_{0};
+};
+
+}  // namespace costperf::tc
+
+#endif  // COSTPERF_TC_TRANSACTION_COMPONENT_H_

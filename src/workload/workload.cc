@@ -1,0 +1,243 @@
+#include "workload/workload.h"
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace costperf::workload {
+
+namespace {
+
+WorkloadSpec BaseSpec(uint64_t records) {
+  WorkloadSpec s;
+  s.record_count = records;
+  return s;
+}
+
+}  // namespace
+
+WorkloadSpec WorkloadSpec::YcsbA(uint64_t records) {
+  WorkloadSpec s = BaseSpec(records);
+  s.read_proportion = 0.5;
+  s.update_proportion = 0.5;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::YcsbB(uint64_t records) {
+  WorkloadSpec s = BaseSpec(records);
+  s.read_proportion = 0.95;
+  s.update_proportion = 0.05;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::YcsbC(uint64_t records) {
+  WorkloadSpec s = BaseSpec(records);
+  s.read_proportion = 1.0;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::YcsbD(uint64_t records) {
+  WorkloadSpec s = BaseSpec(records);
+  s.read_proportion = 0.95;
+  s.insert_proportion = 0.05;
+  s.distribution = Distribution::kLatest;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::YcsbE(uint64_t records) {
+  WorkloadSpec s = BaseSpec(records);
+  s.scan_proportion = 0.95;
+  s.insert_proportion = 0.05;
+  s.read_proportion = 0.0;
+  return s;
+}
+
+WorkloadSpec WorkloadSpec::YcsbF(uint64_t records) {
+  WorkloadSpec s = BaseSpec(records);
+  s.read_proportion = 0.5;
+  s.rmw_proportion = 0.5;
+  return s;
+}
+
+Workload::Workload(WorkloadSpec spec, uint64_t thread_seed_offset)
+    : spec_(spec),
+      rng_(spec.seed + thread_seed_offset * 0x9E3779B97F4A7C15ull),
+      insert_cursor_(spec.record_count) {
+  uint64_t dseed = spec.seed ^ (thread_seed_offset + 1);
+  switch (spec_.distribution) {
+    case Distribution::kUniform:
+      break;
+    case Distribution::kZipfian:
+      zipf_ = std::make_unique<ZipfianGenerator>(spec_.record_count,
+                                                 spec_.zipf_theta, dseed);
+      break;
+    case Distribution::kScrambledZipfian:
+      scrambled_ = std::make_unique<ScrambledZipfianGenerator>(
+          spec_.record_count, spec_.zipf_theta, dseed);
+      break;
+    case Distribution::kLatest:
+      latest_ = std::make_unique<LatestGenerator>(spec_.record_count,
+                                                  spec_.zipf_theta, dseed);
+      break;
+    case Distribution::kHotspot:
+      hotspot_ = std::make_unique<HotspotGenerator>(
+          spec_.record_count, spec_.hotspot_set_fraction,
+          spec_.hotspot_access_fraction, dseed);
+      break;
+  }
+}
+
+std::string Workload::KeyAt(uint64_t i) const {
+  char buf[40];
+  snprintf(buf, sizeof(buf), "%s%012llu", spec_.key_prefix.c_str(),
+           static_cast<unsigned long long>(i));
+  return buf;
+}
+
+uint64_t Workload::NextKeyIndex() {
+  switch (spec_.distribution) {
+    case Distribution::kUniform:
+      return rng_.Uniform(insert_cursor_);
+    case Distribution::kZipfian:
+      return zipf_->Next();
+    case Distribution::kScrambledZipfian:
+      return scrambled_->Next();
+    case Distribution::kLatest:
+      latest_->set_max(insert_cursor_);
+      return latest_->Next();
+    case Distribution::kHotspot:
+      return hotspot_->Next();
+  }
+  return 0;
+}
+
+std::string Workload::RandomValue() {
+  std::string v(spec_.value_size, '\0');
+  rng_.Fill(v.data(), v.size());
+  return v;
+}
+
+Op Workload::NextOp() {
+  Op op;
+  double dice = rng_.NextDouble();
+  double acc = spec_.read_proportion;
+  if (dice < acc) {
+    op.type = OpType::kRead;
+    op.key = KeyAt(NextKeyIndex());
+    return op;
+  }
+  acc += spec_.update_proportion;
+  if (dice < acc) {
+    op.type = OpType::kUpdate;
+    op.key = KeyAt(NextKeyIndex());
+    op.value = RandomValue();
+    return op;
+  }
+  acc += spec_.insert_proportion;
+  if (dice < acc) {
+    op.type = OpType::kInsert;
+    op.key = KeyAt(insert_cursor_++);
+    op.value = RandomValue();
+    return op;
+  }
+  acc += spec_.scan_proportion;
+  if (dice < acc) {
+    op.type = OpType::kScan;
+    op.key = KeyAt(NextKeyIndex());
+    op.scan_len = 1 + rng_.Uniform(spec_.max_scan_len);
+    return op;
+  }
+  op.type = OpType::kReadModifyWrite;
+  op.key = KeyAt(NextKeyIndex());
+  op.value = RandomValue();
+  return op;
+}
+
+Status Workload::Load(core::KvStore* store) {
+  for (uint64_t i = 0; i < spec_.record_count; ++i) {
+    Status s = store->Put(Slice(KeyAt(i)), Slice(RandomValue()));
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+RunResult RunWorkload(core::KvStore* store, Workload* workload,
+                      uint64_t op_count) {
+  RunResult result;
+  std::vector<std::pair<std::string, std::string>> scan_buf;
+  RealClock* wall = RealClock::Global();
+  const uint64_t wall_start = wall->NowNanos();
+  const uint64_t cpu_start = ThreadCpuNanos();
+  for (uint64_t i = 0; i < op_count; ++i) {
+    Op op = workload->NextOp();
+    Status s;
+    switch (op.type) {
+      case OpType::kRead: {
+        auto r = store->Get(Slice(op.key));
+        s = r.ok() || r.status().IsNotFound() ? Status::Ok() : r.status();
+        break;
+      }
+      case OpType::kUpdate:
+      case OpType::kInsert:
+        s = store->Put(Slice(op.key), Slice(op.value));
+        break;
+      case OpType::kScan:
+        s = store->Scan(Slice(op.key), op.scan_len, &scan_buf);
+        break;
+      case OpType::kReadModifyWrite: {
+        auto r = store->Get(Slice(op.key));
+        std::string v = r.ok() ? *r : std::string();
+        v += op.value;
+        if (v.size() > 2 * workload->spec().value_size) {
+          v.resize(workload->spec().value_size);
+        }
+        s = store->Put(Slice(op.key), Slice(v));
+        break;
+      }
+    }
+    if (!s.ok()) result.failed_ops++;
+  }
+  const uint64_t cpu_end = ThreadCpuNanos();
+  const uint64_t wall_end = wall->NowNanos();
+  result.ops = op_count;
+  result.cpu_seconds = static_cast<double>(cpu_end - cpu_start) * 1e-9;
+  result.wall_seconds = static_cast<double>(wall_end - wall_start) * 1e-9;
+  result.ops_per_cpu_sec =
+      result.cpu_seconds > 0 ? op_count / result.cpu_seconds : 0;
+  result.ops_per_wall_sec =
+      result.wall_seconds > 0 ? op_count / result.wall_seconds : 0;
+  return result;
+}
+
+RunResult RunWorkloadThreaded(core::KvStore* store, const WorkloadSpec& spec,
+                              uint64_t ops_per_thread, int threads) {
+  std::vector<RunResult> results(threads);
+  std::vector<std::thread> ts;
+  RealClock* wall = RealClock::Global();
+  const uint64_t wall_start = wall->NowNanos();
+  for (int t = 0; t < threads; ++t) {
+    ts.emplace_back([&, t] {
+      Workload w(spec, /*thread_seed_offset=*/t + 1);
+      results[t] = RunWorkload(store, &w, ops_per_thread);
+    });
+  }
+  for (auto& th : ts) th.join();
+  const uint64_t wall_end = wall->NowNanos();
+
+  RunResult total;
+  for (const auto& r : results) {
+    total.ops += r.ops;
+    total.cpu_seconds += r.cpu_seconds;
+    total.failed_ops += r.failed_ops;
+  }
+  total.wall_seconds = static_cast<double>(wall_end - wall_start) * 1e-9;
+  total.ops_per_cpu_sec =
+      total.cpu_seconds > 0 ? total.ops / total.cpu_seconds : 0;
+  total.ops_per_wall_sec =
+      total.wall_seconds > 0 ? total.ops / total.wall_seconds : 0;
+  return total;
+}
+
+}  // namespace costperf::workload

@@ -1,0 +1,112 @@
+#ifndef COSTPERF_WORKLOAD_WORKLOAD_H_
+#define COSTPERF_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "core/kv_store.h"
+
+namespace costperf::workload {
+
+enum class Distribution {
+  kUniform,
+  kZipfian,           // rank-ordered (key 0 hottest)
+  kScrambledZipfian,  // YCSB default: hot keys scattered
+  kLatest,
+  kHotspot,
+};
+
+enum class OpType { kRead, kUpdate, kInsert, kScan, kReadModifyWrite };
+
+// A YCSB-flavored workload description. Proportions must sum to ~1.
+struct WorkloadSpec {
+  uint64_t record_count = 100'000;
+  double read_proportion = 1.0;
+  double update_proportion = 0.0;
+  double insert_proportion = 0.0;
+  double scan_proportion = 0.0;
+  double rmw_proportion = 0.0;
+
+  Distribution distribution = Distribution::kScrambledZipfian;
+  double zipf_theta = 0.99;
+  double hotspot_set_fraction = 0.1;
+  double hotspot_access_fraction = 0.9;
+
+  size_t value_size = 100;
+  size_t max_scan_len = 100;
+  std::string key_prefix = "user";
+  uint64_t seed = 0xC0FFEE;
+
+  // YCSB core workload presets.
+  static WorkloadSpec YcsbA(uint64_t records);  // 50/50 read/update
+  static WorkloadSpec YcsbB(uint64_t records);  // 95/5 read/update
+  static WorkloadSpec YcsbC(uint64_t records);  // 100% read
+  static WorkloadSpec YcsbD(uint64_t records);  // 95/5 read-latest/insert
+  static WorkloadSpec YcsbE(uint64_t records);  // 95/5 scan/insert
+  static WorkloadSpec YcsbF(uint64_t records);  // 50/50 read/RMW
+};
+
+// One generated operation.
+struct Op {
+  OpType type = OpType::kRead;
+  std::string key;
+  std::string value;     // for updates/inserts
+  size_t scan_len = 0;   // for scans
+};
+
+// Deterministic operation stream for one thread.
+class Workload {
+ public:
+  explicit Workload(WorkloadSpec spec, uint64_t thread_seed_offset = 0);
+
+  // Key for record index i ("user0000001234"-style, fixed width so
+  // lexicographic order == numeric order).
+  std::string KeyAt(uint64_t i) const;
+
+  Op NextOp();
+
+  // Inserts all `record_count` records (sequential keys, random values).
+  Status Load(core::KvStore* store);
+
+  const WorkloadSpec& spec() const { return spec_; }
+  uint64_t inserted_count() const { return insert_cursor_; }
+
+ private:
+  uint64_t NextKeyIndex();
+  std::string RandomValue();
+
+  WorkloadSpec spec_;
+  Random rng_;
+  std::unique_ptr<ZipfianGenerator> zipf_;
+  std::unique_ptr<ScrambledZipfianGenerator> scrambled_;
+  std::unique_ptr<LatestGenerator> latest_;
+  std::unique_ptr<HotspotGenerator> hotspot_;
+  uint64_t insert_cursor_;
+};
+
+// Result of a measured run. CPU seconds is thread CPU time, matching the
+// paper's definition of performance ("the time the core spends executing
+// the operation", excluding I/O waits).
+struct RunResult {
+  uint64_t ops = 0;
+  double wall_seconds = 0;
+  double cpu_seconds = 0;
+  double ops_per_cpu_sec = 0;
+  double ops_per_wall_sec = 0;
+  uint64_t failed_ops = 0;
+};
+
+// Runs `op_count` operations single-threaded on the store.
+RunResult RunWorkload(core::KvStore* store, Workload* workload,
+                      uint64_t op_count);
+
+// Runs on `threads` threads, each with an independent op stream; results
+// are summed (CPU seconds aggregate across threads).
+RunResult RunWorkloadThreaded(core::KvStore* store, const WorkloadSpec& spec,
+                              uint64_t ops_per_thread, int threads);
+
+}  // namespace costperf::workload
+
+#endif  // COSTPERF_WORKLOAD_WORKLOAD_H_

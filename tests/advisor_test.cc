@@ -1,0 +1,87 @@
+#include "costmodel/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "costmodel/five_minute_rule.h"
+
+namespace costperf::costmodel {
+namespace {
+
+TEST(AdvisorTest, BreakevenMatchesRule) {
+  CostAdvisor advisor(CostParams::PaperDefaults());
+  EXPECT_DOUBLE_EQ(
+      advisor.breakeven_interval_seconds(),
+      BreakevenIntervalSeconds(CostParams::PaperDefaults()));
+}
+
+TEST(AdvisorTest, HotPageGoesToMainMemory) {
+  CostAdvisor advisor(CostParams::PaperDefaults());
+  Advice a = advisor.AdviseForRate(1000.0);
+  EXPECT_EQ(a.tier, Tier::kMainMemory);
+  EXPECT_LT(a.mm_cost, a.ss_cost);
+  EXPECT_FALSE(a.css_cost.has_value());
+}
+
+TEST(AdvisorTest, ColdPageGoesToFlash) {
+  CostAdvisor advisor(CostParams::PaperDefaults());
+  Advice a = advisor.AdviseForInterval(3600.0);  // touched hourly
+  EXPECT_EQ(a.tier, Tier::kSecondaryStorage);
+  EXPECT_LT(a.ss_cost, a.mm_cost);
+}
+
+TEST(AdvisorTest, NeverAccessedGoesToCheapestStorage) {
+  CostAdvisor advisor(CostParams::PaperDefaults());
+  Advice a = advisor.AdviseForInterval(0.0);  // interval 0 => "max rate"
+  EXPECT_EQ(a.tier, Tier::kMainMemory);
+}
+
+TEST(AdvisorTest, ShouldEvictPastBreakeven) {
+  CostAdvisor advisor(CostParams::PaperDefaults());
+  double t_i = advisor.breakeven_interval_seconds();
+  EXPECT_FALSE(advisor.ShouldEvict(t_i * 0.5));
+  EXPECT_TRUE(advisor.ShouldEvict(t_i * 1.5));
+}
+
+TEST(AdvisorTest, CompressionAddsThirdTier) {
+  CostAdvisor advisor(CostParams::PaperDefaults(), CompressionParams{});
+  Advice cold = advisor.AdviseForInterval(1e6);
+  ASSERT_TRUE(cold.css_cost.has_value());
+  EXPECT_EQ(cold.tier, Tier::kCompressedSecondary);
+  Advice hot = advisor.AdviseForRate(10000.0);
+  EXPECT_EQ(hot.tier, Tier::kMainMemory);
+}
+
+TEST(AdvisorTest, SavingsNonNegative) {
+  CostAdvisor advisor(CostParams::PaperDefaults(), CompressionParams{});
+  for (double rate : {1e-6, 1e-3, 1.0, 1e3, 1e6}) {
+    EXPECT_GE(advisor.AdviseForRate(rate).savings_vs_worst, 0.0);
+  }
+}
+
+TEST(AdvisorTest, DescribeRegimesMentionsBreakeven) {
+  CostAdvisor plain(CostParams::PaperDefaults());
+  EXPECT_NE(plain.DescribeRegimes().find("T_i"), std::string::npos);
+  CostAdvisor with_css(CostParams::PaperDefaults(), CompressionParams{});
+  EXPECT_NE(with_css.DescribeRegimes().find("CSS"), std::string::npos);
+}
+
+// Property sweep: the advisor's tier choice must always be the argmin of
+// the reported per-tier costs.
+class AdvisorSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AdvisorSweepTest, TierIsArgminOfReportedCosts) {
+  CostAdvisor advisor(CostParams::PaperDefaults(), CompressionParams{});
+  Advice a = advisor.AdviseForRate(GetParam());
+  double best = std::min({a.mm_cost, a.ss_cost, *a.css_cost});
+  double chosen = a.tier == Tier::kMainMemory ? a.mm_cost
+                  : a.tier == Tier::kSecondaryStorage ? a.ss_cost
+                                                      : *a.css_cost;
+  EXPECT_DOUBLE_EQ(chosen, best);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, AdvisorSweepTest,
+                         ::testing::Values(1e-9, 1e-6, 1e-4, 1e-2, 0.022,
+                                           1.0, 10.0, 1e3, 1e6, 1e9));
+
+}  // namespace
+}  // namespace costperf::costmodel

@@ -1,0 +1,54 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace costperf {
+namespace {
+
+TEST(ClockTest, RealClockMonotonic) {
+  RealClock clock;
+  uint64_t a = clock.NowNanos();
+  uint64_t b = clock.NowNanos();
+  EXPECT_LE(a, b);
+}
+
+TEST(ClockTest, VirtualClockStartsAtOrigin) {
+  VirtualClock c(123);
+  EXPECT_EQ(c.NowNanos(), 123u);
+}
+
+TEST(ClockTest, VirtualClockAdvances) {
+  VirtualClock c;
+  c.AdvanceNanos(1000);
+  EXPECT_EQ(c.NowNanos(), 1000u);
+  c.AdvanceSeconds(2.0);
+  EXPECT_EQ(c.NowNanos(), 1000u + 2'000'000'000u);
+  c.SetNanos(5);
+  EXPECT_EQ(c.NowNanos(), 5u);
+}
+
+TEST(ClockTest, ThreadCpuTimeGrowsUnderWork) {
+  uint64_t start = ThreadCpuNanos();
+  volatile uint64_t x = 1;
+  for (int i = 0; i < 2'000'000; ++i) x = x * 6364136223846793005ull + 1;
+  uint64_t end = ThreadCpuNanos();
+  EXPECT_GT(end, start);
+}
+
+TEST(ClockTest, ScopedTimerAccumulates) {
+  VirtualClock c;
+  uint64_t total = 0;
+  {
+    ScopedTimer t(&c, &total);
+    c.AdvanceNanos(500);
+  }
+  EXPECT_EQ(total, 500u);
+  {
+    ScopedTimer t(&c, &total);
+    c.AdvanceNanos(250);
+  }
+  EXPECT_EQ(total, 750u);
+}
+
+}  // namespace
+}  // namespace costperf

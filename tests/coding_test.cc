@@ -1,0 +1,93 @@
+#include "common/coding.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace costperf {
+namespace {
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  std::string s;
+  PutFixed32(&s, 0xDEADBEEFu);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_EQ(DecodeFixed32(s.data()), 0xDEADBEEFu);
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  std::string s;
+  PutFixed64(&s, 0x0123456789ABCDEFull);
+  ASSERT_EQ(s.size(), 8u);
+  EXPECT_EQ(DecodeFixed64(s.data()), 0x0123456789ABCDEFull);
+}
+
+TEST(CodingTest, VarintBoundaries) {
+  for (uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull, 0xFFFFFFFFull,
+        0xFFFFFFFFFFFFFFFFull}) {
+    std::string s;
+    PutVarint64(&s, v);
+    EXPECT_EQ(static_cast<int>(s.size()), VarintLength(v));
+    uint64_t out = 0;
+    const char* p = GetVarint64(s.data(), s.data() + s.size(), &out);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(p, s.data() + s.size());
+  }
+}
+
+TEST(CodingTest, Varint32RejectsOverflow) {
+  std::string s;
+  PutVarint64(&s, 0x1FFFFFFFFull);  // > UINT32_MAX
+  uint32_t out;
+  EXPECT_EQ(GetVarint32(s.data(), s.data() + s.size(), &out), nullptr);
+}
+
+TEST(CodingTest, TruncatedVarintFails) {
+  std::string s;
+  PutVarint64(&s, 1ull << 40);
+  uint64_t out;
+  EXPECT_EQ(GetVarint64(s.data(), s.data() + s.size() - 1, &out), nullptr);
+}
+
+TEST(CodingTest, VarintFuzzRoundTrip) {
+  Random rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    uint64_t v = rng.Next() >> (rng.Uniform(64));
+    std::string s;
+    PutVarint64(&s, v);
+    uint64_t out = 0;
+    ASSERT_NE(GetVarint64(s.data(), s.data() + s.size(), &out), nullptr);
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(CodingTest, LengthPrefixedSliceRoundTrip) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, Slice("payload"));
+  PutLengthPrefixedSlice(&s, Slice(""));
+  PutLengthPrefixedSlice(&s, Slice("tail"));
+  Slice a, b, c;
+  const char* p = s.data();
+  const char* limit = s.data() + s.size();
+  p = GetLengthPrefixedSlice(p, limit, &a);
+  ASSERT_NE(p, nullptr);
+  p = GetLengthPrefixedSlice(p, limit, &b);
+  ASSERT_NE(p, nullptr);
+  p = GetLengthPrefixedSlice(p, limit, &c);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(a.ToString(), "payload");
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(c.ToString(), "tail");
+  EXPECT_EQ(p, limit);
+}
+
+TEST(CodingTest, LengthPrefixedSliceTruncatedBodyFails) {
+  std::string s;
+  PutLengthPrefixedSlice(&s, Slice("0123456789"));
+  Slice out;
+  EXPECT_EQ(GetLengthPrefixedSlice(s.data(), s.data() + 5, &out), nullptr);
+}
+
+}  // namespace
+}  // namespace costperf

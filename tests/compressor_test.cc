@@ -1,0 +1,144 @@
+#include "compression/compressor.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+
+namespace costperf::compression {
+namespace {
+
+std::string RoundTrip(const std::string& input) {
+  std::string compressed, output;
+  Compressor::Compress(Slice(input), &compressed);
+  Status s = Compressor::Decompress(Slice(compressed), &output);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return output;
+}
+
+TEST(CompressorTest, EmptyInput) { EXPECT_EQ(RoundTrip(""), ""); }
+
+TEST(CompressorTest, ShortInput) {
+  EXPECT_EQ(RoundTrip("a"), "a");
+  EXPECT_EQ(RoundTrip("abc"), "abc");
+}
+
+TEST(CompressorTest, RepetitiveInputCompressesWell) {
+  std::string input;
+  for (int i = 0; i < 1000; ++i) input += "the quick brown fox ";
+  std::string compressed;
+  Compressor::Compress(Slice(input), &compressed);
+  EXPECT_LT(compressed.size(), input.size() / 5);
+  std::string out;
+  ASSERT_TRUE(Compressor::Decompress(Slice(compressed), &out).ok());
+  EXPECT_EQ(out, input);
+}
+
+TEST(CompressorTest, RunLengthSelfOverlap) {
+  // Offset < match length exercises the overlapping-copy path.
+  std::string input(10000, 'x');
+  EXPECT_EQ(RoundTrip(input), input);
+  std::string compressed;
+  Compressor::Compress(Slice(input), &compressed);
+  EXPECT_LT(compressed.size(), 100u);
+}
+
+TEST(CompressorTest, RandomBytesRoundTrip) {
+  Random rng(1234);
+  for (size_t len : {1u, 5u, 64u, 1000u, 65536u}) {
+    std::string input(len, '\0');
+    rng.Fill(input.data(), len);
+    EXPECT_EQ(RoundTrip(input), input) << "len=" << len;
+  }
+}
+
+TEST(CompressorTest, IncompressibleDataExpandsOnlySlightly) {
+  Random rng(555);
+  std::string input(10000, '\0');
+  rng.Fill(input.data(), input.size());
+  std::string compressed;
+  Compressor::Compress(Slice(input), &compressed);
+  EXPECT_LT(compressed.size(), input.size() + input.size() / 20 + 32);
+}
+
+TEST(CompressorTest, StructuredRecordsRoundTrip) {
+  // Key-value page-like content: numbered keys with shared prefixes.
+  std::string input;
+  for (int i = 0; i < 500; ++i) {
+    char buf[64];
+    snprintf(buf, sizeof(buf), "user%08d|field_a=value_%d|", i, i % 7);
+    input += buf;
+  }
+  EXPECT_EQ(RoundTrip(input), input);
+  EXPECT_LT(Compressor::MeasureRatio(Slice(input)), 0.6);
+}
+
+TEST(CompressorTest, DecompressRejectsTruncation) {
+  std::string input(1000, 'q');
+  std::string compressed;
+  Compressor::Compress(Slice(input), &compressed);
+  std::string out;
+  for (size_t cut : {compressed.size() - 1, compressed.size() / 2, size_t{1}}) {
+    Status s =
+        Compressor::Decompress(Slice(compressed.data(), cut), &out);
+    EXPECT_FALSE(s.ok()) << "cut=" << cut;
+    EXPECT_TRUE(s.IsCorruption());
+  }
+}
+
+TEST(CompressorTest, DecompressRejectsGarbage) {
+  Random rng(777);
+  std::string garbage(256, '\0');
+  int failures = 0;
+  for (int i = 0; i < 50; ++i) {
+    rng.Fill(garbage.data(), garbage.size());
+    std::string out;
+    if (!Compressor::Decompress(Slice(garbage), &out).ok()) ++failures;
+  }
+  // Random bytes should almost never parse as a valid stream of the right
+  // declared size.
+  EXPECT_GT(failures, 45);
+}
+
+TEST(CompressorTest, DecompressEnforcesSizeLimit) {
+  std::string input(100000, 'z');
+  std::string compressed;
+  Compressor::Compress(Slice(input), &compressed);
+  std::string out;
+  Status s = Compressor::Decompress(Slice(compressed), &out, 1000);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(CompressorTest, MeasureRatioBounds) {
+  EXPECT_DOUBLE_EQ(Compressor::MeasureRatio(Slice("")), 1.0);
+  std::string repetitive(4096, 'a');
+  EXPECT_LT(Compressor::MeasureRatio(Slice(repetitive)), 0.05);
+}
+
+// Property sweep over sizes: round trip always exact.
+class CompressorSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompressorSweepTest, MixedContentRoundTrip) {
+  Random rng(GetParam());
+  size_t len = 100 + rng.Uniform(20000);
+  std::string input;
+  input.reserve(len);
+  while (input.size() < len) {
+    if (rng.Bernoulli(0.5)) {
+      // Compressible run.
+      input.append(10 + rng.Uniform(50), static_cast<char>(rng.Uniform(256)));
+    } else {
+      std::string noise(1 + rng.Uniform(40), '\0');
+      rng.Fill(noise.data(), noise.size());
+      input += noise;
+    }
+  }
+  EXPECT_EQ(RoundTrip(input), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompressorSweepTest,
+                         ::testing::Range(1, 16));
+
+}  // namespace
+}  // namespace costperf::compression

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/caching_store.h"
+#include "core/memory_store.h"
+#include "workload/workload.h"
+
+namespace costperf::core {
+namespace {
+
+CachingStoreOptions SmallStoreOptions(VirtualClock* clock = nullptr) {
+  CachingStoreOptions o;
+  o.memory_budget_bytes = 512 << 10;
+  o.device.capacity_bytes = 256ull << 20;
+  o.device.max_iops = 0;
+  o.tree.max_page_bytes = 2048;
+  o.maintenance_interval_ops = 64;
+  o.clock = clock;
+  return o;
+}
+
+TEST(CachingStoreTest, BasicCrud) {
+  CachingStore store(SmallStoreOptions());
+  ASSERT_TRUE(store.Put("k", "v").ok());
+  EXPECT_EQ(*store.Get("k"), "v");
+  ASSERT_TRUE(store.Delete("k").ok());
+  EXPECT_TRUE(store.Get("k").status().IsNotFound());
+}
+
+TEST(CachingStoreTest, StaysNearMemoryBudgetUnderLoad) {
+  CachingStore store(SmallStoreOptions());
+  workload::WorkloadSpec spec = workload::WorkloadSpec::YcsbC(20'000);
+  workload::Workload w(spec);
+  ASSERT_TRUE(w.Load(&store).ok());
+  store.Maintain();
+  // Resident bytes should be within ~2 maintenance intervals of budget.
+  EXPECT_LT(store.cache()->resident_bytes(),
+            store.options().memory_budget_bytes * 2);
+  // Data remains correct despite evictions.
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(store.Get(w.KeyAt(i * 97 % 20'000)).ok());
+  }
+  EXPECT_GT(store.tree()->stats().full_evictions +
+                store.tree()->stats().record_cache_evictions,
+            0u);
+  EXPECT_GT(store.tree()->stats().ss_ops, 0u);
+}
+
+TEST(CachingStoreTest, EvictAllForcesColdCache) {
+  CachingStore store(SmallStoreOptions());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        store.Put("key" + std::to_string(i), "val" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(store.EvictAll().ok());
+  EXPECT_EQ(store.tree()->resident_leaves(), 0u);
+  EXPECT_EQ(*store.Get("key123"), "val123");
+}
+
+TEST(CachingStoreTest, CheckpointThenReadBack) {
+  CachingStore store(SmallStoreOptions());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(store.Put("k" + std::to_string(i), "v").ok());
+  }
+  ASSERT_TRUE(store.Checkpoint().ok());
+  EXPECT_GT(store.device()->stats().writes, 0u);
+}
+
+TEST(CachingStoreTest, GcReclaimsDeadSegments) {
+  auto opts = SmallStoreOptions();
+  opts.maintenance_interval_ops = 0;  // manual control
+  CachingStore store(opts);
+  std::string val(500, 'x');
+  // Two full overwrite rounds leave the early segments mostly dead.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 2000; ++i) {
+      ASSERT_TRUE(store.Put("k" + std::to_string(i), val).ok());
+    }
+    ASSERT_TRUE(store.Checkpoint().ok());
+  }
+  uint64_t occupied_before = store.device()->stats().occupied_bytes;
+  ASSERT_TRUE(store.RunGc(0.5).ok());
+  EXPECT_LT(store.device()->stats().occupied_bytes, occupied_before);
+  for (int i = 0; i < 2000; i += 37) {
+    ASSERT_TRUE(store.Get("k" + std::to_string(i)).ok()) << i;
+  }
+}
+
+TEST(CachingStoreTest, CostBasedPolicyEvictsIdlePages) {
+  VirtualClock clock(1'000'000'000);
+  auto opts = SmallStoreOptions(&clock);
+  opts.eviction_policy = llama::EvictionPolicy::kCostBased;
+  opts.breakeven_interval_seconds = 45.0;
+  opts.memory_budget_bytes = 0;  // no budget pressure: pure cost policy
+  opts.maintenance_interval_ops = 0;
+  CachingStore store(opts);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(store.Put("k" + std::to_string(i), std::string(100, 'v')).ok());
+  }
+  EXPECT_GT(store.tree()->resident_leaves(), 0u);
+  clock.AdvanceSeconds(60.0);  // everything past breakeven
+  store.Maintain();
+  EXPECT_EQ(store.tree()->resident_leaves(), 0u)
+      << "cost-based policy must evict pages idle past T_i";
+}
+
+TEST(CachingStoreTest, LruPolicyKeepsPagesWithoutPressure) {
+  VirtualClock clock(1'000'000'000);
+  auto opts = SmallStoreOptions(&clock);
+  opts.eviction_policy = llama::EvictionPolicy::kLru;
+  opts.memory_budget_bytes = 0;
+  opts.maintenance_interval_ops = 0;
+  CachingStore store(opts);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(store.Put("k" + std::to_string(i), std::string(100, 'v')).ok());
+  }
+  clock.AdvanceSeconds(60.0);
+  store.Maintain();
+  EXPECT_GT(store.tree()->resident_leaves(), 0u)
+      << "LRU without budget pressure evicts nothing";
+}
+
+TEST(CachingStoreTest, StatsStringMentionsComponents) {
+  CachingStore store(SmallStoreOptions());
+  ASSERT_TRUE(store.Put("a", "b").ok());
+  std::string s = store.StatsString();
+  EXPECT_NE(s.find("bwtree:"), std::string::npos);
+  EXPECT_NE(s.find("device:"), std::string::npos);
+  EXPECT_NE(s.find("cache:"), std::string::npos);
+}
+
+
+TEST(CachingStoreTest, MaintenanceMergesUnderfullLeaves) {
+  auto opts = SmallStoreOptions();
+  opts.merge_fill_target = 0.5;
+  opts.maintenance_interval_ops = 0;
+  opts.memory_budget_bytes = 0;
+  CachingStore store(opts);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(store.Put("key" + std::to_string(100000 + i),
+                          std::string(100, 'v'))
+                    .ok());
+  }
+  size_t leaves_before = store.tree()->LeafPageIds().size();
+  for (int i = 100; i < 2000; ++i) {
+    ASSERT_TRUE(store.Delete("key" + std::to_string(100000 + i)).ok());
+  }
+  store.Maintain();
+  EXPECT_GT(store.tree()->stats().leaf_merges, 0u);
+  EXPECT_LT(store.tree()->LeafPageIds().size(), leaves_before);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(store.Get("key" + std::to_string(100000 + i)).ok()) << i;
+  }
+}
+
+TEST(MemoryStoreTest, BasicCrudAndScan) {
+  MemoryStore store;
+  ASSERT_TRUE(store.Put("a", "1").ok());
+  ASSERT_TRUE(store.Put("b", "2").ok());
+  ASSERT_TRUE(store.Put("c", "3").ok());
+  EXPECT_EQ(*store.Get("b"), "2");
+  ASSERT_TRUE(store.Delete("b").ok());
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(store.Scan("a", 10, &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].first, "a");
+  EXPECT_EQ(out[1].first, "c");
+}
+
+TEST(MemoryStoreTest, FootprintLargerThanCachingStoreForSameData) {
+  // The M_x > 1 property the paper measures (Eq. 7). Same records in
+  // both stores, both fully in memory.
+  MemoryStore mass;
+  CachingStoreOptions copts;
+  copts.memory_budget_bytes = 0;  // fully cached
+  copts.device.capacity_bytes = 256ull << 20;
+  copts.device.max_iops = 0;
+  copts.maintenance_interval_ops = 0;
+  CachingStore bw(copts);
+
+  workload::WorkloadSpec spec = workload::WorkloadSpec::YcsbC(20'000);
+  workload::Workload w1(spec), w2(spec);
+  ASSERT_TRUE(w1.Load(&mass).ok());
+  ASSERT_TRUE(w2.Load(&bw).ok());
+  bw.Maintain();
+
+  double mx = static_cast<double>(mass.MemoryFootprintBytes()) /
+              static_cast<double>(bw.MemoryFootprintBytes());
+  EXPECT_GT(mx, 1.0) << "MassTree must use more memory than the Bw-tree";
+  EXPECT_LT(mx, 10.0) << "but not absurdly more";
+}
+
+TEST(WorkloadStoresTest, BothStoresAgreeUnderYcsbA) {
+  MemoryStore mass;
+  CachingStore bw(SmallStoreOptions());
+  workload::WorkloadSpec spec = workload::WorkloadSpec::YcsbA(2'000);
+  spec.value_size = 32;
+  workload::Workload loader(spec);
+  ASSERT_TRUE(loader.Load(&mass).ok());
+  workload::Workload loader2(spec);
+  ASSERT_TRUE(loader2.Load(&bw).ok());
+
+  // Same op stream applied to both stores must produce identical reads.
+  workload::Workload ops_a(spec, 7), ops_b(spec, 7);
+  for (int i = 0; i < 5'000; ++i) {
+    auto op_a = ops_a.NextOp();
+    auto op_b = ops_b.NextOp();
+    ASSERT_EQ(op_a.key, op_b.key);
+    switch (op_a.type) {
+      case workload::OpType::kRead: {
+        auto ra = mass.Get(Slice(op_a.key));
+        auto rb = bw.Get(Slice(op_b.key));
+        ASSERT_EQ(ra.ok(), rb.ok()) << op_a.key;
+        if (ra.ok()) ASSERT_EQ(*ra, *rb);
+        break;
+      }
+      default:
+        ASSERT_TRUE(mass.Put(Slice(op_a.key), Slice(op_a.value)).ok());
+        ASSERT_TRUE(bw.Put(Slice(op_b.key), Slice(op_b.value)).ok());
+        break;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace costperf::core

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "costmodel/advisor.h"
+#include "costmodel/five_minute_rule.h"
+#include "costmodel/masstree_compare.h"
+#include "costmodel/mixed_workload.h"
+#include "costmodel/operation_cost.h"
+
+namespace costperf::costmodel {
+namespace {
+
+// Property tests: the cost model's algebraic invariants must hold for
+// arbitrary (sane) parameterizations, not just the paper's constants.
+
+CostParams RandomParams(Random* rng) {
+  CostParams p;
+  p.dram_cost_per_byte = 1e-9 * (1 + rng->Uniform(20));        // $1-20/GB
+  p.flash_cost_per_byte = p.dram_cost_per_byte /
+                          (5.0 + rng->Uniform(20));            // 5-25x cheaper
+  p.processor_cost = 50.0 + rng->Uniform(1000);
+  p.ssd_io_capability_cost = 5.0 + rng->Uniform(300);
+  p.rops = 1e5 * (1 + rng->Uniform(100));
+  p.iops = 1e4 * (1 + rng->Uniform(100));
+  p.r = 1.5 + rng->NextDouble() * 15;
+  p.page_size_bytes = 256.0 * (1 + rng->Uniform(64));
+  return p;
+}
+
+class RandomParamsTest : public ::testing::TestWithParam<int> {
+ protected:
+  RandomParamsTest() : rng_(GetParam() * 2654435761u), p_(RandomParams(&rng_)) {}
+  Random rng_;
+  CostParams p_;
+};
+
+TEST_P(RandomParamsTest, BreakevenEquatesMmAndSsCosts) {
+  double n_star = BreakevenOpsPerSec(p_);
+  ASSERT_GT(n_star, 0);
+  double mm = MmCost(n_star, p_).total();
+  double ss = SsCost(n_star, p_).total();
+  EXPECT_NEAR(mm, ss, std::abs(mm) * 1e-9);
+}
+
+TEST_P(RandomParamsTest, RegimesArePartitioned) {
+  // Below breakeven SS is cheaper, above MM is cheaper — always, because
+  // both costs are affine in N and cross exactly once.
+  double n_star = BreakevenOpsPerSec(p_);
+  for (double m : {0.01, 0.25, 0.9}) {
+    EXPECT_GT(MmCost(n_star * m, p_).total(), SsCost(n_star * m, p_).total());
+  }
+  for (double m : {1.1, 4.0, 100.0}) {
+    EXPECT_LT(MmCost(n_star * m, p_).total(), SsCost(n_star * m, p_).total());
+  }
+}
+
+TEST_P(RandomParamsTest, ClassicRuleNeverExceedsUpdatedRule) {
+  // The CPU-path term can only extend the breakeven interval (R > 1).
+  EXPECT_LE(ClassicBreakevenIntervalSeconds(p_),
+            BreakevenIntervalSeconds(p_) * (1 + 1e-12));
+}
+
+TEST_P(RandomParamsTest, BreakevenScalesInverselyWithPageSize) {
+  CostParams doubled = p_;
+  doubled.page_size_bytes *= 2;
+  EXPECT_NEAR(BreakevenIntervalSeconds(doubled) * 2,
+              BreakevenIntervalSeconds(p_),
+              BreakevenIntervalSeconds(p_) * 1e-9);
+}
+
+TEST_P(RandomParamsTest, MixedModelInverses) {
+  for (double f : {0.0, 0.3, 0.9, 1.0}) {
+    double pf = MixedThroughput(p_.rops, f, p_.r);
+    EXPECT_NEAR(MixedExecTimePerOp(p_.rops, f, p_.r) * pf, 1.0, 1e-9);
+    if (f > 0) EXPECT_NEAR(DeriveR(p_.rops, pf, f), p_.r, p_.r * 1e-9);
+  }
+}
+
+TEST_P(RandomParamsTest, AdvisorTierIsAlwaysArgmin) {
+  CompressionParams c;
+  c.compression_ratio = 0.2 + rng_.NextDouble() * 0.7;
+  c.decompress_r = rng_.NextDouble() * 8;
+  CostAdvisor advisor(p_, c);
+  for (double n = 1e-8; n < 1e8; n *= 13) {
+    Advice a = advisor.AdviseForRate(n);
+    double best = std::min({a.mm_cost, a.ss_cost, *a.css_cost});
+    double chosen = a.tier == Tier::kMainMemory          ? a.mm_cost
+                    : a.tier == Tier::kSecondaryStorage ? a.ss_cost
+                                                        : *a.css_cost;
+    EXPECT_DOUBLE_EQ(chosen, best) << "rate " << n;
+  }
+}
+
+TEST_P(RandomParamsTest, CssRegimeIsContiguous) {
+  CompressionParams c;
+  c.compression_ratio = 0.2 + rng_.NextDouble() * 0.6;
+  c.decompress_r = 0.5 + rng_.NextDouble() * 6;
+  // Tier order can only move CSS -> SS -> MM as the rate grows (each cost
+  // is affine in N with slopes ordered MM < SS < CSS and intercepts
+  // ordered CSS < SS < MM).
+  int rank_prev = -1;
+  for (double n = 1e-9; n < 1e9; n *= 2) {
+    Tier t = CheapestTier(n, p_, c);
+    int rank = t == Tier::kCompressedSecondary ? 0
+               : t == Tier::kSecondaryStorage ? 1
+                                              : 2;
+    EXPECT_GE(rank, rank_prev) << "tier order regressed at N=" << n;
+    rank_prev = std::max(rank_prev, rank);
+  }
+}
+
+TEST_P(RandomParamsTest, MassTreeCrossoverEquatesCosts) {
+  SystemComparison sys;
+  sys.px = 1.2 + rng_.NextDouble() * 4;
+  sys.mx = 1.1 + rng_.NextDouble() * 4;
+  sys.database_bytes = 1e8 * (1 + rng_.Uniform(1000));
+  double t = CrossoverIntervalSeconds(sys, p_);
+  ASSERT_GT(t, 0);
+  double bw = BwTreeCostPerOp(t, sys, p_);
+  double mt = MassTreeCostPerOp(t, sys, p_);
+  EXPECT_NEAR(bw, mt, bw * 1e-9);
+}
+
+TEST_P(RandomParamsTest, RecordBreakevenScalesWithRecordsPerPage) {
+  double page_t = BreakevenIntervalSeconds(p_);
+  for (int rpp : {2, 7, 32}) {
+    double rec_t =
+        RecordBreakevenIntervalSeconds(p_, p_.page_size_bytes / rpp);
+    EXPECT_NEAR(rec_t, page_t * rpp, page_t * rpp * 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomParamsTest, ::testing::Range(1, 25));
+
+}  // namespace
+}  // namespace costperf::costmodel

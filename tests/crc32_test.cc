@@ -1,0 +1,40 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace costperf {
+namespace {
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32C("123456789") = 0xE3069283 (iSCSI test vector).
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+}
+
+TEST(Crc32Test, EmptyInput) { EXPECT_EQ(Crc32c("", 0), 0u); }
+
+TEST(Crc32Test, DiffersOnSingleBitFlip) {
+  std::string data(1024, 'a');
+  uint32_t base = Crc32c(data.data(), data.size());
+  data[512] ^= 1;
+  EXPECT_NE(Crc32c(data.data(), data.size()), base);
+}
+
+TEST(Crc32Test, SeedChaining) {
+  // Chained CRC differs from unchained but is deterministic.
+  uint32_t a = Crc32c("hello", 5);
+  uint32_t chained = Crc32c("world", 5, a);
+  EXPECT_EQ(chained, Crc32c("world", 5, Crc32c("hello", 5)));
+  EXPECT_NE(chained, Crc32c("world", 5));
+}
+
+TEST(Crc32Test, MaskRoundTrips) {
+  for (uint32_t v : {0u, 1u, 0xDEADBEEFu, 0xFFFFFFFFu, 0xE3069283u}) {
+    EXPECT_EQ(UnmaskCrc(MaskCrc(v)), v);
+    EXPECT_NE(MaskCrc(v), v);
+  }
+}
+
+}  // namespace
+}  // namespace costperf

@@ -1,0 +1,117 @@
+#include "core/cursor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/caching_store.h"
+#include "core/memory_store.h"
+
+namespace costperf::core {
+namespace {
+
+std::string Key(int i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key%06d", i);
+  return buf;
+}
+
+template <typename StoreT>
+void FillStore(StoreT* store, int n) {
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(store->Put(Key(i), "v" + std::to_string(i)).ok());
+  }
+}
+
+TEST(CursorTest, FullTraversalMemoryStore) {
+  MemoryStore store;
+  FillStore(&store, 500);
+  Cursor c(&store);
+  int count = 0;
+  for (; c.Valid(); c.Next()) {
+    EXPECT_EQ(c.key(), Key(count));
+    EXPECT_EQ(c.value(), "v" + std::to_string(count));
+    ++count;
+  }
+  EXPECT_EQ(count, 500);
+  EXPECT_TRUE(c.status().ok());
+}
+
+TEST(CursorTest, FullTraversalCachingStoreWithPaging) {
+  CachingStoreOptions opts;
+  opts.memory_budget_bytes = 32 << 10;  // forces paging mid-scan
+  opts.device.capacity_bytes = 128ull << 20;
+  opts.device.max_iops = 0;
+  opts.tree.max_page_bytes = 512;
+  opts.maintenance_interval_ops = 64;
+  CachingStore store(opts);
+  FillStore(&store, 2000);
+  ASSERT_TRUE(store.EvictAll().ok());  // scan from a fully cold cache
+
+  Cursor c(&store, Slice(), /*batch_size=*/64);
+  int count = 0;
+  for (; c.Valid(); c.Next()) {
+    ASSERT_EQ(c.key(), Key(count)) << count;
+    ++count;
+  }
+  EXPECT_EQ(count, 2000);
+}
+
+TEST(CursorTest, StartMidRange) {
+  MemoryStore store;
+  FillStore(&store, 100);
+  Cursor c(&store, Slice(Key(42)));
+  ASSERT_TRUE(c.Valid());
+  EXPECT_EQ(c.key(), Key(42));
+}
+
+TEST(CursorTest, SeekJumpsForwardAndBackward) {
+  MemoryStore store;
+  FillStore(&store, 100);
+  Cursor c(&store);
+  c.Seek(Key(90));
+  ASSERT_TRUE(c.Valid());
+  EXPECT_EQ(c.key(), Key(90));
+  c.Seek(Key(10));
+  ASSERT_TRUE(c.Valid());
+  EXPECT_EQ(c.key(), Key(10));
+}
+
+TEST(CursorTest, EmptyStore) {
+  MemoryStore store;
+  Cursor c(&store);
+  EXPECT_FALSE(c.Valid());
+  c.Next();  // safe on invalid
+  EXPECT_FALSE(c.Valid());
+}
+
+TEST(CursorTest, BatchBoundaryHasNoDuplicatesOrGaps) {
+  MemoryStore store;
+  FillStore(&store, 333);
+  // Batch sizes that do and do not divide the record count.
+  for (size_t batch : {1u, 7u, 111u, 333u, 1000u}) {
+    Cursor c(&store, Slice(), batch);
+    int count = 0;
+    for (; c.Valid(); c.Next()) {
+      ASSERT_EQ(c.key(), Key(count)) << "batch=" << batch;
+      ++count;
+    }
+    EXPECT_EQ(count, 333) << "batch=" << batch;
+  }
+}
+
+TEST(CursorTest, KeysWithTrailingNulAreNotSkipped) {
+  MemoryStore store;
+  std::string a("ab", 2), b(std::string("ab\0", 3)), c3("ac");
+  ASSERT_TRUE(store.Put(a, "1").ok());
+  ASSERT_TRUE(store.Put(b, "2").ok());
+  ASSERT_TRUE(store.Put(c3, "3").ok());
+  Cursor c(&store, Slice(), /*batch_size=*/1);
+  std::vector<std::string> seen;
+  for (; c.Valid(); c.Next()) seen.push_back(c.key());
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], a);
+  EXPECT_EQ(seen[1], b);
+  EXPECT_EQ(seen[2], c3);
+}
+
+}  // namespace
+}  // namespace costperf::core

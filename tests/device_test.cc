@@ -1,0 +1,158 @@
+#include "storage/device.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace costperf::storage {
+namespace {
+
+SsdOptions TestOptions() {
+  SsdOptions o;
+  o.capacity_bytes = 64ull << 20;
+  o.max_iops = 0;  // no throttle in unit tests
+  return o;
+}
+
+TEST(DeviceTest, WriteThenReadRoundTrip) {
+  SsdDevice dev(TestOptions());
+  std::string data = "hello flash";
+  ASSERT_TRUE(dev.Write(4096, Slice(data)).ok());
+  std::vector<char> buf(data.size());
+  ASSERT_TRUE(dev.Read(4096, buf.size(), buf.data()).ok());
+  EXPECT_EQ(std::string(buf.data(), buf.size()), data);
+}
+
+TEST(DeviceTest, UnwrittenReadsAsZero) {
+  SsdDevice dev(TestOptions());
+  std::vector<char> buf(128, 'x');
+  ASSERT_TRUE(dev.Read(0, buf.size(), buf.data()).ok());
+  for (char c : buf) EXPECT_EQ(c, 0);
+}
+
+TEST(DeviceTest, CrossChunkWrite) {
+  SsdDevice dev(TestOptions());
+  // Spans the 1 MiB chunk boundary.
+  std::string data(2 << 20, 'z');
+  uint64_t off = (1 << 20) - 4096;
+  ASSERT_TRUE(dev.Write(off, Slice(data)).ok());
+  std::vector<char> buf(data.size());
+  ASSERT_TRUE(dev.Read(off, buf.size(), buf.data()).ok());
+  EXPECT_EQ(memcmp(buf.data(), data.data(), data.size()), 0);
+}
+
+TEST(DeviceTest, OutOfRangeRejected) {
+  SsdDevice dev(TestOptions());
+  std::vector<char> buf(16);
+  EXPECT_EQ(dev.Read(dev.capacity_bytes() - 8, 16, buf.data()).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(dev.Write(dev.capacity_bytes(), Slice("x")).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(DeviceTest, StatsCountOperations) {
+  SsdDevice dev(TestOptions());
+  std::string data(4096, 'a');
+  dev.Write(0, Slice(data));
+  dev.Write(4096, Slice(data));
+  std::vector<char> buf(4096);
+  dev.Read(0, 4096, buf.data());
+  auto s = dev.stats();
+  EXPECT_EQ(s.writes, 2u);
+  EXPECT_EQ(s.reads, 1u);
+  EXPECT_EQ(s.bytes_written, 8192u);
+  EXPECT_EQ(s.bytes_read, 4096u);
+  EXPECT_GT(s.path_units, 0u);
+  EXPECT_GT(s.occupied_bytes, 0u);
+  dev.ResetStats();
+  EXPECT_EQ(dev.stats().reads, 0u);
+}
+
+TEST(DeviceTest, TrimFreesFullChunks) {
+  SsdDevice dev(TestOptions());
+  std::string data(4 << 20, 'b');
+  ASSERT_TRUE(dev.Write(0, Slice(data)).ok());
+  uint64_t occupied = dev.stats().occupied_bytes;
+  EXPECT_EQ(occupied, 4ull << 20);
+  ASSERT_TRUE(dev.Trim(0, 2 << 20).ok());
+  EXPECT_EQ(dev.stats().occupied_bytes, 2ull << 20);
+  // Trimmed region reads back as zero.
+  std::vector<char> buf(16);
+  dev.Read(0, 16, buf.data());
+  for (char c : buf) EXPECT_EQ(c, 0);
+}
+
+TEST(DeviceTest, PartialChunkTrimKeepsChunk) {
+  SsdDevice dev(TestOptions());
+  std::string data(1 << 20, 'c');
+  ASSERT_TRUE(dev.Write(0, Slice(data)).ok());
+  ASSERT_TRUE(dev.Trim(0, 1024).ok());  // far less than a chunk
+  EXPECT_EQ(dev.stats().occupied_bytes, 1ull << 20);
+}
+
+TEST(DeviceTest, ReadErrorInjection) {
+  SsdOptions o = TestOptions();
+  o.read_error_rate = 1.0;
+  SsdDevice dev(o);
+  std::vector<char> buf(16);
+  Status s = dev.Read(0, 16, buf.data());
+  EXPECT_TRUE(s.IsIoError());
+  EXPECT_EQ(dev.stats().injected_read_errors, 1u);
+  EXPECT_EQ(dev.stats().reads, 0u) << "failed reads are not counted";
+}
+
+TEST(DeviceTest, WriteErrorInjection) {
+  SsdOptions o = TestOptions();
+  o.write_error_rate = 1.0;
+  SsdDevice dev(o);
+  EXPECT_TRUE(dev.Write(0, Slice("x")).IsIoError());
+  EXPECT_EQ(dev.stats().injected_write_errors, 1u);
+}
+
+TEST(DeviceTest, PartialErrorRateIsPartial) {
+  SsdOptions o = TestOptions();
+  o.read_error_rate = 0.5;
+  SsdDevice dev(o);
+  std::vector<char> buf(8);
+  int errors = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (!dev.Read(0, 8, buf.data()).ok()) ++errors;
+  }
+  EXPECT_GT(errors, 300);
+  EXPECT_LT(errors, 700);
+}
+
+TEST(DeviceTest, IoPathSwitchAffectsPathUnits) {
+  SsdOptions o = TestOptions();
+  o.io_path = IoPathKind::kUserLevel;
+  SsdDevice dev(o);
+  std::vector<char> buf(4096);
+  dev.Read(0, buf.size(), buf.data());
+  uint64_t user_units = dev.stats().path_units;
+  dev.ResetStats();
+  dev.set_io_path(IoPathKind::kOsMediated);
+  dev.Read(0, buf.size(), buf.data());
+  uint64_t os_units = dev.stats().path_units;
+  EXPECT_GT(os_units, user_units) << "OS path must burn more CPU";
+}
+
+TEST(DeviceTest, ThrottleAccruesWaitWhenSaturated) {
+  SsdOptions o = TestOptions();
+  o.max_iops = 1000;  // tiny budget
+  SsdDevice dev(o);
+  std::vector<char> buf(512);
+  for (int i = 0; i < 200; ++i) dev.Read(0, buf.size(), buf.data());
+  EXPECT_GT(dev.stats().throttle_wait_nanos, 0u);
+}
+
+TEST(DeviceTest, MeasureIopsApproximatesConfiguredRate) {
+  SsdOptions o = TestOptions();
+  o.max_iops = 50'000;
+  SsdDevice dev(o);
+  double measured = dev.MeasureIops(5000);
+  EXPECT_NEAR(measured, 50'000, 50'000 * 0.25);
+}
+
+}  // namespace
+}  // namespace costperf::storage

@@ -1,0 +1,142 @@
+#include "costmodel/five_minute_rule.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "costmodel/operation_cost.h"
+
+namespace costperf::costmodel {
+namespace {
+
+// §4.2: "We determine T_i is approximately 45 seconds at breakeven."
+TEST(FiveMinuteRuleTest, PaperConstantsGiveAbout45Seconds) {
+  CostParams p = CostParams::PaperDefaults();
+  double t_i = BreakevenIntervalSeconds(p);
+  EXPECT_NEAR(t_i, 45.0, 2.0);
+}
+
+TEST(FiveMinuteRuleTest, BreakevenRateIsInverseOfInterval) {
+  CostParams p = CostParams::PaperDefaults();
+  EXPECT_NEAR(BreakevenOpsPerSec(p) * BreakevenIntervalSeconds(p), 1.0,
+              1e-12);
+}
+
+// The defining property: at the breakeven rate, Eq. (4) == Eq. (5).
+TEST(FiveMinuteRuleTest, CostsEqualAtBreakeven) {
+  CostParams p = CostParams::PaperDefaults();
+  double n_star = BreakevenOpsPerSec(p);
+  double mm = MmCost(n_star, p).total();
+  double ss = SsCost(n_star, p).total();
+  EXPECT_NEAR(mm, ss, std::abs(mm) * 1e-9);
+}
+
+TEST(FiveMinuteRuleTest, MmCheaperAboveBreakevenSsBelow) {
+  CostParams p = CostParams::PaperDefaults();
+  double n_star = BreakevenOpsPerSec(p);
+  EXPECT_LT(MmCost(n_star * 2, p).total(), SsCost(n_star * 2, p).total());
+  EXPECT_GT(MmCost(n_star / 2, p).total(), SsCost(n_star / 2, p).total());
+}
+
+// §6.3: with 10 records per page the record breakeven is ~10x the page
+// breakeven ("the record breakeven T_i = 10 x minutes instead of about
+// one minute for the page").
+TEST(FiveMinuteRuleTest, RecordGranularityScalesInversely) {
+  CostParams p = CostParams::PaperDefaults();
+  double page_t = BreakevenIntervalSeconds(p);
+  double record_t =
+      RecordBreakevenIntervalSeconds(p, p.page_size_bytes / 10.0);
+  EXPECT_NEAR(record_t / page_t, 10.0, 1e-9);
+}
+
+// §4.2: the CPU path term is an *additional* cost over Gray's classic
+// trade — the updated breakeven must exceed the classic one, and by the
+// ratio the paper's constants imply (~2.4x: 6.1e-4 vs 2.5e-4).
+TEST(FiveMinuteRuleTest, CpuTermExtendsClassicRule) {
+  CostParams p = CostParams::PaperDefaults();
+  double classic = ClassicBreakevenIntervalSeconds(p);
+  double updated = BreakevenIntervalSeconds(p);
+  EXPECT_GT(updated, classic);
+  EXPECT_NEAR(updated / classic, 2.44, 0.1);
+}
+
+TEST(FiveMinuteRuleTest, CheaperIopsShrinkBreakeven) {
+  // §7.1.2: falling price of SSD IOPS shrinks the breakeven point.
+  CostParams p = CostParams::PaperDefaults();
+  CostParams faster = p;
+  faster.iops = p.iops * 2.5;  // 500K-IOPS drive at the same price
+  EXPECT_LT(BreakevenIntervalSeconds(faster), BreakevenIntervalSeconds(p));
+}
+
+TEST(FiveMinuteRuleTest, SmallerRShrinksBreakeven) {
+  // §7.1.1: cheaper I/O execution path (smaller R) lowers breakeven,
+  // "enabling data to be evicted from main memory earlier".
+  CostParams spdk = CostParams::PaperDefaults();  // R=5.8
+  CostParams os_path = spdk;
+  os_path.r = 9.0;
+  EXPECT_LT(BreakevenIntervalSeconds(spdk),
+            BreakevenIntervalSeconds(os_path));
+}
+
+TEST(FiveMinuteRuleTest, BiggerPagesShrinkBreakeven) {
+  // Larger pages make DRAM rental costlier per page, so eviction pays off
+  // sooner — T_i scales as 1/P_s.
+  CostParams p = CostParams::PaperDefaults();
+  CostParams big = p;
+  big.page_size_bytes = p.page_size_bytes * 4;
+  EXPECT_NEAR(BreakevenIntervalSeconds(big),
+              BreakevenIntervalSeconds(p) / 4.0, 1e-9);
+}
+
+TEST(FiveMinuteRuleTest, MmSsAliasMatches) {
+  CostParams p = CostParams::PaperDefaults();
+  EXPECT_DOUBLE_EQ(MmSsBreakevenOpsPerSec(p), BreakevenOpsPerSec(p));
+}
+
+// ---------- CSS/SS crossover (Fig. 8 left boundary) ----------
+
+TEST(CssBreakevenTest, CostsEqualAtCrossover) {
+  CostParams p = CostParams::PaperDefaults();
+  CompressionParams c;
+  double n_star = CssSsBreakevenOpsPerSec(p, c);
+  ASSERT_TRUE(std::isfinite(n_star));
+  double ss = SsCost(n_star, p).total();
+  double css = CssCost(n_star, p, c).total();
+  EXPECT_NEAR(ss, css, std::abs(ss) * 1e-9);
+}
+
+TEST(CssBreakevenTest, CssCheaperBelowCrossover) {
+  CostParams p = CostParams::PaperDefaults();
+  CompressionParams c;
+  double n_star = CssSsBreakevenOpsPerSec(p, c);
+  EXPECT_LT(CssCost(n_star / 2, p, c).total(),
+            SsCost(n_star / 2, p).total());
+  EXPECT_GT(CssCost(n_star * 2, p, c).total(),
+            SsCost(n_star * 2, p).total());
+}
+
+TEST(CssBreakevenTest, FreeDecompressionMakesCssAlwaysCheaper) {
+  CostParams p = CostParams::PaperDefaults();
+  CompressionParams c;
+  c.decompress_r = 0.0;
+  EXPECT_TRUE(std::isinf(CssSsBreakevenOpsPerSec(p, c)));
+}
+
+TEST(CssBreakevenTest, NoCompressionBenefitMakesCssNeverCheaper) {
+  CostParams p = CostParams::PaperDefaults();
+  CompressionParams c;
+  c.compression_ratio = 1.0;
+  EXPECT_EQ(CssSsBreakevenOpsPerSec(p, c), 0.0);
+}
+
+TEST(CssBreakevenTest, BetterCompressionWidensCssRegime) {
+  CostParams p = CostParams::PaperDefaults();
+  CompressionParams light, heavy;
+  light.compression_ratio = 0.8;
+  heavy.compression_ratio = 0.2;
+  EXPECT_GT(CssSsBreakevenOpsPerSec(p, heavy),
+            CssSsBreakevenOpsPerSec(p, light));
+}
+
+}  // namespace
+}  // namespace costperf::costmodel

@@ -1,0 +1,71 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace costperf {
+namespace {
+
+TEST(HistogramTest, EmptyReportsZeros) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0);
+  EXPECT_EQ(h.Percentile(99), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+  EXPECT_EQ(h.mean(), 42);
+  EXPECT_NEAR(h.Median(), 42, 42 * 0.5);
+}
+
+TEST(HistogramTest, MeanAndStddevExact) {
+  Histogram h;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+  EXPECT_NEAR(h.stddev(), 2.0, 1e-9);
+}
+
+TEST(HistogramTest, PercentilesOrdered) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.Add(i);
+  double p50 = h.Percentile(50), p90 = h.Percentile(90),
+         p99 = h.Percentile(99);
+  EXPECT_LT(p50, p90);
+  EXPECT_LT(p90, p99);
+  // Log-bucketing gives bounded relative error.
+  EXPECT_NEAR(p50, 5000, 5000 * 0.6);
+  EXPECT_NEAR(p99, 9900, 9900 * 0.6);
+}
+
+TEST(HistogramTest, MergeCombinesCounts) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.Add(1.0);
+  for (int i = 0; i < 100; ++i) b.Add(1000.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 1.0);
+  EXPECT_EQ(a.max(), 1000.0);
+  EXPECT_NEAR(a.mean(), 500.5, 1e-9);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(5);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0);
+}
+
+TEST(HistogramTest, ToStringContainsCount) {
+  Histogram h;
+  h.Add(1);
+  h.Add(2);
+  EXPECT_NE(h.ToString().find("count=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace costperf

@@ -1,0 +1,79 @@
+#include "storage/io_path.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/clock.h"
+
+namespace costperf::storage {
+namespace {
+
+TEST(IoPathTest, ExecuteReturnsConfiguredUnits) {
+  IoPathOptions o;
+  o.user_level_units = 100;
+  o.os_mediated_units = 300;
+  IoPathSimulator sim(o);
+  std::vector<char> buf(512);
+  EXPECT_EQ(sim.Execute(IoPathKind::kUserLevel, buf.data(), buf.size()), 100u);
+  EXPECT_EQ(sim.Execute(IoPathKind::kOsMediated, buf.data(), buf.size()),
+            300u);
+}
+
+TEST(IoPathTest, OsPathCostsMoreCpuThanUserPath) {
+  IoPathSimulator sim;  // default calibration
+  std::vector<char> buf(4096);
+  constexpr int kIters = 3000;
+
+  uint64_t t0 = ThreadCpuNanos();
+  for (int i = 0; i < kIters; ++i) {
+    sim.Execute(IoPathKind::kUserLevel, buf.data(), buf.size());
+  }
+  uint64_t user_cpu = ThreadCpuNanos() - t0;
+
+  t0 = ThreadCpuNanos();
+  for (int i = 0; i < kIters; ++i) {
+    sim.Execute(IoPathKind::kOsMediated, buf.data(), buf.size());
+  }
+  uint64_t os_cpu = ThreadCpuNanos() - t0;
+
+  EXPECT_GT(os_cpu, user_cpu * 2)
+      << "OS-mediated path should cost well over 2x user-level CPU";
+}
+
+TEST(IoPathTest, OsExtraCopyPreservesData) {
+  IoPathSimulator sim;
+  std::vector<char> buf(1024);
+  for (size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<char>(i);
+  sim.Execute(IoPathKind::kOsMediated, buf.data(), buf.size());
+  for (size_t i = 0; i < buf.size(); ++i) {
+    ASSERT_EQ(buf[i], static_cast<char>(i));
+  }
+}
+
+TEST(IoPathTest, NullTransferIsSafe) {
+  IoPathSimulator sim;
+  EXPECT_EQ(sim.Execute(IoPathKind::kOsMediated, nullptr, 0),
+            sim.options().os_mediated_units);
+}
+
+TEST(IoPathTest, BurnWorkScalesRoughlyLinearly) {
+  // 10x the units should cost noticeably more CPU (not asserting exact
+  // linearity; CI machines jitter).
+  uint64_t t0 = ThreadCpuNanos();
+  BurnWork(1'000'000);
+  uint64_t small = ThreadCpuNanos() - t0;
+  t0 = ThreadCpuNanos();
+  BurnWork(10'000'000);
+  uint64_t large = ThreadCpuNanos() - t0;
+  EXPECT_GT(large, small * 4);
+}
+
+TEST(IoPathTest, MeasureNanosPerUnitIsPositiveAndSane) {
+  double npu = IoPathSimulator::MeasureNanosPerUnit();
+  EXPECT_GT(npu, 0.01);
+  EXPECT_LT(npu, 1000.0);
+}
+
+}  // namespace
+}  // namespace costperf::storage

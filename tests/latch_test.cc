@@ -1,0 +1,120 @@
+#include "common/latch.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace costperf {
+namespace {
+
+TEST(SpinLatchTest, MutualExclusionUnderContention) {
+  SpinLatch latch;
+  int64_t counter = 0;
+  std::vector<std::thread> threads;
+  constexpr int kThreads = 4, kIters = 50000;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        SpinLatchGuard g(&latch);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, int64_t{kThreads} * kIters);
+}
+
+TEST(SpinLatchTest, TryLockFailsWhenHeld) {
+  SpinLatch latch;
+  ASSERT_TRUE(latch.TryLock());
+  EXPECT_FALSE(latch.TryLock());
+  latch.Unlock();
+  EXPECT_TRUE(latch.TryLock());
+  latch.Unlock();
+}
+
+TEST(OptimisticVersionTest, StableSnapshotUnchangedWithoutWrites) {
+  OptimisticVersion v;
+  uint64_t snap = v.StableSnapshot();
+  EXPECT_FALSE(v.Changed(snap));
+}
+
+TEST(OptimisticVersionTest, InsertInvalidatesSnapshot) {
+  OptimisticVersion v;
+  uint64_t snap = v.StableSnapshot();
+  v.Lock();
+  v.MarkInserting();
+  v.Unlock();
+  EXPECT_TRUE(v.Changed(snap));
+}
+
+TEST(OptimisticVersionTest, SplitInvalidatesSnapshot) {
+  OptimisticVersion v;
+  uint64_t snap = v.StableSnapshot();
+  v.Lock();
+  v.MarkSplitting();
+  v.Unlock();
+  EXPECT_TRUE(v.Changed(snap));
+}
+
+TEST(OptimisticVersionTest, LockWithoutMarksDoesNotInvalidate) {
+  OptimisticVersion v;
+  uint64_t snap = v.StableSnapshot();
+  v.Lock();
+  v.Unlock();
+  EXPECT_FALSE(v.Changed(snap));
+}
+
+TEST(OptimisticVersionTest, DeletedAndRootFlags) {
+  OptimisticVersion v;
+  EXPECT_FALSE(v.IsDeleted());
+  EXPECT_FALSE(v.IsRoot());
+  v.SetRoot(true);
+  EXPECT_TRUE(v.IsRoot());
+  v.SetRoot(false);
+  EXPECT_FALSE(v.IsRoot());
+  v.MarkDeleted();
+  EXPECT_TRUE(v.IsDeleted());
+}
+
+TEST(OptimisticVersionTest, SnapshotWaitsForLockRelease) {
+  OptimisticVersion v;
+  v.Lock();
+  std::thread t([&] {
+    // StableSnapshot must spin until unlock; it should then see a clean
+    // version.
+    uint64_t snap = v.StableSnapshot();
+    EXPECT_EQ(snap & OptimisticVersion::kLockBit, 0u);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  v.MarkInserting();
+  v.Unlock();
+  t.join();
+}
+
+TEST(OptimisticVersionTest, ConcurrentReadersDetectWriters) {
+  OptimisticVersion v;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> validated{0};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      uint64_t snap = v.StableSnapshot();
+      // Simulated read...
+      if (!v.Changed(snap)) validated++;
+    }
+  });
+  for (int i = 0; i < 1000; ++i) {
+    v.Lock();
+    v.MarkInserting();
+    v.Unlock();
+  }
+  stop = true;
+  reader.join();
+  // No assertion on validated count (timing dependent); the test checks
+  // for absence of hangs/torn state under TSan-style interleaving.
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace costperf

@@ -1,0 +1,128 @@
+#include "mapping/mapping_table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace costperf::mapping {
+namespace {
+
+TEST(MappingTableTest, AllocateReturnsDistinctIds) {
+  MappingTable t(128);
+  std::set<PageId> ids;
+  for (int i = 0; i < 100; ++i) {
+    PageId id = t.Allocate();
+    ASSERT_NE(id, kInvalidPageId);
+    EXPECT_TRUE(ids.insert(id).second);
+  }
+  EXPECT_EQ(t.live_pages(), 100u);
+}
+
+TEST(MappingTableTest, AllocateInitializesEntry) {
+  MappingTable t(16);
+  PageId id = t.Allocate(0xABCD);
+  EXPECT_EQ(t.Get(id), 0xABCDu);
+}
+
+TEST(MappingTableTest, FreedIdsAreReused) {
+  MappingTable t(16);
+  PageId a = t.Allocate(1);
+  t.Free(a);
+  PageId b = t.Allocate(2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(t.Get(b), 2u);
+}
+
+TEST(MappingTableTest, ExhaustionReturnsInvalid) {
+  MappingTable t(4);
+  for (int i = 0; i < 4; ++i) ASSERT_NE(t.Allocate(), kInvalidPageId);
+  EXPECT_EQ(t.Allocate(), kInvalidPageId);
+  // Freeing restores capacity.
+  t.Free(2);
+  EXPECT_NE(t.Allocate(), kInvalidPageId);
+}
+
+TEST(MappingTableTest, CasSucceedsOnMatch) {
+  MappingTable t(16);
+  PageId id = t.Allocate(10);
+  EXPECT_TRUE(t.Cas(id, 10, 20));
+  EXPECT_EQ(t.Get(id), 20u);
+}
+
+TEST(MappingTableTest, CasFailsOnMismatch) {
+  MappingTable t(16);
+  PageId id = t.Allocate(10);
+  EXPECT_FALSE(t.Cas(id, 11, 20));
+  EXPECT_EQ(t.Get(id), 10u);
+}
+
+TEST(MappingTableTest, SetOverwrites) {
+  MappingTable t(16);
+  PageId id = t.Allocate(1);
+  t.Set(id, 99);
+  EXPECT_EQ(t.Get(id), 99u);
+}
+
+TEST(MappingTableTest, ConcurrentCasExactlyOneWinnerPerRound) {
+  MappingTable t(16);
+  PageId id = t.Allocate(0);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kRounds = 10000;
+  std::vector<uint64_t> wins(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int ti = 0; ti < kThreads; ++ti) {
+    threads.emplace_back([&, ti] {
+      for (uint64_t round = 0; round < kRounds; ++round) {
+        // Everyone tries to advance round -> round+1; exactly one CAS may
+        // succeed per round.
+        if (t.Cas(id, round, round + 1)) wins[ti]++;
+        while (t.Get(id) <= round) {
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  uint64_t total = 0;
+  for (auto w : wins) total += w;
+  EXPECT_EQ(total, kRounds);
+  EXPECT_EQ(t.Get(id), kRounds);
+}
+
+TEST(MappingTableTest, ConcurrentAllocateUnique) {
+  MappingTable t(10000);
+  constexpr int kThreads = 4;
+  std::vector<std::vector<PageId>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (int ti = 0; ti < kThreads; ++ti) {
+    threads.emplace_back([&, ti] {
+      for (int i = 0; i < 2000; ++i) {
+        per_thread[ti].push_back(t.Allocate());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::set<PageId> all;
+  for (auto& v : per_thread) {
+    for (PageId id : v) {
+      ASSERT_NE(id, kInvalidPageId);
+      EXPECT_TRUE(all.insert(id).second) << "duplicate id " << id;
+    }
+  }
+  EXPECT_EQ(all.size(), size_t{kThreads} * 2000);
+}
+
+TEST(MappingTableTest, HighWaterTracksBumpAllocations) {
+  MappingTable t(64);
+  EXPECT_EQ(t.high_water(), 0u);
+  t.Allocate();
+  t.Allocate();
+  EXPECT_EQ(t.high_water(), 2u);
+  t.Free(0);
+  t.Allocate();  // reused, no bump
+  EXPECT_EQ(t.high_water(), 2u);
+}
+
+}  // namespace
+}  // namespace costperf::mapping

@@ -1,0 +1,96 @@
+#include "costmodel/masstree_compare.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace costperf::costmodel {
+namespace {
+
+// §5.1/§5.2 published values: Px≈2.6, Mx≈2.1, S=6.1GB gives coefficient
+// ≈ 8.3e3, T_i ≈ 1.37e-6 s, crossover rate ≈ 0.73e6 ops/sec.
+TEST(MassTreeCompareTest, PaperCoefficientIs8300) {
+  SystemComparison sys;  // paper defaults
+  CostParams p = CostParams::PaperDefaults();
+  EXPECT_NEAR(CrossoverCoefficient(sys, p), 8.3e3, 0.2e3);
+}
+
+TEST(MassTreeCompareTest, PaperCrossoverInterval) {
+  SystemComparison sys;
+  CostParams p = CostParams::PaperDefaults();
+  EXPECT_NEAR(CrossoverIntervalSeconds(sys, p), 1.37e-6, 0.05e-6);
+}
+
+TEST(MassTreeCompareTest, PaperCrossoverRate) {
+  SystemComparison sys;
+  CostParams p = CostParams::PaperDefaults();
+  EXPECT_NEAR(CrossoverOpsPerSec(sys, p), 0.73e6, 0.03e6);
+}
+
+// §5.2: "for a 100GB database, the access rate would need to be about
+// 12e6 ops/sec before MassTree would have lower costs."
+TEST(MassTreeCompareTest, HundredGigabyteDatabaseNeeds12MOps) {
+  SystemComparison sys;
+  sys.database_bytes = 100e9;
+  CostParams p = CostParams::PaperDefaults();
+  EXPECT_NEAR(CrossoverOpsPerSec(sys, p), 12e6, 0.5e6);
+}
+
+TEST(MassTreeCompareTest, CostsEqualAtCrossover) {
+  SystemComparison sys;
+  CostParams p = CostParams::PaperDefaults();
+  double t = CrossoverIntervalSeconds(sys, p);
+  double bw = BwTreeCostPerOp(t, sys, p);
+  double mt = MassTreeCostPerOp(t, sys, p);
+  EXPECT_NEAR(bw, mt, bw * 1e-9);
+}
+
+TEST(MassTreeCompareTest, MassTreeCheaperWhenHotterThanCrossover) {
+  SystemComparison sys;
+  CostParams p = CostParams::PaperDefaults();
+  double t = CrossoverIntervalSeconds(sys, p);
+  // Hotter = smaller interval between ops.
+  EXPECT_LT(MassTreeCostPerOp(t / 10, sys, p),
+            BwTreeCostPerOp(t / 10, sys, p));
+  EXPECT_GT(MassTreeCostPerOp(t * 10, sys, p),
+            BwTreeCostPerOp(t * 10, sys, p));
+}
+
+TEST(MassTreeCompareTest, CrossoverScalesInverselyWithDbSize) {
+  SystemComparison small, big;
+  small.database_bytes = 1e9;
+  big.database_bytes = 10e9;
+  CostParams p = CostParams::PaperDefaults();
+  EXPECT_NEAR(CrossoverIntervalSeconds(small, p),
+              10 * CrossoverIntervalSeconds(big, p),
+              CrossoverIntervalSeconds(small, p) * 1e-9);
+}
+
+TEST(MassTreeCompareTest, BiggerSpeedupRaisesMassTreeAppeal) {
+  // Larger Px -> crossover moves to colder data (bigger T_i), widening
+  // the regime where MassTree wins.
+  SystemComparison base, faster;
+  faster.px = 4.0;
+  CostParams p = CostParams::PaperDefaults();
+  EXPECT_GT(CrossoverIntervalSeconds(faster, p),
+            CrossoverIntervalSeconds(base, p));
+}
+
+TEST(MassTreeCompareTest, BiggerMemoryExpansionHurtsMassTree) {
+  SystemComparison base, bloated;
+  bloated.mx = 4.0;
+  CostParams p = CostParams::PaperDefaults();
+  EXPECT_LT(CrossoverIntervalSeconds(bloated, p),
+            CrossoverIntervalSeconds(base, p));
+}
+
+TEST(MassTreeCompareTest, NoSpeedupMeansMassTreeNeverWins) {
+  SystemComparison sys;
+  sys.px = 1.0;  // same speed, more memory: strictly worse
+  CostParams p = CostParams::PaperDefaults();
+  EXPECT_DOUBLE_EQ(CrossoverIntervalSeconds(sys, p), 0.0);
+  EXPECT_GT(MassTreeCostPerOp(1e-6, sys, p), BwTreeCostPerOp(1e-6, sys, p));
+}
+
+}  // namespace
+}  // namespace costperf::costmodel

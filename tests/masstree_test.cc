@@ -1,0 +1,287 @@
+#include "masstree/masstree.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/random.h"
+
+namespace costperf::masstree {
+namespace {
+
+std::string Key(uint64_t i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key%010llu", static_cast<unsigned long long>(i));
+  return buf;
+}
+std::string Val(uint64_t i) { return "value-" + std::to_string(i); }
+
+TEST(MassTreeTest, PutGetSingle) {
+  MassTree t;
+  ASSERT_TRUE(t.Put("a", "1").ok());
+  auto r = t.Get("a");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "1");
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(MassTreeTest, GetMissing) {
+  MassTree t;
+  EXPECT_TRUE(t.Get("x").status().IsNotFound());
+}
+
+TEST(MassTreeTest, Overwrite) {
+  MassTree t;
+  ASSERT_TRUE(t.Put("k", "v1").ok());
+  ASSERT_TRUE(t.Put("k", "v2").ok());
+  EXPECT_EQ(*t.Get("k"), "v2");
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(MassTreeTest, DeleteRemoves) {
+  MassTree t;
+  ASSERT_TRUE(t.Put("k", "v").ok());
+  ASSERT_TRUE(t.Delete("k").ok());
+  EXPECT_TRUE(t.Get("k").status().IsNotFound());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.Delete("k").IsNotFound());
+}
+
+TEST(MassTreeTest, EmptyKeyWorks) {
+  MassTree t;
+  ASSERT_TRUE(t.Put("", "empty").ok());
+  EXPECT_EQ(*t.Get(""), "empty");
+}
+
+TEST(MassTreeTest, ShortKeysOfEveryLength) {
+  MassTree t;
+  // Keys 0..8 bytes long sharing prefixes: exercises (slice, len) pairs.
+  std::vector<std::string> keys;
+  std::string k;
+  for (int len = 0; len <= 8; ++len) {
+    keys.push_back(k);
+    ASSERT_TRUE(t.Put(k, "len" + std::to_string(len)).ok());
+    k.push_back('a');
+  }
+  for (int len = 0; len <= 8; ++len) {
+    auto r = t.Get(keys[len]);
+    ASSERT_TRUE(r.ok()) << "len=" << len;
+    EXPECT_EQ(*r, "len" + std::to_string(len));
+  }
+}
+
+TEST(MassTreeTest, LongKeysCreateLayers) {
+  MassTree t;
+  // Shared 8-byte prefix forces a sublayer.
+  ASSERT_TRUE(t.Put("prefix00suffixA", "A").ok());
+  ASSERT_TRUE(t.Put("prefix00suffixB", "B").ok());
+  ASSERT_TRUE(t.Put("prefix00", "exact8").ok());
+  EXPECT_EQ(*t.Get("prefix00suffixA"), "A");
+  EXPECT_EQ(*t.Get("prefix00suffixB"), "B");
+  EXPECT_EQ(*t.Get("prefix00"), "exact8");
+  EXPECT_GE(t.stats().layers_created, 2u);
+}
+
+TEST(MassTreeTest, VeryLongKeysMultipleLayers) {
+  MassTree t;
+  std::string base(50, 'p');  // 7 layers deep
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(t.Put(base + std::to_string(i), Val(i)).ok());
+  }
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(*t.Get(base + std::to_string(i)), Val(i));
+  }
+  EXPECT_GE(t.stats().layers_created, 7u);
+}
+
+TEST(MassTreeTest, BinaryKeysWithNulBytes) {
+  MassTree t;
+  std::string k1("a\0b", 3), k2("a\0c", 3), k3("a", 1);
+  ASSERT_TRUE(t.Put(k1, "1").ok());
+  ASSERT_TRUE(t.Put(k2, "2").ok());
+  ASSERT_TRUE(t.Put(k3, "3").ok());
+  EXPECT_EQ(*t.Get(k1), "1");
+  EXPECT_EQ(*t.Get(k2), "2");
+  EXPECT_EQ(*t.Get(k3), "3");
+}
+
+TEST(MassTreeTest, ZeroPaddingDisambiguation) {
+  MassTree t;
+  // "ab" and "ab\0" produce the same slice but different lengths.
+  std::string a("ab", 2), b("ab\0", 3), c("ab\0\0", 4);
+  ASSERT_TRUE(t.Put(a, "2").ok());
+  ASSERT_TRUE(t.Put(b, "3").ok());
+  ASSERT_TRUE(t.Put(c, "4").ok());
+  EXPECT_EQ(*t.Get(a), "2");
+  EXPECT_EQ(*t.Get(b), "3");
+  EXPECT_EQ(*t.Get(c), "4");
+  ASSERT_TRUE(t.Delete(b).ok());
+  EXPECT_TRUE(t.Get(b).status().IsNotFound());
+  EXPECT_EQ(*t.Get(a), "2");
+  EXPECT_EQ(*t.Get(c), "4");
+}
+
+TEST(MassTreeTest, ManyKeysSplitNodes) {
+  MassTree t;
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_TRUE(t.Put(Key(i), Val(i)).ok());
+  }
+  EXPECT_GT(t.stats().border_splits, 10u);
+  EXPECT_GT(t.stats().interior_splits, 0u);
+  for (int i = 0; i < 10000; ++i) {
+    auto r = t.Get(Key(i));
+    ASSERT_TRUE(r.ok()) << Key(i);
+    EXPECT_EQ(*r, Val(i));
+  }
+}
+
+TEST(MassTreeTest, EquivalenceWithStdMap) {
+  MassTree t;
+  std::map<std::string, std::string> model;
+  Random rng(4711);
+  for (int op = 0; op < 30000; ++op) {
+    // Mixed-length keys to exercise layers.
+    uint64_t k = rng.Uniform(2000);
+    std::string key = rng.Bernoulli(0.5)
+                          ? Key(k)
+                          : "k" + std::to_string(k % 97);
+    double dice = rng.NextDouble();
+    if (dice < 0.5) {
+      std::string val = Val(rng.Next() % 100000);
+      ASSERT_TRUE(t.Put(key, val).ok());
+      model[key] = val;
+    } else if (dice < 0.7) {
+      Status s = t.Delete(key);
+      if (model.erase(key)) {
+        EXPECT_TRUE(s.ok());
+      } else {
+        EXPECT_TRUE(s.IsNotFound());
+      }
+    } else {
+      auto r = t.Get(key);
+      auto it = model.find(key);
+      if (it == model.end()) {
+        EXPECT_TRUE(r.status().IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(r.ok()) << key;
+        EXPECT_EQ(*r, it->second);
+      }
+    }
+  }
+  EXPECT_EQ(t.size(), model.size());
+  for (auto& [k, v] : model) {
+    auto r = t.Get(k);
+    ASSERT_TRUE(r.ok()) << k;
+    EXPECT_EQ(*r, v);
+  }
+}
+
+TEST(MassTreeTest, ScanOrderedFullRange) {
+  MassTree t;
+  for (int i = 0; i < 500; ++i) ASSERT_TRUE(t.Put(Key(i), Val(i)).ok());
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(t.Scan("", 10000, &out).ok());
+  ASSERT_EQ(out.size(), 500u);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(out[i].first, Key(i));
+    EXPECT_EQ(out[i].second, Val(i));
+  }
+}
+
+TEST(MassTreeTest, ScanFromMiddleWithLimit) {
+  MassTree t;
+  for (int i = 0; i < 300; ++i) ASSERT_TRUE(t.Put(Key(i), Val(i)).ok());
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(t.Scan(Key(100), 25, &out).ok());
+  ASSERT_EQ(out.size(), 25u);
+  EXPECT_EQ(out.front().first, Key(100));
+  EXPECT_EQ(out.back().first, Key(124));
+}
+
+TEST(MassTreeTest, ScanWithEndBound) {
+  MassTree t;
+  for (int i = 0; i < 100; ++i) ASSERT_TRUE(t.Put(Key(i), Val(i)).ok());
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(t.Scan(Key(10), 1000, &out, Key(15)).ok());
+  ASSERT_EQ(out.size(), 5u);
+  EXPECT_EQ(out.back().first, Key(14));
+}
+
+TEST(MassTreeTest, ScanAcrossLayers) {
+  MassTree t;
+  // Mix of short and long keys interleaved lexicographically.
+  std::vector<std::string> keys = {"aa",          "aabbccdd",
+                                   "aabbccddee",  "aabbccddeeff",
+                                   "aabbccde",    "ab",
+                                   "b"};
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(t.Put(keys[i], std::to_string(i)).ok());
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  ASSERT_TRUE(t.Scan("", 100, &out).ok());
+  ASSERT_EQ(out.size(), keys.size());
+  std::vector<std::string> sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(out[i].first, sorted[i]) << i;
+  }
+}
+
+TEST(MassTreeTest, MemoryFootprintGrowsWithData) {
+  MassTree t;
+  uint64_t empty = t.MemoryFootprintBytes();
+  for (int i = 0; i < 1000; ++i) ASSERT_TRUE(t.Put(Key(i), Val(i)).ok());
+  uint64_t loaded = t.MemoryFootprintBytes();
+  EXPECT_GT(loaded, empty + 1000 * 10);
+}
+
+TEST(MassTreeTest, ConcurrentReadersWithWriter) {
+  MassTree t;
+  for (int i = 0; i < 2000; ++i) ASSERT_TRUE(t.Put(Key(i), Val(i)).ok());
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> errors{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      Random rng(100 + r);
+      while (!stop.load(std::memory_order_acquire)) {
+        uint64_t k = rng.Uniform(2000);
+        auto res = t.Get(Key(k));
+        if (!res.ok()) errors++;
+      }
+    });
+  }
+  Random rng(55);
+  for (int i = 0; i < 30000; ++i) {
+    uint64_t k = rng.Uniform(2000);
+    ASSERT_TRUE(t.Put(Key(k), Val(rng.Next() % 1000)).ok());
+    if (i % 1000 == 0) t.ReclaimMemory();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+  EXPECT_EQ(errors.load(), 0u);
+}
+
+TEST(MassTreeTest, ConcurrentWritersDisjointRanges) {
+  MassTree t;
+  constexpr int kThreads = 4, kPer = 3000;
+  std::vector<std::thread> threads;
+  for (int ti = 0; ti < kThreads; ++ti) {
+    threads.emplace_back([&, ti] {
+      for (int i = 0; i < kPer; ++i) {
+        uint64_t k = static_cast<uint64_t>(ti) * kPer + i;
+        ASSERT_TRUE(t.Put(Key(k), Val(k)).ok());
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.size(), uint64_t{kThreads} * kPer);
+  for (uint64_t k = 0; k < uint64_t{kThreads} * kPer; ++k) {
+    ASSERT_EQ(*t.Get(Key(k)), Val(k)) << k;
+  }
+}
+
+}  // namespace
+}  // namespace costperf::masstree

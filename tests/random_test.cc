@@ -1,0 +1,175 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace costperf {
+namespace {
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.Uniform(17), 17u);
+    uint64_t v = r.UniformRange(100, 200);
+    EXPECT_GE(v, 100u);
+    EXPECT_LT(v, 200u);
+  }
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random r(11);
+  double sum = 0;
+  for (int i = 0; i < 100000; ++i) {
+    double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  // Mean of U[0,1) is 0.5; allow generous slack.
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.02);
+}
+
+TEST(RandomTest, BernoulliMatchesProbability) {
+  Random r(13);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += r.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.02);
+}
+
+TEST(RandomTest, FillWritesEveryByteLength) {
+  Random r(17);
+  for (size_t len : {0u, 1u, 7u, 8u, 9u, 64u, 100u}) {
+    std::vector<char> buf(len + 8, '\x7f');
+    r.Fill(buf.data(), len);
+    // Guard bytes untouched.
+    for (size_t i = len; i < buf.size(); ++i) EXPECT_EQ(buf[i], '\x7f');
+  }
+}
+
+TEST(ZipfianTest, ProducesValuesInRange) {
+  ZipfianGenerator z(1000, 0.99, 5);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(z.Next(), 1000u);
+}
+
+TEST(ZipfianTest, RankZeroIsHottest) {
+  ZipfianGenerator z(10000, 0.99, 5);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 200000; ++i) counts[z.Next()]++;
+  // Item 0 must be the most frequent, and dramatically more frequent than
+  // a mid-range item.
+  int max_count = 0;
+  uint64_t max_item = 0;
+  for (auto& [item, c] : counts) {
+    if (c > max_count) {
+      max_count = c;
+      max_item = item;
+    }
+  }
+  EXPECT_EQ(max_item, 0u);
+  EXPECT_GT(counts[0], 20 * (counts.count(5000) ? counts[5000] : 1));
+}
+
+TEST(ZipfianTest, SkewConcentratesMass) {
+  ZipfianGenerator z(100000, 0.99, 9);
+  int in_top_1pct = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (z.Next() < 1000) ++in_top_1pct;
+  }
+  // YCSB zipfian 0.99: top 1% of items draw well over a third of accesses.
+  EXPECT_GT(in_top_1pct, n / 3);
+}
+
+TEST(ScrambledZipfianTest, SpreadsHotKeys) {
+  ScrambledZipfianGenerator z(100000, 0.99, 21);
+  // The single hottest key should NOT be key 0 with overwhelming
+  // probability (it is Hash64(0) % n).
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[z.Next()]++;
+  uint64_t expected_hot = Hash64(0) % 100000;
+  int max_count = 0;
+  uint64_t max_item = 0;
+  for (auto& [item, c] : counts) {
+    if (c > max_count) {
+      max_count = c;
+      max_item = item;
+    }
+  }
+  EXPECT_EQ(max_item, expected_hot);
+}
+
+TEST(HotspotTest, HotFractionReceivesHotProbability) {
+  HotspotGenerator g(100000, 0.1, 0.9, 33);
+  int hot = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    uint64_t k = g.Next();
+    if (k >= g.hot_start() && k < g.hot_start() + g.hot_size()) ++hot;
+  }
+  EXPECT_NEAR(hot / static_cast<double>(n), 0.9, 0.02);
+}
+
+TEST(HotspotTest, ShiftMovesHotSet) {
+  HotspotGenerator g(1000, 0.1, 1.0, 35);  // all accesses hot
+  g.ShiftHotSet(500);
+  EXPECT_EQ(g.hot_start(), 500u);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t k = g.Next();
+    EXPECT_TRUE(k >= 500 && k < 600) << k;
+  }
+}
+
+TEST(HotspotTest, ShiftWrapsAround) {
+  HotspotGenerator g(1000, 0.05, 0.5, 37);
+  g.ShiftHotSet(990);
+  EXPECT_EQ(g.hot_start(), 990u);
+  // Keys from the hot set wrap: valid keys are 990..999 and 0..39.
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(g.Next(), 1000u);
+}
+
+TEST(LatestTest, SkewsTowardNewestKeys) {
+  LatestGenerator g(10000, 0.99, 41);
+  int near_end = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (g.Next() >= 9900) ++near_end;
+  }
+  EXPECT_GT(near_end, 3000);
+}
+
+TEST(HashTest, Hash64Avalanche) {
+  // Flipping one input bit should flip ~half the output bits on average.
+  int total_flips = 0;
+  for (uint64_t k = 0; k < 64; ++k) {
+    uint64_t h1 = Hash64(12345);
+    uint64_t h2 = Hash64(12345 ^ (1ull << k));
+    total_flips += __builtin_popcountll(h1 ^ h2);
+  }
+  double avg = total_flips / 64.0;
+  EXPECT_GT(avg, 24.0);
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(HashTest, HashBytesDiffersOnContent) {
+  EXPECT_NE(HashBytes("abc", 3), HashBytes("abd", 3));
+  EXPECT_NE(HashBytes("abc", 3), HashBytes("abc", 2));
+  EXPECT_EQ(HashBytes("abc", 3), HashBytes("abc", 3));
+}
+
+}  // namespace
+}  // namespace costperf

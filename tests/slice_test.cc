@@ -1,0 +1,75 @@
+#include "common/slice.h"
+
+#include <gtest/gtest.h>
+
+namespace costperf {
+namespace {
+
+TEST(SliceTest, DefaultIsEmpty) {
+  Slice s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(SliceTest, FromStringAndBack) {
+  std::string str = "hello";
+  Slice s(str);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.ToString(), "hello");
+  EXPECT_EQ(s.view(), std::string_view("hello"));
+}
+
+TEST(SliceTest, FromCString) {
+  Slice s("abc");
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], 'a');
+  EXPECT_EQ(s[2], 'c');
+}
+
+TEST(SliceTest, CompareOrdersLexicographically) {
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  // Prefix sorts first.
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+  EXPECT_GT(Slice("abc").compare(Slice("ab")), 0);
+}
+
+TEST(SliceTest, ComparisonWithEmbeddedNul) {
+  std::string a("a\0b", 3);
+  std::string b("a\0c", 3);
+  EXPECT_LT(Slice(a).compare(Slice(b)), 0);
+  EXPECT_EQ(Slice(a), Slice(std::string("a\0b", 3)));
+}
+
+TEST(SliceTest, EqualityAndInequality) {
+  EXPECT_EQ(Slice("x"), Slice("x"));
+  EXPECT_NE(Slice("x"), Slice("y"));
+  EXPECT_NE(Slice("x"), Slice("xx"));
+  EXPECT_EQ(Slice(), Slice(""));
+}
+
+TEST(SliceTest, StartsWith) {
+  Slice s("prefix_body");
+  EXPECT_TRUE(s.starts_with(Slice("prefix")));
+  EXPECT_TRUE(s.starts_with(Slice()));
+  EXPECT_FALSE(s.starts_with(Slice("body")));
+  EXPECT_FALSE(Slice("ab").starts_with(Slice("abc")));
+}
+
+TEST(SliceTest, RemovePrefix) {
+  Slice s("abcdef");
+  s.remove_prefix(3);
+  EXPECT_EQ(s.ToString(), "def");
+  s.remove_prefix(3);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SliceTest, LessThanOperator) {
+  EXPECT_TRUE(Slice("a") < Slice("b"));
+  EXPECT_FALSE(Slice("b") < Slice("a"));
+  EXPECT_FALSE(Slice("a") < Slice("a"));
+}
+
+}  // namespace
+}  // namespace costperf

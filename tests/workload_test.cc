@@ -1,0 +1,156 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/memory_store.h"
+
+namespace costperf::workload {
+namespace {
+
+TEST(WorkloadSpecTest, PresetsHaveSaneProportions) {
+  for (auto spec : {WorkloadSpec::YcsbA(10), WorkloadSpec::YcsbB(10),
+                    WorkloadSpec::YcsbC(10), WorkloadSpec::YcsbD(10),
+                    WorkloadSpec::YcsbE(10), WorkloadSpec::YcsbF(10)}) {
+    double total = spec.read_proportion + spec.update_proportion +
+                   spec.insert_proportion + spec.scan_proportion +
+                   spec.rmw_proportion;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(WorkloadTest, KeysAreFixedWidthAndOrdered) {
+  Workload w(WorkloadSpec::YcsbC(100));
+  EXPECT_EQ(w.KeyAt(0), "user000000000000");
+  EXPECT_EQ(w.KeyAt(42), "user000000000042");
+  EXPECT_LT(w.KeyAt(9), w.KeyAt(10)) << "lexicographic == numeric order";
+}
+
+TEST(WorkloadTest, LoadInsertsAllRecords) {
+  core::MemoryStore store;
+  WorkloadSpec spec = WorkloadSpec::YcsbC(500);
+  Workload w(spec);
+  ASSERT_TRUE(w.Load(&store).ok());
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_TRUE(store.Get(Slice(w.KeyAt(i))).ok()) << i;
+  }
+}
+
+TEST(WorkloadTest, ReadOnlySpecGeneratesOnlyReads) {
+  Workload w(WorkloadSpec::YcsbC(1000));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(w.NextOp().type, OpType::kRead);
+  }
+}
+
+TEST(WorkloadTest, MixMatchesProportions) {
+  Workload w(WorkloadSpec::YcsbA(1000));
+  std::map<OpType, int> counts;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) counts[w.NextOp().type]++;
+  EXPECT_NEAR(counts[OpType::kRead] / double(kN), 0.5, 0.03);
+  EXPECT_NEAR(counts[OpType::kUpdate] / double(kN), 0.5, 0.03);
+}
+
+TEST(WorkloadTest, InsertsExtendKeyspace) {
+  WorkloadSpec spec = WorkloadSpec::YcsbD(100);
+  Workload w(spec);
+  std::set<std::string> inserted;
+  for (int i = 0; i < 1000; ++i) {
+    Op op = w.NextOp();
+    if (op.type == OpType::kInsert) {
+      EXPECT_TRUE(inserted.insert(op.key).second) << "duplicate insert key";
+      EXPECT_GE(op.key, w.KeyAt(100));
+    }
+  }
+  EXPECT_GT(w.inserted_count(), 100u);
+}
+
+TEST(WorkloadTest, ZipfianSkewsAccesses) {
+  WorkloadSpec spec = WorkloadSpec::YcsbC(100000);
+  spec.distribution = Distribution::kZipfian;
+  Workload w(spec);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[w.NextOp().key]++;
+  // Hottest key should be hit far more than 1/n of the time.
+  int max_count = 0;
+  for (auto& [k, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_GT(max_count, 500);
+}
+
+TEST(WorkloadTest, UniformDoesNotSkew) {
+  WorkloadSpec spec = WorkloadSpec::YcsbC(1000);
+  spec.distribution = Distribution::kUniform;
+  Workload w(spec);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 50000; ++i) counts[w.NextOp().key]++;
+  int max_count = 0;
+  for (auto& [k, c] : counts) max_count = std::max(max_count, c);
+  EXPECT_LT(max_count, 150);  // mean 50
+}
+
+TEST(WorkloadTest, DeterministicForSameSeed) {
+  WorkloadSpec spec = WorkloadSpec::YcsbA(1000);
+  Workload a(spec), b(spec);
+  for (int i = 0; i < 1000; ++i) {
+    Op oa = a.NextOp(), ob = b.NextOp();
+    EXPECT_EQ(oa.key, ob.key);
+    EXPECT_EQ(static_cast<int>(oa.type), static_cast<int>(ob.type));
+  }
+}
+
+TEST(WorkloadTest, ThreadOffsetsDiverge) {
+  WorkloadSpec spec = WorkloadSpec::YcsbC(10000);
+  Workload a(spec, 1), b(spec, 2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextOp().key == b.NextOp().key) ++same;
+  }
+  EXPECT_LT(same, 30);
+}
+
+TEST(WorkloadRunnerTest, RunsAndMeasures) {
+  core::MemoryStore store;
+  WorkloadSpec spec = WorkloadSpec::YcsbB(2000);
+  spec.value_size = 32;
+  Workload loader(spec);
+  ASSERT_TRUE(loader.Load(&store).ok());
+  Workload ops(spec, 1);
+  RunResult r = RunWorkload(&store, &ops, 10000);
+  EXPECT_EQ(r.ops, 10000u);
+  EXPECT_EQ(r.failed_ops, 0u);
+  EXPECT_GT(r.cpu_seconds, 0.0);
+  EXPECT_GT(r.ops_per_cpu_sec, 1000.0);
+}
+
+TEST(WorkloadRunnerTest, ThreadedRunAggregates) {
+  core::MemoryStore store;
+  WorkloadSpec spec = WorkloadSpec::YcsbC(2000);
+  Workload loader(spec);
+  ASSERT_TRUE(loader.Load(&store).ok());
+  RunResult r = RunWorkloadThreaded(&store, spec, 2000, 2);
+  EXPECT_EQ(r.ops, 4000u);
+  EXPECT_EQ(r.failed_ops, 0u);
+  EXPECT_GT(r.ops_per_cpu_sec, 0.0);
+}
+
+TEST(WorkloadRunnerTest, ScansAndRmwExecute) {
+  core::MemoryStore store;
+  WorkloadSpec spec = WorkloadSpec::YcsbE(500);
+  spec.max_scan_len = 10;
+  Workload loader(spec);
+  ASSERT_TRUE(loader.Load(&store).ok());
+  Workload ops(spec, 1);
+  RunResult r = RunWorkload(&store, &ops, 2000);
+  EXPECT_EQ(r.failed_ops, 0u);
+
+  WorkloadSpec f = WorkloadSpec::YcsbF(500);
+  Workload fops(f, 1);
+  RunResult rf = RunWorkload(&store, &fops, 2000);
+  EXPECT_EQ(rf.failed_ops, 0u);
+}
+
+}  // namespace
+}  // namespace costperf::workload
