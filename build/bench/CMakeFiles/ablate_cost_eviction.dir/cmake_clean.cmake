@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_cost_eviction.dir/ablate_cost_eviction.cc.o"
+  "CMakeFiles/ablate_cost_eviction.dir/ablate_cost_eviction.cc.o.d"
+  "ablate_cost_eviction"
+  "ablate_cost_eviction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_cost_eviction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_mixed_workload.dir/fig1_mixed_workload.cc.o"
+  "CMakeFiles/fig1_mixed_workload.dir/fig1_mixed_workload.cc.o.d"
+  "fig1_mixed_workload"
+  "fig1_mixed_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_mixed_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

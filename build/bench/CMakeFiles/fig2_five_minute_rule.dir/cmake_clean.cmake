@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_five_minute_rule.dir/fig2_five_minute_rule.cc.o"
+  "CMakeFiles/fig2_five_minute_rule.dir/fig2_five_minute_rule.cc.o.d"
+  "fig2_five_minute_rule"
+  "fig2_five_minute_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_five_minute_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig2_five_minute_rule.
+# This may be replaced when dependencies are built.

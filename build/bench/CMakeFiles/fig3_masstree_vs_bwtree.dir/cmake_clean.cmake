@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_masstree_vs_bwtree.dir/fig3_masstree_vs_bwtree.cc.o"
+  "CMakeFiles/fig3_masstree_vs_bwtree.dir/fig3_masstree_vs_bwtree.cc.o.d"
+  "fig3_masstree_vs_bwtree"
+  "fig3_masstree_vs_bwtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_masstree_vs_bwtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_masstree_vs_bwtree.
+# This may be replaced when dependencies are built.

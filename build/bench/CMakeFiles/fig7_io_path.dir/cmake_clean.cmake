@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_io_path.dir/fig7_io_path.cc.o"
+  "CMakeFiles/fig7_io_path.dir/fig7_io_path.cc.o.d"
+  "fig7_io_path"
+  "fig7_io_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_io_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_compression.dir/fig8_compression.cc.o"
+  "CMakeFiles/fig8_compression.dir/fig8_compression.cc.o.d"
+  "fig8_compression"
+  "fig8_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

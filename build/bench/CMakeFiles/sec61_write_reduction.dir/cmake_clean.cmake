@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec61_write_reduction.dir/sec61_write_reduction.cc.o"
+  "CMakeFiles/sec61_write_reduction.dir/sec61_write_reduction.cc.o.d"
+  "sec61_write_reduction"
+  "sec61_write_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec61_write_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

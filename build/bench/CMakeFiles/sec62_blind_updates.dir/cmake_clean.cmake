@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec62_blind_updates.dir/sec62_blind_updates.cc.o"
+  "CMakeFiles/sec62_blind_updates.dir/sec62_blind_updates.cc.o.d"
+  "sec62_blind_updates"
+  "sec62_blind_updates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec62_blind_updates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec63_record_cache.dir/sec63_record_cache.cc.o"
+  "CMakeFiles/sec63_record_cache.dir/sec63_record_cache.cc.o.d"
+  "sec63_record_cache"
+  "sec63_record_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec63_record_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec63_record_cache.
+# This may be replaced when dependencies are built.

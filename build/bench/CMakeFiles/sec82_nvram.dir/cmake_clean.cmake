@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec82_nvram.dir/sec82_nvram.cc.o"
+  "CMakeFiles/sec82_nvram.dir/sec82_nvram.cc.o.d"
+  "sec82_nvram"
+  "sec82_nvram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec82_nvram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

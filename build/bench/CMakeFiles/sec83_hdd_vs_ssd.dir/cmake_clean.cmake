@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec83_hdd_vs_ssd.dir/sec83_hdd_vs_ssd.cc.o"
+  "CMakeFiles/sec83_hdd_vs_ssd.dir/sec83_hdd_vs_ssd.cc.o.d"
+  "sec83_hdd_vs_ssd"
+  "sec83_hdd_vs_ssd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec83_hdd_vs_ssd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_hw_constants.dir/table_hw_constants.cc.o"
+  "CMakeFiles/table_hw_constants.dir/table_hw_constants.cc.o.d"
+  "table_hw_constants"
+  "table_hw_constants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_hw_constants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

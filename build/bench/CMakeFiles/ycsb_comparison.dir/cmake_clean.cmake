@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ycsb_comparison.dir/ycsb_comparison.cc.o"
+  "CMakeFiles/ycsb_comparison.dir/ycsb_comparison.cc.o.d"
+  "ycsb_comparison"
+  "ycsb_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ycsb_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_cold_tiering.dir/hot_cold_tiering.cpp.o"
+  "CMakeFiles/hot_cold_tiering.dir/hot_cold_tiering.cpp.o.d"
+  "hot_cold_tiering"
+  "hot_cold_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_cold_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

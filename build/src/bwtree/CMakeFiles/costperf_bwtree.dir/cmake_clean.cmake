@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costperf_bwtree.dir/bwtree.cc.o"
+  "CMakeFiles/costperf_bwtree.dir/bwtree.cc.o.d"
+  "CMakeFiles/costperf_bwtree.dir/node.cc.o"
+  "CMakeFiles/costperf_bwtree.dir/node.cc.o.d"
+  "CMakeFiles/costperf_bwtree.dir/page_codec.cc.o"
+  "CMakeFiles/costperf_bwtree.dir/page_codec.cc.o.d"
+  "libcostperf_bwtree.a"
+  "libcostperf_bwtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costperf_bwtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costperf_common.dir/clock.cc.o"
+  "CMakeFiles/costperf_common.dir/clock.cc.o.d"
+  "CMakeFiles/costperf_common.dir/coding.cc.o"
+  "CMakeFiles/costperf_common.dir/coding.cc.o.d"
+  "CMakeFiles/costperf_common.dir/crc32.cc.o"
+  "CMakeFiles/costperf_common.dir/crc32.cc.o.d"
+  "CMakeFiles/costperf_common.dir/epoch.cc.o"
+  "CMakeFiles/costperf_common.dir/epoch.cc.o.d"
+  "CMakeFiles/costperf_common.dir/histogram.cc.o"
+  "CMakeFiles/costperf_common.dir/histogram.cc.o.d"
+  "CMakeFiles/costperf_common.dir/random.cc.o"
+  "CMakeFiles/costperf_common.dir/random.cc.o.d"
+  "CMakeFiles/costperf_common.dir/status.cc.o"
+  "CMakeFiles/costperf_common.dir/status.cc.o.d"
+  "libcostperf_common.a"
+  "libcostperf_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costperf_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costperf_compression.dir/compressor.cc.o"
+  "CMakeFiles/costperf_compression.dir/compressor.cc.o.d"
+  "libcostperf_compression.a"
+  "libcostperf_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costperf_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costperf_core.dir/caching_store.cc.o"
+  "CMakeFiles/costperf_core.dir/caching_store.cc.o.d"
+  "CMakeFiles/costperf_core.dir/memory_store.cc.o"
+  "CMakeFiles/costperf_core.dir/memory_store.cc.o.d"
+  "libcostperf_core.a"
+  "libcostperf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costperf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/costmodel/advisor.cc" "src/costmodel/CMakeFiles/costperf_costmodel.dir/advisor.cc.o" "gcc" "src/costmodel/CMakeFiles/costperf_costmodel.dir/advisor.cc.o.d"
+  "/root/repo/src/costmodel/calibration.cc" "src/costmodel/CMakeFiles/costperf_costmodel.dir/calibration.cc.o" "gcc" "src/costmodel/CMakeFiles/costperf_costmodel.dir/calibration.cc.o.d"
+  "/root/repo/src/costmodel/five_minute_rule.cc" "src/costmodel/CMakeFiles/costperf_costmodel.dir/five_minute_rule.cc.o" "gcc" "src/costmodel/CMakeFiles/costperf_costmodel.dir/five_minute_rule.cc.o.d"
+  "/root/repo/src/costmodel/masstree_compare.cc" "src/costmodel/CMakeFiles/costperf_costmodel.dir/masstree_compare.cc.o" "gcc" "src/costmodel/CMakeFiles/costperf_costmodel.dir/masstree_compare.cc.o.d"
+  "/root/repo/src/costmodel/mixed_workload.cc" "src/costmodel/CMakeFiles/costperf_costmodel.dir/mixed_workload.cc.o" "gcc" "src/costmodel/CMakeFiles/costperf_costmodel.dir/mixed_workload.cc.o.d"
+  "/root/repo/src/costmodel/operation_cost.cc" "src/costmodel/CMakeFiles/costperf_costmodel.dir/operation_cost.cc.o" "gcc" "src/costmodel/CMakeFiles/costperf_costmodel.dir/operation_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/costperf_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

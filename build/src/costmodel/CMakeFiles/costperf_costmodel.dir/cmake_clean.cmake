@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costperf_costmodel.dir/advisor.cc.o"
+  "CMakeFiles/costperf_costmodel.dir/advisor.cc.o.d"
+  "CMakeFiles/costperf_costmodel.dir/calibration.cc.o"
+  "CMakeFiles/costperf_costmodel.dir/calibration.cc.o.d"
+  "CMakeFiles/costperf_costmodel.dir/five_minute_rule.cc.o"
+  "CMakeFiles/costperf_costmodel.dir/five_minute_rule.cc.o.d"
+  "CMakeFiles/costperf_costmodel.dir/masstree_compare.cc.o"
+  "CMakeFiles/costperf_costmodel.dir/masstree_compare.cc.o.d"
+  "CMakeFiles/costperf_costmodel.dir/mixed_workload.cc.o"
+  "CMakeFiles/costperf_costmodel.dir/mixed_workload.cc.o.d"
+  "CMakeFiles/costperf_costmodel.dir/operation_cost.cc.o"
+  "CMakeFiles/costperf_costmodel.dir/operation_cost.cc.o.d"
+  "libcostperf_costmodel.a"
+  "libcostperf_costmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costperf_costmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

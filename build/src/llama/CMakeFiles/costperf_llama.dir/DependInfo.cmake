@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/llama/cache_manager.cc" "src/llama/CMakeFiles/costperf_llama.dir/cache_manager.cc.o" "gcc" "src/llama/CMakeFiles/costperf_llama.dir/cache_manager.cc.o.d"
+  "/root/repo/src/llama/log_store.cc" "src/llama/CMakeFiles/costperf_llama.dir/log_store.cc.o" "gcc" "src/llama/CMakeFiles/costperf_llama.dir/log_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/costperf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/costperf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/costperf_mapping.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

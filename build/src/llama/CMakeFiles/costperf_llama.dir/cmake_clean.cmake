@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costperf_llama.dir/cache_manager.cc.o"
+  "CMakeFiles/costperf_llama.dir/cache_manager.cc.o.d"
+  "CMakeFiles/costperf_llama.dir/log_store.cc.o"
+  "CMakeFiles/costperf_llama.dir/log_store.cc.o.d"
+  "libcostperf_llama.a"
+  "libcostperf_llama.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costperf_llama.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

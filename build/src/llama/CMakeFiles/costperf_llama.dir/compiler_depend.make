@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for costperf_llama.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for costperf_llama.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costperf_mapping.dir/mapping_table.cc.o"
+  "CMakeFiles/costperf_mapping.dir/mapping_table.cc.o.d"
+  "libcostperf_mapping.a"
+  "libcostperf_mapping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costperf_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

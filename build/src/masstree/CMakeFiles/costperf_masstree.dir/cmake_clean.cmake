@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costperf_masstree.dir/masstree.cc.o"
+  "CMakeFiles/costperf_masstree.dir/masstree.cc.o.d"
+  "libcostperf_masstree.a"
+  "libcostperf_masstree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costperf_masstree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

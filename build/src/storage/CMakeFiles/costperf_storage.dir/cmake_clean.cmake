@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costperf_storage.dir/device.cc.o"
+  "CMakeFiles/costperf_storage.dir/device.cc.o.d"
+  "CMakeFiles/costperf_storage.dir/io_path.cc.o"
+  "CMakeFiles/costperf_storage.dir/io_path.cc.o.d"
+  "CMakeFiles/costperf_storage.dir/rate_limiter.cc.o"
+  "CMakeFiles/costperf_storage.dir/rate_limiter.cc.o.d"
+  "libcostperf_storage.a"
+  "libcostperf_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costperf_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costperf_tc.dir/transaction_component.cc.o"
+  "CMakeFiles/costperf_tc.dir/transaction_component.cc.o.d"
+  "libcostperf_tc.a"
+  "libcostperf_tc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costperf_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/costperf_workload.dir/workload.cc.o"
+  "CMakeFiles/costperf_workload.dir/workload.cc.o.d"
+  "libcostperf_workload.a"
+  "libcostperf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/costperf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

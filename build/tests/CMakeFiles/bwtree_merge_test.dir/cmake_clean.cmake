@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bwtree_merge_test.dir/bwtree_merge_test.cc.o"
+  "CMakeFiles/bwtree_merge_test.dir/bwtree_merge_test.cc.o.d"
+  "bwtree_merge_test"
+  "bwtree_merge_test.pdb"
+  "bwtree_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bwtree_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/css_tier_test.dir/css_tier_test.cc.o"
+  "CMakeFiles/css_tier_test.dir/css_tier_test.cc.o.d"
+  "css_tier_test"
+  "css_tier_test.pdb"
+  "css_tier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/css_tier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/five_minute_rule_test.dir/five_minute_rule_test.cc.o"
+  "CMakeFiles/five_minute_rule_test.dir/five_minute_rule_test.cc.o.d"
+  "five_minute_rule_test"
+  "five_minute_rule_test.pdb"
+  "five_minute_rule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/five_minute_rule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latch_test.dir/latch_test.cc.o"
+  "CMakeFiles/latch_test.dir/latch_test.cc.o.d"
+  "latch_test"
+  "latch_test.pdb"
+  "latch_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

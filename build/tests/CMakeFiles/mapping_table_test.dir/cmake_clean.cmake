@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapping_table_test.dir/mapping_table_test.cc.o"
+  "CMakeFiles/mapping_table_test.dir/mapping_table_test.cc.o.d"
+  "mapping_table_test"
+  "mapping_table_test.pdb"
+  "mapping_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapping_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/masstree_compare_test.dir/masstree_compare_test.cc.o"
+  "CMakeFiles/masstree_compare_test.dir/masstree_compare_test.cc.o.d"
+  "masstree_compare_test"
+  "masstree_compare_test.pdb"
+  "masstree_compare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/masstree_compare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
