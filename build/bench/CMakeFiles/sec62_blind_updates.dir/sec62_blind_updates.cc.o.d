@@ -227,7 +227,8 @@ bench/CMakeFiles/sec62_blind_updates.dir/sec62_blind_updates.cc.o: \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/storage/device.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/storage/io_path.h \
  /usr/include/c++/12/cstddef /root/repo/src/storage/rate_limiter.h \
- /root/repo/src/core/kv_store.h /root/repo/src/costmodel/advisor.h \
- /usr/include/c++/12/optional /root/repo/src/costmodel/cost_params.h \
+ /root/repo/src/core/kv_store.h /usr/include/c++/12/span \
+ /root/repo/src/costmodel/advisor.h /usr/include/c++/12/optional \
+ /root/repo/src/costmodel/cost_params.h \
  /root/repo/src/costmodel/operation_cost.h \
  /root/repo/src/workload/workload.h /root/repo/src/common/random.h

@@ -227,9 +227,13 @@ bench/CMakeFiles/ycsb_comparison.dir/ycsb_comparison.cc.o: \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/storage/device.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/storage/io_path.h \
  /usr/include/c++/12/cstddef /root/repo/src/storage/rate_limiter.h \
- /root/repo/src/core/kv_store.h /root/repo/src/costmodel/advisor.h \
- /usr/include/c++/12/optional /root/repo/src/costmodel/cost_params.h \
+ /root/repo/src/core/kv_store.h /usr/include/c++/12/span \
+ /root/repo/src/costmodel/advisor.h /usr/include/c++/12/optional \
+ /root/repo/src/costmodel/cost_params.h \
  /root/repo/src/costmodel/operation_cost.h \
  /root/repo/src/workload/workload.h /root/repo/src/common/random.h \
  /root/repo/src/core/memory_store.h /root/repo/src/masstree/masstree.h \
- /root/repo/src/common/latch.h
+ /root/repo/src/common/latch.h /root/repo/src/core/sharded_store.h \
+ /root/repo/src/costmodel/calibration.h \
+ /root/repo/src/costmodel/mixed_workload.h \
+ /root/repo/src/workload/runner.h /root/repo/src/common/histogram.h

@@ -230,7 +230,8 @@ examples/CMakeFiles/transactions.dir/transactions.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/storage/device.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/storage/io_path.h \
  /usr/include/c++/12/cstddef /root/repo/src/storage/rate_limiter.h \
- /root/repo/src/core/kv_store.h /root/repo/src/costmodel/advisor.h \
- /usr/include/c++/12/optional /root/repo/src/costmodel/cost_params.h \
+ /root/repo/src/core/kv_store.h /usr/include/c++/12/span \
+ /root/repo/src/costmodel/advisor.h /usr/include/c++/12/optional \
+ /root/repo/src/costmodel/cost_params.h \
  /root/repo/src/costmodel/operation_cost.h \
  /root/repo/src/tc/transaction_component.h

@@ -9,7 +9,9 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/caching_store.cc" "src/core/CMakeFiles/costperf_core.dir/caching_store.cc.o" "gcc" "src/core/CMakeFiles/costperf_core.dir/caching_store.cc.o.d"
+  "/root/repo/src/core/kv_store.cc" "src/core/CMakeFiles/costperf_core.dir/kv_store.cc.o" "gcc" "src/core/CMakeFiles/costperf_core.dir/kv_store.cc.o.d"
   "/root/repo/src/core/memory_store.cc" "src/core/CMakeFiles/costperf_core.dir/memory_store.cc.o" "gcc" "src/core/CMakeFiles/costperf_core.dir/memory_store.cc.o.d"
+  "/root/repo/src/core/sharded_store.cc" "src/core/CMakeFiles/costperf_core.dir/sharded_store.cc.o" "gcc" "src/core/CMakeFiles/costperf_core.dir/sharded_store.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -1,8 +1,12 @@
 file(REMOVE_RECURSE
   "CMakeFiles/costperf_core.dir/caching_store.cc.o"
   "CMakeFiles/costperf_core.dir/caching_store.cc.o.d"
+  "CMakeFiles/costperf_core.dir/kv_store.cc.o"
+  "CMakeFiles/costperf_core.dir/kv_store.cc.o.d"
   "CMakeFiles/costperf_core.dir/memory_store.cc.o"
   "CMakeFiles/costperf_core.dir/memory_store.cc.o.d"
+  "CMakeFiles/costperf_core.dir/sharded_store.cc.o"
+  "CMakeFiles/costperf_core.dir/sharded_store.cc.o.d"
   "libcostperf_core.a"
   "libcostperf_core.pdb"
 )

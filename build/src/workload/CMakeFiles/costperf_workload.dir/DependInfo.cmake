@@ -8,12 +8,21 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/runner.cc" "src/workload/CMakeFiles/costperf_workload.dir/runner.cc.o" "gcc" "src/workload/CMakeFiles/costperf_workload.dir/runner.cc.o.d"
   "/root/repo/src/workload/workload.cc" "src/workload/CMakeFiles/costperf_workload.dir/workload.cc.o" "gcc" "src/workload/CMakeFiles/costperf_workload.dir/workload.cc.o.d"
   )
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/costperf_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/costperf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/bwtree/CMakeFiles/costperf_bwtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/llama/CMakeFiles/costperf_llama.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/costperf_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapping/CMakeFiles/costperf_mapping.dir/DependInfo.cmake"
+  "/root/repo/build/src/compression/CMakeFiles/costperf_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/masstree/CMakeFiles/costperf_masstree.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/costperf_costmodel.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

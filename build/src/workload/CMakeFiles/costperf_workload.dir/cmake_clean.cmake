@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/costperf_workload.dir/runner.cc.o"
+  "CMakeFiles/costperf_workload.dir/runner.cc.o.d"
   "CMakeFiles/costperf_workload.dir/workload.cc.o"
   "CMakeFiles/costperf_workload.dir/workload.cc.o.d"
   "libcostperf_workload.a"

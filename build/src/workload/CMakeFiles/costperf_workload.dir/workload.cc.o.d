@@ -196,9 +196,10 @@ src/workload/CMakeFiles/costperf_workload.dir/workload.cc.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/common/random.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /root/repo/src/core/kv_store.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
+ /root/repo/src/core/kv_store.h /usr/include/c++/12/span \
+ /usr/include/c++/12/array /usr/include/c++/12/cstddef \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/slice.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \

@@ -306,7 +306,7 @@ tests/CMakeFiles/core_store_test.dir/core_store_test.cc.o: \
  /root/repo/src/llama/log_store.h /root/repo/src/storage/device.h \
  /usr/include/c++/12/shared_mutex /root/repo/src/storage/io_path.h \
  /root/repo/src/storage/rate_limiter.h /root/repo/src/core/kv_store.h \
- /root/repo/src/costmodel/advisor.h \
+ /usr/include/c++/12/span /root/repo/src/costmodel/advisor.h \
  /root/repo/src/costmodel/cost_params.h \
  /root/repo/src/costmodel/operation_cost.h \
  /root/repo/src/core/memory_store.h /root/repo/src/masstree/masstree.h \

@@ -307,6 +307,6 @@ tests/CMakeFiles/css_tier_test.dir/css_tier_test.cc.o: \
  /usr/include/c++/12/shared_mutex /root/repo/src/storage/io_path.h \
  /root/repo/src/storage/rate_limiter.h /root/repo/src/common/random.h \
  /root/repo/src/core/caching_store.h /root/repo/src/core/kv_store.h \
- /root/repo/src/costmodel/advisor.h \
+ /usr/include/c++/12/span /root/repo/src/costmodel/advisor.h \
  /root/repo/src/costmodel/cost_params.h \
  /root/repo/src/costmodel/operation_cost.h

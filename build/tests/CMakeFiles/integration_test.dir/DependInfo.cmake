@@ -16,13 +16,13 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/costperf_core.dir/DependInfo.cmake"
   "/root/repo/build/src/tc/CMakeFiles/costperf_tc.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/costperf_workload.dir/DependInfo.cmake"
-  "/root/repo/build/src/masstree/CMakeFiles/costperf_masstree.dir/DependInfo.cmake"
-  "/root/repo/build/src/costmodel/CMakeFiles/costperf_costmodel.dir/DependInfo.cmake"
   "/root/repo/build/src/bwtree/CMakeFiles/costperf_bwtree.dir/DependInfo.cmake"
   "/root/repo/build/src/llama/CMakeFiles/costperf_llama.dir/DependInfo.cmake"
   "/root/repo/build/src/storage/CMakeFiles/costperf_storage.dir/DependInfo.cmake"
   "/root/repo/build/src/mapping/CMakeFiles/costperf_mapping.dir/DependInfo.cmake"
   "/root/repo/build/src/compression/CMakeFiles/costperf_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/masstree/CMakeFiles/costperf_masstree.dir/DependInfo.cmake"
+  "/root/repo/build/src/costmodel/CMakeFiles/costperf_costmodel.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/costperf_common.dir/DependInfo.cmake"
   )
 

@@ -306,6 +306,7 @@ tests/CMakeFiles/recovery_test.dir/recovery_test.cc.o: \
  /root/repo/src/common/clock.h /root/repo/src/llama/log_store.h \
  /root/repo/src/storage/device.h /usr/include/c++/12/shared_mutex \
  /root/repo/src/storage/io_path.h /root/repo/src/storage/rate_limiter.h \
- /root/repo/src/core/kv_store.h /root/repo/src/costmodel/advisor.h \
+ /root/repo/src/core/kv_store.h /usr/include/c++/12/span \
+ /root/repo/src/costmodel/advisor.h \
  /root/repo/src/costmodel/cost_params.h \
  /root/repo/src/costmodel/operation_cost.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_store_test.dir/sharded_store_test.cc.o"
+  "CMakeFiles/sharded_store_test.dir/sharded_store_test.cc.o.d"
+  "sharded_store_test"
+  "sharded_store_test.pdb"
+  "sharded_store_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

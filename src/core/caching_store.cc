@@ -93,6 +93,9 @@ void CachingStore::EnforceBudget() {
 }
 
 void CachingStore::Maintain() {
+  // Try-lock: if another thread is already inside maintenance, skip this
+  // round rather than stacking a second eviction/GC pass on top of it.
+  if (maintenance_running_.test_and_set(std::memory_order_acquire)) return;
   EnforceBudget();
   if (options_.merge_fill_target > 0) {
     tree_->MergeUnderfullLeaves(options_.merge_fill_target);
@@ -107,6 +110,7 @@ void CachingStore::Maintain() {
         options_.gc_live_threshold);
   }
   tree_->ReclaimMemory();
+  maintenance_running_.clear(std::memory_order_release);
 }
 
 Status CachingStore::Checkpoint() {
@@ -167,6 +171,22 @@ uint64_t CachingStore::MemoryFootprintBytes() const {
   return tree_->MemoryFootprintBytes();
 }
 
+KvStoreStats CachingStore::Stats() const {
+  auto t = tree_->stats();
+  auto d = attached_device_->stats();
+  KvStoreStats s;
+  s.reads = t.gets + t.scans;
+  s.writes = t.puts + t.deletes;
+  s.hits = t.mm_ops;
+  s.misses = t.ss_ops;
+  s.io_reads = d.reads;
+  s.io_writes = d.writes;
+  s.bytes_read = d.bytes_read;
+  s.bytes_written = d.bytes_written;
+  s.memory_bytes = tree_->MemoryFootprintBytes();
+  return s;
+}
+
 std::string CachingStore::StatsString() const {
   auto t = tree_->stats();
   auto d = attached_device_->stats();
@@ -203,7 +223,9 @@ std::string CachingStore::StatsString() const {
            (unsigned long long)c.resident_bytes,
            (unsigned long long)c.resident_pages,
            (unsigned long long)c.evictions);
-  return buf;
+  // Structured summary first, component detail after — callers that want
+  // numbers should use Stats() and never parse this.
+  return Stats().ToString() + "\n" + buf;
 }
 
 }  // namespace costperf::core

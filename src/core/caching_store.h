@@ -60,6 +60,7 @@ class CachingStore : public KvStore {
               std::vector<std::pair<std::string, std::string>>* out) override;
 
   uint64_t MemoryFootprintBytes() const override;
+  KvStoreStats Stats() const override;
   std::string StatsString() const override;
   void Maintain() override;
 
@@ -91,6 +92,11 @@ class CachingStore : public KvStore {
   std::unique_ptr<llama::CacheManager> cache_;
   std::unique_ptr<bwtree::BwTree> tree_;
   std::atomic<uint64_t> op_counter_{0};
+  // Single-admission gate for maintenance: concurrent callers whose op
+  // count also crosses the interval skip instead of double-running
+  // eviction/GC (the tree tolerates concurrent flush/evict, but two
+  // EnforceBudget passes evict twice the intended bytes).
+  std::atomic_flag maintenance_running_ = ATOMIC_FLAG_INIT;
 };
 
 }  // namespace costperf::core

@@ -1,0 +1,53 @@
+#include "core/kv_store.h"
+
+#include <cstdio>
+
+namespace costperf::core {
+
+KvStoreStats& KvStoreStats::operator+=(const KvStoreStats& other) {
+  reads += other.reads;
+  writes += other.writes;
+  hits += other.hits;
+  misses += other.misses;
+  io_reads += other.io_reads;
+  io_writes += other.io_writes;
+  bytes_read += other.bytes_read;
+  bytes_written += other.bytes_written;
+  memory_bytes += other.memory_bytes;
+  return *this;
+}
+
+std::string KvStoreStats::ToString() const {
+  char buf[320];
+  snprintf(buf, sizeof(buf),
+           "kv: reads=%llu writes=%llu hits=%llu misses=%llu (F=%.3f) "
+           "io_reads=%llu io_writes=%llu bytes_read=%llu bytes_written=%llu "
+           "memory_bytes=%llu",
+           (unsigned long long)reads, (unsigned long long)writes,
+           (unsigned long long)hits, (unsigned long long)misses,
+           MissFraction(), (unsigned long long)io_reads,
+           (unsigned long long)io_writes, (unsigned long long)bytes_read,
+           (unsigned long long)bytes_written,
+           (unsigned long long)memory_bytes);
+  return buf;
+}
+
+std::vector<Result<std::string>> KvStore::MultiGet(
+    std::span<const std::string> keys) {
+  std::vector<Result<std::string>> out;
+  out.reserve(keys.size());
+  for (const std::string& key : keys) out.push_back(Get(Slice(key)));
+  return out;
+}
+
+Status KvStore::WriteBatch(
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  Status first_error = Status::Ok();
+  for (const auto& [key, value] : entries) {
+    Status s = Put(Slice(key), Slice(value));
+    if (!s.ok() && first_error.ok()) first_error = s;
+  }
+  return first_error;
+}
+
+}  // namespace costperf::core

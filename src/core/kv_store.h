@@ -2,6 +2,7 @@
 #define COSTPERF_CORE_KV_STORE_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -11,11 +12,42 @@
 
 namespace costperf::core {
 
+// Structured operation/IO counters common to every KvStore. Benches and
+// tests consume these fields directly instead of parsing StatsString().
+// "hits" are operations completed purely in memory (the paper's MM ops);
+// "misses" needed at least one secondary-storage read (SS ops) — for a
+// pure main-memory store misses is always zero.
+struct KvStoreStats {
+  uint64_t reads = 0;          // Get + Scan operations
+  uint64_t writes = 0;         // Put + Delete operations
+  uint64_t hits = 0;           // ops served without any flash read (MM)
+  uint64_t misses = 0;         // ops that required a flash read (SS)
+  uint64_t io_reads = 0;       // device read I/Os
+  uint64_t io_writes = 0;      // device write I/Os
+  uint64_t bytes_read = 0;     // device bytes read
+  uint64_t bytes_written = 0;  // device bytes written
+  uint64_t memory_bytes = 0;   // resident DRAM footprint
+
+  // Fraction of classified ops that missed (the paper's F). 0 when the
+  // store classified nothing.
+  double MissFraction() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(misses) / total;
+  }
+
+  KvStoreStats& operator+=(const KvStoreStats& other);
+
+  // One-line "kv: reads=... writes=..." rendering; the canonical body of
+  // StatsString().
+  std::string ToString() const;
+};
+
 // The library's public key-value abstraction. Implemented by
 // CachingStore (Bw-tree over LLAMA over the simulated SSD — the paper's
-// data caching system) and MemoryStore (MassTree — the paper's main
-// memory system). Workload generators and benches target this interface
-// so the two systems run identical workloads.
+// data caching system), MemoryStore (MassTree — the paper's main
+// memory system), and ShardedStore (hash-partitioned composition of
+// either, the concurrent execution substrate). Workload generators and
+// benches target this interface so all systems run identical workloads.
 class KvStore {
  public:
   virtual ~KvStore() = default;
@@ -27,11 +59,28 @@ class KvStore {
       const Slice& start, size_t limit,
       std::vector<std::pair<std::string, std::string>>* out) = 0;
 
+  // Batched point lookups: out[i] is the result for keys[i]. The default
+  // loops over Get(); ShardedStore overrides it to group keys per shard
+  // (one lock acquisition per touched shard instead of one per key).
+  virtual std::vector<Result<std::string>> MultiGet(
+      std::span<const std::string> keys);
+
+  // Batched upserts, applied in order. All entries are attempted; the
+  // first non-OK status (if any) is returned. The default loops over
+  // Put(); ShardedStore groups entries per shard.
+  virtual Status WriteBatch(
+      const std::vector<std::pair<std::string, std::string>>& entries);
+
   // Resident DRAM footprint of the store (data + index + bookkeeping).
   virtual uint64_t MemoryFootprintBytes() const = 0;
 
-  // Human-readable counters for reports.
-  virtual std::string StatsString() const = 0;
+  // Structured counters for reports and cost-model calibration.
+  virtual KvStoreStats Stats() const = 0;
+
+  // Human-readable counters for reports. The base rendering is just
+  // Stats().ToString(); implementations may append component detail.
+  // Deprecated for programmatic use — consume Stats() instead.
+  virtual std::string StatsString() const { return Stats().ToString(); }
 
   // Gives the store a chance to run maintenance (eviction, GC, epoch
   // reclamation). Called periodically by workload runners.

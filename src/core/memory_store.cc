@@ -4,6 +4,19 @@
 
 namespace costperf::core {
 
+KvStoreStats MemoryStore::Stats() const {
+  auto t = tree_->stats();
+  KvStoreStats s;
+  s.reads = t.gets + t.scans;
+  s.writes = t.puts + t.deletes;
+  // Everything is resident: every classified op is an MM hit, and the
+  // store performs no device I/O by construction.
+  s.hits = s.reads + s.writes;
+  s.misses = 0;
+  s.memory_bytes = tree_->MemoryFootprintBytes();
+  return s;
+}
+
 std::string MemoryStore::StatsString() const {
   auto s = tree_->stats();
   char buf[512];
@@ -18,7 +31,7 @@ std::string MemoryStore::StatsString() const {
            (unsigned long long)s.layers_created,
            (unsigned long long)tree_->size(),
            (unsigned long long)tree_->MemoryFootprintBytes());
-  return buf;
+  return Stats().ToString() + "\n" + buf;
 }
 
 }  // namespace costperf::core

@@ -33,6 +33,7 @@ class MemoryStore : public KvStore {
     return tree_->MemoryFootprintBytes();
   }
 
+  KvStoreStats Stats() const override;
   std::string StatsString() const override;
   void Maintain() override { tree_->ReclaimMemory(); }
 

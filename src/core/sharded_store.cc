@@ -1,0 +1,186 @@
+#include "core/sharded_store.h"
+
+#include <algorithm>
+
+namespace costperf::core {
+
+namespace {
+
+// FNV-1a 64-bit: stable across runs/processes so shard placement is part
+// of the store's durable contract (recovery reattaches shard i to the
+// same key subset it owned before the restart).
+uint64_t Fnv1a(const Slice& key) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < key.size(); ++i) {
+    h ^= static_cast<unsigned char>(key[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+ShardedStore::ShardedStore(size_t shard_count, const ShardFactory& factory) {
+  if (shard_count == 0) shard_count = 1;
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->store = factory(i);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedStore::ShardedStore(std::vector<std::unique_ptr<KvStore>> shards) {
+  if (shards.empty()) shards.push_back(std::make_unique<MemoryStore>());
+  shards_.reserve(shards.size());
+  for (auto& store : shards) {
+    auto shard = std::make_unique<Shard>();
+    shard->store = std::move(store);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+std::unique_ptr<ShardedStore> ShardedStore::OfMemory(size_t shard_count) {
+  return std::make_unique<ShardedStore>(
+      shard_count, [](size_t) { return std::make_unique<MemoryStore>(); });
+}
+
+std::unique_ptr<ShardedStore> ShardedStore::OfCaching(
+    size_t shard_count, const CachingStoreOptions& per_shard) {
+  return std::make_unique<ShardedStore>(shard_count, [&per_shard](size_t) {
+    return std::make_unique<CachingStore>(per_shard);
+  });
+}
+
+size_t ShardedStore::ShardIndexOf(const Slice& key) const {
+  return Fnv1a(key) % shards_.size();
+}
+
+Status ShardedStore::Put(const Slice& key, const Slice& value) {
+  Shard& shard = *shards_[ShardIndexOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.store->Put(key, value);
+}
+
+Result<std::string> ShardedStore::Get(const Slice& key) {
+  Shard& shard = *shards_[ShardIndexOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.store->Get(key);
+}
+
+Status ShardedStore::Delete(const Slice& key) {
+  Shard& shard = *shards_[ShardIndexOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.store->Delete(key);
+}
+
+Status ShardedStore::Scan(
+    const Slice& start, size_t limit,
+    std::vector<std::pair<std::string, std::string>>* out) {
+  out->clear();
+  if (limit == 0) return Status::Ok();
+  // Each shard yields a sorted run of up to `limit` records >= start; the
+  // first `limit` of the merged runs are exactly the global answer
+  // because shards hold disjoint key sets.
+  std::vector<std::vector<std::pair<std::string, std::string>>> runs(
+      shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Status s = shard.store->Scan(start, limit, &runs[i]);
+    if (!s.ok()) return s;
+  }
+  // K is small (shard count), so a repeated min-front pass beats the
+  // bookkeeping of a heap for the sizes involved.
+  std::vector<size_t> cursor(runs.size(), 0);
+  while (out->size() < limit) {
+    size_t best = runs.size();
+    for (size_t i = 0; i < runs.size(); ++i) {
+      if (cursor[i] >= runs[i].size()) continue;
+      if (best == runs.size() ||
+          runs[i][cursor[i]].first < runs[best][cursor[best]].first) {
+        best = i;
+      }
+    }
+    if (best == runs.size()) break;  // all runs exhausted
+    out->push_back(std::move(runs[best][cursor[best]]));
+    ++cursor[best];
+  }
+  return Status::Ok();
+}
+
+std::vector<Result<std::string>> ShardedStore::MultiGet(
+    std::span<const std::string> keys) {
+  // Group key positions per shard, then visit each touched shard once.
+  std::vector<std::vector<size_t>> groups(shards_.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    groups[ShardIndexOf(Slice(keys[i]))].push_back(i);
+  }
+  std::vector<Result<std::string>> out(keys.size(), Status::NotFound());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (groups[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t i : groups[s]) out[i] = shard.store->Get(Slice(keys[i]));
+  }
+  return out;
+}
+
+Status ShardedStore::WriteBatch(
+    const std::vector<std::pair<std::string, std::string>>& entries) {
+  std::vector<std::vector<size_t>> groups(shards_.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    groups[ShardIndexOf(Slice(entries[i].first))].push_back(i);
+  }
+  Status first_error = Status::Ok();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (groups[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (size_t i : groups[s]) {
+      Status st = shard.store->Put(Slice(entries[i].first),
+                                   Slice(entries[i].second));
+      if (!st.ok() && first_error.ok()) first_error = st;
+    }
+  }
+  return first_error;
+}
+
+uint64_t ShardedStore::MemoryFootprintBytes() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->store->MemoryFootprintBytes();
+  }
+  return total;
+}
+
+KvStoreStats ShardedStore::Stats() const {
+  KvStoreStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->store->Stats();
+  }
+  return total;
+}
+
+std::string ShardedStore::StatsString() const {
+  return "sharded[" + std::to_string(shards_.size()) + "] " +
+         Stats().ToString();
+}
+
+void ShardedStore::Maintain() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->store->Maintain();
+  }
+}
+
+void ShardedStore::WithShard(size_t i,
+                             const std::function<void(KvStore*)>& fn) {
+  Shard& shard = *shards_[i];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  fn(shard.store.get());
+}
+
+}  // namespace costperf::core

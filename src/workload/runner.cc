@@ -1,0 +1,320 @@
+#include "workload/runner.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace costperf::workload {
+
+namespace {
+
+// Reusable rendezvous: every thread that calls Arrive() blocks until all
+// `n` participants have arrived. Keeps the load phase strictly before the
+// measured phase across all workers.
+class PhaseBarrier {
+ public:
+  explicit PhaseBarrier(int n) : remaining_(n), size_(n) {}
+
+  void Arrive() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const uint64_t gen = generation_;
+    if (--remaining_ == 0) {
+      remaining_ = size_;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != gen; });
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int remaining_;
+  const int size_;
+  uint64_t generation_ = 0;
+};
+
+struct ThreadResult {
+  uint64_t ops = 0;
+  uint64_t failed_ops = 0;
+  uint64_t batch_calls = 0;
+  uint64_t op_counts[5] = {};
+  double cpu_seconds = 0;
+  uint64_t wall_start_nanos = 0;
+  uint64_t wall_end_nanos = 0;
+  Histogram latency_micros;
+  Status load_status;
+};
+
+// Executes one non-batchable op (scan / RMW / anything in unbatched
+// mode). Returns false on failure.
+bool ExecuteOp(core::KvStore* store, const Op& op, size_t value_size,
+               std::vector<std::pair<std::string, std::string>>* scan_buf) {
+  switch (op.type) {
+    case OpType::kRead: {
+      auto r = store->Get(Slice(op.key));
+      return r.ok() || r.status().IsNotFound();
+    }
+    case OpType::kUpdate:
+    case OpType::kInsert:
+      return store->Put(Slice(op.key), Slice(op.value)).ok();
+    case OpType::kScan:
+      return store->Scan(Slice(op.key), op.scan_len, scan_buf).ok();
+    case OpType::kReadModifyWrite: {
+      auto r = store->Get(Slice(op.key));
+      std::string v = r.ok() ? *r : std::string();
+      v += op.value;
+      if (v.size() > 2 * value_size) v.resize(value_size);
+      return store->Put(Slice(op.key), Slice(v)).ok();
+    }
+  }
+  return false;
+}
+
+class LatencyTimer {
+ public:
+  LatencyTimer(bool enabled, Histogram* hist)
+      : enabled_(enabled), hist_(hist) {}
+
+  void Start() {
+    if (enabled_) start_ = RealClock::Global()->NowNanos();
+  }
+  void Stop() {
+    if (enabled_) {
+      hist_->Add(
+          static_cast<double>(RealClock::Global()->NowNanos() - start_) *
+          1e-3);
+    }
+  }
+
+ private:
+  const bool enabled_;
+  Histogram* hist_;
+  uint64_t start_ = 0;
+};
+
+void RunPhase(core::KvStore* store, const WorkloadSpec& spec,
+              const RunnerOptions& options, int thread_index,
+              ThreadResult* result) {
+  Workload workload(spec, /*thread_seed_offset=*/thread_index + 1);
+  std::vector<std::pair<std::string, std::string>> scan_buf;
+  LatencyTimer timer(options.record_latencies, &result->latency_micros);
+  const size_t batch = std::max<size_t>(1, spec.batch_size);
+
+  // Batch staging, reused across groups.
+  std::vector<std::string> read_keys;
+  std::vector<std::pair<std::string, std::string>> write_entries;
+  std::vector<Op> singles;
+
+  result->wall_start_nanos = RealClock::Global()->NowNanos();
+  const uint64_t cpu_start = ThreadCpuNanos();
+
+  uint64_t done = 0;
+  while (done < options.ops_per_thread) {
+    if (batch == 1) {
+      Op op = workload.NextOp();
+      ++result->op_counts[static_cast<int>(op.type)];
+      timer.Start();
+      bool ok = ExecuteOp(store, op, spec.value_size, &scan_buf);
+      timer.Stop();
+      if (!ok) ++result->failed_ops;
+      ++done;
+      continue;
+    }
+
+    // Batched mode: stage up to `batch` generated ops, then issue reads
+    // as one MultiGet, updates/inserts as one WriteBatch, and the rest
+    // (scans, RMW) individually.
+    const uint64_t group =
+        std::min<uint64_t>(batch, options.ops_per_thread - done);
+    read_keys.clear();
+    write_entries.clear();
+    singles.clear();
+    for (uint64_t i = 0; i < group; ++i) {
+      Op op = workload.NextOp();
+      ++result->op_counts[static_cast<int>(op.type)];
+      switch (op.type) {
+        case OpType::kRead:
+          read_keys.push_back(std::move(op.key));
+          break;
+        case OpType::kUpdate:
+        case OpType::kInsert:
+          write_entries.emplace_back(std::move(op.key), std::move(op.value));
+          break;
+        default:
+          singles.push_back(std::move(op));
+      }
+    }
+    if (!read_keys.empty()) {
+      timer.Start();
+      auto results = store->MultiGet(read_keys);
+      timer.Stop();
+      ++result->batch_calls;
+      for (const auto& r : results) {
+        if (!r.ok() && !r.status().IsNotFound()) ++result->failed_ops;
+      }
+    }
+    if (!write_entries.empty()) {
+      timer.Start();
+      Status s = store->WriteBatch(write_entries);
+      timer.Stop();
+      ++result->batch_calls;
+      // WriteBatch reports only the first failure; count it as one.
+      if (!s.ok()) ++result->failed_ops;
+    }
+    for (const Op& op : singles) {
+      timer.Start();
+      bool ok = ExecuteOp(store, op, spec.value_size, &scan_buf);
+      timer.Stop();
+      if (!ok) ++result->failed_ops;
+    }
+    done += group;
+  }
+
+  result->cpu_seconds =
+      static_cast<double>(ThreadCpuNanos() - cpu_start) * 1e-9;
+  result->wall_end_nanos = RealClock::Global()->NowNanos();
+  result->ops = options.ops_per_thread;
+}
+
+RunReport MergeResults(int threads, std::vector<ThreadResult>& results) {
+  RunReport report;
+  report.threads = threads;
+  uint64_t wall_start = ~0ull, wall_end = 0;
+  for (ThreadResult& r : results) {
+    if (!r.load_status.ok()) ++report.failed_ops;
+    report.ops += r.ops;
+    report.failed_ops += r.failed_ops;
+    report.batch_calls += r.batch_calls;
+    for (int i = 0; i < 5; ++i) report.op_counts[i] += r.op_counts[i];
+    report.cpu_seconds_total += r.cpu_seconds;
+    report.cpu_seconds_max = std::max(report.cpu_seconds_max, r.cpu_seconds);
+    wall_start = std::min(wall_start, r.wall_start_nanos);
+    wall_end = std::max(wall_end, r.wall_end_nanos);
+    report.latency_micros.Merge(r.latency_micros);
+  }
+  report.wall_seconds =
+      wall_end > wall_start
+          ? static_cast<double>(wall_end - wall_start) * 1e-9
+          : 0;
+  if (report.wall_seconds > 0) {
+    report.ops_per_wall_sec = report.ops / report.wall_seconds;
+  }
+  if (report.cpu_seconds_total > 0) {
+    report.ops_per_cpu_sec = report.ops / report.cpu_seconds_total;
+  }
+  if (report.cpu_seconds_max > 0) {
+    report.modeled_parallel_ops_per_sec = report.ops / report.cpu_seconds_max;
+  }
+  if (report.latency_micros.count() > 0) {
+    report.p50_micros = report.latency_micros.Percentile(50.0);
+    report.p99_micros = report.latency_micros.Percentile(99.0);
+  }
+  return report;
+}
+
+}  // namespace
+
+std::string RunReport::ToString() const {
+  char buf[512];
+  snprintf(buf, sizeof(buf),
+           "threads=%d ops=%llu failed=%llu wall=%.3fs cpu=%.3fs | "
+           "%.0f ops/wall-sec, %.0f ops/cpu-sec, %.0f modeled ops/sec | "
+           "p50=%.1fus p99=%.1fus | r/u/i/s/rmw=%llu/%llu/%llu/%llu/%llu "
+           "batch_calls=%llu",
+           threads, (unsigned long long)ops, (unsigned long long)failed_ops,
+           wall_seconds, cpu_seconds_total, ops_per_wall_sec,
+           ops_per_cpu_sec, modeled_parallel_ops_per_sec, p50_micros,
+           p99_micros, (unsigned long long)op_counts[0],
+           (unsigned long long)op_counts[1], (unsigned long long)op_counts[2],
+           (unsigned long long)op_counts[3], (unsigned long long)op_counts[4],
+           (unsigned long long)batch_calls);
+  return buf;
+}
+
+Runner::Runner(core::KvStore* store, WorkloadSpec spec, RunnerOptions options)
+    : store_(store), spec_(spec), options_(options) {
+  if (options_.threads < 1) options_.threads = 1;
+}
+
+Status Runner::Load() {
+  const int threads = options_.threads;
+  const uint64_t per =
+      (spec_.record_count + threads - 1) / static_cast<uint64_t>(threads);
+  std::vector<Status> statuses(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const uint64_t begin = std::min<uint64_t>(t * per, spec_.record_count);
+      const uint64_t end = std::min<uint64_t>(begin + per, spec_.record_count);
+      Workload loader(spec_, /*thread_seed_offset=*/1000 + t);
+      statuses[t] = loader.LoadRange(store_, begin, end);
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+RunReport Runner::Run() {
+  const int threads = options_.threads;
+  std::vector<ThreadResult> results(threads);
+  PhaseBarrier barrier(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      barrier.Arrive();  // synchronized start: no thread measures alone
+      RunPhase(store_, spec_, options_, t, &results[t]);
+    });
+  }
+  for (auto& w : workers) w.join();
+  return MergeResults(threads, results);
+}
+
+RunReport Runner::LoadAndRun() {
+  if (!options_.parallel_load) {
+    Workload loader(spec_);
+    Status s = loader.Load(store_);
+    if (!s.ok()) {
+      RunReport failed;
+      failed.threads = options_.threads;
+      failed.failed_ops = 1;
+      return failed;
+    }
+    return Run();
+  }
+
+  const int threads = options_.threads;
+  std::vector<ThreadResult> results(threads);
+  PhaseBarrier barrier(threads);
+  const uint64_t per =
+      (spec_.record_count + threads - 1) / static_cast<uint64_t>(threads);
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const uint64_t begin = std::min<uint64_t>(t * per, spec_.record_count);
+      const uint64_t end = std::min<uint64_t>(begin + per, spec_.record_count);
+      Workload loader(spec_, /*thread_seed_offset=*/1000 + t);
+      results[t].load_status = loader.LoadRange(store_, begin, end);
+      // Phase barrier: every partition is fully loaded before any
+      // thread's first measured op.
+      barrier.Arrive();
+      RunPhase(store_, spec_, options_, t, &results[t]);
+    });
+  }
+  for (auto& w : workers) w.join();
+  return MergeResults(threads, results);
+}
+
+}  // namespace costperf::workload

@@ -156,7 +156,12 @@ Op Workload::NextOp() {
 }
 
 Status Workload::Load(core::KvStore* store) {
-  for (uint64_t i = 0; i < spec_.record_count; ++i) {
+  return LoadRange(store, 0, spec_.record_count);
+}
+
+Status Workload::LoadRange(core::KvStore* store, uint64_t begin,
+                           uint64_t end) {
+  for (uint64_t i = begin; i < end; ++i) {
     Status s = store->Put(Slice(KeyAt(i)), Slice(RandomValue()));
     if (!s.ok()) return s;
   }

@@ -39,6 +39,10 @@ struct WorkloadSpec {
   std::string key_prefix = "user";
   uint64_t seed = 0xC0FFEE;
 
+  // When > 1, the Runner groups consecutive ops and issues them through
+  // KvStore::MultiGet / KvStore::WriteBatch instead of one call per op.
+  size_t batch_size = 1;
+
   // YCSB core workload presets.
   static WorkloadSpec YcsbA(uint64_t records);  // 50/50 read/update
   static WorkloadSpec YcsbB(uint64_t records);  // 95/5 read/update
@@ -69,6 +73,10 @@ class Workload {
 
   // Inserts all `record_count` records (sequential keys, random values).
   Status Load(core::KvStore* store);
+
+  // Inserts records [begin, end) — a thread's partition of the load phase
+  // when the Runner parallelizes loading.
+  Status LoadRange(core::KvStore* store, uint64_t begin, uint64_t end);
 
   const WorkloadSpec& spec() const { return spec_; }
   uint64_t inserted_count() const { return insert_cursor_; }
