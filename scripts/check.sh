@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# Full verification matrix: plain build, Clang thread-safety analysis
+# (COSTPERF_ANALYZE), and the three sanitizer configurations — each
+# followed by the full ctest suite. Exits non-zero if any configured lane
+# fails; lanes whose toolchain is missing (no clang++) are skipped with an
+# explicit message rather than silently passing.
+#
+# Usage: scripts/check.sh [lane...]
+#   lanes: plain analyze asan tsan ubsan   (default: all)
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+LANES=("$@")
+[[ ${#LANES[@]} -eq 0 ]] && LANES=(plain analyze asan tsan ubsan)
+
+failures=()
+skips=()
+
+have_clangxx() {
+  [[ -n "${CLANGXX:-}" ]] && command -v "$CLANGXX" >/dev/null 2>&1 && return 0
+  for cand in clang++ clang++-18 clang++-17 clang++-16; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      CLANGXX="$cand"
+      return 0
+    fi
+  done
+  return 1
+}
+
+run_lane() {
+  local lane="$1"
+  shift
+  local dir="$ROOT/build-$lane"
+  echo
+  echo "=== lane: $lane ==="
+  if ! cmake -S "$ROOT" -B "$dir" "$@" >/dev/null; then
+    failures+=("$lane (configure)")
+    return
+  fi
+  if ! cmake --build "$dir" -j "$JOBS" >/dev/null; then
+    failures+=("$lane (build)")
+    return
+  fi
+  # The analyze lane is a compile-time check only; its test binaries are
+  # identical to plain Clang ones, so building them is the verification.
+  if [[ "$lane" == "analyze" ]]; then
+    echo "lane $lane: build clean under -Werror=thread-safety"
+    return
+  fi
+  if ! ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+       > "$dir/ctest.log" 2>&1; then
+    tail -40 "$dir/ctest.log"
+    failures+=("$lane (ctest)")
+    return
+  fi
+  grep -E "tests (passed|failed)" "$dir/ctest.log" | tail -1
+}
+
+for lane in "${LANES[@]}"; do
+  case "$lane" in
+    plain)
+      run_lane plain -DCMAKE_BUILD_TYPE=Release
+      ;;
+    analyze)
+      if have_clangxx; then
+        run_lane analyze -DCMAKE_BUILD_TYPE=Release \
+                 -DCMAKE_CXX_COMPILER="$CLANGXX" -DCOSTPERF_ANALYZE=ON
+      else
+        echo "=== lane: analyze — SKIPPED (no clang++ on PATH; set CLANGXX)"
+        skips+=(analyze)
+      fi
+      ;;
+    asan)
+      run_lane asan -DCMAKE_BUILD_TYPE=Debug -DCOSTPERF_SANITIZE=address
+      ;;
+    tsan)
+      run_lane tsan -DCMAKE_BUILD_TYPE=Debug -DCOSTPERF_SANITIZE=thread
+      ;;
+    ubsan)
+      run_lane ubsan -DCMAKE_BUILD_TYPE=Debug -DCOSTPERF_SANITIZE=undefined
+      ;;
+    *)
+      echo "unknown lane '$lane' (want: plain analyze asan tsan ubsan)" >&2
+      exit 2
+      ;;
+  esac
+done
+
+echo
+if [[ ${#skips[@]} -gt 0 ]]; then
+  echo "skipped lanes: ${skips[*]}"
+fi
+if [[ ${#failures[@]} -gt 0 ]]; then
+  echo "FAILED lanes: ${failures[*]}"
+  exit 1
+fi
+echo "all configured lanes passed"

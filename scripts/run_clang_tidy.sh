@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy at the repo root) over every
+# first-party source file, using a compile_commands.json produced by a
+# dedicated CMake configure. Exits non-zero on any finding in
+# WarningsAsErrors, zero (with a message) when clang-tidy is unavailable
+# so CI lanes without LLVM skip instead of failing.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$ROOT/build-tidy}"
+JOBS="${JOBS:-$(nproc)}"
+
+TIDY="${CLANG_TIDY:-}"
+if [[ -z "$TIDY" ]]; then
+  for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      TIDY="$cand"
+      break
+    fi
+  done
+fi
+if [[ -z "$TIDY" ]]; then
+  echo "run_clang_tidy: clang-tidy not found on PATH; skipping." >&2
+  echo "run_clang_tidy: install LLVM or set CLANG_TIDY=/path/to/clang-tidy." >&2
+  exit 0
+fi
+
+cmake -S "$ROOT" -B "$BUILD_DIR" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON \
+      -DCMAKE_BUILD_TYPE=Debug >/dev/null || exit 1
+
+mapfile -t FILES < <(find "$ROOT/src" "$ROOT/tests" "$ROOT/bench" \
+                          "$ROOT/examples" -name '*.cc' | sort)
+echo "run_clang_tidy: $TIDY over ${#FILES[@]} files ($JOBS jobs)"
+
+# run-clang-tidy (the LLVM parallel driver) when present, else serial.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -clang-tidy-binary "$TIDY" -p "$BUILD_DIR" -j "$JOBS" \
+                 -quiet "${FILES[@]}"
+  exit $?
+fi
+
+status=0
+for f in "${FILES[@]}"; do
+  "$TIDY" -p "$BUILD_DIR" --quiet "$f" || status=1
+done
+exit $status

@@ -1,0 +1,238 @@
+#include "analysis/bwtree_validator.h"
+
+#include <algorithm>
+#include <deque>
+#include <string>
+#include <unordered_set>
+
+#include "bwtree/node.h"
+#include "common/epoch.h"
+
+namespace costperf::analysis {
+
+namespace {
+
+using bwtree::BwTree;
+using bwtree::InnerBase;
+using bwtree::LeafBase;
+using bwtree::Node;
+using bwtree::NodeType;
+using mapping::kInvalidPageId;
+using mapping::PageId;
+
+// Upper bound on chain walks; anything longer is treated as a cycle.
+constexpr size_t kMaxChainNodes = 1 << 16;
+
+std::string PidEntity(PageId pid) { return "pid " + std::to_string(pid); }
+
+bool IsDeltaType(NodeType t) {
+  return t == NodeType::kInsertDelta || t == NodeType::kDeleteDelta ||
+         t == NodeType::kRemoveNode || t == NodeType::kMergeDelta;
+}
+
+// Walks head toward the tail, stopping after kMaxChainNodes. Returns the
+// tail (base/flash pointer) or nullptr when the chain is broken/cyclic.
+const Node* WalkChain(const Node* head, std::vector<const Node*>* nodes) {
+  const Node* n = head;
+  while (n != nullptr && nodes->size() < kMaxChainNodes) {
+    nodes->push_back(n);
+    if (!IsDeltaType(n->type)) return n;
+    n = n->next;
+  }
+  return nullptr;
+}
+
+void EnqueueChild(PageId pid, std::unordered_set<PageId>* seen,
+                  std::deque<PageId>* frontier) {
+  if (pid == kInvalidPageId) return;
+  if (seen->insert(pid).second) frontier->push_back(pid);
+}
+
+// Visits every reachable pid; calls visit(pid, word) for each.
+template <typename Fn>
+void Traverse(BwTree* tree, const Fn& visit) {
+  EpochGuard guard(tree->epochs());
+  mapping::MappingTable* table = tree->mapping_table();
+  std::unordered_set<PageId> seen;
+  std::deque<PageId> frontier;
+  EnqueueChild(tree->root_pid(), &seen, &frontier);
+  while (!frontier.empty()) {
+    PageId pid = frontier.front();
+    frontier.pop_front();
+    if (pid >= table->capacity()) continue;
+    uint64_t word = table->Get(pid);
+    visit(pid, word);
+    if (word == 0 || bwtree::IsFlashWord(word)) continue;
+    std::vector<const Node*> nodes;
+    const Node* tail = WalkChain(bwtree::DecodePointer(word), &nodes);
+    if (tail == nullptr) continue;
+    // A MergeDelta supersedes the tail's fences: the tail base still
+    // names the absorbed (detached) sibling, the delta the live one.
+    const bwtree::MergeDelta* merge = nullptr;
+    for (const Node* n : nodes) {
+      if (n->type == NodeType::kMergeDelta) {
+        merge = static_cast<const bwtree::MergeDelta*>(n);
+        break;
+      }
+    }
+    if (tail->type == NodeType::kInnerBase) {
+      const auto* inner = static_cast<const InnerBase*>(tail);
+      for (PageId child : inner->children) {
+        EnqueueChild(child, &seen, &frontier);
+      }
+      EnqueueChild(inner->right_sibling, &seen, &frontier);
+    } else if (merge != nullptr) {
+      EnqueueChild(merge->right_sibling, &seen, &frontier);
+    } else if (tail->type == NodeType::kLeafBase) {
+      EnqueueChild(static_cast<const LeafBase*>(tail)->right_sibling, &seen,
+                   &frontier);
+    } else if (tail->type == NodeType::kFlashPointer) {
+      const auto* fp = static_cast<const bwtree::FlashPointer*>(tail);
+      if (fp->fences_known) EnqueueChild(fp->right_sibling, &seen, &frontier);
+    }
+  }
+}
+
+void CheckChainLengths(PageId pid, const std::vector<const Node*>& nodes,
+                       const Node* tail, std::vector<Violation>* out) {
+  for (const Node* n : nodes) {
+    uint16_t expected;
+    if (!IsDeltaType(n->type)) {
+      expected = 0;
+    } else {
+      expected = n->next == nullptr
+                     ? 1
+                     : static_cast<uint16_t>(n->next->chain_length + 1);
+    }
+    if (n->chain_length != expected) {
+      out->push_back(Violation{
+          "BwTreeValidator", "chain-length", PidEntity(pid),
+          "node type " + std::to_string(static_cast<int>(n->type)) +
+              " has chain_length " + std::to_string(n->chain_length) +
+              ", expected " + std::to_string(expected)});
+      return;  // one report per page; deeper mismatches are derivative
+    }
+  }
+  (void)tail;
+}
+
+void CheckLeafOrder(PageId pid, const LeafBase* leaf,
+                    std::vector<Violation>* out) {
+  if (leaf->keys.size() != leaf->values.size()) {
+    out->push_back(Violation{
+        "BwTreeValidator", "key-order", PidEntity(pid),
+        "leaf has " + std::to_string(leaf->keys.size()) + " keys but " +
+            std::to_string(leaf->values.size()) + " values"});
+    return;
+  }
+  for (size_t i = 1; i < leaf->keys.size(); ++i) {
+    if (!(leaf->keys[i - 1] < leaf->keys[i])) {
+      out->push_back(Violation{
+          "BwTreeValidator", "key-order", PidEntity(pid),
+          "leaf keys not strictly ascending at slot " + std::to_string(i) +
+              " (\"" + leaf->keys[i - 1] + "\" !< \"" + leaf->keys[i] +
+              "\")"});
+      return;
+    }
+  }
+  if (!leaf->high_key.empty() && !leaf->keys.empty() &&
+      !(leaf->keys.back() < leaf->high_key)) {
+    out->push_back(Violation{
+        "BwTreeValidator", "key-order", PidEntity(pid),
+        "leaf key \"" + leaf->keys.back() + "\" >= high fence \"" +
+            leaf->high_key + "\""});
+  }
+}
+
+void CheckInnerOrder(PageId pid, const InnerBase* inner,
+                     std::vector<Violation>* out) {
+  if (inner->children.size() != inner->seps.size() + 1) {
+    out->push_back(Violation{
+        "BwTreeValidator", "key-order", PidEntity(pid),
+        "inner has " + std::to_string(inner->children.size()) +
+            " children for " + std::to_string(inner->seps.size()) +
+            " separators (want seps+1)"});
+    return;
+  }
+  for (size_t i = 1; i < inner->seps.size(); ++i) {
+    if (!(inner->seps[i - 1] < inner->seps[i])) {
+      out->push_back(Violation{
+          "BwTreeValidator", "key-order", PidEntity(pid),
+          "inner separators not strictly ascending at slot " +
+              std::to_string(i)});
+      return;
+    }
+  }
+}
+
+void CheckFlashChain(BwTree* tree, PageId pid, uint64_t word,
+                     const Node* tail, std::vector<Violation>* out) {
+  BwTree::PageDebugInfo info = tree->DebugPageInfo(pid);
+  if (bwtree::IsFlashWord(word)) {
+    uint64_t packed = bwtree::DecodeFlash(word).packed();
+    if (info.flash_chain.empty() || info.flash_chain.front() != packed) {
+      out->push_back(Violation{
+          "BwTreeValidator", "flash-chain", PidEntity(pid),
+          "mapping entry points at flash record " + std::to_string(packed) +
+              " but the recorded chain head is " +
+              (info.flash_chain.empty()
+                   ? std::string("<empty>")
+                   : std::to_string(info.flash_chain.front()))});
+    }
+    return;
+  }
+  if (tail != nullptr && tail->type == NodeType::kFlashPointer) {
+    uint64_t packed =
+        static_cast<const bwtree::FlashPointer*>(tail)->addr.packed();
+    if (std::find(info.flash_chain.begin(), info.flash_chain.end(),
+                  packed) == info.flash_chain.end()) {
+      out->push_back(Violation{
+          "BwTreeValidator", "flash-chain", PidEntity(pid),
+          "FlashPointer tail addresses record " + std::to_string(packed) +
+              " which is not in the page's recorded flash chain"});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<mapping::PageId> CollectReachablePids(bwtree::BwTree* tree) {
+  std::vector<PageId> pids;
+  Traverse(tree, [&](PageId pid, uint64_t) { pids.push_back(pid); });
+  std::sort(pids.begin(), pids.end());
+  return pids;
+}
+
+std::vector<Violation> BwTreeValidator::Check() {
+  std::vector<Violation> out;
+  Traverse(tree_, [&](PageId pid, uint64_t word) {
+    if (word == 0) {
+      out.push_back(Violation{"BwTreeValidator", "null-word", PidEntity(pid),
+                              "reachable page has a null mapping entry"});
+      return;
+    }
+    if (bwtree::IsFlashWord(word)) {
+      CheckFlashChain(tree_, pid, word, nullptr, &out);
+      return;
+    }
+    std::vector<const Node*> nodes;
+    const Node* tail = WalkChain(bwtree::DecodePointer(word), &nodes);
+    if (tail == nullptr) {
+      out.push_back(Violation{
+          "BwTreeValidator", "chain-tail", PidEntity(pid),
+          "delta chain of " + std::to_string(nodes.size()) +
+              " node(s) never reaches a base page (broken or cyclic)"});
+      return;
+    }
+    CheckChainLengths(pid, nodes, tail, &out);
+    if (tail->type == NodeType::kLeafBase) {
+      CheckLeafOrder(pid, static_cast<const LeafBase*>(tail), &out);
+    } else if (tail->type == NodeType::kInnerBase) {
+      CheckInnerOrder(pid, static_cast<const InnerBase*>(tail), &out);
+    }
+    CheckFlashChain(tree_, pid, word, tail, &out);
+  });
+  return out;
+}
+
+}  // namespace costperf::analysis

@@ -1,0 +1,29 @@
+#include "analysis/invariant_checker.h"
+
+namespace costperf::analysis {
+
+std::string Violation::ToString() const {
+  std::string out = checker;
+  out += "/";
+  out += rule;
+  if (!entity.empty()) {
+    out += " [";
+    out += entity;
+    out += "]";
+  }
+  out += ": ";
+  out += detail;
+  return out;
+}
+
+std::string ReportToString(const std::vector<Violation>& violations) {
+  if (violations.empty()) return "no violations";
+  std::string out = std::to_string(violations.size()) + " violation(s)";
+  for (const Violation& v : violations) {
+    out += "\n  ";
+    out += v.ToString();
+  }
+  return out;
+}
+
+}  // namespace costperf::analysis

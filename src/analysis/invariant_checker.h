@@ -1,0 +1,47 @@
+#ifndef COSTPERF_ANALYSIS_INVARIANT_CHECKER_H_
+#define COSTPERF_ANALYSIS_INVARIANT_CHECKER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace costperf::analysis {
+
+// One structural-invariant violation found by a checker. Checkers never
+// throw or abort: they report everything they can find and leave the
+// decision (fail the test, dump state, ignore) to the caller.
+struct Violation {
+  std::string checker;  // which checker found it, e.g. "BwTreeValidator"
+  std::string rule;     // stable rule id, e.g. "chain-length"
+  std::string entity;   // what it is about, e.g. "pid 7", "segment 3"
+  std::string detail;   // human-readable explanation with the numbers
+
+  std::string ToString() const;
+};
+
+// A structural validator over live store state. Implementations walk the
+// in-memory metadata only (mapping words, delta chains, segment
+// directory) — never the device — so a Check() is cheap enough to run
+// after every test phase.
+//
+// Checkers assume the store is quiescent (no concurrent mutators); they
+// are meant for tests and the KvStore::CheckInvariants() debug hook, not
+// for the hot path.
+class InvariantChecker {
+ public:
+  virtual ~InvariantChecker() = default;
+
+  // Stable checker name, used as Violation::checker.
+  virtual std::string_view name() const = 0;
+
+  // Runs every rule; returns all violations found (empty = healthy).
+  virtual std::vector<Violation> Check() = 0;
+};
+
+// Multi-line rendering of a report ("<n> violation(s)" + one per line);
+// "no violations" for an empty report. For test failure messages.
+std::string ReportToString(const std::vector<Violation>& violations);
+
+}  // namespace costperf::analysis
+
+#endif  // COSTPERF_ANALYSIS_INVARIANT_CHECKER_H_

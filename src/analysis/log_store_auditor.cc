@@ -1,0 +1,86 @@
+#include "analysis/log_store_auditor.h"
+
+#include <string>
+
+namespace costperf::analysis {
+
+namespace {
+
+std::string SegEntity(uint64_t id) { return "segment " + std::to_string(id); }
+
+}  // namespace
+
+std::vector<Violation> LogStoreAuditor::Check() {
+  std::vector<Violation> out;
+  const llama::LogStoreStats stats = store_->stats();
+  const std::vector<llama::SegmentInfo> segments = store_->segments();
+  const uint64_t open_id = store_->open_segment_id();
+  const uint64_t segment_bytes = store_->options().segment_bytes;
+  constexpr uint64_t kHdr = llama::LogStructuredStore::kSegmentHeaderBytes;
+
+  uint64_t directory_record_bytes = 0;
+  uint64_t directory_dead_bytes = 0;
+  bool open_found = false;
+
+  for (const llama::SegmentInfo& seg : segments) {
+    if (seg.used_bytes < kHdr || seg.used_bytes > segment_bytes) {
+      out.push_back(Violation{
+          "LogStoreAuditor", "segment-bounds", SegEntity(seg.id),
+          "used_bytes " + std::to_string(seg.used_bytes) +
+              " outside [" + std::to_string(kHdr) + ", " +
+              std::to_string(segment_bytes) + "]"});
+    }
+    const uint64_t record_bytes =
+        seg.used_bytes >= kHdr ? seg.used_bytes - kHdr : 0;
+    if (seg.dead_bytes > record_bytes) {
+      out.push_back(Violation{
+          "LogStoreAuditor", "dead-exceeds-live", SegEntity(seg.id),
+          std::to_string(seg.dead_bytes) + " dead bytes exceed the " +
+              std::to_string(record_bytes) + " record bytes ever written"});
+    }
+    if (seg.id == open_id) {
+      open_found = true;
+      if (seg.sealed) {
+        out.push_back(Violation{
+            "LogStoreAuditor", "open-segment", SegEntity(seg.id),
+            "open segment is marked sealed"});
+      }
+    } else if (!seg.sealed) {
+      out.push_back(Violation{
+          "LogStoreAuditor", "open-segment", SegEntity(seg.id),
+          "unsealed segment other than the open one"});
+    }
+    directory_record_bytes += record_bytes;
+    directory_dead_bytes += seg.dead_bytes;
+  }
+
+  if (!open_found) {
+    out.push_back(Violation{
+        "LogStoreAuditor", "open-segment", SegEntity(open_id),
+        "open segment has no directory entry"});
+  }
+
+  const uint64_t produced = stats.bytes_appended + stats.recovered_bytes;
+  const uint64_t accounted = directory_record_bytes + stats.bytes_collected;
+  if (produced != accounted) {
+    out.push_back(Violation{
+        "LogStoreAuditor", "space-accounting", "log",
+        "appended+recovered = " + std::to_string(produced) +
+            " but directory+collected = " + std::to_string(accounted) +
+            " (directory " + std::to_string(directory_record_bytes) +
+            ", collected " + std::to_string(stats.bytes_collected) + ")"});
+  }
+
+  const uint64_t dead_accounted =
+      directory_dead_bytes + stats.dead_bytes_collected;
+  if (stats.dead_bytes_marked != dead_accounted) {
+    out.push_back(Violation{
+        "LogStoreAuditor", "dead-accounting", "log",
+        "dead_bytes_marked = " + std::to_string(stats.dead_bytes_marked) +
+            " but directory+collected = " + std::to_string(dead_accounted)});
+  }
+
+  return out;
+}
+
+}  // namespace costperf::analysis

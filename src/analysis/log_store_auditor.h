@@ -1,0 +1,39 @@
+#ifndef COSTPERF_ANALYSIS_LOG_STORE_AUDITOR_H_
+#define COSTPERF_ANALYSIS_LOG_STORE_AUDITOR_H_
+
+#include "analysis/invariant_checker.h"
+#include "llama/log_store.h"
+
+namespace costperf::analysis {
+
+// Audits the log-structured store's space accounting from its segment
+// directory and counters alone (no device I/O). Rule ids:
+//   segment-bounds   used_bytes below the segment header size or above
+//                    the configured segment size
+//   dead-exceeds-live  a segment's dead bytes exceed its record bytes
+//   open-segment     the open segment is missing from the directory, is
+//                    marked sealed, or a second unsealed segment exists
+//   space-accounting the write-side closure is broken: every record byte
+//                    ever produced (appended + adopted by recovery) must
+//                    either still sit in a directory segment or have been
+//                    retired by GC —
+//                      bytes_appended + recovered_bytes ==
+//                          Σ_segments(used − header) + bytes_collected
+//   dead-accounting  same closure for dead marks:
+//                      dead_bytes_marked ==
+//                          Σ_segments(dead) + dead_bytes_collected
+class LogStoreAuditor : public InvariantChecker {
+ public:
+  explicit LogStoreAuditor(llama::LogStructuredStore* store)
+      : store_(store) {}
+
+  std::string_view name() const override { return "LogStoreAuditor"; }
+  std::vector<Violation> Check() override;
+
+ private:
+  llama::LogStructuredStore* store_;
+};
+
+}  // namespace costperf::analysis
+
+#endif  // COSTPERF_ANALYSIS_LOG_STORE_AUDITOR_H_

@@ -148,27 +148,32 @@ void BwTree::CacheTouch(PageId pid) {
 
 void BwTree::MetaSetChain(PageId pid, std::vector<uint64_t> chain,
                           bool dirty) {
-  std::lock_guard<std::mutex> lk(meta_mu_);
+  MutexLock lk(&meta_mu_);
   auto& m = meta_[pid];
   m.flash_chain = std::move(chain);
   m.base_dirty = dirty;
 }
 
 void BwTree::MetaPushDelta(PageId pid, uint64_t addr) {
-  std::lock_guard<std::mutex> lk(meta_mu_);
+  MutexLock lk(&meta_mu_);
   auto& m = meta_[pid];
   m.flash_chain.insert(m.flash_chain.begin(), addr);
 }
 
 void BwTree::MetaMarkDirty(PageId pid) {
-  std::lock_guard<std::mutex> lk(meta_mu_);
+  MutexLock lk(&meta_mu_);
   meta_[pid].base_dirty = true;
 }
 
 BwTree::PageMeta BwTree::MetaGet(PageId pid) const {
-  std::lock_guard<std::mutex> lk(meta_mu_);
+  MutexLock lk(&meta_mu_);
   auto it = meta_.find(pid);
   return it == meta_.end() ? PageMeta{} : it->second;
+}
+
+BwTree::PageDebugInfo BwTree::DebugPageInfo(PageId pid) const {
+  PageMeta m = MetaGet(pid);
+  return PageDebugInfo{std::move(m.flash_chain), m.base_dirty};
 }
 
 void BwTree::MarkChainDead(const std::vector<uint64_t>& chain) {
@@ -1742,7 +1747,7 @@ Status BwTree::RecoverFromStore() {
   }
   table_.Reset();
   {
-    std::lock_guard<std::mutex> lk(meta_mu_);
+    MutexLock lk(&meta_mu_);
     meta_.clear();
   }
 
@@ -1923,7 +1928,7 @@ bool BwTree::GcInstall(PageId pid, FlashAddress old_addr,
   // Only simply-relocatable state: a fully evicted page whose single
   // flash record is old_addr. PrepareSegmentForGc guarantees this.
   {
-    std::lock_guard<std::mutex> lk(meta_mu_);
+    MutexLock lk(&meta_mu_);
     auto it = meta_.find(pid);
     if (it == meta_.end() || it->second.flash_chain.size() != 1 ||
         it->second.flash_chain[0] != old_addr.packed()) {
@@ -1936,7 +1941,7 @@ bool BwTree::GcInstall(PageId pid, FlashAddress old_addr,
   // Resident page pointing at old_addr via a FlashPointer tail: patch by
   // loading is overkill; PrepareSegmentForGc rewrites those pages, so
   // reaching here means a race. Roll the meta back and report failure.
-  std::lock_guard<std::mutex> lk(meta_mu_);
+  MutexLock lk(&meta_mu_);
   auto it = meta_.find(pid);
   if (it != meta_.end() && it->second.flash_chain.size() == 1 &&
       it->second.flash_chain[0] == new_addr.packed()) {
@@ -1952,7 +1957,7 @@ Status BwTree::PrepareSegmentForGc(uint64_t segment_id,
   // and re-flushed elsewhere, leaving only simply-relocatable records.
   std::vector<PageId> to_rewrite;
   {
-    std::lock_guard<std::mutex> lk(meta_mu_);
+    MutexLock lk(&meta_mu_);
     for (const auto& [pid, meta] : meta_) {
       bool touches = false;
       for (uint64_t packed : meta.flash_chain) {

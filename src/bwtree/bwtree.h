@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -13,8 +12,10 @@
 #include "bwtree/node.h"
 #include "bwtree/page_codec.h"
 #include "common/epoch.h"
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "llama/cache_manager.h"
 #include "llama/log_store.h"
 #include "mapping/mapping_table.h"
@@ -178,6 +179,16 @@ class BwTree {
   PageId root_pid() const { return root_pid_.load(std::memory_order_acquire); }
   const BwTreeOptions& options() const { return options_; }
 
+  // Snapshot of a page's paging metadata, exposed for the analysis layer
+  // (analysis::BwTreeValidator / LogStoreAuditor need the flash chain to
+  // cross-check delta-page back-pointers and log-record liveness).
+  struct PageDebugInfo {
+    // Flash records backing the page, newest first (see PageMeta).
+    std::vector<uint64_t> flash_chain;
+    bool base_dirty = false;
+  };
+  PageDebugInfo DebugPageInfo(PageId pid) const;
+
  private:
   struct PageMeta {
     // Flash records backing this page, newest first. Element 0 is the
@@ -255,10 +266,11 @@ class BwTree {
   void CacheTouch(PageId pid);
 
   // Meta accessors.
-  void MetaSetChain(PageId pid, std::vector<uint64_t> chain, bool dirty);
-  void MetaPushDelta(PageId pid, uint64_t addr);
-  void MetaMarkDirty(PageId pid);
-  PageMeta MetaGet(PageId pid) const;
+  void MetaSetChain(PageId pid, std::vector<uint64_t> chain, bool dirty)
+      EXCLUDES(meta_mu_);
+  void MetaPushDelta(PageId pid, uint64_t addr) EXCLUDES(meta_mu_);
+  void MetaMarkDirty(PageId pid) EXCLUDES(meta_mu_);
+  PageMeta MetaGet(PageId pid) const EXCLUDES(meta_mu_);
   void MarkChainDead(const std::vector<uint64_t>& chain);
 
   BwTreeOptions options_;
@@ -266,8 +278,8 @@ class BwTree {
   EpochManager epochs_;
   std::atomic<PageId> root_pid_;
 
-  mutable std::mutex meta_mu_;
-  std::unordered_map<PageId, PageMeta> meta_;
+  mutable Mutex meta_mu_;
+  std::unordered_map<PageId, PageMeta> meta_ GUARDED_BY(meta_mu_);
 
   // Stats (relaxed atomics; snapshot via stats()).
   mutable std::atomic<uint64_t> s_gets_{0}, s_puts_{0}, s_deletes_{0},

@@ -44,7 +44,7 @@ void EpochManager::Exit() {
 
 void EpochManager::Retire(std::function<void()> deleter) {
   uint64_t e = global_epoch_.load(std::memory_order_acquire);
-  std::lock_guard<std::mutex> lk(retired_mu_);
+  MutexLock lk(&retired_mu_);
   retired_.push_back(RetiredItem{e, std::move(deleter)});
 }
 
@@ -64,7 +64,7 @@ size_t EpochManager::TryReclaim() {
 
   std::vector<std::function<void()>> to_run;
   {
-    std::lock_guard<std::mutex> lk(retired_mu_);
+    MutexLock lk(&retired_mu_);
     size_t kept = 0;
     for (size_t i = 0; i < retired_.size(); ++i) {
       // An item retired at epoch E may still be referenced by threads in
@@ -85,7 +85,7 @@ size_t EpochManager::TryReclaim() {
 size_t EpochManager::ReclaimAll() {
   std::vector<RetiredItem> items;
   {
-    std::lock_guard<std::mutex> lk(retired_mu_);
+    MutexLock lk(&retired_mu_);
     items.swap(retired_);
   }
   for (auto& it : items) it.deleter();
@@ -93,7 +93,7 @@ size_t EpochManager::ReclaimAll() {
 }
 
 size_t EpochManager::retired_count() const {
-  std::lock_guard<std::mutex> lk(retired_mu_);
+  MutexLock lk(&retired_mu_);
   return retired_.size();
 }
 

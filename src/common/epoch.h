@@ -4,8 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace costperf {
 
@@ -23,7 +25,13 @@ namespace costperf {
 //   { EpochGuard g(&epochs); ... dereference shared pointers ... }
 //   epochs.Retire([p]{ delete p; });
 //   epochs.TryReclaim();   // called opportunistically
-class EpochManager {
+//
+// Declared a capability so latch-free structures can document epoch
+// protection in REQUIRES() clauses. Enter/Exit themselves carry no
+// ACQUIRE/RELEASE attributes: epoch entry is re-entrant per thread
+// (nested EpochGuards are legal and common), which the analysis would
+// flag as double acquisition.
+class CAPABILITY("epoch") EpochManager {
  public:
   static constexpr int kMaxThreads = 64;
 
@@ -45,11 +53,11 @@ class EpochManager {
 
   // Advances the global epoch and frees everything retired at epochs that
   // all threads have passed. Returns number of deleters run.
-  size_t TryReclaim();
+  size_t TryReclaim() EXCLUDES(retired_mu_);
 
   // Frees everything unconditionally. Only safe when no thread is inside
   // a guard (e.g. destructor, tests).
-  size_t ReclaimAll();
+  size_t ReclaimAll() EXCLUDES(retired_mu_);
 
   uint64_t current_epoch() const {
     return global_epoch_.load(std::memory_order_acquire);
@@ -76,8 +84,8 @@ class EpochManager {
   Slot slots_[kMaxThreads];
   std::atomic<int> next_slot_;
 
-  mutable std::mutex retired_mu_;
-  std::vector<RetiredItem> retired_;
+  mutable Mutex retired_mu_;
+  std::vector<RetiredItem> retired_ GUARDED_BY(retired_mu_);
 };
 
 // RAII epoch protection.

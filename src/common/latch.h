@@ -4,18 +4,22 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/thread_annotations.h"
+
 namespace costperf {
 
 // Test-and-test-and-set spin latch. Used only on cold paths (flush buffer
 // sealing, GC bookkeeping); the hot index paths are latch-free by design.
-class SpinLatch {
+// A capability under -Wthread-safety: members may be GUARDED_BY a
+// SpinLatch and methods may REQUIRES one.
+class CAPABILITY("latch") SpinLatch {
  public:
   SpinLatch() : locked_(false) {}
 
   SpinLatch(const SpinLatch&) = delete;
   SpinLatch& operator=(const SpinLatch&) = delete;
 
-  void Lock() {
+  void Lock() ACQUIRE() {
     for (;;) {
       if (!locked_.exchange(true, std::memory_order_acquire)) return;
       while (locked_.load(std::memory_order_relaxed)) {
@@ -24,20 +28,22 @@ class SpinLatch {
     }
   }
 
-  bool TryLock() {
+  bool TryLock() TRY_ACQUIRE(true) {
     return !locked_.exchange(true, std::memory_order_acquire);
   }
 
-  void Unlock() { locked_.store(false, std::memory_order_release); }
+  void Unlock() RELEASE() { locked_.store(false, std::memory_order_release); }
 
  private:
   std::atomic<bool> locked_;
 };
 
-class SpinLatchGuard {
+class SCOPED_CAPABILITY SpinLatchGuard {
  public:
-  explicit SpinLatchGuard(SpinLatch* latch) : latch_(latch) { latch_->Lock(); }
-  ~SpinLatchGuard() { latch_->Unlock(); }
+  explicit SpinLatchGuard(SpinLatch* latch) ACQUIRE(latch) : latch_(latch) {
+    latch_->Lock();
+  }
+  ~SpinLatchGuard() RELEASE() { latch_->Unlock(); }
 
   SpinLatchGuard(const SpinLatchGuard&) = delete;
   SpinLatchGuard& operator=(const SpinLatchGuard&) = delete;
@@ -50,7 +56,12 @@ class SpinLatchGuard {
 // locked; readers snapshot the version, do their reads, and revalidate.
 // Split/insert bump dedicated bits so readers can tell which kind of
 // change invalidated them.
-class OptimisticVersion {
+//
+// Declared a capability for REQUIRES()-style documentation, but Lock/
+// Unlock carry no ACQUIRE/RELEASE attributes: the optimistic protocol is
+// deliberately unbalanced (readers never lock; writers hand-over-hand
+// across nodes), which Clang's analysis cannot express.
+class CAPABILITY("version_latch") OptimisticVersion {
  public:
   static constexpr uint64_t kLockBit = 1ull << 0;
   static constexpr uint64_t kInserting = 1ull << 1;

@@ -1,0 +1,83 @@
+#ifndef COSTPERF_COMMON_THREAD_ANNOTATIONS_H_
+#define COSTPERF_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attributes (-Wthread-safety), compiled to
+// nothing under other compilers. The repo's locking discipline is declared
+// with these and enforced by the -DCOSTPERF_ANALYZE=ON build mode (Clang
+// only; see DESIGN.md "Static analysis layer"):
+//
+//   CAPABILITY("mutex")   on a lock class: instances are capabilities.
+//   GUARDED_BY(mu)        on a member: any access requires holding mu.
+//   PT_GUARDED_BY(mu)     on a pointer member: dereference requires mu
+//                         (reading the pointer value itself does not).
+//   REQUIRES(mu)          on a function: caller must already hold mu.
+//   EXCLUDES(mu)          on a function: caller must NOT hold mu.
+//   ACQUIRE / RELEASE     on lock/unlock methods.
+//   TRY_ACQUIRE(true)     on try-lock methods returning true on success.
+//   SCOPED_CAPABILITY     on RAII guard classes.
+//
+// Convention (mirrors Abseil/Chromium): every std::mutex-protected member
+// in annotated classes is declared through common::Mutex/SharedMutex
+// (common/mutex.h) so the analysis can see acquire/release pairs.
+
+#if defined(__clang__) && !defined(SWIG)
+#define COSTPERF_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define COSTPERF_THREAD_ANNOTATION__(x)  // no-op outside Clang
+#endif
+
+#define CAPABILITY(x) COSTPERF_THREAD_ANNOTATION__(capability(x))
+
+#define SCOPED_CAPABILITY COSTPERF_THREAD_ANNOTATION__(scoped_lockable)
+
+#define GUARDED_BY(x) COSTPERF_THREAD_ANNOTATION__(guarded_by(x))
+
+#define PT_GUARDED_BY(x) COSTPERF_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+#define ACQUIRED_BEFORE(...) \
+  COSTPERF_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+
+#define ACQUIRED_AFTER(...) \
+  COSTPERF_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+#define REQUIRES(...) \
+  COSTPERF_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+#define REQUIRES_SHARED(...) \
+  COSTPERF_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+#define ACQUIRE(...) \
+  COSTPERF_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+#define ACQUIRE_SHARED(...) \
+  COSTPERF_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+
+#define RELEASE(...) \
+  COSTPERF_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+#define RELEASE_SHARED(...) \
+  COSTPERF_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+#define RELEASE_GENERIC(...) \
+  COSTPERF_THREAD_ANNOTATION__(release_generic_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE(...) \
+  COSTPERF_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+#define TRY_ACQUIRE_SHARED(...) \
+  COSTPERF_THREAD_ANNOTATION__(try_acquire_shared_capability(__VA_ARGS__))
+
+#define EXCLUDES(...) COSTPERF_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+#define ASSERT_CAPABILITY(x) \
+  COSTPERF_THREAD_ANNOTATION__(assert_capability(x))
+
+#define ASSERT_SHARED_CAPABILITY(x) \
+  COSTPERF_THREAD_ANNOTATION__(assert_shared_capability(x))
+
+#define RETURN_CAPABILITY(x) COSTPERF_THREAD_ANNOTATION__(lock_returned(x))
+
+#define NO_THREAD_SAFETY_ANALYSIS \
+  COSTPERF_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+#endif  // COSTPERF_COMMON_THREAD_ANNOTATIONS_H_

@@ -2,6 +2,10 @@
 
 #include <cstdio>
 
+#include "analysis/bwtree_validator.h"
+#include "analysis/log_store_auditor.h"
+#include "analysis/mapping_table_auditor.h"
+
 namespace costperf::core {
 
 CachingStore::CachingStore(CachingStoreOptions options)
@@ -95,7 +99,7 @@ void CachingStore::EnforceBudget() {
 void CachingStore::Maintain() {
   // Try-lock: if another thread is already inside maintenance, skip this
   // round rather than stacking a second eviction/GC pass on top of it.
-  if (maintenance_running_.test_and_set(std::memory_order_acquire)) return;
+  if (!maintenance_mu_.TryLock()) return;
   EnforceBudget();
   if (options_.merge_fill_target > 0) {
     tree_->MergeUnderfullLeaves(options_.merge_fill_target);
@@ -110,7 +114,22 @@ void CachingStore::Maintain() {
         options_.gc_live_threshold);
   }
   tree_->ReclaimMemory();
-  maintenance_running_.clear(std::memory_order_release);
+  maintenance_mu_.Unlock();
+}
+
+std::vector<analysis::Violation> CachingStore::CheckInvariants() {
+  std::vector<analysis::Violation> out;
+  analysis::BwTreeValidator tree_checker(tree_.get());
+  analysis::MappingTableAuditor table_checker(tree_.get(), cache_.get());
+  analysis::LogStoreAuditor log_checker(log_.get());
+  for (analysis::InvariantChecker* checker :
+       {static_cast<analysis::InvariantChecker*>(&tree_checker),
+        static_cast<analysis::InvariantChecker*>(&table_checker),
+        static_cast<analysis::InvariantChecker*>(&log_checker)}) {
+    auto found = checker->Check();
+    out.insert(out.end(), found.begin(), found.end());
+  }
+  return out;
 }
 
 Status CachingStore::Checkpoint() {

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "bwtree/bwtree.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/kv_store.h"
 #include "costmodel/advisor.h"
 #include "llama/cache_manager.h"
@@ -63,6 +65,9 @@ class CachingStore : public KvStore {
   KvStoreStats Stats() const override;
   std::string StatsString() const override;
   void Maintain() override;
+  // Runs BwTreeValidator, MappingTableAuditor and LogStoreAuditor over
+  // this store's components (quiescent stores only).
+  std::vector<analysis::Violation> CheckInvariants() override;
 
   // Forces everything dirty to flash and the write buffer to the device.
   Status Checkpoint();
@@ -83,7 +88,7 @@ class CachingStore : public KvStore {
 
  private:
   void MaybeMaintain();
-  void EnforceBudget();
+  void EnforceBudget() REQUIRES(maintenance_mu_);
 
   CachingStoreOptions options_;
   std::unique_ptr<storage::SsdDevice> device_;  // null when external
@@ -93,10 +98,11 @@ class CachingStore : public KvStore {
   std::unique_ptr<bwtree::BwTree> tree_;
   std::atomic<uint64_t> op_counter_{0};
   // Single-admission gate for maintenance: concurrent callers whose op
-  // count also crosses the interval skip instead of double-running
-  // eviction/GC (the tree tolerates concurrent flush/evict, but two
-  // EnforceBudget passes evict twice the intended bytes).
-  std::atomic_flag maintenance_running_ = ATOMIC_FLAG_INIT;
+  // count also crosses the interval skip (TryLock fails) instead of
+  // double-running eviction/GC (the tree tolerates concurrent
+  // flush/evict, but two EnforceBudget passes evict twice the intended
+  // bytes).
+  Mutex maintenance_mu_;
 };
 
 }  // namespace costperf::core

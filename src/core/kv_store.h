@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/invariant_checker.h"
 #include "common/slice.h"
 #include "common/status.h"
 
@@ -85,6 +86,13 @@ class KvStore {
   // Gives the store a chance to run maintenance (eviction, GC, epoch
   // reclamation). Called periodically by workload runners.
   virtual void Maintain() {}
+
+  // Debug hook into the analysis layer (src/analysis/): runs every
+  // structural invariant checker the implementation supports and returns
+  // the violations found — empty means healthy. Assumes the store is
+  // quiescent; meant for tests and debug sweeps, never the hot path. The
+  // base implementation has no structure to check.
+  virtual std::vector<analysis::Violation> CheckInvariants() { return {}; }
 };
 
 }  // namespace costperf::core

@@ -58,19 +58,19 @@ size_t ShardedStore::ShardIndexOf(const Slice& key) const {
 
 Status ShardedStore::Put(const Slice& key, const Slice& value) {
   Shard& shard = *shards_[ShardIndexOf(key)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   return shard.store->Put(key, value);
 }
 
 Result<std::string> ShardedStore::Get(const Slice& key) {
   Shard& shard = *shards_[ShardIndexOf(key)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   return shard.store->Get(key);
 }
 
 Status ShardedStore::Delete(const Slice& key) {
   Shard& shard = *shards_[ShardIndexOf(key)];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   return shard.store->Delete(key);
 }
 
@@ -86,7 +86,7 @@ Status ShardedStore::Scan(
       shards_.size());
   for (size_t i = 0; i < shards_.size(); ++i) {
     Shard& shard = *shards_[i];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     Status s = shard.store->Scan(start, limit, &runs[i]);
     if (!s.ok()) return s;
   }
@@ -120,7 +120,7 @@ std::vector<Result<std::string>> ShardedStore::MultiGet(
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (groups[s].empty()) continue;
     Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     for (size_t i : groups[s]) out[i] = shard.store->Get(Slice(keys[i]));
   }
   return out;
@@ -136,7 +136,7 @@ Status ShardedStore::WriteBatch(
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (groups[s].empty()) continue;
     Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(&shard.mu);
     for (size_t i : groups[s]) {
       Status st = shard.store->Put(Slice(entries[i].first),
                                    Slice(entries[i].second));
@@ -149,7 +149,7 @@ Status ShardedStore::WriteBatch(
 uint64_t ShardedStore::MemoryFootprintBytes() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     total += shard->store->MemoryFootprintBytes();
   }
   return total;
@@ -158,7 +158,7 @@ uint64_t ShardedStore::MemoryFootprintBytes() const {
 KvStoreStats ShardedStore::Stats() const {
   KvStoreStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     total += shard->store->Stats();
   }
   return total;
@@ -171,15 +171,29 @@ std::string ShardedStore::StatsString() const {
 
 void ShardedStore::Maintain() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(&shard->mu);
     shard->store->Maintain();
   }
+}
+
+std::vector<analysis::Violation> ShardedStore::CheckInvariants() {
+  std::vector<analysis::Violation> out;
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    MutexLock lock(&shard.mu);
+    for (analysis::Violation& v : shard.store->CheckInvariants()) {
+      v.entity = "shard " + std::to_string(i) +
+                 (v.entity.empty() ? "" : " " + v.entity);
+      out.push_back(std::move(v));
+    }
+  }
+  return out;
 }
 
 void ShardedStore::WithShard(size_t i,
                              const std::function<void(KvStore*)>& fn) {
   Shard& shard = *shards_[i];
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(&shard.mu);
   fn(shard.store.get());
 }
 

@@ -3,10 +3,11 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/caching_store.h"
 #include "core/kv_store.h"
 #include "core/memory_store.h"
@@ -63,6 +64,8 @@ class ShardedStore : public KvStore {
   std::string StatsString() const override;
   // Per-shard maintenance, each shard under its own lock.
   void Maintain() override;
+  // Union of every shard's violations, each entity prefixed "shard i".
+  std::vector<analysis::Violation> CheckInvariants() override;
 
   size_t shard_count() const { return shards_.size(); }
   // Which shard owns `key` (stable FNV-1a placement).
@@ -71,15 +74,19 @@ class ShardedStore : public KvStore {
   // Direct shard access for tests and recovery orchestration (e.g.
   // Checkpoint/Recover on CachingStore shards). Not synchronized — use
   // only when no workload threads are running, or via WithShard.
-  KvStore* shard(size_t i) { return shards_[i]->store.get(); }
+  KvStore* shard(size_t i) NO_THREAD_SAFETY_ANALYSIS {
+    return shards_[i]->store.get();
+  }
 
   // Runs fn(i, shard) under shard i's lock.
   void WithShard(size_t i, const std::function<void(KvStore*)>& fn);
 
  private:
   struct Shard {
-    std::unique_ptr<KvStore> store;
-    mutable std::mutex mu;
+    mutable Mutex mu;
+    // PT_GUARDED_BY: calling through the inner store requires the shard
+    // latch; holding the unique_ptr handle itself does not.
+    std::unique_ptr<KvStore> store PT_GUARDED_BY(mu);
   };
 
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -19,7 +19,7 @@ CacheManager::CacheManager(CacheOptions options)
       clock_(options.clock ? options.clock : RealClock::Global()) {}
 
 void CacheManager::Insert(mapping::PageId pid, uint64_t bytes) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = entries_.find(pid);
   if (it != entries_.end()) {
     // Re-insert of a resident page: treat as resize + touch.
@@ -42,7 +42,7 @@ void CacheManager::Insert(mapping::PageId pid, uint64_t bytes) {
 }
 
 void CacheManager::Touch(mapping::PageId pid) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = entries_.find(pid);
   if (it == entries_.end()) return;
   it->second.last_access_nanos = clock_->NowNanos();
@@ -52,7 +52,7 @@ void CacheManager::Touch(mapping::PageId pid) {
 }
 
 void CacheManager::Resize(mapping::PageId pid, uint64_t new_bytes) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = entries_.find(pid);
   if (it == entries_.end()) return;
   resident_bytes_ += new_bytes - it->second.bytes;
@@ -60,7 +60,7 @@ void CacheManager::Resize(mapping::PageId pid, uint64_t new_bytes) {
 }
 
 void CacheManager::Erase(mapping::PageId pid) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = entries_.find(pid);
   if (it == entries_.end()) return;
   resident_bytes_ -= it->second.bytes;
@@ -70,22 +70,22 @@ void CacheManager::Erase(mapping::PageId pid) {
 }
 
 bool CacheManager::Contains(mapping::PageId pid) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return entries_.count(pid) > 0;
 }
 
 uint64_t CacheManager::resident_bytes() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return resident_bytes_;
 }
 
 bool CacheManager::OverBudget() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return resident_bytes_ > options_.memory_budget_bytes;
 }
 
 double CacheManager::IdleSeconds(mapping::PageId pid) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = entries_.find(pid);
   if (it == entries_.end()) return -1.0;
   return static_cast<double>(clock_->NowNanos() -
@@ -94,7 +94,7 @@ double CacheManager::IdleSeconds(mapping::PageId pid) const {
 }
 
 std::vector<mapping::PageId> CacheManager::PickVictims(uint64_t want_bytes) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   std::vector<mapping::PageId> victims;
   uint64_t picked = 0;
   const uint64_t now = clock_->NowNanos();
@@ -165,8 +165,17 @@ std::vector<mapping::PageId> CacheManager::PickVictims(uint64_t want_bytes) {
   return victims;
 }
 
+std::vector<std::pair<mapping::PageId, uint64_t>>
+CacheManager::ResidentEntries() const {
+  MutexLock lk(&mu_);
+  std::vector<std::pair<mapping::PageId, uint64_t>> out;
+  out.reserve(entries_.size());
+  for (const auto& [pid, e] : entries_) out.emplace_back(pid, e.bytes);
+  return out;
+}
+
 CacheStats CacheManager::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   CacheStats s = stats_;
   s.resident_bytes = resident_bytes_;
   s.resident_pages = entries_.size();
@@ -174,7 +183,7 @@ CacheStats CacheManager::stats() const {
 }
 
 void CacheManager::set_memory_budget(uint64_t bytes) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   options_.memory_budget_bytes = bytes;
 }
 

@@ -3,12 +3,14 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "mapping/mapping_table.h"
 
 namespace costperf::llama {
@@ -84,6 +86,11 @@ class CacheManager {
   const CacheOptions& options() const { return options_; }
   void set_memory_budget(uint64_t bytes);
 
+  // Snapshot of (pid, bytes) for every page the cache believes resident.
+  // For invariant auditing: the analysis layer cross-checks this set
+  // against the mapping table and the tree's resident chains.
+  std::vector<std::pair<mapping::PageId, uint64_t>> ResidentEntries() const;
+
  private:
   struct Entry {
     uint64_t bytes = 0;
@@ -92,17 +99,19 @@ class CacheManager {
     std::list<mapping::PageId>::iterator lru_pos;
   };
 
+  // Budget is mutated under mu_ by set_memory_budget; the remaining
+  // options fields are immutable after construction.
   CacheOptions options_;
   Clock* clock_;
 
-  mutable std::mutex mu_;
-  std::unordered_map<mapping::PageId, Entry> entries_;
+  mutable Mutex mu_;
+  std::unordered_map<mapping::PageId, Entry> entries_ GUARDED_BY(mu_);
   // Front = LRU, back = MRU.
-  std::list<mapping::PageId> lru_;
+  std::list<mapping::PageId> lru_ GUARDED_BY(mu_);
   // Clock hand for second chance (index into lru_ semantics: we reuse the
   // lru_ list and rotate).
-  uint64_t resident_bytes_ = 0;
-  CacheStats stats_;
+  uint64_t resident_bytes_ GUARDED_BY(mu_) = 0;
+  CacheStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace costperf::llama

@@ -20,7 +20,7 @@ std::string FlashAddress::ToString() const {
 LogStructuredStore::LogStructuredStore(storage::SsdDevice* device,
                                        LogStoreOptions options)
     : device_(device), options_(options) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   OpenSegmentLocked(next_segment_id_++);
 }
 
@@ -76,7 +76,7 @@ Result<FlashAddress> LogStructuredStore::Append(PageId pid,
   if (record_len > FlashAddress::kMaxLen) {
     return Status::InvalidArgument("page image exceeds address length field");
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (open_buffer_.size() + record_len > options_.segment_bytes) {
     Status s = FlushLocked();
     if (!s.ok()) return s;
@@ -104,7 +104,7 @@ Status LogStructuredStore::FlushLocked() {
 }
 
 Status LogStructuredStore::Flush() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return FlushLocked();
 }
 
@@ -114,7 +114,7 @@ Status LogStructuredStore::Read(FlashAddress addr, std::string* image,
   const uint64_t seg = addr.offset() / options_.segment_bytes;
   std::string raw;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     if (seg == open_segment_id_) {
       // Served from the open write buffer: no device I/O.
       const uint64_t in_seg = addr.offset() % options_.segment_bytes;
@@ -149,7 +149,7 @@ Status LogStructuredStore::Read(FlashAddress addr, std::string* image,
 void LogStructuredStore::MarkDead(FlashAddress addr) {
   if (!addr.valid()) return;
   const uint64_t seg = addr.offset() / options_.segment_bytes;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   auto it = directory_.find(seg);
   if (it == directory_.end()) return;  // already collected
   it->second.dead_bytes += addr.len();
@@ -160,7 +160,7 @@ Result<GcStats> LogStructuredStore::CollectSegment(uint64_t segment_id,
                                                    const LivenessFn& live,
                                                    const InstallFn& install) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     auto it = directory_.find(segment_id);
     if (it == directory_.end()) return Status::NotFound("no such segment");
     if (!it->second.sealed) {
@@ -174,7 +174,7 @@ Result<GcStats> LogStructuredStore::CollectSegment(uint64_t segment_id,
                            options_.segment_bytes, raw.data());
   if (!s.ok()) return s;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     stats_.device_reads++;
   }
 
@@ -215,10 +215,14 @@ Result<GcStats> LogStructuredStore::CollectSegment(uint64_t segment_id,
                     options_.segment_bytes);
   if (!s.ok()) return s;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     auto it = directory_.find(segment_id);
     if (it != directory_.end()) {
       gc.reclaimed_bytes = options_.segment_bytes;
+      // Close the space-accounting loop: record bytes (and their dead
+      // marks) leave the directory with the collected segment.
+      stats_.bytes_collected += it->second.used_bytes - kSegmentHeaderBytes;
+      stats_.dead_bytes_collected += it->second.dead_bytes;
       directory_.erase(it);
     }
     stats_.gc_relocated_records += gc.relocated_records;
@@ -233,7 +237,7 @@ Result<GcStats> LogStructuredStore::CollectColdest(const LivenessFn& live,
   uint64_t victim = 0;
   double victim_live = 2.0;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     for (const auto& [id, info] : directory_) {
       if (!info.sealed) continue;
       double lf = info.live_fraction();
@@ -287,13 +291,14 @@ Status LogStructuredStore::Recover(
     }
     info.used_bytes = pos;
     {
-      std::lock_guard<std::mutex> lk(mu_);
+      MutexLock lk(&mu_);
       directory_[seg] = info;
+      stats_.recovered_bytes += info.used_bytes - kSegmentHeaderBytes;
     }
     max_seen = std::max(max_seen, seg);
     any = true;
   }
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   if (any && max_seen + 1 >= next_segment_id_) {
     // Re-open the log past everything recovered. Drop the still-empty
     // segment directory entry created at construction.
@@ -305,12 +310,12 @@ Status LogStructuredStore::Recover(
 }
 
 LogStoreStats LogStructuredStore::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return stats_;
 }
 
 std::vector<SegmentInfo> LogStructuredStore::segments() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   std::vector<SegmentInfo> out;
   out.reserve(directory_.size());
   for (const auto& [id, info] : directory_) out.push_back(info);
@@ -318,8 +323,18 @@ std::vector<SegmentInfo> LogStructuredStore::segments() const {
 }
 
 uint64_t LogStructuredStore::open_segment_id() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return open_segment_id_;
+}
+
+void LogStructuredStore::TestOnlyAdjustSegmentAccounting(uint64_t segment_id,
+                                                         int64_t used_delta,
+                                                         int64_t dead_delta) {
+  MutexLock lk(&mu_);
+  auto it = directory_.find(segment_id);
+  if (it == directory_.end()) return;
+  it->second.used_bytes += used_delta;
+  it->second.dead_bytes += dead_delta;
 }
 
 }  // namespace costperf::llama

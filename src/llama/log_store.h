@@ -4,11 +4,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/slice.h"
+#include "common/thread_annotations.h"
 #include "common/status.h"
 #include "llama/flash_address.h"
 #include "mapping/mapping_table.h"
@@ -36,6 +37,11 @@ struct LogStoreStats {
   uint64_t gc_relocated_records = 0;
   uint64_t gc_reclaimed_bytes = 0;
   uint64_t dead_bytes_marked = 0;
+  // Space-accounting closure terms (consumed by analysis::LogStoreAuditor;
+  // see its header for the two identities these must satisfy):
+  uint64_t bytes_collected = 0;       // record bytes retired with GC'd segments
+  uint64_t dead_bytes_collected = 0;  // dead marks retired with GC'd segments
+  uint64_t recovered_bytes = 0;       // record bytes adopted by Recover()
 };
 
 struct SegmentInfo {
@@ -125,6 +131,12 @@ class LogStructuredStore {
   uint64_t open_segment_id() const;
   const LogStoreOptions& options() const { return options_; }
 
+  // Corrupts a segment's accounting by `used_delta`/`dead_delta` bytes.
+  // Exists solely so tests can seed the miscounted-segment violations that
+  // analysis::LogStoreAuditor must detect; never call it elsewhere.
+  void TestOnlyAdjustSegmentAccounting(uint64_t segment_id,
+                                       int64_t used_delta, int64_t dead_delta);
+
   // On-media record header size (magic, pid, len, crc).
   static constexpr uint64_t kHeaderBytes = 4 + 8 + 4 + 4;
   static constexpr uint32_t kRecordMagic = 0x4C4C414Du;   // "LLAM"
@@ -133,10 +145,10 @@ class LogStructuredStore {
   static constexpr uint64_t kSegmentHeaderBytes = 4 + 8;
 
  private:
-  // Requires latch. Starts segment `id` with its header in the buffer.
-  void OpenSegmentLocked(uint64_t id);
-  // Requires latch. Writes and seals the open segment.
-  Status FlushLocked();
+  // Starts segment `id` with its header in the buffer.
+  void OpenSegmentLocked(uint64_t id) REQUIRES(mu_);
+  // Writes and seals the open segment.
+  Status FlushLocked() REQUIRES(mu_);
   static void EncodeRecord(PageId pid, const Slice& image, std::string* dst);
   // Parses the record at `data`; returns payload view or error.
   static Status DecodeRecord(const char* data, uint64_t len, bool verify,
@@ -145,13 +157,14 @@ class LogStructuredStore {
   storage::SsdDevice* device_;
   LogStoreOptions options_;
 
-  mutable std::mutex mu_;
-  std::string open_buffer_;        // contents of the open segment so far
-  uint64_t open_segment_id_ = 0;
-  uint64_t next_segment_id_ = 0;
-  std::map<uint64_t, SegmentInfo> directory_;
+  mutable Mutex mu_;
+  // Contents of the open segment so far.
+  std::string open_buffer_ GUARDED_BY(mu_);
+  uint64_t open_segment_id_ GUARDED_BY(mu_) = 0;
+  uint64_t next_segment_id_ GUARDED_BY(mu_) = 0;
+  std::map<uint64_t, SegmentInfo> directory_ GUARDED_BY(mu_);
 
-  LogStoreStats stats_;
+  LogStoreStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace costperf::llama

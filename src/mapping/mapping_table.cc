@@ -15,7 +15,7 @@ MappingTable::MappingTable(size_t capacity)
 
 PageId MappingTable::Allocate(uint64_t initial) {
   {
-    std::lock_guard<std::mutex> lk(free_mu_);
+    MutexLock lk(&free_mu_);
     if (!free_list_.empty()) {
       PageId id = free_list_.back();
       free_list_.pop_back();
@@ -34,13 +34,13 @@ PageId MappingTable::Allocate(uint64_t initial) {
 
 void MappingTable::Free(PageId id) {
   entries_[id].store(0, std::memory_order_release);
-  std::lock_guard<std::mutex> lk(free_mu_);
+  MutexLock lk(&free_mu_);
   free_list_.push_back(id);
 }
 
 bool MappingTable::AllocateExact(PageId id, uint64_t value) {
   if (id >= capacity_) return false;
-  std::lock_guard<std::mutex> lk(free_mu_);
+  MutexLock lk(&free_mu_);
   PageId next = next_unused_.load(std::memory_order_acquire);
   if (id >= next) {
     for (PageId skipped = next; skipped < id; ++skipped) {
@@ -57,7 +57,7 @@ bool MappingTable::AllocateExact(PageId id, uint64_t value) {
 }
 
 void MappingTable::Reset() {
-  std::lock_guard<std::mutex> lk(free_mu_);
+  MutexLock lk(&free_mu_);
   PageId hw = next_unused_.load(std::memory_order_acquire);
   for (PageId i = 0; i < hw; ++i) {
     entries_[i].store(0, std::memory_order_relaxed);
@@ -67,8 +67,13 @@ void MappingTable::Reset() {
 }
 
 size_t MappingTable::live_pages() const {
-  std::lock_guard<std::mutex> lk(free_mu_);
+  MutexLock lk(&free_mu_);
   return next_unused_.load(std::memory_order_acquire) - free_list_.size();
+}
+
+std::vector<PageId> MappingTable::FreeListSnapshot() const {
+  MutexLock lk(&free_mu_);
+  return free_list_;
 }
 
 }  // namespace costperf::mapping

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace costperf::mapping {
 
@@ -64,6 +66,9 @@ class MappingTable {
   size_t capacity() const { return capacity_; }
   // Number of ids currently live (allocated and not freed).
   size_t live_pages() const;
+  // Copy of the free list, for the analysis layer: a tree-reachable id on
+  // this list is a dangling reference, a missing unreachable id a leak.
+  std::vector<PageId> FreeListSnapshot() const EXCLUDES(free_mu_);
   // High-water mark of allocations (for iteration during recovery/GC).
   PageId high_water() const {
     return next_unused_.load(std::memory_order_acquire);
@@ -74,8 +79,8 @@ class MappingTable {
   std::unique_ptr<std::atomic<uint64_t>[]> entries_;
   std::atomic<PageId> next_unused_;
 
-  mutable std::mutex free_mu_;
-  std::vector<PageId> free_list_;
+  mutable Mutex free_mu_;
+  std::vector<PageId> free_list_ GUARDED_BY(free_mu_);
 };
 
 }  // namespace costperf::mapping

@@ -15,7 +15,10 @@ struct MassTree::Border {
   int n = 0;
   uint64_t slices[kLeafCap];
   uint8_t lens[kLeafCap];  // 0..8 terminal; kLinkLen routes to a Layer*
-  void* payloads[kLeafCap];  // std::string* (terminal) or Layer* (link)
+  // std::string* (terminal) or Layer* (link). Atomic: optimistic
+  // readers snapshot slots without the latch; the release store on
+  // overwrite publishes the pointee before the pointer.
+  std::atomic<void*> payloads[kLeafCap];
   Border* next = nullptr;
 };
 
@@ -82,9 +85,11 @@ void MassTree::FreeLayerTree(Layer* layer) {
   std::function<void(Border*)> free_border = [&](Border* b) {
     for (int i = 0; i < b->n; ++i) {
       if (b->lens[i] == kLinkLen) {
-        FreeLayerTree(static_cast<Layer*>(b->payloads[i]));
+        FreeLayerTree(static_cast<Layer*>(
+            b->payloads[i].load(std::memory_order_relaxed)));
       } else {
-        delete static_cast<std::string*>(b->payloads[i]);
+        delete static_cast<std::string*>(
+            b->payloads[i].load(std::memory_order_relaxed));
       }
     }
     delete b;
@@ -169,7 +174,7 @@ Result<std::string> MassTree::GetInLayer(const Layer* layer,
     bool found = false;
     for (int i = 0; i < b->n; ++i) {
       if (b->slices[i] == slice && b->lens[i] == len) {
-        payload = b->payloads[i];
+        payload = b->payloads[i].load(std::memory_order_acquire);
         found = true;
         break;
       }
@@ -309,11 +314,13 @@ void MassTree::InsertIntoBorder(Layer* layer, Border* b,
     for (int i = b->n; i > idx; --i) {
       b->slices[i] = b->slices[i - 1];
       b->lens[i] = b->lens[i - 1];
-      b->payloads[i] = b->payloads[i - 1];
+      b->payloads[i].store(
+          b->payloads[i - 1].load(std::memory_order_relaxed),
+          std::memory_order_release);
     }
     b->slices[idx] = slice;
     b->lens[idx] = len;
-    b->payloads[idx] = payload;
+    b->payloads[idx].store(payload, std::memory_order_release);
     b->n++;
     b->version.Unlock();
     return;
@@ -342,7 +349,9 @@ void MassTree::InsertIntoBorder(Layer* layer, Border* b,
   for (int i = 0; i < right->n; ++i) {
     right->slices[i] = b->slices[split + i];
     right->lens[i] = b->lens[split + i];
-    right->payloads[i] = b->payloads[split + i];
+    right->payloads[i].store(
+        b->payloads[split + i].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
   }
   right->next = b->next;
 
@@ -380,7 +389,8 @@ Status MassTree::PutInLayer(Layer* layer, const Slice& key,
         // Descend into the sublayer (release this layer's latch first —
         // layer latches nest strictly downward so ordering is safe, but
         // holding it isn't needed once the link is stable).
-        auto* sub = static_cast<Layer*>(b->payloads[i]);
+        auto* sub = static_cast<Layer*>(
+            b->payloads[i].load(std::memory_order_relaxed));
         Slice suffix(key.data() + 8, key.size() - 8);
         return PutInLayer(sub, suffix, value);
       }
@@ -388,8 +398,9 @@ Status MassTree::PutInLayer(Layer* layer, const Slice& key,
       auto* fresh = new std::string(value.ToString());
       b->version.Lock();
       b->version.MarkInserting();
-      auto* old = static_cast<std::string*>(b->payloads[i]);
-      b->payloads[i] = fresh;
+      auto* old = static_cast<std::string*>(
+          b->payloads[i].load(std::memory_order_relaxed));
+      b->payloads[i].store(fresh, std::memory_order_release);
       b->version.Unlock();
       epochs_->Retire([old] { delete old; });
       return Status::Ok();
@@ -428,17 +439,21 @@ Status MassTree::DeleteInLayer(Layer* layer, const Slice& key) {
   for (int i = 0; i < b->n; ++i) {
     if (b->slices[i] == slice && b->lens[i] == len) {
       if (len == kLinkLen) {
-        auto* sub = static_cast<Layer*>(b->payloads[i]);
+        auto* sub = static_cast<Layer*>(
+            b->payloads[i].load(std::memory_order_relaxed));
         Slice suffix(key.data() + 8, key.size() - 8);
         return DeleteInLayer(sub, suffix);
       }
-      auto* old = static_cast<std::string*>(b->payloads[i]);
+      auto* old = static_cast<std::string*>(
+          b->payloads[i].load(std::memory_order_relaxed));
       b->version.Lock();
       b->version.MarkInserting();
       for (int j = i; j < b->n - 1; ++j) {
         b->slices[j] = b->slices[j + 1];
         b->lens[j] = b->lens[j + 1];
-        b->payloads[j] = b->payloads[j + 1];
+        b->payloads[j].store(
+            b->payloads[j + 1].load(std::memory_order_relaxed),
+            std::memory_order_release);
       }
       b->n--;
       b->version.Unlock();
@@ -492,7 +507,7 @@ bool MassTree::ScanLayer(
     for (int i = 0; i < n && i < kLeafCap; ++i) {
       slices[i] = b->slices[i];
       lens[i] = b->lens[i];
-      payloads[i] = b->payloads[i];
+      payloads[i] = b->payloads[i].load(std::memory_order_acquire);
     }
     if (b->version.Changed(v)) {
       s_retries_.fetch_add(1, std::memory_order_relaxed);
@@ -574,9 +589,11 @@ uint64_t MassTree::MemoryFootprintBytes() const {
       total += sizeof(Border) + kAllocOverhead;
       for (int i = 0; i < b->n; ++i) {
         if (b->lens[i] == kLinkLen) {
-          walk_layer(static_cast<const Layer*>(b->payloads[i]));
+          walk_layer(static_cast<const Layer*>(
+              b->payloads[i].load(std::memory_order_relaxed)));
         } else {
-          const auto* s = static_cast<const std::string*>(b->payloads[i]);
+          const auto* s = static_cast<const std::string*>(
+              b->payloads[i].load(std::memory_order_relaxed));
           total += sizeof(std::string) + kAllocOverhead +
                    (s->capacity() > 15 ? s->capacity() + kAllocOverhead : 0);
         }

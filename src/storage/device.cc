@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
-#include <mutex>
 #include <thread>
+#include <utility>
 
 namespace costperf::storage {
 
@@ -60,14 +60,16 @@ Status SsdDevice::Read(uint64_t offset, size_t len, char* dst) {
   bytes_read_.fetch_add(len, std::memory_order_relaxed);
 
   {
-    std::shared_lock<std::shared_mutex> lk(mu_);
+    ReaderMutexLock lk(&mu_);
     size_t done = 0;
     while (done < len) {
       uint64_t pos = offset + done;
       uint64_t chunk_id = pos / kChunkBytes;
       uint64_t in_chunk = pos % kChunkBytes;
       size_t n = std::min<uint64_t>(len - done, kChunkBytes - in_chunk);
-      auto it = chunks_.find(chunk_id);
+      // as_const: find() must bind to the const overload so the shared
+      // (reader) capability suffices under -Wthread-safety.
+      auto it = std::as_const(chunks_).find(chunk_id);
       if (it == chunks_.end()) {
         memset(dst + done, 0, n);
       } else {
@@ -91,7 +93,7 @@ Status SsdDevice::Write(uint64_t offset, const Slice& data) {
   bytes_written_.fetch_add(data.size(), std::memory_order_relaxed);
 
   {
-    std::unique_lock<std::shared_mutex> lk(mu_);
+    WriterMutexLock lk(&mu_);
     size_t done = 0;
     while (done < data.size()) {
       uint64_t pos = offset + done;
@@ -118,7 +120,7 @@ Status SsdDevice::Trim(uint64_t offset, uint64_t len) {
     return Status::OutOfRange("trim beyond device capacity");
   }
   trims_.fetch_add(1, std::memory_order_relaxed);
-  std::unique_lock<std::shared_mutex> lk(mu_);
+  WriterMutexLock lk(&mu_);
   // Free only chunks fully covered by the trim.
   uint64_t first_full = (offset + kChunkBytes - 1) / kChunkBytes;
   uint64_t last_full = (offset + len) / kChunkBytes;  // exclusive

@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "storage/io_path.h"
@@ -118,8 +119,9 @@ class SsdDevice {
   IoPathSimulator path_;
   RateLimiter limiter_;
 
-  mutable std::shared_mutex mu_;
-  std::unordered_map<uint64_t, std::unique_ptr<Chunk>> chunks_;
+  mutable SharedMutex mu_;
+  std::unordered_map<uint64_t, std::unique_ptr<Chunk>> chunks_
+      GUARDED_BY(mu_);
 
   // Counters (relaxed; they are statistics, not synchronization).
   std::atomic<uint64_t> reads_{0}, writes_{0}, trims_{0};

@@ -8,35 +8,39 @@ RateLimiter::RateLimiter(Clock* clock, double rate_per_sec, uint64_t burst)
     : clock_(clock),
       rate_per_sec_(rate_per_sec),
       burst_(burst == 0 ? 1 : burst) {
-  interval_nanos_ =
-      rate_per_sec > 0 ? static_cast<uint64_t>(1e9 / rate_per_sec) : 0;
+  interval_nanos_.store(
+      rate_per_sec > 0 ? static_cast<uint64_t>(1e9 / rate_per_sec) : 0,
+      std::memory_order_relaxed);
   // Start with a full bucket: the next token slot sits a full burst window
   // in the past, so the first `burst` acquires are admitted immediately.
   const uint64_t now = clock->NowNanos();
-  const uint64_t window = (burst_ - 1) * interval_nanos_;
+  const uint64_t window =
+      (burst_ - 1) * interval_nanos_.load(std::memory_order_relaxed);
   next_slot_nanos_.store(now > window ? now - window : 0,
                          std::memory_order_relaxed);
 }
 
 void RateLimiter::set_rate_per_sec(double r) {
-  rate_per_sec_ = r;
-  interval_nanos_ = r > 0 ? static_cast<uint64_t>(1e9 / r) : 0;
+  rate_per_sec_.store(r, std::memory_order_relaxed);
+  interval_nanos_.store(r > 0 ? static_cast<uint64_t>(1e9 / r) : 0,
+                        std::memory_order_relaxed);
   // Discard any backlog accumulated under the old rate so the new rate
   // takes effect immediately.
   next_slot_nanos_.store(clock_->NowNanos(), std::memory_order_release);
 }
 
 uint64_t RateLimiter::Acquire() {
-  if (interval_nanos_ == 0) return 0;
+  const uint64_t interval = interval_nanos_.load(std::memory_order_relaxed);
+  if (interval == 0) return 0;
   const uint64_t now = clock_->NowNanos();
   // The bucket holds at most `burst` tokens of credit, i.e. the next-token
   // slot can lag `now` by at most (burst-1) intervals.
-  const uint64_t window = (burst_ - 1) * interval_nanos_;
+  const uint64_t window = (burst_ - 1) * interval;
   const uint64_t floor = now > window ? now - window : 0;
   uint64_t slot = next_slot_nanos_.load(std::memory_order_relaxed);
   for (;;) {
     uint64_t base = std::max(slot, floor);
-    uint64_t new_slot = base + interval_nanos_;
+    uint64_t new_slot = base + interval;
     if (next_slot_nanos_.compare_exchange_weak(slot, new_slot,
                                                std::memory_order_acq_rel)) {
       return base > now ? base - now : 0;
@@ -45,15 +49,16 @@ uint64_t RateLimiter::Acquire() {
 }
 
 bool RateLimiter::TryAcquire() {
-  if (interval_nanos_ == 0) return true;
+  const uint64_t interval = interval_nanos_.load(std::memory_order_relaxed);
+  if (interval == 0) return true;
   const uint64_t now = clock_->NowNanos();
-  const uint64_t window = (burst_ - 1) * interval_nanos_;
+  const uint64_t window = (burst_ - 1) * interval;
   const uint64_t floor = now > window ? now - window : 0;
   uint64_t slot = next_slot_nanos_.load(std::memory_order_relaxed);
   for (;;) {
     if (slot > now) return false;
     uint64_t base = std::max(slot, floor);
-    if (next_slot_nanos_.compare_exchange_weak(slot, base + interval_nanos_,
+    if (next_slot_nanos_.compare_exchange_weak(slot, base + interval,
                                                std::memory_order_acq_rel)) {
       return true;
     }

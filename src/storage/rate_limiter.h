@@ -25,13 +25,18 @@ class RateLimiter {
   // Observed admission rate headroom: true if a token is available now.
   bool TryAcquire();
 
-  double rate_per_sec() const { return rate_per_sec_; }
+  double rate_per_sec() const {
+    return rate_per_sec_.load(std::memory_order_relaxed);
+  }
   void set_rate_per_sec(double r);
 
  private:
   Clock* clock_;
-  double rate_per_sec_;
-  uint64_t interval_nanos_;  // nanoseconds per token
+  // Rate is reconfigurable at runtime (calibration benches retune it while
+  // worker threads acquire), so both derived values are atomics rather
+  // than plain doubles a concurrent set_rate_per_sec would race on.
+  std::atomic<double> rate_per_sec_;
+  std::atomic<uint64_t> interval_nanos_;  // nanoseconds per token
   uint64_t burst_;
   // Virtual time of the next free token slot.
   std::atomic<uint64_t> next_slot_nanos_;

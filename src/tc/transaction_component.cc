@@ -9,36 +9,36 @@ namespace costperf::tc {
 // ---------------------------------------------------------------------
 
 uint64_t RecoveryLog::AppendCommit(const std::vector<RedoRecord>& records) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   commits_.push_back(records);
   return commits_.size();
 }
 
 void RecoveryLog::Flush() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   durable_commits_ = commits_.size();
 }
 
 uint64_t RecoveryLog::durable_lsn() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return durable_commits_;
 }
 
 uint64_t RecoveryLog::end_lsn() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return commits_.size();
 }
 
 void RecoveryLog::ReplayDurable(
     const std::function<void(const RedoRecord&)>& fn) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   for (uint64_t i = 0; i < durable_commits_; ++i) {
     for (const auto& r : commits_[i]) fn(r);
   }
 }
 
 uint64_t RecoveryLog::ApproxBytes() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   uint64_t b = 0;
   for (const auto& commit : commits_) {
     for (const auto& r : commit) {
@@ -69,14 +69,13 @@ Transaction* TransactionComponent::Begin() {
   txn->id_ = next_txn_id_.fetch_add(1, std::memory_order_acq_rel);
   txn->begin_ts_ = next_ts_.fetch_add(1, std::memory_order_acq_rel);
   Transaction* raw = txn.get();
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   active_[raw->begin_ts_] = raw;
   txns_.push_back(std::move(txn));
   return raw;
 }
 
 uint64_t TransactionComponent::OldestActiveTs() const {
-  // Caller holds mu_.
   return active_.empty() ? next_ts_.load(std::memory_order_acquire)
                          : active_.begin()->first;
 }
@@ -98,7 +97,7 @@ Status TransactionComponent::Read(Transaction* txn, const Slice& key,
   // 1. MVCC version store (the updated-record cache): newest version with
   //    ts <= begin_ts.
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     auto it = versions_.find(k);
     if (it != versions_.end()) {
       const auto& chain = it->second.versions;
@@ -153,7 +152,7 @@ Status TransactionComponent::Commit(Transaction* txn) {
   uint64_t commit_ts;
   std::vector<RedoRecord> redo;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     // First-committer-wins: any committed version newer than our snapshot
     // on a key we write is a write-write conflict.
     for (const auto& [k, wv] : txn->writes) {
@@ -193,7 +192,7 @@ Status TransactionComponent::Commit(Transaction* txn) {
     s_blind_posts_.fetch_add(1, std::memory_order_relaxed);
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     for (const auto& r : redo) {
       auto it = versions_.find(r.key);
       if (it == versions_.end()) continue;
@@ -210,7 +209,7 @@ Status TransactionComponent::Commit(Transaction* txn) {
 void TransactionComponent::Abort(Transaction* txn) {
   if (txn->finished) return;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(&mu_);
     active_.erase(txn->begin_ts_);
   }
   txn->finished = true;
@@ -245,7 +244,7 @@ Status TransactionComponent::RecoverFromLog() {
 }
 
 size_t TransactionComponent::PruneVersions() {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   const uint64_t horizon = OldestActiveTs();
   size_t pruned = 0;
   for (auto it = versions_.begin(); it != versions_.end();) {
@@ -293,7 +292,7 @@ size_t TransactionComponent::PruneVersions() {
 
 void TransactionComponent::ReadCachePut(const std::string& key,
                                         const std::string& value) {
-  std::lock_guard<std::mutex> lk(rc_mu_);
+  MutexLock lk(&rc_mu_);
   auto it = read_cache_.find(key);
   if (it != read_cache_.end()) {
     rc_bytes_ -= it->second.value.size();
@@ -318,7 +317,7 @@ void TransactionComponent::ReadCachePut(const std::string& key,
 
 bool TransactionComponent::ReadCacheGet(const std::string& key,
                                         std::string* value) {
-  std::lock_guard<std::mutex> lk(rc_mu_);
+  MutexLock lk(&rc_mu_);
   auto it = read_cache_.find(key);
   if (it == read_cache_.end()) return false;
   *value = it->second.value;
@@ -343,12 +342,12 @@ TcStats TransactionComponent::stats() const {
 }
 
 uint64_t TransactionComponent::version_store_bytes() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(&mu_);
   return version_bytes_;
 }
 
 uint64_t TransactionComponent::read_cache_bytes() const {
-  std::lock_guard<std::mutex> lk(rc_mu_);
+  MutexLock lk(&rc_mu_);
   return rc_bytes_;
 }
 

@@ -6,14 +6,15 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "bwtree/bwtree.h"
+#include "common/mutex.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace costperf::tc {
 
@@ -48,9 +49,9 @@ class RecoveryLog {
   uint64_t ApproxBytes() const;
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::vector<RedoRecord>> commits_;
-  uint64_t durable_commits_ = 0;
+  mutable Mutex mu_;
+  std::vector<std::vector<RedoRecord>> commits_ GUARDED_BY(mu_);
+  uint64_t durable_commits_ GUARDED_BY(mu_) = 0;
 };
 
 struct TcOptions {
@@ -145,9 +146,11 @@ class TransactionComponent {
     std::vector<Version> versions;  // ascending ts
   };
 
-  uint64_t OldestActiveTs() const;
-  void ReadCachePut(const std::string& key, const std::string& value);
-  bool ReadCacheGet(const std::string& key, std::string* value);
+  uint64_t OldestActiveTs() const REQUIRES(mu_);
+  void ReadCachePut(const std::string& key, const std::string& value)
+      EXCLUDES(rc_mu_);
+  bool ReadCacheGet(const std::string& key, std::string* value)
+      EXCLUDES(rc_mu_);
 
   bwtree::BwTree* dc_;
   RecoveryLog* log_;
@@ -156,20 +159,22 @@ class TransactionComponent {
   std::atomic<uint64_t> next_ts_;
   std::atomic<uint64_t> next_txn_id_;
 
-  mutable std::mutex mu_;  // guards versions_, active_, txns_
-  std::unordered_map<std::string, VersionChain> versions_;
-  uint64_t version_bytes_ = 0;
-  std::map<uint64_t, Transaction*> active_;  // begin_ts -> txn
-  std::vector<std::unique_ptr<Transaction>> txns_;
+  mutable Mutex mu_;  // MVCC state latch
+  std::unordered_map<std::string, VersionChain> versions_ GUARDED_BY(mu_);
+  uint64_t version_bytes_ GUARDED_BY(mu_) = 0;
+  // begin_ts -> txn
+  std::map<uint64_t, Transaction*> active_ GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Transaction>> txns_ GUARDED_BY(mu_);
 
-  mutable std::mutex rc_mu_;  // read cache
-  std::list<std::string> rc_lru_;  // keys, front = LRU
+  mutable Mutex rc_mu_;  // read-cache latch
+  // Keys, front = LRU.
+  std::list<std::string> rc_lru_ GUARDED_BY(rc_mu_);
   struct RcEntry {
     std::string value;
     std::list<std::string>::iterator pos;
   };
-  std::unordered_map<std::string, RcEntry> read_cache_;
-  uint64_t rc_bytes_ = 0;
+  std::unordered_map<std::string, RcEntry> read_cache_ GUARDED_BY(rc_mu_);
+  uint64_t rc_bytes_ GUARDED_BY(rc_mu_) = 0;
 
   mutable std::atomic<uint64_t> s_begun_{0}, s_committed_{0}, s_aborted_{0},
       s_conflicts_{0}, s_reads_{0}, s_writes_{0}, s_vs_hits_{0},

@@ -3,11 +3,12 @@
 #include <algorithm>
 #include <condition_variable>
 #include <cstdio>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace costperf::workload {
 
@@ -20,24 +21,27 @@ class PhaseBarrier {
  public:
   explicit PhaseBarrier(int n) : remaining_(n), size_(n) {}
 
-  void Arrive() {
-    std::unique_lock<std::mutex> lock(mu_);
+  void Arrive() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     const uint64_t gen = generation_;
     if (--remaining_ == 0) {
       remaining_ = size_;
       ++generation_;
       cv_.notify_all();
     } else {
-      cv_.wait(lock, [&] { return generation_ != gen; });
+      // Explicit predicate loop (not the lambda overload): the wait
+      // re-acquires mu_ before each generation_ read, and keeping the
+      // read in this scope lets -Wthread-safety see the lock is held.
+      while (generation_ == gen) cv_.wait(mu_);
     }
   }
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int remaining_;
+  costperf::Mutex mu_;
+  std::condition_variable_any cv_;
+  int remaining_ GUARDED_BY(mu_);
   const int size_;
-  uint64_t generation_ = 0;
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
 };
 
 struct ThreadResult {

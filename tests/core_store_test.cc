@@ -212,7 +212,9 @@ TEST(WorkloadStoresTest, BothStoresAgreeUnderYcsbA) {
         auto ra = mass.Get(Slice(op_a.key));
         auto rb = bw.Get(Slice(op_b.key));
         ASSERT_EQ(ra.ok(), rb.ok()) << op_a.key;
-        if (ra.ok()) ASSERT_EQ(*ra, *rb);
+        if (ra.ok()) {
+          ASSERT_EQ(*ra, *rb);
+        }
         break;
       }
       default:

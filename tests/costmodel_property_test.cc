@@ -74,7 +74,9 @@ TEST_P(RandomParamsTest, MixedModelInverses) {
   for (double f : {0.0, 0.3, 0.9, 1.0}) {
     double pf = MixedThroughput(p_.rops, f, p_.r);
     EXPECT_NEAR(MixedExecTimePerOp(p_.rops, f, p_.r) * pf, 1.0, 1e-9);
-    if (f > 0) EXPECT_NEAR(DeriveR(p_.rops, pf, f), p_.r, p_.r * 1e-9);
+    if (f > 0) {
+      EXPECT_NEAR(DeriveR(p_.rops, pf, f), p_.r, p_.r * 1e-9);
+    }
   }
 }
 

@@ -25,13 +25,19 @@ TEST(SpinLatchTest, MutualExclusionUnderContention) {
   EXPECT_EQ(counter, int64_t{kThreads} * kIters);
 }
 
+// Exercises deliberately unbalanced TryLock/Unlock sequences, which is
+// exactly what -Wthread-safety exists to reject in real code.
+void ExerciseTryLockProtocol(SpinLatch* latch) NO_THREAD_SAFETY_ANALYSIS {
+  ASSERT_TRUE(latch->TryLock());
+  EXPECT_FALSE(latch->TryLock());
+  latch->Unlock();
+  EXPECT_TRUE(latch->TryLock());
+  latch->Unlock();
+}
+
 TEST(SpinLatchTest, TryLockFailsWhenHeld) {
   SpinLatch latch;
-  ASSERT_TRUE(latch.TryLock());
-  EXPECT_FALSE(latch.TryLock());
-  latch.Unlock();
-  EXPECT_TRUE(latch.TryLock());
-  latch.Unlock();
+  ExerciseTryLockProtocol(&latch);
 }
 
 TEST(OptimisticVersionTest, StableSnapshotUnchangedWithoutWrites) {

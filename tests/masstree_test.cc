@@ -244,7 +244,7 @@ TEST(MassTreeTest, ConcurrentReadersWithWriter) {
   std::atomic<uint64_t> errors{0};
   std::vector<std::thread> readers;
   for (int r = 0; r < 3; ++r) {
-    readers.emplace_back([&] {
+    readers.emplace_back([&, r] {
       Random rng(100 + r);
       while (!stop.load(std::memory_order_acquire)) {
         uint64_t k = rng.Uniform(2000);

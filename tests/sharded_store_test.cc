@@ -38,7 +38,9 @@ TEST(ShardedStoreTest, BasicCrudRoutesByHash) {
   for (int i = 0; i < 50; ++i) {
     size_t idx = store->ShardIndexOf(Key(i));
     auto r = store->shard(idx)->Get(Key(i));
-    if (i != 7) EXPECT_TRUE(r.ok()) << "key " << i << " not on its shard";
+    if (i != 7) {
+      EXPECT_TRUE(r.ok()) << "key " << i << " not on its shard";
+    }
   }
 }
 
