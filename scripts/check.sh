@@ -48,13 +48,26 @@ run_lane() {
     echo "lane $lane: build clean under -Werror=thread-safety"
     return
   fi
-  if ! ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+  if ! ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -LE torture \
        > "$dir/ctest.log" 2>&1; then
     tail -40 "$dir/ctest.log"
     failures+=("$lane (ctest)")
     return
   fi
   grep -E "tests (passed|failed)" "$dir/ctest.log" | tail -1
+  # Crash-recovery torture loop: full 200 crash points on the plain lane,
+  # a reduced loop under the (much slower) sanitizers. Every iteration
+  # derives from the printed base seed, so a short loop still reproduces.
+  local torture_iters=200
+  [[ "$lane" != "plain" ]] && torture_iters=25
+  if ! COSTPERF_TORTURE_ITERS="$torture_iters" \
+       ctest --test-dir "$dir" --output-on-failure -L torture \
+       > "$dir/ctest-torture.log" 2>&1; then
+    tail -40 "$dir/ctest-torture.log"
+    failures+=("$lane (torture)")
+    return
+  fi
+  echo "torture loop: $torture_iters crash points passed"
 }
 
 for lane in "${LANES[@]}"; do

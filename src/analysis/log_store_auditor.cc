@@ -71,6 +71,19 @@ std::vector<Violation> LogStoreAuditor::Check() {
             ", collected " + std::to_string(stats.bytes_collected) + ")"});
   }
 
+  // Recovery must account every byte it adopted: the per-segment sums in
+  // the report and the stats counter are computed independently, so a
+  // mismatch means Recover() adopted records it did not charge (or vice
+  // versa).
+  const llama::RecoveryReport report = store_->last_recovery_report();
+  if (stats.recovered_bytes != report.bytes_adopted) {
+    out.push_back(Violation{
+        "LogStoreAuditor", "recovery-accounting", "log",
+        "stats.recovered_bytes = " + std::to_string(stats.recovered_bytes) +
+            " but last recovery report adopted " +
+            std::to_string(report.bytes_adopted) + " bytes"});
+  }
+
   const uint64_t dead_accounted =
       directory_dead_bytes + stats.dead_bytes_collected;
   if (stats.dead_bytes_marked != dead_accounted) {

@@ -903,6 +903,26 @@ PageId BwTree::FindParentOf(PageId child_pid, const Slice& toward_key) {
 // Paging: load
 // ---------------------------------------------------------------------
 
+Status BwTree::RetryIo(const std::function<Status()>& fn) {
+  RetryStats rs;
+  Status s = RetryTransient(options_.io_retry, fn, &rs,
+                            retry_salt_.fetch_add(1,
+                                                  std::memory_order_relaxed));
+  s_io_retries_.fetch_add(rs.retries, std::memory_order_relaxed);
+  if (rs.gave_up) s_io_give_ups_.fetch_add(1, std::memory_order_relaxed);
+  return s;
+}
+
+Result<FlashAddress> BwTree::RetryAppend(PageId pid, const Slice& image) {
+  Result<FlashAddress> out = Status::Internal("append never ran");
+  Status s = RetryIo([&]() {
+    out = options_.log_store->Append(pid, image);
+    return out.status();
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
 Status BwTree::MaterializeFromFlash(FlashAddress addr, LeafBase* leaf,
                                     OpContext* ctx) {
   if (options_.log_store == nullptr) {
@@ -913,7 +933,8 @@ Status BwTree::MaterializeFromFlash(FlashAddress addr, LeafBase* leaf,
   FlashAddress cur = addr;
   while (cur.valid()) {
     std::string image;
-    Status s = options_.log_store->Read(cur, &image);
+    Status s = RetryIo(
+        [&]() { return options_.log_store->Read(cur, &image); });
     if (!s.ok()) return s;
     ctx->flash_reads++;
     s_flash_reads_.fetch_add(1, std::memory_order_relaxed);
@@ -1112,7 +1133,7 @@ Status BwTree::FlushPage(PageId pid, FlushMode mode) {
       }
       std::string image;
       PageCodec::EncodeDeltaPage(fp->addr, ops, &image);
-      auto addr = options_.log_store->Append(pid, Slice(image));
+      auto addr = RetryAppend(pid, Slice(image));
       if (!addr.ok()) return addr.status();
 
       auto* new_fp = new FlashPointer();
@@ -1158,7 +1179,7 @@ Status BwTree::FlushPage(PageId pid, FlushMode mode) {
   } else {
     PageCodec::EncodeLeaf(*fresh, &image);
   }
-  auto addr = options_.log_store->Append(pid, Slice(image));
+  auto addr = RetryAppend(pid, Slice(image));
   if (!addr.ok()) {
     delete fresh;
     return addr.status();
@@ -1212,7 +1233,7 @@ Status BwTree::EvictPage(PageId pid, EvictMode mode) {
         // deltas, which stay in memory).
         std::string image;
         PageCodec::EncodeLeaf(*base, &image);
-        auto addr = options_.log_store->Append(pid, Slice(image));
+        auto addr = RetryAppend(pid, Slice(image));
         if (!addr.ok()) return addr.status();
         s_bytes_flushed_.fetch_add(image.size(), std::memory_order_relaxed);
         base_addr = *addr;
@@ -1290,15 +1311,23 @@ Status BwTree::EvictPage(PageId pid, EvictMode mode) {
 }
 
 Status BwTree::FlushAll() {
-  for (PageId pid : LeafPageIds()) {
+  // Flush right-to-left. A split's new sibling always sits to the right
+  // of its source page, so the sibling's image reaches the log before the
+  // source's post-split re-image. Recovery adopts a byte prefix of a torn
+  // checkpoint, so any prefix containing the source's re-image (which no
+  // longer holds the moved keys) also contains the sibling image that
+  // does — a salvage rebuild of the torn state stays lossless.
+  std::vector<PageId> leaves = LeafPageIds();
+  for (auto it = leaves.rbegin(); it != leaves.rend(); ++it) {
     for (int attempt = 0; attempt < 100; ++attempt) {
-      Status s = FlushPage(pid, FlushMode::kFullPage);
+      Status s = FlushPage(*it, FlushMode::kFullPage);
       if (s.ok()) break;
       if (!s.IsAborted()) return s;
     }
   }
-  return options_.log_store != nullptr ? options_.log_store->Flush()
-                                       : Status::Ok();
+  return options_.log_store != nullptr
+             ? RetryIo([&]() { return options_.log_store->Flush(); })
+             : Status::Ok();
 }
 
 // ---------------------------------------------------------------------
@@ -1733,6 +1762,22 @@ size_t BwTree::MergeUnderfullLeaves(double fill_target) {
 // Restart recovery
 // ---------------------------------------------------------------------
 
+void BwTree::DiscardResidentState() {
+  epochs_.ReclaimAll();
+  for (PageId pid = 0; pid < table_.high_water(); ++pid) {
+    uint64_t w = table_.Get(pid);
+    if (w != 0 && !IsFlashWord(w)) {
+      FreeChain(DecodePointer(w));
+      if (options_.cache != nullptr) options_.cache->Erase(pid);
+    }
+  }
+  table_.Reset();
+  {
+    MutexLock lk(&meta_mu_);
+    meta_.clear();
+  }
+}
+
 Status BwTree::RecoverFromStore() {
   if (options_.log_store == nullptr) {
     return Status::FailedPrecondition("no log store configured");
@@ -1740,16 +1785,7 @@ Status BwTree::RecoverFromStore() {
 
   // 0. Discard current in-memory state (normally just the bootstrap
   //    empty root leaf).
-  epochs_.ReclaimAll();
-  for (PageId pid = 0; pid < table_.high_water(); ++pid) {
-    uint64_t w = table_.Get(pid);
-    if (w != 0 && !IsFlashWord(w)) FreeChain(DecodePointer(w));
-  }
-  table_.Reset();
-  {
-    MutexLock lk(&meta_mu_);
-    meta_.clear();
-  }
+  DiscardResidentState();
 
   // 1. Scan the device: newest record per page wins; remember every
   //    visited record so stale ones can be marked dead for GC.
@@ -1775,6 +1811,11 @@ Status BwTree::RecoverFromStore() {
     return Status::Ok();
   }
 
+  // Steps 2-4 assume the on-media fence chain is a consistent snapshot.
+  // A crash between a split SMO's page flushes breaks that (the new right
+  // sibling is durable, the parent-side images are not, or vice versa);
+  // any structural Corruption below falls back to the salvage rebuild.
+  auto fast_path = [&]() -> Status {
   // 2. Restore mapping entries and flash-chain metadata. The newest image
   //    may be a delta page; its back-pointer chain members are live too.
   for (auto& [pid, rec] : latest) {
@@ -1793,7 +1834,8 @@ Status BwTree::RecoverFromStore() {
       Status ds = PageCodec::DecodeDeltaPage(Slice(image), &prev, &ops);
       if (!ds.ok()) return ds;
       chain.push_back(prev.packed());
-      Status rs = options_.log_store->Read(prev, &image);
+      Status rs =
+          RetryIo([&]() { return options_.log_store->Read(prev, &image); });
       if (!rs.ok()) return rs;
       ks = PageCodec::PeekKind(Slice(image), &kind);
       if (!ks.ok()) return ks;
@@ -1802,10 +1844,6 @@ Status BwTree::RecoverFromStore() {
       }
     }
     MetaSetChain(pid, std::move(chain), /*dirty=*/false);
-  }
-  // Stale records (superseded before the crash) are dead for GC purposes.
-  for (auto& [pid, addr] : visited) {
-    if (!GcIsLive(pid, addr)) options_.log_store->MarkDead(addr);
   }
 
   // 3. Reconstruct the leaf order from fences. The leftmost leaf is the
@@ -1819,8 +1857,10 @@ Status BwTree::RecoverFromStore() {
     if (meta.flash_chain.size() == 1) {
       base_image = rec.image;
     } else {
-      Status rs = options_.log_store->Read(
-          FlashAddress::FromPacked(meta.flash_chain.back()), &base_image);
+      Status rs = RetryIo([&]() {
+        return options_.log_store->Read(
+            FlashAddress::FromPacked(meta.flash_chain.back()), &base_image);
+      });
       if (!rs.ok()) return rs;
     }
     LeafBase leaf;
@@ -1908,6 +1948,102 @@ Status BwTree::RecoverFromStore() {
     level_seps.swap(parent_seps);
   }
   root_pid_.store(level[0], std::memory_order_release);
+  return Status::Ok();
+  };  // fast_path
+
+  Status fs = fast_path();
+  if (fs.ok()) {
+    // Stale records (superseded before the crash) are dead for GC
+    // purposes. Done only on success: salvage marks every record dead
+    // itself, and double marks would break the auditor's accounting.
+    for (auto& [pid, addr] : visited) {
+      if (!GcIsLive(pid, addr)) options_.log_store->MarkDead(addr);
+    }
+    return fs;
+  }
+  if (!fs.IsCorruption()) return fs;
+  return SalvageRebuild(visited);
+}
+
+Status BwTree::SalvageRebuild(
+    const std::vector<std::pair<PageId, FlashAddress>>& visited) {
+  s_salvage_.fetch_add(1, std::memory_order_relaxed);
+  DiscardResidentState();
+
+  // Replay every readable record in log order at per-page granularity: a
+  // full image replaces the page's state, a delta page applies on top.
+  // Deletes become sequenced tombstones (not erasures) so the cross-page
+  // merge below cannot resurrect a key from an older page's image.
+  struct SalvagedVal {
+    uint64_t seq = 0;
+    bool tombstone = false;
+    std::string value;
+  };
+  std::map<PageId, std::map<std::string, SalvagedVal>> pages;
+  uint64_t seq = 0;
+  for (const auto& [pid, addr] : visited) {
+    ++seq;
+    std::string image;
+    Status rs =
+        RetryIo([&]() { return options_.log_store->Read(addr, &image); });
+    if (!rs.ok()) return rs;
+    uint8_t kind = 0;
+    if (!PageCodec::PeekKind(Slice(image), &kind).ok()) continue;
+    if (PageCodec::IsLeafKind(kind)) {
+      LeafBase leaf;
+      if (!PageCodec::DecodeAnyLeaf(Slice(image), &leaf).ok()) continue;
+      auto& state = pages[pid];
+      state.clear();  // a full image is the page's whole state
+      for (size_t i = 0; i < leaf.keys.size(); ++i) {
+        state[leaf.keys[i]] = SalvagedVal{seq, false, leaf.values[i]};
+      }
+    } else if (kind == PageCodec::kDeltaPage) {
+      FlashAddress prev;
+      std::vector<DeltaOp> ops;
+      if (!PageCodec::DecodeDeltaPage(Slice(image), &prev, &ops).ok()) {
+        continue;
+      }
+      auto& state = pages[pid];
+      for (const DeltaOp& op : ops) {
+        if (op.kind == DeltaOp::kInsert) {
+          state[op.key] = SalvagedVal{seq, false, op.value};
+        } else {
+          state[op.key] = SalvagedVal{seq, true, ""};
+        }
+      }
+    }
+  }
+
+  // Cross-page newest-wins merge. Pages overlap only through split/merge
+  // SMOs, where the newer page's records carry later log positions.
+  std::map<std::string, SalvagedVal> merged;
+  for (const auto& [pid, state] : pages) {
+    for (const auto& [key, val] : state) {
+      auto it = merged.find(key);
+      if (it == merged.end() || it->second.seq < val.seq) {
+        merged[key] = val;
+      }
+    }
+  }
+
+  // Fresh bootstrap root, then rebuild by re-inserting the merged state.
+  auto* root = new LeafBase();
+  PageId rp = table_.Allocate(EncodePointer(root));
+  if (rp == kInvalidPageId) {
+    delete root;
+    return Status::ResourceExhausted("mapping table full in salvage");
+  }
+  root_pid_.store(rp, std::memory_order_release);
+  CacheInsertOrResize(rp, root);
+  for (const auto& [key, val] : merged) {
+    if (val.tombstone) continue;
+    Status ps = Put(Slice(key), Slice(val.value));
+    if (!ps.ok()) return ps;
+  }
+  // Every on-media record is superseded by the rebuilt in-memory state.
+  for (const auto& [pid, addr] : visited) {
+    options_.log_store->MarkDead(addr);
+  }
   return Status::Ok();
 }
 
@@ -2019,6 +2155,9 @@ BwTreeStats BwTree::stats() const {
   s.full_evictions = s_full_evictions_.load(std::memory_order_relaxed);
   s.record_cache_evictions = s_rc_evictions_.load(std::memory_order_relaxed);
   s.bytes_flushed = s_bytes_flushed_.load(std::memory_order_relaxed);
+  s.io_retries = s_io_retries_.load(std::memory_order_relaxed);
+  s.io_retry_give_ups = s_io_give_ups_.load(std::memory_order_relaxed);
+  s.salvage_recoveries = s_salvage_.load(std::memory_order_relaxed);
   return s;
 }
 

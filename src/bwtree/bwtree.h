@@ -13,6 +13,7 @@
 #include "bwtree/page_codec.h"
 #include "common/epoch.h"
 #include "common/mutex.h"
+#include "common/retry.h"
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/thread_annotations.h"
@@ -37,6 +38,17 @@ struct BwTreeOptions {
   // Optional resident-set accounting (leaf pages only; the index is
   // assumed cached, as the paper does for blind updates).
   llama::CacheManager* cache = nullptr;
+  // Bounded retry for transient device errors on the read/flush paths.
+  // max_attempts = 1 disables retrying. The backoff is kept short: these
+  // are in-memory-simulated I/Os, and tests inject high error rates.
+  RetryPolicy io_retry = ShortBackoffRetry();
+
+  static RetryPolicy ShortBackoffRetry() {
+    RetryPolicy p;
+    p.max_attempts = 4;
+    p.initial_backoff_nanos = 20'000;
+    return p;
+  }
 };
 
 // How a dirty page reaches flash (paper Fig. 5 and §7.2).
@@ -76,6 +88,10 @@ struct BwTreeStats {
   uint64_t compressed_loads = 0;
   uint64_t full_evictions = 0, record_cache_evictions = 0;
   uint64_t bytes_flushed = 0;
+  // Fault handling.
+  uint64_t io_retries = 0;          // extra attempts after transient errors
+  uint64_t io_retry_give_ups = 0;   // retry budgets exhausted
+  uint64_t salvage_recoveries = 0;  // RecoverFromStore salvage fallbacks
 };
 
 // Latch-free B-tree over a mapping table with delta-record updates,
@@ -154,6 +170,13 @@ class BwTree {
   // Discards any current in-memory contents; call on a freshly
   // constructed tree over the old device. Unflushed pre-crash state is
   // lost, by design (the transaction component's redo log covers it).
+  //
+  // When the fence chain on media is structurally inconsistent (a crash
+  // between a split's page flushes leaves mixed-version fences), recovery
+  // falls back to a salvage rebuild: every readable record is replayed in
+  // log order, merged newest-wins per key, and re-inserted into a fresh
+  // tree — structure is rebuilt from scratch, data is kept. Counted in
+  // stats().salvage_recoveries.
   Status RecoverFromStore();
 
   // --- GC integration (see LogStructuredStore::Collect*) ---
@@ -255,6 +278,19 @@ class BwTree {
   // (used when the removed page was its parent's first child).
   Status ReplaceBoundarySep(const Slice& old_sep, const Slice& new_sep);
 
+  // Runs fn under the configured transient-error retry policy and folds
+  // the attempt counts into stats.
+  Status RetryIo(const std::function<Status()>& fn);
+  Result<FlashAddress> RetryAppend(PageId pid, const Slice& image);
+
+  // Frees every resident chain and resets mapping/meta state (recovery
+  // preamble, shared by the fast path and the salvage fallback).
+  void DiscardResidentState();
+  // Last-resort recovery: replay every readable log record in log order,
+  // merge newest-wins per key, rebuild the tree from scratch via Put.
+  Status SalvageRebuild(
+      const std::vector<std::pair<PageId, FlashAddress>>& visited);
+
   // Chain tail helpers.
   static Node* ChainTail(Node* head);
   static const Node* ChainTail(const Node* head);
@@ -292,6 +328,10 @@ class BwTree {
   mutable std::atomic<uint64_t> s_loads_{0}, s_full_flushes_{0},
       s_delta_flushes_{0}, s_compressed_flushes_{0}, s_compressed_loads_{0},
       s_full_evictions_{0}, s_rc_evictions_{0}, s_bytes_flushed_{0};
+  mutable std::atomic<uint64_t> s_io_retries_{0}, s_io_give_ups_{0},
+      s_salvage_{0};
+  // Decorrelates concurrent retry jitter streams (see RetryTransient).
+  std::atomic<uint64_t> retry_salt_{0};
 };
 
 }  // namespace costperf::bwtree

@@ -1,0 +1,45 @@
+#include "common/retry.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/random.h"
+
+namespace costperf {
+
+bool IsTransientError(const Status& s) {
+  return s.IsIoError() || s.IsUnavailable();
+}
+
+Status RetryTransient(const RetryPolicy& policy,
+                      const std::function<Status()>& fn, RetryStats* stats,
+                      uint64_t seed_salt) {
+  const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  Random rng(policy.seed ^ Hash64(seed_salt));
+  double backoff = static_cast<double>(policy.initial_backoff_nanos);
+  Status s = Status::Ok();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    s = fn();
+    if (!IsTransientError(s)) return s;
+    if (attempt + 1 == attempts) break;  // budget spent; report the failure
+    double scale = 1.0;
+    if (policy.jitter > 0.0) {
+      scale = 1.0 - policy.jitter * rng.NextDouble();
+    }
+    uint64_t nanos = static_cast<uint64_t>(backoff * scale);
+    if (stats != nullptr) {
+      stats->retries++;
+      stats->backoff_nanos += nanos;
+    }
+    if (policy.sleep) {
+      policy.sleep(nanos);
+    } else if (nanos > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+    }
+    backoff *= policy.multiplier;
+  }
+  if (stats != nullptr) stats->gave_up = true;
+  return s;
+}
+
+}  // namespace costperf

@@ -1,0 +1,49 @@
+#ifndef COSTPERF_COMMON_RETRY_H_
+#define COSTPERF_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "common/status.h"
+
+namespace costperf {
+
+// Bounded retry with jittered exponential backoff. The k-th retry (k from
+// 0) backs off initial_backoff_nanos * multiplier^k, scaled by a factor
+// drawn uniformly from [1 - jitter, 1]. Sleeping is injectable so tests
+// (and simulated-time runs) never block a real thread.
+struct RetryPolicy {
+  int max_attempts = 4;  // total tries, including the first; >= 1
+  uint64_t initial_backoff_nanos = 100'000;  // 100us
+  double multiplier = 2.0;
+  double jitter = 0.5;  // 0 = deterministic backoff
+  uint64_t seed = 0x5e771e5ull;  // jitter PRNG seed
+  // Sleep function; nullptr = std::this_thread::sleep_for. Tests pass a
+  // recorder or a VirtualClock advancer.
+  std::function<void(uint64_t nanos)> sleep;
+};
+
+// What one RetryTransient call did, for caller-side stats aggregation.
+struct RetryStats {
+  uint64_t retries = 0;        // attempts beyond the first
+  uint64_t backoff_nanos = 0;  // total backoff requested
+  bool gave_up = false;        // exhausted max_attempts on transient errors
+};
+
+// True for failures where an immediate retry can plausibly succeed: a
+// saturated or glitching device (kIoError) or an explicitly transient
+// condition (kUnavailable). Corruption, NotFound, Aborted (CAS races have
+// their own loops) and friends are never worth sleeping on.
+bool IsTransientError(const Status& s);
+
+// Runs fn until it returns a non-transient status or the attempt budget is
+// exhausted; returns fn's last status. `seed_salt` decorrelates the jitter
+// streams of concurrent callers sharing one policy (pass a per-call
+// counter); with equal salts the backoff sequence is fully deterministic.
+Status RetryTransient(const RetryPolicy& policy,
+                      const std::function<Status()>& fn,
+                      RetryStats* stats = nullptr, uint64_t seed_salt = 0);
+
+}  // namespace costperf
+
+#endif  // COSTPERF_COMMON_RETRY_H_

@@ -37,7 +37,9 @@ CachingStore::CachingStore(CachingStoreOptions options)
 CachingStore::~CachingStore() = default;
 
 Status CachingStore::Put(const Slice& key, const Slice& value) {
+  if (Status w = CheckWritable(); !w.ok()) return w;
   Status s = tree_->Put(key, value);
+  NoteWriteOutcome(s, /*reset_on_ok=*/false);
   MaybeMaintain();
   return s;
 }
@@ -49,9 +51,54 @@ Result<std::string> CachingStore::Get(const Slice& key) {
 }
 
 Status CachingStore::Delete(const Slice& key) {
+  if (Status w = CheckWritable(); !w.ok()) return w;
   Status s = tree_->Delete(key);
+  NoteWriteOutcome(s, /*reset_on_ok=*/false);
   MaybeMaintain();
   return s;
+}
+
+Status CachingStore::CheckWritable() {
+  if (!degraded_.load(std::memory_order_acquire)) return Status::Ok();
+  MutexLock lock(&health_mu_);
+  return last_write_error_;
+}
+
+void CachingStore::NoteWriteOutcome(const Status& s, bool reset_on_ok) {
+  if (options_.degrade_after_write_failures == 0) return;
+  if (s.ok()) {
+    // A flush-path success means the device took a write; the streak of
+    // consecutive failures is over. Once degraded, only an explicit
+    // ResetHealth() heals — a late success must not silently un-degrade.
+    if (reset_on_ok && !degraded_.load(std::memory_order_relaxed)) {
+      write_failure_streak_.store(0, std::memory_order_relaxed);
+    }
+    return;
+  }
+  // Only media write errors count. Aborted (contention), Corruption
+  // (surfaced to the caller, a different failure class), etc. do not.
+  if (!s.IsIoError()) return;
+  uint32_t streak =
+      write_failure_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (streak >= options_.degrade_after_write_failures &&
+      !degraded_.exchange(true, std::memory_order_acq_rel)) {
+    MutexLock lock(&health_mu_);
+    last_write_error_ = s;
+  }
+}
+
+HealthStatus CachingStore::health() const {
+  return degraded_.load(std::memory_order_acquire) ? HealthStatus::kDegraded
+                                                   : HealthStatus::kHealthy;
+}
+
+void CachingStore::ResetHealth() {
+  {
+    MutexLock lock(&health_mu_);
+    last_write_error_ = Status::Ok();
+  }
+  write_failure_streak_.store(0, std::memory_order_relaxed);
+  degraded_.store(false, std::memory_order_release);
 }
 
 Status CachingStore::Scan(
@@ -90,9 +137,13 @@ void CachingStore::EnforceBudget() {
     // Fig. 8 regime where even flash rental is worth shrinking.
     if (options_.css_idle_interval_seconds > 0 &&
         cache_->IdleSeconds(pid) > options_.css_idle_interval_seconds) {
-      (void)tree_->FlushPage(pid, bwtree::FlushMode::kCompressedPage);
+      NoteWriteOutcome(
+          tree_->FlushPage(pid, bwtree::FlushMode::kCompressedPage),
+          /*reset_on_ok=*/true);
     }
-    (void)tree_->EvictPage(pid, options_.evict_mode);
+    NoteWriteOutcome(tree_->EvictPage(pid, options_.evict_mode),
+                     /*reset_on_ok=*/true);
+    if (degraded_.load(std::memory_order_acquire)) return;
   }
 }
 
@@ -100,6 +151,14 @@ void CachingStore::Maintain() {
   // Try-lock: if another thread is already inside maintenance, skip this
   // round rather than stacking a second eviction/GC pass on top of it.
   if (!maintenance_mu_.TryLock()) return;
+  // While degraded, skip everything that issues flash writes — flushing
+  // into a failing device would only spin the failure streak; reclaiming
+  // epochs is still safe (pure memory).
+  if (degraded_.load(std::memory_order_acquire)) {
+    tree_->ReclaimMemory();
+    maintenance_mu_.Unlock();
+    return;
+  }
   EnforceBudget();
   if (options_.merge_fill_target > 0) {
     tree_->MergeUnderfullLeaves(options_.merge_fill_target);
@@ -133,9 +192,11 @@ std::vector<analysis::Violation> CachingStore::CheckInvariants() {
 }
 
 Status CachingStore::Checkpoint() {
+  if (Status w = CheckWritable(); !w.ok()) return w;
   Status s = tree_->FlushAll();
-  if (!s.ok()) return s;
-  return log_->Flush();
+  if (s.ok()) s = log_->Flush();
+  NoteWriteOutcome(s, /*reset_on_ok=*/true);
+  return s;
 }
 
 Status CachingStore::Recover() { return tree_->RecoverFromStore(); }
@@ -203,6 +264,8 @@ KvStoreStats CachingStore::Stats() const {
   s.bytes_read = d.bytes_read;
   s.bytes_written = d.bytes_written;
   s.memory_bytes = tree_->MemoryFootprintBytes();
+  s.io_retries = t.io_retries;
+  s.health = health();
   return s;
 }
 

@@ -37,6 +37,9 @@ struct CachingStoreOptions {
   // Merge adjacent leaves whose combined payload is below this fraction
   // of max_page_bytes during maintenance. 0 disables merging.
   double merge_fill_target = 0.0;
+  // Degrade to read-only after this many consecutive write-path IoErrors
+  // (put/delete/flush/evict/checkpoint). 0 disables health tracking.
+  uint32_t degrade_after_write_failures = 3;
 
   bwtree::BwTreeOptions tree;        // log_store/cache filled in by us
   storage::SsdOptions device;
@@ -79,6 +82,15 @@ class CachingStore : public KvStore {
   // Runs log-structure GC until no segment is below the live threshold.
   Status RunGc(double live_threshold);
 
+  // Health: kDegraded after degrade_after_write_failures consecutive
+  // write-path IoErrors. While degraded, reads serve resident and
+  // previously flushed data as usual; Put/Delete/WriteBatch/Checkpoint
+  // fail fast with the IoError that caused degradation, and maintenance
+  // stops issuing flash writes. Clearing the underlying fault does NOT
+  // auto-heal — call ResetHealth() once the media is confirmed usable.
+  HealthStatus health() const;
+  void ResetHealth();
+
   // Component access for benches and tests.
   bwtree::BwTree* tree() { return tree_.get(); }
   storage::SsdDevice* device() { return attached_device_; }
@@ -89,6 +101,14 @@ class CachingStore : public KvStore {
  private:
   void MaybeMaintain();
   void EnforceBudget() REQUIRES(maintenance_mu_);
+  // Ok when writable; the degradation-causing IoError once degraded.
+  Status CheckWritable();
+  // Health bookkeeping for a write-path status. An IoError grows the
+  // failure streak (degrading at the threshold); `reset_on_ok` says
+  // whether an OK from this call site is evidence of working media
+  // (flush paths) or a possibly memory-only success (Put/Delete, which
+  // must not mask concurrent flush failures).
+  void NoteWriteOutcome(const Status& s, bool reset_on_ok);
 
   CachingStoreOptions options_;
   std::unique_ptr<storage::SsdDevice> device_;  // null when external
@@ -103,6 +123,14 @@ class CachingStore : public KvStore {
   // flush/evict, but two EnforceBudget passes evict twice the intended
   // bytes).
   Mutex maintenance_mu_;
+
+  // Degraded-mode state. The streak/flag are atomics so the write hot
+  // path pays one relaxed load when healthy; the triggering error (shown
+  // to callers of failed writes) sits behind its own mutex.
+  std::atomic<uint32_t> write_failure_streak_{0};
+  std::atomic<bool> degraded_{false};
+  mutable Mutex health_mu_;
+  Status last_write_error_ GUARDED_BY(health_mu_);
 };
 
 }  // namespace costperf::core

@@ -14,6 +14,9 @@ KvStoreStats& KvStoreStats::operator+=(const KvStoreStats& other) {
   bytes_read += other.bytes_read;
   bytes_written += other.bytes_written;
   memory_bytes += other.memory_bytes;
+  io_retries += other.io_retries;
+  // Aggregate health: degraded if any contributor is degraded.
+  if (other.health == HealthStatus::kDegraded) health = HealthStatus::kDegraded;
   return *this;
 }
 
@@ -22,13 +25,14 @@ std::string KvStoreStats::ToString() const {
   snprintf(buf, sizeof(buf),
            "kv: reads=%llu writes=%llu hits=%llu misses=%llu (F=%.3f) "
            "io_reads=%llu io_writes=%llu bytes_read=%llu bytes_written=%llu "
-           "memory_bytes=%llu",
+           "memory_bytes=%llu io_retries=%llu health=%s",
            (unsigned long long)reads, (unsigned long long)writes,
            (unsigned long long)hits, (unsigned long long)misses,
            MissFraction(), (unsigned long long)io_reads,
            (unsigned long long)io_writes, (unsigned long long)bytes_read,
            (unsigned long long)bytes_written,
-           (unsigned long long)memory_bytes);
+           (unsigned long long)memory_bytes,
+           (unsigned long long)io_retries, HealthStatusName(health));
   return buf;
 }
 

@@ -13,6 +13,19 @@
 
 namespace costperf::core {
 
+// Store health. kDegraded means the store has shed write availability
+// after persistent device write failures: reads still serve resident and
+// previously flushed data, writes fail fast with the original IoError.
+// An aggregate (ShardedStore) is degraded when any shard is.
+enum class HealthStatus {
+  kHealthy = 0,
+  kDegraded = 1,
+};
+
+inline const char* HealthStatusName(HealthStatus h) {
+  return h == HealthStatus::kHealthy ? "healthy" : "degraded";
+}
+
 // Structured operation/IO counters common to every KvStore. Benches and
 // tests consume these fields directly instead of parsing StatsString().
 // "hits" are operations completed purely in memory (the paper's MM ops);
@@ -28,6 +41,8 @@ struct KvStoreStats {
   uint64_t bytes_read = 0;     // device bytes read
   uint64_t bytes_written = 0;  // device bytes written
   uint64_t memory_bytes = 0;   // resident DRAM footprint
+  uint64_t io_retries = 0;     // transient I/O errors absorbed by retry
+  HealthStatus health = HealthStatus::kHealthy;
 
   // Fraction of classified ops that missed (the paper's F). 0 when the
   // store classified nothing.

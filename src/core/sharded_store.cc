@@ -164,6 +164,16 @@ KvStoreStats ShardedStore::Stats() const {
   return total;
 }
 
+std::vector<HealthStatus> ShardedStore::PerShardHealth() const {
+  std::vector<HealthStatus> out;
+  out.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    MutexLock lock(&shard->mu);
+    out.push_back(shard->store->Stats().health);
+  }
+  return out;
+}
+
 std::string ShardedStore::StatsString() const {
   return "sharded[" + std::to_string(shards_.size()) + "] " +
          Stats().ToString();

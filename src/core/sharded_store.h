@@ -67,6 +67,11 @@ class ShardedStore : public KvStore {
   // Union of every shard's violations, each entity prefixed "shard i".
   std::vector<analysis::Violation> CheckInvariants() override;
 
+  // Health of each shard (shard i's Stats().health). A degraded shard
+  // only loses write availability for its own key subset; Stats().health
+  // on the composite is degraded when any shard is.
+  std::vector<HealthStatus> PerShardHealth() const;
+
   size_t shard_count() const { return shards_.size(); }
   // Which shard owns `key` (stable FNV-1a placement).
   size_t ShardIndexOf(const Slice& key) const;

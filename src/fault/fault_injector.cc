@@ -1,0 +1,205 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+#include <string>
+
+namespace costperf::fault {
+
+FaultInjector::FaultInjector(uint64_t seed) : rng_(seed) {}
+
+FaultInjector::~FaultInjector() { Detach(); }
+
+void FaultInjector::Attach(storage::SsdDevice* device) {
+  Detach();
+  device_ = device;
+  device_->set_fault_hook(this);
+}
+
+void FaultInjector::Detach() {
+  if (device_ != nullptr && device_->fault_hook() == this) {
+    device_->set_fault_hook(nullptr);
+  }
+  device_ = nullptr;
+}
+
+void FaultInjector::ScheduleCrash(uint64_t writes, double torn_fraction) {
+  MutexLock lk(&mu_);
+  writes_until_crash_ = static_cast<int64_t>(writes);
+  torn_fraction_ = std::clamp(torn_fraction, 0.0, 1.0);
+  RecomputeArmed();
+}
+
+bool FaultInjector::crashed() const {
+  MutexLock lk(&mu_);
+  return crashed_;
+}
+
+void FaultInjector::ClearCrash() {
+  MutexLock lk(&mu_);
+  crashed_ = false;
+  writes_until_crash_ = -1;
+  read_error_rate_ = write_error_rate_ = 0.0;
+  persistent_read_failure_ = persistent_write_failure_ = false;
+  corrupt_write_rate_ = 0.0;
+  corrupt_write_bits_ = 0;
+  RecomputeArmed();
+}
+
+void FaultInjector::set_read_error_rate(double p) {
+  MutexLock lk(&mu_);
+  read_error_rate_ = std::clamp(p, 0.0, 1.0);
+  RecomputeArmed();
+}
+
+void FaultInjector::set_write_error_rate(double p) {
+  MutexLock lk(&mu_);
+  write_error_rate_ = std::clamp(p, 0.0, 1.0);
+  RecomputeArmed();
+}
+
+void FaultInjector::set_persistent_read_failure(bool on) {
+  MutexLock lk(&mu_);
+  persistent_read_failure_ = on;
+  RecomputeArmed();
+}
+
+void FaultInjector::set_persistent_write_failure(bool on) {
+  MutexLock lk(&mu_);
+  persistent_write_failure_ = on;
+  RecomputeArmed();
+}
+
+void FaultInjector::ArmWriteCorruption(double p, int bits) {
+  MutexLock lk(&mu_);
+  corrupt_write_rate_ = std::clamp(p, 0.0, 1.0);
+  corrupt_write_bits_ = bits;
+  RecomputeArmed();
+}
+
+Status FaultInjector::CorruptRange(uint64_t offset, uint64_t len, int bits) {
+  if (device_ == nullptr) return Status::FailedPrecondition("not attached");
+  if (len == 0 || bits <= 0) return Status::Ok();
+  std::string buf(len, '\0');
+  Status s = device_->Read(offset, len, buf.data());
+  if (!s.ok()) return s;
+  {
+    MutexLock lk(&mu_);
+    for (int i = 0; i < bits; ++i) {
+      uint64_t at = rng_.Uniform(len);
+      buf[at] = static_cast<char>(buf[at] ^ (1u << rng_.Uniform(8)));
+    }
+  }
+  return device_->Write(offset, Slice(buf));
+}
+
+void FaultInjector::Reset() {
+  MutexLock lk(&mu_);
+  crashed_ = false;
+  writes_until_crash_ = -1;
+  torn_fraction_ = 0.0;
+  read_error_rate_ = write_error_rate_ = 0.0;
+  persistent_read_failure_ = persistent_write_failure_ = false;
+  corrupt_write_rate_ = 0.0;
+  corrupt_write_bits_ = 0;
+  RecomputeArmed();
+}
+
+FaultInjectorStats FaultInjector::stats() const {
+  MutexLock lk(&mu_);
+  FaultInjectorStats s = stats_;
+  s.reads_seen += idle_reads_.load(std::memory_order_relaxed);
+  s.writes_seen += idle_writes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool FaultInjector::Flip(double p) {
+  if (p <= 0.0) return false;
+  return rng_.Bernoulli(p);
+}
+
+void FaultInjector::RecomputeArmed() {
+  const bool armed = crashed_ || writes_until_crash_ >= 0 ||
+                     persistent_read_failure_ || persistent_write_failure_ ||
+                     read_error_rate_ > 0.0 || write_error_rate_ > 0.0 ||
+                     (corrupt_write_bits_ > 0 && corrupt_write_rate_ > 0.0);
+  armed_.store(armed, std::memory_order_release);
+}
+
+Status FaultInjector::OnRead(uint64_t offset, size_t len) {
+  (void)offset;
+  (void)len;
+  if (!armed_.load(std::memory_order_acquire)) {
+    idle_reads_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  MutexLock lk(&mu_);
+  stats_.reads_seen++;
+  if (crashed_) {
+    stats_.post_crash_ios++;
+    stats_.read_errors++;
+    return Status::IoError("injected: device crashed (fail-stop)");
+  }
+  if (persistent_read_failure_) {
+    stats_.read_errors++;
+    return Status::IoError("injected: persistent read failure");
+  }
+  if (Flip(read_error_rate_)) {
+    stats_.read_errors++;
+    return Status::IoError("injected: transient read error");
+  }
+  return Status::Ok();
+}
+
+storage::IoFaultHook::WriteOutcome FaultInjector::OnWrite(uint64_t offset,
+                                                          size_t len) {
+  (void)offset;
+  WriteOutcome out;
+  if (!armed_.load(std::memory_order_acquire)) {
+    idle_writes_.fetch_add(1, std::memory_order_relaxed);
+    return out;
+  }
+  MutexLock lk(&mu_);
+  stats_.writes_seen++;
+  if (crashed_) {
+    stats_.post_crash_ios++;
+    stats_.write_errors++;
+    out.status = Status::IoError("injected: device crashed (fail-stop)");
+    out.admit_bytes = 0;
+    return out;
+  }
+  if (writes_until_crash_ == 0) {
+    // The crash-point write: a prefix reaches media, then the lights go
+    // out. Everything after this fails until ClearCrash().
+    crashed_ = true;
+    writes_until_crash_ = -1;
+    out.status = Status::IoError("injected: crash during write (torn)");
+    out.admit_bytes = static_cast<size_t>(
+        static_cast<double>(len) * torn_fraction_);
+    stats_.torn_writes++;
+    stats_.write_errors++;
+    return out;
+  }
+  if (persistent_write_failure_) {
+    stats_.write_errors++;
+    out.status = Status::IoError("injected: persistent write failure");
+    out.admit_bytes = 0;
+    return out;
+  }
+  if (Flip(write_error_rate_)) {
+    stats_.write_errors++;
+    out.status = Status::IoError("injected: transient write error");
+    out.admit_bytes = 0;
+    return out;
+  }
+  if (corrupt_write_bits_ > 0 && len > 0 && Flip(corrupt_write_rate_)) {
+    for (int i = 0; i < corrupt_write_bits_; ++i) {
+      out.bit_flips.emplace_back(rng_.Uniform(len),
+                                 static_cast<uint8_t>(1u << rng_.Uniform(8)));
+    }
+    stats_.corrupted_writes++;
+  }
+  if (writes_until_crash_ > 0) writes_until_crash_--;
+  return out;
+}
+
+}  // namespace costperf::fault

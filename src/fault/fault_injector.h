@@ -1,0 +1,126 @@
+#ifndef COSTPERF_FAULT_FAULT_INJECTOR_H_
+#define COSTPERF_FAULT_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "storage/device.h"
+
+namespace costperf::fault {
+
+// Counters for everything the injector saw and did. Plain snapshot.
+struct FaultInjectorStats {
+  uint64_t reads_seen = 0;
+  uint64_t writes_seen = 0;
+  uint64_t read_errors = 0;        // reads failed (any cause)
+  uint64_t write_errors = 0;       // writes failed (any cause)
+  uint64_t torn_writes = 0;        // crash-point writes that persisted a prefix
+  uint64_t corrupted_writes = 0;   // writes that had bits flipped
+  uint64_t post_crash_ios = 0;     // I/Os rejected because the device is down
+};
+
+// Deterministic, scriptable fault plan executor. Attach to a live
+// SsdDevice and arm faults at runtime:
+//
+//   FaultInjector fi(seed);
+//   fi.Attach(&device);
+//   fi.ScheduleCrash(/*writes=*/7, /*torn_fraction=*/0.4);
+//   ... workload runs; the 8th write persists 40% and fails, every I/O
+//   ... after it fails with IoError until ClearCrash()
+//   fi.ClearCrash();
+//   store.Recover();
+//
+// All faults are driven by one seeded xorshift PRNG, so a plan replays
+// identically for the same seed and I/O sequence. Thread-safe: the device
+// calls OnRead/OnWrite from every I/O thread.
+class FaultInjector : public storage::IoFaultHook {
+ public:
+  explicit FaultInjector(uint64_t seed = 0xfa017dead5eedull);
+  ~FaultInjector() override;
+
+  // Registers this injector as `device`'s hook (and remembers the device
+  // for CorruptRange). Detach() — or destruction — unhooks it.
+  void Attach(storage::SsdDevice* device);
+  void Detach();
+
+  // --- scripted fail-stop crash -------------------------------------------
+  // After `writes` more admitted writes, the next write becomes the crash
+  // point: it persists floor(len * torn_fraction) bytes and returns
+  // IoError. Every subsequent I/O fails until ClearCrash() (the machine is
+  // down). torn_fraction 0 models a write that never reached media at all.
+  void ScheduleCrash(uint64_t writes, double torn_fraction);
+  bool crashed() const;
+  // "Reboot": I/O works again. Armed rates/persistent faults are cleared
+  // too — recovery runs against healthy media unless re-armed.
+  void ClearCrash();
+
+  // --- transient errors (runtime adjustable) ------------------------------
+  // Each read/write independently fails with the given probability. A
+  // transient failure rejects the whole I/O; nothing reaches media.
+  void set_read_error_rate(double p);
+  void set_write_error_rate(double p);
+
+  // --- persistent failures ------------------------------------------------
+  // Every matching I/O fails until turned off (a dead channel, not a
+  // glitch). Used to drive CachingStore into its degraded state.
+  void set_persistent_read_failure(bool on);
+  void set_persistent_write_failure(bool on);
+
+  // --- corruption ---------------------------------------------------------
+  // Arms silent corruption: each future write independently has
+  // probability p of `bits` random single-bit flips within its payload.
+  // The write still reports success — checksums must catch it.
+  void ArmWriteCorruption(double p, int bits);
+  // Flips `bits` seeded-random bits in [offset, offset+len) on the attached
+  // device right now (a direct read-modify-write through the device; call
+  // it with no other faults armed).
+  Status CorruptRange(uint64_t offset, uint64_t len, int bits);
+
+  // Disarms everything (crash schedule, rates, persistent faults,
+  // corruption). Stats are kept.
+  void Reset();
+
+  FaultInjectorStats stats() const;
+
+  // storage::IoFaultHook:
+  Status OnRead(uint64_t offset, size_t len) override;
+  WriteOutcome OnWrite(uint64_t offset, size_t len) override;
+
+ private:
+  bool Flip(double p) REQUIRES(mu_);
+  // Re-derives armed_ from the fault plan; called by every setter.
+  void RecomputeArmed() REQUIRES(mu_);
+
+  storage::SsdDevice* device_ = nullptr;
+
+  // Fast-path gate: true iff any fault is armed. When false, OnRead and
+  // OnWrite only bump the idle counters — an attached-but-idle injector
+  // costs a couple of uncontended atomics per I/O, not a mutex.
+  std::atomic<bool> armed_{false};
+  std::atomic<uint64_t> idle_reads_{0};
+  std::atomic<uint64_t> idle_writes_{0};
+
+  mutable Mutex mu_;
+  Random rng_ GUARDED_BY(mu_);
+  // Crash plan: count of admitted writes remaining before the crash-point
+  // write; -1 = disarmed.
+  int64_t writes_until_crash_ GUARDED_BY(mu_) = -1;
+  double torn_fraction_ GUARDED_BY(mu_) = 0.0;
+  bool crashed_ GUARDED_BY(mu_) = false;
+  double read_error_rate_ GUARDED_BY(mu_) = 0.0;
+  double write_error_rate_ GUARDED_BY(mu_) = 0.0;
+  bool persistent_read_failure_ GUARDED_BY(mu_) = false;
+  bool persistent_write_failure_ GUARDED_BY(mu_) = false;
+  double corrupt_write_rate_ GUARDED_BY(mu_) = 0.0;
+  int corrupt_write_bits_ GUARDED_BY(mu_) = 0;
+  FaultInjectorStats stats_ GUARDED_BY(mu_);
+};
+
+}  // namespace costperf::fault
+
+#endif  // COSTPERF_FAULT_FAULT_INJECTOR_H_

@@ -159,6 +159,7 @@ void LogStructuredStore::MarkDead(FlashAddress addr) {
 Result<GcStats> LogStructuredStore::CollectSegment(uint64_t segment_id,
                                                    const LivenessFn& live,
                                                    const InstallFn& install) {
+  uint64_t used_bytes = 0;
   {
     MutexLock lk(&mu_);
     auto it = directory_.find(segment_id);
@@ -166,6 +167,7 @@ Result<GcStats> LogStructuredStore::CollectSegment(uint64_t segment_id,
     if (!it->second.sealed) {
       return Status::FailedPrecondition("cannot collect the open segment");
     }
+    used_bytes = it->second.used_bytes;
     stats_.gc_runs++;
   }
   // Read the whole segment in one I/O (GC is itself log-structured work).
@@ -185,14 +187,25 @@ Result<GcStats> LogStructuredStore::CollectSegment(uint64_t segment_id,
     return Status::Corruption("segment header mismatch during GC");
   }
 
+  // Scan only the adopted range: bytes past used_bytes are either slack or
+  // a truncated torn tail that Recover() already discarded.
+  const uint64_t scan_end = std::min<uint64_t>(used_bytes, raw.size());
   uint64_t pos = kSegmentHeaderBytes;
-  while (pos + kHeaderBytes <= raw.size() &&
+  while (pos + kHeaderBytes <= scan_end &&
          DecodeFixed32(raw.data() + pos) == kRecordMagic) {
     PageId pid = 0;
     Slice payload;
+    const uint64_t framed_len =
+        kHeaderBytes + DecodeFixed32(raw.data() + pos + 12);
+    if (pos + framed_len > scan_end) break;  // runs off the adopted range
     s = DecodeRecord(raw.data() + pos, raw.size() - pos,
                      options_.verify_checksums, &pid, &payload);
-    if (!s.ok()) return s;
+    if (!s.ok()) {
+      // Checksum-failed record (skipped and marked dead by Recover):
+      // nothing live to relocate; step over it.
+      pos += framed_len;
+      continue;
+    }
     const uint64_t record_len = kHeaderBytes + payload.size();
     FlashAddress old_addr(segment_id * options_.segment_bytes + pos,
                           record_len);
@@ -253,11 +266,40 @@ Result<GcStats> LogStructuredStore::CollectColdest(const LivenessFn& live,
   return CollectSegment(victim, live, install);
 }
 
+namespace {
+
+// Bytes of actual data (trailing non-zero content) in raw at or after
+// `from`. Zero means the tail is pristine (never written or trimmed).
+uint64_t TrailingDataBytes(const std::string& raw, uint64_t from) {
+  for (uint64_t i = raw.size(); i > from; --i) {
+    if (raw[i - 1] != '\0') return i - from;
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::string RecoveryReport::ToString() const {
+  char buf[256];
+  snprintf(buf, sizeof(buf),
+           "recovery: segments=%llu records=%llu bytes=%llu truncated=%llu "
+           "corrupt_skipped=%llu torn_segments=%llu",
+           (unsigned long long)segments_scanned,
+           (unsigned long long)records_adopted,
+           (unsigned long long)bytes_adopted,
+           (unsigned long long)bytes_truncated,
+           (unsigned long long)corrupt_records_skipped,
+           (unsigned long long)torn_segments);
+  return buf;
+}
+
 Status LogStructuredStore::Recover(
-    const std::function<void(PageId, FlashAddress, const Slice&)>& visitor) {
+    const std::function<void(PageId, FlashAddress, const Slice&)>& visitor,
+    RecoveryReport* report) {
   // Scan the device in segment strides; rebuild directory from headers.
   const uint64_t nsegs = device_->capacity_bytes() / options_.segment_bytes;
   std::string raw(options_.segment_bytes, '\0');
+  RecoveryReport rep;
   uint64_t max_seen = 0;
   bool any = false;
   for (uint64_t seg = 0; seg < nsegs; ++seg) {
@@ -266,47 +308,121 @@ Status LogStructuredStore::Recover(
     Status s = device_->Read(seg * options_.segment_bytes,
                              kSegmentHeaderBytes, hdr);
     if (!s.ok()) return s;
-    if (DecodeFixed32(hdr) != kSegmentMagic) continue;
-    if (DecodeFixed64(hdr + 4) != seg) continue;
+    const bool header_valid = DecodeFixed32(hdr) == kSegmentMagic &&
+                              DecodeFixed64(hdr + 4) == seg;
+    if (!header_valid) {
+      // Segment writes start with a nonzero magic, and a torn write
+      // persists a prefix — so an all-zero probe means nothing of any
+      // segment write landed here: pristine (never written / trimmed).
+      bool probe_zero = true;
+      for (uint64_t i = 0; i < kSegmentHeaderBytes; ++i) {
+        if (hdr[i] != '\0') probe_zero = false;
+      }
+      if (probe_zero) continue;
+      s = device_->Read(seg * options_.segment_bytes, options_.segment_bytes,
+                        raw.data());
+      if (!s.ok()) return s;
+      const uint64_t garbage = TrailingDataBytes(raw, 0);
+      // Torn segment header: the crash hit inside the first 12 bytes of
+      // the segment write. Nothing is adoptable, but the slot id is
+      // consumed — the re-opened log must not reuse it over the garbage.
+      rep.torn_segments++;
+      rep.bytes_truncated += garbage;
+      max_seen = std::max(max_seen, seg);
+      any = true;
+      continue;
+    }
     s = device_->Read(seg * options_.segment_bytes, options_.segment_bytes,
                       raw.data());
     if (!s.ok()) return s;
+    rep.segments_scanned++;
+
+    // Walk the record framing. A record is adoptable only if every framed
+    // record is walked past it: the adopted range ends after the LAST
+    // record with a valid checksum; framed-but-corrupt records before that
+    // point are skipped (marked dead), everything after it is torn tail.
+    struct Rec {
+      uint64_t pos;
+      uint64_t len;
+      PageId pid;
+      Slice payload;
+      bool valid;
+    };
+    std::vector<Rec> recs;
+    uint64_t pos = kSegmentHeaderBytes;
+    while (pos + kHeaderBytes <= raw.size() &&
+           DecodeFixed32(raw.data() + pos) == kRecordMagic) {
+      const uint64_t payload_len = DecodeFixed32(raw.data() + pos + 12);
+      if (pos + kHeaderBytes + payload_len > raw.size()) break;  // runs off
+      PageId pid = 0;
+      Slice payload;
+      Status ds = DecodeRecord(raw.data() + pos, raw.size() - pos,
+                               options_.verify_checksums, &pid, &payload);
+      recs.push_back(
+          {pos, kHeaderBytes + payload_len, pid, payload, ds.ok()});
+      pos += kHeaderBytes + payload_len;
+    }
+    size_t last_valid = recs.size();
+    for (size_t i = 0; i < recs.size(); ++i) {
+      if (recs[i].valid) last_valid = i;
+    }
+    uint64_t adopted_end = kSegmentHeaderBytes;
+    if (last_valid != recs.size()) {
+      adopted_end = recs[last_valid].pos + recs[last_valid].len;
+    }
+    const uint64_t torn = TrailingDataBytes(raw, adopted_end);
+    if (torn > 0) {
+      rep.torn_segments++;
+      rep.bytes_truncated += torn;
+    }
 
     SegmentInfo info;
     info.id = seg;
     info.sealed = true;
-    uint64_t pos = kSegmentHeaderBytes;
-    while (pos + kHeaderBytes <= raw.size() &&
-           DecodeFixed32(raw.data() + pos) == kRecordMagic) {
-      PageId pid = 0;
-      Slice payload;
-      s = DecodeRecord(raw.data() + pos, raw.size() - pos,
-                       options_.verify_checksums, &pid, &payload);
-      if (!s.ok()) return s;
-      const uint64_t record_len = kHeaderBytes + payload.size();
-      visitor(pid, FlashAddress(seg * options_.segment_bytes + pos,
-                                record_len),
-              payload);
-      pos += record_len;
+    info.used_bytes = adopted_end;
+    uint64_t skipped_dead = 0;
+    for (const Rec& r : recs) {
+      if (r.pos >= adopted_end) break;
+      if (!r.valid) {
+        rep.corrupt_records_skipped++;
+        skipped_dead += r.len;
+        continue;
+      }
+      rep.records_adopted++;
+      visitor(r.pid,
+              FlashAddress(seg * options_.segment_bytes + r.pos, r.len),
+              r.payload);
     }
-    info.used_bytes = pos;
+    info.dead_bytes = skipped_dead;
+    rep.bytes_adopted += adopted_end - kSegmentHeaderBytes;
     {
       MutexLock lk(&mu_);
       directory_[seg] = info;
       stats_.recovered_bytes += info.used_bytes - kSegmentHeaderBytes;
+      stats_.dead_bytes_marked += skipped_dead;
     }
     max_seen = std::max(max_seen, seg);
     any = true;
   }
   MutexLock lk(&mu_);
   if (any && max_seen + 1 >= next_segment_id_) {
-    // Re-open the log past everything recovered. Drop the still-empty
-    // segment directory entry created at construction.
-    directory_.erase(open_segment_id_);
+    // Re-open the log past everything recovered. Drop the construction
+    // -time open entry, unless that slot was adopted from media (sealed).
+    auto open_it = directory_.find(open_segment_id_);
+    if (open_it != directory_.end() && !open_it->second.sealed) {
+      directory_.erase(open_it);
+    }
     next_segment_id_ = max_seen + 1;
     OpenSegmentLocked(next_segment_id_++);
   }
+  recovery_report_ = rep;
+  if (report != nullptr) *report = rep;
   return Status::Ok();
+}
+
+RecoveryReport LogStructuredStore::last_recovery_report() const {
+  MutexLock lk(&mu_);
+  return recovery_report_;
 }
 
 LogStoreStats LogStructuredStore::stats() const {

@@ -64,6 +64,20 @@ struct GcStats {
   uint64_t reclaimed_bytes = 0;
 };
 
+// What Recover() found on media and what it decided about it. A crash can
+// tear at most the log tail, so bytes_truncated/torn_segments are expected
+// after an unclean shutdown; corrupt_records_skipped > 0 means mid-log
+// checksum damage (bad media, not a crash).
+struct RecoveryReport {
+  uint64_t segments_scanned = 0;        // segments with a valid header
+  uint64_t records_adopted = 0;         // records replayed to the visitor
+  uint64_t bytes_adopted = 0;           // record bytes adopted (incl. skipped)
+  uint64_t bytes_truncated = 0;         // torn-tail bytes discarded
+  uint64_t corrupt_records_skipped = 0; // framed records failing checksum
+  uint64_t torn_segments = 0;           // segments with a torn tail/header
+  std::string ToString() const;
+};
+
 // Deuteronomy-LLAMA-style log-structured store (paper §6.1, Fig. 4/5):
 // variable-size page images accumulate in a large in-memory write buffer
 // and reach the device in one large write per segment, shrinking both the
@@ -123,8 +137,20 @@ class LogStructuredStore {
   // Rebuilds segment directory and replays records after a restart. Calls
   // the visitor with each record in log order (last call per pid wins).
   // Only sealed (on-device) segments are recoverable, by construction.
+  //
+  // Torn-tail tolerant: each segment is adopted up to its last record with
+  // a valid checksum; everything after it (a torn tail from a crash mid
+  // segment-write) is truncated. A checksum-failed record *before* later
+  // valid ones is skipped and marked dead — its page either has a newer
+  // image (adopted) or is genuinely lost (surfaced by the caller, not by
+  // failing the whole recovery). The report (also kept, see
+  // last_recovery_report) says exactly what was kept and dropped.
   Status Recover(
-      const std::function<void(PageId, FlashAddress, const Slice&)>& visitor);
+      const std::function<void(PageId, FlashAddress, const Slice&)>& visitor,
+      RecoveryReport* report = nullptr);
+
+  // Report from the most recent Recover() call (zeroes before any).
+  RecoveryReport last_recovery_report() const;
 
   LogStoreStats stats() const;
   std::vector<SegmentInfo> segments() const;
@@ -165,6 +191,7 @@ class LogStructuredStore {
   std::map<uint64_t, SegmentInfo> directory_ GUARDED_BY(mu_);
 
   LogStoreStats stats_ GUARDED_BY(mu_);
+  RecoveryReport recovery_report_ GUARDED_BY(mu_);
 };
 
 }  // namespace costperf::llama

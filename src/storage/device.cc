@@ -12,22 +12,9 @@ SsdDevice::SsdDevice(SsdOptions options)
     : options_(options),
       clock_(options.clock ? options.clock : RealClock::Global()),
       path_(options.path_options),
-      limiter_(clock_, options.max_iops),
-      error_rng_(options.error_seed ? options.error_seed : 1) {}
+      limiter_(clock_, options.max_iops) {}
 
 SsdDevice::~SsdDevice() = default;
-
-bool SsdDevice::InjectError(double rate) {
-  if (rate <= 0.0) return false;
-  uint64_t x = error_rng_.load(std::memory_order_relaxed);
-  x ^= x >> 12;
-  x ^= x << 25;
-  x ^= x >> 27;
-  error_rng_.store(x, std::memory_order_relaxed);
-  double u = static_cast<double>((x * 0x2545F4914F6CDD1Dull) >> 11) *
-             (1.0 / 9007199254740992.0);
-  return u < rate;
-}
 
 Status SsdDevice::ChargeIo(bool is_read, char* transfer, size_t bytes) {
   // 1. CPU execution cost of the I/O path (the paper's key SS-op cost).
@@ -52,9 +39,12 @@ Status SsdDevice::Read(uint64_t offset, size_t len, char* dst) {
   if (offset + len > options_.capacity_bytes) {
     return Status::OutOfRange("read beyond device capacity");
   }
-  if (InjectError(options_.read_error_rate)) {
-    injected_read_errors_.fetch_add(1, std::memory_order_relaxed);
-    return Status::IoError("injected read error");
+  if (IoFaultHook* hook = fault_hook_.load(std::memory_order_acquire)) {
+    Status s = hook->OnRead(offset, len);
+    if (!s.ok()) {
+      injected_read_errors_.fetch_add(1, std::memory_order_relaxed);
+      return s;
+    }
   }
   reads_.fetch_add(1, std::memory_order_relaxed);
   bytes_read_.fetch_add(len, std::memory_order_relaxed);
@@ -85,30 +75,58 @@ Status SsdDevice::Write(uint64_t offset, const Slice& data) {
   if (offset + data.size() > options_.capacity_bytes) {
     return Status::OutOfRange("write beyond device capacity");
   }
-  if (InjectError(options_.write_error_rate)) {
-    injected_write_errors_.fetch_add(1, std::memory_order_relaxed);
-    return Status::IoError("injected write error");
+  // Default verdict: admit everything, no corruption, success.
+  IoFaultHook::WriteOutcome verdict;
+  if (IoFaultHook* hook = fault_hook_.load(std::memory_order_acquire)) {
+    verdict = hook->OnWrite(offset, data.size());
   }
+  const size_t admit = std::min(verdict.admit_bytes, data.size());
+  if (!verdict.status.ok()) {
+    injected_write_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (admit == 0 && !verdict.status.ok()) {
+    // Fully rejected write: like the read path, nothing moved and nothing
+    // is charged or counted.
+    return verdict.status;
+  }
+
+  // Corrupted writes stage the payload so caller data stays untouched.
+  Slice payload(data.data(), admit);
+  std::string corrupted;
+  if (!verdict.bit_flips.empty()) {
+    corrupted.assign(data.data(), admit);
+    for (const auto& [at, mask] : verdict.bit_flips) {
+      if (at < admit) corrupted[at] = static_cast<char>(corrupted[at] ^ mask);
+    }
+    payload = Slice(corrupted);
+  }
+
   writes_.fetch_add(1, std::memory_order_relaxed);
-  bytes_written_.fetch_add(data.size(), std::memory_order_relaxed);
+  bytes_written_.fetch_add(admit, std::memory_order_relaxed);
 
   {
     WriterMutexLock lk(&mu_);
     size_t done = 0;
-    while (done < data.size()) {
+    while (done < payload.size()) {
       uint64_t pos = offset + done;
       uint64_t chunk_id = pos / kChunkBytes;
       uint64_t in_chunk = pos % kChunkBytes;
-      size_t n = std::min<uint64_t>(data.size() - done, kChunkBytes - in_chunk);
+      size_t n =
+          std::min<uint64_t>(payload.size() - done, kChunkBytes - in_chunk);
       auto& chunk = chunks_[chunk_id];
       if (chunk == nullptr) {
         chunk = std::make_unique<Chunk>();
         chunk->data.assign(kChunkBytes, 0);
         occupied_bytes_.fetch_add(kChunkBytes, std::memory_order_relaxed);
       }
-      memcpy(chunk->data.data() + in_chunk, data.data() + done, n);
+      memcpy(chunk->data.data() + in_chunk, payload.data() + done, n);
       done += n;
     }
+  }
+  if (!verdict.status.ok()) {
+    // Torn write: the prefix reached media but the device "died" before
+    // acknowledging — no cost accounting for an I/O that never completed.
+    return verdict.status;
   }
   // The path simulator may scribble through a copy on the OS path; pass a
   // scratch view so caller data is untouched.

@@ -41,13 +41,34 @@ struct SsdOptions {
   // the wait is accounted in stats but not slept, matching the paper's
   // "core execution time" measure which excludes I/O waiting.
   bool sleep_on_throttle = false;
-  // Failure injection for tests: probability of a read/write returning
-  // IoError.
-  double read_error_rate = 0.0;
-  double write_error_rate = 0.0;
-  uint64_t error_seed = 0xbadc0ffee;
   // Time source; defaults to RealClock::Global().
   Clock* clock = nullptr;
+};
+
+// Fault-injection hook consulted on every I/O when attached (see
+// fault/fault_injector.h for the scriptable implementation). Implementations
+// must be thread-safe: SsdDevice calls them concurrently from every I/O
+// thread. The device itself pays a single atomic pointer load per I/O when
+// no hook is attached.
+class IoFaultHook {
+ public:
+  virtual ~IoFaultHook() = default;
+
+  // Consulted before a read transfers data. A non-OK status fails the read:
+  // no bytes move, no I/O is charged, and the status is returned verbatim.
+  virtual Status OnRead(uint64_t offset, size_t len) = 0;
+
+  // Verdict for one write. `admit_bytes` is how much of the payload reaches
+  // media before `status` is returned — the torn-write model: a crash mid
+  // write persists a prefix and the caller sees the error. `bit_flips` are
+  // XOR masks applied to admitted bytes (offset relative to this write),
+  // modelling media corruption of data the device claimed to accept.
+  struct WriteOutcome {
+    Status status = Status::Ok();
+    size_t admit_bytes = ~size_t{0};  // clamped to the payload size
+    std::vector<std::pair<size_t, uint8_t>> bit_flips;
+  };
+  virtual WriteOutcome OnWrite(uint64_t offset, size_t len) = 0;
 };
 
 // Monotonic device counters. Plain struct snapshot for reporting.
@@ -99,6 +120,17 @@ class SsdDevice {
   void set_io_path(IoPathKind kind) { options_.io_path = kind; }
   IoPathKind io_path() const { return options_.io_path; }
 
+  // Attaches (or, with nullptr, detaches) a fault hook. The hook must
+  // outlive every in-flight I/O issued after attachment; detach before
+  // destroying it. Runtime-settable so tests arm faults against a live
+  // device mid-workload.
+  void set_fault_hook(IoFaultHook* hook) {
+    fault_hook_.store(hook, std::memory_order_release);
+  }
+  IoFaultHook* fault_hook() const {
+    return fault_hook_.load(std::memory_order_acquire);
+  }
+
   // Observed IOPS capability of this device configuration, measured by
   // issuing a saturation burst (used by calibration).
   double MeasureIops(uint64_t probe_ios = 10'000);
@@ -112,7 +144,6 @@ class SsdDevice {
 
   // Charges the non-media costs of one I/O touching `bytes`.
   Status ChargeIo(bool is_read, char* transfer, size_t bytes);
-  bool InjectError(double rate);
 
   SsdOptions options_;
   Clock* clock_;
@@ -130,7 +161,9 @@ class SsdDevice {
   std::atomic<uint64_t> service_nanos_{0};
   std::atomic<uint64_t> injected_read_errors_{0}, injected_write_errors_{0};
   std::atomic<uint64_t> occupied_bytes_{0};
-  std::atomic<uint64_t> error_rng_;
+
+  // Single pointer load on the hot path; null when no faults are armed.
+  std::atomic<IoFaultHook*> fault_hook_{nullptr};
 };
 
 }  // namespace costperf::storage

@@ -232,14 +232,24 @@ Status TransactionComponent::WriteOne(const Slice& key, const Slice& value) {
 }
 
 Status TransactionComponent::RecoverFromLog() {
+  s_log_replays_.fetch_add(1, std::memory_order_relaxed);
   Status out = Status::Ok();
+  uint64_t max_ts = 0;
   log_->ReplayDurable([&](const RedoRecord& r) {
     Status s = r.is_delete ? dc_->Delete(Slice(r.key), r.commit_ts)
                            : dc_->Put(Slice(r.key), Slice(r.value),
                                       r.commit_ts);
     if (!s.ok()) out = s;
+    if (r.commit_ts > max_ts) max_ts = r.commit_ts;
     s_blind_posts_.fetch_add(1, std::memory_order_relaxed);
   });
+  // New commits must timestamp strictly after every replayed update, or
+  // the DC's newest-wins merge would discard them as stale.
+  uint64_t cur = next_ts_.load(std::memory_order_relaxed);
+  while (cur <= max_ts &&
+         !next_ts_.compare_exchange_weak(cur, max_ts + 1,
+                                         std::memory_order_relaxed)) {
+  }
   return out;
 }
 
@@ -338,6 +348,7 @@ TcStats TransactionComponent::stats() const {
   s.reads_from_dc = s_dc_reads_.load(std::memory_order_relaxed);
   s.blind_posts_to_dc = s_blind_posts_.load(std::memory_order_relaxed);
   s.versions_pruned = s_pruned_.load(std::memory_order_relaxed);
+  s.log_replays = s_log_replays_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -72,6 +72,7 @@ struct TcStats {
   uint64_t reads_from_dc = 0;
   uint64_t blind_posts_to_dc = 0;
   uint64_t versions_pruned = 0;
+  uint64_t log_replays = 0;  // RecoverFromLog() invocations
 };
 
 class TransactionComponent;
@@ -126,6 +127,12 @@ class TransactionComponent {
 
   // Replays the durable log into the DC (restart path; §6.2 notes updates
   // are handled identically during normal operation and recovery).
+  // Idempotent: records are posted at their original commit timestamps
+  // and the DC merges timestamped updates newest-wins with ties keeping
+  // the already-applied version, so replaying the same log again (e.g. a
+  // crash mid-recovery followed by a second recovery) is a no-op on DC
+  // state. Also re-arms next_ts_ past the highest replayed commit_ts so
+  // post-recovery transactions cannot reuse replayed timestamps.
   Status RecoverFromLog();
 
   // Prunes posted, globally-visible old versions.
@@ -178,7 +185,8 @@ class TransactionComponent {
 
   mutable std::atomic<uint64_t> s_begun_{0}, s_committed_{0}, s_aborted_{0},
       s_conflicts_{0}, s_reads_{0}, s_writes_{0}, s_vs_hits_{0},
-      s_rc_hits_{0}, s_dc_reads_{0}, s_blind_posts_{0}, s_pruned_{0};
+      s_rc_hits_{0}, s_dc_reads_{0}, s_blind_posts_{0}, s_pruned_{0},
+      s_log_replays_{0};
 };
 
 }  // namespace costperf::tc

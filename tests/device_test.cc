@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault_injector.h"
+
 namespace costperf::storage {
 namespace {
 
@@ -92,28 +94,33 @@ TEST(DeviceTest, PartialChunkTrimKeepsChunk) {
 }
 
 TEST(DeviceTest, ReadErrorInjection) {
-  SsdOptions o = TestOptions();
-  o.read_error_rate = 1.0;
-  SsdDevice dev(o);
+  SsdDevice dev(TestOptions());
+  fault::FaultInjector fi;
+  fi.Attach(&dev);
+  fi.set_read_error_rate(1.0);
   std::vector<char> buf(16);
   Status s = dev.Read(0, 16, buf.data());
   EXPECT_TRUE(s.IsIoError());
   EXPECT_EQ(dev.stats().injected_read_errors, 1u);
   EXPECT_EQ(dev.stats().reads, 0u) << "failed reads are not counted";
+  EXPECT_EQ(dev.stats().bytes_read, 0u);
 }
 
 TEST(DeviceTest, WriteErrorInjection) {
-  SsdOptions o = TestOptions();
-  o.write_error_rate = 1.0;
-  SsdDevice dev(o);
+  SsdDevice dev(TestOptions());
+  fault::FaultInjector fi;
+  fi.Attach(&dev);
+  fi.set_write_error_rate(1.0);
   EXPECT_TRUE(dev.Write(0, Slice("x")).IsIoError());
   EXPECT_EQ(dev.stats().injected_write_errors, 1u);
+  EXPECT_EQ(dev.stats().writes, 0u) << "rejected writes are not counted";
 }
 
 TEST(DeviceTest, PartialErrorRateIsPartial) {
-  SsdOptions o = TestOptions();
-  o.read_error_rate = 0.5;
-  SsdDevice dev(o);
+  SsdDevice dev(TestOptions());
+  fault::FaultInjector fi(7);
+  fi.Attach(&dev);
+  fi.set_read_error_rate(0.5);
   std::vector<char> buf(8);
   int errors = 0;
   for (int i = 0; i < 1000; ++i) {
@@ -121,6 +128,50 @@ TEST(DeviceTest, PartialErrorRateIsPartial) {
   }
   EXPECT_GT(errors, 300);
   EXPECT_LT(errors, 700);
+}
+
+TEST(DeviceTest, DetachRestoresHealthyDevice) {
+  SsdDevice dev(TestOptions());
+  fault::FaultInjector fi;
+  fi.Attach(&dev);
+  fi.set_read_error_rate(1.0);
+  std::vector<char> buf(8);
+  ASSERT_TRUE(dev.Read(0, 8, buf.data()).IsIoError());
+  fi.Detach();
+  EXPECT_TRUE(dev.Read(0, 8, buf.data()).ok());
+}
+
+TEST(DeviceTest, TornWritePersistsPrefixOnly) {
+  SsdDevice dev(TestOptions());
+  std::string before(64, 'a');
+  ASSERT_TRUE(dev.Write(0, Slice(before)).ok());
+  fault::FaultInjector fi;
+  fi.Attach(&dev);
+  fi.ScheduleCrash(/*writes=*/0, /*torn_fraction=*/0.5);
+  std::string after(64, 'b');
+  EXPECT_TRUE(dev.Write(0, Slice(after)).IsIoError());
+  fi.ClearCrash();
+  // First half is the new data, second half still the old.
+  std::vector<char> buf(64);
+  ASSERT_TRUE(dev.Read(0, 64, buf.data()).ok());
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(buf[i], 'b') << i;
+  for (int i = 32; i < 64; ++i) EXPECT_EQ(buf[i], 'a') << i;
+}
+
+TEST(DeviceTest, BitFlipCorruptionIsSilent) {
+  SsdDevice dev(TestOptions());
+  fault::FaultInjector fi(11);
+  fi.Attach(&dev);
+  fi.ArmWriteCorruption(/*p=*/1.0, /*bits=*/1);
+  std::string data(256, '\0');
+  ASSERT_TRUE(dev.Write(0, Slice(data)).ok()) << "corruption is silent";
+  std::vector<char> buf(256);
+  ASSERT_TRUE(dev.Read(0, 256, buf.data()).ok());
+  int flipped = 0;
+  for (char c : buf) {
+    if (c != '\0') ++flipped;
+  }
+  EXPECT_EQ(flipped, 1) << "exactly one byte carries the flipped bit";
 }
 
 TEST(DeviceTest, IoPathSwitchAffectsPathUnits) {

@@ -1,0 +1,136 @@
+#include "fault/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace costperf::fault {
+namespace {
+
+storage::SsdOptions TestDevice() {
+  storage::SsdOptions o;
+  o.capacity_bytes = 16ull << 20;
+  o.max_iops = 0;
+  return o;
+}
+
+TEST(FaultInjectorTest, ScheduledCrashFiresAfterExactWriteCount) {
+  storage::SsdDevice dev(TestDevice());
+  FaultInjector fi;
+  fi.Attach(&dev);
+  fi.ScheduleCrash(/*writes=*/3, /*torn_fraction=*/0.0);
+  std::string data(512, 'w');
+  // Three writes are admitted...
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(dev.Write(i * 1024, Slice(data)).ok()) << i;
+    EXPECT_FALSE(fi.crashed());
+  }
+  // ...the fourth is the crash point.
+  EXPECT_TRUE(dev.Write(3 * 1024, Slice(data)).IsIoError());
+  EXPECT_TRUE(fi.crashed());
+  EXPECT_EQ(fi.stats().torn_writes, 1u);
+  // Fail-stop: every I/O after the crash fails.
+  std::vector<char> buf(16);
+  EXPECT_TRUE(dev.Read(0, 16, buf.data()).IsIoError());
+  EXPECT_TRUE(dev.Write(0, Slice("x")).IsIoError());
+  EXPECT_EQ(fi.stats().post_crash_ios, 2u);
+}
+
+TEST(FaultInjectorTest, ClearCrashRebootsOntoHealthyMedia) {
+  storage::SsdDevice dev(TestDevice());
+  FaultInjector fi;
+  fi.Attach(&dev);
+  fi.set_read_error_rate(1.0);
+  fi.ScheduleCrash(0, 0.0);
+  EXPECT_TRUE(dev.Write(0, Slice("x")).IsIoError());
+  ASSERT_TRUE(fi.crashed());
+  fi.ClearCrash();
+  EXPECT_FALSE(fi.crashed());
+  // The reboot also disarmed the read-error rate: recovery runs against
+  // healthy media unless faults are re-armed.
+  std::vector<char> buf(4);
+  EXPECT_TRUE(dev.Read(0, 4, buf.data()).ok());
+  EXPECT_TRUE(dev.Write(0, Slice("y")).ok());
+}
+
+TEST(FaultInjectorTest, TornFractionAdmitsPrefix) {
+  storage::SsdDevice dev(TestDevice());
+  FaultInjector fi;
+  fi.Attach(&dev);
+  fi.ScheduleCrash(0, /*torn_fraction=*/0.25);
+  std::string data(1000, 't');
+  EXPECT_TRUE(dev.Write(0, Slice(data)).IsIoError());
+  fi.ClearCrash();
+  std::vector<char> buf(1000);
+  ASSERT_TRUE(dev.Read(0, 1000, buf.data()).ok());
+  for (int i = 0; i < 250; ++i) ASSERT_EQ(buf[i], 't') << i;
+  for (int i = 250; i < 1000; ++i) ASSERT_EQ(buf[i], '\0') << i;
+}
+
+TEST(FaultInjectorTest, SameSeedSameIoSequenceReplaysIdentically) {
+  auto run = [](uint64_t seed) {
+    storage::SsdDevice dev(TestDevice());
+    FaultInjector fi(seed);
+    fi.Attach(&dev);
+    fi.set_write_error_rate(0.5);
+    std::vector<bool> outcomes;
+    std::string data(64, 'd');
+    for (int i = 0; i < 200; ++i) {
+      outcomes.push_back(dev.Write(i * 64, Slice(data)).ok());
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(42), run(42)) << "same seed must replay the same plan";
+  EXPECT_NE(run(42), run(43)) << "different seeds must differ";
+}
+
+TEST(FaultInjectorTest, PersistentFailureHoldsUntilCleared) {
+  storage::SsdDevice dev(TestDevice());
+  FaultInjector fi;
+  fi.Attach(&dev);
+  fi.set_persistent_write_failure(true);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(dev.Write(0, Slice("x")).IsIoError()) << i;
+  }
+  EXPECT_EQ(fi.stats().write_errors, 5u);
+  fi.set_persistent_write_failure(false);
+  EXPECT_TRUE(dev.Write(0, Slice("x")).ok());
+}
+
+TEST(FaultInjectorTest, ResetDisarmsButKeepsStats) {
+  storage::SsdDevice dev(TestDevice());
+  FaultInjector fi;
+  fi.Attach(&dev);
+  fi.set_read_error_rate(1.0);
+  std::vector<char> buf(4);
+  EXPECT_TRUE(dev.Read(0, 4, buf.data()).IsIoError());
+  fi.Reset();
+  EXPECT_TRUE(dev.Read(0, 4, buf.data()).ok());
+  EXPECT_EQ(fi.stats().read_errors, 1u) << "Reset keeps the stats";
+  EXPECT_EQ(fi.stats().reads_seen, 2u);
+}
+
+TEST(FaultInjectorTest, CorruptRangeFlipsBitsInPlace) {
+  storage::SsdDevice dev(TestDevice());
+  FaultInjector fi(5);
+  fi.Attach(&dev);
+  std::string data(4096, 'q');
+  ASSERT_TRUE(dev.Write(0, Slice(data)).ok());
+  ASSERT_TRUE(fi.CorruptRange(1024, 512, /*bits=*/4).ok());
+  std::vector<char> buf(4096);
+  ASSERT_TRUE(dev.Read(0, 4096, buf.data()).ok());
+  int diffs = 0;
+  for (int i = 0; i < 4096; ++i) {
+    if (buf[i] != 'q') {
+      EXPECT_GE(i, 1024);
+      EXPECT_LT(i, 1536);
+      ++diffs;
+    }
+  }
+  EXPECT_GE(diffs, 1);
+  EXPECT_LE(diffs, 4);
+}
+
+}  // namespace
+}  // namespace costperf::fault

@@ -1,0 +1,140 @@
+#include "common/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace costperf {
+namespace {
+
+// Policy with an injected sleep recorder: tests observe the exact backoff
+// sequence instead of waiting it out.
+RetryPolicy RecordingPolicy(std::vector<uint64_t>* sleeps) {
+  RetryPolicy p;
+  p.max_attempts = 4;
+  p.initial_backoff_nanos = 100;
+  p.multiplier = 2.0;
+  p.jitter = 0.0;  // deterministic backoffs
+  p.sleep = [sleeps](uint64_t nanos) { sleeps->push_back(nanos); };
+  return p;
+}
+
+TEST(RetryTest, TransientClassification) {
+  EXPECT_TRUE(IsTransientError(Status::IoError("disk glitch")));
+  EXPECT_TRUE(IsTransientError(Status::Unavailable("busy")));
+  EXPECT_FALSE(IsTransientError(Status::Ok()));
+  EXPECT_FALSE(IsTransientError(Status::Corruption("bad crc")));
+  EXPECT_FALSE(IsTransientError(Status::Aborted("cas lost")));
+  EXPECT_FALSE(IsTransientError(Status::NotFound()));
+}
+
+TEST(RetryTest, SucceedsFirstTryWithoutSleeping) {
+  std::vector<uint64_t> sleeps;
+  RetryStats stats;
+  int calls = 0;
+  Status s = RetryTransient(RecordingPolicy(&sleeps), [&]() {
+    ++calls;
+    return Status::Ok();
+  }, &stats);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(sleeps.empty());
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_FALSE(stats.gave_up);
+}
+
+TEST(RetryTest, ExponentialBackoffSequence) {
+  std::vector<uint64_t> sleeps;
+  RetryStats stats;
+  int calls = 0;
+  Status s = RetryTransient(RecordingPolicy(&sleeps), [&]() {
+    ++calls;
+    return Status::IoError("always");
+  }, &stats);
+  EXPECT_TRUE(s.IsIoError());
+  EXPECT_EQ(calls, 4);
+  // 3 sleeps between 4 attempts, doubling from 100ns, no jitter.
+  ASSERT_EQ(sleeps.size(), 3u);
+  EXPECT_EQ(sleeps[0], 100u);
+  EXPECT_EQ(sleeps[1], 200u);
+  EXPECT_EQ(sleeps[2], 400u);
+  EXPECT_EQ(stats.retries, 3u);
+  EXPECT_EQ(stats.backoff_nanos, 700u);
+  EXPECT_TRUE(stats.gave_up);
+}
+
+TEST(RetryTest, SucceedsMidSequence) {
+  std::vector<uint64_t> sleeps;
+  RetryStats stats;
+  int calls = 0;
+  Status s = RetryTransient(RecordingPolicy(&sleeps), [&]() {
+    ++calls;
+    return calls < 3 ? Status::IoError("flaky") : Status::Ok();
+  }, &stats);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_FALSE(stats.gave_up);
+}
+
+TEST(RetryTest, NonTransientErrorsReturnImmediately) {
+  std::vector<uint64_t> sleeps;
+  int calls = 0;
+  Status s = RetryTransient(RecordingPolicy(&sleeps), [&]() {
+    ++calls;
+    return Status::Corruption("never retry this");
+  });
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(calls, 1) << "corruption must not be retried";
+  EXPECT_TRUE(sleeps.empty());
+}
+
+TEST(RetryTest, JitterShrinksBackoffDeterministically) {
+  std::vector<uint64_t> sleeps1, sleeps2;
+  RetryPolicy p = RecordingPolicy(&sleeps1);
+  p.jitter = 0.5;
+  auto fail = []() { return Status::IoError("x"); };
+  (void)RetryTransient(p, fail);
+  p.sleep = [&sleeps2](uint64_t nanos) { sleeps2.push_back(nanos); };
+  (void)RetryTransient(p, fail);
+  // Same seed + salt => identical jittered sequence; every backoff lands
+  // in ((1-jitter)*base, base].
+  EXPECT_EQ(sleeps1, sleeps2);
+  ASSERT_EQ(sleeps1.size(), 3u);
+  uint64_t base = 100;
+  for (uint64_t nanos : sleeps1) {
+    EXPECT_GT(nanos, base / 2);
+    EXPECT_LE(nanos, base);
+    base *= 2;
+  }
+}
+
+TEST(RetryTest, SaltVariesTheJitterStream) {
+  std::vector<uint64_t> a, b;
+  RetryPolicy p;
+  p.max_attempts = 4;
+  p.initial_backoff_nanos = 1'000'000;
+  p.jitter = 0.9;
+  auto fail = []() { return Status::IoError("x"); };
+  p.sleep = [&a](uint64_t nanos) { a.push_back(nanos); };
+  (void)RetryTransient(p, fail, nullptr, /*seed_salt=*/1);
+  p.sleep = [&b](uint64_t nanos) { b.push_back(nanos); };
+  (void)RetryTransient(p, fail, nullptr, /*seed_salt=*/2);
+  EXPECT_NE(a, b) << "different salts must decorrelate concurrent retriers";
+}
+
+TEST(RetryTest, ZeroAttemptsStillRunsOnce) {
+  RetryPolicy p;
+  p.max_attempts = 0;
+  p.sleep = [](uint64_t) {};
+  int calls = 0;
+  Status s = RetryTransient(p, [&]() {
+    ++calls;
+    return Status::IoError("x");
+  });
+  EXPECT_TRUE(s.IsIoError());
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace costperf

@@ -179,6 +179,40 @@ TEST_F(TcTest, RecoveryReplaysCommittedTransactions) {
   EXPECT_TRUE(dc2.Get("b").status().IsNotFound());
 }
 
+TEST_F(TcTest, RecoveryReplayIsIdempotent) {
+  ASSERT_TRUE(tc_->WriteOne("a", "1").ok());
+  Transaction* t = tc_->Begin();
+  tc_->Write(t, "a", "2");
+  tc_->Write(t, "c", "3");
+  tc_->Delete(t, "a");
+  ASSERT_TRUE(tc_->Commit(t).ok());
+
+  storage::SsdOptions dev;
+  dev.capacity_bytes = 128ull << 20;
+  dev.max_iops = 0;
+  storage::SsdDevice device2(dev);
+  llama::LogStructuredStore log2(&device2);
+  bwtree::BwTreeOptions topts;
+  topts.log_store = &log2;
+  bwtree::BwTree dc2(topts);
+  TransactionComponent tc2(&dc2, recovery_log_.get());
+
+  // Replaying twice — a crash mid-recovery followed by a second recovery
+  // — must leave the DC exactly as one replay does: posts carry their
+  // original commit timestamps and the DC merges newest-wins, keeping the
+  // first-applied version on timestamp ties.
+  ASSERT_TRUE(tc2.RecoverFromLog().ok());
+  ASSERT_TRUE(tc2.RecoverFromLog().ok());
+  EXPECT_TRUE(dc2.Get("a").status().IsNotFound());
+  EXPECT_EQ(*dc2.Get("c"), "3");
+  EXPECT_EQ(tc2.stats().log_replays, 2u);
+
+  // Replay re-armed the timestamp clock: a post-recovery commit must win
+  // over every replayed version, not be discarded as stale.
+  ASSERT_TRUE(tc2.WriteOne("c", "post-recovery").ok());
+  EXPECT_EQ(*dc2.Get("c"), "post-recovery");
+}
+
 TEST_F(TcTest, RecoveryIgnoresUnflushedCommits) {
   RecoveryLog log;
   log.AppendCommit({RedoRecord{1, 10, false, "x", "durable"}});
