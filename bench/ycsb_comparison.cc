@@ -17,6 +17,7 @@
 // hardware.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench/bench_util.h"
 #include "core/memory_store.h"
@@ -250,6 +251,78 @@ int RunThreadSweep() {
   return 0;
 }
 
+// Smoke sweep for scripts/bench_smoke.sh: the thread sweep restricted to
+// an *in-cache* read-heavy mix (YCSB-C, unbounded budget), with one JSON
+// row per thread count so successive PRs can diff the scaling trajectory.
+// Every store-side mutex is off the read path here, so this sweep is the
+// direct measure of hot-path serialization (cache Touch, shard routing).
+int RunSmokeJson(const char* path) {
+  constexpr uint64_t kSmokeRecords = 20'000;
+  // Total ops, split across threads. Large enough that one row runs for
+  // hundreds of milliseconds — on a core-limited host the 8-thread wall
+  // number is otherwise dominated by scheduler jitter.
+  constexpr uint64_t kSmokeOps = 320'000;
+
+  FILE* out = fopen(path, "w");
+  if (out == nullptr) {
+    fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  fprintf(out,
+          "{\n  \"bench\": \"smoke_in_cache_read_heavy\",\n"
+          "  \"workload\": \"ycsb-c\",\n  \"records\": %llu,\n"
+          "  \"total_ops\": %llu,\n  \"shards\": %zu,\n  \"sweep\": [\n",
+          (unsigned long long)kSmokeRecords, (unsigned long long)kSmokeOps,
+          kShards);
+  printf("smoke: in-cache YCSB-C sweep -> %s\n", path);
+  printf("%7s | %12s %12s %12s | %8s %8s\n", "threads", "wall ops/s",
+         "cpu ops/s", "aggregate", "p50us", "p99us");
+
+  bool first = true;
+  for (int threads : {1, 2, 4, 8}) {
+    core::CachingStoreOptions opts;
+    opts.memory_budget_bytes = 0;  // unbounded: fully in-cache
+    opts.device.capacity_bytes = 256ull << 20;
+    opts.device.max_iops = 0;
+    opts.maintenance_interval_ops = 128;
+    // Sampled recency: with an unbounded budget eviction never consults
+    // ticks, so only the CLOCK reference bit matters — skip 15/16 of the
+    // hot-path clock reads.
+    opts.cache_touch_sample = 16;
+    auto store = core::ShardedStore::OfCaching(kShards, opts);
+
+    workload::RunnerOptions ropts;
+    ropts.threads = threads;
+    ropts.ops_per_thread = kSmokeOps / threads;
+    ropts.latency_sample = 8;  // p50/p99 from 1-in-8 sampled ops
+    workload::Runner runner(store.get(),
+                            workload::WorkloadSpec::YcsbC(kSmokeRecords),
+                            ropts);
+    workload::RunReport r = runner.LoadAndRun();
+    if (r.failed_ops > 0) {
+      fprintf(stderr, "smoke: %llu failed ops at %d threads\n",
+              (unsigned long long)r.failed_ops, threads);
+      fclose(out);
+      return 1;
+    }
+    printf("%7d | %12.0f %12.0f %12.0f | %8.1f %8.1f\n", threads,
+           r.ops_per_wall_sec, r.ops_per_cpu_sec,
+           r.modeled_parallel_ops_per_sec, r.p50_micros, r.p99_micros);
+    fprintf(out,
+            "%s    {\"threads\": %d, \"ops_per_wall_sec\": %.0f, "
+            "\"ops_per_cpu_sec\": %.0f, "
+            "\"modeled_parallel_ops_per_sec\": %.0f, "
+            "\"p50_micros\": %.2f, \"p99_micros\": %.2f}",
+            first ? "" : ",\n", threads, r.ops_per_wall_sec,
+            r.ops_per_cpu_sec, r.modeled_parallel_ops_per_sec, r.p50_micros,
+            r.p99_micros);
+    first = false;
+  }
+  fprintf(out, "\n  ]\n}\n");
+  fclose(out);
+  return 0;
+}
+
 int Run() {
   int rc = RunSingleThreadMixes();
   if (rc != 0) return rc;
@@ -259,4 +332,11 @@ int Run() {
 }  // namespace
 }  // namespace costperf
 
-int main() { return costperf::Run(); }
+int main() {
+  // COSTPERF_SMOKE_JSON=<path>: run only the in-cache smoke sweep and emit
+  // machine-readable results (scripts/bench_smoke.sh uses this).
+  if (const char* path = std::getenv("COSTPERF_SMOKE_JSON")) {
+    return costperf::RunSmokeJson(path);
+  }
+  return costperf::Run();
+}

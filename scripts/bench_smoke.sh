@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# In-cache read-heavy smoke benchmark: builds the Release bench binary
+# and runs the YCSB-C thread sweep ({1,2,4,8} threads, unbounded memory
+# budget), emitting machine-readable per-thread-count results so
+# successive PRs can diff the hot-path scaling trajectory.
+#
+# Usage: scripts/bench_smoke.sh [output.json]
+#   default output: BENCH_smoke.json in the repo root
+#
+# The sweep is wall-clock sensitive; run it on an otherwise idle host.
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUT="${1:-$ROOT/BENCH_smoke.json}"
+JOBS="${JOBS:-$(nproc)}"
+DIR="$ROOT/build-bench"
+
+cmake -S "$ROOT" -B "$DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$DIR" --target ycsb_comparison -j "$JOBS" >/dev/null
+
+COSTPERF_SMOKE_JSON="$OUT" "$DIR/bench/ycsb_comparison"
+echo "wrote $OUT"

@@ -7,6 +7,9 @@
 #
 # Usage: scripts/check.sh [lane...]
 #   lanes: plain analyze asan tsan ubsan   (default: all)
+#   plus the opt-in `bench` lane (never run by default: wall-clock
+#   sensitive), which runs scripts/bench_smoke.sh and leaves its
+#   BENCH_smoke.json at the repo root.
 set -u
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -93,8 +96,15 @@ for lane in "${LANES[@]}"; do
     ubsan)
       run_lane ubsan -DCMAKE_BUILD_TYPE=Debug -DCOSTPERF_SANITIZE=undefined
       ;;
+    bench)
+      echo
+      echo "=== lane: bench ==="
+      if ! "$ROOT/scripts/bench_smoke.sh"; then
+        failures+=("bench (smoke)")
+      fi
+      ;;
     *)
-      echo "unknown lane '$lane' (want: plain analyze asan tsan ubsan)" >&2
+      echo "unknown lane '$lane' (want: plain analyze asan tsan ubsan bench)" >&2
       exit 2
       ;;
   esac

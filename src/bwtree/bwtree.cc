@@ -226,7 +226,10 @@ PageId BwTree::DescendToLeaf(const Slice& key, std::vector<PageId>* path) {
     // fences are always maintained (split installs, merge deltas); a
     // descent through a stale parent is corrected by the leaf hop below.
     size_t idx = std::upper_bound(inner->seps.begin(), inner->seps.end(),
-                                  key.ToString()) -
+                                  key,
+                                  [](const Slice& k, const std::string& s) {
+                                    return k.compare(Slice(s)) < 0;
+                                  }) -
                  inner->seps.begin();
     if (path != nullptr) path->push_back(pid);
     pid = inner->children[idx];
@@ -272,8 +275,10 @@ bool BwTree::SearchResidentChain(Node* head, const Slice& key, bool* found,
           return true;
         }
         auto* base = static_cast<LeafBase*>(n);
-        auto it = std::lower_bound(base->keys.begin(), base->keys.end(),
-                                   key.ToString());
+        auto it = std::lower_bound(base->keys.begin(), base->keys.end(), key,
+                                   [](const std::string& s, const Slice& k) {
+                                     return Slice(s).compare(k) < 0;
+                                   });
         if (it != base->keys.end() && Slice(*it) == key) {
           *found = true;
           *value = base->values[it - base->keys.begin()];
@@ -303,8 +308,10 @@ bool BwTree::SearchResidentChain(Node* head, const Slice& key, bool* found,
             return true;
           }
           auto it = std::lower_bound(m->right_base->keys.begin(),
-                                     m->right_base->keys.end(),
-                                     key.ToString());
+                                     m->right_base->keys.end(), key,
+                                     [](const std::string& s, const Slice& k) {
+                                       return Slice(s).compare(k) < 0;
+                                     });
           if (it != m->right_base->keys.end() && Slice(*it) == key) {
             *found = true;
             *value = m->right_base->values[it - m->right_base->keys.begin()];
@@ -329,11 +336,22 @@ bool BwTree::SearchResidentChain(Node* head, const Slice& key, bool* found,
 }
 
 Result<std::string> BwTree::Get(const Slice& key) {
-  s_gets_.fetch_add(1, std::memory_order_relaxed);
+  std::string value;
+  Status s = Get(key, &value);
+  if (!s.ok()) return s;
+  return value;
+}
+
+Status BwTree::Get(const Slice& key, std::string* value_out) {
+  OpStatCell& cell = StatCell();
+  Bump(cell.gets);
   OpContext ctx;
   for (int attempt = 0; attempt < 1000; ++attempt) {
     EpochGuard guard(&epochs_);
-    std::vector<PageId> path;
+    // Reused per thread: descent repopulates it and no two ops on one
+    // thread are ever mid-descent at once (SMO helpers build their own
+    // parent paths).
+    thread_local std::vector<PageId> path;
     PageId pid = DescendToLeaf(key, &path);
     uint64_t w = table_.Get(pid);
     if (w == 0) continue;
@@ -363,24 +381,28 @@ Result<std::string> BwTree::Get(const Slice& key) {
     }
 
     bool found = false;
-    std::string value;
-    if (SearchResidentChain(head, key, &found, &value)) {
+    if (SearchResidentChain(head, key, &found, value_out)) {
       CacheTouch(pid);
       Node* t2 = ChainTail(head);
       if (t2->type == NodeType::kFlashPointer && found) {
-        s_rc_hits_.fetch_add(1, std::memory_order_relaxed);
+        Bump(cell.rc_hits);
       } else if (t2->type == NodeType::kFlashPointer && !found) {
         // A delete delta answered it; also a record-cache answer.
-        s_rc_hits_.fetch_add(1, std::memory_order_relaxed);
+        Bump(cell.rc_hits);
       }
       if (ctx.flash_reads > 0) {
-        s_ss_.fetch_add(1, std::memory_order_relaxed);
+        Bump(cell.ss);
       } else {
-        s_mm_.fetch_add(1, std::memory_order_relaxed);
+        Bump(cell.mm);
       }
-      MaybeConsolidate(pid, &path);
+      // Only take the consolidation path when the chain we just searched
+      // is long enough; MaybeConsolidate re-reads the mapping entry, and
+      // that extra load is wasted on the common short-chain read.
+      if (head->chain_length >= options_.consolidate_threshold) {
+        MaybeConsolidate(pid, &path);
+      }
       if (!found) return Status::NotFound();
-      return value;
+      return Status::Ok();
     }
 
     // Base needed but on flash: load it (this is an SS operation).
@@ -395,7 +417,8 @@ Result<std::string> BwTree::Get(const Slice& key) {
 // ---------------------------------------------------------------------
 
 Status BwTree::Put(const Slice& key, const Slice& value, uint64_t timestamp) {
-  s_puts_.fetch_add(1, std::memory_order_relaxed);
+  OpStatCell& cell = StatCell();
+  Bump(cell.puts);
   auto* delta = new InsertDelta();
   delta->key = key.ToString();
   delta->value = value.ToString();
@@ -403,7 +426,10 @@ Status BwTree::Put(const Slice& key, const Slice& value, uint64_t timestamp) {
 
   for (int attempt = 0; attempt < 1000; ++attempt) {
     EpochGuard guard(&epochs_);
-    std::vector<PageId> path;
+    // Reused per thread: descent repopulates it and no two ops on one
+    // thread are ever mid-descent at once (SMO helpers build their own
+    // parent paths).
+    thread_local std::vector<PageId> path;
     PageId pid = DescendToLeaf(key, &path);
     uint64_t w = table_.Get(pid);
     if (w == 0) continue;
@@ -419,8 +445,8 @@ Status BwTree::Put(const Slice& key, const Slice& value, uint64_t timestamp) {
       delta->chain_length = 1;
       delta->blind = true;
       if (table_.Cas(pid, w, EncodePointer(delta))) {
-        s_blind_.fetch_add(1, std::memory_order_relaxed);
-        s_mm_.fetch_add(1, std::memory_order_relaxed);
+        Bump(cell.blind);
+        Bump(cell.mm);
         MetaMarkDirty(pid);
         CacheInsertOrResize(pid, delta);
         return Status::Ok();
@@ -450,13 +476,13 @@ Status BwTree::Put(const Slice& key, const Slice& value, uint64_t timestamp) {
     delta->chain_length = head->chain_length + 1;
     delta->blind = tail->type == NodeType::kFlashPointer;
     if (table_.Cas(pid, w, EncodePointer(delta))) {
-      if (delta->blind) s_blind_.fetch_add(1, std::memory_order_relaxed);
-      s_mm_.fetch_add(1, std::memory_order_relaxed);
+      if (delta->blind) Bump(cell.blind);
+      Bump(cell.mm);
       MetaMarkDirty(pid);
       if (options_.cache != nullptr) {
         options_.cache->Resize(pid, ChainBytes(delta));
-        options_.cache->Touch(pid);
       }
+      CacheTouch(pid);
       MaybeConsolidate(pid, &path);
       return Status::Ok();
     }
@@ -468,14 +494,18 @@ Status BwTree::Put(const Slice& key, const Slice& value, uint64_t timestamp) {
 }
 
 Status BwTree::Delete(const Slice& key, uint64_t timestamp) {
-  s_deletes_.fetch_add(1, std::memory_order_relaxed);
+  OpStatCell& cell = StatCell();
+  Bump(cell.deletes);
   auto* delta = new DeleteDelta();
   delta->key = key.ToString();
   delta->timestamp = timestamp;
 
   for (int attempt = 0; attempt < 1000; ++attempt) {
     EpochGuard guard(&epochs_);
-    std::vector<PageId> path;
+    // Reused per thread: descent repopulates it and no two ops on one
+    // thread are ever mid-descent at once (SMO helpers build their own
+    // parent paths).
+    thread_local std::vector<PageId> path;
     PageId pid = DescendToLeaf(key, &path);
     uint64_t w = table_.Get(pid);
     if (w == 0) continue;
@@ -486,8 +516,8 @@ Status BwTree::Delete(const Slice& key, uint64_t timestamp) {
       delta->next = fp;
       delta->chain_length = 1;
       if (table_.Cas(pid, w, EncodePointer(delta))) {
-        s_blind_.fetch_add(1, std::memory_order_relaxed);
-        s_mm_.fetch_add(1, std::memory_order_relaxed);
+        Bump(cell.blind);
+        Bump(cell.mm);
         MetaMarkDirty(pid);
         CacheInsertOrResize(pid, delta);
         return Status::Ok();
@@ -516,14 +546,14 @@ Status BwTree::Delete(const Slice& key, uint64_t timestamp) {
     delta->chain_length = head->chain_length + 1;
     if (table_.Cas(pid, w, EncodePointer(delta))) {
       if (tail->type == NodeType::kFlashPointer) {
-        s_blind_.fetch_add(1, std::memory_order_relaxed);
+        Bump(cell.blind);
       }
-      s_mm_.fetch_add(1, std::memory_order_relaxed);
+      Bump(cell.mm);
       MetaMarkDirty(pid);
       if (options_.cache != nullptr) {
         options_.cache->Resize(pid, ChainBytes(delta));
-        options_.cache->Touch(pid);
       }
+      CacheTouch(pid);
       MaybeConsolidate(pid, &path);
       return Status::Ok();
     }
@@ -2130,15 +2160,17 @@ Status BwTree::PrepareSegmentForGc(uint64_t segment_id,
 
 BwTreeStats BwTree::stats() const {
   BwTreeStats s;
-  s.gets = s_gets_.load(std::memory_order_relaxed);
-  s.puts = s_puts_.load(std::memory_order_relaxed);
-  s.deletes = s_deletes_.load(std::memory_order_relaxed);
+  for (const OpStatCell& cell : op_cells_) {
+    s.gets += cell.gets.load(std::memory_order_relaxed);
+    s.puts += cell.puts.load(std::memory_order_relaxed);
+    s.deletes += cell.deletes.load(std::memory_order_relaxed);
+    s.mm_ops += cell.mm.load(std::memory_order_relaxed);
+    s.ss_ops += cell.ss.load(std::memory_order_relaxed);
+    s.record_cache_hits += cell.rc_hits.load(std::memory_order_relaxed);
+    s.blind_updates += cell.blind.load(std::memory_order_relaxed);
+  }
   s.scans = s_scans_.load(std::memory_order_relaxed);
-  s.mm_ops = s_mm_.load(std::memory_order_relaxed);
-  s.ss_ops = s_ss_.load(std::memory_order_relaxed);
   s.flash_record_reads = s_flash_reads_.load(std::memory_order_relaxed);
-  s.record_cache_hits = s_rc_hits_.load(std::memory_order_relaxed);
-  s.blind_updates = s_blind_.load(std::memory_order_relaxed);
   s.consolidations = s_consolidations_.load(std::memory_order_relaxed);
   s.leaf_splits = s_leaf_splits_.load(std::memory_order_relaxed);
   s.inner_splits = s_inner_splits_.load(std::memory_order_relaxed);

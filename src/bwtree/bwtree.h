@@ -120,6 +120,9 @@ class BwTree {
   Status Put(const Slice& key, const Slice& value, uint64_t timestamp);
 
   Result<std::string> Get(const Slice& key);
+  // Out-param read: writes the value into *value_out (capacity reused by
+  // callers), NotFound when the key is absent.
+  Status Get(const Slice& key, std::string* value_out);
 
   // Blind delete (posts a delete delta).
   Status Delete(const Slice& key) { return Delete(key, 0); }
@@ -317,11 +320,26 @@ class BwTree {
   mutable Mutex meta_mu_;
   std::unordered_map<PageId, PageMeta> meta_ GUARDED_BY(meta_mu_);
 
+  // Hot-path op counters live in per-thread cells indexed by the epoch
+  // thread slot, so an increment is a relaxed load+store on a private
+  // cache line instead of a locked RMW on a line every worker shares.
+  // stats() sums the cells; totals stay exact while live threads fit in
+  // EpochManager::kMaxThreads (beyond that, slot reuse can drop stat
+  // increments — counters only, never correctness).
+  struct alignas(64) OpStatCell {
+    std::atomic<uint64_t> gets{0}, puts{0}, deletes{0};
+    std::atomic<uint64_t> mm{0}, ss{0}, rc_hits{0}, blind{0};
+  };
+  OpStatCell& StatCell() { return op_cells_[epochs_.RegisterThread()]; }
+  static void Bump(std::atomic<uint64_t>& c) {
+    c.store(c.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+  }
+  mutable OpStatCell op_cells_[EpochManager::kMaxThreads];
+
   // Stats (relaxed atomics; snapshot via stats()).
-  mutable std::atomic<uint64_t> s_gets_{0}, s_puts_{0}, s_deletes_{0},
-      s_scans_{0};
-  mutable std::atomic<uint64_t> s_mm_{0}, s_ss_{0}, s_flash_reads_{0},
-      s_rc_hits_{0}, s_blind_{0};
+  mutable std::atomic<uint64_t> s_scans_{0};
+  mutable std::atomic<uint64_t> s_flash_reads_{0};
   mutable std::atomic<uint64_t> s_consolidations_{0}, s_leaf_splits_{0},
       s_inner_splits_{0}, s_root_splits_{0}, s_leaf_merges_{0},
       s_root_collapses_{0}, s_cas_failures_{0};

@@ -17,6 +17,15 @@ inline void PutFixed32(std::string* dst, uint32_t v) {
 inline void PutFixed64(std::string* dst, uint64_t v) {
   dst->append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
+// Raw-buffer variants for callers that pre-reserved space (e.g. the log
+// store's group-append path encodes into a reserved buffer slice without
+// growing the string).
+inline void EncodeFixed32(char* dst, uint32_t v) {
+  memcpy(dst, &v, sizeof(v));
+}
+inline void EncodeFixed64(char* dst, uint64_t v) {
+  memcpy(dst, &v, sizeof(v));
+}
 inline uint32_t DecodeFixed32(const char* p) {
   uint32_t v;
   memcpy(&v, p, sizeof(v));

@@ -1,100 +1,250 @@
 #include "common/epoch.h"
 
+#include <cstdlib>
+#include <thread>
+
 namespace costperf {
 
 namespace {
-// Thread-local slot assignment, one per (thread, manager-generation). We
-// key by manager pointer to support multiple managers in one process.
+// Thread-local slot assignments, one per (thread, manager) pair. A
+// process holds many managers at once (one per Bw-tree, so one per
+// shard), and a worker thread hops between them on every operation — a
+// single-entry cache would re-register on every hop, burn a fresh slot
+// each time, wrap the slot array, and end with two threads overwriting
+// each other's reservation in one shared slot (a use-after-free, not a
+// slowdown). Entries are keyed by manager pointer (compared, never
+// dereferenced, so a dead manager's stale entry is harmless) with the
+// guard depth kept per entry; an entry is only evicted at depth 0, so a
+// held guard can never lose its slot binding.
 struct ThreadSlotCache {
   const EpochManager* mgr = nullptr;
   int slot = -1;
+  int depth = 0;
 };
-thread_local ThreadSlotCache tls_slot;
-thread_local int tls_depth = 0;
+constexpr int kTlsSlotCacheSize = 16;
+thread_local ThreadSlotCache tls_slots[kTlsSlotCacheSize];
 }  // namespace
 
 EpochManager::EpochManager() : global_epoch_(1), next_slot_(0) {}
 
 EpochManager::~EpochManager() { ReclaimAll(); }
 
+namespace {
+// Move-to-front on hit: RegisterThread/Enter/Exit each scan this array
+// once per call, so the hot manager's entry belongs at index 0. Swapping
+// a mid-guard entry is fine — depth travels with the contents and every
+// caller re-finds its entry by manager pointer.
+ThreadSlotCache* LookupEntry(const EpochManager* mgr) {
+  if (tls_slots[0].mgr == mgr && tls_slots[0].slot >= 0) {
+    return &tls_slots[0];
+  }
+  for (int i = 1; i < kTlsSlotCacheSize; ++i) {
+    if (tls_slots[i].mgr == mgr && tls_slots[i].slot >= 0) {
+      std::swap(tls_slots[i], tls_slots[0]);
+      return &tls_slots[0];
+    }
+  }
+  return nullptr;
+}
+}  // namespace
+
 int EpochManager::RegisterThread() {
-  if (tls_slot.mgr == this && tls_slot.slot >= 0) return tls_slot.slot;
+  ThreadSlotCache* entry = LookupEntry(this);
+  if (entry != nullptr) {
+    // The entry can be stale across manager generations at the same
+    // address; re-assert used so reclamation scans this slot.
+    Slot& s = slots_[entry->slot];
+    if (!s.used.load(std::memory_order_relaxed)) {
+      s.used.store(true, std::memory_order_release);
+    }
+    return entry->slot;
+  }
+  // Evict a depth-0 entry (its slot holds no reservation, losing the
+  // binding just means re-registering later). Every entry being mid-guard
+  // would need >kTlsSlotCacheSize managers nested on one thread — no
+  // caller does that, and continuing would corrupt depth tracking.
+  ThreadSlotCache* victim = nullptr;
+  for (int i = 0; i < kTlsSlotCacheSize; ++i) {
+    if (tls_slots[i].depth == 0) {
+      victim = &tls_slots[i];
+      break;
+    }
+  }
+  if (victim == nullptr) std::abort();
   int slot = next_slot_.fetch_add(1, std::memory_order_relaxed);
   slot %= kMaxThreads;  // Wrap: slots may be shared by >kMaxThreads threads;
-                        // sharing is safe but may delay reclamation.
+                        // Enter's CAS claim keeps sharing safe (sharers
+                        // wait, reservations are never overwritten).
   slots_[slot].used.store(true, std::memory_order_release);
-  tls_slot.mgr = this;
-  tls_slot.slot = slot;
-  tls_depth = 0;
+  victim->mgr = this;
+  victim->slot = slot;
+  victim->depth = 0;
   return slot;
 }
 
 void EpochManager::Enter() {
-  int slot = RegisterThread();
-  if (tls_depth++ > 0) return;  // Re-entrant: keep outer reservation.
-  uint64_t e = global_epoch_.load(std::memory_order_acquire);
-  slots_[slot].reserved.store(e, std::memory_order_release);
+  ThreadSlotCache* entry = LookupEntry(this);
+  if (entry == nullptr) {
+    RegisterThread();
+    entry = LookupEntry(this);
+  }
+  if (entry->depth++ > 0) return;  // Re-entrant: keep outer reservation.
+  Slot& s = slots_[entry->slot];
+  // Entry may be stale across manager generations at the same address;
+  // re-assert used so MinActiveEpoch scans this slot (RegisterThread does
+  // the same, but the cache-hit path above skips it).
+  if (!s.used.load(std::memory_order_relaxed)) {
+    s.used.store(true, std::memory_order_release);
+  }
+  // Claim-then-revalidate. The claim is a CAS from kIdle so a wrapped
+  // slot shared by two threads can never have one thread overwrite the
+  // other's live reservation — the latecomer waits for the holder's
+  // Exit. The revalidation closes the publication race: between loading
+  // the epoch and the claim becoming visible, TryReclaim can advance the
+  // epoch, scan the slots, see this one idle, and free objects retired
+  // at the epoch we are about to enter. seq_cst puts the claim and the
+  // re-check into the single total order with TryReclaim's seq_cst
+  // advance, so either the reclaimer sees our reservation, or we see its
+  // advance and re-publish the newer epoch before touching any shared
+  // pointer.
+  uint64_t e = global_epoch_.load(std::memory_order_relaxed);
+  int spins = 0;
+  for (;;) {
+    uint64_t expect = kIdle;
+    if (s.reserved.compare_exchange_strong(expect, e,
+                                           std::memory_order_seq_cst,
+                                           std::memory_order_relaxed)) {
+      break;
+    }
+    if (++spins >= 64) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+    e = global_epoch_.load(std::memory_order_relaxed);
+  }
+  for (;;) {
+    uint64_t now = global_epoch_.load(std::memory_order_seq_cst);
+    if (now == e) return;
+    e = now;
+    s.reserved.store(e, std::memory_order_seq_cst);
+  }
 }
 
 void EpochManager::Exit() {
-  int slot = RegisterThread();
-  if (--tls_depth > 0) return;
-  slots_[slot].reserved.store(kIdle, std::memory_order_release);
+  ThreadSlotCache* entry = LookupEntry(this);
+  if (--entry->depth > 0) return;
+  slots_[entry->slot].reserved.store(kIdle, std::memory_order_release);
+}
+
+void EpochManager::PushChain(std::atomic<RetiredNode*>* stack,
+                             RetiredNode* head, RetiredNode* tail) {
+  RetiredNode* cur = stack->load(std::memory_order_relaxed);
+  do {
+    tail->next = cur;
+  } while (!stack->compare_exchange_weak(cur, head,
+                                         std::memory_order_release,
+                                         std::memory_order_relaxed));
 }
 
 void EpochManager::Retire(std::function<void()> deleter) {
-  uint64_t e = global_epoch_.load(std::memory_order_acquire);
-  MutexLock lk(&retired_mu_);
-  retired_.push_back(RetiredItem{e, std::move(deleter)});
+  Slot& slot = slots_[RegisterThread()];
+  // seq_cst: the stamp must be the true current epoch in the total
+  // order, not a stale read — an under-stamped node could be freed while
+  // a reader holding a reservation equal to the real retire epoch still
+  // dereferences it.
+  auto* node = new RetiredNode{
+      global_epoch_.load(std::memory_order_seq_cst), std::move(deleter),
+      nullptr};
+  PushChain(&slot.retired, node, node);
+  slot.retired_len.fetch_add(1, std::memory_order_relaxed);
 }
 
 uint64_t EpochManager::MinActiveEpoch() const {
   uint64_t min_epoch = global_epoch_.load(std::memory_order_acquire);
   for (int i = 0; i < kMaxThreads; ++i) {
     if (!slots_[i].used.load(std::memory_order_acquire)) continue;
-    uint64_t r = slots_[i].reserved.load(std::memory_order_acquire);
+    uint64_t r = slots_[i].reserved.load(std::memory_order_seq_cst);
     if (r != kIdle && r < min_epoch) min_epoch = r;
   }
   return min_epoch;
 }
 
 size_t EpochManager::TryReclaim() {
-  global_epoch_.fetch_add(1, std::memory_order_acq_rel);
+  // seq_cst advance: ordered against Enter's publication loop (see the
+  // comment there) so the subsequent slot scan either observes every
+  // reader that entered before the advance, or those readers observe the
+  // advance and re-publish the newer epoch.
+  global_epoch_.fetch_add(1, std::memory_order_seq_cst);
   const uint64_t safe = MinActiveEpoch();
 
-  std::vector<std::function<void()>> to_run;
-  {
-    MutexLock lk(&retired_mu_);
+  size_t freed = 0;
+  for (int i = 0; i < kMaxThreads; ++i) {
+    Slot& slot = slots_[i];
+    // Harvest the whole stack; concurrent retirers just start a new one.
+    RetiredNode* head = slot.retired.exchange(nullptr,
+                                              std::memory_order_acquire);
+    if (head == nullptr) continue;
+    RetiredNode* keep_head = nullptr;
+    RetiredNode* keep_tail = nullptr;
     size_t kept = 0;
-    for (size_t i = 0; i < retired_.size(); ++i) {
+    size_t harvested = 0;
+    while (head != nullptr) {
+      RetiredNode* next = head->next;
+      ++harvested;
       // An item retired at epoch E may still be referenced by threads in
       // epochs <= E, so it is freeable only once min active epoch > E.
-      if (retired_[i].epoch < safe) {
-        to_run.push_back(std::move(retired_[i].deleter));
+      if (head->epoch < safe) {
+        head->deleter();
+        delete head;
+        ++freed;
       } else {
-        if (kept != i) retired_[kept] = std::move(retired_[i]);
+        head->next = keep_head;
+        keep_head = head;
+        if (keep_tail == nullptr) keep_tail = head;
         ++kept;
       }
+      head = next;
     }
-    retired_.resize(kept);
+    if (keep_head != nullptr) PushChain(&slot.retired, keep_head, keep_tail);
+    slot.retired_len.fetch_sub(harvested - kept, std::memory_order_relaxed);
   }
-  for (auto& d : to_run) d();
-  return to_run.size();
+  if (freed > 0) {
+    reclaim_batches_.fetch_add(1, std::memory_order_relaxed);
+    reclaimed_items_.fetch_add(freed, std::memory_order_relaxed);
+  }
+  return freed;
 }
 
 size_t EpochManager::ReclaimAll() {
-  std::vector<RetiredItem> items;
-  {
-    MutexLock lk(&retired_mu_);
-    items.swap(retired_);
+  size_t freed = 0;
+  for (int i = 0; i < kMaxThreads; ++i) {
+    Slot& slot = slots_[i];
+    RetiredNode* head = slot.retired.exchange(nullptr,
+                                              std::memory_order_acquire);
+    size_t harvested = 0;
+    while (head != nullptr) {
+      RetiredNode* next = head->next;
+      head->deleter();
+      delete head;
+      head = next;
+      ++freed;
+      ++harvested;
+    }
+    slot.retired_len.fetch_sub(harvested, std::memory_order_relaxed);
   }
-  for (auto& it : items) it.deleter();
-  return items.size();
+  if (freed > 0) {
+    reclaim_batches_.fetch_add(1, std::memory_order_relaxed);
+    reclaimed_items_.fetch_add(freed, std::memory_order_relaxed);
+  }
+  return freed;
 }
 
 size_t EpochManager::retired_count() const {
-  MutexLock lk(&retired_mu_);
-  return retired_.size();
+  size_t total = 0;
+  for (int i = 0; i < kMaxThreads; ++i) {
+    total += slots_[i].retired_len.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 }  // namespace costperf

@@ -12,7 +12,26 @@ ZipfianGenerator::ZipfianGenerator(uint64_t items, double theta, uint64_t seed)
   alpha_ = 1.0 / (1.0 - theta_);
   eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
          (1.0 - zeta2theta_ / zetan_);
+  half_pow_theta_ = std::pow(0.5, theta_);
+  const double rounded = std::round(alpha_);
+  if (rounded >= 1.0 && rounded <= 4096.0 &&
+      std::abs(alpha_ - rounded) < 1e-9) {
+    alpha_int_ = static_cast<int>(rounded);
+  }
 }
+
+namespace {
+// x^n by squaring: ~log2(n) multiplies vs a full pow() call.
+inline double PowInt(double x, int n) {
+  double result = 1.0;
+  while (n > 0) {
+    if (n & 1) result *= x;
+    x *= x;
+    n >>= 1;
+  }
+  return result;
+}
+}  // namespace
 
 double ZipfianGenerator::Zeta(uint64_t n, double theta) {
   // Exact sum for small n; for very large n this O(n) setup cost is paid
@@ -28,9 +47,11 @@ uint64_t ZipfianGenerator::Next() {
   const double u = rng_.NextDouble();
   const double uz = u * zetan_;
   if (uz < 1.0) return 0;
-  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  if (uz < 1.0 + half_pow_theta_) return 1;
+  const double base = eta_ * u - eta_ + 1.0;
   const double v =
-      static_cast<double>(items_) * std::pow(eta_ * u - eta_ + 1.0, alpha_);
+      static_cast<double>(items_) *
+      (alpha_int_ != 0 ? PowInt(base, alpha_int_) : std::pow(base, alpha_));
   uint64_t r = static_cast<uint64_t>(v);
   if (r >= items_) r = items_ - 1;
   return r;

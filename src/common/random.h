@@ -80,6 +80,12 @@ class ZipfianGenerator {
   double zetan_;
   double eta_;
   double zeta2theta_;
+  double half_pow_theta_;  // pow(0.5, theta), hoisted out of Next()
+  // When alpha = 1/(1-theta) is (numerically) a small integer — YCSB's
+  // theta=0.99 gives exactly 100 — Next() replaces std::pow with
+  // exponentiation by squaring, which is several times cheaper and is
+  // the dominant cost of a draw. 0 = use std::pow.
+  int alpha_int_ = 0;
   Random rng_;
 };
 

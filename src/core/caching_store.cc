@@ -26,12 +26,19 @@ CachingStore::CachingStore(CachingStoreOptions options)
   cache_opts.breakeven_interval_seconds =
       options_.breakeven_interval_seconds;
   cache_opts.clock = options_.clock;
+  cache_opts.touch_sample = options_.cache_touch_sample;
+  cache_opts.shards = options_.cache_shards;
   cache_ = std::make_unique<llama::CacheManager>(cache_opts);
 
   bwtree::BwTreeOptions tree_opts = options_.tree;
   tree_opts.log_store = log_.get();
   tree_opts.cache = cache_.get();
   tree_ = std::make_unique<bwtree::BwTree>(tree_opts);
+
+  const uint64_t interval = options_.maintenance_interval_ops;
+  if (interval != 0 && (interval & (interval - 1)) == 0) {
+    maintenance_mask_ = interval - 1;
+  }
 }
 
 CachingStore::~CachingStore() = default;
@@ -48,6 +55,12 @@ Result<std::string> CachingStore::Get(const Slice& key) {
   auto r = tree_->Get(key);
   MaybeMaintain();
   return r;
+}
+
+Status CachingStore::Get(const Slice& key, std::string* value_out) {
+  Status s = tree_->Get(key, value_out);
+  MaybeMaintain();
+  return s;
 }
 
 Status CachingStore::Delete(const Slice& key) {
@@ -111,6 +124,10 @@ Status CachingStore::Scan(
 
 void CachingStore::MaybeMaintain() {
   uint64_t n = op_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (maintenance_mask_ != 0) {  // power-of-two interval: no division
+    if ((n & maintenance_mask_) == 0) Maintain();
+    return;
+  }
   if (options_.maintenance_interval_ops != 0 &&
       n % options_.maintenance_interval_ops == 0) {
     Maintain();
@@ -266,6 +283,19 @@ KvStoreStats CachingStore::Stats() const {
   s.memory_bytes = tree_->MemoryFootprintBytes();
   s.io_retries = t.io_retries;
   s.health = health();
+  const auto c = cache_->stats();
+  s.cache_touches = c.touches;
+  s.cache_touches_sampled = c.touches_sampled;
+  EpochManager* epochs = tree_->epochs();
+  s.epoch_reclaim_batches = epochs->reclaim_batches();
+  s.epoch_reclaimed_items = epochs->reclaimed_items();
+  const auto l = log_->stats();
+  s.log_append_groups = l.append_groups;
+  static_assert(KvStoreStats::kLogGroupBuckets ==
+                llama::LogStoreStats::kGroupSizeBuckets);
+  for (size_t i = 0; i < l.group_size_hist.size(); ++i) {
+    s.log_group_size_hist[i] = l.group_size_hist[i];
+  }
   return s;
 }
 

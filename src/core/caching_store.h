@@ -30,6 +30,13 @@ struct CachingStoreOptions {
   // *compressed* when evicted — lower media footprint, decompression CPU
   // on their next (rare) access. 0 disables the compressed tier.
   double css_idle_interval_seconds = 0;
+  // Cache recency sampling: only every Nth Touch per thread reads the
+  // clock and refreshes the recency tick; the rest just set the CLOCK
+  // reference bit. 1 = exact recency on every touch (see
+  // CacheOptions::touch_sample).
+  uint32_t cache_touch_sample = 1;
+  // Cache shard count override; 0 = CacheManager default.
+  uint32_t cache_shards = 0;
   // Run maintenance every N operations.
   uint32_t maintenance_interval_ops = 256;
   // GC: collect segments below this live fraction during maintenance.
@@ -60,9 +67,17 @@ class CachingStore : public KvStore {
 
   Status Put(const Slice& key, const Slice& value) override;
   Result<std::string> Get(const Slice& key) override;
+  Status Get(const Slice& key, std::string* value_out) override;
   Status Delete(const Slice& key) override;
   Status Scan(const Slice& start, size_t limit,
               std::vector<std::pair<std::string, std::string>>* out) override;
+
+  // The read path is latch-free end to end: Bw-tree mapping-table reads,
+  // lock-free cache touches, per-thread epoch retire lists. Writes and
+  // maintenance coordinate internally (atomics, short per-shard cache
+  // latches, try-lock maintenance), so no external serialization is
+  // needed either.
+  bool ConcurrentSafe() const override { return true; }
 
   uint64_t MemoryFootprintBytes() const override;
   KvStoreStats Stats() const override;
@@ -117,6 +132,10 @@ class CachingStore : public KvStore {
   std::unique_ptr<llama::CacheManager> cache_;
   std::unique_ptr<bwtree::BwTree> tree_;
   std::atomic<uint64_t> op_counter_{0};
+  // maintenance_interval_ops - 1 when the interval is a power of two
+  // (the common case; lets MaybeMaintain test the counter with a mask
+  // instead of a 64-bit division per op), 0 otherwise.
+  uint64_t maintenance_mask_ = 0;
   // Single-admission gate for maintenance: concurrent callers whose op
   // count also crosses the interval skip (TryLock fails) instead of
   // double-running eviction/GC (the tree tolerates concurrent

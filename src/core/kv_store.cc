@@ -15,6 +15,14 @@ KvStoreStats& KvStoreStats::operator+=(const KvStoreStats& other) {
   bytes_written += other.bytes_written;
   memory_bytes += other.memory_bytes;
   io_retries += other.io_retries;
+  cache_touches += other.cache_touches;
+  cache_touches_sampled += other.cache_touches_sampled;
+  epoch_reclaim_batches += other.epoch_reclaim_batches;
+  epoch_reclaimed_items += other.epoch_reclaimed_items;
+  log_append_groups += other.log_append_groups;
+  for (size_t i = 0; i < log_group_size_hist.size(); ++i) {
+    log_group_size_hist[i] += other.log_group_size_hist[i];
+  }
   // Aggregate health: degraded if any contributor is degraded.
   if (other.health == HealthStatus::kDegraded) health = HealthStatus::kDegraded;
   return *this;
@@ -33,7 +41,30 @@ std::string KvStoreStats::ToString() const {
            (unsigned long long)bytes_written,
            (unsigned long long)memory_bytes,
            (unsigned long long)io_retries, HealthStatusName(health));
-  return buf;
+  char contention[320];
+  snprintf(contention, sizeof(contention),
+           "\ncontention: cache_touches=%llu (sampled=%llu) "
+           "epoch_reclaims=%llu reclaimed=%llu log_groups=%llu "
+           "group_hist=[1:%llu 2:%llu 3-4:%llu 5-8:%llu 9-16:%llu 17+:%llu]",
+           (unsigned long long)cache_touches,
+           (unsigned long long)cache_touches_sampled,
+           (unsigned long long)epoch_reclaim_batches,
+           (unsigned long long)epoch_reclaimed_items,
+           (unsigned long long)log_append_groups,
+           (unsigned long long)log_group_size_hist[0],
+           (unsigned long long)log_group_size_hist[1],
+           (unsigned long long)log_group_size_hist[2],
+           (unsigned long long)log_group_size_hist[3],
+           (unsigned long long)log_group_size_hist[4],
+           (unsigned long long)log_group_size_hist[5]);
+  return std::string(buf) + contention;
+}
+
+Status KvStore::Get(const Slice& key, std::string* value_out) {
+  Result<std::string> r = Get(key);
+  if (!r.ok()) return r.status();
+  *value_out = std::move(*r);
+  return Status::Ok();
 }
 
 std::vector<Result<std::string>> KvStore::MultiGet(

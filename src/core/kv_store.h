@@ -1,6 +1,7 @@
 #ifndef COSTPERF_CORE_KV_STORE_H_
 #define COSTPERF_CORE_KV_STORE_H_
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -44,6 +45,18 @@ struct KvStoreStats {
   uint64_t io_retries = 0;     // transient I/O errors absorbed by retry
   HealthStatus health = HealthStatus::kHealthy;
 
+  // Hot-path contention visibility (so future PRs can see serialization
+  // without a profiler): lock-free cache-touch hits, epoch reclamation
+  // batches, and log group-append batching.
+  uint64_t cache_touches = 0;          // lock-free Touch fast-path hits
+  uint64_t cache_touches_sampled = 0;  // of which: ref-bit-only (sampled)
+  uint64_t epoch_reclaim_batches = 0;  // reclaim passes that freed memory
+  uint64_t epoch_reclaimed_items = 0;  // total retired deleters run
+  uint64_t log_append_groups = 0;      // completed append fill groups
+  // Append group sizes, bucketed 1, 2, 3-4, 5-8, 9-16, 17+.
+  static constexpr size_t kLogGroupBuckets = 6;
+  std::array<uint64_t, kLogGroupBuckets> log_group_size_hist{};
+
   // Fraction of classified ops that missed (the paper's F). 0 when the
   // store classified nothing.
   double MissFraction() const {
@@ -70,6 +83,11 @@ class KvStore {
 
   virtual Status Put(const Slice& key, const Slice& value) = 0;
   virtual Result<std::string> Get(const Slice& key) = 0;
+  // Out-param read: copies the value into *value_out, whose capacity
+  // survives across calls — a read-heavy loop pays one memcpy per hit
+  // instead of a fresh heap allocation per Result<std::string>. The
+  // default adapts the Result overload; hot-path stores override it.
+  virtual Status Get(const Slice& key, std::string* value_out);
   virtual Status Delete(const Slice& key) = 0;
   virtual Status Scan(
       const Slice& start, size_t limit,
@@ -86,6 +104,14 @@ class KvStore {
   // Put(); ShardedStore groups entries per shard.
   virtual Status WriteBatch(
       const std::vector<std::pair<std::string, std::string>>& entries);
+
+  // True when Get/MultiGet may be called concurrently with any other
+  // operation on this store without external locking. CachingStore's
+  // read path is latch-free end to end (Bw-tree mapping table, lock-free
+  // cache touches, epoch-protected memory), so it returns true;
+  // compositions like ShardedStore use this to skip their per-shard
+  // latch on reads.
+  virtual bool ConcurrentSafe() const { return false; }
 
   // Resident DRAM footprint of the store (data + index + bookkeeping).
   virtual uint64_t MemoryFootprintBytes() const = 0;

@@ -22,6 +22,7 @@ class MemoryStore : public KvStore {
   Result<std::string> Get(const Slice& key) override {
     return tree_->Get(key);
   }
+  using KvStore::Get;  // keep the out-param overload visible
   Status Delete(const Slice& key) override { return tree_->Delete(key); }
   Status Scan(const Slice& start, size_t limit,
               std::vector<std::pair<std::string, std::string>>* out)

@@ -26,8 +26,10 @@ ShardedStore::ShardedStore(size_t shard_count, const ShardFactory& factory) {
   for (size_t i = 0; i < shard_count; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->store = factory(i);
+    InitReader(shard.get());
     shards_.push_back(std::move(shard));
   }
+  if ((shard_count & (shard_count - 1)) == 0) shard_mask_ = shard_count - 1;
 }
 
 ShardedStore::ShardedStore(std::vector<std::unique_ptr<KvStore>> shards) {
@@ -36,8 +38,19 @@ ShardedStore::ShardedStore(std::vector<std::unique_ptr<KvStore>> shards) {
   for (auto& store : shards) {
     auto shard = std::make_unique<Shard>();
     shard->store = std::move(store);
+    InitReader(shard.get());
     shards_.push_back(std::move(shard));
   }
+  const size_t n = shards_.size();
+  if ((n & (n - 1)) == 0) shard_mask_ = n - 1;
+}
+
+void ShardedStore::InitReader(Shard* shard) {
+  // Under the shard latch to satisfy analysis; there is no concurrency
+  // during construction.
+  MutexLock lock(&shard->mu);
+  shard->reader =
+      shard->store->ConcurrentSafe() ? shard->store.get() : nullptr;
 }
 
 std::unique_ptr<ShardedStore> ShardedStore::OfMemory(size_t shard_count) {
@@ -53,7 +66,9 @@ std::unique_ptr<ShardedStore> ShardedStore::OfCaching(
 }
 
 size_t ShardedStore::ShardIndexOf(const Slice& key) const {
-  return Fnv1a(key) % shards_.size();
+  const uint64_t h = Fnv1a(key);
+  if (shard_mask_ != 0) return h & shard_mask_;
+  return h % shards_.size();
 }
 
 Status ShardedStore::Put(const Slice& key, const Slice& value) {
@@ -64,8 +79,19 @@ Status ShardedStore::Put(const Slice& key, const Slice& value) {
 
 Result<std::string> ShardedStore::Get(const Slice& key) {
   Shard& shard = *shards_[ShardIndexOf(key)];
+  // Concurrent-safe inner stores serve reads without the shard latch —
+  // this is what lets the in-cache read path scale past one reader per
+  // shard (writes still serialize per shard).
+  if (shard.reader != nullptr) return shard.reader->Get(key);
   MutexLock lock(&shard.mu);
   return shard.store->Get(key);
+}
+
+Status ShardedStore::Get(const Slice& key, std::string* value_out) {
+  Shard& shard = *shards_[ShardIndexOf(key)];
+  if (shard.reader != nullptr) return shard.reader->Get(key, value_out);
+  MutexLock lock(&shard.mu);
+  return shard.store->Get(key, value_out);
 }
 
 Status ShardedStore::Delete(const Slice& key) {
@@ -120,6 +146,10 @@ std::vector<Result<std::string>> ShardedStore::MultiGet(
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (groups[s].empty()) continue;
     Shard& shard = *shards_[s];
+    if (shard.reader != nullptr) {
+      for (size_t i : groups[s]) out[i] = shard.reader->Get(Slice(keys[i]));
+      continue;
+    }
     MutexLock lock(&shard.mu);
     for (size_t i : groups[s]) out[i] = shard.store->Get(Slice(keys[i]));
   }

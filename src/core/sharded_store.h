@@ -45,6 +45,7 @@ class ShardedStore : public KvStore {
 
   Status Put(const Slice& key, const Slice& value) override;
   Result<std::string> Get(const Slice& key) override;
+  Status Get(const Slice& key, std::string* value_out) override;
   Status Delete(const Slice& key) override;
   // Cross-shard scan: collects up to `limit` records from every shard and
   // merges the sorted runs, so results are globally key-ordered despite
@@ -92,9 +93,21 @@ class ShardedStore : public KvStore {
     // PT_GUARDED_BY: calling through the inner store requires the shard
     // latch; holding the unique_ptr handle itself does not.
     std::unique_ptr<KvStore> store PT_GUARDED_BY(mu);
+    // Latch-free read alias: equals store.get() when the inner store
+    // reported ConcurrentSafe() at construction (Get/MultiGet then skip
+    // the shard latch entirely), nullptr otherwise. Immutable after
+    // construction, hence unguarded.
+    KvStore* reader = nullptr;
   };
 
+  // Fills shard->reader from the inner store's ConcurrentSafe() verdict.
+  static void InitReader(Shard* shard);
+
   std::vector<std::unique_ptr<Shard>> shards_;
+  // shard_count - 1 when the count is a power of two (h & mask == h % n
+  // for unsigned h, so placement is unchanged — just without the 64-bit
+  // division on every op), 0 otherwise.
+  uint64_t shard_mask_ = 0;
 };
 
 }  // namespace costperf::core

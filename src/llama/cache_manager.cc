@@ -1,6 +1,30 @@
 #include "llama/cache_manager.h"
 
+#include <algorithm>
+
 namespace costperf::llama {
+namespace {
+
+// splitmix64 finalizer — spreads sequential pids across shards and probe
+// positions.
+inline uint64_t Mix(uint64_t x) {
+  x *= 0x9E3779B97F4A7C15ull;
+  x ^= x >> 29;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 32;
+  return x;
+}
+
+constexpr size_t kInitialTableCapacity = 64;
+constexpr uint32_t kDefaultShards = 16;
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
 
 std::string EvictionPolicyName(EvictionPolicy p) {
   switch (p) {
@@ -16,119 +40,279 @@ std::string EvictionPolicyName(EvictionPolicy p) {
 
 CacheManager::CacheManager(CacheOptions options)
     : options_(options),
-      clock_(options.clock ? options.clock : RealClock::Global()) {}
-
-void CacheManager::Insert(mapping::PageId pid, uint64_t bytes) {
-  MutexLock lk(&mu_);
-  auto it = entries_.find(pid);
-  if (it != entries_.end()) {
-    // Re-insert of a resident page: treat as resize + touch.
-    resident_bytes_ += bytes - it->second.bytes;
-    it->second.bytes = bytes;
-    it->second.last_access_nanos = clock_->NowNanos();
-    it->second.referenced = true;
-    lru_.splice(lru_.end(), lru_, it->second.lru_pos);
-    return;
+      clock_(options.clock ? options.clock : RealClock::Global()),
+      budget_(options.memory_budget_bytes) {
+  const size_t n =
+      RoundUpPow2(options_.shards ? options_.shards : kDefaultShards);
+  shard_mask_ = n - 1;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    MutexLock lk(&shard->mu);
+    shard->tables.push_back(std::make_unique<Table>(kInitialTableCapacity));
+    shard->table.store(shard->tables.back().get(), std::memory_order_release);
+    shards_.push_back(std::move(shard));
   }
-  Entry e;
-  e.bytes = bytes;
-  e.last_access_nanos = clock_->NowNanos();
-  e.referenced = true;
-  lru_.push_back(pid);
-  e.lru_pos = std::prev(lru_.end());
-  entries_.emplace(pid, e);
-  resident_bytes_ += bytes;
-  stats_.insertions++;
 }
 
+CacheManager::Shard& CacheManager::ShardFor(mapping::PageId pid) const {
+  return *shards_[Mix(pid) & shard_mask_];
+}
+
+CacheManager::Slot* CacheManager::FindSlot(const Shard& shard,
+                                           mapping::PageId pid) const {
+  Table* t = shard.table.load(std::memory_order_acquire);
+  const uint64_t h = Mix(pid);
+  size_t i = (h >> 16) & t->mask;
+  for (size_t probes = 0; probes <= t->mask;
+       ++probes, i = (i + 1) & t->mask) {
+    Slot& s = t->slots[i];
+    const uint64_t cur = s.pid.load(std::memory_order_acquire);
+    if (cur == pid) return &s;
+    if (cur == kEmptyPid) return nullptr;
+    // Tombstone or another pid: keep probing.
+  }
+  return nullptr;
+}
+
+void CacheManager::GrowTable(Shard& shard) {
+  Table* old = shard.table.load(std::memory_order_relaxed);
+  auto grown = std::make_unique<Table>(old->capacity() * 2);
+  Table* t = grown.get();
+  for (size_t i = 0; i <= old->mask; ++i) {
+    Slot& src = old->slots[i];
+    const uint64_t pid = src.pid.load(std::memory_order_relaxed);
+    if (pid == kEmptyPid || pid == kTombstonePid) continue;
+    size_t j = (Mix(pid) >> 16) & t->mask;
+    while (t->slots[j].pid.load(std::memory_order_relaxed) != kEmptyPid) {
+      j = (j + 1) & t->mask;
+    }
+    Slot& dst = t->slots[j];
+    dst.bytes.store(src.bytes.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    dst.tick.store(src.tick.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    dst.seq.store(src.seq.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    dst.referenced.store(src.referenced.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    dst.pid.store(pid, std::memory_order_release);
+  }
+  // Tombstones are dropped by the rehash.
+  shard.used = shard.live;
+  // The old table stays alive in shard.tables: a lock-free reader may
+  // still be probing it. Its entries go stale, which is benign — Touch
+  // through a stale slot only loses advisory recency metadata.
+  shard.tables.push_back(std::move(grown));
+  shard.table.store(t, std::memory_order_release);
+}
+
+CacheManager::Slot* CacheManager::FindOrClaimSlot(Shard& shard,
+                                                  mapping::PageId pid,
+                                                  bool* claimed_tombstone) {
+  *claimed_tombstone = false;
+  Table* t = shard.table.load(std::memory_order_relaxed);
+  // Keep load factor below 3/4 counting tombstones, so probes terminate.
+  if ((shard.used + 1) * 4 >= t->capacity() * 3) {
+    GrowTable(shard);
+    t = shard.table.load(std::memory_order_relaxed);
+  }
+  const uint64_t h = Mix(pid);
+  size_t i = (h >> 16) & t->mask;
+  Slot* tombstone = nullptr;
+  for (size_t probes = 0; probes <= t->mask;
+       ++probes, i = (i + 1) & t->mask) {
+    Slot& s = t->slots[i];
+    const uint64_t cur = s.pid.load(std::memory_order_relaxed);
+    if (cur == pid) return &s;
+    if (cur == kTombstonePid) {
+      if (tombstone == nullptr) tombstone = &s;
+      continue;
+    }
+    if (cur == kEmptyPid) {
+      if (tombstone != nullptr) {
+        *claimed_tombstone = true;
+        return tombstone;
+      }
+      return &s;
+    }
+  }
+  // Unreachable: load factor is kept below capacity.
+  *claimed_tombstone = tombstone != nullptr;
+  return tombstone;
+}
+
+void CacheManager::Insert(mapping::PageId pid, uint64_t bytes) {
+  Shard& shard = ShardFor(pid);
+  MutexLock lk(&shard.mu);
+  bool claimed_tombstone = false;
+  Slot* s = FindOrClaimSlot(shard, pid, &claimed_tombstone);
+  const uint64_t now = clock_->NowNanos();
+  const uint64_t seq = lru_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (s->pid.load(std::memory_order_relaxed) == pid) {
+    // Re-insert of a resident page: treat as resize + touch (move to MRU).
+    const uint64_t old = s->bytes.load(std::memory_order_relaxed);
+    shard.resident_bytes.fetch_add(bytes - old, std::memory_order_relaxed);
+    s->bytes.store(bytes, std::memory_order_relaxed);
+    s->tick.store(now, std::memory_order_relaxed);
+    s->seq.store(seq, std::memory_order_relaxed);
+    s->referenced.store(1, std::memory_order_relaxed);
+    return;
+  }
+  s->bytes.store(bytes, std::memory_order_relaxed);
+  s->tick.store(now, std::memory_order_relaxed);
+  s->seq.store(seq, std::memory_order_relaxed);
+  s->referenced.store(1, std::memory_order_relaxed);
+  s->pid.store(pid, std::memory_order_release);
+  shard.live++;
+  if (!claimed_tombstone) shard.used++;
+  shard.resident_bytes.fetch_add(bytes, std::memory_order_relaxed);
+  shard.insertions.fetch_add(1, std::memory_order_relaxed);
+}
+
+int CacheManager::TouchCellIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t idx =
+      next.fetch_add(1, std::memory_order_relaxed) % kTouchCells;
+  return static_cast<int>(idx);
+}
+
+namespace {
+// Single-writer cell increment: relaxed load+store, no RMW.
+inline void BumpCell(std::atomic<uint64_t>& c) {
+  c.store(c.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+}
+}  // namespace
+
 void CacheManager::Touch(mapping::PageId pid) {
-  MutexLock lk(&mu_);
-  auto it = entries_.find(pid);
-  if (it == entries_.end()) return;
-  it->second.last_access_nanos = clock_->NowNanos();
-  it->second.referenced = true;
-  lru_.splice(lru_.end(), lru_, it->second.lru_pos);
-  stats_.touches++;
+  TouchCell& cell = touch_cells_[TouchCellIndex()];
+  BumpCell(cell.touches);
+  if (options_.touch_sample > 1) {
+    // Sampled fast path: 1-in-N touches do the full probe + recency
+    // update; the rest return after counting. CLOCK tolerates the
+    // thinner reference-bit stream — a hot page is touched often enough
+    // that some sampled touch sets its bit before the hand comes round.
+    thread_local uint32_t tls_touch_round = 0;
+    if (++tls_touch_round < options_.touch_sample) {
+      BumpCell(cell.sampled);
+      return;
+    }
+    tls_touch_round = 0;
+  }
+  Shard& shard = ShardFor(pid);
+  Slot* s = FindSlot(shard, pid);
+  if (s == nullptr) return;
+  s->tick.store(clock_->NowNanos(), std::memory_order_relaxed);
+  s->referenced.store(1, std::memory_order_relaxed);
 }
 
 void CacheManager::Resize(mapping::PageId pid, uint64_t new_bytes) {
-  MutexLock lk(&mu_);
-  auto it = entries_.find(pid);
-  if (it == entries_.end()) return;
-  resident_bytes_ += new_bytes - it->second.bytes;
-  it->second.bytes = new_bytes;
+  Shard& shard = ShardFor(pid);
+  MutexLock lk(&shard.mu);
+  Slot* s = FindSlot(shard, pid);
+  if (s == nullptr) return;
+  const uint64_t old = s->bytes.load(std::memory_order_relaxed);
+  s->bytes.store(new_bytes, std::memory_order_relaxed);
+  shard.resident_bytes.fetch_add(new_bytes - old, std::memory_order_relaxed);
 }
 
 void CacheManager::Erase(mapping::PageId pid) {
-  MutexLock lk(&mu_);
-  auto it = entries_.find(pid);
-  if (it == entries_.end()) return;
-  resident_bytes_ -= it->second.bytes;
-  lru_.erase(it->second.lru_pos);
-  entries_.erase(it);
-  stats_.evictions++;
+  Shard& shard = ShardFor(pid);
+  MutexLock lk(&shard.mu);
+  Slot* s = FindSlot(shard, pid);
+  if (s == nullptr) return;
+  const uint64_t bytes = s->bytes.load(std::memory_order_relaxed);
+  // Tombstone keeps the probe chain intact for concurrent readers.
+  s->pid.store(kTombstonePid, std::memory_order_release);
+  shard.live--;
+  shard.resident_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+  shard.evictions.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool CacheManager::Contains(mapping::PageId pid) const {
-  MutexLock lk(&mu_);
-  return entries_.count(pid) > 0;
+  return FindSlot(ShardFor(pid), pid) != nullptr;
 }
 
 uint64_t CacheManager::resident_bytes() const {
-  MutexLock lk(&mu_);
-  return resident_bytes_;
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->resident_bytes.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 bool CacheManager::OverBudget() const {
-  MutexLock lk(&mu_);
-  return resident_bytes_ > options_.memory_budget_bytes;
+  return resident_bytes() > budget_.load(std::memory_order_relaxed);
 }
 
 double CacheManager::IdleSeconds(mapping::PageId pid) const {
-  MutexLock lk(&mu_);
-  auto it = entries_.find(pid);
-  if (it == entries_.end()) return -1.0;
+  Slot* s = FindSlot(ShardFor(pid), pid);
+  if (s == nullptr) return -1.0;
   return static_cast<double>(clock_->NowNanos() -
-                             it->second.last_access_nanos) *
+                             s->tick.load(std::memory_order_relaxed)) *
          1e-9;
 }
 
+std::vector<CacheManager::VictimCandidate>
+CacheManager::SnapshotByRecency() {
+  std::vector<VictimCandidate> all;
+  for (const auto& shard : shards_) {
+    MutexLock lk(&shard->mu);
+    Table* t = shard->table.load(std::memory_order_relaxed);
+    for (size_t i = 0; i <= t->mask; ++i) {
+      Slot& s = t->slots[i];
+      const uint64_t pid = s.pid.load(std::memory_order_relaxed);
+      if (pid == kEmptyPid || pid == kTombstonePid) continue;
+      all.push_back({pid, s.bytes.load(std::memory_order_relaxed),
+                     s.tick.load(std::memory_order_relaxed),
+                     s.seq.load(std::memory_order_relaxed), &s.referenced});
+    }
+  }
+  // (tick, seq) ascending = exact LRU order, coldest first: every Insert
+  // and full Touch refreshes tick; seq breaks same-tick ties by
+  // insertion order.
+  std::sort(all.begin(), all.end(),
+            [](const VictimCandidate& a, const VictimCandidate& b) {
+              return a.tick != b.tick ? a.tick < b.tick : a.seq < b.seq;
+            });
+  return all;
+}
+
 std::vector<mapping::PageId> CacheManager::PickVictims(uint64_t want_bytes) {
-  MutexLock lk(&mu_);
   std::vector<mapping::PageId> victims;
   uint64_t picked = 0;
   const uint64_t now = clock_->NowNanos();
   const uint64_t breakeven_nanos =
       static_cast<uint64_t>(options_.breakeven_interval_seconds * 1e9);
+  std::vector<VictimCandidate> order = SnapshotByRecency();
 
   switch (options_.policy) {
     case EvictionPolicy::kLru: {
-      for (auto it = lru_.begin(); it != lru_.end() && picked < want_bytes;
-           ++it) {
-        victims.push_back(*it);
-        picked += entries_[*it].bytes;
+      for (size_t i = 0; i < order.size() && picked < want_bytes; ++i) {
+        victims.push_back(order[i].pid);
+        picked += order[i].bytes;
       }
       break;
     }
     case EvictionPolicy::kSecondChance: {
-      // Sweep from LRU end, clearing reference bits; a page is victimized
-      // only when found unreferenced. Two full sweeps bound the scan.
+      // CLOCK sweep in recency order: clear reference bits in place (the
+      // pointers reach the live slots); a page is victimized only when
+      // found unreferenced. Two full sweeps bound the scan.
+      const size_t n = order.size();
+      if (n == 0) break;
+      std::vector<char> taken(n, 0);
+      const size_t max_scan = 2 * n;
       size_t scanned = 0;
-      const size_t max_scan = 2 * lru_.size();
-      auto it = lru_.begin();
-      while (it != lru_.end() && picked < want_bytes &&
-             scanned++ < max_scan) {
-        Entry& e = entries_[*it];
-        if (e.referenced) {
-          e.referenced = false;
-          // Give it a second chance: rotate to MRU side.
-          auto cur = it++;
-          lru_.splice(lru_.end(), lru_, cur);
-          if (it == lru_.end()) it = lru_.begin();
+      for (size_t i = 0; picked < want_bytes && scanned < max_scan;
+           i = (i + 1) % n, ++scanned) {
+        if (taken[i]) continue;
+        VictimCandidate& c = order[i];
+        if (c.ref->load(std::memory_order_relaxed) != 0) {
+          c.ref->store(0, std::memory_order_relaxed);  // second chance
         } else {
-          victims.push_back(*it);
-          picked += e.bytes;
-          ++it;
+          victims.push_back(c.pid);
+          picked += c.bytes;
+          taken[i] = 1;
         }
       }
       break;
@@ -136,28 +320,22 @@ std::vector<mapping::PageId> CacheManager::PickVictims(uint64_t want_bytes) {
     case EvictionPolicy::kCostBased: {
       // First pass: every page idle past breakeven is worth evicting
       // regardless of budget — its DRAM rental now exceeds the cost of an
-      // SS operation on its next access (paper §4.2).
-      for (auto it = lru_.begin(); it != lru_.end(); ++it) {
-        const Entry& e = entries_[*it];
-        if (now - e.last_access_nanos > breakeven_nanos) {
-          victims.push_back(*it);
-          picked += e.bytes;
-        }
-        // lru_ is ordered by recency, so once we hit a page younger than
-        // breakeven every later page is younger too.
-        else {
+      // SS operation on its next access (paper §4.2). The snapshot is
+      // recency-ordered, so stop at the first page younger than
+      // breakeven.
+      size_t split = 0;
+      for (; split < order.size(); ++split) {
+        if (now - order[split].tick > breakeven_nanos) {
+          victims.push_back(order[split].pid);
+          picked += order[split].bytes;
+        } else {
           break;
         }
       }
       // Second pass: budget is a hard constraint; top up from LRU.
-      if (picked < want_bytes) {
-        for (auto it = lru_.begin(); it != lru_.end() && picked < want_bytes;
-             ++it) {
-          const Entry& e = entries_[*it];
-          if (now - e.last_access_nanos > breakeven_nanos) continue;  // taken
-          victims.push_back(*it);
-          picked += e.bytes;
-        }
+      for (size_t i = split; i < order.size() && picked < want_bytes; ++i) {
+        victims.push_back(order[i].pid);
+        picked += order[i].bytes;
       }
       break;
     }
@@ -167,23 +345,38 @@ std::vector<mapping::PageId> CacheManager::PickVictims(uint64_t want_bytes) {
 
 std::vector<std::pair<mapping::PageId, uint64_t>>
 CacheManager::ResidentEntries() const {
-  MutexLock lk(&mu_);
   std::vector<std::pair<mapping::PageId, uint64_t>> out;
-  out.reserve(entries_.size());
-  for (const auto& [pid, e] : entries_) out.emplace_back(pid, e.bytes);
+  for (const auto& shard : shards_) {
+    MutexLock lk(&shard->mu);
+    Table* t = shard->table.load(std::memory_order_relaxed);
+    for (size_t i = 0; i <= t->mask; ++i) {
+      const Slot& s = t->slots[i];
+      const uint64_t pid = s.pid.load(std::memory_order_relaxed);
+      if (pid == kEmptyPid || pid == kTombstonePid) continue;
+      out.emplace_back(pid, s.bytes.load(std::memory_order_relaxed));
+    }
+  }
   return out;
 }
 
 CacheStats CacheManager::stats() const {
-  MutexLock lk(&mu_);
-  CacheStats s = stats_;
-  s.resident_bytes = resident_bytes_;
-  s.resident_pages = entries_.size();
+  CacheStats s;
+  for (const auto& shard : shards_) {
+    s.insertions += shard->insertions.load(std::memory_order_relaxed);
+    s.evictions += shard->evictions.load(std::memory_order_relaxed);
+    s.resident_bytes += shard->resident_bytes.load(std::memory_order_relaxed);
+    MutexLock lk(&shard->mu);
+    s.resident_pages += shard->live;
+  }
+  for (const TouchCell& cell : touch_cells_) {
+    s.touches += cell.touches.load(std::memory_order_relaxed);
+    s.touches_sampled += cell.sampled.load(std::memory_order_relaxed);
+  }
   return s;
 }
 
 void CacheManager::set_memory_budget(uint64_t bytes) {
-  MutexLock lk(&mu_);
+  budget_.store(bytes, std::memory_order_relaxed);
   options_.memory_budget_bytes = bytes;
 }
 

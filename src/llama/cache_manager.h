@@ -1,10 +1,10 @@
 #ifndef COSTPERF_LLAMA_CACHE_MANAGER_H_
 #define COSTPERF_LLAMA_CACHE_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
-#include <list>
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -34,6 +34,14 @@ struct CacheOptions {
   EvictionPolicy policy = EvictionPolicy::kLru;
   // Breakeven idle interval for kCostBased.
   double breakeven_interval_seconds = 45.0;
+  // Touch sampling: with touch_sample == 1 every Touch refreshes the
+  // last-access tick; with N > 1 only every Nth touch (per thread) does
+  // the table probe and recency update, the rest just bump a counter and
+  // return. Recency then has 1-in-N granularity, which CLOCK-style
+  // eviction tolerates; keep 1 when exact LRU order matters.
+  uint32_t touch_sample = 1;
+  // Shard count; rounded up to a power of two. 0 = default (16).
+  uint32_t shards = 0;
   Clock* clock = nullptr;  // defaults to RealClock::Global()
 };
 
@@ -43,6 +51,9 @@ struct CacheStats {
   uint64_t evictions = 0;
   uint64_t resident_bytes = 0;
   uint64_t resident_pages = 0;
+  // Touches that took the sampled fast path (skipped: no table probe,
+  // no clock read). touches counts every Touch call.
+  uint64_t touches_sampled = 0;
 };
 
 // Resident-set accounting and victim selection for the data cache. The
@@ -50,8 +61,23 @@ struct CacheStats {
 // the mapping table; this class decides *which* logical pages should be
 // resident, which is the knob the paper's whole cost analysis is about.
 //
-// Thread-safe (single internal latch; all operations are O(1) or
-// O(victims)).
+// Concurrency: sharded CLOCK design. Pages hash to one of S shards, each
+// an open-addressing table of fixed slots. The hot-path operations —
+// Touch, Contains, IdleSeconds — are lock-free: they probe the slot
+// table through an acquire-load of the published pid and then read or
+// write the per-entry atomics (reference bit, last-touch tick) with
+// relaxed ordering. Structural mutations (Insert/Erase/Resize/growth)
+// take a short per-shard mutex; victim selection snapshots each shard
+// under that same mutex, so eviction never blocks the read path.
+//
+// Memory-ordering contract: a slot's payload fields (bytes, tick, seq,
+// reference bit) are written before its pid is store-released; readers
+// acquire-load the pid and may then read the payload relaxed. Ticks and
+// reference bits are advisory recency metadata — concurrent updates race
+// benignly (a lost Touch can only make a page look slightly colder).
+// Outgrown tables are retired to the owning shard, not freed, so a
+// lock-free reader can keep probing a stale table safely; retired memory
+// is bounded by the live table's size (geometric growth).
 class CacheManager {
  public:
   explicit CacheManager(CacheOptions options = {});
@@ -61,12 +87,14 @@ class CacheManager {
 
   // Page became resident with the given footprint.
   void Insert(mapping::PageId pid, uint64_t bytes);
-  // Page was accessed (moves to MRU / sets reference bit).
+  // Page was accessed (sets reference bit / refreshes last-touch tick).
+  // Lock-free.
   void Touch(mapping::PageId pid);
   // Page footprint changed (delta prepend, consolidation).
   void Resize(mapping::PageId pid, uint64_t new_bytes);
   // Page no longer resident (evicted or freed). No-op if absent.
   void Erase(mapping::PageId pid);
+  // Lock-free.
   bool Contains(mapping::PageId pid) const;
 
   uint64_t resident_bytes() const;
@@ -79,7 +107,7 @@ class CacheManager {
   // time exceeds breakeven (proactive cost-driven eviction).
   std::vector<mapping::PageId> PickVictims(uint64_t want_bytes);
 
-  // Seconds since pid was last touched; negative if unknown.
+  // Seconds since pid was last touched; negative if unknown. Lock-free.
   double IdleSeconds(mapping::PageId pid) const;
 
   CacheStats stats() const;
@@ -91,27 +119,95 @@ class CacheManager {
   // against the mapping table and the tree's resident chains.
   std::vector<std::pair<mapping::PageId, uint64_t>> ResidentEntries() const;
 
+  size_t shard_count() const { return shards_.size(); }
+
  private:
-  struct Entry {
-    uint64_t bytes = 0;
-    uint64_t last_access_nanos = 0;
-    bool referenced = false;  // second-chance bit
-    std::list<mapping::PageId>::iterator lru_pos;
+  // Slot pid sentinels. kInvalidPageId doubles as "empty"; tombstones
+  // keep linear-probe chains intact across Erase.
+  static constexpr uint64_t kEmptyPid = mapping::kInvalidPageId;
+  static constexpr uint64_t kTombstonePid = mapping::kInvalidPageId - 1;
+
+  struct Slot {
+    // Published last (release); readers acquire-load it before touching
+    // the fields below.
+    std::atomic<uint64_t> pid{kEmptyPid};
+    std::atomic<uint64_t> bytes{0};
+    // Last-access tick (Clock::NowNanos at the most recent full touch).
+    std::atomic<uint64_t> tick{0};
+    // Global insertion/re-insertion sequence; breaks recency ties among
+    // pages whose ticks are equal, reproducing exact LRU order.
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint32_t> referenced{0};  // second-chance bit
   };
 
-  // Budget is mutated under mu_ by set_memory_budget; the remaining
-  // options fields are immutable after construction.
+  struct Table {
+    explicit Table(size_t capacity)
+        : mask(capacity - 1), slots(new Slot[capacity]) {}
+    size_t capacity() const { return mask + 1; }
+    const size_t mask;  // capacity - 1; capacity is a power of two
+    const std::unique_ptr<Slot[]> slots;
+  };
+
+  struct alignas(64) Shard {
+    mutable Mutex mu;
+    // Current table, readable without the mutex; swapped (under mu) on
+    // growth with the old table pushed onto `tables`.
+    std::atomic<Table*> table{nullptr};
+    std::vector<std::unique_ptr<Table>> tables GUARDED_BY(mu);
+    size_t live GUARDED_BY(mu) = 0;  // valid pids
+    size_t used GUARDED_BY(mu) = 0;  // valid pids + tombstones
+    std::atomic<uint64_t> resident_bytes{0};
+    std::atomic<uint64_t> insertions{0};
+    std::atomic<uint64_t> evictions{0};
+  };
+
+  // Touch counters are striped per thread (not per shard): every touch
+  // bumps its calling thread's private cell with a relaxed load+store,
+  // so the hot path never does an atomic RMW on a shared line. stats()
+  // sums the cells. Threads hash onto kTouchCells cells; two threads
+  // sharing a cell can drop increments (counters only).
+  struct alignas(64) TouchCell {
+    std::atomic<uint64_t> touches{0};
+    std::atomic<uint64_t> sampled{0};
+  };
+  static constexpr int kTouchCells = 64;
+  static int TouchCellIndex();
+
+  // A consistent per-page snapshot used for victim selection. ref points
+  // into a slot (valid for the manager's lifetime — tables are retired,
+  // never freed) so the CLOCK sweep can clear live reference bits.
+  struct VictimCandidate {
+    mapping::PageId pid;
+    uint64_t bytes;
+    uint64_t tick;
+    uint64_t seq;
+    std::atomic<uint32_t>* ref;
+  };
+
+  Shard& ShardFor(mapping::PageId pid) const;
+  // Lock-free probe of the shard's current table. Returns nullptr when
+  // pid is absent.
+  Slot* FindSlot(const Shard& shard, mapping::PageId pid) const;
+  // Probe under shard.mu for insert: returns the slot holding pid, or a
+  // free (empty/tombstone) slot to claim, growing the table if needed.
+  Slot* FindOrClaimSlot(Shard& shard, mapping::PageId pid,
+                        bool* claimed_tombstone) REQUIRES(shard.mu);
+  void GrowTable(Shard& shard) REQUIRES(shard.mu);
+  // Snapshot of every resident page across all shards, sorted by
+  // (tick, seq) — i.e. exact LRU order, coldest first.
+  std::vector<VictimCandidate> SnapshotByRecency();
+
+  // memory_budget_bytes is mirrored in budget_ so OverBudget stays
+  // lock-free; the remaining options fields are immutable after
+  // construction.
   CacheOptions options_;
   Clock* clock_;
-
-  mutable Mutex mu_;
-  std::unordered_map<mapping::PageId, Entry> entries_ GUARDED_BY(mu_);
-  // Front = LRU, back = MRU.
-  std::list<mapping::PageId> lru_ GUARDED_BY(mu_);
-  // Clock hand for second chance (index into lru_ semantics: we reuse the
-  // lru_ list and rotate).
-  uint64_t resident_bytes_ GUARDED_BY(mu_) = 0;
-  CacheStats stats_ GUARDED_BY(mu_);
+  std::atomic<uint64_t> budget_;
+  // Monotonic recency tiebreak, bumped on insert/re-insert.
+  std::atomic<uint64_t> lru_seq_{0};
+  size_t shard_mask_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable TouchCell touch_cells_[kTouchCells];
 };
 
 }  // namespace costperf::llama

@@ -45,6 +45,15 @@ void LogStructuredStore::EncodeRecord(PageId pid, const Slice& image,
   dst->append(image.data(), image.size());
 }
 
+void LogStructuredStore::EncodeRecordTo(PageId pid, const Slice& image,
+                                        char* dst) {
+  EncodeFixed32(dst, kRecordMagic);
+  EncodeFixed64(dst + 4, pid);
+  EncodeFixed32(dst + 12, static_cast<uint32_t>(image.size()));
+  EncodeFixed32(dst + 16, MaskCrc(Crc32c(image.data(), image.size())));
+  memcpy(dst + kHeaderBytes, image.data(), image.size());
+}
+
 Status LogStructuredStore::DecodeRecord(const char* data, uint64_t len,
                                         bool verify, PageId* pid,
                                         Slice* payload) {
@@ -67,6 +76,23 @@ Status LogStructuredStore::DecodeRecord(const char* data, uint64_t len,
   return Status::Ok();
 }
 
+void LogStructuredStore::RecordGroupLocked(uint64_t size) {
+  stats_.append_groups++;
+  size_t bucket = 0;  // 1, 2, 3-4, 5-8, 9-16, 17+
+  if (size >= 17) {
+    bucket = 5;
+  } else if (size >= 9) {
+    bucket = 4;
+  } else if (size >= 5) {
+    bucket = 3;
+  } else if (size >= 3) {
+    bucket = 2;
+  } else if (size == 2) {
+    bucket = 1;
+  }
+  stats_.group_size_hist[bucket]++;
+}
+
 Result<FlashAddress> LogStructuredStore::Append(PageId pid,
                                                 const Slice& image) {
   const uint64_t record_len = kHeaderBytes + image.size();
@@ -76,26 +102,57 @@ Result<FlashAddress> LogStructuredStore::Append(PageId pid,
   if (record_len > FlashAddress::kMaxLen) {
     return Status::InvalidArgument("page image exceeds address length field");
   }
-  MutexLock lk(&mu_);
-  if (open_buffer_.size() + record_len > options_.segment_bytes) {
-    Status s = FlushLocked();
-    if (!s.ok()) return s;
+  uint64_t device_offset = 0;
+  char* dst = nullptr;
+  {
+    MutexLock lk(&mu_);
+    // A sealing flusher owns the buffer until the segment is on media.
+    while (sealing_) cv_.wait(mu_);
+    if (open_buffer_.size() + record_len > options_.segment_bytes) {
+      Status s = FlushLocked();
+      if (!s.ok()) return s;
+    }
+    const uint64_t in_segment = open_buffer_.size();
+    device_offset = open_segment_id_ * options_.segment_bytes + in_segment;
+    // Reserve the record's byte range; capacity was pre-reserved at
+    // segment size, so this never reallocates and `dst` stays valid
+    // after the latch drops.
+    open_buffer_.resize(in_segment + record_len);
+    dst = open_buffer_.data() + in_segment;
+    pending_fills_++;
+    group_reserved_++;
+    directory_[open_segment_id_].used_bytes = open_buffer_.size();
+    stats_.records_appended++;
+    stats_.bytes_appended += record_len;
+    stats_.payload_bytes_appended += image.size();
   }
-  const uint64_t in_segment = open_buffer_.size();
-  const uint64_t device_offset =
-      open_segment_id_ * options_.segment_bytes + in_segment;
-  EncodeRecord(pid, image, &open_buffer_);
-  directory_[open_segment_id_].used_bytes = open_buffer_.size();
-  stats_.records_appended++;
-  stats_.bytes_appended += record_len;
-  stats_.payload_bytes_appended += image.size();
+  // Header, checksum, and payload copy happen outside the latch —
+  // concurrent appends encode their disjoint ranges in parallel.
+  EncodeRecordTo(pid, image, dst);
+  {
+    MutexLock lk(&mu_);
+    if (--pending_fills_ == 0) {
+      RecordGroupLocked(group_reserved_);
+      group_reserved_ = 0;
+      cv_.notify_all();
+    }
+  }
   return FlashAddress(device_offset, record_len);
 }
 
 Status LogStructuredStore::FlushLocked() {
+  // Another flusher may be sealing; once it finishes the buffer is fresh
+  // (usually empty) and the size check below turns this into a no-op.
+  while (sealing_) cv_.wait(mu_);
   if (open_buffer_.size() <= kSegmentHeaderBytes) return Status::Ok();
+  // Block new reservations and wait out in-flight encodes so the segment
+  // image written below is complete.
+  sealing_ = true;
+  while (pending_fills_ > 0) cv_.wait(mu_);
   const uint64_t device_offset = open_segment_id_ * options_.segment_bytes;
   Status s = device_->Write(device_offset, Slice(open_buffer_));
+  sealing_ = false;
+  cv_.notify_all();
   if (!s.ok()) return s;
   directory_[open_segment_id_].sealed = true;
   stats_.segments_written++;
@@ -115,6 +172,10 @@ Status LogStructuredStore::Read(FlashAddress addr, std::string* image,
   std::string raw;
   {
     MutexLock lk(&mu_);
+    // Wait out in-flight encodes so we never read a reserved-but-unfilled
+    // range. The open segment may seal while we wait, flipping us to the
+    // device path.
+    while (seg == open_segment_id_ && pending_fills_ > 0) cv_.wait(mu_);
     if (seg == open_segment_id_) {
       // Served from the open write buffer: no device I/O.
       const uint64_t in_seg = addr.offset() % options_.segment_bytes;

@@ -1,6 +1,8 @@
 #ifndef COSTPERF_LLAMA_LOG_STORE_H_
 #define COSTPERF_LLAMA_LOG_STORE_H_
 
+#include <array>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -42,6 +44,14 @@ struct LogStoreStats {
   uint64_t bytes_collected = 0;       // record bytes retired with GC'd segments
   uint64_t dead_bytes_collected = 0;  // dead marks retired with GC'd segments
   uint64_t recovered_bytes = 0;       // record bytes adopted by Recover()
+  // Group-append visibility: appends reserve space under the latch and
+  // encode outside it; a "group" is the run of appends whose encodes
+  // overlapped (the fill counter rose from and returned to zero). With no
+  // concurrency every group has size 1.
+  uint64_t append_groups = 0;
+  // Group-size histogram buckets: 1, 2, 3-4, 5-8, 9-16, 17+.
+  static constexpr size_t kGroupSizeBuckets = 6;
+  std::array<uint64_t, kGroupSizeBuckets> group_size_hist{};
 };
 
 struct SegmentInfo {
@@ -85,9 +95,14 @@ struct RecoveryReport {
 // append relocates the page, so callers track positions via FlashAddress
 // and the mapping table.
 //
-// Thread-safe; appends serialize on a short latch (the buffered-write path
-// is cheap), reads are latch-free against the device and take the latch
-// only to check the open buffer.
+// Thread-safe. Appends are group-batched: each append takes the latch
+// only to reserve its byte range in the open buffer, then encodes the
+// header, checksum, and payload copy *outside* the latch (the buffer's
+// capacity is pre-reserved at segment size, so reserved ranges are
+// pointer-stable). A fill counter plus condition variable lets sealing —
+// and open-buffer reads — wait for in-flight encodes, so the latch hold
+// time is O(1) regardless of payload size. Reads are latch-free against
+// the device and take the latch only to check the open buffer.
 class LogStructuredStore {
  public:
   // `device` must outlive the store.
@@ -176,6 +191,11 @@ class LogStructuredStore {
   // Writes and seals the open segment.
   Status FlushLocked() REQUIRES(mu_);
   static void EncodeRecord(PageId pid, const Slice& image, std::string* dst);
+  // Encodes into a pre-reserved buffer range of exactly
+  // kHeaderBytes + image.size() bytes (the unlatched half of Append).
+  static void EncodeRecordTo(PageId pid, const Slice& image, char* dst);
+  // Accounts a completed append group of `size` records.
+  void RecordGroupLocked(uint64_t size) REQUIRES(mu_);
   // Parses the record at `data`; returns payload view or error.
   static Status DecodeRecord(const char* data, uint64_t len, bool verify,
                              PageId* pid, Slice* payload);
@@ -184,7 +204,18 @@ class LogStructuredStore {
   LogStoreOptions options_;
 
   mutable Mutex mu_;
-  // Contents of the open segment so far.
+  // Signaled when in-flight fills drain to zero and when sealing ends.
+  std::condition_variable_any cv_;
+  // Appends that reserved a range in open_buffer_ but have not finished
+  // encoding into it.
+  uint64_t pending_fills_ GUARDED_BY(mu_) = 0;
+  // True while a flusher waits for fills and writes the segment; blocks
+  // new reservations so the sealed image is complete.
+  bool sealing_ GUARDED_BY(mu_) = false;
+  // Reservations since pending_fills_ last rose from zero (current group).
+  uint64_t group_reserved_ GUARDED_BY(mu_) = 0;
+  // Contents of the open segment so far. Capacity is reserved at
+  // segment_bytes, so in-place fills never move the data.
   std::string open_buffer_ GUARDED_BY(mu_);
   uint64_t open_segment_id_ GUARDED_BY(mu_) = 0;
   uint64_t next_segment_id_ GUARDED_BY(mu_) = 0;

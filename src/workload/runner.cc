@@ -57,13 +57,15 @@ struct ThreadResult {
 };
 
 // Executes one non-batchable op (scan / RMW / anything in unbatched
-// mode). Returns false on failure.
+// mode). Returns false on failure. `read_buf` is a per-thread value
+// buffer reused across reads so in-cache Gets don't allocate.
 bool ExecuteOp(core::KvStore* store, const Op& op, size_t value_size,
-               std::vector<std::pair<std::string, std::string>>* scan_buf) {
+               std::vector<std::pair<std::string, std::string>>* scan_buf,
+               std::string* read_buf) {
   switch (op.type) {
     case OpType::kRead: {
-      auto r = store->Get(Slice(op.key));
-      return r.ok() || r.status().IsNotFound();
+      Status s = store->Get(Slice(op.key), read_buf);
+      return s.ok() || s.IsNotFound();
     }
     case OpType::kUpdate:
     case OpType::kInsert:
@@ -71,8 +73,8 @@ bool ExecuteOp(core::KvStore* store, const Op& op, size_t value_size,
     case OpType::kScan:
       return store->Scan(Slice(op.key), op.scan_len, scan_buf).ok();
     case OpType::kReadModifyWrite: {
-      auto r = store->Get(Slice(op.key));
-      std::string v = r.ok() ? *r : std::string();
+      Status s = store->Get(Slice(op.key), read_buf);
+      std::string v = s.ok() ? *read_buf : std::string();
       v += op.value;
       if (v.size() > 2 * value_size) v.resize(value_size);
       return store->Put(Slice(op.key), Slice(v)).ok();
@@ -83,14 +85,18 @@ bool ExecuteOp(core::KvStore* store, const Op& op, size_t value_size,
 
 class LatencyTimer {
  public:
-  LatencyTimer(bool enabled, Histogram* hist)
-      : enabled_(enabled), hist_(hist) {}
+  LatencyTimer(bool enabled, uint32_t sample, Histogram* hist)
+      : enabled_(enabled), sample_(sample < 1 ? 1 : sample), hist_(hist) {}
 
   void Start() {
-    if (enabled_) start_ = RealClock::Global()->NowNanos();
+    armed_ = enabled_ && ++round_ >= sample_;
+    if (armed_) {
+      round_ = 0;
+      start_ = RealClock::Global()->NowNanos();
+    }
   }
   void Stop() {
-    if (enabled_) {
+    if (armed_) {
       hist_->Add(
           static_cast<double>(RealClock::Global()->NowNanos() - start_) *
           1e-3);
@@ -99,7 +105,10 @@ class LatencyTimer {
 
  private:
   const bool enabled_;
+  const uint32_t sample_;
   Histogram* hist_;
+  uint32_t round_ = 0;
+  bool armed_ = false;
   uint64_t start_ = 0;
 };
 
@@ -108,7 +117,9 @@ void RunPhase(core::KvStore* store, const WorkloadSpec& spec,
               ThreadResult* result) {
   Workload workload(spec, /*thread_seed_offset=*/thread_index + 1);
   std::vector<std::pair<std::string, std::string>> scan_buf;
-  LatencyTimer timer(options.record_latencies, &result->latency_micros);
+  std::string read_buf;
+  LatencyTimer timer(options.record_latencies, options.latency_sample,
+                     &result->latency_micros);
   const size_t batch = std::max<size_t>(1, spec.batch_size);
 
   // Batch staging, reused across groups.
@@ -120,12 +131,13 @@ void RunPhase(core::KvStore* store, const WorkloadSpec& spec,
   const uint64_t cpu_start = ThreadCpuNanos();
 
   uint64_t done = 0;
+  Op op;  // reused in unbatched mode: key/value capacity persists
   while (done < options.ops_per_thread) {
     if (batch == 1) {
-      Op op = workload.NextOp();
+      workload.NextOp(&op);
       ++result->op_counts[static_cast<int>(op.type)];
       timer.Start();
-      bool ok = ExecuteOp(store, op, spec.value_size, &scan_buf);
+      bool ok = ExecuteOp(store, op, spec.value_size, &scan_buf, &read_buf);
       timer.Stop();
       if (!ok) ++result->failed_ops;
       ++done;
@@ -141,18 +153,19 @@ void RunPhase(core::KvStore* store, const WorkloadSpec& spec,
     write_entries.clear();
     singles.clear();
     for (uint64_t i = 0; i < group; ++i) {
-      Op op = workload.NextOp();
-      ++result->op_counts[static_cast<int>(op.type)];
-      switch (op.type) {
+      Op staged = workload.NextOp();
+      ++result->op_counts[static_cast<int>(staged.type)];
+      switch (staged.type) {
         case OpType::kRead:
-          read_keys.push_back(std::move(op.key));
+          read_keys.push_back(std::move(staged.key));
           break;
         case OpType::kUpdate:
         case OpType::kInsert:
-          write_entries.emplace_back(std::move(op.key), std::move(op.value));
+          write_entries.emplace_back(std::move(staged.key),
+                                     std::move(staged.value));
           break;
         default:
-          singles.push_back(std::move(op));
+          singles.push_back(std::move(staged));
       }
     }
     if (!read_keys.empty()) {
@@ -172,9 +185,10 @@ void RunPhase(core::KvStore* store, const WorkloadSpec& spec,
       // WriteBatch reports only the first failure; count it as one.
       if (!s.ok()) ++result->failed_ops;
     }
-    for (const Op& op : singles) {
+    for (const Op& single : singles) {
       timer.Start();
-      bool ok = ExecuteOp(store, op, spec.value_size, &scan_buf);
+      bool ok =
+          ExecuteOp(store, single, spec.value_size, &scan_buf, &read_buf);
       timer.Stop();
       if (!ok) ++result->failed_ops;
     }

@@ -19,6 +19,10 @@ struct RunnerOptions {
   // Per-op wall latency into per-thread histograms (merged in the
   // report). Costs one clock read per op; off for pure-throughput runs.
   bool record_latencies = true;
+  // Record only every Nth op's latency (per thread). Two clock reads per
+  // sample are a measurable slice of an in-cache op, so throughput runs
+  // sample; 1 = time every op.
+  uint32_t latency_sample = 1;
 };
 
 // Merged result of a multi-threaded run. CPU seconds follow the paper's

@@ -90,10 +90,24 @@ Workload::Workload(WorkloadSpec spec, uint64_t thread_seed_offset)
 }
 
 std::string Workload::KeyAt(uint64_t i) const {
-  char buf[40];
-  snprintf(buf, sizeof(buf), "%s%012llu", spec_.key_prefix.c_str(),
-           static_cast<unsigned long long>(i));
-  return buf;
+  std::string key;
+  KeyAt(i, &key);
+  return key;
+}
+
+void Workload::KeyAt(uint64_t i, std::string* out) const {
+  // Hand-rolled 12-digit zero-padded formatting: this runs once per
+  // generated op, and snprintf's format parsing is a measurable slice of
+  // the in-cache op budget.
+  char buf[12];
+  for (int d = 11; d >= 0; --d) {
+    buf[d] = static_cast<char>('0' + i % 10);
+    i /= 10;
+  }
+  out->clear();
+  out->reserve(spec_.key_prefix.size() + sizeof(buf));
+  out->append(spec_.key_prefix);
+  out->append(buf, sizeof(buf));
 }
 
 uint64_t Workload::NextKeyIndex() {
@@ -121,38 +135,44 @@ std::string Workload::RandomValue() {
 
 Op Workload::NextOp() {
   Op op;
+  NextOp(&op);
+  return op;
+}
+
+void Workload::NextOp(Op* op) {
+  op->value.clear();
+  op->scan_len = 0;
   double dice = rng_.NextDouble();
   double acc = spec_.read_proportion;
   if (dice < acc) {
-    op.type = OpType::kRead;
-    op.key = KeyAt(NextKeyIndex());
-    return op;
+    op->type = OpType::kRead;
+    KeyAt(NextKeyIndex(), &op->key);
+    return;
   }
   acc += spec_.update_proportion;
   if (dice < acc) {
-    op.type = OpType::kUpdate;
-    op.key = KeyAt(NextKeyIndex());
-    op.value = RandomValue();
-    return op;
+    op->type = OpType::kUpdate;
+    KeyAt(NextKeyIndex(), &op->key);
+    op->value = RandomValue();
+    return;
   }
   acc += spec_.insert_proportion;
   if (dice < acc) {
-    op.type = OpType::kInsert;
-    op.key = KeyAt(insert_cursor_++);
-    op.value = RandomValue();
-    return op;
+    op->type = OpType::kInsert;
+    KeyAt(insert_cursor_++, &op->key);
+    op->value = RandomValue();
+    return;
   }
   acc += spec_.scan_proportion;
   if (dice < acc) {
-    op.type = OpType::kScan;
-    op.key = KeyAt(NextKeyIndex());
-    op.scan_len = 1 + rng_.Uniform(spec_.max_scan_len);
-    return op;
+    op->type = OpType::kScan;
+    KeyAt(NextKeyIndex(), &op->key);
+    op->scan_len = 1 + rng_.Uniform(spec_.max_scan_len);
+    return;
   }
-  op.type = OpType::kReadModifyWrite;
-  op.key = KeyAt(NextKeyIndex());
-  op.value = RandomValue();
-  return op;
+  op->type = OpType::kReadModifyWrite;
+  KeyAt(NextKeyIndex(), &op->key);
+  op->value = RandomValue();
 }
 
 Status Workload::Load(core::KvStore* store) {

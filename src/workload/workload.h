@@ -68,8 +68,14 @@ class Workload {
   // Key for record index i ("user0000001234"-style, fixed width so
   // lexicographic order == numeric order).
   std::string KeyAt(uint64_t i) const;
+  // Formats into *out (capacity reuse avoids the per-op key allocation
+  // on the hot generation path).
+  void KeyAt(uint64_t i, std::string* out) const;
 
   Op NextOp();
+  // In-place variant: reuses op->key/op->value capacity across calls.
+  // Generates the same deterministic stream as NextOp().
+  void NextOp(Op* op);
 
   // Inserts all `record_count` records (sequential keys, random values).
   Status Load(core::KvStore* store);
