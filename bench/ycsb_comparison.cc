@@ -256,6 +256,9 @@ int RunThreadSweep() {
 // row per thread count so successive PRs can diff the scaling trajectory.
 // Every store-side mutex is off the read path here, so this sweep is the
 // direct measure of hot-path serialization (cache Touch, shard routing).
+// A second section ("ss_sweep") runs a budget-bounded SS-heavy mix in
+// inline vs background maintenance mode so the tail-latency effect of
+// moving eviction/GC off the op path is diffable too.
 int RunSmokeJson(const char* path) {
   constexpr uint64_t kSmokeRecords = 20'000;
   // Total ops, split across threads. Large enough that one row runs for
@@ -275,8 +278,8 @@ int RunSmokeJson(const char* path) {
           (unsigned long long)kSmokeRecords, (unsigned long long)kSmokeOps,
           kShards);
   printf("smoke: in-cache YCSB-C sweep -> %s\n", path);
-  printf("%7s | %12s %12s %12s | %8s %8s\n", "threads", "wall ops/s",
-         "cpu ops/s", "aggregate", "p50us", "p99us");
+  printf("%7s | %12s %12s %12s | %8s %8s %8s\n", "threads", "wall ops/s",
+         "cpu ops/s", "aggregate", "p50us", "p99us", "p999us");
 
   bool first = true;
   for (int threads : {1, 2, 4, 8}) {
@@ -305,17 +308,78 @@ int RunSmokeJson(const char* path) {
       fclose(out);
       return 1;
     }
-    printf("%7d | %12.0f %12.0f %12.0f | %8.1f %8.1f\n", threads,
+    printf("%7d | %12.0f %12.0f %12.0f | %8.1f %8.1f %8.1f\n", threads,
            r.ops_per_wall_sec, r.ops_per_cpu_sec,
-           r.modeled_parallel_ops_per_sec, r.p50_micros, r.p99_micros);
+           r.modeled_parallel_ops_per_sec, r.p50_micros, r.p99_micros,
+           r.p999_micros);
     fprintf(out,
             "%s    {\"threads\": %d, \"ops_per_wall_sec\": %.0f, "
             "\"ops_per_cpu_sec\": %.0f, "
             "\"modeled_parallel_ops_per_sec\": %.0f, "
-            "\"p50_micros\": %.2f, \"p99_micros\": %.2f}",
+            "\"p50_micros\": %.2f, \"p99_micros\": %.2f, "
+            "\"p999_micros\": %.2f}",
             first ? "" : ",\n", threads, r.ops_per_wall_sec,
             r.ops_per_cpu_sec, r.modeled_parallel_ops_per_sec, r.p50_micros,
-            r.p99_micros);
+            r.p99_micros, r.p999_micros);
+    first = false;
+  }
+  fprintf(out, "\n  ],\n");
+
+  // SS-heavy steady state, inline vs background maintenance: the same
+  // budget-bounded zipf update mix with maintenance amortized onto the
+  // op path vs done by scheduler workers. The diffable claims are the
+  // tail latencies (background mode removes the periodic inline
+  // eviction/GC bursts from the op path) and the attribution counters
+  // (foreground_maintenance_ops must be 0 in background mode).
+  printf("smoke: SS-heavy inline vs background maintenance\n");
+  printf("%-11s | %12s | %8s %8s %8s | %10s %10s\n", "mode", "wall ops/s",
+         "p50us", "p99us", "p999us", "fg ops", "bg steps");
+  fprintf(out, "  \"ss_sweep\": [\n");
+  first = true;
+  for (int background = 0; background <= 1; ++background) {
+    core::CachingStoreOptions opts;
+    opts.memory_budget_bytes = (1536 << 10) / kShards;
+    opts.device.capacity_bytes = 512ull << 20;
+    opts.device.max_iops = 0;
+    opts.maintenance_interval_ops = 128;
+    if (background != 0) {
+      opts.background.workers = 2;
+      opts.background.log_dead_trigger = 0.5;
+    }
+    auto store = core::ShardedStore::OfCaching(kShards, opts);
+
+    workload::WorkloadSpec spec = workload::WorkloadSpec::YcsbA(24'000);
+    spec.value_size = 256;
+    workload::RunnerOptions ropts;
+    ropts.threads = 4;
+    ropts.ops_per_thread = 30'000;
+    ropts.latency_sample = 4;
+    workload::Runner runner(store.get(), spec, ropts);
+    workload::RunReport r = runner.LoadAndRun();
+    if (r.failed_ops > 0) {
+      fprintf(stderr, "smoke: %llu failed ops in ss sweep (%s)\n",
+              (unsigned long long)r.failed_ops,
+              background ? "background" : "inline");
+      fclose(out);
+      return 1;
+    }
+    const char* mode = background ? "background" : "inline";
+    printf("%-11s | %12.0f | %8.1f %8.1f %8.1f | %10llu %10llu\n", mode,
+           r.ops_per_wall_sec, r.p50_micros, r.p99_micros, r.p999_micros,
+           (unsigned long long)r.foreground_maintenance_ops,
+           (unsigned long long)r.background_maintenance_steps);
+    fprintf(out,
+            "%s    {\"mode\": \"%s\", \"ops_per_wall_sec\": %.0f, "
+            "\"p50_micros\": %.2f, \"p99_micros\": %.2f, "
+            "\"p999_micros\": %.2f, \"foreground_maintenance_ops\": %llu, "
+            "\"background_maintenance_steps\": %llu, "
+            "\"write_stalls\": %llu, \"stall_micros_total\": %llu}",
+            first ? "" : ",\n", mode, r.ops_per_wall_sec, r.p50_micros,
+            r.p99_micros, r.p999_micros,
+            (unsigned long long)r.foreground_maintenance_ops,
+            (unsigned long long)r.background_maintenance_steps,
+            (unsigned long long)r.write_stalls,
+            (unsigned long long)r.stall_micros_total);
     first = false;
   }
   fprintf(out, "\n  ]\n}\n");

@@ -1,8 +1,13 @@
 #!/usr/bin/env bash
-# In-cache read-heavy smoke benchmark: builds the Release bench binary
-# and runs the YCSB-C thread sweep ({1,2,4,8} threads, unbounded memory
-# budget), emitting machine-readable per-thread-count results so
-# successive PRs can diff the hot-path scaling trajectory.
+# Smoke benchmark: builds the Release bench binary and runs two sweeps,
+# emitting machine-readable results so successive PRs can diff them:
+#   - "sweep": in-cache read-heavy YCSB-C over {1,2,4,8} threads
+#     (unbounded budget) — the hot-path scaling trajectory, now with
+#     p999 alongside p50/p99.
+#   - "ss_sweep": a budget-bounded SS-heavy zipf mix in inline vs
+#     background maintenance mode — tail latency and the maintenance
+#     attribution counters (foreground_maintenance_ops is 0 when the
+#     MaintenanceScheduler does the work).
 #
 # Usage: scripts/bench_smoke.sh [output.json]
 #   default output: BENCH_smoke.json in the repo root

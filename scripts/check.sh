@@ -6,16 +6,20 @@
 # explicit message rather than silently passing.
 #
 # Usage: scripts/check.sh [lane...]
-#   lanes: plain analyze asan tsan ubsan   (default: all)
-#   plus the opt-in `bench` lane (never run by default: wall-clock
-#   sensitive), which runs scripts/bench_smoke.sh and leaves its
-#   BENCH_smoke.json at the repo root.
+#   lanes: plain analyze asan tsan ubsan stress   (default: all)
+#   `stress` runs the SS-heavy steady-state bench (bench/ss_stress) and
+#   fails unless background mode finished with foreground_maintenance_ops
+#   == 0 — the off-the-op-path maintenance contract. It asserts counters,
+#   not wall-clock numbers, so it is safe on loaded hosts.
+#   The opt-in `bench` lane (never run by default: wall-clock sensitive)
+#   runs scripts/bench_smoke.sh and leaves its BENCH_smoke.json at the
+#   repo root.
 set -u
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 LANES=("$@")
-[[ ${#LANES[@]} -eq 0 ]] && LANES=(plain analyze asan tsan ubsan)
+[[ ${#LANES[@]} -eq 0 ]] && LANES=(plain analyze asan tsan ubsan stress)
 
 failures=()
 skips=()
@@ -96,6 +100,18 @@ for lane in "${LANES[@]}"; do
     ubsan)
       run_lane ubsan -DCMAKE_BUILD_TYPE=Debug -DCOSTPERF_SANITIZE=undefined
       ;;
+    stress)
+      echo
+      echo "=== lane: stress ==="
+      dir="$ROOT/build-stress"
+      if cmake -S "$ROOT" -B "$dir" -DCMAKE_BUILD_TYPE=Release >/dev/null &&
+         cmake --build "$dir" --target ss_stress -j "$JOBS" >/dev/null &&
+         "$dir/bench/ss_stress"; then
+        echo "lane stress: background maintenance contract holds"
+      else
+        failures+=("stress")
+      fi
+      ;;
     bench)
       echo
       echo "=== lane: bench ==="
@@ -104,7 +120,7 @@ for lane in "${LANES[@]}"; do
       fi
       ;;
     *)
-      echo "unknown lane '$lane' (want: plain analyze asan tsan ubsan bench)" >&2
+      echo "unknown lane '$lane' (want: plain analyze asan tsan ubsan stress bench)" >&2
       exit 2
       ;;
   esac

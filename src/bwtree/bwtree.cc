@@ -5,6 +5,8 @@
 #include <map>
 #include <set>
 
+#include "common/op_class.h"
+
 namespace costperf::bwtree {
 
 namespace {
@@ -392,8 +394,10 @@ Status BwTree::Get(const Slice& key, std::string* value_out) {
       }
       if (ctx.flash_reads > 0) {
         Bump(cell.ss);
+        opclass::Publish(OpClass::kSs);
       } else {
         Bump(cell.mm);
+        opclass::Publish(OpClass::kMm);
       }
       // Only take the consolidation path when the chain we just searched
       // is long enough; MaybeConsolidate re-reads the mapping entry, and
@@ -447,6 +451,7 @@ Status BwTree::Put(const Slice& key, const Slice& value, uint64_t timestamp) {
       if (table_.Cas(pid, w, EncodePointer(delta))) {
         Bump(cell.blind);
         Bump(cell.mm);
+        opclass::Publish(OpClass::kMm);
         MetaMarkDirty(pid);
         CacheInsertOrResize(pid, delta);
         return Status::Ok();
@@ -478,6 +483,7 @@ Status BwTree::Put(const Slice& key, const Slice& value, uint64_t timestamp) {
     if (table_.Cas(pid, w, EncodePointer(delta))) {
       if (delta->blind) Bump(cell.blind);
       Bump(cell.mm);
+      opclass::Publish(OpClass::kMm);
       MetaMarkDirty(pid);
       if (options_.cache != nullptr) {
         options_.cache->Resize(pid, ChainBytes(delta));
@@ -518,6 +524,7 @@ Status BwTree::Delete(const Slice& key, uint64_t timestamp) {
       if (table_.Cas(pid, w, EncodePointer(delta))) {
         Bump(cell.blind);
         Bump(cell.mm);
+        opclass::Publish(OpClass::kMm);
         MetaMarkDirty(pid);
         CacheInsertOrResize(pid, delta);
         return Status::Ok();
@@ -549,6 +556,7 @@ Status BwTree::Delete(const Slice& key, uint64_t timestamp) {
         Bump(cell.blind);
       }
       Bump(cell.mm);
+      opclass::Publish(OpClass::kMm);
       MetaMarkDirty(pid);
       if (options_.cache != nullptr) {
         options_.cache->Resize(pid, ChainBytes(delta));
@@ -663,23 +671,23 @@ LeafBase* BwTree::ConsolidateChain(Node* head) const {
   return fresh;
 }
 
-void BwTree::MaybeConsolidate(PageId pid, std::vector<PageId>* path) {
+bool BwTree::MaybeConsolidate(PageId pid, std::vector<PageId>* path) {
   uint64_t w = table_.Get(pid);
-  if (w == 0 || IsFlashWord(w)) return;
+  if (w == 0 || IsFlashWord(w)) return false;
   Node* head = DecodePointer(w);
-  if (head->chain_length < options_.consolidate_threshold) return;
+  if (head->chain_length < options_.consolidate_threshold) return false;
   Node* tail = ChainTail(head);
-  if (tail->type != NodeType::kLeafBase) return;  // flash tail: record cache
+  if (tail->type != NodeType::kLeafBase) return false;  // flash tail: rc
 
   LeafBase* fresh = ConsolidateChain(head);
-  if (fresh == nullptr) return;
+  if (fresh == nullptr) return false;
   // Content changed relative to flash if any delta was merged.
   bool merged_deltas = head != tail;
 
   if (fresh->PayloadBytes() > options_.max_page_bytes &&
       fresh->keys.size() >= 2) {
     SplitLeaf(pid, w, fresh, path);
-    return;
+    return true;
   }
 
   if (table_.Cas(pid, w, EncodePointer(fresh))) {
@@ -689,10 +697,11 @@ void BwTree::MaybeConsolidate(PageId pid, std::vector<PageId>* path) {
     if (options_.cache != nullptr) {
       options_.cache->Resize(pid, ChainBytes(fresh));
     }
-  } else {
-    s_cas_failures_.fetch_add(1, std::memory_order_relaxed);
-    delete fresh;
+    return true;
   }
+  s_cas_failures_.fetch_add(1, std::memory_order_relaxed);
+  delete fresh;
+  return false;
 }
 
 void BwTree::SplitLeaf(PageId pid, uint64_t expected_word,
@@ -721,12 +730,27 @@ void BwTree::SplitLeaf(PageId pid, uint64_t expected_word,
   right->right_sibling = consolidated->right_sibling;
   const std::string sep = right->keys.front();
 
-  PageId right_pid = table_.Allocate(EncodePointer(right));
+  // Publish the right page in two steps so raw mapping-slot scanners
+  // (background housekeeping) never act on a page this split may still
+  // take back: allocate the slot with an inert placeholder, register the
+  // pid as under construction, then install the real node. Scanners skip
+  // placeholders by type and registered pids by lookup, so `right` stays
+  // private until the link CAS below resolves.
+  auto* placeholder = new RemoveNodeDelta();
+  PageId right_pid = table_.Allocate(EncodePointer(placeholder));
   if (right_pid == kInvalidPageId) {
+    delete placeholder;
     delete right;
     delete consolidated;
     return;  // mapping table full; operate unsplit
   }
+  {
+    MutexLock lk(&construction_mu_);
+    under_construction_.insert(right_pid);
+  }
+  table_.Set(right_pid, EncodePointer(right));
+  // A scanner may already hold the placeholder pointer; epoch-retire it.
+  RetireChain(placeholder);
 
   auto* left = new LeafBase();
   left->keys.assign(consolidated->keys.begin(),
@@ -745,6 +769,10 @@ void BwTree::SplitLeaf(PageId pid, uint64_t expected_word,
     s_leaf_splits_.fetch_add(1, std::memory_order_relaxed);
     MetaMarkDirty(pid);
     MetaMarkDirty(right_pid);
+    {
+      MutexLock lk(&construction_mu_);
+      under_construction_.erase(right_pid);
+    }
     RetireChain(old_head);
     if (options_.cache != nullptr) {
       options_.cache->Resize(pid, ChainBytes(left));
@@ -754,9 +782,18 @@ void BwTree::SplitLeaf(PageId pid, uint64_t expected_word,
   } else {
     s_cas_failures_.fetch_add(1, std::memory_order_relaxed);
     delete left;
+    // Take the never-linked right page back: clear the slot first (a
+    // scanner re-reading it sees "no page"), epoch-retire the node (a
+    // scanner inside an epoch may still hold the pointer — never plain
+    // delete a published node), then free the id. Unregister last, so
+    // by the time the pid stops being skipped its slot is already empty.
     table_.Set(right_pid, 0);
+    RetireChain(right);
     table_.Free(right_pid);
-    delete right;
+    {
+      MutexLock lk(&construction_mu_);
+      under_construction_.erase(right_pid);
+    }
   }
 }
 
@@ -1113,6 +1150,22 @@ Status BwTree::LoadPage(PageId pid) {
 // Paging: flush & evict
 // ---------------------------------------------------------------------
 
+Status BwTree::EnsureSplitSiblingDurable(PageId sib) {
+  if (sib == kInvalidPageId) return Status::Ok();
+  uint64_t sw = table_.Get(sib);
+  if (sw == 0 || IsFlashWord(sw)) return Status::Ok();
+  if (!MetaGet(sib).flash_chain.empty()) return Status::Ok();
+  // Never durable: flush it now (recursing down a run of fresh splits via
+  // FlushPage's own sibling check). Aborted means a concurrent writer
+  // won the CAS — retry; the chain still needs a durable image.
+  Status s;
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    s = FlushPage(sib, FlushMode::kFullPage);
+    if (!s.IsAborted()) break;
+  }
+  return s;
+}
+
 Status BwTree::FlushPage(PageId pid, FlushMode mode) {
   if (options_.log_store == nullptr) {
     return Status::FailedPrecondition("no log store configured");
@@ -1164,7 +1217,19 @@ Status BwTree::FlushPage(PageId pid, FlushMode mode) {
       std::string image;
       PageCodec::EncodeDeltaPage(fp->addr, ops, &image);
       auto addr = RetryAppend(pid, Slice(image));
-      if (!addr.ok()) return addr.status();
+      if (!addr.ok()) {
+        if (addr.status().code() == StatusCode::kInvalidArgument) {
+          // The accumulated delta spine no longer fits in one log
+          // segment; no delta flush can ever succeed again. Materialize
+          // the base and take the full-page path, which splits
+          // oversized pages instead of wedging.
+          OpContext ctx;
+          Status ls = LoadAndInstall(pid, w, &ctx);
+          if (!ls.ok() && !ls.IsAborted()) return ls;
+          return FlushPage(pid, FlushMode::kFullPage);
+        }
+        return addr.status();
+      }
 
       auto* new_fp = new FlashPointer();
       new_fp->addr = *addr;
@@ -1203,6 +1268,13 @@ Status BwTree::FlushPage(PageId pid, FlushMode mode) {
 
   LeafBase* fresh = ConsolidateChain(head);
   if (fresh == nullptr) return Status::Internal("consolidation failed");
+  {
+    Status ss = EnsureSplitSiblingDurable(fresh->right_sibling);
+    if (!ss.ok()) {
+      delete fresh;
+      return ss;
+    }
+  }
   std::string image;
   if (mode == FlushMode::kCompressedPage) {
     PageCodec::EncodeCompressedLeaf(*fresh, &image);
@@ -1211,6 +1283,18 @@ Status BwTree::FlushPage(PageId pid, FlushMode mode) {
   }
   auto addr = RetryAppend(pid, Slice(image));
   if (!addr.ok()) {
+    if (addr.status().code() == StatusCode::kInvalidArgument &&
+        fresh->keys.size() >= 2) {
+      // Image too large for one log segment: no flush or eviction of
+      // this page can ever succeed again, and repeated flushes reset
+      // chain_length to 1 so the consolidate-threshold split check
+      // cannot save it either (a background flush cadence that outpaces
+      // delta arrival grows a monolithic base without bound). Split now
+      // — the halves fit — and let the caller retry. SplitLeaf owns
+      // `fresh` on both of its outcomes.
+      SplitLeaf(pid, w, fresh, nullptr);
+      return Status::Aborted("page split during flush");
+    }
     delete fresh;
     return addr.status();
   }
@@ -1261,6 +1345,8 @@ Status BwTree::EvictPage(PageId pid, EvictMode mode) {
       if (meta.base_dirty || meta.flash_chain.empty()) {
         // Base content not on flash: write the base image (without
         // deltas, which stay in memory).
+        Status ss = EnsureSplitSiblingDurable(base->right_sibling);
+        if (!ss.ok()) return ss;
         std::string image;
         PageCodec::EncodeLeaf(*base, &image);
         auto addr = RetryAppend(pid, Slice(image));
@@ -1368,6 +1454,8 @@ Status BwTree::Scan(const Slice& start, size_t limit,
                     std::vector<std::pair<std::string, std::string>>* out,
                     const Slice& end) {
   s_scans_.fetch_add(1, std::memory_order_relaxed);
+  // Escalating publish: kSs sticks if any page load below reads flash.
+  opclass::Publish(OpClass::kMm);
   out->clear();
   if (limit == 0) return Status::Ok();
 
@@ -1385,6 +1473,7 @@ Status BwTree::Scan(const Slice& start, size_t limit,
         ChainTail(DecodePointer(w))->type != NodeType::kLeafBase) {
       OpContext ctx;
       Status s = LoadAndInstall(pid, w, &ctx);
+      if (ctx.flash_reads > 0) opclass::Publish(OpClass::kSs);
       if (!s.ok() && !s.IsAborted()) return s;
       continue;
     }
@@ -1786,6 +1875,56 @@ size_t BwTree::MergeUnderfullLeaves(double fill_target) {
     }
   }
   return merges;
+}
+
+bool BwTree::IsUnderConstruction(PageId pid) const {
+  MutexLock lk(&construction_mu_);
+  return under_construction_.count(pid) != 0;
+}
+
+BwTree::HousekeepingStats BwTree::HousekeepingScan(PageId* cursor,
+                                                   size_t scan_pages,
+                                                   size_t max_flushes,
+                                                   FlushMode mode) {
+  HousekeepingStats out;
+  const PageId high = table_.high_water();
+  if (high == 0 || (scan_pages == 0 && max_flushes == 0)) return out;
+  PageId pos = *cursor >= high ? 0 : *cursor;
+  const size_t slots = std::min<size_t>(std::max<size_t>(scan_pages, 1), high);
+  for (size_t i = 0; i < slots; ++i) {
+    const PageId pid = pos;
+    pos = pos + 1 < high ? pos + 1 : 0;
+    EpochGuard guard(&epochs_);
+    uint64_t w = table_.Get(pid);
+    if (w == 0 || IsFlashWord(w)) continue;
+    // Checked after the slot read: a split registers the pid before it
+    // installs the real node, so any slot word we act on is either from
+    // a registered (skipped) construction or a fully linked page.
+    if (IsUnderConstruction(pid)) continue;
+    Node* head = DecodePointer(w);
+    if (head->type == NodeType::kRemoveNode) continue;
+    if (ChainTail(head)->type == NodeType::kInnerBase) continue;
+    out.scanned++;
+    if (head->chain_length >= options_.consolidate_threshold) {
+      // No descent path on this thread; PostSplitToParent falls back to
+      // FindParentOf when the path is empty.
+      std::vector<PageId> path;
+      if (MaybeConsolidate(pid, &path)) out.consolidated++;
+    }
+    if (out.flushed < max_flushes && IsDirty(pid)) {
+      Status s = FlushPage(pid, mode);
+      if (s.ok()) {
+        out.flushed++;
+      } else if (!s.IsAborted() && !out.flush_error) {
+        // Aborted = raced a writer (retried on a later pass). Anything
+        // else is an I/O problem the caller's health tracking wants.
+        out.flush_error = true;
+        out.first_error = s;
+      }
+    }
+  }
+  *cursor = pos;
+  return out;
 }
 
 // ---------------------------------------------------------------------

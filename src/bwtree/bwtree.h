@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -164,6 +165,23 @@ class BwTree {
   // <= `fill_target` * max_page_bytes). Returns the number of merges.
   size_t MergeUnderfullLeaves(double fill_target = 0.5);
 
+  // One quota-bounded slice of background housekeeping: scans up to
+  // `scan_pages` mapping slots starting at *cursor (wrapping at the
+  // high-water mark), consolidating leaves whose delta chain reached the
+  // threshold and flushing up to `max_flushes` dirty leaves in `mode`.
+  // Resumable: *cursor advances so successive calls cover the whole
+  // table; all work is best-effort CAS (safe concurrent with foreground
+  // ops). Counts are approximate under concurrency (counters only).
+  struct HousekeepingStats {
+    size_t scanned = 0;       // leaf chains examined
+    size_t consolidated = 0;  // chains consolidated (or split)
+    size_t flushed = 0;       // dirty leaves flushed
+    bool flush_error = false; // a flush failed with a non-Aborted status
+    Status first_error;       // first such status (Ok when none)
+  };
+  HousekeepingStats HousekeepingScan(PageId* cursor, size_t scan_pages,
+                                     size_t max_flushes, FlushMode mode);
+
   // --- restart recovery ---
 
   // Rebuilds the tree from the log-structured store after a restart:
@@ -253,8 +271,18 @@ class BwTree {
   // Builds a consolidated LeafBase from a fully resident chain.
   LeafBase* ConsolidateChain(Node* head) const;
 
-  // Attempts consolidation (and split if oversized). Best effort.
-  void MaybeConsolidate(PageId pid, std::vector<PageId>* path);
+  // Split durability ordering: if `sib` (a page's right sibling) has never
+  // reached flash, flush it first. The log is sequential, so "sibling
+  // before source" guarantees any crash that preserves the source's
+  // post-split image — which no longer carries the migrated keys — also
+  // preserves the sibling image that does. FlushAll gets the same
+  // invariant by flushing right-to-left; this covers single-page flushes
+  // (background eviction, CSS re-flush, GC page rewrites).
+  Status EnsureSplitSiblingDurable(PageId sib);
+
+  // Attempts consolidation (and split if oversized). Best effort;
+  // returns true when it installed a consolidated page or a split.
+  bool MaybeConsolidate(PageId pid, std::vector<PageId>* path);
   // Consolidates regardless of chain length (merge-delta folding).
   void MaybeConsolidateForced(PageId pid);
 
@@ -319,6 +347,16 @@ class BwTree {
 
   mutable Mutex meta_mu_;
   std::unordered_map<PageId, PageMeta> meta_ GUARDED_BY(meta_mu_);
+
+  // Page ids allocated by an in-flight split whose link CAS has not
+  // resolved yet. Raw mapping-slot scanners (HousekeepingScan) must skip
+  // them: until the split's CAS publishes the left page, the splitting
+  // thread still owns the right page and reclaims it on CAS failure —
+  // a concurrent flush would race that reclamation. Pages reached
+  // through tree traversal or sibling links are never in this set.
+  mutable Mutex construction_mu_;
+  std::set<PageId> under_construction_ GUARDED_BY(construction_mu_);
+  bool IsUnderConstruction(PageId pid) const;
 
   // Hot-path op counters live in per-thread cells indexed by the epoch
   // thread slot, so an increment is a relaxed load+store on a private

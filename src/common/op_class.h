@@ -1,0 +1,29 @@
+#ifndef COSTPERF_COMMON_OP_CLASS_H_
+#define COSTPERF_COMMON_OP_CLASS_H_
+
+namespace costperf {
+
+// The paper's operation classes: an MM op completes purely in memory,
+// an SS op needed at least one secondary-storage read. Stores publish
+// the class of each operation as it completes on the calling thread, so
+// harnesses (workload::Runner) can split latency percentiles by class
+// without widening the KvStore interface with per-op return metadata.
+enum class OpClass : unsigned char { kUnknown = 0, kMm = 1, kSs = 2 };
+
+namespace opclass {
+
+inline thread_local OpClass tls_op_class = OpClass::kUnknown;
+
+// Escalating publish: SS sticks over MM within one harness window, so a
+// composite op (read-modify-write, a MultiGet batch) classifies as SS
+// when any constituent missed. The harness Reset()s between windows.
+inline void Publish(OpClass c) {
+  if (c > tls_op_class) tls_op_class = c;
+}
+inline void Reset() { tls_op_class = OpClass::kUnknown; }
+inline OpClass Last() { return tls_op_class; }
+
+}  // namespace opclass
+}  // namespace costperf
+
+#endif  // COSTPERF_COMMON_OP_CLASS_H_

@@ -1,5 +1,6 @@
 #include "core/caching_store.h"
 
+#include <chrono>
 #include <cstdio>
 
 #include "analysis/bwtree_validator.h"
@@ -39,12 +40,45 @@ CachingStore::CachingStore(CachingStoreOptions options)
   if (interval != 0 && (interval & (interval - 1)) == 0) {
     maintenance_mask_ = interval - 1;
   }
+
+  effective_budget_ = options_.memory_budget_bytes == 0
+                          ? ~0ull
+                          : options_.memory_budget_bytes;
+  const auto& bg = options_.background;
+  if (bg.scheduler != nullptr) {
+    scheduler_ = bg.scheduler;
+  } else if (bg.workers > 0) {
+    maintenance::MaintenanceScheduler::Options sched_opts;
+    sched_opts.workers = bg.workers;
+    sched_opts.quota = bg.quota;
+    owned_scheduler_ =
+        std::make_unique<maintenance::MaintenanceScheduler>(sched_opts);
+    scheduler_ = owned_scheduler_.get();
+  }
+  if (scheduler_ != nullptr) {
+    if (effective_budget_ != ~0ull) {
+      if (bg.cache_fill_trigger > 0) {
+        fill_trigger_bytes_ = static_cast<uint64_t>(
+            static_cast<double>(effective_budget_) * bg.cache_fill_trigger);
+      }
+      if (bg.stall_trigger > 0) {
+        stall_limit_bytes_ = static_cast<uint64_t>(
+            static_cast<double>(effective_budget_) * bg.stall_trigger);
+      }
+    }
+    maint_handle_ = scheduler_->Register(this);
+  }
 }
 
-CachingStore::~CachingStore() = default;
+CachingStore::~CachingStore() {
+  // Deregister blocks until any in-flight step finishes, so no worker
+  // touches tree_/log_/cache_ once member destruction begins.
+  if (scheduler_ != nullptr) scheduler_->Deregister(maint_handle_);
+}
 
 Status CachingStore::Put(const Slice& key, const Slice& value) {
   if (Status w = CheckWritable(); !w.ok()) return w;
+  MaybeStallForDebt();
   Status s = tree_->Put(key, value);
   NoteWriteOutcome(s, /*reset_on_ok=*/false);
   MaybeMaintain();
@@ -65,6 +99,7 @@ Status CachingStore::Get(const Slice& key, std::string* value_out) {
 
 Status CachingStore::Delete(const Slice& key) {
   if (Status w = CheckWritable(); !w.ok()) return w;
+  MaybeStallForDebt();
   Status s = tree_->Delete(key);
   NoteWriteOutcome(s, /*reset_on_ok=*/false);
   MaybeMaintain();
@@ -123,15 +158,178 @@ Status CachingStore::Scan(
 }
 
 void CachingStore::MaybeMaintain() {
-  uint64_t n = op_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
-  if (maintenance_mask_ != 0) {  // power-of-two interval: no division
-    if ((n & maintenance_mask_) == 0) Maintain();
+  const uint64_t n = op_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (scheduler_ != nullptr) {
+    MaybeSignalPressure(n);
     return;
   }
-  if (options_.maintenance_interval_ops != 0 &&
-      n % options_.maintenance_interval_ops == 0) {
+  if (IntervalCrossed(n)) {
+    foreground_maintenance_ops_.fetch_add(1, std::memory_order_relaxed);
     Maintain();
   }
+}
+
+bool CachingStore::IntervalCrossed(uint64_t n) const {
+  if (maintenance_mask_ != 0) {  // power-of-two interval: no division
+    return (n & maintenance_mask_) == 0;
+  }
+  const uint64_t interval = options_.maintenance_interval_ops;
+  return interval != 0 && n % interval == 0;
+}
+
+void CachingStore::MaybeSignalPressure(uint64_t n) {
+  // maintenance_interval_ops keeps its meaning as a pacing floor: even
+  // without threshold pressure the store gets a step per interval (leaf
+  // merging, cost-based proactive eviction).
+  bool signal = IntervalCrossed(n);
+  // Threshold checks every 32 ops: resident_bytes() sums the cache's
+  // per-shard atomics, too heavy for every op.
+  if ((n & 31) == 0) {
+    const uint64_t resident = cache_->resident_bytes();
+    if (resident > fill_trigger_bytes_) signal = true;
+    if (stall_limit_bytes_ != 0) {
+      const bool over = resident > stall_limit_bytes_;
+      if (over) {
+        stall_flag_.store(true, std::memory_order_relaxed);
+        signal = true;
+      } else if (stall_flag_.exchange(false, std::memory_order_relaxed)) {
+        MutexLock lock(&stall_mu_);
+        stall_cv_.notify_all();
+      }
+    }
+    if (options_.background.log_dead_trigger > 0 &&
+        log_->DeadSpaceFraction() >= options_.background.log_dead_trigger) {
+      signal = true;
+    }
+  }
+  if (signal) scheduler_->Signal(maint_handle_);
+}
+
+void CachingStore::MaybeStallForDebt() {
+  if (!stall_flag_.load(std::memory_order_relaxed)) return;
+  if (degraded_.load(std::memory_order_acquire)) return;
+  // The flag is refreshed only every 32 ops; confirm the debt is real
+  // before parking this writer.
+  if (cache_->resident_bytes() <= stall_limit_bytes_) return;
+  scheduler_->Signal(maint_handle_);
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline =
+      start +
+      std::chrono::microseconds(options_.background.stall_max_wait_micros);
+  {
+    MutexLock lock(&stall_mu_);
+    while (stall_flag_.load(std::memory_order_relaxed) &&
+           !degraded_.load(std::memory_order_acquire)) {
+      if (stall_cv_.wait_until(stall_mu_, deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
+  }
+  const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  write_stalls_.fetch_add(1, std::memory_order_relaxed);
+  stall_micros_total_.fetch_add(static_cast<uint64_t>(waited.count()),
+                                std::memory_order_relaxed);
+}
+
+bool CachingStore::MaintenanceStep(const maintenance::MaintenanceQuota& quota) {
+  // An explicit Maintain()/Checkpoint caller may hold the gate; retry
+  // the step rather than waiting on a worker thread.
+  if (!maintenance_mu_.TryLock()) return true;
+  background_steps_.fetch_add(1, std::memory_order_relaxed);
+  bool more = false;
+  if (degraded_.load(std::memory_order_acquire)) {
+    // No flash writes into failing media; epoch reclamation is pure
+    // memory and still safe.
+    tree_->ReclaimMemory();
+  } else {
+    more |= BackgroundEvictStep(quota);
+    more |= BackgroundGcStep(quota);
+    BackgroundHousekeepingStep(quota);
+    tree_->ReclaimMemory();
+  }
+  maintenance_mu_.Unlock();
+  ReleaseStallWaiters();
+  return more;
+}
+
+bool CachingStore::BackgroundEvictStep(
+    const maintenance::MaintenanceQuota& quota) {
+  const uint64_t resident = cache_->resident_bytes();
+  const uint64_t want =
+      resident > effective_budget_ ? resident - effective_budget_ : 0;
+  if (want == 0 &&
+      options_.eviction_policy != llama::EvictionPolicy::kCostBased) {
+    return false;
+  }
+  auto victims = cache_->PickVictims(want, quota.evict_pages);
+  bool progressed = false;
+  for (auto pid : victims) {
+    if (options_.css_idle_interval_seconds > 0 &&
+        cache_->IdleSeconds(pid) > options_.css_idle_interval_seconds) {
+      NoteWriteOutcome(
+          tree_->FlushPage(pid, bwtree::FlushMode::kCompressedPage),
+          /*reset_on_ok=*/true);
+    }
+    Status s = tree_->EvictPage(pid, options_.evict_mode);
+    NoteWriteOutcome(s, /*reset_on_ok=*/true);
+    if (s.ok()) {
+      progressed = true;
+      bg_pages_evicted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (degraded_.load(std::memory_order_acquire)) return false;
+  }
+  // Requeue only when this step evicted something AND the debt remains:
+  // a step that made no progress (all victims pinned/aborted) must not
+  // spin the worker — the next op-path signal retries it.
+  return progressed && cache_->resident_bytes() > effective_budget_;
+}
+
+bool CachingStore::BackgroundGcStep(
+    const maintenance::MaintenanceQuota& quota) {
+  const double trigger = options_.background.log_dead_trigger;
+  if (trigger <= 0) return false;
+  // gc_live_threshold keeps its inline-mode meaning (victim
+  // eligibility); the dead-space trigger decides *when* to collect.
+  const double victim_threshold =
+      options_.gc_live_threshold > 0 ? options_.gc_live_threshold : 0.9;
+  for (uint32_t i = 0; i < quota.gc_segments; ++i) {
+    if (log_->DeadSpaceFraction() < trigger) return false;
+    Status s = CollectOneSegment(victim_threshold);
+    // NotFound: dead space is spread across segments above the victim
+    // threshold — nothing eligible, stop rather than respin.
+    if (!s.ok()) {
+      if (s.IsIoError()) NoteWriteOutcome(s, /*reset_on_ok=*/false);
+      return false;
+    }
+    bg_gc_segments_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return log_->DeadSpaceFraction() >= trigger;
+}
+
+void CachingStore::BackgroundHousekeepingStep(
+    const maintenance::MaintenanceQuota& quota) {
+  auto hk = tree_->HousekeepingScan(&housekeeping_cursor_,
+                                    quota.consolidate_scan_pages,
+                                    quota.flush_dirty_leaves,
+                                    options_.flush_mode);
+  bg_consolidations_.fetch_add(hk.consolidated, std::memory_order_relaxed);
+  bg_leaf_flushes_.fetch_add(hk.flushed, std::memory_order_relaxed);
+  if (hk.flush_error) NoteWriteOutcome(hk.first_error, /*reset_on_ok=*/false);
+  if (options_.merge_fill_target > 0) {
+    tree_->MergeUnderfullLeaves(options_.merge_fill_target);
+  }
+}
+
+void CachingStore::ReleaseStallWaiters() {
+  if (stall_limit_bytes_ == 0) return;
+  if (cache_->resident_bytes() > stall_limit_bytes_) return;
+  stall_flag_.store(false, std::memory_order_relaxed);
+  // Lock/notify under stall_mu_ so a writer that just observed the flag
+  // set cannot park between our store and the notify.
+  MutexLock lock(&stall_mu_);
+  stall_cv_.notify_all();
 }
 
 void CachingStore::EnforceBudget() {
@@ -139,11 +337,8 @@ void CachingStore::EnforceBudget() {
   // (their DRAM rental no longer pays for itself); all policies evict to
   // budget.
   uint64_t want = 0;
-  const uint64_t budget = options_.memory_budget_bytes == 0
-                              ? ~0ull
-                              : options_.memory_budget_bytes;
   uint64_t resident = cache_->resident_bytes();
-  if (resident > budget) want = resident - budget;
+  if (resident > effective_budget_) want = resident - effective_budget_;
   if (want == 0 &&
       options_.eviction_policy != llama::EvictionPolicy::kCostBased) {
     return;
@@ -181,13 +376,7 @@ void CachingStore::Maintain() {
     tree_->MergeUnderfullLeaves(options_.merge_fill_target);
   }
   if (options_.gc_live_threshold > 0) {
-    log_->CollectColdest(
-        [this](mapping::PageId pid, llama::FlashAddress a) {
-          return tree_->GcIsLive(pid, a);
-        },
-        [this](mapping::PageId pid, llama::FlashAddress o,
-               llama::FlashAddress n) { return tree_->GcInstall(pid, o, n); },
-        options_.gc_live_threshold);
+    (void)CollectOneSegment(options_.gc_live_threshold);
   }
   tree_->ReclaimMemory();
   maintenance_mu_.Unlock();
@@ -233,35 +422,42 @@ Status CachingStore::EvictAll() {
 }
 
 Status CachingStore::RunGc(double live_threshold) {
-  auto live = [this](mapping::PageId pid, llama::FlashAddress a) {
-    return tree_->GcIsLive(pid, a);
-  };
-  auto install = [this](mapping::PageId pid, llama::FlashAddress o,
-                        llama::FlashAddress n) {
-    return tree_->GcInstall(pid, o, n);
-  };
   for (int round = 0; round < 1024; ++round) {
-    // Find the victim the same way CollectColdest does, but prepare the
-    // segment first so multi-record chains are consolidated away.
-    uint64_t victim = UINT64_MAX;
-    double victim_live = 2.0;
-    for (const auto& seg : log_->segments()) {
-      if (!seg.sealed) continue;
-      if (seg.live_fraction() < victim_live) {
-        victim_live = seg.live_fraction();
-        victim = seg.id;
-      }
-    }
-    if (victim == UINT64_MAX || victim_live > live_threshold) {
-      return Status::Ok();
-    }
-    Status s =
-        tree_->PrepareSegmentForGc(victim, log_->options().segment_bytes);
+    Status s = CollectOneSegment(live_threshold);
+    if (s.IsNotFound()) return Status::Ok();
     if (!s.ok()) return s;
-    auto gc = log_->CollectSegment(victim, live, install);
-    if (!gc.ok()) return gc.status();
   }
   return Status::Ok();
+}
+
+Status CachingStore::CollectOneSegment(double victim_threshold) {
+  // Find the victim the same way CollectColdest does, but prepare the
+  // segment first: pages with multi-record chains or memory-only current
+  // images get rewritten elsewhere, so every record GcIsLive calls dead
+  // has a durable replacement before the trim.
+  uint64_t victim = UINT64_MAX;
+  double victim_live = 2.0;
+  for (const auto& seg : log_->segments()) {
+    if (!seg.sealed) continue;
+    if (seg.live_fraction() < victim_live) {
+      victim_live = seg.live_fraction();
+      victim = seg.id;
+    }
+  }
+  if (victim == UINT64_MAX || victim_live > victim_threshold) {
+    return Status::NotFound("no segment at or below the live threshold");
+  }
+  Status s =
+      tree_->PrepareSegmentForGc(victim, log_->options().segment_bytes);
+  if (!s.ok()) return s;
+  auto gc = log_->CollectSegment(
+      victim,
+      [this](mapping::PageId pid, llama::FlashAddress a) {
+        return tree_->GcIsLive(pid, a);
+      },
+      [this](mapping::PageId pid, llama::FlashAddress o,
+             llama::FlashAddress n) { return tree_->GcInstall(pid, o, n); });
+  return gc.status();
 }
 
 uint64_t CachingStore::MemoryFootprintBytes() const {
@@ -289,6 +485,19 @@ KvStoreStats CachingStore::Stats() const {
   EpochManager* epochs = tree_->epochs();
   s.epoch_reclaim_batches = epochs->reclaim_batches();
   s.epoch_reclaimed_items = epochs->reclaimed_items();
+  s.foreground_maintenance_ops =
+      foreground_maintenance_ops_.load(std::memory_order_relaxed);
+  s.background_maintenance_steps =
+      background_steps_.load(std::memory_order_relaxed);
+  s.background_pages_evicted =
+      bg_pages_evicted_.load(std::memory_order_relaxed);
+  s.background_gc_segments = bg_gc_segments_.load(std::memory_order_relaxed);
+  s.background_consolidations =
+      bg_consolidations_.load(std::memory_order_relaxed);
+  s.background_leaf_flushes =
+      bg_leaf_flushes_.load(std::memory_order_relaxed);
+  s.write_stalls = write_stalls_.load(std::memory_order_relaxed);
+  s.stall_micros_total = stall_micros_total_.load(std::memory_order_relaxed);
   const auto l = log_->stats();
   s.log_append_groups = l.append_groups;
   static_assert(KvStoreStats::kLogGroupBuckets ==

@@ -1,6 +1,7 @@
 #ifndef COSTPERF_CORE_CACHING_STORE_H_
 #define COSTPERF_CORE_CACHING_STORE_H_
 
+#include <condition_variable>
 #include <memory>
 #include <string>
 
@@ -11,6 +12,7 @@
 #include "costmodel/advisor.h"
 #include "llama/cache_manager.h"
 #include "llama/log_store.h"
+#include "maintenance/scheduler.h"
 #include "storage/device.h"
 
 namespace costperf::core {
@@ -48,6 +50,38 @@ struct CachingStoreOptions {
   // (put/delete/flush/evict/checkpoint). 0 disables health tracking.
   uint32_t degrade_after_write_failures = 3;
 
+  // Background maintenance. Inactive by default: with scheduler == nullptr
+  // and workers == 0 the store keeps the historical inline behavior
+  // (Maintain() runs on the calling thread every maintenance_interval_ops
+  // operations). When active, the op path only *signals* pressure — an
+  // atomic threshold check, never eviction/GC I/O — and scheduler worker
+  // threads drain it in quota-bounded steps.
+  struct BackgroundMaintenanceOptions {
+    // External scheduler to register with (shared across stores/shards).
+    // Not owned; must outlive the store.
+    maintenance::MaintenanceScheduler* scheduler = nullptr;
+    // When > 0 and no external scheduler is given, the store owns a
+    // private scheduler with this many worker threads.
+    uint32_t workers = 0;
+    // Per-step work bounds for the owned scheduler (ignored when an
+    // external scheduler is supplied — its own quota applies).
+    maintenance::MaintenanceQuota quota;
+    // Signal when resident bytes exceed this fraction of the memory
+    // budget (<= 0 disables the fill trigger; interval signals remain).
+    double cache_fill_trigger = 0.9;
+    // Signal when the log's dead-space fraction exceeds this (<= 0
+    // disables background GC).
+    double log_dead_trigger = 0.5;
+    // Write backpressure: foreground Put/Delete stalls (bounded) while
+    // resident bytes exceed this multiple of the budget, giving the
+    // background workers room to catch up instead of letting eviction
+    // debt grow without bound. <= 0 disables stalling.
+    double stall_trigger = 1.5;
+    // Upper bound on a single foreground stall.
+    uint32_t stall_max_wait_micros = 100000;
+  };
+  BackgroundMaintenanceOptions background;
+
   bwtree::BwTreeOptions tree;        // log_store/cache filled in by us
   storage::SsdOptions device;
   llama::LogStoreOptions log;
@@ -60,7 +94,8 @@ struct CachingStoreOptions {
 
 // The paper's data caching system: Bw-tree data component over the LLAMA
 // log-structured cache/storage subsystem over a (simulated) flash SSD.
-class CachingStore : public KvStore {
+class CachingStore : public KvStore,
+                     private maintenance::BackgroundMaintainer {
  public:
   explicit CachingStore(CachingStoreOptions options = {});
   ~CachingStore() override;
@@ -112,9 +147,40 @@ class CachingStore : public KvStore {
   llama::LogStructuredStore* log_store() { return log_.get(); }
   llama::CacheManager* cache() { return cache_.get(); }
   const CachingStoreOptions& options() const { return options_; }
+  // Null when background maintenance is inactive (inline mode).
+  maintenance::MaintenanceScheduler* maintenance_scheduler() {
+    return scheduler_;
+  }
 
  private:
   void MaybeMaintain();
+  // True when op number n crosses the maintenance_interval_ops pacing
+  // boundary (single helper for the pow2-mask and modulo paths).
+  bool IntervalCrossed(uint64_t n) const;
+  // Background mode: threshold checks + Signal(); no maintenance I/O.
+  void MaybeSignalPressure(uint64_t n);
+  // Write backpressure: bounded stall while eviction debt exceeds the
+  // stall budget. Called from Put/Delete before the tree write.
+  void MaybeStallForDebt();
+  // BackgroundMaintainer — runs on a scheduler worker thread.
+  bool MaintenanceStep(const maintenance::MaintenanceQuota& quota) override;
+  bool BackgroundEvictStep(const maintenance::MaintenanceQuota& quota)
+      REQUIRES(maintenance_mu_);
+  bool BackgroundGcStep(const maintenance::MaintenanceQuota& quota)
+      REQUIRES(maintenance_mu_);
+  // One prepare-then-collect GC round: picks the coldest sealed segment at
+  // or below victim_threshold, rewrites every page that is not simply
+  // relocatable (PrepareSegmentForGc), then collects it. NotFound when no
+  // segment is eligible. Collecting without the prepare step is unsafe:
+  // a record can look dead to GcIsLive merely because the page's current
+  // image is memory-only, and trimming it would destroy the only durable
+  // copy.
+  Status CollectOneSegment(double victim_threshold);
+  void BackgroundHousekeepingStep(const maintenance::MaintenanceQuota& quota)
+      REQUIRES(maintenance_mu_);
+  // Clears the stall flag and wakes stalled writers once resident bytes
+  // are back under the stall budget.
+  void ReleaseStallWaiters();
   void EnforceBudget() REQUIRES(maintenance_mu_);
   // Ok when writable; the degradation-causing IoError once degraded.
   Status CheckWritable();
@@ -142,6 +208,41 @@ class CachingStore : public KvStore {
   // flush/evict, but two EnforceBudget passes evict twice the intended
   // bytes).
   Mutex maintenance_mu_;
+
+  // Background maintenance state. scheduler_ is null in inline mode;
+  // otherwise it points at either the caller-supplied scheduler or
+  // owned_scheduler_. The destructor Deregisters before any component a
+  // step touches is destroyed.
+  maintenance::MaintenanceScheduler* scheduler_ = nullptr;
+  std::unique_ptr<maintenance::MaintenanceScheduler> owned_scheduler_;
+  maintenance::MaintenanceScheduler::Handle maint_handle_ = nullptr;
+  // memory_budget_bytes with 0 mapped to ~0 (unbounded).
+  uint64_t effective_budget_ = ~0ull;
+  // Precomputed trigger thresholds (~0 / 0 = disabled) so the op-path
+  // pressure check is integer compares on one resident_bytes read.
+  uint64_t fill_trigger_bytes_ = ~0ull;
+  uint64_t stall_limit_bytes_ = 0;
+  // Resume point for the incremental consolidation/flush scan.
+  mapping::PageId housekeeping_cursor_ GUARDED_BY(maintenance_mu_) = 0;
+
+  // Backpressure: the flag is the op-path fast check (relaxed load per
+  // Put/Delete); stall_mu_/stall_cv_ only come into play while actually
+  // over the stall budget.
+  std::atomic<bool> stall_flag_{false};
+  Mutex stall_mu_;
+  std::condition_variable_any stall_cv_;
+
+  // Maintenance attribution stats. foreground_maintenance_ops_ counts
+  // maintenance passes executed on an application thread — the steady
+  // state in background mode keeps it at zero.
+  std::atomic<uint64_t> foreground_maintenance_ops_{0};
+  std::atomic<uint64_t> background_steps_{0};
+  std::atomic<uint64_t> bg_pages_evicted_{0};
+  std::atomic<uint64_t> bg_gc_segments_{0};
+  std::atomic<uint64_t> bg_consolidations_{0};
+  std::atomic<uint64_t> bg_leaf_flushes_{0};
+  std::atomic<uint64_t> write_stalls_{0};
+  std::atomic<uint64_t> stall_micros_total_{0};
 
   // Degraded-mode state. The streak/flag are atomics so the write hot
   // path pays one relaxed load when healthy; the triggering error (shown

@@ -23,6 +23,14 @@ KvStoreStats& KvStoreStats::operator+=(const KvStoreStats& other) {
   for (size_t i = 0; i < log_group_size_hist.size(); ++i) {
     log_group_size_hist[i] += other.log_group_size_hist[i];
   }
+  foreground_maintenance_ops += other.foreground_maintenance_ops;
+  background_maintenance_steps += other.background_maintenance_steps;
+  background_pages_evicted += other.background_pages_evicted;
+  background_gc_segments += other.background_gc_segments;
+  background_consolidations += other.background_consolidations;
+  background_leaf_flushes += other.background_leaf_flushes;
+  write_stalls += other.write_stalls;
+  stall_micros_total += other.stall_micros_total;
   // Aggregate health: degraded if any contributor is degraded.
   if (other.health == HealthStatus::kDegraded) health = HealthStatus::kDegraded;
   return *this;
@@ -57,7 +65,20 @@ std::string KvStoreStats::ToString() const {
            (unsigned long long)log_group_size_hist[3],
            (unsigned long long)log_group_size_hist[4],
            (unsigned long long)log_group_size_hist[5]);
-  return std::string(buf) + contention;
+  char maintenance[320];
+  snprintf(maintenance, sizeof(maintenance),
+           "\nmaintenance: foreground_ops=%llu background_steps=%llu "
+           "bg_evicted=%llu bg_gc_segments=%llu bg_consolidations=%llu "
+           "bg_leaf_flushes=%llu write_stalls=%llu stall_micros=%llu",
+           (unsigned long long)foreground_maintenance_ops,
+           (unsigned long long)background_maintenance_steps,
+           (unsigned long long)background_pages_evicted,
+           (unsigned long long)background_gc_segments,
+           (unsigned long long)background_consolidations,
+           (unsigned long long)background_leaf_flushes,
+           (unsigned long long)write_stalls,
+           (unsigned long long)stall_micros_total);
+  return std::string(buf) + contention + maintenance;
 }
 
 Status KvStore::Get(const Slice& key, std::string* value_out) {

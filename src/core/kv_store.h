@@ -57,6 +57,21 @@ struct KvStoreStats {
   static constexpr size_t kLogGroupBuckets = 6;
   std::array<uint64_t, kLogGroupBuckets> log_group_size_hist{};
 
+  // Maintenance attribution: who paid for eviction/GC/consolidation.
+  // foreground_maintenance_ops counts maintenance passes executed on an
+  // application thread (inline mode, or a background-mode fallback) —
+  // with background maintenance active it stays 0 in steady state.
+  uint64_t foreground_maintenance_ops = 0;
+  uint64_t background_maintenance_steps = 0;  // scheduler worker steps
+  uint64_t background_pages_evicted = 0;
+  uint64_t background_gc_segments = 0;
+  uint64_t background_consolidations = 0;
+  uint64_t background_leaf_flushes = 0;
+  // Write backpressure: bounded foreground stalls taken while eviction
+  // debt exceeded the stall budget, and the total time spent in them.
+  uint64_t write_stalls = 0;
+  uint64_t stall_micros_total = 0;
+
   // Fraction of classified ops that missed (the paper's F). 0 when the
   // store classified nothing.
   double MissFraction() const {

@@ -60,9 +60,23 @@ std::unique_ptr<ShardedStore> ShardedStore::OfMemory(size_t shard_count) {
 
 std::unique_ptr<ShardedStore> ShardedStore::OfCaching(
     size_t shard_count, const CachingStoreOptions& per_shard) {
-  return std::make_unique<ShardedStore>(shard_count, [&per_shard](size_t) {
-    return std::make_unique<CachingStore>(per_shard);
+  CachingStoreOptions opts = per_shard;
+  std::unique_ptr<maintenance::MaintenanceScheduler> scheduler;
+  if (opts.background.workers > 0 && opts.background.scheduler == nullptr) {
+    // One shared worker pool for the whole composite, not one per shard.
+    maintenance::MaintenanceScheduler::Options sched_opts;
+    sched_opts.workers = opts.background.workers;
+    sched_opts.quota = opts.background.quota;
+    scheduler =
+        std::make_unique<maintenance::MaintenanceScheduler>(sched_opts);
+    opts.background.scheduler = scheduler.get();
+    opts.background.workers = 0;
+  }
+  auto store = std::make_unique<ShardedStore>(shard_count, [&opts](size_t) {
+    return std::make_unique<CachingStore>(opts);
   });
+  store->scheduler_ = std::move(scheduler);
+  return store;
 }
 
 size_t ShardedStore::ShardIndexOf(const Slice& key) const {

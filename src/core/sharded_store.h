@@ -39,7 +39,11 @@ class ShardedStore : public KvStore {
   // N MassTree shards.
   static std::unique_ptr<ShardedStore> OfMemory(size_t shard_count);
   // N Bw-tree/LLAMA shards, each built from `per_shard` (so budget and
-  // device capacity in the options are per shard, not totals).
+  // device capacity in the options are per shard, not totals). When
+  // per_shard.background.workers > 0 and no external scheduler is given,
+  // the composite owns ONE shared MaintenanceScheduler with that many
+  // workers and registers every shard with it — shards do not each spin
+  // up private worker threads.
   static std::unique_ptr<ShardedStore> OfCaching(
       size_t shard_count, const CachingStoreOptions& per_shard);
 
@@ -87,6 +91,12 @@ class ShardedStore : public KvStore {
   // Runs fn(i, shard) under shard i's lock.
   void WithShard(size_t i, const std::function<void(KvStore*)>& fn);
 
+  // The composite-owned background scheduler (OfCaching with
+  // background.workers > 0); null otherwise.
+  maintenance::MaintenanceScheduler* maintenance_scheduler() {
+    return scheduler_.get();
+  }
+
  private:
   struct Shard {
     mutable Mutex mu;
@@ -103,6 +113,9 @@ class ShardedStore : public KvStore {
   // Fills shard->reader from the inner store's ConcurrentSafe() verdict.
   static void InitReader(Shard* shard);
 
+  // Declared before shards_ so it is destroyed AFTER them: shard
+  // destructors Deregister from this scheduler, which must still exist.
+  std::unique_ptr<maintenance::MaintenanceScheduler> scheduler_;
   std::vector<std::unique_ptr<Shard>> shards_;
   // shard_count - 1 when the count is a power of two (h & mask == h % n
   // for unsigned h, so placement is unchanged — just without the 64-bit

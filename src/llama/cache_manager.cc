@@ -1,6 +1,7 @@
 #include "llama/cache_manager.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace costperf::llama {
 namespace {
@@ -279,7 +280,13 @@ CacheManager::SnapshotByRecency() {
 }
 
 std::vector<mapping::PageId> CacheManager::PickVictims(uint64_t want_bytes) {
+  return PickVictims(want_bytes, std::numeric_limits<size_t>::max());
+}
+
+std::vector<mapping::PageId> CacheManager::PickVictims(uint64_t want_bytes,
+                                                       size_t max_pages) {
   std::vector<mapping::PageId> victims;
+  if (max_pages == 0) return victims;
   uint64_t picked = 0;
   const uint64_t now = clock_->NowNanos();
   const uint64_t breakeven_nanos =
@@ -288,7 +295,9 @@ std::vector<mapping::PageId> CacheManager::PickVictims(uint64_t want_bytes) {
 
   switch (options_.policy) {
     case EvictionPolicy::kLru: {
-      for (size_t i = 0; i < order.size() && picked < want_bytes; ++i) {
+      for (size_t i = 0; i < order.size() && picked < want_bytes &&
+                         victims.size() < max_pages;
+           ++i) {
         victims.push_back(order[i].pid);
         picked += order[i].bytes;
       }
@@ -303,7 +312,8 @@ std::vector<mapping::PageId> CacheManager::PickVictims(uint64_t want_bytes) {
       std::vector<char> taken(n, 0);
       const size_t max_scan = 2 * n;
       size_t scanned = 0;
-      for (size_t i = 0; picked < want_bytes && scanned < max_scan;
+      for (size_t i = 0; picked < want_bytes && scanned < max_scan &&
+                         victims.size() < max_pages;
            i = (i + 1) % n, ++scanned) {
         if (taken[i]) continue;
         VictimCandidate& c = order[i];
@@ -324,7 +334,7 @@ std::vector<mapping::PageId> CacheManager::PickVictims(uint64_t want_bytes) {
       // recency-ordered, so stop at the first page younger than
       // breakeven.
       size_t split = 0;
-      for (; split < order.size(); ++split) {
+      for (; split < order.size() && victims.size() < max_pages; ++split) {
         if (now - order[split].tick > breakeven_nanos) {
           victims.push_back(order[split].pid);
           picked += order[split].bytes;
@@ -333,7 +343,9 @@ std::vector<mapping::PageId> CacheManager::PickVictims(uint64_t want_bytes) {
         }
       }
       // Second pass: budget is a hard constraint; top up from LRU.
-      for (size_t i = split; i < order.size() && picked < want_bytes; ++i) {
+      for (size_t i = split; i < order.size() && picked < want_bytes &&
+                             victims.size() < max_pages;
+           ++i) {
         victims.push_back(order[i].pid);
         picked += order[i].bytes;
       }

@@ -106,6 +106,11 @@ class CacheManager {
   // For kCostBased with want_bytes == 0, returns every page whose idle
   // time exceeds breakeven (proactive cost-driven eviction).
   std::vector<mapping::PageId> PickVictims(uint64_t want_bytes);
+  // Quota-bounded variant for incremental background eviction: stops
+  // after max_pages victims even if want_bytes is not yet covered (the
+  // caller re-runs on its next maintenance step).
+  std::vector<mapping::PageId> PickVictims(uint64_t want_bytes,
+                                           size_t max_pages);
 
   // Seconds since pid was last touched; negative if unknown. Lock-free.
   double IdleSeconds(mapping::PageId pid) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <vector>
 
 #include "common/coding.h"
 #include "common/crc32.h"
@@ -125,6 +126,7 @@ Result<FlashAddress> LogStructuredStore::Append(PageId pid,
     stats_.records_appended++;
     stats_.bytes_appended += record_len;
     stats_.payload_bytes_appended += image.size();
+    approx_used_bytes_.fetch_add(record_len, std::memory_order_relaxed);
   }
   // Header, checksum, and payload copy happen outside the latch —
   // concurrent appends encode their disjoint ranges in parallel.
@@ -215,6 +217,7 @@ void LogStructuredStore::MarkDead(FlashAddress addr) {
   if (it == directory_.end()) return;  // already collected
   it->second.dead_bytes += addr.len();
   stats_.dead_bytes_marked += addr.len();
+  approx_dead_bytes_.fetch_add(addr.len(), std::memory_order_relaxed);
 }
 
 Result<GcStats> LogStructuredStore::CollectSegment(uint64_t segment_id,
@@ -243,6 +246,7 @@ Result<GcStats> LogStructuredStore::CollectSegment(uint64_t segment_id,
 
   GcStats gc;
   gc.segment_id = segment_id;
+  std::vector<FlashAddress> relocated_old;
   if (DecodeFixed32(raw.data()) != kSegmentMagic ||
       DecodeFixed64(raw.data() + 4) != segment_id) {
     return Status::Corruption("segment header mismatch during GC");
@@ -276,12 +280,38 @@ Result<GcStats> LogStructuredStore::CollectSegment(uint64_t segment_id,
       if (install(pid, old_addr, *appended)) {
         gc.relocated_records++;
         gc.relocated_bytes += record_len;
+        relocated_old.push_back(old_addr);
       } else {
-        // Page moved concurrently; the copy we just wrote is garbage.
+        // Page moved concurrently (e.g. a foreground read loaded it
+        // between liveness check and install); the copy we just wrote is
+        // garbage, and the page still references old_addr.
         MarkDead(*appended);
+        gc.failed_installs++;
       }
     }
     pos += record_len;
+  }
+
+  // Durability ordering: every record in the victim is now either
+  // relocated (sitting in the open segment's in-memory buffer) or dead —
+  // superseded by a newer image that may ALSO still be buffered. Either
+  // way the replacement must reach media before the victim's durable
+  // copy is destroyed, or a crash here loses the page entirely. Seal the
+  // open segment first, then trim.
+  s = Flush();
+  if (!s.ok()) return s;
+
+  if (gc.failed_installs > 0) {
+    // Some page still references a record in this segment (an install
+    // raced a concurrent load), so the media cannot be reclaimed. Mark
+    // the successfully relocated records dead so the segment's live
+    // fraction reflects reality and a later round retries the trim.
+    for (const FlashAddress& a : relocated_old) MarkDead(a);
+    {
+      MutexLock lk(&mu_);
+      stats_.gc_relocated_records += gc.relocated_records;
+    }
+    return gc;
   }
 
   // Reclaim the media and forget the segment.
@@ -297,6 +327,10 @@ Result<GcStats> LogStructuredStore::CollectSegment(uint64_t segment_id,
       // marks) leave the directory with the collected segment.
       stats_.bytes_collected += it->second.used_bytes - kSegmentHeaderBytes;
       stats_.dead_bytes_collected += it->second.dead_bytes;
+      approx_used_bytes_.fetch_sub(it->second.used_bytes - kSegmentHeaderBytes,
+                                   std::memory_order_relaxed);
+      approx_dead_bytes_.fetch_sub(it->second.dead_bytes,
+                                   std::memory_order_relaxed);
       directory_.erase(it);
     }
     stats_.gc_relocated_records += gc.relocated_records;
@@ -461,6 +495,9 @@ Status LogStructuredStore::Recover(
       directory_[seg] = info;
       stats_.recovered_bytes += info.used_bytes - kSegmentHeaderBytes;
       stats_.dead_bytes_marked += skipped_dead;
+      approx_used_bytes_.fetch_add(info.used_bytes - kSegmentHeaderBytes,
+                                   std::memory_order_relaxed);
+      approx_dead_bytes_.fetch_add(skipped_dead, std::memory_order_relaxed);
     }
     max_seen = std::max(max_seen, seg);
     any = true;
@@ -512,6 +549,18 @@ void LogStructuredStore::TestOnlyAdjustSegmentAccounting(uint64_t segment_id,
   if (it == directory_.end()) return;
   it->second.used_bytes += used_delta;
   it->second.dead_bytes += dead_delta;
+  approx_used_bytes_.fetch_add(static_cast<uint64_t>(used_delta),
+                               std::memory_order_relaxed);
+  approx_dead_bytes_.fetch_add(static_cast<uint64_t>(dead_delta),
+                               std::memory_order_relaxed);
+}
+
+double LogStructuredStore::DeadSpaceFraction() const {
+  const uint64_t used = approx_used_bytes_.load(std::memory_order_relaxed);
+  if (used == 0) return 0.0;
+  const uint64_t dead = approx_dead_bytes_.load(std::memory_order_relaxed);
+  const double f = static_cast<double>(dead) / static_cast<double>(used);
+  return f > 1.0 ? 1.0 : f;
 }
 
 }  // namespace costperf::llama

@@ -2,6 +2,7 @@
 #define COSTPERF_LLAMA_LOG_STORE_H_
 
 #include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -72,6 +73,10 @@ struct GcStats {
   uint64_t relocated_records = 0;
   uint64_t relocated_bytes = 0;
   uint64_t reclaimed_bytes = 0;
+  // Live records whose relocation could not be installed (the page moved
+  // concurrently). When nonzero the victim was NOT trimmed: its durable
+  // copies are still referenced, so reclaiming the media would lose them.
+  uint64_t failed_installs = 0;
 };
 
 // What Recover() found on media and what it decided about it. A crash can
@@ -172,6 +177,14 @@ class LogStructuredStore {
   uint64_t open_segment_id() const;
   const LogStoreOptions& options() const { return options_; }
 
+  // Dead bytes / used record bytes across the directory, read from two
+  // relaxed atomics (mirrors maintained under mu_ at every directory
+  // mutation). Lock-free: this is the op-path maintenance *trigger* —
+  // a foreground thread asking "does the log need GC?" must not contend
+  // with appends or GC itself. Advisory (the two loads are not a
+  // consistent snapshot); exact accounting stays in segments().
+  double DeadSpaceFraction() const;
+
   // Corrupts a segment's accounting by `used_delta`/`dead_delta` bytes.
   // Exists solely so tests can seed the miscounted-segment violations that
   // analysis::LogStoreAuditor must detect; never call it elsewhere.
@@ -223,6 +236,12 @@ class LogStructuredStore {
 
   LogStoreStats stats_ GUARDED_BY(mu_);
   RecoveryReport recovery_report_ GUARDED_BY(mu_);
+
+  // Directory-total mirrors for DeadSpaceFraction(): record bytes in the
+  // directory (headers excluded) and dead marks against them. Written
+  // only under mu_, read lock-free.
+  std::atomic<uint64_t> approx_used_bytes_{0};
+  std::atomic<uint64_t> approx_dead_bytes_{0};
 };
 
 }  // namespace costperf::llama

@@ -1,0 +1,155 @@
+#include "maintenance/scheduler.h"
+
+#include <algorithm>
+
+namespace costperf::maintenance {
+
+MaintenanceScheduler::MaintenanceScheduler()
+    : MaintenanceScheduler(Options()) {}
+
+MaintenanceScheduler::MaintenanceScheduler(Options options)
+    : options_(options) {
+  if (options_.workers < 1) options_.workers = 1;
+  MutexLock lock(&join_mu_);
+  workers_.reserve(options_.workers);
+  for (uint32_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+MaintenanceScheduler::~MaintenanceScheduler() { Stop(); }
+
+MaintenanceScheduler::Handle MaintenanceScheduler::Register(
+    BackgroundMaintainer* maintainer) {
+  auto source = std::make_unique<Source>();
+  source->maintainer = maintainer;
+  Source* h = source.get();
+  MutexLock lock(&mu_);
+  sources_.push_back(std::move(source));
+  return h;
+}
+
+void MaintenanceScheduler::Deregister(Handle h) {
+  if (h == nullptr) return;
+  MutexLock lock(&mu_);
+  h->maintainer = nullptr;  // tombstone: no step starts after this
+  if (h->queued) {
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), h), queue_.end());
+    h->queued = false;
+  }
+  // A worker mid-step captured the maintainer pointer before we
+  // tombstoned; wait it out so the caller can free step-visible state.
+  while (h->running) idle_cv_.wait(mu_);
+  idle_cv_.notify_all();  // h may have been the last obstacle to Quiesce
+}
+
+void MaintenanceScheduler::Signal(Handle h) {
+  if (h == nullptr) return;
+  // Fast path: a signal is already pending — the source is queued, or a
+  // worker will observe the flag when its current step ends. One atomic
+  // RMW, no mutex: this is what the foreground op path calls.
+  if (h->pending.exchange(true, std::memory_order_acq_rel)) {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  MutexLock lock(&mu_);
+  signals_++;
+  if (stopping_ || h->maintainer == nullptr) {
+    // Nothing will ever claim this signal; clear the flag so Quiesce()
+    // does not wait on a source that can no longer run.
+    h->pending.store(false, std::memory_order_release);
+    return;
+  }
+  if (!h->queued && !h->running) {
+    h->queued = true;
+    queue_.push_back(h);
+    work_cv_.notify_one();
+  }
+  // If running: the worker re-checks `pending` after the step and
+  // re-queues. If queued: the pending flag rides along with the entry.
+}
+
+void MaintenanceScheduler::WorkerLoop() {
+  for (;;) {
+    Source* s = nullptr;
+    BackgroundMaintainer* maintainer = nullptr;
+    {
+      MutexLock lock(&mu_);
+      while (!stopping_ && queue_.empty()) work_cv_.wait(mu_);
+      if (stopping_) return;
+      s = queue_.front();
+      queue_.pop_front();
+      s->queued = false;
+      maintainer = s->maintainer;
+      if (maintainer == nullptr) continue;  // tombstoned while queued
+      s->running = true;
+      // Claim every signal that arrived so far; later signals set the
+      // flag again and we re-queue below.
+      s->pending.store(false, std::memory_order_release);
+    }
+    // The step runs with no scheduler lock held; Deregister blocks on
+    // `running`, so `maintainer` stays valid for the whole call.
+    const bool more = maintainer->MaintenanceStep(options_.quota);
+    {
+      MutexLock lock(&mu_);
+      s->running = false;
+      steps_++;
+      const bool resignaled = s->pending.load(std::memory_order_acquire);
+      if (more) requeues_++;
+      if ((more || resignaled) && s->maintainer != nullptr && !s->queued &&
+          !stopping_) {
+        s->queued = true;
+        queue_.push_back(s);
+        work_cv_.notify_one();
+      }
+      idle_cv_.notify_all();
+    }
+  }
+}
+
+void MaintenanceScheduler::Quiesce() {
+  MutexLock lock(&mu_);
+  for (;;) {
+    if (stopping_) return;
+    bool busy = !queue_.empty();
+    for (const auto& s : sources_) {
+      if (s->maintainer == nullptr) continue;
+      // `pending` set with the source neither queued nor running means a
+      // Signal's slow half is in flight between its exchange and its
+      // enqueue — it will queue momentarily, so wait for that too.
+      if (s->running || s->queued ||
+          s->pending.load(std::memory_order_acquire)) {
+        busy = true;
+      }
+    }
+    if (!busy) return;
+    idle_cv_.wait(mu_);
+  }
+}
+
+void MaintenanceScheduler::Stop() {
+  {
+    MutexLock lock(&mu_);
+    stopping_ = true;
+    work_cv_.notify_all();
+    idle_cv_.notify_all();
+  }
+  // Serialize joining so concurrent Stop() calls both return only after
+  // every worker has exited.
+  MutexLock join_lock(&join_mu_);
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+SchedulerStats MaintenanceScheduler::stats() const {
+  MutexLock lock(&mu_);
+  SchedulerStats s;
+  s.steps = steps_;
+  s.signals = signals_;
+  s.coalesced = coalesced_.load(std::memory_order_relaxed);
+  s.requeues = requeues_;
+  return s;
+}
+
+}  // namespace costperf::maintenance

@@ -8,8 +8,11 @@
 namespace costperf::storage {
 
 namespace {
-// Sink defeating dead-code elimination of the burn loop.
-volatile uint64_t g_burn_sink = 0;
+// Sink defeating dead-code elimination of the burn loop. Thread-local:
+// background maintenance workers burn I/O path work concurrently with
+// foreground threads, and the sink's value is meaningless — only its
+// liveness matters.
+thread_local uint64_t g_burn_sink = 0;
 }  // namespace
 
 void BurnWork(uint32_t units) {

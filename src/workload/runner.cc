@@ -8,6 +8,7 @@
 
 #include "common/clock.h"
 #include "common/mutex.h"
+#include "common/op_class.h"
 #include "common/thread_annotations.h"
 
 namespace costperf::workload {
@@ -53,6 +54,8 @@ struct ThreadResult {
   uint64_t wall_start_nanos = 0;
   uint64_t wall_end_nanos = 0;
   Histogram latency_micros;
+  Histogram mm_latency_micros;
+  Histogram ss_latency_micros;
   Status load_status;
 };
 
@@ -85,21 +88,38 @@ bool ExecuteOp(core::KvStore* store, const Op& op, size_t value_size,
 
 class LatencyTimer {
  public:
-  LatencyTimer(bool enabled, uint32_t sample, Histogram* hist)
-      : enabled_(enabled), sample_(sample < 1 ? 1 : sample), hist_(hist) {}
+  LatencyTimer(bool enabled, uint32_t sample, Histogram* hist,
+               Histogram* mm_hist, Histogram* ss_hist)
+      : enabled_(enabled),
+        sample_(sample < 1 ? 1 : sample),
+        hist_(hist),
+        mm_hist_(mm_hist),
+        ss_hist_(ss_hist) {}
 
   void Start() {
     armed_ = enabled_ && ++round_ >= sample_;
     if (armed_) {
       round_ = 0;
+      opclass::Reset();  // the store publishes MM/SS during the op
       start_ = RealClock::Global()->NowNanos();
     }
   }
   void Stop() {
     if (armed_) {
-      hist_->Add(
+      const double micros =
           static_cast<double>(RealClock::Global()->NowNanos() - start_) *
-          1e-3);
+          1e-3;
+      hist_->Add(micros);
+      switch (opclass::Last()) {
+        case OpClass::kMm:
+          mm_hist_->Add(micros);
+          break;
+        case OpClass::kSs:
+          ss_hist_->Add(micros);
+          break;
+        case OpClass::kUnknown:
+          break;  // store doesn't classify
+      }
     }
   }
 
@@ -107,6 +127,8 @@ class LatencyTimer {
   const bool enabled_;
   const uint32_t sample_;
   Histogram* hist_;
+  Histogram* mm_hist_;
+  Histogram* ss_hist_;
   uint32_t round_ = 0;
   bool armed_ = false;
   uint64_t start_ = 0;
@@ -119,7 +141,8 @@ void RunPhase(core::KvStore* store, const WorkloadSpec& spec,
   std::vector<std::pair<std::string, std::string>> scan_buf;
   std::string read_buf;
   LatencyTimer timer(options.record_latencies, options.latency_sample,
-                     &result->latency_micros);
+                     &result->latency_micros, &result->mm_latency_micros,
+                     &result->ss_latency_micros);
   const size_t batch = std::max<size_t>(1, spec.batch_size);
 
   // Batch staging, reused across groups.
@@ -216,6 +239,8 @@ RunReport MergeResults(int threads, std::vector<ThreadResult>& results) {
     wall_start = std::min(wall_start, r.wall_start_nanos);
     wall_end = std::max(wall_end, r.wall_end_nanos);
     report.latency_micros.Merge(r.latency_micros);
+    report.mm_latency_micros.Merge(r.mm_latency_micros);
+    report.ss_latency_micros.Merge(r.ss_latency_micros);
   }
   report.wall_seconds =
       wall_end > wall_start
@@ -233,27 +258,70 @@ RunReport MergeResults(int threads, std::vector<ThreadResult>& results) {
   if (report.latency_micros.count() > 0) {
     report.p50_micros = report.latency_micros.Percentile(50.0);
     report.p99_micros = report.latency_micros.Percentile(99.0);
+    report.p999_micros = report.latency_micros.Percentile(99.9);
+  }
+  if (report.mm_latency_micros.count() > 0) {
+    report.mm_p50_micros = report.mm_latency_micros.Percentile(50.0);
+    report.mm_p99_micros = report.mm_latency_micros.Percentile(99.0);
+  }
+  if (report.ss_latency_micros.count() > 0) {
+    report.ss_p50_micros = report.ss_latency_micros.Percentile(50.0);
+    report.ss_p99_micros = report.ss_latency_micros.Percentile(99.0);
   }
   return report;
+}
+
+// Folds the run-interval store counters (stalls, maintenance
+// attribution) into the report as before/after deltas.
+void AddStatsDeltas(const core::KvStoreStats& before,
+                    const core::KvStoreStats& after, RunReport* report) {
+  report->foreground_maintenance_ops =
+      after.foreground_maintenance_ops - before.foreground_maintenance_ops;
+  report->background_maintenance_steps =
+      after.background_maintenance_steps - before.background_maintenance_steps;
+  report->write_stalls = after.write_stalls - before.write_stalls;
+  report->stall_micros_total =
+      after.stall_micros_total - before.stall_micros_total;
 }
 
 }  // namespace
 
 std::string RunReport::ToString() const {
-  char buf[512];
+  char buf[640];
   snprintf(buf, sizeof(buf),
            "threads=%d ops=%llu failed=%llu wall=%.3fs cpu=%.3fs | "
            "%.0f ops/wall-sec, %.0f ops/cpu-sec, %.0f modeled ops/sec | "
-           "p50=%.1fus p99=%.1fus | r/u/i/s/rmw=%llu/%llu/%llu/%llu/%llu "
-           "batch_calls=%llu",
+           "p50=%.1fus p99=%.1fus p999=%.1fus | "
+           "r/u/i/s/rmw=%llu/%llu/%llu/%llu/%llu batch_calls=%llu",
            threads, (unsigned long long)ops, (unsigned long long)failed_ops,
            wall_seconds, cpu_seconds_total, ops_per_wall_sec,
            ops_per_cpu_sec, modeled_parallel_ops_per_sec, p50_micros,
-           p99_micros, (unsigned long long)op_counts[0],
+           p99_micros, p999_micros, (unsigned long long)op_counts[0],
            (unsigned long long)op_counts[1], (unsigned long long)op_counts[2],
            (unsigned long long)op_counts[3], (unsigned long long)op_counts[4],
            (unsigned long long)batch_calls);
-  return buf;
+  std::string out = buf;
+  if (mm_latency_micros.count() > 0 || ss_latency_micros.count() > 0) {
+    snprintf(buf, sizeof(buf),
+             "\nclasses: mm=%llu (p50=%.1fus p99=%.1fus) "
+             "ss=%llu (p50=%.1fus p99=%.1fus)",
+             (unsigned long long)mm_latency_micros.count(), mm_p50_micros,
+             mm_p99_micros, (unsigned long long)ss_latency_micros.count(),
+             ss_p50_micros, ss_p99_micros);
+    out += buf;
+  }
+  if (foreground_maintenance_ops > 0 || background_maintenance_steps > 0 ||
+      write_stalls > 0) {
+    snprintf(buf, sizeof(buf),
+             "\nmaintenance: foreground_ops=%llu background_steps=%llu "
+             "write_stalls=%llu stall_micros=%llu",
+             (unsigned long long)foreground_maintenance_ops,
+             (unsigned long long)background_maintenance_steps,
+             (unsigned long long)write_stalls,
+             (unsigned long long)stall_micros_total);
+    out += buf;
+  }
+  return out;
 }
 
 Runner::Runner(core::KvStore* store, WorkloadSpec spec, RunnerOptions options)
@@ -287,6 +355,7 @@ RunReport Runner::Run() {
   const int threads = options_.threads;
   std::vector<ThreadResult> results(threads);
   PhaseBarrier barrier(threads);
+  const core::KvStoreStats before = store_->Stats();
   std::vector<std::thread> workers;
   workers.reserve(threads);
   for (int t = 0; t < threads; ++t) {
@@ -296,7 +365,9 @@ RunReport Runner::Run() {
     });
   }
   for (auto& w : workers) w.join();
-  return MergeResults(threads, results);
+  RunReport report = MergeResults(threads, results);
+  AddStatsDeltas(before, store_->Stats(), &report);
+  return report;
 }
 
 RunReport Runner::LoadAndRun() {
@@ -315,6 +386,7 @@ RunReport Runner::LoadAndRun() {
   const int threads = options_.threads;
   std::vector<ThreadResult> results(threads);
   PhaseBarrier barrier(threads);
+  const core::KvStoreStats before = store_->Stats();
   const uint64_t per =
       (spec_.record_count + threads - 1) / static_cast<uint64_t>(threads);
   std::vector<std::thread> workers;
@@ -332,7 +404,9 @@ RunReport Runner::LoadAndRun() {
     });
   }
   for (auto& w : workers) w.join();
-  return MergeResults(threads, results);
+  RunReport report = MergeResults(threads, results);
+  AddStatsDeltas(before, store_->Stats(), &report);
+  return report;
 }
 
 }  // namespace costperf::workload

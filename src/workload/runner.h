@@ -52,6 +52,27 @@ struct RunReport {
   Histogram latency_micros;
   double p50_micros = 0;
   double p99_micros = 0;
+  double p999_micros = 0;
+
+  // Per-op-class latency split: ops completed purely in memory (MM) vs
+  // ops that needed at least one secondary-storage read (SS), classified
+  // by the store's thread-local op-class publication. Both empty for
+  // stores that don't classify (e.g. MemoryStore) or when latency
+  // recording is off.
+  Histogram mm_latency_micros;
+  Histogram ss_latency_micros;
+  double mm_p50_micros = 0;
+  double mm_p99_micros = 0;
+  double ss_p50_micros = 0;
+  double ss_p99_micros = 0;
+
+  // Store-side maintenance attribution over the run (Stats() deltas;
+  // LoadAndRun includes the load phase). foreground_maintenance_ops == 0
+  // means no application thread paid for eviction/GC/consolidation.
+  uint64_t foreground_maintenance_ops = 0;
+  uint64_t background_maintenance_steps = 0;
+  uint64_t write_stalls = 0;
+  uint64_t stall_micros_total = 0;
 
   std::string ToString() const;
 };

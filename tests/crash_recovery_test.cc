@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -169,6 +170,129 @@ TEST(CrashRecoveryTortureTest, RandomCrashPointsNeverLoseCheckpointedData) {
   printf("torture: %d/%d crash points fired, %d salvage recoveries\n",
          crashes_fired, iters, salvages);
   // The plan must actually bite: most iterations reach their crash point.
+  EXPECT_GT(crashes_fired, iters / 4);
+}
+
+// Same durability contract, but with background maintenance active and a
+// memory budget small enough that scheduler workers are continuously
+// evicting, flushing, and log-collecting while the crash fires — so the
+// device regularly dies mid-background-GC/flush, on a thread the
+// foreground never sees. Recovery must still satisfy the contract and
+// the invariant checkers.
+TEST(CrashRecoveryTortureTest, CrashMidBackgroundMaintenanceRecovers) {
+  const uint64_t base_seed = 0xbadc0ffeull;
+  const int iters = std::max(TortureIters() / 4, 10);
+  printf("bg torture: %d crash points, base seed %llu\n", iters,
+         (unsigned long long)base_seed);
+  int crashes_fired = 0;
+
+  for (int iter = 0; iter < iters; ++iter) {
+    const uint64_t seed = Hash64(base_seed + static_cast<uint64_t>(iter));
+    SCOPED_TRACE("iter " + std::to_string(iter) + " seed " +
+                 std::to_string(seed));
+    Random rng(seed);
+
+    storage::SsdOptions dev_opts;
+    dev_opts.capacity_bytes = 16ull << 20;
+    dev_opts.max_iops = 0;
+    auto device = std::make_unique<storage::SsdDevice>(dev_opts);
+    fault::FaultInjector fi(seed ^ 0xa5a5a5a5ull);
+    fi.Attach(device.get());
+
+    core::CachingStoreOptions opts;
+    opts.external_device = device.get();
+    opts.memory_budget_bytes = 64 << 10;  // constant eviction pressure
+    opts.log.segment_bytes = 32 << 10;
+    opts.tree.max_page_bytes = 4 << 10;
+    opts.tree.io_retry.max_attempts = 1;
+    opts.degrade_after_write_failures = 0;
+    opts.background.workers = 1;
+    opts.background.log_dead_trigger = 0.2;  // aggressive background GC
+    // Short stall bound: post-crash evictions all fail, so backpressure
+    // must not turn the remaining (unstallable) debt into long waits.
+    opts.background.stall_max_wait_micros = 2000;
+    opts.gc_live_threshold = 0.8;
+
+    std::map<std::string, std::string> shadow;
+    auto key_of = [&rng]() { return "key" + std::to_string(rng.Uniform(300)); };
+    uint64_t value_counter = 0;
+    auto next_value = [&](const std::string& key) {
+      return key + ":" + std::to_string(value_counter++);
+    };
+
+    std::map<std::string, std::string> committed;
+    std::map<std::string, Accept> accept;
+    {
+      auto store = std::make_unique<core::CachingStore>(opts);
+      std::string value_pad(256, 'p');
+
+      // Phase 1: healthy workload with enough churn that background
+      // eviction and GC are active, then a checkpoint that must succeed.
+      const int phase1_ops = 200 + static_cast<int>(rng.Uniform(600));
+      for (int op = 0; op < phase1_ops; ++op) {
+        std::string key = key_of();
+        std::string val = next_value(key) + value_pad;
+        ASSERT_TRUE(store->Put(key, val).ok());
+        shadow[key] = val;
+      }
+      // Background flush/GC can race the checkpoint on the healthy
+      // device; drain workers first so the checkpoint is a stable line.
+      store->maintenance_scheduler()->Quiesce();
+      ASSERT_TRUE(store->Checkpoint().ok());
+      committed = shadow;
+      for (const auto& [k, v] : committed) accept[k].values.insert(v);
+
+      // Phase 2: arm the crash and keep writing. With the tiny budget,
+      // most device writes come from scheduler workers (evict flushes,
+      // GC relocations), so the crash usually lands mid-background-step.
+      fi.ScheduleCrash(/*writes=*/rng.Uniform(12),
+                       /*torn_fraction=*/rng.NextDouble());
+      for (int op = 0; op < 3000 && !fi.crashed(); ++op) {
+        std::string key = key_of();
+        Accept& a = accept[key];
+        if (committed.count(key) == 0) a.not_found_ok = true;
+        std::string val = next_value(key) + value_pad;
+        a.values.insert(val);
+        (void)store->Put(key, val);
+      }
+      if (fi.crashed()) ++crashes_fired;
+      // Store destruction deregisters from the scheduler, waiting out
+      // any step that is mid-GC on the now-dead device.
+    }
+
+    // Phase 3: reboot onto healthy media, recover without background
+    // workers (recovery is single-threaded by contract).
+    fi.ClearCrash();
+    core::CachingStoreOptions recover_opts = opts;
+    recover_opts.background = {};
+    auto store = std::make_unique<core::CachingStore>(recover_opts);
+    Status rs = store->Recover();
+    ASSERT_TRUE(rs.ok()) << rs.ToString();
+
+    auto violations = store->CheckInvariants();
+    ASSERT_TRUE(violations.empty())
+        << violations.size() << " violations; first: "
+        << violations[0].ToString();
+
+    for (const auto& [key, a] : accept) {
+      auto r = store->Get(key);
+      if (r.status().IsNotFound()) {
+        ASSERT_TRUE(a.not_found_ok)
+            << key << " lost: present at checkpoint, never deleted after";
+        continue;
+      }
+      ASSERT_TRUE(r.ok()) << key << ": " << r.status().ToString();
+      ASSERT_TRUE(a.values.count(*r))
+          << key << " returned a value the workload never wrote (or one "
+          << "older than the checkpoint): " << *r;
+    }
+
+    ASSERT_TRUE(store->Put("post-recovery-probe", "alive").ok());
+    ASSERT_TRUE(store->Checkpoint().ok());
+    EXPECT_EQ(*store->Get("post-recovery-probe"), "alive");
+  }
+
+  printf("bg torture: %d/%d crash points fired\n", crashes_fired, iters);
   EXPECT_GT(crashes_fired, iters / 4);
 }
 
