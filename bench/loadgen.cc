@@ -1,0 +1,459 @@
+// loadgen: multi-tenant pipelined load generator for costperf_server.
+//
+//   loadgen --port P --connections 8 --pipeline 16 --tenants 4
+//           --duration-seconds 5 --keys-per-multiget 16
+//
+// Each connection belongs to one tenant (round-robin) and keeps
+// `--pipeline` frames outstanding; a frame is a MULTIGET of K keys or a
+// WRITEBATCH of K entries, drawn per-tenant from a Zipfian-skewed key
+// space whose hot set drifts every --drift-period-seconds (hot-key
+// churn). A single poll() loop drives every connection, measuring
+// per-frame latency client-side.
+//
+// The report is per tenant (frames, keys, keys/s, p50/p95/p99 frame
+// latency) plus the server's own batching evidence pulled over the wire
+// via STATS, and can be emitted as JSON with --json.
+
+#include <poll.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/coding.h"
+#include "common/histogram.h"
+#include "common/random.h"
+#include "server/client.h"
+#include "server/protocol.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace {
+
+using costperf::Histogram;
+using costperf::RealClock;
+using costperf::Random;
+using costperf::ZipfianGenerator;
+namespace server = costperf::server;
+
+struct Config {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int connections = 8;
+  int pipeline = 16;
+  int tenants = 4;
+  double duration_seconds = 5.0;
+  int keys_per_multiget = 16;
+  size_t value_bytes = 100;
+  uint64_t keyspace = 100000;  // keys per tenant
+  double zipf_theta = 0.99;
+  double read_fraction = 0.95;
+  double drift_period_seconds = 1.0;
+  uint64_t seed = 42;
+  bool preload = true;
+  std::string json_path;  // empty = human-readable only
+};
+
+struct TenantState {
+  std::unique_ptr<ZipfianGenerator> zipf;
+  uint64_t drift_offset = 0;
+  uint64_t frames = 0;
+  uint64_t keys = 0;
+  uint64_t errors = 0;
+  uint64_t rejected = 0;
+  Histogram latency_micros;
+};
+
+struct Pending {
+  uint32_t request_id;
+  double send_seconds;
+  uint32_t keys;
+  bool is_write;
+};
+
+struct LoadConn {
+  int fd = -1;
+  int tenant = 0;
+  uint32_t next_request_id = 1;
+  std::string out;
+  size_t out_sent = 0;
+  std::string in;
+  size_t in_consumed = 0;
+  std::deque<Pending> pending;
+};
+
+std::string TenantKey(int tenant, uint64_t idx) {
+  char buf[48];
+  snprintf(buf, sizeof(buf), "t%d:key%010llu", tenant,
+           (unsigned long long)idx);
+  return buf;
+}
+
+int ConnectNonBlocking(const Config& cfg) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg.port);
+  inet_pton(AF_INET, cfg.host.c_str(), &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return -1;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fcntl(fd, F_SETFL, fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  return fd;
+}
+
+// Queue one request frame on `c`, keyed from its tenant's generator.
+void EnqueueRequest(const Config& cfg, LoadConn* c, TenantState* ts,
+                    Random* rng, const std::string& value, double now) {
+  const bool is_write = !rng->Bernoulli(cfg.read_fraction);
+  const uint32_t id = c->next_request_id++;
+  const uint32_t k = static_cast<uint32_t>(cfg.keys_per_multiget);
+  std::string payload;
+  costperf::PutFixed32(&payload, k);
+  for (uint32_t i = 0; i < k; ++i) {
+    const uint64_t idx =
+        (ts->zipf->Next() + ts->drift_offset) % cfg.keyspace;
+    const std::string key = TenantKey(c->tenant, idx);
+    server::AppendLengthPrefixed(&payload, key);
+    if (is_write) server::AppendLengthPrefixed(&payload, value);
+  }
+  server::AppendFrame(&c->out,
+                      is_write ? server::kOpWriteBatch : server::kOpMultiGet,
+                      id, static_cast<uint32_t>(c->tenant), payload);
+  c->pending.push_back({id, now, k, is_write});
+}
+
+// Parse complete response frames; record latency; return frames consumed.
+// Returns false on a protocol error from the server.
+bool ConsumeResponses(LoadConn* c, TenantState* ts, RealClock* clock) {
+  while (true) {
+    const char* base = c->in.data() + c->in_consumed;
+    const size_t avail = c->in.size() - c->in_consumed;
+    server::FrameHeader h;
+    server::DecodeResult dr = server::DecodeHeader(base, avail, &h);
+    if (dr == server::DecodeResult::kNeedMore) break;
+    if (dr != server::DecodeResult::kOk) return false;
+    if (avail < server::kHeaderSize + h.payload_len) break;
+    std::string_view payload(base + server::kHeaderSize, h.payload_len);
+    c->in_consumed += server::kHeaderSize + h.payload_len;
+
+    if (c->pending.empty()) return false;  // unsolicited frame
+    Pending p = c->pending.front();
+    c->pending.pop_front();
+    if (h.request_id != p.request_id) return false;  // order violation
+
+    const double lat_micros = (clock->NowSeconds() - p.send_seconds) * 1e6;
+    ts->latency_micros.Add(lat_micros);
+    ts->frames += 1;
+    ts->keys += p.keys;
+    const uint8_t op = h.opcode & ~server::kResponseBit;
+    if (op == server::kOpError) {
+      uint8_t code = 0;
+      server::GetU8(&payload, &code);
+      if (server::DecodeStatusCode(code) ==
+          costperf::StatusCode::kResourceExhausted) {
+        ts->rejected += 1;
+      } else {
+        ts->errors += 1;
+      }
+    }
+  }
+  if (c->in_consumed == c->in.size()) {
+    c->in.clear();
+    c->in_consumed = 0;
+  } else if (c->in_consumed > (1u << 16)) {
+    c->in.erase(0, c->in_consumed);
+    c->in_consumed = 0;
+  }
+  return true;
+}
+
+bool Preload(const Config& cfg, const std::string& value) {
+  server::SyncClient client;
+  if (!client.Connect(cfg.host, cfg.port).ok()) return false;
+  std::vector<costperf::core::KvEntry> entries;
+  costperf::core::BatchWriteResult result;
+  for (int t = 0; t < cfg.tenants; ++t) {
+    client.set_tenant(static_cast<uint32_t>(t));
+    for (uint64_t base = 0; base < cfg.keyspace; base += 1024) {
+      entries.clear();
+      const uint64_t end = std::min(base + 1024, cfg.keyspace);
+      for (uint64_t i = base; i < end; ++i) {
+        entries.emplace_back(TenantKey(t, i), value);
+      }
+      if (!client.WriteBatch(entries, &result).ok() || !result.all_ok()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        fprintf(stderr, "%s needs a value\n", flag);
+        exit(2);
+      }
+      return argv[++i];
+    };
+    if (!strcmp(argv[i], "--host")) cfg.host = next("--host");
+    else if (!strcmp(argv[i], "--port")) cfg.port = static_cast<uint16_t>(atoi(next("--port")));
+    else if (!strcmp(argv[i], "--connections")) cfg.connections = atoi(next("--connections"));
+    else if (!strcmp(argv[i], "--pipeline")) cfg.pipeline = atoi(next("--pipeline"));
+    else if (!strcmp(argv[i], "--tenants")) cfg.tenants = atoi(next("--tenants"));
+    else if (!strcmp(argv[i], "--duration-seconds")) cfg.duration_seconds = atof(next("--duration-seconds"));
+    else if (!strcmp(argv[i], "--keys-per-multiget")) cfg.keys_per_multiget = atoi(next("--keys-per-multiget"));
+    else if (!strcmp(argv[i], "--value-bytes")) cfg.value_bytes = static_cast<size_t>(atoll(next("--value-bytes")));
+    else if (!strcmp(argv[i], "--keyspace")) cfg.keyspace = static_cast<uint64_t>(atoll(next("--keyspace")));
+    else if (!strcmp(argv[i], "--zipf")) cfg.zipf_theta = atof(next("--zipf"));
+    else if (!strcmp(argv[i], "--read-fraction")) cfg.read_fraction = atof(next("--read-fraction"));
+    else if (!strcmp(argv[i], "--drift-period-seconds")) cfg.drift_period_seconds = atof(next("--drift-period-seconds"));
+    else if (!strcmp(argv[i], "--seed")) cfg.seed = static_cast<uint64_t>(atoll(next("--seed")));
+    else if (!strcmp(argv[i], "--no-preload")) cfg.preload = false;
+    else if (!strcmp(argv[i], "--json")) cfg.json_path = next("--json");
+    else {
+      fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (cfg.port == 0) {
+    fprintf(stderr, "--port is required\n");
+    return 2;
+  }
+
+  const std::string value(cfg.value_bytes, 'v');
+  if (cfg.preload && !Preload(cfg, value)) {
+    fprintf(stderr, "preload failed\n");
+    return 1;
+  }
+
+  std::vector<TenantState> tenants(static_cast<size_t>(cfg.tenants));
+  for (int t = 0; t < cfg.tenants; ++t) {
+    tenants[t].zipf = std::make_unique<ZipfianGenerator>(
+        cfg.keyspace, cfg.zipf_theta, cfg.seed + 0x9e3779b9ull * t);
+  }
+
+  std::vector<LoadConn> conns(static_cast<size_t>(cfg.connections));
+  for (int i = 0; i < cfg.connections; ++i) {
+    conns[i].fd = ConnectNonBlocking(cfg);
+    if (conns[i].fd < 0) {
+      fprintf(stderr, "connect failed for connection %d\n", i);
+      return 1;
+    }
+    conns[i].tenant = i % cfg.tenants;
+  }
+
+  RealClock clock;
+  Random rng(cfg.seed);
+  const double start = clock.NowSeconds();
+  const double deadline = start + cfg.duration_seconds;
+  double next_drift = start + cfg.drift_period_seconds;
+
+  // Prime every connection's pipeline.
+  for (auto& c : conns) {
+    for (int i = 0; i < cfg.pipeline; ++i) {
+      EnqueueRequest(cfg, &c, &tenants[c.tenant], &rng, value,
+                     clock.NowSeconds());
+    }
+  }
+
+  std::vector<pollfd> pfds(conns.size());
+  bool protocol_error = false;
+  while (!protocol_error) {
+    const double now = clock.NowSeconds();
+    const bool sending = now < deadline;
+    if (!sending) {
+      bool any_pending = false;
+      for (const auto& c : conns) any_pending |= !c.pending.empty();
+      if (!any_pending) break;
+      if (now > deadline + 10.0) {
+        fprintf(stderr, "drain timeout with outstanding frames\n");
+        break;
+      }
+    }
+    if (now >= next_drift) {
+      // Hot-key churn: rotate every tenant's hot set to a new region.
+      for (auto& ts : tenants) ts.drift_offset += cfg.keyspace / 8 + 1;
+      next_drift += cfg.drift_period_seconds;
+    }
+
+    for (size_t i = 0; i < conns.size(); ++i) {
+      pfds[i].fd = conns[i].fd;
+      pfds[i].events = POLLIN;
+      if (conns[i].out_sent < conns[i].out.size()) pfds[i].events |= POLLOUT;
+      pfds[i].revents = 0;
+    }
+    if (poll(pfds.data(), pfds.size(), 100) < 0) {
+      if (errno == EINTR) continue;
+      perror("poll");
+      return 1;
+    }
+
+    for (size_t i = 0; i < conns.size(); ++i) {
+      LoadConn& c = conns[i];
+      TenantState& ts = tenants[c.tenant];
+      if (pfds[i].revents & POLLOUT ||
+          (c.out_sent < c.out.size() && (pfds[i].revents & POLLIN))) {
+        while (c.out_sent < c.out.size()) {
+          ssize_t w = send(c.fd, c.out.data() + c.out_sent,
+                           c.out.size() - c.out_sent, MSG_NOSIGNAL);
+          if (w > 0) {
+            c.out_sent += static_cast<size_t>(w);
+            continue;
+          }
+          if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (w < 0 && errno == EINTR) continue;
+          fprintf(stderr, "write error on connection %zu\n", i);
+          return 1;
+        }
+        if (c.out_sent == c.out.size()) {
+          c.out.clear();
+          c.out_sent = 0;
+        }
+      }
+      if (pfds[i].revents & (POLLIN | POLLHUP)) {
+        while (true) {
+          char buf[64 * 1024];
+          ssize_t r = read(c.fd, buf, sizeof(buf));
+          if (r > 0) {
+            c.in.append(buf, static_cast<size_t>(r));
+            if (static_cast<size_t>(r) < sizeof(buf)) break;
+            continue;
+          }
+          if (r == 0) {
+            fprintf(stderr, "server closed connection %zu\n", i);
+            protocol_error = true;
+            break;
+          }
+          if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+          if (errno == EINTR) continue;
+          protocol_error = true;
+          break;
+        }
+        const size_t before = c.pending.size();
+        if (!ConsumeResponses(&c, &ts, &clock)) {
+          fprintf(stderr, "protocol error on connection %zu\n", i);
+          protocol_error = true;
+        }
+        const size_t completed = before - c.pending.size();
+        if (sending) {
+          for (size_t k = 0; k < completed; ++k) {
+            EnqueueRequest(cfg, &c, &ts, &rng, value, clock.NowSeconds());
+          }
+        }
+      }
+    }
+  }
+  const double elapsed = clock.NowSeconds() - start;
+
+  // Pull the server's own view (batching evidence, per-tenant counters).
+  std::map<std::string, uint64_t> server_stats;
+  {
+    server::SyncClient stats_client;
+    if (stats_client.Connect(cfg.host, cfg.port).ok()) {
+      auto r = stats_client.StatsMap();
+      if (r.ok()) server_stats = *r;
+    }
+  }
+
+  for (auto& c : conns) {
+    if (c.fd >= 0) close(c.fd);
+  }
+
+  uint64_t total_frames = 0, total_keys = 0;
+  for (const auto& ts : tenants) {
+    total_frames += ts.frames;
+    total_keys += ts.keys;
+  }
+  printf("loadgen: %d conns x pipeline %d, %d tenants, %.1fs\n",
+         cfg.connections, cfg.pipeline, cfg.tenants, elapsed);
+  printf("total: frames=%llu keys=%llu frames/s=%.0f keys/s=%.0f\n",
+         (unsigned long long)total_frames, (unsigned long long)total_keys,
+         total_frames / elapsed, total_keys / elapsed);
+  for (int t = 0; t < cfg.tenants; ++t) {
+    const TenantState& ts = tenants[t];
+    printf(
+        "tenant %d: frames=%llu keys=%llu keys/s=%.0f p50=%.0fus "
+        "p95=%.0fus p99=%.0fus rejected=%llu errors=%llu\n",
+        t, (unsigned long long)ts.frames, (unsigned long long)ts.keys,
+        ts.keys / elapsed, ts.latency_micros.Percentile(50.0),
+        ts.latency_micros.Percentile(95.0), ts.latency_micros.Percentile(99.0),
+        (unsigned long long)ts.rejected, (unsigned long long)ts.errors);
+  }
+  auto sv = [&](const char* k) -> unsigned long long {
+    auto it = server_stats.find(k);
+    return it == server_stats.end() ? 0 : it->second;
+  };
+  printf("server: windows=%llu read_runs=%llu write_runs=%llu "
+         "multiget_batches=%llu multiget_keys=%llu "
+         "multiget_shard_groups=%llu writebatch_batches=%llu "
+         "log_append_groups=%llu\n",
+         sv("server.windows"), sv("server.read_runs"), sv("server.write_runs"),
+         sv("store.multiget_batches"), sv("store.multiget_keys"),
+         sv("store.multiget_shard_groups"), sv("store.writebatch_batches"),
+         sv("store.log_append_groups"));
+
+  if (!cfg.json_path.empty()) {
+    FILE* f = cfg.json_path == "-" ? stdout : fopen(cfg.json_path.c_str(), "w");
+    if (f == nullptr) {
+      perror("fopen --json");
+      return 1;
+    }
+    fprintf(f,
+            "{\n  \"connections\": %d,\n  \"pipeline\": %d,\n"
+            "  \"tenants\": %d,\n  \"elapsed_seconds\": %.3f,\n"
+            "  \"frames\": %llu,\n  \"keys\": %llu,\n"
+            "  \"frames_per_sec\": %.0f,\n  \"keys_per_sec\": %.0f,\n",
+            cfg.connections, cfg.pipeline, cfg.tenants, elapsed,
+            (unsigned long long)total_frames, (unsigned long long)total_keys,
+            total_frames / elapsed, total_keys / elapsed);
+    fprintf(f,
+            "  \"server\": {\"windows\": %llu, \"read_runs\": %llu, "
+            "\"write_runs\": %llu, \"multiget_batches\": %llu, "
+            "\"multiget_keys\": %llu, \"multiget_shard_groups\": %llu, "
+            "\"writebatch_batches\": %llu, \"log_append_groups\": %llu},\n",
+            sv("server.windows"), sv("server.read_runs"),
+            sv("server.write_runs"), sv("store.multiget_batches"),
+            sv("store.multiget_keys"), sv("store.multiget_shard_groups"),
+            sv("store.writebatch_batches"), sv("store.log_append_groups"));
+    fprintf(f, "  \"per_tenant\": [\n");
+    for (int t = 0; t < cfg.tenants; ++t) {
+      const TenantState& ts = tenants[t];
+      fprintf(f,
+              "    {\"tenant\": %d, \"frames\": %llu, \"keys\": %llu, "
+              "\"keys_per_sec\": %.0f, \"p50_us\": %.0f, \"p95_us\": %.0f, "
+              "\"p99_us\": %.0f, \"rejected\": %llu, \"errors\": %llu}%s\n",
+              t, (unsigned long long)ts.frames, (unsigned long long)ts.keys,
+              ts.keys / elapsed, ts.latency_micros.Percentile(50.0),
+              ts.latency_micros.Percentile(95.0),
+              ts.latency_micros.Percentile(99.0),
+              (unsigned long long)ts.rejected, (unsigned long long)ts.errors,
+              t + 1 < cfg.tenants ? "," : "");
+    }
+    fprintf(f, "  ]\n}\n");
+    if (f != stdout) fclose(f);
+  }
+  return protocol_error ? 1 : 0;
+}

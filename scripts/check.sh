@@ -6,11 +6,16 @@
 # explicit message rather than silently passing.
 #
 # Usage: scripts/check.sh [lane...]
-#   lanes: plain analyze asan tsan ubsan stress   (default: all)
+#   lanes: plain analyze asan tsan ubsan stress serve   (default: all)
 #   `stress` runs the SS-heavy steady-state bench (bench/ss_stress) and
 #   fails unless background mode finished with foreground_maintenance_ops
 #   == 0 — the off-the-op-path maintenance contract. It asserts counters,
 #   not wall-clock numbers, so it is safe on loaded hosts.
+#   `serve` rebuilds the server + loadgen under TSan and runs the
+#   loopback serving smoke (scripts/serve_smoke.sh) with the throughput
+#   gate disabled: it asserts per-tenant report sanity, wire batches
+#   reaching the batched store paths, and a clean SIGTERM quiesce —
+#   TSan-clean, no wall-clock numbers.
 #   The opt-in `bench` lane (never run by default: wall-clock sensitive)
 #   runs scripts/bench_smoke.sh and leaves its BENCH_smoke.json at the
 #   repo root.
@@ -19,7 +24,7 @@ set -u
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
 LANES=("$@")
-[[ ${#LANES[@]} -eq 0 ]] && LANES=(plain analyze asan tsan ubsan stress)
+[[ ${#LANES[@]} -eq 0 ]] && LANES=(plain analyze asan tsan ubsan stress serve)
 
 failures=()
 skips=()
@@ -112,6 +117,21 @@ for lane in "${LANES[@]}"; do
         failures+=("stress")
       fi
       ;;
+    serve)
+      echo
+      echo "=== lane: serve ==="
+      if COSTPERF_SERVE_BUILD_DIR="$ROOT/build-serve" \
+         COSTPERF_SERVE_BUILD_TYPE=Debug \
+         COSTPERF_SERVE_SANITIZE=thread \
+         COSTPERF_SERVE_MIN_KPS=0 \
+         COSTPERF_SERVE_DURATION=2 \
+         "$ROOT/scripts/serve_smoke.sh" "$ROOT/build-serve/serve_smoke.json"
+      then
+        echo "lane serve: loopback smoke TSan-clean, clean shutdown"
+      else
+        failures+=("serve")
+      fi
+      ;;
     bench)
       echo
       echo "=== lane: bench ==="
@@ -120,7 +140,7 @@ for lane in "${LANES[@]}"; do
       fi
       ;;
     *)
-      echo "unknown lane '$lane' (want: plain analyze asan tsan ubsan stress bench)" >&2
+      echo "unknown lane '$lane' (want: plain analyze asan tsan ubsan stress serve bench)" >&2
       exit 2
       ;;
   esac

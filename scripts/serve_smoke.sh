@@ -1,0 +1,130 @@
+#!/usr/bin/env bash
+# End-to-end loopback serving smoke: builds the Release server + loadgen,
+# starts costperf_server over an in-cache ShardedStore, replays the
+# multi-tenant pipelined workload, and asserts
+#   - throughput >= COSTPERF_SERVE_MIN_KPS keys/s (default 500000),
+#   - every tenant made progress and reported sane latencies,
+#   - wire batches actually reached the batched store paths (MultiGet
+#     shard grouping and WriteBatch runs, not per-key calls),
+#   - the server quiesced cleanly on SIGTERM (exit 0).
+# With COSTPERF_SERVE_MERGE_JSON=/path/to/BENCH_smoke.json the serve
+# result is merged into that file under a top-level "serve" key.
+#
+# Usage: scripts/serve_smoke.sh [serve_result.json]
+#   default output: build-bench/serve_smoke.json (kept out of the tree)
+# The throughput gate is wall-clock sensitive; run on an idle host, or set
+# COSTPERF_SERVE_MIN_KPS=0 to keep only the structural assertions.
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+DIR="${COSTPERF_SERVE_BUILD_DIR:-$ROOT/build-bench}"
+OUT="${1:-$DIR/serve_smoke.json}"
+MIN_KPS="${COSTPERF_SERVE_MIN_KPS:-500000}"
+DURATION="${COSTPERF_SERVE_DURATION:-3}"
+# check.sh's serve lane rebuilds under TSan (Debug + -DCOSTPERF_SANITIZE=
+# thread) in its own directory via these overrides; the default is the
+# Release throughput configuration.
+BUILD_TYPE="${COSTPERF_SERVE_BUILD_TYPE:-Release}"
+CMAKE_EXTRA=()
+if [[ -n "${COSTPERF_SERVE_SANITIZE:-}" ]]; then
+  CMAKE_EXTRA+=("-DCOSTPERF_SANITIZE=${COSTPERF_SERVE_SANITIZE}")
+fi
+
+cmake -S "$ROOT" -B "$DIR" -DCMAKE_BUILD_TYPE="$BUILD_TYPE" \
+  ${CMAKE_EXTRA[@]+"${CMAKE_EXTRA[@]}"} >/dev/null || exit 1
+cmake --build "$DIR" --target costperf_server_bin loadgen -j "$JOBS" \
+  >/dev/null || exit 1
+
+SERVER_LOG="$DIR/serve_smoke_server.log"
+"$DIR/src/server/costperf_server" --port 0 --io-threads 2 --shards 8 \
+  --store memory > "$SERVER_LOG" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null; wait "$SERVER_PID" 2>/dev/null' EXIT
+
+# The server prints "listening on host:port" once the socket is live.
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/^listening on [^:]*:\([0-9]*\)$/\1/p' "$SERVER_LOG")"
+  [[ -n "$PORT" ]] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat "$SERVER_LOG"; exit 1; }
+  sleep 0.1
+done
+if [[ -z "$PORT" ]]; then
+  echo "serve_smoke: server never reported its port" >&2
+  cat "$SERVER_LOG"
+  exit 1
+fi
+
+if ! "$DIR/bench/loadgen" --host 127.0.0.1 --port "$PORT" \
+     --connections 8 --pipeline 16 --tenants 4 \
+     --duration-seconds "$DURATION" \
+     --keyspace 20000 --json "$OUT"; then
+  echo "serve_smoke: loadgen failed" >&2
+  exit 1
+fi
+
+# Clean quiesce: SIGTERM must drain and exit 0.
+kill -TERM "$SERVER_PID"
+SERVER_RC=1
+if wait "$SERVER_PID"; then SERVER_RC=0; fi
+trap - EXIT
+if [[ "$SERVER_RC" -ne 0 ]]; then
+  echo "serve_smoke: server did not shut down cleanly" >&2
+  cat "$SERVER_LOG"
+  exit 1
+fi
+
+MIN_KPS="$MIN_KPS" OUT="$OUT" python3 - <<'EOF' || exit 1
+import json, os, sys
+
+with open(os.environ["OUT"]) as f:
+    r = json.load(f)
+min_kps = float(os.environ["MIN_KPS"])
+
+def fail(msg):
+    print(f"serve_smoke: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+if r["keys_per_sec"] < min_kps:
+    fail(f'throughput {r["keys_per_sec"]:.0f} keys/s < gate {min_kps:.0f}')
+tenants = r["per_tenant"]
+if len(tenants) != r["tenants"]:
+    fail(f'report has {len(tenants)} tenants, expected {r["tenants"]}')
+for t in tenants:
+    if t["keys"] <= 0:
+        fail(f'tenant {t["tenant"]} made no progress')
+    if not (0 < t["p50_us"] <= t["p99_us"]):
+        fail(f'tenant {t["tenant"]} latency report is not sane: {t}')
+    if t["errors"] > 0:
+        fail(f'tenant {t["tenant"]} saw {t["errors"]} errors')
+srv = r["server"]
+if srv["multiget_batches"] <= 0 or srv["writebatch_batches"] <= 0:
+    fail(f"wire batches never reached the batched store paths: {srv}")
+keys_per_call = srv["multiget_keys"] / srv["multiget_batches"]
+if keys_per_call < 2:
+    fail(f"MultiGet grouping degenerated to per-key calls "
+         f"({keys_per_call:.2f} keys/store call)")
+print(f'serve_smoke: {r["keys_per_sec"]:.0f} keys/s over '
+      f'{r["connections"]} conns x pipeline {r["pipeline"]}, '
+      f'{keys_per_call:.0f} keys per MultiGet store call, '
+      f'{srv["multiget_shard_groups"]} shard group visits')
+EOF
+
+if [[ -n "${COSTPERF_SERVE_MERGE_JSON:-}" ]]; then
+  OUT="$OUT" MERGE="$COSTPERF_SERVE_MERGE_JSON" python3 - <<'EOF' || exit 1
+import json, os
+with open(os.environ["OUT"]) as f:
+    serve = json.load(f)
+path = os.environ["MERGE"]
+with open(path) as f:
+    base = json.load(f)
+base["serve"] = serve
+with open(path, "w") as f:
+    json.dump(base, f, indent=2)
+    f.write("\n")
+print(f"merged serve result into {path}")
+EOF
+fi
+
+echo "serve smoke passed; result at $OUT"

@@ -1,0 +1,97 @@
+#ifndef COSTPERF_CORE_BATCH_H_
+#define COSTPERF_CORE_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace costperf::core {
+
+// One upsert entry of a write batch.
+using KvEntry = std::pair<std::string, std::string>;
+
+// Per-call read knobs, carried through the batch surface so a new knob is
+// an added field instead of a signature change everywhere.
+struct ReadOptions {
+  // Per-key value size cap: a key whose value exceeds this many bytes
+  // gets a kResourceExhausted per-key status and no value copy. The
+  // server uses it to bound response-frame size. 0 = unlimited.
+  size_t max_value_bytes = 0;
+};
+
+// Per-call write knobs.
+struct WriteOptions {
+  // Stop applying entries after the first non-OK status; the remaining
+  // entries report kAborted("not attempted"). Default applies every
+  // entry regardless (per-entry statuses tell the caller what stuck).
+  bool fail_fast = false;
+};
+
+// Out-param result of a batched read. statuses[i]/values[i] belong to
+// keys[i] of the call that filled it. The value vector never shrinks, so
+// each slot's heap buffer survives Reset() and a steady-state batch loop
+// performs no per-key allocation — this is the replacement for the old
+// vector<Result<std::string>> return, which allocated a fresh string per
+// hit per call.
+//
+// values[i] is meaningful only when statuses[i].ok(); other slots may
+// hold stale bytes from an earlier batch.
+struct BatchReadResult {
+  std::vector<Status> statuses;
+  std::vector<std::string> values;
+
+  // Prepares for an n-key batch: statuses reset to Ok, value slot
+  // capacity retained.
+  void Reset(size_t n) {
+    statuses.assign(n, Status());
+    if (values.size() < n) values.resize(n);
+  }
+
+  size_t size() const { return statuses.size(); }
+
+  size_t found() const {
+    size_t n = 0;
+    for (const Status& s : statuses) n += s.ok() ? 1 : 0;
+    return n;
+  }
+
+  // First status that is neither Ok nor NotFound (NotFound is an answer,
+  // not an error); Ok when every key resolved.
+  Status FirstError() const {
+    for (const Status& s : statuses) {
+      if (!s.ok() && !s.IsNotFound()) return s;
+    }
+    return Status::Ok();
+  }
+};
+
+// Out-param result of a batched write: one status per entry, in input
+// order, instead of the old single first-error Status that swallowed
+// every outcome after the first failure.
+struct BatchWriteResult {
+  std::vector<Status> statuses;
+  uint64_t ok_count = 0;
+
+  void Reset(size_t n) {
+    statuses.assign(n, Status());
+    ok_count = 0;
+  }
+
+  size_t size() const { return statuses.size(); }
+  bool all_ok() const { return ok_count == statuses.size(); }
+
+  Status FirstError() const {
+    for (const Status& s : statuses) {
+      if (!s.ok()) return s;
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace costperf::core
+
+#endif  // COSTPERF_CORE_BATCH_H_

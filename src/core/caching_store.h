@@ -116,6 +116,7 @@ class CachingStore : public KvStore,
 
   uint64_t MemoryFootprintBytes() const override;
   KvStoreStats Stats() const override;
+  [[deprecated("display-only rendering; consume structured Stats()")]]
   std::string StatsString() const override;
   void Maintain() override;
   // Runs BwTreeValidator, MappingTableAuditor and LogStoreAuditor over

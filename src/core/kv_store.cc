@@ -23,6 +23,12 @@ KvStoreStats& KvStoreStats::operator+=(const KvStoreStats& other) {
   for (size_t i = 0; i < log_group_size_hist.size(); ++i) {
     log_group_size_hist[i] += other.log_group_size_hist[i];
   }
+  multiget_batches += other.multiget_batches;
+  multiget_keys += other.multiget_keys;
+  multiget_shard_groups += other.multiget_shard_groups;
+  writebatch_batches += other.writebatch_batches;
+  writebatch_entries += other.writebatch_entries;
+  writebatch_shard_groups += other.writebatch_shard_groups;
   foreground_maintenance_ops += other.foreground_maintenance_ops;
   background_maintenance_steps += other.background_maintenance_steps;
   background_pages_evicted += other.background_pages_evicted;
@@ -65,6 +71,17 @@ std::string KvStoreStats::ToString() const {
            (unsigned long long)log_group_size_hist[3],
            (unsigned long long)log_group_size_hist[4],
            (unsigned long long)log_group_size_hist[5]);
+  char batch[256];
+  snprintf(batch, sizeof(batch),
+           "\nbatch: multiget_batches=%llu multiget_keys=%llu "
+           "multiget_shard_groups=%llu writebatch_batches=%llu "
+           "writebatch_entries=%llu writebatch_shard_groups=%llu",
+           (unsigned long long)multiget_batches,
+           (unsigned long long)multiget_keys,
+           (unsigned long long)multiget_shard_groups,
+           (unsigned long long)writebatch_batches,
+           (unsigned long long)writebatch_entries,
+           (unsigned long long)writebatch_shard_groups);
   char maintenance[320];
   snprintf(maintenance, sizeof(maintenance),
            "\nmaintenance: foreground_ops=%llu background_steps=%llu "
@@ -78,7 +95,7 @@ std::string KvStoreStats::ToString() const {
            (unsigned long long)background_leaf_flushes,
            (unsigned long long)write_stalls,
            (unsigned long long)stall_micros_total);
-  return std::string(buf) + contention + maintenance;
+  return std::string(buf) + contention + batch + maintenance;
 }
 
 Status KvStore::Get(const Slice& key, std::string* value_out) {
@@ -88,22 +105,63 @@ Status KvStore::Get(const Slice& key, std::string* value_out) {
   return Status::Ok();
 }
 
+Status KvStore::MultiGet(std::span<const std::string> keys,
+                         const ReadOptions& options, BatchReadResult* out) {
+  out->Reset(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    Status s = Get(Slice(keys[i]), &out->values[i]);
+    if (s.ok() && options.max_value_bytes != 0 &&
+        out->values[i].size() > options.max_value_bytes) {
+      s = Status::ResourceExhausted("value exceeds max_value_bytes");
+    }
+    out->statuses[i] = std::move(s);
+  }
+  return out->FirstError();
+}
+
+Status KvStore::WriteBatch(std::span<const KvEntry> entries,
+                           const WriteOptions& options,
+                           BatchWriteResult* out) {
+  out->Reset(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    Status s = Put(Slice(entries[i].first), Slice(entries[i].second));
+    const bool failed = !s.ok();
+    if (s.ok()) ++out->ok_count;
+    out->statuses[i] = std::move(s);
+    if (failed && options.fail_fast) {
+      for (size_t j = i + 1; j < entries.size(); ++j) {
+        out->statuses[j] = Status::Aborted("not attempted (fail_fast)");
+      }
+      break;
+    }
+  }
+  return out->FirstError();
+}
+
+// Deprecated adapters: pay the per-key Result<std::string> allocation /
+// collapse per-entry outcomes, exactly what the out-param surface exists
+// to avoid. Kept one release for out-of-tree callers.
 std::vector<Result<std::string>> KvStore::MultiGet(
     std::span<const std::string> keys) {
+  BatchReadResult batch;
+  (void)MultiGet(keys, ReadOptions(), &batch);
   std::vector<Result<std::string>> out;
   out.reserve(keys.size());
-  for (const std::string& key : keys) out.push_back(Get(Slice(key)));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (batch.statuses[i].ok()) {
+      out.push_back(std::move(batch.values[i]));
+    } else {
+      out.push_back(batch.statuses[i]);
+    }
+  }
   return out;
 }
 
 Status KvStore::WriteBatch(
     const std::vector<std::pair<std::string, std::string>>& entries) {
-  Status first_error = Status::Ok();
-  for (const auto& [key, value] : entries) {
-    Status s = Put(Slice(key), Slice(value));
-    if (!s.ok() && first_error.ok()) first_error = s;
-  }
-  return first_error;
+  BatchWriteResult batch;
+  return WriteBatch(std::span<const KvEntry>(entries), WriteOptions(),
+                    &batch);
 }
 
 }  // namespace costperf::core

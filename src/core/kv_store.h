@@ -11,6 +11,7 @@
 #include "analysis/invariant_checker.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "core/batch.h"
 
 namespace costperf::core {
 
@@ -56,6 +57,19 @@ struct KvStoreStats {
   // Append group sizes, bucketed 1, 2, 3-4, 5-8, 9-16, 17+.
   static constexpr size_t kLogGroupBuckets = 6;
   std::array<uint64_t, kLogGroupBuckets> log_group_size_hist{};
+
+  // Batched-surface visibility: how much traffic arrives through the
+  // batch API and how well composites (ShardedStore) group it. A wire
+  // server whose pipelined windows reach the batched store paths shows up
+  // here as multiget_keys >> multiget_batches with
+  // multiget_shard_groups << multiget_keys (one shard visit serving many
+  // keys). Plain stores leave these 0; ShardedStore fills them.
+  uint64_t multiget_batches = 0;       // batched MultiGet calls served
+  uint64_t multiget_keys = 0;          // keys across those calls
+  uint64_t multiget_shard_groups = 0;  // per-shard group visits
+  uint64_t writebatch_batches = 0;     // batched WriteBatch calls served
+  uint64_t writebatch_entries = 0;     // entries across those calls
+  uint64_t writebatch_shard_groups = 0;
 
   // Maintenance attribution: who paid for eviction/GC/consolidation.
   // foreground_maintenance_ops counts maintenance passes executed on an
@@ -108,16 +122,44 @@ class KvStore {
       const Slice& start, size_t limit,
       std::vector<std::pair<std::string, std::string>>* out) = 0;
 
-  // Batched point lookups: out[i] is the result for keys[i]. The default
-  // loops over Get(); ShardedStore overrides it to group keys per shard
-  // (one lock acquisition per touched shard instead of one per key).
-  virtual std::vector<Result<std::string>> MultiGet(
-      std::span<const std::string> keys);
+  // Batched point lookups, the canonical batch read surface: fills
+  // out->statuses[i]/out->values[i] for keys[i], reusing the result's
+  // value buffers across calls (no per-key allocation in steady state).
+  // The returned Status is out->FirstError(): Ok unless some key hit a
+  // real error — NotFound is reported per key, not as a call failure.
+  // The default loops over the out-param Get(); ShardedStore overrides
+  // it to group keys per shard (one shard visit per touched shard
+  // instead of one per key).
+  virtual Status MultiGet(std::span<const std::string> keys,
+                          const ReadOptions& options, BatchReadResult* out);
+  Status MultiGet(std::span<const std::string> keys, BatchReadResult* out) {
+    return MultiGet(keys, ReadOptions(), out);
+  }
 
-  // Batched upserts, applied in order. All entries are attempted; the
-  // first non-OK status (if any) is returned. The default loops over
-  // Put(); ShardedStore groups entries per shard.
-  virtual Status WriteBatch(
+  // Batched upserts, the canonical batch write surface: one status per
+  // entry in input order via *out (nothing is swallowed after the first
+  // failure — that was the old contract's flaw). Returns
+  // out->FirstError() for callers that only need the old single-status
+  // view. The default loops over Put(); ShardedStore groups entries per
+  // shard and merges per-shard outcomes back into input order.
+  virtual Status WriteBatch(std::span<const KvEntry> entries,
+                            const WriteOptions& options,
+                            BatchWriteResult* out);
+  Status WriteBatch(std::span<const KvEntry> entries, BatchWriteResult* out) {
+    return WriteBatch(entries, WriteOptions(), out);
+  }
+
+  // ---- Deprecated batch adapters (one release) -------------------------
+  // Thin shims over the out-param surface for out-of-tree callers mid
+  // migration. They re-introduce exactly the costs the redesign retired:
+  // a fresh Result<std::string> allocation per key, and a single Status
+  // that hides every per-entry outcome after the first failure. No
+  // in-tree caller remains (tests cover the shims under a pragma).
+  [[deprecated("use Status MultiGet(keys, BatchReadResult*)")]]
+  std::vector<Result<std::string>> MultiGet(std::span<const std::string> keys);
+
+  [[deprecated("use Status WriteBatch(entries, BatchWriteResult*)")]]
+  Status WriteBatch(
       const std::vector<std::pair<std::string, std::string>>& entries);
 
   // True when Get/MultiGet may be called concurrently with any other
@@ -136,7 +178,9 @@ class KvStore {
 
   // Human-readable counters for reports. The base rendering is just
   // Stats().ToString(); implementations may append component detail.
-  // Deprecated for programmatic use — consume Stats() instead.
+  // Deprecated for programmatic use: it is a display string, not a
+  // format — parse nothing out of it, consume Stats() instead.
+  [[deprecated("display-only rendering; consume structured Stats()")]]
   virtual std::string StatsString() const { return Stats().ToString(); }
 
   // Gives the store a chance to run maintenance (eviction, GC, epoch

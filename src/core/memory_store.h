@@ -35,6 +35,7 @@ class MemoryStore : public KvStore {
   }
 
   KvStoreStats Stats() const override;
+  [[deprecated("display-only rendering; consume structured Stats()")]]
   std::string StatsString() const override;
   void Maintain() override { tree_->ReclaimMemory(); }
 

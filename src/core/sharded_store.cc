@@ -149,45 +149,149 @@ Status ShardedStore::Scan(
   return Status::Ok();
 }
 
-std::vector<Result<std::string>> ShardedStore::MultiGet(
-    std::span<const std::string> keys) {
-  // Group key positions per shard, then visit each touched shard once.
-  std::vector<std::vector<size_t>> groups(shards_.size());
-  for (size_t i = 0; i < keys.size(); ++i) {
-    groups[ShardIndexOf(Slice(keys[i]))].push_back(i);
+namespace {
+
+// Thread-local grouping scratch for the batched paths: a counting sort of
+// item positions by owning shard (counts → prefix offsets → scattered
+// order). Reused across calls and across ShardedStore instances, so the
+// steady-state batched path performs no allocation.
+struct GroupScratch {
+  std::vector<uint32_t> shard_of;  // owning shard per item
+  std::vector<uint32_t> start;     // shard_count+1 prefix offsets
+  std::vector<uint32_t> cursor;    // scatter cursors (copy of start)
+  std::vector<uint32_t> order;     // item positions grouped by shard
+};
+
+GroupScratch& TlsGroupScratch() {
+  static thread_local GroupScratch scratch;
+  return scratch;
+}
+
+}  // namespace
+
+Status ShardedStore::MultiGet(std::span<const std::string> keys,
+                              const ReadOptions& options,
+                              BatchReadResult* out) {
+  out->Reset(keys.size());
+  const size_t n = keys.size();
+  const size_t shard_count = shards_.size();
+  GroupScratch& g = TlsGroupScratch();
+  g.shard_of.resize(n);
+  g.start.assign(shard_count + 1, 0);
+  g.order.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t s = static_cast<uint32_t>(ShardIndexOf(Slice(keys[i])));
+    g.shard_of[i] = s;
+    ++g.start[s + 1];
   }
-  std::vector<Result<std::string>> out(keys.size(), Status::NotFound());
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    if (groups[s].empty()) continue;
+  for (size_t s = 0; s < shard_count; ++s) g.start[s + 1] += g.start[s];
+  g.cursor.assign(g.start.begin(), g.start.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    g.order[g.cursor[g.shard_of[i]]++] = static_cast<uint32_t>(i);
+  }
+
+  uint64_t groups = 0;
+  for (size_t s = 0; s < shard_count; ++s) {
+    const uint32_t begin = g.start[s], end = g.start[s + 1];
+    if (begin == end) continue;
+    ++groups;
     Shard& shard = *shards_[s];
     if (shard.reader != nullptr) {
-      for (size_t i : groups[s]) out[i] = shard.reader->Get(Slice(keys[i]));
+      // Latch-free reader: the whole group runs without the shard latch.
+      for (uint32_t k = begin; k < end; ++k) {
+        const uint32_t i = g.order[k];
+        Status st = shard.reader->Get(Slice(keys[i]), &out->values[i]);
+        if (st.ok() && options.max_value_bytes != 0 &&
+            out->values[i].size() > options.max_value_bytes) {
+          st = Status::ResourceExhausted("value exceeds max_value_bytes");
+        }
+        out->statuses[i] = std::move(st);
+      }
       continue;
     }
     MutexLock lock(&shard.mu);
-    for (size_t i : groups[s]) out[i] = shard.store->Get(Slice(keys[i]));
-  }
-  return out;
-}
-
-Status ShardedStore::WriteBatch(
-    const std::vector<std::pair<std::string, std::string>>& entries) {
-  std::vector<std::vector<size_t>> groups(shards_.size());
-  for (size_t i = 0; i < entries.size(); ++i) {
-    groups[ShardIndexOf(Slice(entries[i].first))].push_back(i);
-  }
-  Status first_error = Status::Ok();
-  for (size_t s = 0; s < shards_.size(); ++s) {
-    if (groups[s].empty()) continue;
-    Shard& shard = *shards_[s];
-    MutexLock lock(&shard.mu);
-    for (size_t i : groups[s]) {
-      Status st = shard.store->Put(Slice(entries[i].first),
-                                   Slice(entries[i].second));
-      if (!st.ok() && first_error.ok()) first_error = st;
+    for (uint32_t k = begin; k < end; ++k) {
+      const uint32_t i = g.order[k];
+      Status st = shard.store->Get(Slice(keys[i]), &out->values[i]);
+      if (st.ok() && options.max_value_bytes != 0 &&
+          out->values[i].size() > options.max_value_bytes) {
+        st = Status::ResourceExhausted("value exceeds max_value_bytes");
+      }
+      out->statuses[i] = std::move(st);
     }
   }
-  return first_error;
+  multiget_batches_.fetch_add(1, std::memory_order_relaxed);
+  multiget_keys_.fetch_add(n, std::memory_order_relaxed);
+  multiget_groups_.fetch_add(groups, std::memory_order_relaxed);
+  return out->FirstError();
+}
+
+Status ShardedStore::WriteBatch(std::span<const KvEntry> entries,
+                                const WriteOptions& options,
+                                BatchWriteResult* out) {
+  out->Reset(entries.size());
+  const size_t n = entries.size();
+
+  if (options.fail_fast) {
+    // fail_fast promises "stop after the first failure in input order",
+    // which shard grouping cannot honor (groups reorder execution); take
+    // the sequential path for this rare mode.
+    writebatch_batches_.fetch_add(1, std::memory_order_relaxed);
+    writebatch_entries_.fetch_add(n, std::memory_order_relaxed);
+    for (size_t i = 0; i < n; ++i) {
+      Status s = Put(Slice(entries[i].first), Slice(entries[i].second));
+      const bool failed = !s.ok();
+      if (s.ok()) ++out->ok_count;
+      out->statuses[i] = std::move(s);
+      writebatch_groups_.fetch_add(1, std::memory_order_relaxed);
+      if (failed) {
+        for (size_t j = i + 1; j < n; ++j) {
+          out->statuses[j] = Status::Aborted("not attempted (fail_fast)");
+        }
+        break;
+      }
+    }
+    return out->FirstError();
+  }
+
+  const size_t shard_count = shards_.size();
+  GroupScratch& g = TlsGroupScratch();
+  g.shard_of.resize(n);
+  g.start.assign(shard_count + 1, 0);
+  g.order.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t s =
+        static_cast<uint32_t>(ShardIndexOf(Slice(entries[i].first)));
+    g.shard_of[i] = s;
+    ++g.start[s + 1];
+  }
+  for (size_t s = 0; s < shard_count; ++s) g.start[s + 1] += g.start[s];
+  g.cursor.assign(g.start.begin(), g.start.end() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    g.order[g.cursor[g.shard_of[i]]++] = static_cast<uint32_t>(i);
+  }
+
+  uint64_t groups = 0;
+  for (size_t s = 0; s < shard_count; ++s) {
+    const uint32_t begin = g.start[s], end = g.start[s + 1];
+    if (begin == end) continue;
+    ++groups;
+    Shard& shard = *shards_[s];
+    MutexLock lock(&shard.mu);
+    for (uint32_t k = begin; k < end; ++k) {
+      const uint32_t i = g.order[k];
+      // Within a shard, entries apply in input order (the counting sort
+      // is stable), so same-key entries keep last-writer-wins semantics.
+      Status st = shard.store->Put(Slice(entries[i].first),
+                                   Slice(entries[i].second));
+      if (st.ok()) ++out->ok_count;
+      out->statuses[i] = std::move(st);
+    }
+  }
+  writebatch_batches_.fetch_add(1, std::memory_order_relaxed);
+  writebatch_entries_.fetch_add(n, std::memory_order_relaxed);
+  writebatch_groups_.fetch_add(groups, std::memory_order_relaxed);
+  return out->FirstError();
 }
 
 uint64_t ShardedStore::MemoryFootprintBytes() const {
@@ -205,6 +309,17 @@ KvStoreStats ShardedStore::Stats() const {
     MutexLock lock(&shard->mu);
     total += shard->store->Stats();
   }
+  // Batch grouping is a property of this composite, not of any shard.
+  total.multiget_batches += multiget_batches_.load(std::memory_order_relaxed);
+  total.multiget_keys += multiget_keys_.load(std::memory_order_relaxed);
+  total.multiget_shard_groups +=
+      multiget_groups_.load(std::memory_order_relaxed);
+  total.writebatch_batches +=
+      writebatch_batches_.load(std::memory_order_relaxed);
+  total.writebatch_entries +=
+      writebatch_entries_.load(std::memory_order_relaxed);
+  total.writebatch_shard_groups +=
+      writebatch_groups_.load(std::memory_order_relaxed);
   return total;
 }
 

@@ -1,6 +1,7 @@
 #ifndef COSTPERF_CORE_SHARDED_STORE_H_
 #define COSTPERF_CORE_SHARDED_STORE_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -57,15 +58,32 @@ class ShardedStore : public KvStore {
   Status Scan(const Slice& start, size_t limit,
               std::vector<std::pair<std::string, std::string>>* out) override;
 
-  // Grouped batch ops: one lock acquisition per touched shard instead of
-  // one per key. MultiGet preserves input order in its results.
-  std::vector<Result<std::string>> MultiGet(
-      std::span<const std::string> keys) override;
-  Status WriteBatch(
-      const std::vector<std::pair<std::string, std::string>>& entries) override;
+  // Grouped batch ops: keys/entries are bucketed by owning shard and each
+  // touched shard is visited exactly once (one latch acquisition — or one
+  // latch-free reader pass — per shard instead of one per key). Results
+  // land at their input positions, so order is preserved by construction,
+  // and per-shard outcomes merge back in input order. The grouping scratch
+  // is thread-local: the steady-state batched path allocates nothing.
+  Status MultiGet(std::span<const std::string> keys,
+                  const ReadOptions& options, BatchReadResult* out) override;
+  Status WriteBatch(std::span<const KvEntry> entries,
+                    const WriteOptions& options,
+                    BatchWriteResult* out) override;
+  // Keep the non-virtual convenience overloads and deprecated adapters
+  // visible alongside the overrides.
+  using KvStore::MultiGet;
+  using KvStore::WriteBatch;
+
+  // The composite is safe for concurrent callers regardless of the inner
+  // store: every inner-store call happens under its shard's latch (or via
+  // the `reader` alias when the inner store is itself concurrent-safe).
+  bool ConcurrentSafe() const override { return true; }
 
   uint64_t MemoryFootprintBytes() const override;
-  KvStoreStats Stats() const override;  // aggregated across shards
+  // Aggregated across shards, plus this composite's own batch-grouping
+  // counters (multiget_batches/keys/shard_groups, writebatch_*).
+  KvStoreStats Stats() const override;
+  [[deprecated("display-only rendering; consume structured Stats()")]]
   std::string StatsString() const override;
   // Per-shard maintenance, each shard under its own lock.
   void Maintain() override;
@@ -112,6 +130,16 @@ class ShardedStore : public KvStore {
 
   // Fills shard->reader from the inner store's ConcurrentSafe() verdict.
   static void InitReader(Shard* shard);
+
+  // Batch-grouping visibility (surfaced via Stats()): relaxed counters on
+  // the batched paths — how many batch calls arrived, how many keys they
+  // carried, and how many per-shard group visits served them.
+  std::atomic<uint64_t> multiget_batches_{0};
+  std::atomic<uint64_t> multiget_keys_{0};
+  std::atomic<uint64_t> multiget_groups_{0};
+  std::atomic<uint64_t> writebatch_batches_{0};
+  std::atomic<uint64_t> writebatch_entries_{0};
+  std::atomic<uint64_t> writebatch_groups_{0};
 
   // Declared before shards_ so it is destroyed AFTER them: shard
   // destructors Deregister from this scheduler, which must still exist.

@@ -1,0 +1,73 @@
+#include "server/admission.h"
+
+namespace costperf::server {
+
+TenantCounters* TenantRegistry::Get(uint32_t tenant_id) {
+  MutexLock lock(&mu_);
+  return &tenants_[tenant_id];
+}
+
+std::vector<TenantSnapshot> TenantRegistry::Snapshot() const {
+  MutexLock lock(&mu_);
+  std::vector<TenantSnapshot> out;
+  out.reserve(tenants_.size());
+  for (const auto& [id, c] : tenants_) {
+    TenantSnapshot s;
+    s.tenant_id = id;
+    s.requests = c.requests.load(std::memory_order_relaxed);
+    s.read_keys = c.read_keys.load(std::memory_order_relaxed);
+    s.write_keys = c.write_keys.load(std::memory_order_relaxed);
+    s.rejected = c.rejected.load(std::memory_order_relaxed);
+    s.errors = c.errors.load(std::memory_order_relaxed);
+    s.bytes_in = c.bytes_in.load(std::memory_order_relaxed);
+    s.bytes_out = c.bytes_out.load(std::memory_order_relaxed);
+    out.push_back(s);
+  }
+  return out;
+}
+
+AdmissionController::AdmissionController(Clock* clock,
+                                         AdmissionOptions options)
+    : clock_(clock), options_(options) {}
+
+void AdmissionController::ObserveStoreStats(const core::KvStoreStats& stats) {
+  MutexLock lock(&mu_);
+  if (seen_stats_ && stats.write_stalls > last_write_stalls_) {
+    const double now = clock_->NowSeconds();
+    if (pushback_until_ <= now) {
+      windows_.fetch_add(1, std::memory_order_relaxed);
+    }
+    pushback_until_ = now + options_.pushback_window_seconds;
+  }
+  last_write_stalls_ = stats.write_stalls;
+  seen_stats_ = true;
+}
+
+bool AdmissionController::AdmitWrite(uint32_t tenant_id,
+                                     uint64_t write_keys) {
+  MutexLock lock(&mu_);
+  TenantShare& share = shares_[tenant_id];
+  share.write_keys += write_keys;
+  total_write_keys_ += write_keys;
+
+  if (pushback_until_ <= clock_->NowSeconds()) return true;
+  if (total_write_keys_ < options_.min_write_keys) return true;
+
+  const size_t active = shares_.size();
+  const double fair =
+      options_.share_slack / static_cast<double>(active == 0 ? 1 : active);
+  const double mine = static_cast<double>(share.write_keys) /
+                      static_cast<double>(total_write_keys_);
+  if (active > 1 && mine > fair) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  return true;
+}
+
+bool AdmissionController::in_pushback() const {
+  MutexLock lock(&mu_);
+  return pushback_until_ > clock_->NowSeconds();
+}
+
+}  // namespace costperf::server

@@ -1,0 +1,114 @@
+#ifndef COSTPERF_SERVER_ADMISSION_H_
+#define COSTPERF_SERVER_ADMISSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "core/kv_store.h"
+
+namespace costperf::server {
+
+// Per-tenant request accounting. Tenants are named by the u32 tenant_id on
+// every wire frame; counters are plain atomics so the I/O threads update
+// them without coordination.
+struct TenantCounters {
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> read_keys{0};
+  std::atomic<uint64_t> write_keys{0};
+  std::atomic<uint64_t> rejected{0};   // admission pushback refusals
+  std::atomic<uint64_t> errors{0};     // malformed / failed requests
+  std::atomic<uint64_t> bytes_in{0};
+  std::atomic<uint64_t> bytes_out{0};
+};
+
+struct TenantSnapshot {
+  uint32_t tenant_id = 0;
+  uint64_t requests = 0;
+  uint64_t read_keys = 0;
+  uint64_t write_keys = 0;
+  uint64_t rejected = 0;
+  uint64_t errors = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+};
+
+class TenantRegistry {
+ public:
+  // Returns the counters for `tenant_id`, creating them on first sight.
+  // The returned pointer stays valid for the registry's lifetime, so
+  // connections cache it and the mutex is only taken on first contact.
+  TenantCounters* Get(uint32_t tenant_id);
+
+  std::vector<TenantSnapshot> Snapshot() const;
+
+ private:
+  mutable Mutex mu_;
+  // std::map, not unordered_map: stats output iterates in tenant order and
+  // node-based maps keep TenantCounters addresses stable across inserts.
+  std::map<uint32_t, TenantCounters> tenants_ GUARDED_BY(mu_);
+};
+
+// Write-stall backpressure, re-exported as per-tenant admission pushback.
+//
+// The store reports stalls it absorbed (write_stalls / stall_micros_total
+// in KvStoreStats). When the server observes those counters advance, the
+// foreground is outrunning log flush + eviction; instead of letting every
+// tenant queue behind the stall, the server opens a pushback window during
+// which tenants writing more than their fair share of the recent write
+// traffic get kResourceExhausted error frames and must back off. Tenants
+// under their share keep writing: the pushback is targeted, not global.
+struct AdmissionOptions {
+  double pushback_window_seconds = 0.25;
+  // A tenant is over fair share when its fraction of recent write keys
+  // exceeds share_slack / active_tenant_count.
+  double share_slack = 1.25;
+  // Ignore stall evidence until at least this many write keys have been
+  // observed, so a cold start cannot trigger pushback.
+  uint64_t min_write_keys = 256;
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(Clock* clock, AdmissionOptions options);
+
+  // Feed the store's current stats; detects write_stalls advancing and
+  // opens (or extends) the pushback window.
+  void ObserveStoreStats(const core::KvStoreStats& stats);
+
+  // Ask permission to apply `write_keys` writes for `tenant_id`. Always
+  // records the traffic (the share estimate needs denied traffic too —
+  // a rejected tenant that keeps retrying stays over its share).
+  bool AdmitWrite(uint32_t tenant_id, uint64_t write_keys);
+
+  bool in_pushback() const;
+  uint64_t pushback_windows() const { return windows_.load(std::memory_order_relaxed); }
+  uint64_t rejected() const { return rejected_.load(std::memory_order_relaxed); }
+
+ private:
+  struct TenantShare {
+    uint64_t write_keys = 0;
+  };
+
+  Clock* const clock_;
+  const AdmissionOptions options_;
+
+  mutable Mutex mu_;
+  std::map<uint32_t, TenantShare> shares_ GUARDED_BY(mu_);
+  uint64_t total_write_keys_ GUARDED_BY(mu_) = 0;
+  uint64_t last_write_stalls_ GUARDED_BY(mu_) = 0;
+  bool seen_stats_ GUARDED_BY(mu_) = false;
+  double pushback_until_ GUARDED_BY(mu_) = 0;
+
+  std::atomic<uint64_t> windows_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace costperf::server
+
+#endif  // COSTPERF_SERVER_ADMISSION_H_

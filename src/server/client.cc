@@ -1,0 +1,340 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace costperf::server {
+
+SyncClient::~SyncClient() { Close(); }
+
+Status SyncClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Status::IoError("socket: " + std::string(strerror(errno)));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad host: " + host);
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::IoError("connect: " + std::string(strerror(errno)));
+    Close();
+    return s;
+  }
+  int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::Ok();
+}
+
+void SyncClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  outbuf_.clear();
+  inbuf_.clear();
+  in_consumed_ = 0;
+}
+
+uint32_t SyncClient::QueueGet(std::string_view key) {
+  const uint32_t id = next_request_id_++;
+  AppendFrame(&outbuf_, kOpGet, id, tenant_id_, key);
+  return id;
+}
+
+uint32_t SyncClient::QueuePut(std::string_view key, std::string_view value) {
+  const uint32_t id = next_request_id_++;
+  std::string p;
+  AppendLengthPrefixed(&p, key);
+  p.append(value.data(), value.size());
+  AppendFrame(&outbuf_, kOpPut, id, tenant_id_, p);
+  return id;
+}
+
+uint32_t SyncClient::QueueDelete(std::string_view key) {
+  const uint32_t id = next_request_id_++;
+  AppendFrame(&outbuf_, kOpDelete, id, tenant_id_, key);
+  return id;
+}
+
+uint32_t SyncClient::QueueMultiGet(std::span<const std::string> keys) {
+  const uint32_t id = next_request_id_++;
+  std::string p;
+  PutFixed32(&p, static_cast<uint32_t>(keys.size()));
+  for (const std::string& k : keys) AppendLengthPrefixed(&p, k);
+  AppendFrame(&outbuf_, kOpMultiGet, id, tenant_id_, p);
+  return id;
+}
+
+uint32_t SyncClient::QueueWriteBatch(std::span<const core::KvEntry> entries) {
+  const uint32_t id = next_request_id_++;
+  std::string p;
+  PutFixed32(&p, static_cast<uint32_t>(entries.size()));
+  for (const core::KvEntry& e : entries) {
+    AppendLengthPrefixed(&p, e.first);
+    AppendLengthPrefixed(&p, e.second);
+  }
+  AppendFrame(&outbuf_, kOpWriteBatch, id, tenant_id_, p);
+  return id;
+}
+
+uint32_t SyncClient::QueueStats() {
+  const uint32_t id = next_request_id_++;
+  AppendFrame(&outbuf_, kOpStats, id, tenant_id_, {});
+  return id;
+}
+
+Status SyncClient::Flush() {
+  size_t sent = 0;
+  while (sent < outbuf_.size()) {
+    // MSG_NOSIGNAL so a server-side disconnect reads as EPIPE, not SIGPIPE.
+    ssize_t w = send(fd_, outbuf_.data() + sent, outbuf_.size() - sent,
+                     MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError("write: " + std::string(strerror(errno)));
+    }
+    sent += static_cast<size_t>(w);
+  }
+  outbuf_.clear();
+  return Status::Ok();
+}
+
+Status SyncClient::SendRaw(std::string_view bytes) {
+  outbuf_.append(bytes.data(), bytes.size());
+  return Flush();
+}
+
+Status SyncClient::FillTo(size_t bytes) {
+  while (inbuf_.size() - in_consumed_ < bytes) {
+    char buf[64 * 1024];
+    ssize_t r = read(fd_, buf, sizeof(buf));
+    if (r > 0) {
+      inbuf_.append(buf, static_cast<size_t>(r));
+      continue;
+    }
+    if (r == 0) return Status::Unavailable("peer closed");
+    if (errno == EINTR) continue;
+    return Status::IoError("read: " + std::string(strerror(errno)));
+  }
+  return Status::Ok();
+}
+
+Status SyncClient::ReadRawFrame(FrameHeader* header, std::string* payload) {
+  Status s = FillTo(kHeaderSize);
+  if (!s.ok()) return s;
+  DecodeResult dr =
+      DecodeHeader(inbuf_.data() + in_consumed_, inbuf_.size() - in_consumed_,
+                   header);
+  if (dr != DecodeResult::kOk) {
+    return Status::Corruption(std::string("response header: ") +
+                              DecodeResultName(dr));
+  }
+  s = FillTo(kHeaderSize + header->payload_len);
+  if (!s.ok()) return s;
+  payload->assign(inbuf_, in_consumed_ + kHeaderSize, header->payload_len);
+  in_consumed_ += kHeaderSize + header->payload_len;
+  if (in_consumed_ == inbuf_.size()) {
+    inbuf_.clear();
+    in_consumed_ = 0;
+  }
+  return Status::Ok();
+}
+
+Status SyncClient::ExpectPeerClose() {
+  // Drain whatever remains; succeed when read() reports EOF.
+  while (true) {
+    char buf[4096];
+    ssize_t r = read(fd_, buf, sizeof(buf));
+    if (r == 0) return Status::Ok();
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      // Reset counts too: the peer is gone either way.
+      if (errno == ECONNRESET) return Status::Ok();
+      return Status::IoError("read: " + std::string(strerror(errno)));
+    }
+  }
+}
+
+Status SyncClient::ReadResponse(Response* out) {
+  FrameHeader h;
+  std::string payload;
+  Status s = ReadRawFrame(&h, &payload);
+  if (!s.ok()) return s;
+  if ((h.opcode & kResponseBit) == 0) {
+    return Status::Corruption("frame without response bit");
+  }
+  out->opcode = h.opcode & ~kResponseBit;
+  out->request_id = h.request_id;
+  out->code = StatusCode::kOk;
+  out->value.clear();
+  out->statuses.clear();
+  out->values.clear();
+  out->text.clear();
+
+  std::string_view rest(payload);
+  switch (out->opcode) {
+    case kOpGet: {
+      uint8_t code;
+      if (!GetU8(&rest, &code)) return Status::Corruption("short GET response");
+      out->code = DecodeStatusCode(code);
+      out->value.assign(rest.data(), rest.size());
+      return Status::Ok();
+    }
+    case kOpPut:
+    case kOpDelete: {
+      uint8_t code;
+      if (!GetU8(&rest, &code)) return Status::Corruption("short response");
+      out->code = DecodeStatusCode(code);
+      return Status::Ok();
+    }
+    case kOpMultiGet: {
+      uint32_t count;
+      if (!GetU32(&rest, &count)) {
+        return Status::Corruption("short MULTIGET response");
+      }
+      out->statuses.reserve(count);
+      out->values.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        uint8_t code;
+        std::string_view value;
+        if (!GetU8(&rest, &code) || !GetLengthPrefixed(&rest, &value)) {
+          return Status::Corruption("truncated MULTIGET response");
+        }
+        out->statuses.emplace_back(DecodeStatusCode(code));
+        out->values.emplace_back(value);
+      }
+      return Status::Ok();
+    }
+    case kOpWriteBatch: {
+      uint32_t count;
+      if (!GetU32(&rest, &count)) {
+        return Status::Corruption("short WRITEBATCH response");
+      }
+      if (rest.size() < count) {
+        return Status::Corruption("truncated WRITEBATCH response");
+      }
+      out->statuses.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        out->statuses.emplace_back(
+            DecodeStatusCode(static_cast<uint8_t>(rest[i])));
+      }
+      return Status::Ok();
+    }
+    case kOpStats: {
+      out->text.assign(rest.data(), rest.size());
+      return Status::Ok();
+    }
+    case kOpError: {
+      uint8_t code;
+      if (!GetU8(&rest, &code)) {
+        return Status::Corruption("short error response");
+      }
+      out->code = DecodeStatusCode(code);
+      out->text.assign(rest.data(), rest.size());
+      return Status::Ok();
+    }
+    default:
+      return Status::Corruption("unknown response opcode");
+  }
+}
+
+Result<std::string> SyncClient::Get(std::string_view key) {
+  QueueGet(key);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response r;
+  s = ReadResponse(&r);
+  if (!s.ok()) return s;
+  if (r.code != StatusCode::kOk) return Status(r.code, r.text);
+  return std::move(r.value);
+}
+
+Status SyncClient::Put(std::string_view key, std::string_view value) {
+  QueuePut(key, value);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response r;
+  s = ReadResponse(&r);
+  if (!s.ok()) return s;
+  return r.code == StatusCode::kOk ? Status::Ok() : Status(r.code, r.text);
+}
+
+Status SyncClient::Delete(std::string_view key) {
+  QueueDelete(key);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response r;
+  s = ReadResponse(&r);
+  if (!s.ok()) return s;
+  return r.code == StatusCode::kOk ? Status::Ok() : Status(r.code, r.text);
+}
+
+Status SyncClient::MultiGet(std::span<const std::string> keys,
+                            core::BatchReadResult* out) {
+  QueueMultiGet(keys);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response r;
+  s = ReadResponse(&r);
+  if (!s.ok()) return s;
+  if (r.is_error()) return Status(r.code, r.text);
+  out->Reset(r.statuses.size());
+  for (size_t i = 0; i < r.statuses.size(); ++i) {
+    out->statuses[i] = r.statuses[i];
+    out->values[i] = std::move(r.values[i]);
+  }
+  return out->FirstError();
+}
+
+Status SyncClient::WriteBatch(std::span<const core::KvEntry> entries,
+                              core::BatchWriteResult* out) {
+  QueueWriteBatch(entries);
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response r;
+  s = ReadResponse(&r);
+  if (!s.ok()) return s;
+  if (r.is_error()) return Status(r.code, r.text);
+  out->Reset(r.statuses.size());
+  for (size_t i = 0; i < r.statuses.size(); ++i) {
+    out->statuses[i] = r.statuses[i];
+    if (r.statuses[i].ok()) ++out->ok_count;
+  }
+  return out->FirstError();
+}
+
+Result<std::map<std::string, uint64_t>> SyncClient::StatsMap() {
+  QueueStats();
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response r;
+  s = ReadResponse(&r);
+  if (!s.ok()) return s;
+  if (r.is_error()) return Status(r.code, r.text);
+  std::map<std::string, uint64_t> out;
+  std::string_view text(r.text);
+  while (!text.empty()) {
+    size_t nl = text.find('\n');
+    std::string_view line =
+        nl == std::string_view::npos ? text : text.substr(0, nl);
+    text.remove_prefix(nl == std::string_view::npos ? text.size() : nl + 1);
+    size_t eq = line.find('=');
+    if (eq == std::string_view::npos) continue;
+    out[std::string(line.substr(0, eq))] =
+        strtoull(std::string(line.substr(eq + 1)).c_str(), nullptr, 10);
+  }
+  return out;
+}
+
+}  // namespace costperf::server

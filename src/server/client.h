@@ -1,0 +1,93 @@
+#ifndef COSTPERF_SERVER_CLIENT_H_
+#define COSTPERF_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/batch.h"
+#include "server/protocol.h"
+
+namespace costperf::server {
+
+// Blocking client for the wire protocol. One-shot helpers (Get/Put/...)
+// round-trip a single frame; the Queue*/Flush/ReadResponse surface
+// pipelines many frames per syscall, which is how the e2e tests prove the
+// server coalesces a pipelined window into batched store calls. Not
+// thread-safe; one instance per connection.
+class SyncClient {
+ public:
+  SyncClient() = default;
+  ~SyncClient();
+
+  SyncClient(const SyncClient&) = delete;
+  SyncClient& operator=(const SyncClient&) = delete;
+
+  Status Connect(const std::string& host, uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  // Tenant id stamped on every subsequent frame.
+  void set_tenant(uint32_t tenant_id) { tenant_id_ = tenant_id; }
+
+  // A decoded response frame.
+  struct Response {
+    uint8_t opcode = 0;         // request opcode (response bit stripped)
+    uint32_t request_id = 0;
+    StatusCode code = StatusCode::kOk;  // top-level / first-error status
+    std::string value;                  // GET payload
+    std::vector<Status> statuses;       // MULTIGET / WRITEBATCH per element
+    std::vector<std::string> values;    // MULTIGET per element
+    std::string text;                   // STATS payload or error message
+    bool is_error() const { return opcode == kOpError; }
+  };
+
+  // -- pipelined surface -----------------------------------------------
+  // Queue* appends a frame to the send buffer and returns its request_id.
+  uint32_t QueueGet(std::string_view key);
+  uint32_t QueuePut(std::string_view key, std::string_view value);
+  uint32_t QueueDelete(std::string_view key);
+  uint32_t QueueMultiGet(std::span<const std::string> keys);
+  uint32_t QueueWriteBatch(std::span<const core::KvEntry> entries);
+  uint32_t QueueStats();
+  Status Flush();  // write the send buffer to the socket
+  // Blocks for the next response frame (in server order).
+  Status ReadResponse(Response* out);
+
+  // -- one-shot conveniences ---------------------------------------------
+  Result<std::string> Get(std::string_view key);
+  Status Put(std::string_view key, std::string_view value);
+  Status Delete(std::string_view key);
+  Status MultiGet(std::span<const std::string> keys,
+                  core::BatchReadResult* out);
+  Status WriteBatch(std::span<const core::KvEntry> entries,
+                    core::BatchWriteResult* out);
+  // STATS text, parsed into its `key=value` lines.
+  Result<std::map<std::string, uint64_t>> StatsMap();
+
+  // -- raw access for protocol tests -------------------------------------
+  Status SendRaw(std::string_view bytes);
+  // Blocks for one frame (however malformed the request that provoked it
+  // was, responses are well-formed). Returns an error if the peer closes.
+  Status ReadRawFrame(FrameHeader* header, std::string* payload);
+  // True once the peer has closed the connection (detected by a read).
+  Status ExpectPeerClose();
+
+ private:
+  Status FillTo(size_t bytes);  // grow inbuf_ to >= bytes, blocking
+
+  int fd_ = -1;
+  uint32_t tenant_id_ = 0;
+  uint32_t next_request_id_ = 1;
+  std::string outbuf_;
+  std::string inbuf_;
+  size_t in_consumed_ = 0;
+};
+
+}  // namespace costperf::server
+
+#endif  // COSTPERF_SERVER_CLIENT_H_

@@ -1,0 +1,112 @@
+#include "server/protocol.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+#include "common/crc32.h"
+
+namespace costperf::server {
+
+const char* DecodeResultName(DecodeResult r) {
+  switch (r) {
+    case DecodeResult::kOk: return "ok";
+    case DecodeResult::kNeedMore: return "need-more";
+    case DecodeResult::kBadMagic: return "bad-magic";
+    case DecodeResult::kBadVersion: return "bad-version";
+    case DecodeResult::kBadChecksum: return "bad-checksum";
+    case DecodeResult::kTooLarge: return "too-large";
+  }
+  return "unknown";
+}
+
+void EncodeHeader(const FrameHeader& h, char* out) {
+  out[0] = static_cast<char>(kMagic0);
+  out[1] = static_cast<char>(kMagic1);
+  out[2] = static_cast<char>(h.version);
+  out[3] = static_cast<char>(h.opcode);
+  EncodeFixed32(out + 4, h.request_id);
+  EncodeFixed32(out + 8, h.tenant_id);
+  EncodeFixed32(out + 12, h.payload_len);
+  EncodeFixed32(out + 16, MaskCrc(Crc32c(out, 16)));
+}
+
+DecodeResult DecodeHeader(const char* data, size_t len, FrameHeader* out) {
+  // Magic is checked as soon as its bytes exist: a stream that opens with
+  // garbage (say, an HTTP request) is rejected immediately instead of
+  // stalling until kHeaderSize bytes trickle in.
+  if (len >= 1 && static_cast<uint8_t>(data[0]) != kMagic0) {
+    return DecodeResult::kBadMagic;
+  }
+  if (len >= 2 && static_cast<uint8_t>(data[1]) != kMagic1) {
+    return DecodeResult::kBadMagic;
+  }
+  if (len < kHeaderSize) return DecodeResult::kNeedMore;
+  // Checksum before version: a corrupt header should not be reported as a
+  // version mismatch just because the corruption landed on byte 2.
+  const uint32_t expect = UnmaskCrc(DecodeFixed32(data + 16));
+  if (Crc32c(data, 16) != expect) return DecodeResult::kBadChecksum;
+  if (static_cast<uint8_t>(data[2]) != kWireVersion) {
+    return DecodeResult::kBadVersion;
+  }
+  out->version = static_cast<uint8_t>(data[2]);
+  out->opcode = static_cast<uint8_t>(data[3]);
+  out->request_id = DecodeFixed32(data + 4);
+  out->tenant_id = DecodeFixed32(data + 8);
+  out->payload_len = DecodeFixed32(data + 12);
+  if (out->payload_len > kMaxPayloadLen) return DecodeResult::kTooLarge;
+  return DecodeResult::kOk;
+}
+
+void AppendFrame(std::string* out, uint8_t opcode, uint32_t request_id,
+                 uint32_t tenant_id, std::string_view payload) {
+  FrameHeader h;
+  h.opcode = opcode;
+  h.request_id = request_id;
+  h.tenant_id = tenant_id;
+  h.payload_len = static_cast<uint32_t>(payload.size());
+  char hdr[kHeaderSize];
+  EncodeHeader(h, hdr);
+  out->append(hdr, kHeaderSize);
+  out->append(payload.data(), payload.size());
+}
+
+void AppendLengthPrefixed(std::string* dst, std::string_view s) {
+  PutFixed32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+bool GetU32(std::string_view* in, uint32_t* out) {
+  if (in->size() < 4) return false;
+  *out = DecodeFixed32(in->data());
+  in->remove_prefix(4);
+  return true;
+}
+
+bool GetU8(std::string_view* in, uint8_t* out) {
+  if (in->empty()) return false;
+  *out = static_cast<uint8_t>((*in)[0]);
+  in->remove_prefix(1);
+  return true;
+}
+
+bool GetLengthPrefixed(std::string_view* in, std::string_view* out) {
+  uint32_t len = 0;
+  if (!GetU32(in, &len)) return false;
+  if (in->size() < len) return false;
+  *out = in->substr(0, len);
+  in->remove_prefix(len);
+  return true;
+}
+
+uint8_t EncodeStatusCode(StatusCode code) {
+  return static_cast<uint8_t>(code);
+}
+
+StatusCode DecodeStatusCode(uint8_t b) {
+  if (b > static_cast<uint8_t>(StatusCode::kInternal)) {
+    return StatusCode::kInternal;
+  }
+  return static_cast<StatusCode>(b);
+}
+
+}  // namespace costperf::server

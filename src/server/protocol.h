@@ -1,0 +1,113 @@
+#ifndef COSTPERF_SERVER_PROTOCOL_H_
+#define COSTPERF_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace costperf::server {
+
+// Wire format: length-prefixed frames, pipelined over a byte stream.
+//
+//   [0..1]   magic 0xCF 0x5E
+//   [2]      version (kWireVersion)
+//   [3]      opcode; responses set kResponseBit, errors use kOpError
+//   [4..7]   request_id   (LE u32, echoed verbatim in the response)
+//   [8..11]  tenant_id    (LE u32, names the billing/stats bucket)
+//   [12..15] payload_len  (LE u32, bytes following the header)
+//   [16..19] MaskCrc(Crc32c(header bytes [0..15]))
+//
+// The checksum covers only the header: it is what lets the server trust
+// payload_len before committing buffer space, so a flipped length byte is
+// caught before it can be mistaken for a 4 GB frame. Payload integrity is
+// the transport's job (TCP); the header checksum is framing armor.
+//
+// Request payloads:
+//   GET        key bytes (the whole payload is the key)
+//   PUT        u32 key_len, key, value (rest of payload)
+//   DEL        key bytes
+//   MULTIGET   u32 count, then count x (u32 len, key)
+//   WRITEBATCH u32 count, then count x (u32 klen, key, u32 vlen, value)
+//   STATS      empty
+//
+// Response payloads (opcode | kResponseBit):
+//   GET        u8 status, value bytes when status==kOk
+//   PUT/DEL    u8 status
+//   MULTIGET   u32 count, then count x (u8 status, u32 vlen, value)
+//   WRITEBATCH u32 count, then count x u8 status
+//   STATS      text: one `key=value` per line
+//   kOpError   u8 status, human-readable message (sent when the request
+//              could not be executed at all: unknown opcode, admission
+//              pushback, malformed payload)
+//
+// A frame the decoder cannot trust (bad magic, bad checksum, unsupported
+// version, oversized length) is not answerable — the stream offset itself
+// is in doubt — so the server responds with a final error frame
+// (request_id 0) and closes the connection.
+
+inline constexpr size_t kHeaderSize = 20;
+inline constexpr uint8_t kMagic0 = 0xCF;
+inline constexpr uint8_t kMagic1 = 0x5E;
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr uint8_t kResponseBit = 0x80;
+inline constexpr uint32_t kMaxPayloadLen = 8u << 20;  // 8 MiB per frame
+
+enum Opcode : uint8_t {
+  kOpGet = 0x01,
+  kOpPut = 0x02,
+  kOpDelete = 0x03,
+  kOpMultiGet = 0x04,
+  kOpWriteBatch = 0x05,
+  kOpStats = 0x06,
+  kOpError = 0x7F,
+};
+
+struct FrameHeader {
+  uint8_t version = kWireVersion;
+  uint8_t opcode = 0;
+  uint32_t request_id = 0;
+  uint32_t tenant_id = 0;
+  uint32_t payload_len = 0;
+};
+
+enum class DecodeResult {
+  kOk,           // *out filled; header + payload_len bytes may follow
+  kNeedMore,     // fewer than kHeaderSize bytes available
+  kBadMagic,     // stream is not speaking this protocol (or lost sync)
+  kBadVersion,   // version this build does not understand
+  kBadChecksum,  // header corrupted in flight
+  kTooLarge,     // payload_len exceeds kMaxPayloadLen
+};
+
+const char* DecodeResultName(DecodeResult r);
+
+// Writes exactly kHeaderSize bytes (checksum included) to `out`.
+void EncodeHeader(const FrameHeader& h, char* out);
+
+// Validates magic/version/checksum/length. Does not consume input.
+DecodeResult DecodeHeader(const char* data, size_t len, FrameHeader* out);
+
+// Appends a complete frame (header + payload) to `out`.
+void AppendFrame(std::string* out, uint8_t opcode, uint32_t request_id,
+                 uint32_t tenant_id, std::string_view payload);
+
+// -- payload helpers ---------------------------------------------------------
+
+void AppendLengthPrefixed(std::string* dst, std::string_view s);
+
+// Reads a u32 length + that many bytes from the front of *in, advancing it.
+// Returns false (leaving *in unspecified) on truncation.
+bool GetLengthPrefixed(std::string_view* in, std::string_view* out);
+bool GetU32(std::string_view* in, uint32_t* out);
+bool GetU8(std::string_view* in, uint8_t* out);
+
+// StatusCode travels as one byte; unknown bytes decode to kInternal so a
+// corrupt status can never be mistaken for success.
+uint8_t EncodeStatusCode(StatusCode code);
+StatusCode DecodeStatusCode(uint8_t b);
+
+}  // namespace costperf::server
+
+#endif  // COSTPERF_SERVER_PROTOCOL_H_

@@ -1,0 +1,151 @@
+#ifndef COSTPERF_SERVER_SERVER_H_
+#define COSTPERF_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "core/batch.h"
+#include "core/kv_store.h"
+#include "server/admission.h"
+#include "server/protocol.h"
+
+namespace costperf::server {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;  // 0 = kernel-assigned; read back via Server::port()
+  int io_threads = 2;
+  // Cap on frames decoded from one connection per event-loop pass; bounds
+  // the latency one greedy pipelined connection can impose on its peers.
+  size_t max_pipeline_frames = 1024;
+  // Forwarded as ReadOptions::max_value_bytes so a response frame can
+  // never exceed what the output buffer policy plans for.
+  size_t max_value_bytes = 1u << 20;
+  // Stop reading from a connection whose unsent output exceeds this;
+  // resume when the client drains it (per-connection backpressure).
+  size_t output_buffer_soft_limit = 8u << 20;
+  // Admission pushback re-polls store stats at most this often.
+  double stats_poll_seconds = 0.05;
+  AdmissionOptions admission;
+};
+
+// Global wire/server counters (monotonic; snapshot via Server::counters()).
+struct ServerCounters {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+  uint64_t protocol_errors = 0;  // frames refused before execution
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t windows = 0;          // event-loop passes that executed frames
+  uint64_t read_runs = 0;        // MultiGet calls issued for read windows
+  uint64_t write_runs = 0;       // WriteBatch calls issued for write windows
+};
+
+// Epoll-based pipelined binary server over a KvStore.
+//
+// N I/O threads each run an epoll loop; connections are assigned round-
+// robin at accept time and never migrate, so per-connection state is
+// single-threaded by construction. Each pass drains a connection's socket,
+// decodes every complete frame (the pipelined window), and coalesces
+// adjacent reads into one KvStore::MultiGet and adjacent writes into one
+// KvStore::WriteBatch — the wire pipeline rides the store's batched paths
+// (per-shard grouping, group-committed log appends) instead of degrading
+// into per-key calls. Responses are emitted in request order.
+class Server {
+ public:
+  // `store` must be ConcurrentSafe() when io_threads > 1 and outlive the
+  // server. `clock` defaults to the process RealClock.
+  Server(core::KvStore* store, ServerOptions options, Clock* clock = nullptr);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens, and starts the I/O threads.
+  Status Start();
+  // Graceful: stops accepting, wakes every I/O thread, flushes what can be
+  // flushed without blocking, closes connections, joins threads. Safe to
+  // call twice.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  ServerCounters counters() const;
+  TenantRegistry& tenants() { return tenants_; }
+  AdmissionController& admission() { return admission_; }
+  // The same `key=value` line rendering the STATS opcode returns.
+  std::string StatsText() const;
+
+ private:
+  struct Conn;
+  struct IoThread;
+
+  void IoLoop(IoThread* t);
+  void AcceptReady(IoThread* t);
+  void AdoptPending(IoThread* t);
+  void HandleConnEvent(IoThread* t, Conn* c, uint32_t events);
+  // Reads until EAGAIN, then decodes and executes the pipelined window.
+  // Returns false when the connection must close.
+  bool DrainAndProcess(IoThread* t, Conn* c);
+  bool ProcessFrames(IoThread* t, Conn* c);
+  void ExecuteReadRun(IoThread* t, Conn* c);
+  void ExecuteWriteRun(IoThread* t, Conn* c);
+  void EmitError(Conn* c, uint32_t request_id, uint32_t tenant_id,
+                 StatusCode code, std::string_view message);
+  TenantCounters* TenantFor(Conn* c, uint32_t tenant_id);
+  // Returns false when the socket died.
+  bool FlushOutput(IoThread* t, Conn* c);
+  void UpdateInterest(IoThread* t, Conn* c);
+  void CloseConn(IoThread* t, Conn* c);
+  void MaybePollStoreStats();
+
+  core::KvStore* const store_;
+  const ServerOptions options_;
+  RealClock default_clock_;
+  Clock* const clock_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::vector<std::unique_ptr<IoThread>> io_threads_;
+  std::atomic<size_t> next_thread_{0};
+
+  TenantRegistry tenants_;
+  AdmissionController admission_;
+
+  Mutex stats_poll_mu_;
+  double last_stats_poll_ GUARDED_BY(stats_poll_mu_) = 0;
+
+  // Counters are sharded per I/O thread (each thread mutates only its own
+  // slot, with relaxed atomics so counters() can read concurrently);
+  // counters() sums them.
+  struct alignas(64) ThreadCounters {
+    std::atomic<uint64_t> connections_accepted{0};
+    std::atomic<uint64_t> connections_closed{0};
+    std::atomic<uint64_t> frames_in{0};
+    std::atomic<uint64_t> frames_out{0};
+    std::atomic<uint64_t> protocol_errors{0};
+    std::atomic<uint64_t> bytes_in{0};
+    std::atomic<uint64_t> bytes_out{0};
+    std::atomic<uint64_t> windows{0};
+    std::atomic<uint64_t> read_runs{0};
+    std::atomic<uint64_t> write_runs{0};
+  };
+  std::vector<std::unique_ptr<ThreadCounters>> thread_counters_;
+};
+
+}  // namespace costperf::server
+
+#endif  // COSTPERF_SERVER_SERVER_H_
