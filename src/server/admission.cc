@@ -4,7 +4,14 @@ namespace costperf::server {
 
 TenantCounters* TenantRegistry::Get(uint32_t tenant_id) {
   MutexLock lock(&mu_);
-  return &tenants_[tenant_id];
+  auto it = tenants_.find(tenant_id);
+  if (it != tenants_.end()) return &it->second;
+  if (tenants_.size() < max_tenants_ || tenant_id == kOverflowTenantId) {
+    return &tenants_[tenant_id];
+  }
+  // Map is full: fold this id into the shared overflow bucket (created on
+  // first overflow, so the map tops out at max_tenants_ + 1 entries).
+  return &tenants_[kOverflowTenantId];
 }
 
 std::vector<TenantSnapshot> TenantRegistry::Snapshot() const {
@@ -30,10 +37,32 @@ AdmissionController::AdmissionController(Clock* clock,
                                          AdmissionOptions options)
     : clock_(clock), options_(options) {}
 
+void AdmissionController::DecayShares(double now) {
+  const double halflife = options_.share_halflife_seconds;
+  if (halflife <= 0) return;
+  const double elapsed = now - last_decay_;
+  if (elapsed < halflife) return;
+  const auto steps = static_cast<uint64_t>(elapsed / halflife);
+  last_decay_ += static_cast<double>(steps) * halflife;
+  // 63 halvings zero any uint64 share, so cap the shift there.
+  const int shift = steps > 63 ? 63 : static_cast<int>(steps);
+  total_write_keys_ = 0;
+  for (auto it = shares_.begin(); it != shares_.end();) {
+    it->second.write_keys >>= shift;
+    if (it->second.write_keys == 0) {
+      it = shares_.erase(it);  // idle tenants leave the active set
+    } else {
+      total_write_keys_ += it->second.write_keys;
+      ++it;
+    }
+  }
+}
+
 void AdmissionController::ObserveStoreStats(const core::KvStoreStats& stats) {
   MutexLock lock(&mu_);
+  const double now = clock_->NowSeconds();
+  DecayShares(now);
   if (seen_stats_ && stats.write_stalls > last_write_stalls_) {
-    const double now = clock_->NowSeconds();
     if (pushback_until_ <= now) {
       windows_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -46,8 +75,21 @@ void AdmissionController::ObserveStoreStats(const core::KvStoreStats& stats) {
 bool AdmissionController::AdmitWrite(uint32_t tenant_id,
                                      uint64_t write_keys) {
   MutexLock lock(&mu_);
-  TenantShare& share = shares_[tenant_id];
-  share.write_keys += write_keys;
+  DecayShares(clock_->NowSeconds());
+  TenantShare* share;
+  auto it = shares_.find(tenant_id);
+  if (it != shares_.end()) {
+    share = &it->second;
+  } else if (shares_.size() < options_.max_tracked_tenants ||
+             tenant_id == kOverflowTenantId) {
+    share = &shares_[tenant_id];
+  } else {
+    // Past the cap, unseen ids share one bucket — and one fair share, so
+    // an id-spraying client cannot dodge pushback by looking like many
+    // small tenants (decay frees slots as real tenants go idle).
+    share = &shares_[kOverflowTenantId];
+  }
+  share->write_keys += write_keys;
   total_write_keys_ += write_keys;
 
   if (pushback_until_ <= clock_->NowSeconds()) return true;
@@ -56,7 +98,7 @@ bool AdmissionController::AdmitWrite(uint32_t tenant_id,
   const size_t active = shares_.size();
   const double fair =
       options_.share_slack / static_cast<double>(active == 0 ? 1 : active);
-  const double mine = static_cast<double>(share.write_keys) /
+  const double mine = static_cast<double>(share->write_keys) /
                       static_cast<double>(total_write_keys_);
   if (active > 1 && mine > fair) {
     rejected_.fetch_add(1, std::memory_order_relaxed);

@@ -14,6 +14,11 @@
 
 namespace costperf::server {
 
+// Tenant ids arrive verbatim from the wire, so tracked-tenant maps must be
+// bounded: past a cap, unseen ids fold into this shared overflow bucket
+// (a genuine tenant using this id merges with it — documented, harmless).
+inline constexpr uint32_t kOverflowTenantId = 0xFFFFFFFFu;
+
 // Per-tenant request accounting. Tenants are named by the u32 tenant_id on
 // every wire frame; counters are plain atomics so the I/O threads update
 // them without coordination.
@@ -40,14 +45,21 @@ struct TenantSnapshot {
 
 class TenantRegistry {
  public:
+  explicit TenantRegistry(size_t max_tenants = 1024)
+      : max_tenants_(max_tenants == 0 ? 1 : max_tenants) {}
+
   // Returns the counters for `tenant_id`, creating them on first sight.
   // The returned pointer stays valid for the registry's lifetime, so
   // connections cache it and the mutex is only taken on first contact.
+  // Once max_tenants distinct ids are tracked, further ids share the
+  // kOverflowTenantId bucket so a client spraying ids cannot grow the map
+  // (or the STATS response) without bound.
   TenantCounters* Get(uint32_t tenant_id);
 
   std::vector<TenantSnapshot> Snapshot() const;
 
  private:
+  const size_t max_tenants_;
   mutable Mutex mu_;
   // std::map, not unordered_map: stats output iterates in tenant order and
   // node-based maps keep TenantCounters addresses stable across inserts.
@@ -71,6 +83,16 @@ struct AdmissionOptions {
   // Ignore stall evidence until at least this many write keys have been
   // observed, so a cold start cannot trigger pushback.
   uint64_t min_write_keys = 256;
+  // Share accounting is an exponentially-decayed window, not a lifetime
+  // total: every half-life, each tenant's write_keys halve (entries that
+  // reach zero are dropped). "Fair share of recent write traffic" then
+  // actually means recent — a historical hog that went idle decays back
+  // under its share, and a newly-aggressive tenant can't hide under a
+  // large lifetime denominator. <= 0 disables decay.
+  double share_halflife_seconds = 5.0;
+  // Bound on distinct tenant ids tracked for share accounting; ids past
+  // the cap share the kOverflowTenantId bucket (decay frees idle slots).
+  size_t max_tracked_tenants = 1024;
 };
 
 class AdmissionController {
@@ -95,12 +117,17 @@ class AdmissionController {
     uint64_t write_keys = 0;
   };
 
+  // Applies any whole half-lives elapsed since the last decay to every
+  // tracked share (dropping zeroed entries and rebuilding the total).
+  void DecayShares(double now) REQUIRES(mu_);
+
   Clock* const clock_;
   const AdmissionOptions options_;
 
   mutable Mutex mu_;
   std::map<uint32_t, TenantShare> shares_ GUARDED_BY(mu_);
   uint64_t total_write_keys_ GUARDED_BY(mu_) = 0;
+  double last_decay_ GUARDED_BY(mu_) = 0;
   uint64_t last_write_stalls_ GUARDED_BY(mu_) = 0;
   bool seen_stats_ GUARDED_BY(mu_) = false;
   double pushback_until_ GUARDED_BY(mu_) = 0;

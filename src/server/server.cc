@@ -113,6 +113,7 @@ Server::Server(core::KvStore* store, ServerOptions options, Clock* clock)
     : store_(store),
       options_(std::move(options)),
       clock_(clock != nullptr ? clock : &default_clock_),
+      tenants_(options_.max_tracked_tenants),
       admission_(clock_, options_.admission) {}
 
 Server::~Server() { Stop(); }
@@ -216,6 +217,21 @@ void Server::Stop() {
   }
   for (auto& t : io_threads_) {
     if (t->thread.joinable()) t->thread.join();
+  }
+  for (auto& t : io_threads_) {
+    // A woken IoLoop exits without adopting handoffs, so fds accepted on
+    // thread 0 but not yet adopted here would otherwise leak past Stop.
+    // All threads are joined by now, so nobody pushes concurrently.
+    std::vector<int> orphaned;
+    {
+      MutexLock lock(&t->pending_mu);
+      orphaned.swap(t->pending);
+    }
+    for (int fd : orphaned) {
+      close(fd);
+      thread_counters_[t->index]->connections_closed.fetch_add(
+          1, std::memory_order_relaxed);
+    }
     if (t->wake_fd >= 0) close(t->wake_fd);
     if (t->epoll_fd >= 0) close(t->epoll_fd);
   }
@@ -468,8 +484,13 @@ bool Server::ProcessFrames(IoThread* t, Conn* c) {
         }
         if (!ok) {
           // Unwind whatever this frame staged, report, keep the stream.
+          // open_run may still be kWrite here (a count-check failure
+          // happens before the run switch), and that run holds staged
+          // writes flush_runs() must execute — only a read run this frame
+          // emptied may be cancelled.
           t->read_used = start;
-          if (t->read_used == 0 && t->read_segs.empty()) {
+          if (t->open_run == IoThread::Run::kRead && t->read_used == 0 &&
+              t->read_segs.empty()) {
             t->open_run = IoThread::Run::kNone;
           }
           flush_runs();
@@ -526,8 +547,11 @@ bool Server::ProcessFrames(IoThread* t, Conn* c) {
           ++got;
         }
         if (!ok) {
+          // Mirror of the MULTIGET unwind: a still-open read run keeps its
+          // staged GETs; only a write run this frame emptied is cancelled.
           t->write_used = start;
-          if (t->write_used == 0 && t->write_segs.empty()) {
+          if (t->open_run == IoThread::Run::kWrite && t->write_used == 0 &&
+              t->write_segs.empty()) {
             t->open_run = IoThread::Run::kNone;
           }
           flush_runs();
@@ -544,8 +568,16 @@ bool Server::ProcessFrames(IoThread* t, Conn* c) {
       }
       case kOpDelete: {
         // Deletes are rare in the target workloads; they act as a run
-        // barrier and execute inline.
+        // barrier and execute inline. They still hit the write path (and
+        // the log), so they go through admission like PUT/WRITEBATCH.
         flush_runs();
+        if (!admission_.AdmitWrite(h.tenant_id, 1)) {
+          tenant->rejected.fetch_add(1, std::memory_order_relaxed);
+          EmitError(c, h.request_id, h.tenant_id,
+                    StatusCode::kResourceExhausted,
+                    "tenant over fair share during write pushback");
+          break;
+        }
         Status s = store_->Delete(Slice(payload.data(), payload.size()));
         t->payload_scratch.clear();
         t->payload_scratch.push_back(

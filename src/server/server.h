@@ -34,6 +34,10 @@ struct ServerOptions {
   size_t output_buffer_soft_limit = 8u << 20;
   // Admission pushback re-polls store stats at most this often.
   double stats_poll_seconds = 0.05;
+  // Distinct tenant ids tracked in per-tenant stats; wire-supplied ids
+  // past the cap fold into the kOverflowTenantId bucket so a client
+  // spraying ids cannot grow the registry (or STATS output) unboundedly.
+  size_t max_tracked_tenants = 1024;
   AdmissionOptions admission;
 };
 

@@ -337,6 +337,122 @@ TEST(AdmissionControllerTest, SingleTenantIsNeverPushedBack) {
   EXPECT_TRUE(ac.AdmitWrite(7, 1000));
 }
 
+TEST(AdmissionControllerTest, SharesDecaySoOldTrafficStopsCounting) {
+  VirtualClock clock;
+  AdmissionOptions opts;
+  opts.pushback_window_seconds = 1.0;
+  opts.min_write_keys = 10;
+  opts.share_halflife_seconds = 1.0;
+  AdmissionController ac(&clock, opts);
+
+  // Tenant 1 was the historical hog; then a long idle stretch passes.
+  ASSERT_TRUE(ac.AdmitWrite(1, 10000));
+  ASSERT_TRUE(ac.AdmitWrite(2, 100));
+  core::KvStoreStats stats;
+  ac.ObserveStoreStats(stats);
+  clock.AdvanceSeconds(64.0);
+  ac.ObserveStoreStats(stats);  // decay tick: old shares wash out
+
+  // Now tenant 2 is the aggressor when a stall opens a window.
+  ASSERT_TRUE(ac.AdmitWrite(2, 900));
+  ASSERT_TRUE(ac.AdmitWrite(1, 50));
+  stats.write_stalls = 1;
+  ac.ObserveStoreStats(stats);
+  ASSERT_TRUE(ac.in_pushback());
+  EXPECT_FALSE(ac.AdmitWrite(2, 10)) << "current aggressor is over share";
+  EXPECT_TRUE(ac.AdmitWrite(1, 10))
+      << "historical hog decayed back under its share";
+}
+
+TEST(AdmissionControllerTest, ShareTrackingIsBoundedUnderIdSpray) {
+  VirtualClock clock;
+  AdmissionOptions opts;
+  opts.max_tracked_tenants = 8;
+  opts.min_write_keys = 1;
+  opts.pushback_window_seconds = 10.0;
+  AdmissionController ac(&clock, opts);
+
+  // One honest tenant plus a client spraying fresh ids.
+  ASSERT_TRUE(ac.AdmitWrite(1, 100));
+  for (uint32_t id = 1000; id < 2000; ++id) ac.AdmitWrite(id, 10);
+
+  core::KvStoreStats stats;
+  ac.ObserveStoreStats(stats);
+  stats.write_stalls = 1;
+  ac.ObserveStoreStats(stats);
+  ASSERT_TRUE(ac.in_pushback());
+
+  // Past the cap the sprayed ids share one overflow bucket — and one fair
+  // share — so a fresh sprayed id cannot look like a brand-new tenant.
+  EXPECT_FALSE(ac.AdmitWrite(55555, 1));
+  EXPECT_TRUE(ac.AdmitWrite(1, 1)) << "honest tenant keeps writing";
+}
+
+TEST(TenantRegistryTest, CapsTrackedTenantsAndFoldsOverflow) {
+  TenantRegistry reg(4);
+  for (uint32_t id = 0; id < 10; ++id) {
+    reg.Get(id)->requests.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 5u);  // 4 tracked + the overflow bucket
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(snap[i].tenant_id, i);
+    EXPECT_EQ(snap[i].requests, 1u);
+  }
+  EXPECT_EQ(snap[4].tenant_id, kOverflowTenantId);
+  EXPECT_EQ(snap[4].requests, 6u);
+}
+
+TEST(ServerAdmissionE2eTest, DeleteGoesThroughAdmissionPushback) {
+  // Inject a VirtualClock so the pushback window stays open (and the
+  // server's own stats poll never fires) for the whole test.
+  VirtualClock clock;
+  auto store = core::ShardedStore::OfMemory(4);
+  ServerOptions opts;
+  opts.io_threads = 1;
+  Server server(store.get(), opts, &clock);
+  ASSERT_TRUE(server.Start().ok());
+
+  AdmissionController& ac = server.admission();
+  // Tenant 1 produced 90% of recent write traffic; a stall opens a window.
+  ASSERT_TRUE(ac.AdmitWrite(1, 900));
+  ASSERT_TRUE(ac.AdmitWrite(2, 100));
+  core::KvStoreStats stats;
+  ac.ObserveStoreStats(stats);
+  stats.write_stalls = 1;
+  ac.ObserveStoreStats(stats);
+  ASSERT_TRUE(ac.in_pushback());
+
+  SyncClient hog, light;
+  ASSERT_TRUE(hog.Connect("127.0.0.1", server.port()).ok());
+  ASSERT_TRUE(light.Connect("127.0.0.1", server.port()).ok());
+  hog.set_tenant(1);
+  light.set_tenant(2);
+  EXPECT_EQ(hog.Put("k", "v").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(hog.Delete("k").code(), StatusCode::kResourceExhausted)
+      << "DELETE hits the write path; pushback must apply to it too";
+  ASSERT_TRUE(light.Put("other", "x").ok());
+  EXPECT_TRUE(light.Delete("other").ok())
+      << "under-share tenant's deletes keep flowing";
+  server.Stop();
+}
+
+TEST_F(ServerE2eTest, StopClosesPendingHandoffConnections) {
+  StartServer(2);
+  // A burst of connections stopped immediately: some fds may still sit in
+  // another thread's handoff queue, never adopted. Stop must close every
+  // accepted fd regardless.
+  std::vector<std::unique_ptr<SyncClient>> clients;
+  for (int i = 0; i < 16; ++i) {
+    auto c = std::make_unique<SyncClient>();
+    ASSERT_TRUE(c->Connect("127.0.0.1", server_->port()).ok());
+    clients.push_back(std::move(c));
+  }
+  server_->Stop();
+  const ServerCounters counters = server_->counters();
+  EXPECT_EQ(counters.connections_accepted, counters.connections_closed);
+}
+
 TEST_F(ServerE2eTest, TenantRegistrySnapshotIsStable) {
   StartServer(1);
   SyncClient c;

@@ -262,6 +262,60 @@ TEST_F(ServerFramingTest, MalformedMultiGetPayloadKeepsConnection) {
   ExpectServerHealthy();
 }
 
+TEST_F(ServerFramingTest, MalformedMultiGetDoesNotDropStagedWrites) {
+  // Pipelined [PUT][MULTIGET with a bogus count]: the count check fails
+  // before the run switch, so the open *write* run still holds the staged
+  // PUT when the MULTIGET unwinds. The PUT response must arrive (first),
+  // then the per-frame error — the write must not be silently dropped.
+  SyncClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server_->port()).ok());
+  std::string window;
+  std::string put_payload;
+  AppendLengthPrefixed(&put_payload, "staged");
+  put_payload += "v1";
+  AppendFrame(&window, kOpPut, 1, 0, put_payload);
+  std::string mg;
+  PutFixed32(&mg, 1000);  // claims 1000 keys; carries none
+  AppendFrame(&window, kOpMultiGet, 2, 0, mg);
+  ASSERT_TRUE(c.SendRaw(window).ok());
+
+  SyncClient::Response r;
+  ASSERT_TRUE(c.ReadResponse(&r).ok());
+  EXPECT_EQ(r.request_id, 1u);
+  EXPECT_EQ(r.code, StatusCode::kOk) << "staged PUT must not be dropped";
+  ASSERT_TRUE(c.ReadResponse(&r).ok());
+  EXPECT_EQ(r.request_id, 2u);
+  EXPECT_TRUE(r.is_error());
+  EXPECT_EQ(r.code, StatusCode::kInvalidArgument);
+  auto got = c.Get("staged");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "v1");
+}
+
+TEST_F(ServerFramingTest, MalformedWriteBatchDoesNotDropStagedReads) {
+  // Symmetric case: [GET][WRITEBATCH with a bogus count] must not cancel
+  // the open read run — the GET response still arrives.
+  SyncClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(c.Put("g1", "gv").ok());
+  std::string window;
+  AppendFrame(&window, kOpGet, 1, 0, "g1");
+  std::string wb;
+  PutFixed32(&wb, 1000);  // claims 1000 entries; carries none
+  AppendFrame(&window, kOpWriteBatch, 2, 0, wb);
+  ASSERT_TRUE(c.SendRaw(window).ok());
+
+  SyncClient::Response r;
+  ASSERT_TRUE(c.ReadResponse(&r).ok());
+  EXPECT_EQ(r.request_id, 1u);
+  EXPECT_EQ(r.code, StatusCode::kOk) << "staged GET must not be dropped";
+  EXPECT_EQ(r.value, "gv");
+  ASSERT_TRUE(c.ReadResponse(&r).ok());
+  EXPECT_EQ(r.request_id, 2u);
+  EXPECT_TRUE(r.is_error());
+  ExpectServerHealthy();
+}
+
 TEST_F(ServerFramingTest, UnknownOpcodeGetsNotSupportedError) {
   SyncClient c;
   ASSERT_TRUE(c.Connect("127.0.0.1", server_->port()).ok());
