@@ -5,8 +5,12 @@
 # fails; lanes whose toolchain is missing (no clang++) are skipped with an
 # explicit message rather than silently passing.
 #
-# Usage: scripts/check.sh [lane...]
-#   lanes: plain analyze asan tsan ubsan stress serve   (default: all)
+# Usage: scripts/check.sh [--list] [lane...]
+#   lanes: plain analyze asan tsan ubsan stress serve tidy  (default: all
+#   but bench)
+#   `tidy` runs clang-tidy (scripts/run_clang_tidy.sh) with the base
+#   .clang-tidy check set plus the costperf-* plugin checks when the
+#   plugin was built; it skips with a message when LLVM is missing.
 #   `stress` runs the SS-heavy steady-state bench (bench/ss_stress) and
 #   fails unless background mode finished with foreground_maintenance_ops
 #   == 0 — the off-the-op-path maintenance contract. It asserts counters,
@@ -23,8 +27,22 @@ set -u
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
+if [[ "${1:-}" == "--list" ]]; then
+  cat <<'EOF'
+plain    Release build + full ctest + 200-iteration crash-recovery torture
+analyze  Clang -Werror=thread-safety build (locks + epoch capabilities)
+asan     Debug + AddressSanitizer build + ctest + reduced torture
+tsan     Debug + ThreadSanitizer build + ctest + reduced torture
+ubsan    Debug + UBSanitizer (no-recover) build + ctest + reduced torture
+stress   SS-heavy steady-state bench; asserts maintenance stays off op path
+serve    TSan server+loadgen loopback smoke with clean-shutdown assertions
+tidy     clang-tidy over all first-party sources (+ costperf-* plugin)
+bench    (opt-in) wall-clock bench smoke; writes BENCH_smoke.json
+EOF
+  exit 0
+fi
 LANES=("$@")
-[[ ${#LANES[@]} -eq 0 ]] && LANES=(plain analyze asan tsan ubsan stress serve)
+[[ ${#LANES[@]} -eq 0 ]] && LANES=(plain analyze asan tsan ubsan stress serve tidy)
 
 failures=()
 skips=()
@@ -132,6 +150,21 @@ for lane in "${LANES[@]}"; do
         failures+=("serve")
       fi
       ;;
+    tidy)
+      echo
+      echo "=== lane: tidy ==="
+      if command -v clang-tidy >/dev/null 2>&1 || [[ -n "${CLANG_TIDY:-}" ]]
+      then
+        if "$ROOT/scripts/run_clang_tidy.sh"; then
+          echo "lane tidy: clean"
+        else
+          failures+=("tidy")
+        fi
+      else
+        echo "lane tidy — SKIPPED (no clang-tidy on PATH; set CLANG_TIDY)"
+        skips+=(tidy)
+      fi
+      ;;
     bench)
       echo
       echo "=== lane: bench ==="
@@ -140,7 +173,7 @@ for lane in "${LANES[@]}"; do
       fi
       ;;
     *)
-      echo "unknown lane '$lane' (want: plain analyze asan tsan ubsan stress serve bench)" >&2
+      echo "unknown lane '$lane' (want: plain analyze asan tsan ubsan stress serve tidy bench)" >&2
       exit 2
       ;;
   esac

@@ -32,7 +32,13 @@ bool IsDeltaType(NodeType t) {
 
 // Walks head toward the tail, stopping after kMaxChainNodes. Returns the
 // tail (base/flash pointer) or nullptr when the chain is broken/cyclic.
-const Node* WalkChain(const Node* head, std::vector<const Node*>* nodes) {
+// Dereferences live chain nodes, so the caller must be inside the owning
+// tree's epoch — declared through the explicit manager parameter, which
+// is how a free function names the capability for the analysis.
+const Node* WalkChain(EpochManager* epochs, const Node* head,
+                      std::vector<const Node*>* nodes)
+    REQUIRES_EPOCH(epochs) {
+  epochs->AssertActive();  // runtime backstop for non-Clang builds
   const Node* n = head;
   while (n != nullptr && nodes->size() < kMaxChainNodes) {
     nodes->push_back(n);
@@ -48,7 +54,12 @@ void EnqueueChild(PageId pid, std::unordered_set<PageId>* seen,
   if (seen->insert(pid).second) frontier->push_back(pid);
 }
 
-// Visits every reachable pid; calls visit(pid, word) for each.
+// Visits every reachable pid; calls visit(pid, word) for each, inside a
+// live guard on the tree's epoch manager (the BFS dereferences resident
+// chains throughout). Note for visit lambdas: the analysis treats a
+// lambda as its own function, so a lambda that walks chains itself must
+// re-establish the capability — an AssertActive() call at its top both
+// satisfies the static layer and arms the runtime backstop.
 template <typename Fn>
 void Traverse(BwTree* tree, const Fn& visit) {
   EpochGuard guard(tree->epochs());
@@ -64,7 +75,8 @@ void Traverse(BwTree* tree, const Fn& visit) {
     visit(pid, word);
     if (word == 0 || bwtree::IsFlashWord(word)) continue;
     std::vector<const Node*> nodes;
-    const Node* tail = WalkChain(bwtree::DecodePointer(word), &nodes);
+    const Node* tail =
+        WalkChain(tree->epochs(), bwtree::DecodePointer(word), &nodes);
     if (tail == nullptr) continue;
     // A MergeDelta supersedes the tail's fences: the tail base still
     // names the absorbed (detached) sibling, the delta the live one.
@@ -206,6 +218,10 @@ std::vector<mapping::PageId> CollectReachablePids(bwtree::BwTree* tree) {
 std::vector<Violation> BwTreeValidator::Check() {
   std::vector<Violation> out;
   Traverse(tree_, [&](PageId pid, uint64_t word) {
+    // Re-establish the epoch capability for this lambda (see Traverse's
+    // doc comment): Traverse's guard is live for the whole visit, the
+    // assert makes that visible to the analysis and checked at runtime.
+    tree_->epochs()->AssertActive();
     if (word == 0) {
       out.push_back(Violation{"BwTreeValidator", "null-word", PidEntity(pid),
                               "reachable page has a null mapping entry"});
@@ -216,7 +232,8 @@ std::vector<Violation> BwTreeValidator::Check() {
       return;
     }
     std::vector<const Node*> nodes;
-    const Node* tail = WalkChain(bwtree::DecodePointer(word), &nodes);
+    const Node* tail =
+        WalkChain(tree_->epochs(), bwtree::DecodePointer(word), &nodes);
     if (tail == nullptr) {
       out.push_back(Violation{
           "BwTreeValidator", "chain-tail", PidEntity(pid),

@@ -190,6 +190,7 @@ void BwTree::MarkChainDead(const std::vector<uint64_t>& chain) {
 // ---------------------------------------------------------------------
 
 PageId BwTree::DescendToLeaf(const Slice& key, std::vector<PageId>* path) {
+  epochs_.AssertActive();
   if (path != nullptr) path->clear();
   PageId pid = root_pid_.load(std::memory_order_acquire);
   for (;;) {
@@ -244,6 +245,7 @@ PageId BwTree::DescendToLeaf(const Slice& key, std::vector<PageId>* path) {
 
 bool BwTree::SearchResidentChain(Node* head, const Slice& key, bool* found,
                                  std::string* value) const {
+  epochs_.AssertActive();
   // First pass over deltas with timestamp awareness: collect the winning
   // delta op for this key, if any.
   bool have_delta = false;
@@ -577,6 +579,7 @@ Status BwTree::Delete(const Slice& key, uint64_t timestamp) {
 // ---------------------------------------------------------------------
 
 LeafBase* BwTree::ConsolidateChain(Node* head) const {
+  epochs_.AssertActive();
   // The chain must end in a LeafBase.
   const Node* tail = ChainTail(head);
   if (tail->type != NodeType::kLeafBase) return nullptr;
@@ -1060,6 +1063,7 @@ Status BwTree::MaterializeFromFlash(FlashAddress addr, LeafBase* leaf,
 
 Status BwTree::LoadAndInstall(PageId pid, uint64_t entry_word,
                               OpContext* ctx) {
+  epochs_.AssertActive();
   FlashAddress addr;
   Node* old_head = nullptr;
   if (IsFlashWord(entry_word)) {
@@ -1545,6 +1549,11 @@ std::vector<PageId> BwTree::LeafPageIds() {
 }
 
 bool BwTree::IsLeafResident(PageId pid) const {
+  // Self-guarding: callable off the op path (tests, resident_leaves).
+  // A concurrent consolidation may retire the chain between the word
+  // read and the tail walk; the guard must cover both. Guarded callers
+  // (EvictPage, HousekeepingScan) just re-enter — a TLS depth bump.
+  EpochGuard guard(&epochs_);
   uint64_t w = table_.Get(pid);
   if (w == 0 || IsFlashWord(w)) return false;
   const Node* tail = ChainTail(DecodePointer(w));
@@ -1552,6 +1561,7 @@ bool BwTree::IsLeafResident(PageId pid) const {
 }
 
 bool BwTree::IsDirty(PageId pid) const {
+  EpochGuard guard(&epochs_);  // self-guarding, as IsLeafResident
   uint64_t w = table_.Get(pid);
   if (w == 0 || IsFlashWord(w)) return false;
   const Node* head = DecodePointer(w);
@@ -1841,6 +1851,11 @@ size_t BwTree::MergeUnderfullLeaves(double fill_target) {
   while (progress) {
     progress = false;
     for (PageId pid : LeafPageIds()) {
+      // The sizing walk below dereferences both leaves' chains; without
+      // a guard a concurrent consolidation could retire either one
+      // under us (use-after-reclaim on this maintenance path). Entered
+      // before the word read so the reservation covers it.
+      EpochGuard guard(&epochs_);
       uint64_t w = table_.Get(pid);
       if (w == 0 || IsFlashWord(w)) continue;
       Node* head = DecodePointer(w);
@@ -2336,6 +2351,10 @@ uint64_t BwTree::MemoryFootprintBytes() const {
   uint64_t total = 0;
   PageId hw = table_.high_water();
   for (PageId pid = 0; pid < hw; ++pid) {
+    // Per-slot guard: ChainBytes walks the chain, which a concurrent
+    // consolidation may retire. Entered before the word read; scoped per
+    // iteration so a long footprint scan never pins an old epoch.
+    EpochGuard guard(&epochs_);
     uint64_t w = table_.Get(pid);
     if (w != 0 && !IsFlashWord(w)) {
       total += ChainBytes(DecodePointer(w));

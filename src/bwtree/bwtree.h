@@ -103,6 +103,15 @@ struct BwTreeStats {
 // mapping entries). Flush/evict/GC entry points are safe to call
 // concurrently with operations but are expected to run on maintenance
 // paths (they may return Aborted when racing a writer; callers retry).
+//
+// Epoch discipline: every public operation acquires its own EpochGuard on
+// epochs_; the private descent/consolidation/SMO helpers instead declare
+// REQUIRES_EPOCH(epochs_) — they dereference decoded mapping-table nodes
+// and must run inside the caller's guard. Under -DCOSTPERF_ANALYZE=ON an
+// unguarded call path is a compile error; debug builds also hit
+// EpochManager::AssertActive() backstops on the descent/search paths.
+// ~BwTree, DiscardResidentState and SalvageRebuild dereference without
+// guards by explicit single-threaded contract (no concurrent access).
 class BwTree {
  public:
   explicit BwTree(BwTreeOptions options = {});
@@ -218,7 +227,9 @@ class BwTree {
   // Runs an epoch reclamation pass; call periodically from maintenance.
   size_t ReclaimMemory() { return epochs_.TryReclaim(); }
 
-  EpochManager* epochs() { return &epochs_; }
+  // RETURN_CAPABILITY lets callers write `EpochGuard g(tree->epochs())`
+  // and have the analysis resolve the held capability to epochs_.
+  EpochManager* epochs() RETURN_CAPABILITY(epochs_) { return &epochs_; }
   mapping::MappingTable* mapping_table() { return &table_; }
   PageId root_pid() const { return root_pid_.load(std::memory_order_acquire); }
   const BwTreeOptions& options() const { return options_; }
@@ -251,25 +262,28 @@ class BwTree {
 
   // Finds the leaf pid covering `key`; records the inner path (root
   // first) for split posting.
-  PageId DescendToLeaf(const Slice& key, std::vector<PageId>* path);
+  PageId DescendToLeaf(const Slice& key, std::vector<PageId>* path)
+      REQUIRES_EPOCH(epochs_);
 
   // Walks a resident chain for `key`. Returns true when an answer was
   // determined (found or definitely-deleted); false when the base is
   // needed but on flash.
   bool SearchResidentChain(Node* head, const Slice& key, bool* found,
-                           std::string* value) const;
+                           std::string* value) const
+      REQUIRES_EPOCH(epochs_);
 
   // Loads the flash portion of `pid` and installs a consolidated base.
   // `entry_word` is the observed mapping word. On success the page is
   // resident.
-  Status LoadAndInstall(PageId pid, uint64_t entry_word, OpContext* ctx);
+  Status LoadAndInstall(PageId pid, uint64_t entry_word, OpContext* ctx)
+      REQUIRES_EPOCH(epochs_);
 
   // Reads and applies the flash image chain starting at addr into `leaf`.
   Status MaterializeFromFlash(FlashAddress addr, LeafBase* leaf,
                               OpContext* ctx);
 
   // Builds a consolidated LeafBase from a fully resident chain.
-  LeafBase* ConsolidateChain(Node* head) const;
+  LeafBase* ConsolidateChain(Node* head) const REQUIRES_EPOCH(epochs_);
 
   // Split durability ordering: if `sib` (a page's right sibling) has never
   // reached flash, flush it first. The log is sequential, so "sibling
@@ -278,36 +292,42 @@ class BwTree {
   // preserves the sibling image that does. FlushAll gets the same
   // invariant by flushing right-to-left; this covers single-page flushes
   // (background eviction, CSS re-flush, GC page rewrites).
-  Status EnsureSplitSiblingDurable(PageId sib);
+  Status EnsureSplitSiblingDurable(PageId sib) REQUIRES_EPOCH(epochs_);
 
   // Attempts consolidation (and split if oversized). Best effort;
   // returns true when it installed a consolidated page or a split.
-  bool MaybeConsolidate(PageId pid, std::vector<PageId>* path);
+  bool MaybeConsolidate(PageId pid, std::vector<PageId>* path)
+      REQUIRES_EPOCH(epochs_);
   // Consolidates regardless of chain length (merge-delta folding).
-  void MaybeConsolidateForced(PageId pid);
+  void MaybeConsolidateForced(PageId pid) REQUIRES_EPOCH(epochs_);
 
   // Splits `base` (already consolidated, oversized); posts to parent.
   // `expected_word` is the chain the consolidation was built from.
   void SplitLeaf(PageId pid, uint64_t expected_word, LeafBase* base,
-                 std::vector<PageId>* path);
+                 std::vector<PageId>* path) REQUIRES_EPOCH(epochs_);
 
   // Inserts (sep, right_pid) into the parent of left_pid; creates a new
   // root when left_pid is the root.
   void PostSplitToParent(PageId left_pid, const std::string& sep,
-                         PageId right_pid, std::vector<PageId>* path);
-  void SplitInner(PageId pid, InnerBase* inner, std::vector<PageId>* path);
+                         PageId right_pid, std::vector<PageId>* path)
+      REQUIRES_EPOCH(epochs_);
+  void SplitInner(PageId pid, InnerBase* inner, std::vector<PageId>* path)
+      REQUIRES_EPOCH(epochs_);
 
   // Finds the inner node whose children contain `child_pid`, descending
   // toward `toward_key`. kInvalidPageId when child is the root or not
   // found.
-  PageId FindParentOf(PageId child_pid, const Slice& toward_key);
+  PageId FindParentOf(PageId child_pid, const Slice& toward_key)
+      REQUIRES_EPOCH(epochs_);
 
   // Removes `child_pid` (and its separator) from its parent after a
   // merge; collapses the root when it shrinks to one child.
-  Status RemoveChildFromParent(PageId child_pid, const Slice& toward_key);
+  Status RemoveChildFromParent(PageId child_pid, const Slice& toward_key)
+      REQUIRES_EPOCH(epochs_);
   // Rewrites the unique ancestor separator equal to old_sep to new_sep
   // (used when the removed page was its parent's first child).
-  Status ReplaceBoundarySep(const Slice& old_sep, const Slice& new_sep);
+  Status ReplaceBoundarySep(const Slice& old_sep, const Slice& new_sep)
+      REQUIRES_EPOCH(epochs_);
 
   // Runs fn under the configured transient-error retry policy and folds
   // the attempt counts into stats.
@@ -326,8 +346,12 @@ class BwTree {
   static Node* ChainTail(Node* head);
   static const Node* ChainTail(const Node* head);
 
-  void RetireChain(Node* head);
-  void RetireNode(Node* n);
+  // Retire an unlinked chain/node through the epoch. The caller must
+  // still be inside the guard it held when it unlinked the chain: the
+  // retire epoch stamp must cover every reader that could have seen the
+  // old mapping word.
+  void RetireChain(Node* head) REQUIRES_EPOCH(epochs_);
+  void RetireNode(Node* n) REQUIRES_EPOCH(epochs_);
 
   void CacheInsertOrResize(PageId pid, Node* head);
   void CacheTouch(PageId pid);
@@ -342,7 +366,9 @@ class BwTree {
 
   BwTreeOptions options_;
   mapping::MappingTable table_;
-  EpochManager epochs_;
+  // mutable: const introspection paths (IsDirty, MemoryFootprintBytes…)
+  // take their own guards before dereferencing resident chains.
+  mutable EpochManager epochs_;
   std::atomic<PageId> root_pid_;
 
   mutable Mutex meta_mu_;

@@ -1,5 +1,6 @@
 #include "common/epoch.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <thread>
 
@@ -134,6 +135,21 @@ void EpochManager::Exit() {
   ThreadSlotCache* entry = LookupEntry(this);
   if (--entry->depth > 0) return;
   slots_[entry->slot].reserved.store(kIdle, std::memory_order_release);
+}
+
+bool EpochManager::IsActiveOnThisThread() const {
+  ThreadSlotCache* entry = LookupEntry(this);
+  return entry != nullptr && entry->depth > 0;
+}
+
+void EpochManager::AssertActiveSlow() const {
+  if (IsActiveOnThisThread()) return;
+  std::fprintf(stderr,
+               "epoch contract violation: thread dereferencing "
+               "epoch-protected state with no live EpochGuard on "
+               "EpochManager %p\n",
+               static_cast<const void*>(this));
+  std::abort();
 }
 
 void EpochManager::PushChain(std::atomic<RetiredNode*>* stack,

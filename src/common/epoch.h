@@ -6,6 +6,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/hot_path.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -33,12 +34,22 @@ namespace costperf {
 //   epochs.Retire([p]{ delete p; });
 //   epochs.TryReclaim();   // called opportunistically
 //
-// Declared a capability so latch-free structures can document epoch
-// protection in REQUIRES() clauses. Enter/Exit themselves carry no
-// ACQUIRE/RELEASE attributes: epoch entry is re-entrant per thread
-// (nested EpochGuards are legal and common), which the analysis would
-// flag as double acquisition.
-class CAPABILITY("epoch") EpochManager {
+// Declared an epoch capability (thread_annotations.h): functions whose
+// contract is "caller must be inside this manager's epoch" say
+// REQUIRES_EPOCH(mgr), EpochGuard is the SCOPED_CAPABILITY that
+// satisfies it, and -DCOSTPERF_ANALYZE=ON turns an unguarded call path
+// into a compile error. Enter/Exit themselves carry no ACQUIRE/RELEASE
+// attributes: epoch entry is re-entrant per thread (nested EpochGuards
+// across call frames are legal and common), and only the RAII guard —
+// which is always strictly scoped — is visible to the analysis. Because
+// the analysis is intra-procedural, a callee taking its own nested
+// guard is invisible to its caller, so re-entrancy never trips a
+// double-acquire diagnostic.
+//
+// GCC builds keep a dynamic backstop: AssertActive() aborts in debug
+// builds when called off-guard, and IsActiveOnThisThread() is always
+// available for tests.
+class EPOCH_CAPABILITY EpochManager {
  public:
   static constexpr int kMaxThreads = 64;
 
@@ -52,8 +63,24 @@ class CAPABILITY("epoch") EpochManager {
   int RegisterThread();
 
   // Enter/exit a protected region. Prefer EpochGuard.
-  void Enter();
-  void Exit();
+  COSTPERF_HOT void Enter();
+  COSTPERF_HOT void Exit();
+
+  // True iff the calling thread currently holds a live guard (depth > 0)
+  // on this manager. Always compiled; costs one TLS slot-cache lookup.
+  bool IsActiveOnThisThread() const;
+
+  // Dynamic complement of REQUIRES_EPOCH for compilers without TSA: in
+  // debug builds, aborts with a diagnostic if the calling thread is not
+  // inside this manager's epoch; in release builds compiles to nothing.
+  // The ASSERT_EPOCH attribute tells Clang's analysis the capability is
+  // held from here on, so debug backstops never conflict with the
+  // static layer.
+  void AssertActive() const ASSERT_EPOCH(this) {
+#ifndef NDEBUG
+    AssertActiveSlow();
+#endif
+  }
 
   // Queues a deleter to run once no thread can still observe the object.
   // Lock-free: pushes onto the calling thread's slot-local retire stack.
@@ -64,8 +91,9 @@ class CAPABILITY("epoch") EpochManager {
   size_t TryReclaim();
 
   // Frees everything unconditionally. Only safe when no thread is inside
-  // a guard (e.g. destructor, tests).
-  size_t ReclaimAll();
+  // a guard (e.g. destructor, tests) — in particular the caller must not
+  // hold one, which EXCLUDES_EPOCH makes a compile error under ANALYZE.
+  size_t ReclaimAll() EXCLUDES_EPOCH(this);
 
   uint64_t current_epoch() const {
     return global_epoch_.load(std::memory_order_acquire);
@@ -95,6 +123,9 @@ class CAPABILITY("epoch") EpochManager {
 
   // Smallest epoch any active thread is in, or current epoch if none.
   uint64_t MinActiveEpoch() const;
+  // Out-of-line body of AssertActive (debug builds only): aborts with a
+  // message naming the manager when no live guard covers this thread.
+  void AssertActiveSlow() const;
   // Pushes the chain [head..tail] onto slot's retire stack.
   static void PushChain(std::atomic<RetiredNode*>* stack, RetiredNode* head,
                         RetiredNode* tail);
@@ -118,11 +149,18 @@ class CAPABILITY("epoch") EpochManager {
   std::atomic<uint64_t> reclaimed_items_{0};
 };
 
-// RAII epoch protection.
-class EpochGuard {
+// RAII epoch protection. A SCOPED_CAPABILITY: constructing one satisfies
+// REQUIRES_EPOCH(mgr) for the rest of the scope under ANALYZE. Nested
+// guards on the same manager are legal at runtime (re-entrant depth
+// counter); keep them in separate call frames — two guards on the same
+// manager in one lexical scope would (correctly) be flagged as a double
+// acquire by the analysis.
+class SCOPED_CAPABILITY EpochGuard {
  public:
-  explicit EpochGuard(EpochManager* mgr) : mgr_(mgr) { mgr_->Enter(); }
-  ~EpochGuard() { mgr_->Exit(); }
+  explicit EpochGuard(EpochManager* mgr) ACQUIRE(mgr) : mgr_(mgr) {
+    mgr_->Enter();
+  }
+  ~EpochGuard() RELEASE() { mgr_->Exit(); }
 
   EpochGuard(const EpochGuard&) = delete;
   EpochGuard& operator=(const EpochGuard&) = delete;

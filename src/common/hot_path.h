@@ -1,0 +1,26 @@
+#ifndef COSTPERF_COMMON_HOT_PATH_H_
+#define COSTPERF_COMMON_HOT_PATH_H_
+
+// COSTPERF_HOT marks a function as belonging to the allocation-free hot
+// path: the per-operation leaf work (epoch enter/exit, mapping-table
+// load/CAS, cache-slot probe/touch) whose cost/performance argument in
+// the paper depends on doing no heap allocation and no locking.
+//
+// Under Clang the marker is a [[clang::annotate]] attribute, which the
+// costperf-hot-path-allocation clang-tidy check (tools/costperf_tidy)
+// reads to reject `new`, `malloc`, and allocating std::string growth
+// inside the function body. Under other compilers it compiles to
+// nothing. The marker is a contract, not an optimization hint — pair it
+// with [[gnu::always_inline]] etc. separately if needed.
+//
+// Do NOT mark functions that allocate by design (BwTree::Put publishes a
+// heap-allocated delta; EpochManager::Retire allocates the retire node).
+// The marker is for the leaves that must stay allocation-free.
+
+#if defined(__clang__) && !defined(SWIG)
+#define COSTPERF_HOT [[clang::annotate("costperf_hot")]]
+#else
+#define COSTPERF_HOT
+#endif
+
+#endif  // COSTPERF_COMMON_HOT_PATH_H_

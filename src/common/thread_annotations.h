@@ -80,4 +80,42 @@
 #define NO_THREAD_SAFETY_ANALYSIS \
   COSTPERF_THREAD_ANNOTATION__(no_thread_safety_analysis)
 
+// --- Epoch capabilities -------------------------------------------------
+//
+// The epoch-based reclamation protocol ("never dereference a latch-free
+// shared pointer without an active EpochGuard") is modeled as a capability
+// too: EpochManager is the capability, EpochGuard is the SCOPED_CAPABILITY
+// that acquires it, and every function whose contract is "caller must be
+// inside an epoch" declares REQUIRES_EPOCH(mgr). Under
+// -DCOSTPERF_ANALYZE=ON an unguarded call path is a compile error; under
+// GCC the macros vanish and the debug-only EpochManager::AssertActive()
+// runtime backstop takes over.
+//
+// These are thin aliases over the generic capability attributes, kept
+// separate so epoch contracts read as epoch contracts at call sites and
+// can diverge from the mutex macros later (e.g. a shared/exclusive split).
+//
+// Caveat (same as everywhere TSA is used): the analysis is
+// intra-procedural, so a nested EpochGuard taken in a callee is invisible
+// to the caller — which is exactly why re-entrant Enter stays legal at
+// runtime and why EpochManager::Enter/Exit themselves carry no
+// ACQUIRE/RELEASE (only the RAII guard does).
+
+// On the epoch-manager class itself: instances are capabilities.
+#define EPOCH_CAPABILITY COSTPERF_THREAD_ANNOTATION__(capability("epoch"))
+
+// On a function: caller must hold a live EpochGuard on the named manager.
+#define REQUIRES_EPOCH(...) \
+  COSTPERF_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+// On a function: caller must NOT be inside the named manager's epoch
+// (e.g. ReclaimAll, which frees regardless of reservations).
+#define EXCLUDES_EPOCH(...) \
+  COSTPERF_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+// On a runtime-checked assertion function: tells the analysis the epoch
+// is held from here on (the dynamic complement of REQUIRES_EPOCH).
+#define ASSERT_EPOCH(...) \
+  COSTPERF_THREAD_ANNOTATION__(assert_capability(__VA_ARGS__))
+
 #endif  // COSTPERF_COMMON_THREAD_ANNOTATIONS_H_

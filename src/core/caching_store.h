@@ -6,6 +6,7 @@
 #include <string>
 
 #include "bwtree/bwtree.h"
+#include "common/lock_order.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "core/kv_store.h"
@@ -207,8 +208,10 @@ class CachingStore : public KvStore,
   // count also crosses the interval skip (TryLock fails) instead of
   // double-running eviction/GC (the tree tolerates concurrent
   // flush/evict, but two EnforceBudget passes evict twice the intended
-  // bytes).
-  Mutex maintenance_mu_;
+  // bytes). Rank 1 (outermost) in the global lock order: held across a
+  // whole maintenance pass, which appends to the log and latches cache
+  // shards underneath it (see common/lock_order.h).
+  Mutex maintenance_mu_ ACQUIRED_BEFORE(lock_rank::kLogAppend);
 
   // Background maintenance state. scheduler_ is null in inline mode;
   // otherwise it points at either the caller-supplied scheduler or
@@ -230,7 +233,9 @@ class CachingStore : public KvStore,
   // Put/Delete); stall_mu_/stall_cv_ only come into play while actually
   // over the stall budget.
   std::atomic<bool> stall_flag_{false};
-  Mutex stall_mu_;
+  // Never wraps another lock: Signal() runs before the stall wait, and
+  // the scheduler queue mutex stays ordered after it (lock_order.h).
+  Mutex stall_mu_ ACQUIRED_BEFORE(lock_rank::kSchedulerQueue);
   std::condition_variable_any stall_cv_;
 
   // Maintenance attribution stats. foreground_maintenance_ops_ counts

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/hot_path.h"
+#include "common/lock_order.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "mapping/mapping_table.h"
@@ -78,6 +80,14 @@ struct CacheStats {
 // Outgrown tables are retired to the owning shard, not freed, so a
 // lock-free reader can keep probing a stale table safely; retired memory
 // is bounded by the live table's size (geometric growth).
+//
+// Epoch note: unlike the Bw-tree's delta chains, the cache manager needs
+// no EpochManager and its readers carry no REQUIRES_EPOCH contracts —
+// reclamation is designed out instead. Retired tables live until the
+// manager dies (`tables` above), and VictimCandidate::ref pointers stay
+// valid for the same reason. That is the deliberate trade: a bounded
+// amount of un-reclaimed table memory buys a guard-free Touch/Contains
+// probe on every operation.
 class CacheManager {
  public:
   explicit CacheManager(CacheOptions options = {});
@@ -89,13 +99,13 @@ class CacheManager {
   void Insert(mapping::PageId pid, uint64_t bytes);
   // Page was accessed (sets reference bit / refreshes last-touch tick).
   // Lock-free.
-  void Touch(mapping::PageId pid);
+  COSTPERF_HOT void Touch(mapping::PageId pid);
   // Page footprint changed (delta prepend, consolidation).
   void Resize(mapping::PageId pid, uint64_t new_bytes);
   // Page no longer resident (evicted or freed). No-op if absent.
   void Erase(mapping::PageId pid);
   // Lock-free.
-  bool Contains(mapping::PageId pid) const;
+  COSTPERF_HOT bool Contains(mapping::PageId pid) const;
 
   uint64_t resident_bytes() const;
   bool OverBudget() const;
@@ -154,7 +164,13 @@ class CacheManager {
   };
 
   struct alignas(64) Shard {
-    mutable Mutex mu;
+    // Short structural latch. Rank 3 in the global lock order: acquired
+    // under the maintenance pass and after the log-append latch, never
+    // the other way — holding a shard latch across a stalling append
+    // would freeze this shard's Insert/Erase for the I/O's duration
+    // (common/lock_order.h).
+    mutable Mutex mu ACQUIRED_AFTER(lock_rank::kLogAppend)
+        ACQUIRED_BEFORE(lock_rank::kSchedulerQueue);
     // Current table, readable without the mutex; swapped (under mu) on
     // growth with the old table pushed onto `tables`.
     std::atomic<Table*> table{nullptr};
@@ -192,7 +208,7 @@ class CacheManager {
   Shard& ShardFor(mapping::PageId pid) const;
   // Lock-free probe of the shard's current table. Returns nullptr when
   // pid is absent.
-  Slot* FindSlot(const Shard& shard, mapping::PageId pid) const;
+  COSTPERF_HOT Slot* FindSlot(const Shard& shard, mapping::PageId pid) const;
   // Probe under shard.mu for insert: returns the slot holding pid, or a
   // free (empty/tombstone) slot to claim, growing the table if needed.
   Slot* FindOrClaimSlot(Shard& shard, mapping::PageId pid,

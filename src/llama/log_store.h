@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_order.h"
 #include "common/mutex.h"
 #include "common/slice.h"
 #include "common/thread_annotations.h"
@@ -216,7 +217,12 @@ class LogStructuredStore {
   storage::SsdDevice* device_;
   LogStoreOptions options_;
 
-  mutable Mutex mu_;
+  // Append/group-commit latch. Rank 2 in the global lock order: nests
+  // inside a store maintenance pass and may be held across (simulated)
+  // media waits, so the short cache-shard latches are ordered after it —
+  // a shard latch must never wrap a stalling append (lock_order.h).
+  mutable Mutex mu_ ACQUIRED_AFTER(lock_rank::kStoreMaintenance)
+      ACQUIRED_BEFORE(lock_rank::kCacheShard);
   // Signaled when in-flight fills drain to zero and when sealing ends.
   std::condition_variable_any cv_;
   // Appends that reserved a range in open_buffer_ but have not finished

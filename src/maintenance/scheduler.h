@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/lock_order.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -122,7 +123,11 @@ class MaintenanceScheduler {
   void WorkerLoop();
 
   Options options_;
-  mutable Mutex mu_;
+  // Queue latch. Rank 4 — the leaf of the global lock order: Signal()
+  // runs on op paths (possibly under store locks) and workers release it
+  // before running a step, so it must never wrap another lock on the
+  // list (common/lock_order.h).
+  mutable Mutex mu_ ACQUIRED_AFTER(lock_rank::kCacheShard);
   std::condition_variable_any work_cv_;  // queue became non-empty / stopping
   std::condition_variable_any idle_cv_;  // a step finished / source removed
   std::deque<Source*> queue_ GUARDED_BY(mu_);

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/hot_path.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 
@@ -24,6 +25,15 @@ inline constexpr PageId kInvalidPageId = ~0ull;
 //
 // Thread-safe. Get/Cas/Set are lock-free; Allocate/Free take a short latch
 // on the free list only.
+//
+// Epoch contract: the table stores opaque 64-bit words, so reading a word
+// is always safe — it is *decoding the word to a Node\* and dereferencing
+// it* that requires a live EpochGuard on the owning structure's
+// EpochManager (a concurrent consolidation may have retired the chain).
+// That contract is declared where the dereference happens: the Bw-tree's
+// descent/SMO helpers are REQUIRES_EPOCH(epochs_) (bwtree.h), and Free()
+// below must only be called for ids already unreachable (retired through
+// the epoch).
 class MappingTable {
  public:
   explicit MappingTable(size_t capacity = 1 << 20);
@@ -48,12 +58,12 @@ class MappingTable {
   // concurrent use.
   void Reset();
 
-  uint64_t Get(PageId id) const {
+  COSTPERF_HOT uint64_t Get(PageId id) const {
     return entries_[id].load(std::memory_order_acquire);
   }
 
   // Single CAS — the Bw-tree's only write primitive on the index.
-  bool Cas(PageId id, uint64_t expected, uint64_t desired) {
+  COSTPERF_HOT bool Cas(PageId id, uint64_t expected, uint64_t desired) {
     return entries_[id].compare_exchange_strong(
         expected, desired, std::memory_order_acq_rel);
   }

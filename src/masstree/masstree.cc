@@ -50,7 +50,7 @@ inline bool EntryLess(uint64_t s1, uint8_t l1, uint64_t s2, uint8_t l2) {
 // ---------------------------------------------------------------------
 
 MassTree::MassTree()
-    : epochs_(std::make_unique<EpochManager>()), count_(0) {
+    : count_(0) {
   root_layer_ = NewLayer();
 }
 
@@ -102,7 +102,7 @@ void MassTree::FreeLayerTree(Layer* layer) {
 }
 
 MassTree::~MassTree() {
-  epochs_->ReclaimAll();
+  epochs_.ReclaimAll();
   FreeLayerTree(root_layer_);
 }
 
@@ -127,6 +127,7 @@ uint64_t MassTree::MakeSlice(const Slice& key, uint8_t* effective_len) {
 
 MassTree::Border* MassTree::FindBorder(const Layer* layer,
                                        uint64_t slice) const {
+  epochs_.AssertActive();
   for (;;) {
     void* root = layer->root.load(std::memory_order_acquire);
     int level = layer->root_level.load(std::memory_order_acquire);
@@ -204,7 +205,7 @@ Result<std::string> MassTree::GetInLayer(const Layer* layer,
 
 Result<std::string> MassTree::Get(const Slice& key) const {
   s_gets_.fetch_add(1, std::memory_order_relaxed);
-  EpochGuard guard(epochs_.get());
+  EpochGuard guard(&epochs_);
   return GetInLayer(root_layer_, key);
 }
 
@@ -376,6 +377,7 @@ void MassTree::InsertIntoBorder(Layer* layer, Border* b,
 
 Status MassTree::PutInLayer(Layer* layer, const Slice& key,
                             const Slice& value) {
+  epochs_.AssertActive();
   uint8_t len = 0;
   uint64_t slice = MakeSlice(key, &len);
 
@@ -402,7 +404,7 @@ Status MassTree::PutInLayer(Layer* layer, const Slice& key,
           b->payloads[i].load(std::memory_order_relaxed));
       b->payloads[i].store(fresh, std::memory_order_release);
       b->version.Unlock();
-      epochs_->Retire([old] { delete old; });
+      epochs_.Retire([old] { delete old; });
       return Status::Ok();
     }
   }
@@ -425,7 +427,7 @@ Status MassTree::PutInLayer(Layer* layer, const Slice& key,
 
 Status MassTree::Put(const Slice& key, const Slice& value) {
   s_puts_.fetch_add(1, std::memory_order_relaxed);
-  EpochGuard guard(epochs_.get());
+  EpochGuard guard(&epochs_);
   return PutInLayer(root_layer_, key, value);
 }
 
@@ -457,7 +459,7 @@ Status MassTree::DeleteInLayer(Layer* layer, const Slice& key) {
       }
       b->n--;
       b->version.Unlock();
-      epochs_->Retire([old] { delete old; });
+      epochs_.Retire([old] { delete old; });
       count_.fetch_sub(1, std::memory_order_acq_rel);
       return Status::Ok();
     }
@@ -467,7 +469,7 @@ Status MassTree::DeleteInLayer(Layer* layer, const Slice& key) {
 
 Status MassTree::Delete(const Slice& key) {
   s_deletes_.fetch_add(1, std::memory_order_relaxed);
-  EpochGuard guard(epochs_.get());
+  EpochGuard guard(&epochs_);
   return DeleteInLayer(root_layer_, key);
 }
 
@@ -556,7 +558,7 @@ Status MassTree::Scan(const Slice& start, size_t limit,
   s_scans_.fetch_add(1, std::memory_order_relaxed);
   out->clear();
   if (limit == 0) return Status::Ok();
-  EpochGuard guard(epochs_.get());
+  EpochGuard guard(&epochs_);
   ScanLayer(root_layer_, "", start.ToString(), end, limit, out);
   return Status::Ok();
 }

@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -13,6 +12,7 @@
 #include "common/latch.h"
 #include "common/slice.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace costperf::masstree {
 
@@ -34,6 +34,11 @@ namespace costperf::masstree {
 // This is the paper's main-memory comparison system: all data always in
 // DRAM, pointer-linked fixed-fanout nodes — faster per operation than the
 // Bw-tree but with a larger memory footprint (the M_x of Eq. 7).
+//
+// Epoch discipline mirrors BwTree: public ops take their own EpochGuard
+// on epochs_; the per-layer descent/mutation helpers REQUIRES_EPOCH —
+// they dereference nodes a concurrent split may have retired. ~MassTree
+// and FreeLayerTree run single-threaded by contract.
 class MassTree {
  public:
   MassTree();
@@ -58,7 +63,7 @@ class MassTree {
   // that the paper's M_x compares against the Bw-tree's.
   uint64_t MemoryFootprintBytes() const;
 
-  size_t ReclaimMemory() { return epochs_->TryReclaim(); }
+  size_t ReclaimMemory() { return epochs_.TryReclaim(); }
 
   struct Stats {
     uint64_t puts = 0, gets = 0, deletes = 0, scans = 0;
@@ -83,24 +88,34 @@ class MassTree {
   Layer* NewLayer();
   void FreeLayerTree(Layer* layer);
 
-  Status PutInLayer(Layer* layer, const Slice& key, const Slice& value);
-  Result<std::string> GetInLayer(const Layer* layer, const Slice& key) const;
-  Status DeleteInLayer(Layer* layer, const Slice& key);
+  Status PutInLayer(Layer* layer, const Slice& key, const Slice& value)
+      REQUIRES_EPOCH(epochs_);
+  Result<std::string> GetInLayer(const Layer* layer, const Slice& key) const
+      REQUIRES_EPOCH(epochs_);
+  Status DeleteInLayer(Layer* layer, const Slice& key)
+      REQUIRES_EPOCH(epochs_);
   bool ScanLayer(const Layer* layer, const std::string& layer_prefix,
                  const std::string& start_suffix, const Slice& global_end,
                  size_t limit,
-                 std::vector<std::pair<std::string, std::string>>* out) const;
+                 std::vector<std::pair<std::string, std::string>>* out) const
+      REQUIRES_EPOCH(epochs_);
 
-  Border* FindBorder(const Layer* layer, uint64_t slice) const;
+  Border* FindBorder(const Layer* layer, uint64_t slice) const
+      REQUIRES_EPOCH(epochs_);
   // Writer-side descent (layer latch held).
   Border* FindBorderLocked(Layer* layer, uint64_t slice,
-                           std::vector<Interior*>* path) const;
+                           std::vector<Interior*>* path) const
+      REQUIRES_EPOCH(epochs_);
   void InsertIntoBorder(Layer* layer, Border* b, std::vector<Interior*>* path,
-                        uint64_t slice, uint8_t len, void* payload);
+                        uint64_t slice, uint8_t len, void* payload)
+      REQUIRES_EPOCH(epochs_);
   void InsertIntoParent(Layer* layer, std::vector<Interior*>* path,
-                        void* left, uint64_t sep, void* right, int level);
+                        void* left, uint64_t sep, void* right, int level)
+      REQUIRES_EPOCH(epochs_);
 
-  std::unique_ptr<EpochManager> epochs_;
+  // Direct member (not a unique_ptr) so REQUIRES_EPOCH clauses can name
+  // it; mutable because const read paths take their own guards.
+  mutable EpochManager epochs_;
   Layer* root_layer_;
   std::atomic<uint64_t> count_;
 

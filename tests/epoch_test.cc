@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -115,6 +116,100 @@ TEST(EpochTest, EpochAdvances) {
   mgr.TryReclaim();
   EXPECT_GE(mgr.current_epoch(), e0 + 2);
 }
+
+// --- Runtime backstop for the static epoch capability (AssertActive /
+// IsActiveOnThisThread). The Clang thread-safety analysis proves guard
+// coverage at compile time on ANALYZE builds; these tests pin down the
+// dynamic check that GCC and Release-with-assertions builds rely on.
+
+TEST(EpochBackstopTest, IsActiveTracksGuardLifetime) {
+  EpochManager mgr;
+  EXPECT_FALSE(mgr.IsActiveOnThisThread());
+  {
+    EpochGuard g(&mgr);
+    EXPECT_TRUE(mgr.IsActiveOnThisThread());
+    {
+      EpochGuard nested(&mgr);
+      EXPECT_TRUE(mgr.IsActiveOnThisThread());
+    }
+    // Inner exit must not clear the outer guard's active state.
+    EXPECT_TRUE(mgr.IsActiveOnThisThread());
+  }
+  EXPECT_FALSE(mgr.IsActiveOnThisThread());
+}
+
+TEST(EpochBackstopTest, IsActiveIsPerManager) {
+  // One guard per tree/shard manager: holding shard A's epoch must not
+  // satisfy shard B's contract.
+  EpochManager a;
+  EpochManager b;
+  EpochGuard g(&a);
+  EXPECT_TRUE(a.IsActiveOnThisThread());
+  EXPECT_FALSE(b.IsActiveOnThisThread());
+}
+
+TEST(EpochBackstopTest, IsActiveIsPerThread) {
+  EpochManager mgr;
+  EpochGuard g(&mgr);
+  ASSERT_TRUE(mgr.IsActiveOnThisThread());
+  bool other_thread_active = true;
+  std::thread([&] { other_thread_active = mgr.IsActiveOnThisThread(); })
+      .join();
+  EXPECT_FALSE(other_thread_active)
+      << "a guard on one thread must not license another thread";
+}
+
+TEST(EpochBackstopTest, IsActiveSurvivesTlsSlotCacheChurn) {
+  // The per-thread slot cache (epoch.cc) holds 16 (manager, slot, depth)
+  // entries and evicts only at depth 0. Hold a guard on one manager,
+  // then enter/exit more managers than the cache holds: the held
+  // manager's entry must survive every eviction sweep.
+  EpochManager held;
+  EpochGuard g(&held);
+  {
+    std::vector<std::unique_ptr<EpochManager>> churn;
+    for (int i = 0; i < 24; ++i) {
+      churn.emplace_back(std::make_unique<EpochManager>());
+      EpochGuard pass(churn.back().get());
+      EXPECT_TRUE(churn.back()->IsActiveOnThisThread());
+    }
+  }
+  EXPECT_TRUE(held.IsActiveOnThisThread());
+  held.AssertActive();  // must be silent: the guard is live
+}
+
+TEST(EpochBackstopTest, AssertActiveSilentUnderGuard) {
+  EpochManager mgr;
+  EpochGuard g(&mgr);
+  mgr.AssertActive();
+  {
+    EpochGuard nested(&mgr);
+    mgr.AssertActive();
+  }
+  mgr.AssertActive();
+}
+
+#ifndef NDEBUG
+// The abort path only exists in debug builds (AssertActive compiles to
+// nothing under NDEBUG so Release hot paths pay zero cost).
+TEST(EpochBackstopDeathTest, AssertActiveDiesWithoutGuard) {
+  EpochManager mgr;
+  EXPECT_DEATH(mgr.AssertActive(), "epoch contract violation");
+}
+
+TEST(EpochBackstopDeathTest, AssertActiveDiesAfterGuardReleased) {
+  EpochManager mgr;
+  { EpochGuard g(&mgr); }
+  EXPECT_DEATH(mgr.AssertActive(), "epoch contract violation");
+}
+
+TEST(EpochBackstopDeathTest, AssertActiveDiesOnWrongManager) {
+  EpochManager a;
+  EpochManager b;
+  EpochGuard g(&a);
+  EXPECT_DEATH(b.AssertActive(), "epoch contract violation");
+}
+#endif  // NDEBUG
 
 }  // namespace
 }  // namespace costperf

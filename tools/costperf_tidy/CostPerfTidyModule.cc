@@ -1,0 +1,48 @@
+// costperf-tidy — the project's clang-tidy module. Three checks enforce
+// the hot-path contracts DESIGN.md states in prose:
+//
+//   costperf-hot-path-allocation   COSTPERF_HOT functions allocate nothing
+//   costperf-explicit-memory-order no defaulted seq_cst in src/ engine dirs
+//   costperf-epoch-guard-escape    guarded pointers must not outlive guards
+//
+// Built as a plugin (tools/costperf_tidy/CMakeLists.txt) and loaded via
+//   clang-tidy -load libcostperf_tidy.so -checks=costperf-*
+// which scripts/run_clang_tidy.sh wires up automatically when the
+// plugin was built.
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "EpochGuardEscapeCheck.h"
+#include "ExplicitMemoryOrderCheck.h"
+#include "HotPathAllocationCheck.h"
+
+namespace costperf_tidy {
+
+class CostPerfTidyModule : public clang::tidy::ClangTidyModule {
+ public:
+  void addCheckFactories(
+      clang::tidy::ClangTidyCheckFactories& Factories) override {
+    Factories.registerCheck<HotPathAllocationCheck>(
+        "costperf-hot-path-allocation");
+    Factories.registerCheck<ExplicitMemoryOrderCheck>(
+        "costperf-explicit-memory-order");
+    Factories.registerCheck<EpochGuardEscapeCheck>(
+        "costperf-epoch-guard-escape");
+  }
+};
+
+}  // namespace costperf_tidy
+
+namespace clang::tidy {
+
+// Register at static-init time when the plugin is dlopened.
+static ClangTidyModuleRegistry::Add<costperf_tidy::CostPerfTidyModule> X(
+    "costperf-module", "Cost/performance hot-path checks.");
+
+// The registry entry above is the module's only export; this anchor
+// keeps the translation unit from being dropped by an over-eager
+// linker when the plugin is ever linked statically into a tool.
+volatile int CostPerfTidyModuleAnchorSource = 0;
+
+}  // namespace clang::tidy

@@ -1,0 +1,110 @@
+#include "EpochGuardEscapeCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace costperf_tidy {
+
+using namespace clang::ast_matchers;  // NOLINT: matcher DSL convention
+
+namespace {
+
+// The epoch-protected node types. Unqualified class names, matched
+// against the pointee's unqualified name so nested types (BwTree::Node)
+// and namespace moves do not silently disarm the check.
+constexpr const char kDefaultProtectedClasses[] = "Node;DeltaNode;LayerNode";
+
+}  // namespace
+
+EpochGuardEscapeCheck::EpochGuardEscapeCheck(
+    llvm::StringRef Name, clang::tidy::ClangTidyContext* Context)
+    : ClangTidyCheck(Name, Context),
+      RawProtectedClasses(
+          Options.get("ProtectedClasses", kDefaultProtectedClasses)) {
+  llvm::SmallVector<llvm::StringRef, 8> Parts;
+  llvm::StringRef(RawProtectedClasses)
+      .split(Parts, ';', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  for (llvm::StringRef P : Parts) ProtectedClasses.emplace_back(P.str());
+}
+
+void EpochGuardEscapeCheck::storeOptions(
+    clang::tidy::ClangTidyOptions::OptionMap& Opts) {
+  Options.store(Opts, "ProtectedClasses", RawProtectedClasses);
+}
+
+bool EpochGuardEscapeCheck::IsProtectedPointer(clang::QualType T) const {
+  if (T.isNull() || !T->isPointerType()) return false;
+  const clang::CXXRecordDecl* RD =
+      T->getPointeeType()->getAsCXXRecordDecl();
+  if (RD == nullptr) return false;
+  llvm::StringRef Name = RD->getName();
+  for (const std::string& P : ProtectedClasses) {
+    if (Name == P) return true;
+  }
+  return false;
+}
+
+void EpochGuardEscapeCheck::registerMatchers(MatchFinder* Finder) {
+  // A function that takes its own guard: the epoch ends when it
+  // returns, so nothing protected may outlive its frame.
+  auto GuardVar =
+      varDecl(hasType(cxxRecordDecl(hasName("::costperf::EpochGuard"))));
+  auto GuardedFn =
+      functionDecl(isDefinition(), hasDescendant(declStmt(containsDeclaration(
+                                       0, GuardVar))))
+          .bind("fn");
+
+  // Escape 1: storing into a member (this->cached_ = node) or into
+  // static/global storage. Protected-type filtering happens in check()
+  // — QualType inspection there is simpler and versions better than a
+  // pointee-name matcher expression.
+  Finder->addMatcher(
+      binaryOperator(isAssignmentOperator(),
+                     hasLHS(anyOf(memberExpr().bind("member-lhs"),
+                                  declRefExpr(to(varDecl(hasGlobalStorage())))
+                                      .bind("global-lhs"))),
+                     hasAncestor(GuardedFn))
+          .bind("store"),
+      this);
+
+  // Escape 2: returning a protected pointer out of the guard's frame.
+  Finder->addMatcher(
+      returnStmt(hasReturnValue(expr().bind("retval")), hasAncestor(GuardedFn))
+          .bind("ret"),
+      this);
+}
+
+void EpochGuardEscapeCheck::check(const MatchFinder::MatchResult& Result) {
+  const auto* FD = Result.Nodes.getNodeAs<clang::FunctionDecl>("fn");
+  if (FD == nullptr) return;
+
+  if (const auto* Store =
+          Result.Nodes.getNodeAs<clang::BinaryOperator>("store")) {
+    if (!IsProtectedPointer(Store->getLHS()->getType())) return;
+    const bool IsMember = Result.Nodes.getNodeAs<clang::MemberExpr>(
+                              "member-lhs") != nullptr;
+    diag(Store->getOperatorLoc(),
+         "epoch-protected pointer stored into %select{a class member|"
+         "static storage}0 inside %1's guard scope; the pointee may be "
+         "reclaimed the moment the guard releases")
+        << (IsMember ? 0 : 1) << FD;
+    return;
+  }
+
+  if (const auto* Ret = Result.Nodes.getNodeAs<clang::ReturnStmt>("ret")) {
+    const auto* Val = Result.Nodes.getNodeAs<clang::Expr>("retval");
+    if (Val == nullptr || !IsProtectedPointer(Val->getType())) return;
+    (void)Ret;
+    diag(Val->getBeginLoc(),
+         "epoch-protected pointer returned from %0, which holds its own "
+         "EpochGuard; the guard releases before the caller can use the "
+         "pointer — take the guard in the caller and annotate %0 with "
+         "REQUIRES_EPOCH instead")
+        << FD;
+  }
+}
+
+}  // namespace costperf_tidy

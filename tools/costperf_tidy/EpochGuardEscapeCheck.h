@@ -1,0 +1,60 @@
+#ifndef COSTPERF_TOOLS_COSTPERF_TIDY_EPOCH_GUARD_ESCAPE_CHECK_H_
+#define COSTPERF_TOOLS_COSTPERF_TIDY_EPOCH_GUARD_ESCAPE_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace costperf_tidy {
+
+// costperf-epoch-guard-escape
+//
+// A pointer resolved under an EpochGuard (a delta-chain Node*, a
+// mass-tree node, a retired cache table) is only guaranteed live while
+// that guard is. The thread-safety analysis (REQUIRES_EPOCH in
+// common/epoch.h) already forces every *dereference* under a guard;
+// what it cannot see is a protected pointer being *stored* somewhere
+// that outlives the guard — a member, a global, or the function's own
+// return value when the guard is function-local. Those escapes turn
+// into use-after-reclaim the first time reclamation actually runs,
+// which under light test load is approximately never: exactly the bug
+// class a static check earns its keep on.
+//
+// Flags, inside any function whose body declares a costperf::EpochGuard:
+//   * assignments that store a protected-type pointer into a class
+//     member or a variable with static/global storage,
+//   * return statements whose value is a protected-type pointer, when
+//     the function signature does not itself demand the caller hold the
+//     epoch (REQUIRES_EPOCH-annotated helpers legitimately return
+//     protected pointers to guarded callers; they do not declare the
+//     guard — their caller does — so they never match here).
+//
+// Options:
+//   costperf-epoch-guard-escape.ProtectedClasses — semicolon-separated
+//   class names whose pointers are epoch-protected (default: the
+//   Bw-tree and mass-tree node types).
+class EpochGuardEscapeCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  EpochGuardEscapeCheck(llvm::StringRef Name,
+                        clang::tidy::ClangTidyContext* Context);
+
+  bool isLanguageVersionSupported(
+      const clang::LangOptions& LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(clang::ast_matchers::MatchFinder* Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult& Result) override;
+  void storeOptions(clang::tidy::ClangTidyOptions::OptionMap& Opts) override;
+
+ private:
+  bool IsProtectedPointer(clang::QualType T) const;
+
+  const std::string RawProtectedClasses;
+  std::vector<std::string> ProtectedClasses;
+};
+
+}  // namespace costperf_tidy
+
+#endif  // COSTPERF_TOOLS_COSTPERF_TIDY_EPOCH_GUARD_ESCAPE_CHECK_H_

@@ -1,0 +1,116 @@
+#include "ExplicitMemoryOrderCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace costperf_tidy {
+
+using namespace clang::ast_matchers;  // NOLINT: matcher DSL convention
+
+namespace {
+
+// Substring-match default: every directory holding latch-free or
+// lock-striped engine code. tests/ and bench/ may use seq_cst sugar
+// freely — convenience beats ceremony off the measured path.
+constexpr const char kDefaultHotPathDirs[] =
+    "src/common;src/mapping;src/bwtree;src/llama;src/masstree;src/core";
+
+// libstdc++ implements std::atomic<T> member functions partly on the
+// __atomic_base / __atomic_float base classes; match those too so the
+// check does not depend on which layer the callee resolves to.
+auto AtomicClass() {
+  return cxxRecordDecl(hasAnyName("::std::atomic", "::std::__atomic_base",
+                                  "::std::__atomic_float"));
+}
+
+}  // namespace
+
+ExplicitMemoryOrderCheck::ExplicitMemoryOrderCheck(
+    llvm::StringRef Name, clang::tidy::ClangTidyContext* Context)
+    : ClangTidyCheck(Name, Context),
+      RawHotPathDirs(Options.get("HotPathDirs", kDefaultHotPathDirs)) {
+  llvm::SmallVector<llvm::StringRef, 8> Parts;
+  llvm::StringRef(RawHotPathDirs).split(Parts, ';', /*MaxSplit=*/-1,
+                                        /*KeepEmpty=*/false);
+  for (llvm::StringRef P : Parts) HotPathDirs.emplace_back(P.str());
+}
+
+void ExplicitMemoryOrderCheck::storeOptions(
+    clang::tidy::ClangTidyOptions::OptionMap& Opts) {
+  Options.store(Opts, "HotPathDirs", RawHotPathDirs);
+}
+
+void ExplicitMemoryOrderCheck::registerMatchers(MatchFinder* Finder) {
+  // Named access with the order argument defaulted: the CXXDefaultArgExpr
+  // among the call's arguments *is* the dropped std::memory_order.
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(
+              ofClass(AtomicClass()),
+              hasAnyName("load", "store", "exchange", "fetch_add", "fetch_sub",
+                         "fetch_and", "fetch_or", "fetch_xor",
+                         "compare_exchange_weak", "compare_exchange_strong",
+                         "test_and_set", "clear", "wait", "notify_one",
+                         "notify_all"))),
+          hasAnyArgument(cxxDefaultArgExpr().bind("defarg")))
+          .bind("call"),
+      this);
+
+  // Operator sugar (x++, x += n, T v = x, x = v) — always seq_cst, and
+  // not even spellable otherwise; rewrite as .load/.store/.fetch_*.
+  Finder->addMatcher(
+      cxxOperatorCallExpr(callee(cxxMethodDecl(ofClass(AtomicClass()))))
+          .bind("sugar"),
+      this);
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxConversionDecl(ofClass(AtomicClass()))))
+          .bind("sugar"),
+      this);
+}
+
+bool ExplicitMemoryOrderCheck::InHotPathDir(
+    clang::SourceLocation Loc, const clang::SourceManager& SM) const {
+  if (Loc.isInvalid()) return false;
+  llvm::StringRef File = SM.getFilename(SM.getExpansionLoc(Loc));
+  for (const std::string& Dir : HotPathDirs) {
+    if (File.contains(Dir)) return true;
+  }
+  return false;
+}
+
+void ExplicitMemoryOrderCheck::check(const MatchFinder::MatchResult& Result) {
+  const clang::SourceManager& SM = *Result.SourceManager;
+
+  if (const auto* Call =
+          Result.Nodes.getNodeAs<clang::CXXMemberCallExpr>("call")) {
+    if (!InHotPathDir(Call->getBeginLoc(), SM)) return;
+    // A defaulted non-order argument (e.g. compare_exchange's second
+    // order defaulting *from the first*) is fine; only complain when the
+    // defaulted parameter really is a std::memory_order.
+    const auto* Def = Result.Nodes.getNodeAs<clang::CXXDefaultArgExpr>(
+        "defarg");
+    if (Def != nullptr) {
+      llvm::StringRef Ty = Def->getType()
+                               .getCanonicalType()
+                               .getAsString();
+      if (!llvm::StringRef(Ty).contains("memory_order")) return;
+    }
+    diag(Call->getBeginLoc(),
+         "atomic operation relies on the defaulted seq_cst memory order "
+         "in a hot-path directory; spell the order explicitly (and "
+         "comment why if it must stay seq_cst)");
+    return;
+  }
+
+  if (const auto* Sugar = Result.Nodes.getNodeAs<clang::Expr>("sugar")) {
+    if (!InHotPathDir(Sugar->getBeginLoc(), SM)) return;
+    diag(Sugar->getBeginLoc(),
+         "atomic operator shorthand is always seq_cst and cannot name an "
+         "order; use .load/.store/.fetch_* with an explicit "
+         "std::memory_order in hot-path directories");
+  }
+}
+
+}  // namespace costperf_tidy

@@ -1,0 +1,55 @@
+#ifndef COSTPERF_TOOLS_COSTPERF_TIDY_EXPLICIT_MEMORY_ORDER_CHECK_H_
+#define COSTPERF_TOOLS_COSTPERF_TIDY_EXPLICIT_MEMORY_ORDER_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace costperf_tidy {
+
+// costperf-explicit-memory-order
+//
+// In the hot-path directories every std::atomic access must spell its
+// memory order. A defaulted seq_cst is either (a) an unnecessary full
+// fence on a path measured in nanoseconds, or (b) load-bearing ordering
+// that nobody wrote down — both are bugs in a repo whose point is the
+// cost side of cost/performance. The mapping table's publish protocol,
+// the epoch Enter fence, and the cache manager's slot publication each
+// document their orders at the call site; this check keeps that the
+// rule rather than the exception.
+//
+// Flags, for files under the configured hot-path directories:
+//   * atomic member calls (load/store/exchange/fetch_*/compare_exchange)
+//     whose std::memory_order argument is the defaulted seq_cst,
+//   * atomic operator sugar (++, --, +=, |=, =, implicit conversion
+//     load) which has no way to spell an order at all.
+//
+// Options:
+//   costperf-explicit-memory-order.HotPathDirs — semicolon-separated
+//   path substrings to enforce in (default: the src/ engine dirs).
+class ExplicitMemoryOrderCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  ExplicitMemoryOrderCheck(llvm::StringRef Name,
+                           clang::tidy::ClangTidyContext* Context);
+
+  bool isLanguageVersionSupported(
+      const clang::LangOptions& LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(clang::ast_matchers::MatchFinder* Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult& Result) override;
+  void storeOptions(clang::tidy::ClangTidyOptions::OptionMap& Opts) override;
+
+ private:
+  bool InHotPathDir(clang::SourceLocation Loc,
+                    const clang::SourceManager& SM) const;
+
+  const std::string RawHotPathDirs;
+  std::vector<std::string> HotPathDirs;
+};
+
+}  // namespace costperf_tidy
+
+#endif  // COSTPERF_TOOLS_COSTPERF_TIDY_EXPLICIT_MEMORY_ORDER_CHECK_H_

@@ -1,0 +1,93 @@
+#include "HotPathAllocationCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+namespace costperf_tidy {
+
+using namespace clang::ast_matchers;  // NOLINT: matcher DSL convention
+
+namespace {
+
+constexpr llvm::StringRef kHotAnnotation = "costperf_hot";
+
+// True when `FD` (or any of its redeclarations — the annotate attribute
+// is usually spelled on the in-class declaration, while the match lands
+// on the out-of-line definition) carries annotate("costperf_hot").
+bool IsHotFunction(const clang::FunctionDecl* FD) {
+  for (const clang::FunctionDecl* Redecl : FD->redecls()) {
+    for (const auto* A : Redecl->specific_attrs<clang::AnnotateAttr>()) {
+      if (A->getAnnotation() == kHotAnnotation) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void HotPathAllocationCheck::registerMatchers(MatchFinder* Finder) {
+  // Annotation text is checked in check() — the attr argument is not
+  // expressible in the matcher DSL.
+  auto HotFn =
+      functionDecl(isDefinition(), hasAttr(clang::attr::Annotate)).bind("fn");
+
+  Finder->addMatcher(
+      cxxNewExpr(hasAncestor(HotFn)).bind("new"), this);
+
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::malloc", "::calloc", "::realloc", "::aligned_alloc",
+                   "::posix_memalign", "::strdup", "::strndup", "::valloc"))),
+               hasAncestor(HotFn))
+          .bind("calloc"),
+      this);
+
+  // Growth entry points on the standard containers/strings a hot leaf
+  // plausibly touches. operator+= / operator= on basic_string allocate
+  // too; they arrive here as operator calls with a method callee.
+  auto GrowingMethod = cxxMethodDecl(
+      ofClass(hasAnyName("::std::basic_string", "::std::vector",
+                         "::std::deque", "::std::map", "::std::unordered_map",
+                         "::std::set", "::std::unordered_set")),
+      hasAnyName("push_back", "emplace_back", "emplace", "append", "assign",
+                 "insert", "resize", "reserve", "operator+=", "operator="));
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(GrowingMethod), hasAncestor(HotFn))
+          .bind("grow"),
+      this);
+  Finder->addMatcher(
+      cxxOperatorCallExpr(callee(GrowingMethod), hasAncestor(HotFn))
+          .bind("grow"),
+      this);
+}
+
+void HotPathAllocationCheck::check(const MatchFinder::MatchResult& Result) {
+  const auto* FD = Result.Nodes.getNodeAs<clang::FunctionDecl>("fn");
+  if (FD == nullptr || !IsHotFunction(FD)) return;
+
+  if (const auto* New = Result.Nodes.getNodeAs<clang::CXXNewExpr>("new")) {
+    diag(New->getBeginLoc(),
+         "operator new in COSTPERF_HOT function %0; hot-path leaves must "
+         "be allocation-free (hoist the allocation to the caller or a "
+         "setup phase)")
+        << FD;
+    return;
+  }
+  if (const auto* C = Result.Nodes.getNodeAs<clang::CallExpr>("calloc")) {
+    diag(C->getBeginLoc(),
+         "C heap allocation in COSTPERF_HOT function %0; hot-path leaves "
+         "must be allocation-free")
+        << FD;
+    return;
+  }
+  if (const auto* G = Result.Nodes.getNodeAs<clang::CallExpr>("grow")) {
+    diag(G->getBeginLoc(),
+         "potentially allocating container/string growth in COSTPERF_HOT "
+         "function %0; preallocate outside the hot path or drop the "
+         "COSTPERF_HOT marker")
+        << FD;
+  }
+}
+
+}  // namespace costperf_tidy

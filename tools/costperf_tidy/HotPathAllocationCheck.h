@@ -1,0 +1,45 @@
+#ifndef COSTPERF_TOOLS_COSTPERF_TIDY_HOT_PATH_ALLOCATION_CHECK_H_
+#define COSTPERF_TOOLS_COSTPERF_TIDY_HOT_PATH_ALLOCATION_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace costperf_tidy {
+
+// costperf-hot-path-allocation
+//
+// Functions marked COSTPERF_HOT (src/common/hot_path.h expands it to
+// [[clang::annotate("costperf_hot")]]) promise to be allocation-free:
+// they run on every Get/Put under the latch-free discipline, where a
+// malloc is both a latency cliff (page faults, arena locks) and — on
+// the epoch-protected paths — a reclamation hazard hiding spot.
+//
+// The check flags, anywhere in a hot function's body (lambdas
+// included):
+//   * new / new[] expressions,
+//   * calls to the C allocation family (malloc, calloc, realloc,
+//     aligned_alloc, strdup, ...),
+//   * member calls that can grow a std:: container or string
+//     (push_back, append, resize, reserve, insert, operator+=, ...).
+//
+// Growth calls are reported at a lower confidence wording than plain
+// `new` — reserve() into a preallocated vector is sometimes deliberate;
+// the fix there is to hoist the call out of the hot function, not to
+// suppress the check.
+class HotPathAllocationCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  HotPathAllocationCheck(llvm::StringRef Name,
+                         clang::tidy::ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(
+      const clang::LangOptions& LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(clang::ast_matchers::MatchFinder* Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace costperf_tidy
+
+#endif  // COSTPERF_TOOLS_COSTPERF_TIDY_HOT_PATH_ALLOCATION_CHECK_H_

@@ -1,0 +1,78 @@
+// Fixture for costperf-epoch-guard-escape. Stubs the costperf
+// EpochGuard and a protected Node type under their real qualified
+// names so the fixture stands alone.
+//
+// tidy-check: costperf-epoch-guard-escape
+// expect: stored into a class member
+// expect: stored into static storage
+// expect: returned from 'leak_by_return'
+// expect-not: 'use_within_guard'
+// expect-not: 'requires_epoch_helper'
+
+namespace costperf {
+
+class EpochManager {
+ public:
+  void Enter() {}
+  void Exit() {}
+};
+
+class EpochGuard {
+ public:
+  explicit EpochGuard(EpochManager* mgr) : mgr_(mgr) { mgr_->Enter(); }
+  ~EpochGuard() { mgr_->Exit(); }
+
+ private:
+  EpochManager* mgr_;
+};
+
+struct Node {
+  int payload = 0;
+  Node* next = nullptr;
+};
+
+Node* Resolve(EpochManager&);
+
+Node* global_leak = nullptr;
+
+class Tree {
+ public:
+  void LeakToMember() {
+    EpochGuard guard(&epochs_);
+    cached_ = Resolve(epochs_);  // flagged: member store
+  }
+
+  void LeakToGlobal() {
+    EpochGuard guard(&epochs_);
+    global_leak = Resolve(epochs_);  // flagged: static-storage store
+  }
+
+  Node* leak_by_return() {
+    EpochGuard guard(&epochs_);
+    return Resolve(epochs_);  // flagged: guard dies before caller derefs
+  }
+
+  // Legitimate: resolve, use, drop before the guard releases. No
+  // diagnostics expected.
+  int use_within_guard() {
+    EpochGuard guard(&epochs_);
+    Node* n = Resolve(epochs_);
+    int sum = 0;
+    while (n != nullptr) {
+      sum += n->payload;
+      n = n->next;
+    }
+    return sum;
+  }
+
+ private:
+  EpochManager epochs_;
+  Node* cached_ = nullptr;
+};
+
+// Legitimate: a REQUIRES_EPOCH-style helper returns a protected pointer
+// but declares no guard of its own — the caller's guard covers the
+// result. Must not match (the matcher keys on a local EpochGuard decl).
+Node* requires_epoch_helper(EpochManager& epochs) { return Resolve(epochs); }
+
+}  // namespace costperf

@@ -1,0 +1,37 @@
+// Fixture for costperf-explicit-memory-order. The check only enforces
+// inside configured hot-path directories; the runner passes
+// HotPathDirs=tests so this file qualifies.
+//
+// tidy-check: costperf-explicit-memory-order
+// tidy-option: costperf-explicit-memory-order.HotPathDirs=tests
+// expect: defaulted seq_cst memory order
+// expect: atomic operator shorthand is always seq_cst
+// expect-not: explicit_orders_ok
+
+#include <atomic>
+#include <cstdint>
+
+std::atomic<uint64_t> counter{0};
+
+uint64_t defaulted_load() {
+  return counter.load();  // flagged: defaulted seq_cst
+}
+
+void defaulted_rmw() {
+  counter.fetch_add(1);  // flagged: defaulted seq_cst
+}
+
+void operator_sugar() {
+  counter++;       // flagged: operator shorthand
+  counter = 42;    // flagged: operator shorthand
+}
+
+// Every order spelled: no diagnostics on any line of this function.
+uint64_t explicit_orders_ok() {
+  counter.store(1, std::memory_order_release);
+  counter.fetch_add(1, std::memory_order_relaxed);
+  uint64_t expected = 2;
+  counter.compare_exchange_strong(expected, 3, std::memory_order_acq_rel,
+                                  std::memory_order_acquire);
+  return counter.load(std::memory_order_acquire);
+}

@@ -1,0 +1,45 @@
+// Fixture for costperf-hot-path-allocation. Self-contained: spells the
+// annotate attribute directly instead of including common/hot_path.h so
+// the runner needs no include paths into the repo.
+//
+// tidy-check: costperf-hot-path-allocation
+// expect: operator new in COSTPERF_HOT function 'hot_new'
+// expect: C heap allocation in COSTPERF_HOT function 'hot_malloc'
+// expect: container/string growth in COSTPERF_HOT function 'hot_grow'
+// expect-not: 'hot_clean'
+// expect-not: 'cold_alloc'
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#define COSTPERF_HOT [[clang::annotate("costperf_hot")]]
+
+COSTPERF_HOT int* hot_new() {
+  return new int(7);  // flagged
+}
+
+COSTPERF_HOT void* hot_malloc(unsigned n) {
+  return std::malloc(n);  // flagged
+}
+
+COSTPERF_HOT void hot_grow(std::vector<int>& v, std::string& s) {
+  v.push_back(1);  // flagged
+  s.append("x");   // flagged
+}
+
+// Allocation-free hot leaf: reads, arithmetic, writes through existing
+// storage. Must produce no diagnostics.
+COSTPERF_HOT unsigned hot_clean(const std::vector<int>& v, int* out) {
+  unsigned acc = 0;
+  for (int x : v) acc += static_cast<unsigned>(x);
+  *out = static_cast<int>(acc);
+  return acc;
+}
+
+// Unannotated function: allocations are fine off the hot path.
+std::string cold_alloc() {
+  std::string s;
+  s.append("cold paths may allocate");
+  return s;
+}

@@ -1,0 +1,95 @@
+#!/usr/bin/env bash
+# Fixture runner for the costperf-tidy plugin. Each tests/*.cc fixture
+# declares its own contract in comment directives:
+#
+#   // tidy-check: <check-name>          check to enable (required)
+#   // tidy-option: <key>=<value>        CheckOptions entry (repeatable)
+#   // expect: <substring>               must appear in tidy output
+#   // expect-not: <substring>           must NOT appear in tidy output
+#
+# Usage: run_tests.sh <plugin.so> [clang-tidy-binary]
+# Exits 0 with a message (skip, not failure) when the plugin or the
+# clang-tidy binary is missing, so lanes without LLVM stay green.
+set -u
+
+HERE="$(cd "$(dirname "$0")" && pwd)"
+PLUGIN="${1:-}"
+TIDY="${2:-}"
+
+if [[ -z "$TIDY" ]]; then
+  for cand in clang-tidy clang-tidy-18 clang-tidy-17 clang-tidy-16 \
+              clang-tidy-15 clang-tidy-14; do
+    if command -v "$cand" >/dev/null 2>&1; then
+      TIDY="$cand"
+      break
+    fi
+  done
+fi
+
+if [[ -z "$PLUGIN" || ! -f "$PLUGIN" ]]; then
+  echo "costperf_tidy tests: plugin library not found" \
+       "(${PLUGIN:-<unset>}); skipping." >&2
+  exit 0
+fi
+if [[ -z "$TIDY" ]] || ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "costperf_tidy tests: clang-tidy binary not found; skipping." >&2
+  exit 0
+fi
+
+failures=0
+ran=0
+
+for fixture in "$HERE"/*.cc; do
+  check="$(sed -n 's|^// tidy-check: ||p' "$fixture" | head -1)"
+  if [[ -z "$check" ]]; then
+    echo "SKIP $(basename "$fixture"): no tidy-check directive"
+    continue
+  fi
+
+  # Assemble -config with any fixture-declared CheckOptions.
+  config="{Checks: '-*,$check', CheckOptions: ["
+  first=1
+  while IFS= read -r opt; do
+    key="${opt%%=*}"
+    val="${opt#*=}"
+    [[ $first -eq 0 ]] && config+=", "
+    config+="{key: '$key', value: '$val'}"
+    first=0
+  done < <(sed -n 's|^// tidy-option: ||p' "$fixture")
+  config+="]}"
+
+  out="$("$TIDY" -load "$PLUGIN" -config "$config" "$fixture" -- \
+         -std=c++17 2>&1)"
+  ran=$((ran + 1))
+  fixture_failed=0
+
+  while IFS= read -r want; do
+    if ! grep -qF "$want" <<<"$out"; then
+      echo "FAIL $(basename "$fixture"): missing expected diagnostic:"
+      echo "     $want"
+      fixture_failed=1
+    fi
+  done < <(sed -n 's|^// expect: ||p' "$fixture")
+
+  while IFS= read -r bad; do
+    # Only consider tidy diagnostic lines — the fixture's own source is
+    # echoed in caret context and would self-match otherwise.
+    if grep -E "(warning|error):" <<<"$out" | grep -qF "$bad"; then
+      echo "FAIL $(basename "$fixture"): forbidden diagnostic mentions:"
+      echo "     $bad"
+      fixture_failed=1
+    fi
+  done < <(sed -n 's|^// expect-not: ||p' "$fixture")
+
+  if [[ $fixture_failed -ne 0 ]]; then
+    failures=$((failures + 1))
+    echo "---- clang-tidy output for $(basename "$fixture") ----"
+    echo "$out"
+    echo "----"
+  else
+    echo "PASS $(basename "$fixture") ($check)"
+  fi
+done
+
+echo "costperf_tidy tests: $ran fixtures, $failures failure(s)"
+[[ $failures -eq 0 ]]
