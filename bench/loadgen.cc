@@ -31,6 +31,7 @@
 #include "common/coding.h"
 #include "common/histogram.h"
 #include "common/random.h"
+#include "fault/net_fault.h"
 #include "server/client.h"
 #include "server/protocol.h"
 
@@ -65,6 +66,14 @@ struct Config {
   uint64_t seed = 42;
   bool preload = true;
   std::string json_path;  // empty = human-readable only
+  // Relative per-request deadline stamped on every frame (v2 headers);
+  // 0 = no deadline (v1 frames, the default).
+  uint64_t deadline_micros = 0;
+  // Client-side fault injection: probability per socket op of an injected
+  // connection kill (chaos-style resilience runs). 0 = off.
+  double client_fault_rate = 0;
+  uint64_t client_fault_seed = 7;
+  bool faults() const { return client_fault_rate > 0; }
 };
 
 struct TenantState {
@@ -74,6 +83,9 @@ struct TenantState {
   uint64_t keys = 0;
   uint64_t errors = 0;
   uint64_t rejected = 0;
+  uint64_t shed = 0;              // kUnavailable: load-shed / degraded
+  uint64_t deadline_expired = 0;  // kDeadlineExceeded responses
+  uint64_t reconnects = 0;        // connections rebuilt after faults
   Histogram latency_micros;
 };
 
@@ -93,6 +105,8 @@ struct LoadConn {
   std::string in;
   size_t in_consumed = 0;
   std::deque<Pending> pending;
+  // Client-side fault channel (null when --client-fault-rate is 0).
+  std::unique_ptr<costperf::fault::NetChannel> channel;
 };
 
 std::string TenantKey(int tenant, uint64_t idx) {
@@ -134,9 +148,9 @@ void EnqueueRequest(const Config& cfg, LoadConn* c, TenantState* ts,
     server::AppendLengthPrefixed(&payload, key);
     if (is_write) server::AppendLengthPrefixed(&payload, value);
   }
-  server::AppendFrame(&c->out,
-                      is_write ? server::kOpWriteBatch : server::kOpMultiGet,
-                      id, static_cast<uint32_t>(c->tenant), payload);
+  server::AppendFrameDeadline(
+      &c->out, is_write ? server::kOpWriteBatch : server::kOpMultiGet, id,
+      static_cast<uint32_t>(c->tenant), cfg.deadline_micros, payload);
   c->pending.push_back({id, now, k, is_write});
 }
 
@@ -150,9 +164,9 @@ bool ConsumeResponses(LoadConn* c, TenantState* ts, RealClock* clock) {
     server::DecodeResult dr = server::DecodeHeader(base, avail, &h);
     if (dr == server::DecodeResult::kNeedMore) break;
     if (dr != server::DecodeResult::kOk) return false;
-    if (avail < server::kHeaderSize + h.payload_len) break;
-    std::string_view payload(base + server::kHeaderSize, h.payload_len);
-    c->in_consumed += server::kHeaderSize + h.payload_len;
+    if (avail < h.header_size + h.payload_len) break;
+    std::string_view payload(base + h.header_size, h.payload_len);
+    c->in_consumed += h.header_size + h.payload_len;
 
     if (c->pending.empty()) return false;  // unsolicited frame
     Pending p = c->pending.front();
@@ -167,11 +181,18 @@ bool ConsumeResponses(LoadConn* c, TenantState* ts, RealClock* clock) {
     if (op == server::kOpError) {
       uint8_t code = 0;
       server::GetU8(&payload, &code);
-      if (server::DecodeStatusCode(code) ==
-          costperf::StatusCode::kResourceExhausted) {
-        ts->rejected += 1;
-      } else {
-        ts->errors += 1;
+      switch (server::DecodeStatusCode(code)) {
+        case costperf::StatusCode::kResourceExhausted:
+          ts->rejected += 1;
+          break;
+        case costperf::StatusCode::kUnavailable:
+          ts->shed += 1;
+          break;
+        case costperf::StatusCode::kDeadlineExceeded:
+          ts->deadline_expired += 1;
+          break;
+        default:
+          ts->errors += 1;
       }
     }
   }
@@ -233,6 +254,9 @@ int main(int argc, char** argv) {
     else if (!strcmp(argv[i], "--seed")) cfg.seed = static_cast<uint64_t>(atoll(next("--seed")));
     else if (!strcmp(argv[i], "--no-preload")) cfg.preload = false;
     else if (!strcmp(argv[i], "--json")) cfg.json_path = next("--json");
+    else if (!strcmp(argv[i], "--deadline-micros")) cfg.deadline_micros = static_cast<uint64_t>(atoll(next("--deadline-micros")));
+    else if (!strcmp(argv[i], "--client-fault-rate")) cfg.client_fault_rate = atof(next("--client-fault-rate"));
+    else if (!strcmp(argv[i], "--client-fault-seed")) cfg.client_fault_seed = static_cast<uint64_t>(atoll(next("--client-fault-seed")));
     else {
       fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -255,6 +279,16 @@ int main(int argc, char** argv) {
         cfg.keyspace, cfg.zipf_theta, cfg.seed + 0x9e3779b9ull * t);
   }
 
+  // Client-side fault injection: every socket op has a chance of an
+  // injected ECONNRESET/EPIPE; the loop reconnects and keeps going.
+  costperf::fault::NetFaultInjector injector(cfg.client_fault_seed);
+  if (cfg.faults()) {
+    costperf::fault::NetFaultPlan plan;
+    plan.read_error_rate = cfg.client_fault_rate;
+    plan.write_error_rate = cfg.client_fault_rate;
+    injector.set_default_plan(plan);
+  }
+
   std::vector<LoadConn> conns(static_cast<size_t>(cfg.connections));
   for (int i = 0; i < cfg.connections; ++i) {
     conns[i].fd = ConnectNonBlocking(cfg);
@@ -263,6 +297,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     conns[i].tenant = i % cfg.tenants;
+    if (cfg.faults()) conns[i].channel = injector.NewChannel();
   }
 
   RealClock clock;
@@ -281,6 +316,30 @@ int main(int argc, char** argv) {
 
   std::vector<pollfd> pfds(conns.size());
   bool protocol_error = false;
+
+  // Tear down and rebuild a faulted connection. In-flight frames are lost
+  // (the injected fault killed the stream); the pipeline is re-primed so
+  // throughput recovers.
+  auto revive = [&](LoadConn* c, TenantState* ts, double now) -> bool {
+    if (c->fd >= 0) close(c->fd);
+    c->channel.reset();
+    c->out.clear();
+    c->out_sent = 0;
+    c->in.clear();
+    c->in_consumed = 0;
+    c->pending.clear();
+    c->fd = ConnectNonBlocking(cfg);
+    if (c->fd < 0) return false;
+    if (cfg.faults()) c->channel = injector.NewChannel();
+    ts->reconnects += 1;
+    if (now < deadline) {
+      for (int k = 0; k < cfg.pipeline; ++k) {
+        EnqueueRequest(cfg, c, ts, &rng, value, clock.NowSeconds());
+      }
+    }
+    return true;
+  };
+
   while (!protocol_error) {
     const double now = clock.NowSeconds();
     const bool sending = now < deadline;
@@ -314,17 +373,26 @@ int main(int argc, char** argv) {
     for (size_t i = 0; i < conns.size(); ++i) {
       LoadConn& c = conns[i];
       TenantState& ts = tenants[c.tenant];
+      bool faulted = false;
       if (pfds[i].revents & POLLOUT ||
           (c.out_sent < c.out.size() && (pfds[i].revents & POLLIN))) {
         while (c.out_sent < c.out.size()) {
-          ssize_t w = send(c.fd, c.out.data() + c.out_sent,
-                           c.out.size() - c.out_sent, MSG_NOSIGNAL);
+          ssize_t w = c.channel != nullptr
+                          ? c.channel->Send(c.fd, c.out.data() + c.out_sent,
+                                            c.out.size() - c.out_sent,
+                                            MSG_NOSIGNAL)
+                          : send(c.fd, c.out.data() + c.out_sent,
+                                 c.out.size() - c.out_sent, MSG_NOSIGNAL);
           if (w > 0) {
             c.out_sent += static_cast<size_t>(w);
             continue;
           }
           if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
           if (w < 0 && errno == EINTR) continue;
+          if (cfg.faults()) {
+            faulted = true;
+            break;
+          }
           fprintf(stderr, "write error on connection %zu\n", i);
           return 1;
         }
@@ -333,36 +401,56 @@ int main(int argc, char** argv) {
           c.out_sent = 0;
         }
       }
-      if (pfds[i].revents & (POLLIN | POLLHUP)) {
+      if (!faulted && (pfds[i].revents & (POLLIN | POLLHUP))) {
         while (true) {
           char buf[64 * 1024];
-          ssize_t r = read(c.fd, buf, sizeof(buf));
+          ssize_t r = c.channel != nullptr
+                          ? c.channel->Read(c.fd, buf, sizeof(buf))
+                          : read(c.fd, buf, sizeof(buf));
           if (r > 0) {
             c.in.append(buf, static_cast<size_t>(r));
             if (static_cast<size_t>(r) < sizeof(buf)) break;
             continue;
           }
           if (r == 0) {
+            if (cfg.faults()) {
+              faulted = true;
+              break;
+            }
             fprintf(stderr, "server closed connection %zu\n", i);
             protocol_error = true;
             break;
           }
           if (errno == EAGAIN || errno == EWOULDBLOCK) break;
           if (errno == EINTR) continue;
+          if (cfg.faults()) {
+            faulted = true;
+            break;
+          }
           protocol_error = true;
           break;
         }
         const size_t before = c.pending.size();
-        if (!ConsumeResponses(&c, &ts, &clock)) {
-          fprintf(stderr, "protocol error on connection %zu\n", i);
-          protocol_error = true;
+        if (!faulted && !ConsumeResponses(&c, &ts, &clock)) {
+          // With faults in play a torn stream is expected; rebuild. Without
+          // them a framing violation is a real server bug.
+          if (cfg.faults()) {
+            faulted = true;
+          } else {
+            fprintf(stderr, "protocol error on connection %zu\n", i);
+            protocol_error = true;
+          }
         }
         const size_t completed = before - c.pending.size();
-        if (sending) {
+        if (!faulted && sending) {
           for (size_t k = 0; k < completed; ++k) {
             EnqueueRequest(cfg, &c, &ts, &rng, value, clock.NowSeconds());
           }
         }
+      }
+      if (faulted && !revive(&c, &ts, now)) {
+        fprintf(stderr, "reconnect failed for connection %zu\n", i);
+        return 1;
       }
     }
   }
@@ -382,25 +470,35 @@ int main(int argc, char** argv) {
     if (c.fd >= 0) close(c.fd);
   }
 
-  uint64_t total_frames = 0, total_keys = 0;
+  uint64_t total_frames = 0, total_keys = 0, total_shed = 0;
+  uint64_t total_deadline = 0, total_reconnects = 0;
   for (const auto& ts : tenants) {
     total_frames += ts.frames;
     total_keys += ts.keys;
+    total_shed += ts.shed;
+    total_deadline += ts.deadline_expired;
+    total_reconnects += ts.reconnects;
   }
   printf("loadgen: %d conns x pipeline %d, %d tenants, %.1fs\n",
          cfg.connections, cfg.pipeline, cfg.tenants, elapsed);
-  printf("total: frames=%llu keys=%llu frames/s=%.0f keys/s=%.0f\n",
+  printf("total: frames=%llu keys=%llu frames/s=%.0f keys/s=%.0f "
+         "shed=%llu deadline_expired=%llu reconnects=%llu\n",
          (unsigned long long)total_frames, (unsigned long long)total_keys,
-         total_frames / elapsed, total_keys / elapsed);
+         total_frames / elapsed, total_keys / elapsed,
+         (unsigned long long)total_shed, (unsigned long long)total_deadline,
+         (unsigned long long)total_reconnects);
   for (int t = 0; t < cfg.tenants; ++t) {
     const TenantState& ts = tenants[t];
     printf(
         "tenant %d: frames=%llu keys=%llu keys/s=%.0f p50=%.0fus "
-        "p95=%.0fus p99=%.0fus rejected=%llu errors=%llu\n",
+        "p95=%.0fus p99=%.0fus rejected=%llu shed=%llu "
+        "deadline_expired=%llu errors=%llu\n",
         t, (unsigned long long)ts.frames, (unsigned long long)ts.keys,
         ts.keys / elapsed, ts.latency_micros.Percentile(50.0),
         ts.latency_micros.Percentile(95.0), ts.latency_micros.Percentile(99.0),
-        (unsigned long long)ts.rejected, (unsigned long long)ts.errors);
+        (unsigned long long)ts.rejected, (unsigned long long)ts.shed,
+        (unsigned long long)ts.deadline_expired,
+        (unsigned long long)ts.errors);
   }
   auto sv = [&](const char* k) -> unsigned long long {
     auto it = server_stats.find(k);
@@ -425,10 +523,14 @@ int main(int argc, char** argv) {
             "{\n  \"connections\": %d,\n  \"pipeline\": %d,\n"
             "  \"tenants\": %d,\n  \"elapsed_seconds\": %.3f,\n"
             "  \"frames\": %llu,\n  \"keys\": %llu,\n"
-            "  \"frames_per_sec\": %.0f,\n  \"keys_per_sec\": %.0f,\n",
+            "  \"frames_per_sec\": %.0f,\n  \"keys_per_sec\": %.0f,\n"
+            "  \"shed\": %llu,\n  \"deadline_expired\": %llu,\n"
+            "  \"reconnects\": %llu,\n",
             cfg.connections, cfg.pipeline, cfg.tenants, elapsed,
             (unsigned long long)total_frames, (unsigned long long)total_keys,
-            total_frames / elapsed, total_keys / elapsed);
+            total_frames / elapsed, total_keys / elapsed,
+            (unsigned long long)total_shed, (unsigned long long)total_deadline,
+            (unsigned long long)total_reconnects);
     fprintf(f,
             "  \"server\": {\"windows\": %llu, \"read_runs\": %llu, "
             "\"write_runs\": %llu, \"multiget_batches\": %llu, "

@@ -6,8 +6,8 @@
 # explicit message rather than silently passing.
 #
 # Usage: scripts/check.sh [--list] [lane...]
-#   lanes: plain analyze asan tsan ubsan stress serve tidy  (default: all
-#   but bench)
+#   lanes: plain analyze asan tsan ubsan stress serve chaos tidy
+#   (default: all but bench)
 #   `tidy` runs clang-tidy (scripts/run_clang_tidy.sh) with the base
 #   .clang-tidy check set plus the costperf-* plugin checks when the
 #   plugin was built; it skips with a message when LLVM is missing.
@@ -20,6 +20,11 @@
 #   gate disabled: it asserts per-tenant report sanity, wire batches
 #   reaching the batched store paths, and a clean SIGTERM quiesce —
 #   TSan-clean, no wall-clock numbers.
+#   `chaos` runs the network fault-injection suite (ctest -L chaos) under
+#   TSan with a reduced COSTPERF_CHAOS_ITERS: seeded torn frames, short
+#   reads/writes, injected resets, slowloris stalls, and mid-stream
+#   disconnects against the live server, asserting no wedges, no fd
+#   leaks, and clean recovery after every plan.
 #   The opt-in `bench` lane (never run by default: wall-clock sensitive)
 #   runs scripts/bench_smoke.sh and leaves its BENCH_smoke.json at the
 #   repo root.
@@ -36,13 +41,14 @@ tsan     Debug + ThreadSanitizer build + ctest + reduced torture
 ubsan    Debug + UBSanitizer (no-recover) build + ctest + reduced torture
 stress   SS-heavy steady-state bench; asserts maintenance stays off op path
 serve    TSan server+loadgen loopback smoke with clean-shutdown assertions
+chaos    TSan network fault-injection suite (seeded plans, sheds, watchdog)
 tidy     clang-tidy over all first-party sources (+ costperf-* plugin)
 bench    (opt-in) wall-clock bench smoke; writes BENCH_smoke.json
 EOF
   exit 0
 fi
 LANES=("$@")
-[[ ${#LANES[@]} -eq 0 ]] && LANES=(plain analyze asan tsan ubsan stress serve tidy)
+[[ ${#LANES[@]} -eq 0 ]] && LANES=(plain analyze asan tsan ubsan stress serve chaos tidy)
 
 failures=()
 skips=()
@@ -78,8 +84,8 @@ run_lane() {
     echo "lane $lane: build clean under -Werror=thread-safety"
     return
   fi
-  if ! ctest --test-dir "$dir" --output-on-failure -j "$JOBS" -LE torture \
-       > "$dir/ctest.log" 2>&1; then
+  if ! ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+       -LE 'torture|chaos' > "$dir/ctest.log" 2>&1; then
     tail -40 "$dir/ctest.log"
     failures+=("$lane (ctest)")
     return
@@ -98,6 +104,19 @@ run_lane() {
     return
   fi
   echo "torture loop: $torture_iters crash points passed"
+  # Network chaos loop: full 200 fault plans on the plain lane, reduced
+  # under sanitizers. The dedicated `chaos` lane runs it under TSan with
+  # a fresh build; here it piggybacks on whatever this lane built.
+  local chaos_iters=200
+  [[ "$lane" != "plain" ]] && chaos_iters=40
+  if ! COSTPERF_CHAOS_ITERS="$chaos_iters" \
+       ctest --test-dir "$dir" --output-on-failure -L chaos \
+       > "$dir/ctest-chaos.log" 2>&1; then
+    tail -40 "$dir/ctest-chaos.log"
+    failures+=("$lane (chaos)")
+    return
+  fi
+  echo "chaos loop: $chaos_iters fault plans passed"
 }
 
 for lane in "${LANES[@]}"; do
@@ -150,6 +169,22 @@ for lane in "${LANES[@]}"; do
         failures+=("serve")
       fi
       ;;
+    chaos)
+      echo
+      echo "=== lane: chaos ==="
+      dir="$ROOT/build-chaos"
+      if cmake -S "$ROOT" -B "$dir" -DCMAKE_BUILD_TYPE=Debug \
+           -DCOSTPERF_SANITIZE=thread >/dev/null &&
+         cmake --build "$dir" --target server_chaos_test -j "$JOBS" \
+           >/dev/null &&
+         COSTPERF_CHAOS_ITERS="${COSTPERF_CHAOS_ITERS:-60}" \
+           ctest --test-dir "$dir" --output-on-failure -L chaos
+      then
+        echo "lane chaos: fault plans TSan-clean, no wedges, no fd leaks"
+      else
+        failures+=("chaos")
+      fi
+      ;;
     tidy)
       echo
       echo "=== lane: tidy ==="
@@ -173,7 +208,7 @@ for lane in "${LANES[@]}"; do
       fi
       ;;
     *)
-      echo "unknown lane '$lane' (want: plain analyze asan tsan ubsan stress serve tidy bench)" >&2
+      echo "unknown lane '$lane' (want: plain analyze asan tsan ubsan stress serve chaos tidy bench)" >&2
       exit 2
       ;;
   esac

@@ -7,9 +7,10 @@
 #             *and* epoch capabilities as compile errors). Stage 1
 #             failing means the change is wrong; nothing else runs.
 #   stage 2 — depth lanes (after stage 1): tidy, then the sanitizer
-#             matrix + stress + serve via scripts/check.sh. Lanes whose
-#             toolchain is missing skip with a message (tidy can be
-#             forced fatal with COSTPERF_REQUIRE_TIDY=1).
+#             matrix + stress + serve + chaos (network fault injection
+#             under TSan) via scripts/check.sh. Lanes whose toolchain is
+#             missing skip with a message (tidy can be forced fatal with
+#             COSTPERF_REQUIRE_TIDY=1).
 #
 # Usage: scripts/ci.sh [--stage1-only]
 #   `scripts/check.sh --list` enumerates every lane individually.
@@ -38,7 +39,7 @@ fi
 
 echo
 echo "=== CI stage 2: tidy + sanitizer matrix ==="
-"$ROOT/scripts/check.sh" tidy asan tsan ubsan stress serve || exit 1
+"$ROOT/scripts/check.sh" tidy asan tsan ubsan stress serve chaos || exit 1
 
 echo
 echo "CI: all stages passed."

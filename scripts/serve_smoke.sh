@@ -61,6 +61,19 @@ if ! "$DIR/bench/loadgen" --host 127.0.0.1 --port "$PORT" \
      --duration-seconds "$DURATION" \
      --keyspace 20000 --json "$OUT"; then
   echo "serve_smoke: loadgen failed" >&2
+  cat "$SERVER_LOG" >&2
+  exit 1
+fi
+
+# The server must still be alive after the run: a crash mid-load (TSan
+# abort, sanitizer error, assertion) exits the process, and that failure
+# must be loud even though loadgen may have finished its report.
+if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+  wait "$SERVER_PID"
+  RC=$?
+  echo "serve_smoke: server died during load (exit $RC)" >&2
+  cat "$SERVER_LOG" >&2
+  trap - EXIT
   exit 1
 fi
 

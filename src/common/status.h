@@ -25,6 +25,7 @@ enum class StatusCode {
   kUnavailable,    // transient; retry may succeed (e.g. device saturated)
   kNotSupported,
   kInternal,
+  kDeadlineExceeded,  // request budget expired before/while serving it
 };
 
 // Returns a stable human-readable name ("Ok", "NotFound", ...).
@@ -81,6 +82,9 @@ class Status {
   static Status Internal(std::string msg = "") {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg = "") {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -88,6 +92,9 @@ class Status {
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

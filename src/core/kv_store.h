@@ -176,6 +176,15 @@ class KvStore {
   // Structured counters for reports and cost-model calibration.
   virtual KvStoreStats Stats() const = 0;
 
+  // Health of each independent failure domain, in stable shard order.
+  // Single-shard stores report one entry (their Stats().health);
+  // compositions like ShardedStore report one per shard so a serving
+  // layer can tell "one shard lost its log device" from "everything is
+  // down" and degrade write availability per key subset.
+  virtual std::vector<HealthStatus> PerShardHealth() const {
+    return {Stats().health};
+  }
+
   // Human-readable counters for reports. The base rendering is just
   // Stats().ToString(); implementations may append component detail.
   // Deprecated for programmatic use: it is a display string, not a

@@ -93,7 +93,7 @@ class ShardedStore : public KvStore {
   // Health of each shard (shard i's Stats().health). A degraded shard
   // only loses write availability for its own key subset; Stats().health
   // on the composite is degraded when any shard is.
-  std::vector<HealthStatus> PerShardHealth() const;
+  std::vector<HealthStatus> PerShardHealth() const override;
 
   size_t shard_count() const { return shards_.size(); }
   // Which shard owns `key` (stable FNV-1a placement).

@@ -1,0 +1,178 @@
+#include "fault/net_fault.h"
+
+#include <cerrno>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace costperf::fault {
+
+namespace {
+// Mixes a channel index into the injector seed so each channel replays
+// independently of sibling channels' I/O interleaving.
+uint64_t MixSeed(uint64_t seed, uint64_t index) {
+  uint64_t x = seed + 0x9E3779B97F4A7C15ull * (index + 1);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  return x ? x : 1;
+}
+}  // namespace
+
+ssize_t NetChannel::Read(int fd, void* buf, size_t len) {
+  if (!active_) return ::read(fd, buf, len);
+  owner_->reads_seen_.fetch_add(1, std::memory_order_relaxed);
+  if (read_dead_) {
+    errno = dead_errno_;
+    return -1;
+  }
+  if (plan_.mute_read_after_bytes != 0 &&
+      bytes_read_ >= plan_.mute_read_after_bytes) {
+    errno = EAGAIN;  // caller parks the connection as if the peer went mute
+    return -1;
+  }
+  if (plan_.read_error_rate > 0.0 &&
+      rng_.NextDouble() < plan_.read_error_rate) {
+    owner_->injected_read_errors_.fetch_add(1, std::memory_order_relaxed);
+    dead_errno_ = plan_.read_errno;
+    read_dead_ = write_dead_ = true;  // a reset peer is reset both ways
+    errno = dead_errno_;
+    return -1;
+  }
+  size_t want = len;
+  if (plan_.max_read_bytes != 0 && want > plan_.max_read_bytes) {
+    want = plan_.max_read_bytes;
+  }
+  if (plan_.fail_read_after_bytes != 0) {
+    if (bytes_read_ >= plan_.fail_read_after_bytes) {
+      owner_->injected_read_errors_.fetch_add(1, std::memory_order_relaxed);
+      dead_errno_ = plan_.read_errno;
+      read_dead_ = true;
+      errno = dead_errno_;
+      return -1;
+    }
+    const uint64_t budget = plan_.fail_read_after_bytes - bytes_read_;
+    if (want > budget) want = static_cast<size_t>(budget);
+  }
+  if (plan_.mute_read_after_bytes != 0) {
+    const uint64_t budget = plan_.mute_read_after_bytes - bytes_read_;
+    if (want > budget) want = static_cast<size_t>(budget);
+  }
+  ssize_t r = ::read(fd, buf, want);
+  if (r > 0) {
+    bytes_read_ += static_cast<uint64_t>(r);
+    if (static_cast<size_t>(r) == want && want < len) {
+      owner_->short_reads_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return r;
+}
+
+ssize_t NetChannel::Send(int fd, const void* buf, size_t len, int flags) {
+  if (!active_) return ::send(fd, buf, len, flags);
+  owner_->writes_seen_.fetch_add(1, std::memory_order_relaxed);
+  if (write_dead_) {
+    errno = dead_errno_;
+    return -1;
+  }
+  if (plan_.stall_write_after_bytes != 0 &&
+      bytes_written_ >= plan_.stall_write_after_bytes) {
+    owner_->injected_stalls_.fetch_add(1, std::memory_order_relaxed);
+    errno = EAGAIN;
+    return -1;
+  }
+  if (plan_.write_error_rate > 0.0 &&
+      rng_.NextDouble() < plan_.write_error_rate) {
+    owner_->injected_write_errors_.fetch_add(1, std::memory_order_relaxed);
+    dead_errno_ = plan_.write_errno;
+    read_dead_ = write_dead_ = true;
+    errno = dead_errno_;
+    return -1;
+  }
+  size_t want = len;
+  if (plan_.max_write_bytes != 0 && want > plan_.max_write_bytes) {
+    want = plan_.max_write_bytes;
+  }
+  if (plan_.fail_write_after_bytes != 0) {
+    if (bytes_written_ >= plan_.fail_write_after_bytes) {
+      owner_->injected_write_errors_.fetch_add(1, std::memory_order_relaxed);
+      dead_errno_ = plan_.write_errno;
+      write_dead_ = true;
+      errno = dead_errno_;
+      return -1;
+    }
+    const uint64_t budget = plan_.fail_write_after_bytes - bytes_written_;
+    if (want > budget) want = static_cast<size_t>(budget);
+  }
+  if (plan_.stall_write_after_bytes != 0) {
+    const uint64_t budget = plan_.stall_write_after_bytes - bytes_written_;
+    if (want > budget) want = static_cast<size_t>(budget);
+  }
+  ssize_t w = ::send(fd, buf, want, flags);
+  if (w > 0) {
+    bytes_written_ += static_cast<uint64_t>(w);
+    if (static_cast<size_t>(w) == want && want < len) {
+      owner_->short_writes_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return w;
+}
+
+NetFaultInjector::NetFaultInjector(uint64_t seed) : seed_(seed ? seed : 1) {}
+
+void NetFaultInjector::ScriptConnection(const NetFaultPlan& plan) {
+  MutexLock l(&mu_);
+  scripted_.push_back(plan);
+  RecomputeArmed();
+}
+
+void NetFaultInjector::set_default_plan(const NetFaultPlan& plan) {
+  MutexLock l(&mu_);
+  default_plan_ = plan;
+  RecomputeArmed();
+}
+
+std::unique_ptr<NetChannel> NetFaultInjector::NewChannel() {
+  MutexLock l(&mu_);
+  NetFaultPlan plan = default_plan_;
+  if (!scripted_.empty()) {
+    plan = scripted_.front();
+    scripted_.pop_front();
+    RecomputeArmed();
+  }
+  const uint64_t index = channels_created_++;
+  return std::unique_ptr<NetChannel>(
+      new NetChannel(this, plan, MixSeed(seed_, index)));
+}
+
+void NetFaultInjector::Reset() {
+  MutexLock l(&mu_);
+  scripted_.clear();
+  default_plan_ = NetFaultPlan{};
+  RecomputeArmed();
+}
+
+void NetFaultInjector::RecomputeArmed() {
+  bool armed = default_plan_.active();
+  for (const auto& p : scripted_) armed = armed || p.active();
+  armed_.store(armed, std::memory_order_relaxed);
+}
+
+NetFaultStats NetFaultInjector::stats() const {
+  NetFaultStats s;
+  {
+    MutexLock l(&mu_);
+    s.channels_created = channels_created_;
+  }
+  s.reads_seen = reads_seen_.load(std::memory_order_relaxed);
+  s.writes_seen = writes_seen_.load(std::memory_order_relaxed);
+  s.short_reads = short_reads_.load(std::memory_order_relaxed);
+  s.short_writes = short_writes_.load(std::memory_order_relaxed);
+  s.injected_read_errors =
+      injected_read_errors_.load(std::memory_order_relaxed);
+  s.injected_write_errors =
+      injected_write_errors_.load(std::memory_order_relaxed);
+  s.injected_stalls = injected_stalls_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace costperf::fault

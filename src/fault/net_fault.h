@@ -1,0 +1,166 @@
+#ifndef COSTPERF_FAULT_NET_FAULT_H_
+#define COSTPERF_FAULT_NET_FAULT_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <sys/types.h>
+
+#include "common/mutex.h"
+#include "common/random.h"
+#include "common/thread_annotations.h"
+
+namespace costperf::fault {
+
+// Scripted misbehavior for one connection. All fields compose; a
+// default-constructed plan is a transparent pass-through. Byte thresholds
+// count bytes that actually crossed the channel (post-clamp), so
+// fail_read_after_bytes = 100 means the 101st byte is never delivered.
+struct NetFaultPlan {
+  // Clamp every read()/send() to at most this many bytes, forcing short
+  // reads and torn frames. 0 = no clamp.
+  size_t max_read_bytes = 0;
+  size_t max_write_bytes = 0;
+
+  // Per-call probability of failing with read_errno / write_errno instead
+  // of touching the socket. An injected error kills the channel: every
+  // later call fails the same way (a reset peer stays reset).
+  double read_error_rate = 0.0;
+  double write_error_rate = 0.0;
+  int read_errno = 104;   // ECONNRESET
+  int write_errno = 32;   // EPIPE
+
+  // Mid-stream disconnect: deliver exactly N bytes in that direction, then
+  // fail every call with read_errno / write_errno. 0 = disarmed.
+  uint64_t fail_read_after_bytes = 0;
+  uint64_t fail_write_after_bytes = 0;
+
+  // Slowloris: after N bytes have been written, every further send()
+  // returns EAGAIN forever — the peer stops draining but the connection
+  // stays open. 0 = disarmed. (Use 1 to stall almost immediately while
+  // still counting as write-blocked-with-progress-once.)
+  uint64_t stall_write_after_bytes = 0;
+
+  // Read-side variant: after N bytes read, read() returns EAGAIN forever —
+  // the peer goes mute without closing. 0 = disarmed.
+  uint64_t mute_read_after_bytes = 0;
+
+  bool active() const {
+    return max_read_bytes != 0 || max_write_bytes != 0 ||
+           read_error_rate > 0.0 || write_error_rate > 0.0 ||
+           fail_read_after_bytes != 0 || fail_write_after_bytes != 0 ||
+           stall_write_after_bytes != 0 || mute_read_after_bytes != 0;
+  }
+};
+
+struct NetFaultStats {
+  uint64_t channels_created = 0;
+  uint64_t reads_seen = 0;
+  uint64_t writes_seen = 0;
+  uint64_t short_reads = 0;       // reads clamped below the caller's len
+  uint64_t short_writes = 0;
+  uint64_t injected_read_errors = 0;
+  uint64_t injected_write_errors = 0;
+  uint64_t injected_stalls = 0;   // sends answered EAGAIN by the stall rule
+};
+
+class NetFaultInjector;
+
+// Per-connection fault executor. Created by NetFaultInjector::NewChannel
+// and owned by the connection; NOT thread-safe (a connection is
+// single-threaded by construction in both the server and SyncClient).
+// Read/Send wrap the syscalls and apply the plan; with an inactive plan
+// they are a branch away from the raw syscall.
+class NetChannel {
+ public:
+  // Wraps ::read(fd, buf, len). Returns the syscall's result, possibly
+  // clamped; injected failures return -1 with errno set per the plan.
+  ssize_t Read(int fd, void* buf, size_t len);
+  // Wraps ::send(fd, buf, len, flags).
+  ssize_t Send(int fd, const void* buf, size_t len, int flags);
+
+  const NetFaultPlan& plan() const { return plan_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  // True once an injected error has killed the channel.
+  bool dead() const { return dead_errno_ != 0; }
+
+ private:
+  friend class NetFaultInjector;
+  NetChannel(NetFaultInjector* owner, NetFaultPlan plan, uint64_t seed)
+      : owner_(owner), plan_(plan), active_(plan.active()), rng_(seed) {}
+
+  NetFaultInjector* owner_;
+  NetFaultPlan plan_;
+  bool active_;
+  int dead_errno_ = 0;     // injected-kill errno; 0 = alive
+  bool read_dead_ = false; // direction the kill applies to (both when rate-killed)
+  bool write_dead_ = false;
+  uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+  Random rng_;
+};
+
+// Seeded factory + script queue for NetChannels, mirroring FaultInjector's
+// armed-flag discipline: a constructed-but-unscripted injector hands out
+// pass-through channels, and the serving hot path pays one branch on a
+// null/inactive channel. Thread-safe (channels are created from every I/O
+// thread's accept path); the channels it returns are not.
+//
+//   NetFaultInjector nf(seed);
+//   nf.ScriptConnection({.max_read_bytes = 3});        // first channel
+//   nf.ScriptConnection({.fail_write_after_bytes = 64});  // second channel
+//   opts.net_fault = &nf;  // server wraps each accepted fd in NewChannel()
+//
+// Channels consume scripted plans FIFO in creation order; once the queue is
+// empty, channels get default_plan (pass-through unless set).
+class NetFaultInjector {
+ public:
+  explicit NetFaultInjector(uint64_t seed = 0x5eedfa17ull);
+
+  // Queues a plan for the next unscripted channel (FIFO).
+  void ScriptConnection(const NetFaultPlan& plan);
+  // Plan for channels created after the script queue is exhausted.
+  void set_default_plan(const NetFaultPlan& plan);
+
+  // Creates the next channel. Each channel gets an independent rng seeded
+  // from the injector seed + creation index, so a multi-connection plan
+  // replays identically regardless of accept interleaving.
+  std::unique_ptr<NetChannel> NewChannel();
+
+  // Drops queued plans and the default plan. Stats are kept. Already
+  // created channels keep their plans (they belong to live connections).
+  void Reset();
+
+  // True iff any queued or default plan would do anything — the armed-flag
+  // fast path: an attached, unarmed injector only costs the per-connection
+  // NewChannel call plus a dead branch per I/O.
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  NetFaultStats stats() const;
+
+ private:
+  friend class NetChannel;
+  void RecomputeArmed() REQUIRES(mu_);
+  // Channel-side stat sinks (relaxed atomics; channels race with readers).
+  std::atomic<uint64_t> reads_seen_{0};
+  std::atomic<uint64_t> writes_seen_{0};
+  std::atomic<uint64_t> short_reads_{0};
+  std::atomic<uint64_t> short_writes_{0};
+  std::atomic<uint64_t> injected_read_errors_{0};
+  std::atomic<uint64_t> injected_write_errors_{0};
+  std::atomic<uint64_t> injected_stalls_{0};
+
+  std::atomic<bool> armed_{false};
+  mutable Mutex mu_;
+  uint64_t seed_ GUARDED_BY(mu_);
+  uint64_t channels_created_ GUARDED_BY(mu_) = 0;
+  std::deque<NetFaultPlan> scripted_ GUARDED_BY(mu_);
+  NetFaultPlan default_plan_ GUARDED_BY(mu_);
+};
+
+}  // namespace costperf::fault
+
+#endif  // COSTPERF_FAULT_NET_FAULT_H_

@@ -3,20 +3,31 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/coding.h"
+#include "common/random.h"
+#include "fault/net_fault.h"
 
 namespace costperf::server {
+
+SyncClient::SyncClient() = default;
 
 SyncClient::~SyncClient() { Close(); }
 
 Status SyncClient::Connect(const std::string& host, uint16_t port) {
   Close();
+  host_ = host;
+  port_ = port;
   fd_ = socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) return Status::IoError("socket: " + std::string(strerror(errno)));
   sockaddr_in addr{};
@@ -27,12 +38,35 @@ Status SyncClient::Connect(const std::string& host, uint16_t port) {
     return Status::InvalidArgument("bad host: " + host);
   }
   if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status s = Status::IoError("connect: " + std::string(strerror(errno)));
-    Close();
-    return s;
+    if (errno != EINTR) {
+      Status s = Status::IoError("connect: " + std::string(strerror(errno)));
+      Close();
+      return s;
+    }
+    // EINTR on connect() does NOT abort the handshake — the SYN is in
+    // flight and a retried connect() would fail EALREADY/EISCONN. Wait for
+    // the socket to become writable, then read the real outcome from
+    // SO_ERROR.
+    pollfd p{};
+    p.fd = fd_;
+    p.events = POLLOUT;
+    int rc;
+    while ((rc = poll(&p, 1, -1)) < 0 && errno == EINTR) {
+    }
+    int err = 0;
+    socklen_t elen = sizeof(err);
+    if (rc < 0 ||
+        getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &elen) != 0 || err != 0) {
+      Status s = Status::IoError(
+          "connect: " + std::string(strerror(err != 0 ? err : errno)));
+      Close();
+      return s;
+    }
   }
   int one = 1;
   setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  ApplyRecvTimeout();
+  if (net_fault_ != nullptr) channel_ = net_fault_->NewChannel();
   return Status::Ok();
 }
 
@@ -41,14 +75,28 @@ void SyncClient::Close() {
     close(fd_);
     fd_ = -1;
   }
+  channel_.reset();
   outbuf_.clear();
   inbuf_.clear();
   in_consumed_ = 0;
 }
 
+void SyncClient::set_recv_timeout_millis(int millis) {
+  recv_timeout_millis_ = millis;
+  if (connected()) ApplyRecvTimeout();
+}
+
+void SyncClient::ApplyRecvTimeout() {
+  if (fd_ < 0 || recv_timeout_millis_ <= 0) return;
+  timeval tv{};
+  tv.tv_sec = recv_timeout_millis_ / 1000;
+  tv.tv_usec = (recv_timeout_millis_ % 1000) * 1000;
+  setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
 uint32_t SyncClient::QueueGet(std::string_view key) {
   const uint32_t id = next_request_id_++;
-  AppendFrame(&outbuf_, kOpGet, id, tenant_id_, key);
+  AppendFrameDeadline(&outbuf_, kOpGet, id, tenant_id_, deadline_micros_, key);
   return id;
 }
 
@@ -57,13 +105,14 @@ uint32_t SyncClient::QueuePut(std::string_view key, std::string_view value) {
   std::string p;
   AppendLengthPrefixed(&p, key);
   p.append(value.data(), value.size());
-  AppendFrame(&outbuf_, kOpPut, id, tenant_id_, p);
+  AppendFrameDeadline(&outbuf_, kOpPut, id, tenant_id_, deadline_micros_, p);
   return id;
 }
 
 uint32_t SyncClient::QueueDelete(std::string_view key) {
   const uint32_t id = next_request_id_++;
-  AppendFrame(&outbuf_, kOpDelete, id, tenant_id_, key);
+  AppendFrameDeadline(&outbuf_, kOpDelete, id, tenant_id_, deadline_micros_,
+                      key);
   return id;
 }
 
@@ -72,7 +121,8 @@ uint32_t SyncClient::QueueMultiGet(std::span<const std::string> keys) {
   std::string p;
   PutFixed32(&p, static_cast<uint32_t>(keys.size()));
   for (const std::string& k : keys) AppendLengthPrefixed(&p, k);
-  AppendFrame(&outbuf_, kOpMultiGet, id, tenant_id_, p);
+  AppendFrameDeadline(&outbuf_, kOpMultiGet, id, tenant_id_, deadline_micros_,
+                      p);
   return id;
 }
 
@@ -84,7 +134,8 @@ uint32_t SyncClient::QueueWriteBatch(std::span<const core::KvEntry> entries) {
     AppendLengthPrefixed(&p, e.first);
     AppendLengthPrefixed(&p, e.second);
   }
-  AppendFrame(&outbuf_, kOpWriteBatch, id, tenant_id_, p);
+  AppendFrameDeadline(&outbuf_, kOpWriteBatch, id, tenant_id_,
+                      deadline_micros_, p);
   return id;
 }
 
@@ -94,14 +145,31 @@ uint32_t SyncClient::QueueStats() {
   return id;
 }
 
+uint32_t SyncClient::QueueHealth() {
+  const uint32_t id = next_request_id_++;
+  // Health probes carry no deadline: a probe should see the truth even
+  // when the server is too loaded to meet data-path budgets.
+  AppendFrame(&outbuf_, kOpHealth, id, tenant_id_, {});
+  return id;
+}
+
 Status SyncClient::Flush() {
   size_t sent = 0;
   while (sent < outbuf_.size()) {
     // MSG_NOSIGNAL so a server-side disconnect reads as EPIPE, not SIGPIPE.
-    ssize_t w = send(fd_, outbuf_.data() + sent, outbuf_.size() - sent,
-                     MSG_NOSIGNAL);
+    ssize_t w =
+        channel_ != nullptr
+            ? channel_->Send(fd_, outbuf_.data() + sent, outbuf_.size() - sent,
+                             MSG_NOSIGNAL)
+            : send(fd_, outbuf_.data() + sent, outbuf_.size() - sent,
+                   MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Only an injected stall produces EAGAIN on this blocking socket;
+        // surface it instead of spinning forever.
+        return Status::Unavailable("send stalled");
+      }
       return Status::IoError("write: " + std::string(strerror(errno)));
     }
     sent += static_cast<size_t>(w);
@@ -118,13 +186,18 @@ Status SyncClient::SendRaw(std::string_view bytes) {
 Status SyncClient::FillTo(size_t bytes) {
   while (inbuf_.size() - in_consumed_ < bytes) {
     char buf[64 * 1024];
-    ssize_t r = read(fd_, buf, sizeof(buf));
+    ssize_t r = channel_ != nullptr ? channel_->Read(fd_, buf, sizeof(buf))
+                                    : read(fd_, buf, sizeof(buf));
     if (r > 0) {
       inbuf_.append(buf, static_cast<size_t>(r));
       continue;
     }
     if (r == 0) return Status::Unavailable("peer closed");
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // SO_RCVTIMEO expired (or an injected read mute): the wedge detector.
+      return Status::DeadlineExceeded("recv timeout");
+    }
     return Status::IoError("read: " + std::string(strerror(errno)));
   }
   return Status::Ok();
@@ -136,14 +209,23 @@ Status SyncClient::ReadRawFrame(FrameHeader* header, std::string* payload) {
   DecodeResult dr =
       DecodeHeader(inbuf_.data() + in_consumed_, inbuf_.size() - in_consumed_,
                    header);
+  if (dr == DecodeResult::kNeedMore) {
+    // A v2 header whose tail has not arrived yet (responses are v1 today,
+    // but the client stays layout-agnostic).
+    s = FillTo(kHeaderSizeV2);
+    if (!s.ok()) return s;
+    dr = DecodeHeader(inbuf_.data() + in_consumed_,
+                      inbuf_.size() - in_consumed_, header);
+  }
   if (dr != DecodeResult::kOk) {
     return Status::Corruption(std::string("response header: ") +
                               DecodeResultName(dr));
   }
-  s = FillTo(kHeaderSize + header->payload_len);
+  s = FillTo(header->header_size + header->payload_len);
   if (!s.ok()) return s;
-  payload->assign(inbuf_, in_consumed_ + kHeaderSize, header->payload_len);
-  in_consumed_ += kHeaderSize + header->payload_len;
+  payload->assign(inbuf_, in_consumed_ + header->header_size,
+                  header->payload_len);
+  in_consumed_ += header->header_size + header->payload_len;
   if (in_consumed_ == inbuf_.size()) {
     inbuf_.clear();
     in_consumed_ = 0;
@@ -181,6 +263,7 @@ Status SyncClient::ReadResponse(Response* out) {
   out->statuses.clear();
   out->values.clear();
   out->text.clear();
+  out->retry_after_millis = 0;
 
   std::string_view rest(payload);
   switch (out->opcode) {
@@ -231,13 +314,15 @@ Status SyncClient::ReadResponse(Response* out) {
       }
       return Status::Ok();
     }
-    case kOpStats: {
+    case kOpStats:
+    case kOpHealth: {
+      // HEALTH payloads are binary; stash raw bytes for Health() to parse.
       out->text.assign(rest.data(), rest.size());
       return Status::Ok();
     }
     case kOpError: {
       uint8_t code;
-      if (!GetU8(&rest, &code)) {
+      if (!GetU8(&rest, &code) || !GetU32(&rest, &out->retry_after_millis)) {
         return Status::Corruption("short error response");
       }
       out->code = DecodeStatusCode(code);
@@ -249,44 +334,93 @@ Status SyncClient::ReadResponse(Response* out) {
   }
 }
 
+// Runs one request/response exchange, retrying under the policy when
+// enabled. Transport failures tear down the connection (its pipeline state
+// is unknown) and reconnect on the next attempt; retryable response codes
+// (kUnavailable / kResourceExhausted) keep the connection and back off by
+// max(policy backoff, the server's retry_after hint).
+Status SyncClient::OneShot(const std::function<void()>& queue, Response* r) {
+  const int attempts =
+      retry_enabled_ ? std::max(1, retry_policy_.max_attempts) : 1;
+  Random rng(retry_policy_.seed ^ Hash64(retry_salt_++));
+  double backoff = static_cast<double>(retry_policy_.initial_backoff_nanos);
+  auto back_off = [&](uint32_t retry_after_millis) {
+    double scale = 1.0;
+    if (retry_policy_.jitter > 0.0) {
+      scale = 1.0 - retry_policy_.jitter * rng.NextDouble();
+    }
+    uint64_t nanos = static_cast<uint64_t>(backoff * scale);
+    const uint64_t hint = uint64_t{retry_after_millis} * 1'000'000ull;
+    if (hint > nanos) nanos = hint;  // the server knows its recovery horizon
+    backoff *= retry_policy_.multiplier;
+    if (retry_policy_.sleep) {
+      retry_policy_.sleep(nanos);
+    } else if (nanos > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+    }
+  };
+  Status last = Status::Ok();
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) ++retries_;
+    if (!connected()) {
+      if (host_.empty()) return Status::InvalidArgument("not connected");
+      last = Connect(host_, port_);
+      if (!last.ok()) {
+        if (attempt + 1 == attempts) break;
+        back_off(0);
+        continue;
+      }
+    }
+    queue();
+    last = Flush();
+    if (last.ok()) last = ReadResponse(r);
+    if (!last.ok()) {
+      // The connection's request/response alignment is now unknown.
+      Close();
+      if (!retry_enabled_ || !IsTransientError(last)) return last;
+      if (attempt + 1 == attempts) break;
+      back_off(0);
+      continue;
+    }
+    if (retry_enabled_ && (r->code == StatusCode::kUnavailable ||
+                           r->code == StatusCode::kResourceExhausted)) {
+      last = Status(r->code, r->text);
+      if (attempt + 1 == attempts) break;
+      back_off(r->retry_after_millis);
+      continue;
+    }
+    return Status::Ok();
+  }
+  ++give_ups_;
+  return last;
+}
+
 Result<std::string> SyncClient::Get(std::string_view key) {
-  QueueGet(key);
-  Status s = Flush();
-  if (!s.ok()) return s;
   Response r;
-  s = ReadResponse(&r);
+  Status s = OneShot([&] { QueueGet(key); }, &r);
   if (!s.ok()) return s;
   if (r.code != StatusCode::kOk) return Status(r.code, r.text);
   return std::move(r.value);
 }
 
 Status SyncClient::Put(std::string_view key, std::string_view value) {
-  QueuePut(key, value);
-  Status s = Flush();
-  if (!s.ok()) return s;
   Response r;
-  s = ReadResponse(&r);
+  Status s = OneShot([&] { QueuePut(key, value); }, &r);
   if (!s.ok()) return s;
   return r.code == StatusCode::kOk ? Status::Ok() : Status(r.code, r.text);
 }
 
 Status SyncClient::Delete(std::string_view key) {
-  QueueDelete(key);
-  Status s = Flush();
-  if (!s.ok()) return s;
   Response r;
-  s = ReadResponse(&r);
+  Status s = OneShot([&] { QueueDelete(key); }, &r);
   if (!s.ok()) return s;
   return r.code == StatusCode::kOk ? Status::Ok() : Status(r.code, r.text);
 }
 
 Status SyncClient::MultiGet(std::span<const std::string> keys,
                             core::BatchReadResult* out) {
-  QueueMultiGet(keys);
-  Status s = Flush();
-  if (!s.ok()) return s;
   Response r;
-  s = ReadResponse(&r);
+  Status s = OneShot([&] { QueueMultiGet(keys); }, &r);
   if (!s.ok()) return s;
   if (r.is_error()) return Status(r.code, r.text);
   out->Reset(r.statuses.size());
@@ -299,11 +433,8 @@ Status SyncClient::MultiGet(std::span<const std::string> keys,
 
 Status SyncClient::WriteBatch(std::span<const core::KvEntry> entries,
                               core::BatchWriteResult* out) {
-  QueueWriteBatch(entries);
-  Status s = Flush();
-  if (!s.ok()) return s;
   Response r;
-  s = ReadResponse(&r);
+  Status s = OneShot([&] { QueueWriteBatch(entries); }, &r);
   if (!s.ok()) return s;
   if (r.is_error()) return Status(r.code, r.text);
   out->Reset(r.statuses.size());
@@ -335,6 +466,37 @@ Result<std::map<std::string, uint64_t>> SyncClient::StatsMap() {
         strtoull(std::string(line.substr(eq + 1)).c_str(), nullptr, 10);
   }
   return out;
+}
+
+Status SyncClient::Health(HealthReport* out) {
+  QueueHealth();
+  Status s = Flush();
+  if (!s.ok()) return s;
+  Response r;
+  s = ReadResponse(&r);
+  if (!s.ok()) return s;
+  if (r.is_error()) return Status(r.code, r.text);
+  if (r.opcode != kOpHealth) return Status::Corruption("not a HEALTH response");
+  std::string_view rest(r.text);
+  uint8_t overall = 0;
+  uint32_t shard_count = 0;
+  if (!GetU8(&rest, &overall) || !GetU32(&rest, &out->retry_after_millis) ||
+      !GetU32(&rest, &shard_count) || rest.size() < shard_count + 4 * 8) {
+    return Status::Corruption("short HEALTH response");
+  }
+  out->degraded = overall != 0;
+  out->shards.clear();
+  out->shards.reserve(shard_count);
+  for (uint32_t i = 0; i < shard_count; ++i) {
+    out->shards.push_back(rest[i] != 0 ? core::HealthStatus::kDegraded
+                                       : core::HealthStatus::kHealthy);
+  }
+  rest.remove_prefix(shard_count);
+  out->shed_frames = DecodeFixed64(rest.data());
+  out->deadline_expired = DecodeFixed64(rest.data() + 8);
+  out->watchdog_kills = DecodeFixed64(rest.data() + 16);
+  out->degraded_write_rejects = DecodeFixed64(rest.data() + 24);
+  return Status::Ok();
 }
 
 }  // namespace costperf::server

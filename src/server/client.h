@@ -2,15 +2,24 @@
 #define COSTPERF_SERVER_CLIENT_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "core/batch.h"
+#include "core/kv_store.h"
 #include "server/protocol.h"
+
+namespace costperf::fault {
+class NetFaultInjector;
+class NetChannel;
+}  // namespace costperf::fault
 
 namespace costperf::server {
 
@@ -21,7 +30,7 @@ namespace costperf::server {
 // thread-safe; one instance per connection.
 class SyncClient {
  public:
-  SyncClient() = default;
+  SyncClient();   // out of line: members name the fwd-declared NetChannel
   ~SyncClient();
 
   SyncClient(const SyncClient&) = delete;
@@ -34,6 +43,36 @@ class SyncClient {
   // Tenant id stamped on every subsequent frame.
   void set_tenant(uint32_t tenant_id) { tenant_id_ = tenant_id; }
 
+  // Relative deadline stamped on every subsequent request frame; nonzero
+  // deadlines emit protocol-v2 headers. 0 (the default) = no deadline,
+  // plain v1 frames.
+  void set_deadline_micros(uint64_t micros) { deadline_micros_ = micros; }
+
+  // SO_RCVTIMEO on the socket: blocking reads that see no bytes for this
+  // long fail with kDeadlineExceeded instead of hanging forever (the chaos
+  // tests' wedge detector). 0 = block indefinitely. Applies to the current
+  // connection immediately and to future Connect()s.
+  void set_recv_timeout_millis(int millis);
+
+  // Wraps this client's socket I/O in a scripted fault channel (client-side
+  // injection). Takes effect at the next Connect(). Null disables.
+  void set_net_fault(fault::NetFaultInjector* injector) {
+    net_fault_ = injector;
+  }
+
+  // Enables bounded retry/backoff on the one-shot helpers: transport
+  // failures reconnect and retry; kUnavailable / kResourceExhausted
+  // responses back off by max(policy backoff, the server's retry_after
+  // hint) and retry. The pipelined Queue*/Flush surface is never retried —
+  // replaying half a pipeline is the caller's policy decision.
+  void set_retry_policy(const RetryPolicy& policy) {
+    retry_policy_ = policy;
+    retry_enabled_ = true;
+  }
+  void clear_retry_policy() { retry_enabled_ = false; }
+  uint64_t retries() const { return retries_; }
+  uint64_t give_ups() const { return give_ups_; }
+
   // A decoded response frame.
   struct Response {
     uint8_t opcode = 0;         // request opcode (response bit stripped)
@@ -43,7 +82,19 @@ class SyncClient {
     std::vector<Status> statuses;       // MULTIGET / WRITEBATCH per element
     std::vector<std::string> values;    // MULTIGET per element
     std::string text;                   // STATS payload or error message
+    uint32_t retry_after_millis = 0;    // error-frame backoff hint
     bool is_error() const { return opcode == kOpError; }
+  };
+
+  // Decoded HEALTH response.
+  struct HealthReport {
+    bool degraded = false;
+    uint32_t retry_after_millis = 0;
+    std::vector<core::HealthStatus> shards;
+    uint64_t shed_frames = 0;
+    uint64_t deadline_expired = 0;
+    uint64_t watchdog_kills = 0;
+    uint64_t degraded_write_rejects = 0;
   };
 
   // -- pipelined surface -----------------------------------------------
@@ -54,6 +105,7 @@ class SyncClient {
   uint32_t QueueMultiGet(std::span<const std::string> keys);
   uint32_t QueueWriteBatch(std::span<const core::KvEntry> entries);
   uint32_t QueueStats();
+  uint32_t QueueHealth();
   Status Flush();  // write the send buffer to the socket
   // Blocks for the next response frame (in server order).
   Status ReadResponse(Response* out);
@@ -68,6 +120,8 @@ class SyncClient {
                     core::BatchWriteResult* out);
   // STATS text, parsed into its `key=value` lines.
   Result<std::map<std::string, uint64_t>> StatsMap();
+  // HEALTH round-trip (never retried: health probes must see the truth).
+  Status Health(HealthReport* out);
 
   // -- raw access for protocol tests -------------------------------------
   Status SendRaw(std::string_view bytes);
@@ -79,13 +133,32 @@ class SyncClient {
 
  private:
   Status FillTo(size_t bytes);  // grow inbuf_ to >= bytes, blocking
+  // Runs queue+flush+read once, or under the retry policy when enabled.
+  // `queue` stages the request frame; `read` consumes its response and
+  // returns the final status. Reconnects between attempts on transport
+  // failure; honors Response::retry_after_millis on retryable responses.
+  Status OneShot(const std::function<void()>& queue, Response* r);
+  void ApplyRecvTimeout();
 
   int fd_ = -1;
   uint32_t tenant_id_ = 0;
+  uint64_t deadline_micros_ = 0;
   uint32_t next_request_id_ = 1;
   std::string outbuf_;
   std::string inbuf_;
   size_t in_consumed_ = 0;
+  int recv_timeout_millis_ = 0;
+  std::string host_;
+  uint16_t port_ = 0;
+
+  fault::NetFaultInjector* net_fault_ = nullptr;
+  std::unique_ptr<fault::NetChannel> channel_;
+
+  bool retry_enabled_ = false;
+  RetryPolicy retry_policy_;
+  uint64_t retry_salt_ = 0;   // decorrelates successive one-shot ops
+  uint64_t retries_ = 0;      // attempts beyond the first, across ops
+  uint64_t give_ups_ = 0;     // ops that exhausted the attempt budget
 };
 
 }  // namespace costperf::server

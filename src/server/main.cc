@@ -6,6 +6,8 @@
 // Prints "listening on <host>:<port>" once ready (scripts parse this to
 // discover a kernel-assigned port), then runs until SIGINT/SIGTERM.
 
+#include <unistd.h>
+
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -20,19 +22,31 @@
 
 namespace {
 
-// Async-signal-safe shutdown latch: the handler only posts.
+// Async-signal-safe shutdown latch: the handler only posts. SIGINT and
+// SIGTERM are handled identically (graceful stop + final stats); a second
+// signal while shutdown is in flight hard-exits, so a wedged drain can
+// still be interrupted from the terminal.
 std::binary_semaphore g_shutdown(0);
+volatile sig_atomic_t g_signal_count = 0;
 
-void HandleSignal(int) { g_shutdown.release(); }
+void HandleSignal(int) {
+  if (++g_signal_count > 1) _exit(130);
+  g_shutdown.release();
+}
 
 void Usage(const char* argv0) {
   fprintf(stderr,
           "usage: %s [--host H] [--port P] [--io-threads N] [--shards N]\n"
           "          [--store memory|caching] [--max-pipeline N]\n"
           "          [--max-value-bytes N] [--cache-budget-mb N]\n"
+          "          [--write-stall-timeout SECS] [--shed-backlog-bytes N]\n"
+          "          [--shed-age-micros N] [--retry-after-millis N]\n"
           "  --port 0 picks a free port (printed on stdout once bound)\n"
           "  --cache-budget-mb sets the per-shard DRAM budget for\n"
-          "  --store caching (0 = unbounded)\n",
+          "  --store caching (0 = unbounded)\n"
+          "  --write-stall-timeout closes connections write-blocked this\n"
+          "  long (0 disables); --shed-backlog-bytes / --shed-age-micros\n"
+          "  bound per-connection queue depth / request age (0 disables)\n",
           argv0);
 }
 
@@ -71,6 +85,17 @@ int main(int argc, char** argv) {
       options.max_value_bytes = static_cast<size_t>(atoll(next("--max-value-bytes")));
     } else if (strcmp(argv[i], "--cache-budget-mb") == 0) {
       cache_budget_mb = atol(next("--cache-budget-mb"));
+    } else if (strcmp(argv[i], "--write-stall-timeout") == 0) {
+      options.write_stall_timeout_seconds = atof(next("--write-stall-timeout"));
+    } else if (strcmp(argv[i], "--shed-backlog-bytes") == 0) {
+      options.shed_backlog_bytes =
+          static_cast<size_t>(atoll(next("--shed-backlog-bytes")));
+    } else if (strcmp(argv[i], "--shed-age-micros") == 0) {
+      options.shed_age_micros =
+          static_cast<uint64_t>(atoll(next("--shed-age-micros")));
+    } else if (strcmp(argv[i], "--retry-after-millis") == 0) {
+      options.retry_after_millis =
+          static_cast<uint32_t>(atoll(next("--retry-after-millis")));
     } else {
       Usage(argv[0]);
       return 2;
@@ -92,6 +117,16 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Handlers go in before Start() so a signal in the bind/listen window is
+  // never lost. sigaction without SA_RESTART: interrupted syscalls return
+  // EINTR, which every blocking loop in the server and client handles.
+  struct sigaction sa;
+  memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = HandleSignal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+
   costperf::server::Server server(store.get(), options);
   costperf::Status s = server.Start();
   if (!s.ok()) {
@@ -101,8 +136,6 @@ int main(int argc, char** argv) {
   printf("listening on %s:%u\n", options.host.c_str(), server.port());
   fflush(stdout);
 
-  signal(SIGINT, HandleSignal);
-  signal(SIGTERM, HandleSignal);
   g_shutdown.acquire();
 
   server.Stop();

@@ -27,7 +27,12 @@ void EncodeHeader(const FrameHeader& h, char* out) {
   EncodeFixed32(out + 4, h.request_id);
   EncodeFixed32(out + 8, h.tenant_id);
   EncodeFixed32(out + 12, h.payload_len);
-  EncodeFixed32(out + 16, MaskCrc(Crc32c(out, 16)));
+  if (h.version >= kWireVersion2) {
+    EncodeFixed64(out + 16, h.deadline_micros);
+    EncodeFixed32(out + 24, MaskCrc(Crc32c(out, 24)));
+  } else {
+    EncodeFixed32(out + 16, MaskCrc(Crc32c(out, 16)));
+  }
 }
 
 DecodeResult DecodeHeader(const char* data, size_t len, FrameHeader* out) {
@@ -41,32 +46,50 @@ DecodeResult DecodeHeader(const char* data, size_t len, FrameHeader* out) {
     return DecodeResult::kBadMagic;
   }
   if (len < kHeaderSize) return DecodeResult::kNeedMore;
-  // Checksum before version: a corrupt header should not be reported as a
-  // version mismatch just because the corruption landed on byte 2.
-  const uint32_t expect = UnmaskCrc(DecodeFixed32(data + 16));
-  if (Crc32c(data, 16) != expect) return DecodeResult::kBadChecksum;
-  if (static_cast<uint8_t>(data[2]) != kWireVersion) {
+  // The version byte selects the header layout (and so where the checksum
+  // lives). An unknown version is rejected before the checksum: there is
+  // no layout under which we could validate it. For known versions the
+  // checksum is still what decides — a corrupt byte 2 that lands on
+  // another *valid* version fails its checksum.
+  const uint8_t version = static_cast<uint8_t>(data[2]);
+  if (version == 0 || version > kMaxWireVersion) {
     return DecodeResult::kBadVersion;
   }
-  out->version = static_cast<uint8_t>(data[2]);
+  const size_t hsize = HeaderSizeForVersion(version);
+  if (len < hsize) return DecodeResult::kNeedMore;
+  const size_t crc_at = hsize - 4;
+  const uint32_t expect = UnmaskCrc(DecodeFixed32(data + crc_at));
+  if (Crc32c(data, crc_at) != expect) return DecodeResult::kBadChecksum;
+  out->version = version;
   out->opcode = static_cast<uint8_t>(data[3]);
   out->request_id = DecodeFixed32(data + 4);
   out->tenant_id = DecodeFixed32(data + 8);
   out->payload_len = DecodeFixed32(data + 12);
+  out->deadline_micros =
+      version >= kWireVersion2 ? DecodeFixed64(data + 16) : 0;
+  out->header_size = hsize;
   if (out->payload_len > kMaxPayloadLen) return DecodeResult::kTooLarge;
   return DecodeResult::kOk;
 }
 
 void AppendFrame(std::string* out, uint8_t opcode, uint32_t request_id,
                  uint32_t tenant_id, std::string_view payload) {
+  AppendFrameDeadline(out, opcode, request_id, tenant_id, 0, payload);
+}
+
+void AppendFrameDeadline(std::string* out, uint8_t opcode,
+                         uint32_t request_id, uint32_t tenant_id,
+                         uint64_t deadline_micros, std::string_view payload) {
   FrameHeader h;
+  h.version = deadline_micros != 0 ? kWireVersion2 : kWireVersion;
   h.opcode = opcode;
   h.request_id = request_id;
   h.tenant_id = tenant_id;
   h.payload_len = static_cast<uint32_t>(payload.size());
-  char hdr[kHeaderSize];
+  h.deadline_micros = deadline_micros;
+  char hdr[kHeaderSizeV2];
   EncodeHeader(h, hdr);
-  out->append(hdr, kHeaderSize);
+  out->append(hdr, HeaderSizeForVersion(h.version));
   out->append(payload.data(), payload.size());
 }
 
@@ -103,7 +126,7 @@ uint8_t EncodeStatusCode(StatusCode code) {
 }
 
 StatusCode DecodeStatusCode(uint8_t b) {
-  if (b > static_cast<uint8_t>(StatusCode::kInternal)) {
+  if (b > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
     return StatusCode::kInternal;
   }
   return static_cast<StatusCode>(b);

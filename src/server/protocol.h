@@ -11,18 +11,30 @@ namespace costperf::server {
 
 // Wire format: length-prefixed frames, pipelined over a byte stream.
 //
+// Version 1 header (20 bytes):
 //   [0..1]   magic 0xCF 0x5E
-//   [2]      version (kWireVersion)
+//   [2]      version (1)
 //   [3]      opcode; responses set kResponseBit, errors use kOpError
 //   [4..7]   request_id   (LE u32, echoed verbatim in the response)
 //   [8..11]  tenant_id    (LE u32, names the billing/stats bucket)
 //   [12..15] payload_len  (LE u32, bytes following the header)
 //   [16..19] MaskCrc(Crc32c(header bytes [0..15]))
 //
-// The checksum covers only the header: it is what lets the server trust
-// payload_len before committing buffer space, so a flipped length byte is
-// caught before it can be mistaken for a 4 GB frame. Payload integrity is
-// the transport's job (TCP); the header checksum is framing armor.
+// Version 2 header (28 bytes) extends v1 with a request deadline:
+//   [0..15]  as v1, with version byte 2
+//   [16..23] deadline_micros (LE u64): the request's *relative* budget in
+//            microseconds, measured from server receipt. 0 = no deadline.
+//            A request whose budget expires before (or while) its run
+//            executes is answered kDeadlineExceeded without store work.
+//   [24..27] MaskCrc(Crc32c(header bytes [0..23]))
+//
+// Both versions are accepted on the same connection, frame by frame; the
+// version byte selects the header size. Responses are always emitted as v1
+// (deadlines are a request property). The checksum covers only the header:
+// it is what lets the server trust payload_len before committing buffer
+// space, so a flipped length byte is caught before it can be mistaken for
+// a 4 GB frame. Payload integrity is the transport's job (TCP); the header
+// checksum is framing armor.
 //
 // Request payloads:
 //   GET        key bytes (the whole payload is the key)
@@ -31,6 +43,7 @@ namespace costperf::server {
 //   MULTIGET   u32 count, then count x (u32 len, key)
 //   WRITEBATCH u32 count, then count x (u32 klen, key, u32 vlen, value)
 //   STATS      empty
+//   HEALTH     empty
 //
 // Response payloads (opcode | kResponseBit):
 //   GET        u8 status, value bytes when status==kOk
@@ -38,19 +51,29 @@ namespace costperf::server {
 //   MULTIGET   u32 count, then count x (u8 status, u32 vlen, value)
 //   WRITEBATCH u32 count, then count x u8 status
 //   STATS      text: one `key=value` per line
-//   kOpError   u8 status, human-readable message (sent when the request
+//   HEALTH     u8 overall_health (0 healthy, 1 degraded), u32
+//              retry_after_millis hint (nonzero when writes are being
+//              rejected), u32 shard_count, shard_count x u8 per-shard
+//              health, then u64 shed_frames, u64 deadline_expired,
+//              u64 watchdog_kills, u64 degraded_write_rejects
+//   kOpError   u8 status, u32 retry_after_millis (0 when retrying is
+//              pointless), human-readable message (sent when the request
 //              could not be executed at all: unknown opcode, admission
-//              pushback, malformed payload)
+//              pushback, load shed, expired deadline, malformed payload,
+//              degraded-store write rejection)
 //
 // A frame the decoder cannot trust (bad magic, bad checksum, unsupported
 // version, oversized length) is not answerable — the stream offset itself
 // is in doubt — so the server responds with a final error frame
 // (request_id 0) and closes the connection.
 
-inline constexpr size_t kHeaderSize = 20;
+inline constexpr size_t kHeaderSize = 20;    // v1
+inline constexpr size_t kHeaderSizeV2 = 28;  // v2 (adds u64 deadline + crc)
 inline constexpr uint8_t kMagic0 = 0xCF;
 inline constexpr uint8_t kMagic1 = 0x5E;
 inline constexpr uint8_t kWireVersion = 1;
+inline constexpr uint8_t kWireVersion2 = 2;
+inline constexpr uint8_t kMaxWireVersion = kWireVersion2;
 inline constexpr uint8_t kResponseBit = 0x80;
 inline constexpr uint32_t kMaxPayloadLen = 8u << 20;  // 8 MiB per frame
 
@@ -61,6 +84,7 @@ enum Opcode : uint8_t {
   kOpMultiGet = 0x04,
   kOpWriteBatch = 0x05,
   kOpStats = 0x06,
+  kOpHealth = 0x07,
   kOpError = 0x7F,
 };
 
@@ -70,11 +94,21 @@ struct FrameHeader {
   uint32_t request_id = 0;
   uint32_t tenant_id = 0;
   uint32_t payload_len = 0;
+  // v2 only; 0 for v1 frames (and for v2 frames with no deadline).
+  uint64_t deadline_micros = 0;
+  // Filled by DecodeHeader: bytes the decoded header occupied.
+  size_t header_size = kHeaderSize;
 };
+
+// Header size implied by a version byte (v2 and above use the v2 layout;
+// EncodeHeader writes this many bytes).
+inline constexpr size_t HeaderSizeForVersion(uint8_t version) {
+  return version >= kWireVersion2 ? kHeaderSizeV2 : kHeaderSize;
+}
 
 enum class DecodeResult {
   kOk,           // *out filled; header + payload_len bytes may follow
-  kNeedMore,     // fewer than kHeaderSize bytes available
+  kNeedMore,     // not enough bytes yet for this frame's header
   kBadMagic,     // stream is not speaking this protocol (or lost sync)
   kBadVersion,   // version this build does not understand
   kBadChecksum,  // header corrupted in flight
@@ -83,15 +117,25 @@ enum class DecodeResult {
 
 const char* DecodeResultName(DecodeResult r);
 
-// Writes exactly kHeaderSize bytes (checksum included) to `out`.
+// Writes exactly HeaderSizeForVersion(h.version) bytes (checksum included)
+// to `out`.
 void EncodeHeader(const FrameHeader& h, char* out);
 
-// Validates magic/version/checksum/length. Does not consume input.
+// Validates magic/version/checksum/length. Does not consume input. On kOk,
+// out->header_size says how many bytes the header used (20 for v1, 28 for
+// v2) and out->deadline_micros carries the v2 deadline (0 for v1).
 DecodeResult DecodeHeader(const char* data, size_t len, FrameHeader* out);
 
-// Appends a complete frame (header + payload) to `out`.
+// Appends a complete v1 frame (header + payload) to `out`.
 void AppendFrame(std::string* out, uint8_t opcode, uint32_t request_id,
                  uint32_t tenant_id, std::string_view payload);
+
+// Appends a frame carrying a deadline: emits a v2 header when
+// deadline_micros != 0, a plain v1 frame otherwise (so deadline-free
+// traffic stays byte-identical to v1 clients).
+void AppendFrameDeadline(std::string* out, uint8_t opcode,
+                         uint32_t request_id, uint32_t tenant_id,
+                         uint64_t deadline_micros, std::string_view payload);
 
 // -- payload helpers ---------------------------------------------------------
 

@@ -12,8 +12,10 @@
 #include <cstring>
 #include <span>
 #include <unordered_map>
+#include <utility>
 
 #include "common/coding.h"
+#include "fault/net_fault.h"
 
 namespace costperf::server {
 
@@ -28,6 +30,8 @@ constexpr size_t kReadChunk = 64 * 1024;
 // wire cost per element, so this also follows from kMaxPayloadLen, but an
 // explicit cap keeps the arithmetic obvious.
 constexpr uint32_t kMaxBatchElements = 1u << 20;
+// "No shed boundary set" sentinel for Conn::shed_boundary.
+constexpr uint64_t kNoShed = ~uint64_t{0};
 }  // namespace
 
 // Per-connection state. A connection lives on exactly one I/O thread, so
@@ -42,6 +46,25 @@ struct Server::Conn {
   size_t in_consumed = 0;
   std::string out;         // [out_sent, out.size()) not yet written
   size_t out_sent = 0;
+
+  // Optional fault-injection wrapper around read()/send(); null in
+  // production (ServerOptions::net_fault unset).
+  std::unique_ptr<fault::NetChannel> channel;
+
+  // Stream offset (bytes ever received) of in[0]; lets shed_boundary
+  // survive buffer compaction.
+  uint64_t stream_base = 0;
+  // Queue-depth shed: frames whose first byte lies at or past this stream
+  // offset arrived into an over-budget backlog and are answered
+  // kUnavailable until the backlog drains. kNoShed = not shedding.
+  uint64_t shed_boundary = kNoShed;
+  // When the bytes now buffered were received (micros); deadline budgets
+  // are measured from here.
+  uint64_t recv_micros = 0;
+  // Wall time (seconds) of the last write progress while output remains
+  // unsent; 0 = not write-blocked. The watchdog kills connections blocked
+  // past ServerOptions::write_stall_timeout_seconds.
+  double blocked_since = 0;
 
   // Cached tenant-counters pointer; refreshed when tenant_id changes so
   // the registry mutex is off the per-frame path.
@@ -79,6 +102,8 @@ struct Server::IoThread {
     uint32_t tenant_id;
     size_t start;
     size_t count;
+    uint64_t expire_micros;  // absolute deadline; 0 = none
+    bool expired;
   };
   std::vector<std::string> read_keys;  // slots reused across windows
   size_t read_used = 0;
@@ -91,6 +116,8 @@ struct Server::IoThread {
     uint32_t tenant_id;
     size_t start;
     size_t count;
+    uint64_t expire_micros;  // absolute deadline; 0 = none
+    bool expired;
   };
   std::vector<core::KvEntry> write_entries;  // slots reused across windows
   size_t write_used = 0;
@@ -98,6 +125,11 @@ struct Server::IoThread {
   core::BatchWriteResult write_result;
 
   std::string payload_scratch;
+
+  // Watchdog sweep state: next sweep time and victim scratch (reused so a
+  // sweep does not allocate in steady state).
+  double next_watchdog = 0;
+  std::vector<int> watchdog_victims;
 
   std::string* NextReadKey() {
     if (read_keys.size() <= read_used) read_keys.emplace_back();
@@ -266,6 +298,7 @@ void Server::IoLoop(IoThread* t) {
                       events[i].events);
     }
     MaybePollStoreStats();
+    WatchdogSweep(t);
   }
   // Graceful-ish teardown: one best-effort flush per connection, then
   // close everything this thread owns.
@@ -294,10 +327,7 @@ void Server::AcceptReady(IoThread* t) {
                     io_threads_.size();
     IoThread* dst = io_threads_[target].get();
     if (dst == t) {
-      auto conn = std::make_unique<Conn>();
-      conn->fd = fd;
-      conn->owner = t;
-      conn->interest = EPOLLIN;
+      auto conn = MakeConn(t, fd);
       epoll_event ev{};
       ev.events = conn->interest;
       ev.data.ptr = conn.get();
@@ -322,16 +352,48 @@ void Server::AdoptPending(IoThread* t) {
     fds.swap(t->pending);
   }
   for (int fd : fds) {
-    auto conn = std::make_unique<Conn>();
-    conn->fd = fd;
-    conn->owner = t;
-    conn->interest = EPOLLIN;
+    auto conn = MakeConn(t, fd);
     epoll_event ev{};
     ev.events = conn->interest;
     ev.data.ptr = conn.get();
     epoll_ctl(t->epoll_fd, EPOLL_CTL_ADD, fd, &ev);
     t->conns.emplace(fd, std::move(conn));
   }
+}
+
+std::unique_ptr<Server::Conn> Server::MakeConn(IoThread* t, int fd) {
+  auto conn = std::make_unique<Conn>();
+  conn->fd = fd;
+  conn->owner = t;
+  conn->interest = EPOLLIN;
+  // Channels are created in adoption order on each thread; with one I/O
+  // thread (the chaos-test configuration) that is exactly accept order, so
+  // scripted per-connection plans line up deterministically.
+  if (options_.net_fault != nullptr) {
+    conn->channel = options_.net_fault->NewChannel();
+  }
+  return conn;
+}
+
+void Server::WatchdogSweep(IoThread* t) {
+  if (options_.write_stall_timeout_seconds <= 0) return;
+  const double now = clock_->NowSeconds();
+  if (now < t->next_watchdog) return;
+  t->next_watchdog = now + options_.watchdog_poll_seconds;
+  for (auto& [fd, conn] : t->conns) {
+    if (conn->unsent() > 0 && conn->blocked_since > 0 &&
+        now - conn->blocked_since > options_.write_stall_timeout_seconds) {
+      t->watchdog_victims.push_back(fd);
+    }
+  }
+  for (int fd : t->watchdog_victims) {
+    auto it = t->conns.find(fd);
+    if (it == t->conns.end()) continue;
+    thread_counters_[t->index]->watchdog_kills.fetch_add(
+        1, std::memory_order_relaxed);
+    CloseConn(t, it->second.get());
+  }
+  t->watchdog_victims.clear();
 }
 
 void Server::HandleConnEvent(IoThread* t, Conn* c, uint32_t events) {
@@ -366,12 +428,17 @@ void Server::HandleConnEvent(IoThread* t, Conn* c, uint32_t events) {
 
 bool Server::DrainAndProcess(IoThread* t, Conn* c) {
   bool peer_closed = false;
+  bool got_bytes = false;
   while (true) {
     size_t old_size = c->in.size();
     c->in.resize(old_size + kReadChunk);
-    ssize_t r = read(c->fd, c->in.data() + old_size, kReadChunk);
+    ssize_t r = c->channel != nullptr
+                    ? c->channel->Read(c->fd, c->in.data() + old_size,
+                                       kReadChunk)
+                    : read(c->fd, c->in.data() + old_size, kReadChunk);
     if (r > 0) {
       c->in.resize(old_size + static_cast<size_t>(r));
+      got_bytes = true;
       thread_counters_[t->index]->bytes_in.fetch_add(
           static_cast<uint64_t>(r), std::memory_order_relaxed);
       if (static_cast<size_t>(r) < kReadChunk) break;
@@ -385,6 +452,20 @@ bool Server::DrainAndProcess(IoThread* t, Conn* c) {
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     if (errno == EINTR) continue;
     return false;  // hard socket error
+  }
+  if (got_bytes) {
+    // Deadline budgets run from receipt. Frames parked across passes (by
+    // backpressure or the window cap) keep their older stamp, so age-based
+    // shedding sees them grow stale.
+    c->recv_micros = NowMicros();
+    // Queue-depth shed: everything past the budget point arrived into an
+    // over-full backlog; answer it kUnavailable until the queue empties.
+    const size_t backlog = c->in.size() - c->in_consumed;
+    if (options_.shed_backlog_bytes != 0 && c->shed_boundary == kNoShed &&
+        backlog > options_.shed_backlog_bytes) {
+      c->shed_boundary =
+          c->stream_base + c->in_consumed + options_.shed_backlog_bytes;
+    }
   }
 
   // Each ProcessFrames pass handles up to max_pipeline_frames; loop until
@@ -444,15 +525,53 @@ bool Server::ProcessFrames(IoThread* t, Conn* c) {
       fatal = true;
       break;
     }
-    if (avail < kHeaderSize + h.payload_len) break;  // wait for payload
-    std::string_view payload(base + kHeaderSize, h.payload_len);
-    c->in_consumed += kHeaderSize + h.payload_len;
+    if (avail < h.header_size + h.payload_len) break;  // wait for payload
+    const uint64_t frame_off = c->stream_base + c->in_consumed;
+    std::string_view payload(base + h.header_size, h.payload_len);
+    c->in_consumed += h.header_size + h.payload_len;
     ++frames;
     tc.frames_in.fetch_add(1, std::memory_order_relaxed);
     TenantCounters* tenant = TenantFor(c, h.tenant_id);
     tenant->requests.fetch_add(1, std::memory_order_relaxed);
-    tenant->bytes_in.fetch_add(kHeaderSize + h.payload_len,
+    tenant->bytes_in.fetch_add(h.header_size + h.payload_len,
                                std::memory_order_relaxed);
+
+    // Shed/deadline gate — decided before any staging or store work.
+    // flush_runs() first keeps responses in request order: staged runs
+    // answer before the error frame does.
+    const uint64_t expire_micros =
+        h.deadline_micros != 0 ? c->recv_micros + h.deadline_micros : 0;
+    if (frame_off >= c->shed_boundary) {  // kNoShed compares as "never"
+      flush_runs();
+      tc.shed_frames.fetch_add(1, std::memory_order_relaxed);
+      tenant->rejected.fetch_add(1, std::memory_order_relaxed);
+      EmitError(c, h.request_id, h.tenant_id, StatusCode::kUnavailable,
+                "input backlog over budget; request shed",
+                options_.retry_after_millis);
+      continue;
+    }
+    if (expire_micros != 0 || options_.shed_age_micros != 0) {
+      const uint64_t now_us = NowMicros();
+      if (expire_micros != 0 && now_us > expire_micros) {
+        flush_runs();
+        tc.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+        tenant->errors.fetch_add(1, std::memory_order_relaxed);
+        EmitError(c, h.request_id, h.tenant_id,
+                  StatusCode::kDeadlineExceeded,
+                  "deadline expired before execution");
+        continue;
+      }
+      if (options_.shed_age_micros != 0 &&
+          now_us - c->recv_micros > options_.shed_age_micros) {
+        flush_runs();
+        tc.shed_frames.fetch_add(1, std::memory_order_relaxed);
+        tenant->rejected.fetch_add(1, std::memory_order_relaxed);
+        EmitError(c, h.request_id, h.tenant_id, StatusCode::kUnavailable,
+                  "request aged out in queue; shed",
+                  options_.retry_after_millis);
+        continue;
+      }
+    }
 
     switch (h.opcode) {
       case kOpGet: {
@@ -460,7 +579,8 @@ bool Server::ProcessFrames(IoThread* t, Conn* c) {
         t->open_run = IoThread::Run::kRead;
         const size_t start = t->read_used;
         t->NextReadKey()->assign(payload.data(), payload.size());
-        t->read_segs.push_back({h.opcode, h.request_id, h.tenant_id, start, 1});
+        t->read_segs.push_back({h.opcode, h.request_id, h.tenant_id, start, 1,
+                                expire_micros, false});
         tenant->read_keys.fetch_add(1, std::memory_order_relaxed);
         break;
       }
@@ -501,7 +621,8 @@ bool Server::ProcessFrames(IoThread* t, Conn* c) {
           break;
         }
         t->read_segs.push_back(
-            {h.opcode, h.request_id, h.tenant_id, start, got});
+            {h.opcode, h.request_id, h.tenant_id, start, got, expire_micros,
+             false});
         tenant->read_keys.fetch_add(got, std::memory_order_relaxed);
         break;
       }
@@ -519,7 +640,8 @@ bool Server::ProcessFrames(IoThread* t, Conn* c) {
           tenant->rejected.fetch_add(1, std::memory_order_relaxed);
           EmitError(c, h.request_id, h.tenant_id,
                     StatusCode::kResourceExhausted,
-                    "tenant over fair share during write pushback");
+                    "tenant over fair share during write pushback",
+                    options_.retry_after_millis);
           break;
         }
         const size_t start = t->write_used;
@@ -562,7 +684,8 @@ bool Server::ProcessFrames(IoThread* t, Conn* c) {
           break;
         }
         t->write_segs.push_back(
-            {h.opcode, h.request_id, h.tenant_id, start, got});
+            {h.opcode, h.request_id, h.tenant_id, start, got, expire_micros,
+             false});
         tenant->write_keys.fetch_add(got, std::memory_order_relaxed);
         break;
       }
@@ -575,10 +698,26 @@ bool Server::ProcessFrames(IoThread* t, Conn* c) {
           tenant->rejected.fetch_add(1, std::memory_order_relaxed);
           EmitError(c, h.request_id, h.tenant_id,
                     StatusCode::kResourceExhausted,
-                    "tenant over fair share during write pushback");
+                    "tenant over fair share during write pushback",
+                    options_.retry_after_millis);
           break;
         }
         Status s = store_->Delete(Slice(payload.data(), payload.size()));
+        if (s.IsIoError()) {
+          // A write-path IoError may mean the shard just degraded; re-read
+          // health now so this very response reflects it.
+          store_degraded_.store(
+              store_->Stats().health == core::HealthStatus::kDegraded,
+              std::memory_order_relaxed);
+          if (store_degraded_.load(std::memory_order_relaxed)) {
+            tc.degraded_write_rejects.fetch_add(1, std::memory_order_relaxed);
+            tenant->rejected.fetch_add(1, std::memory_order_relaxed);
+            EmitError(c, h.request_id, h.tenant_id, StatusCode::kUnavailable,
+                      "shard degraded; writes unavailable",
+                      options_.retry_after_millis);
+            break;
+          }
+        }
         t->payload_scratch.clear();
         t->payload_scratch.push_back(
             static_cast<char>(EncodeStatusCode(s.code())));
@@ -600,6 +739,11 @@ bool Server::ProcessFrames(IoThread* t, Conn* c) {
                                     std::memory_order_relaxed);
         break;
       }
+      case kOpHealth: {
+        flush_runs();
+        EmitHealth(t, c, h.request_id, h.tenant_id);
+        break;
+      }
       default: {
         flush_runs();
         tc.protocol_errors.fetch_add(1, std::memory_order_relaxed);
@@ -614,11 +758,16 @@ bool Server::ProcessFrames(IoThread* t, Conn* c) {
   if (frames > 0) tc.windows.fetch_add(1, std::memory_order_relaxed);
 
   // Reclaim consumed input. Keeping a bounded prefix avoids memmoving the
-  // tail on every pass when a frame straddles reads.
+  // tail on every pass when a frame straddles reads. stream_base tracks
+  // the bytes dropped so shed_boundary keeps meaning the same stream
+  // position across compactions.
   if (c->in_consumed == c->in.size()) {
+    c->stream_base += c->in.size();
     c->in.clear();
     c->in_consumed = 0;
+    c->shed_boundary = kNoShed;  // backlog fully drained; stop shedding
   } else if (c->in_consumed >= kReadChunk) {
+    c->stream_base += c->in_consumed;
     c->in.erase(0, c->in_consumed);
     c->in_consumed = 0;
   }
@@ -631,13 +780,50 @@ void Server::ExecuteReadRun(IoThread* t, Conn* c) {
     return;
   }
   ThreadCounters& tc = *thread_counters_[t->index];
-  core::ReadOptions ro;
-  ro.max_value_bytes = options_.max_value_bytes;
-  std::span<const std::string> keys(t->read_keys.data(), t->read_used);
-  (void)store_->MultiGet(keys, ro, &t->read_result);
-  tc.read_runs.fetch_add(1, std::memory_order_relaxed);
+
+  // Deadlines are rechecked at execution time: a store stall earlier in
+  // this window may have burned the budget since staging. Expired segments
+  // are compacted out of the key span (swap keeps slot buffers alive) so
+  // the store never sees their keys. Deadline-free windows skip all of it.
+  bool any_deadline = false;
+  for (const auto& seg : t->read_segs) {
+    any_deadline = any_deadline || seg.expire_micros != 0;
+  }
+  size_t live = t->read_used;
+  if (any_deadline) {
+    const uint64_t now_us = NowMicros();
+    size_t w = 0;
+    for (auto& seg : t->read_segs) {
+      if (seg.expire_micros != 0 && now_us > seg.expire_micros) {
+        seg.expired = true;
+        continue;
+      }
+      const size_t new_start = w;
+      for (size_t i = seg.start; i < seg.start + seg.count; ++i, ++w) {
+        if (w != i) std::swap(t->read_keys[w], t->read_keys[i]);
+      }
+      seg.start = new_start;
+    }
+    live = w;
+  }
+  if (live > 0) {
+    core::ReadOptions ro;
+    ro.max_value_bytes = options_.max_value_bytes;
+    std::span<const std::string> keys(t->read_keys.data(), live);
+    (void)store_->MultiGet(keys, ro, &t->read_result);
+    tc.read_runs.fetch_add(1, std::memory_order_relaxed);
+  }
 
   for (const auto& seg : t->read_segs) {
+    if (seg.expired) {
+      tc.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+      TenantFor(c, seg.tenant_id)
+          ->errors.fetch_add(1, std::memory_order_relaxed);
+      EmitError(c, seg.request_id, seg.tenant_id,
+                StatusCode::kDeadlineExceeded,
+                "deadline expired before read run");
+      continue;
+    }
     std::string& p = t->payload_scratch;
     p.clear();
     if (seg.op == kOpGet) {
@@ -673,22 +859,91 @@ void Server::ExecuteWriteRun(IoThread* t, Conn* c) {
     return;
   }
   ThreadCounters& tc = *thread_counters_[t->index];
-  std::span<const core::KvEntry> entries(t->write_entries.data(),
-                                         t->write_used);
-  (void)store_->WriteBatch(entries, core::WriteOptions(), &t->write_result);
-  tc.write_runs.fetch_add(1, std::memory_order_relaxed);
+
+  // Same execution-time deadline recheck as the read run.
+  bool any_deadline = false;
+  for (const auto& seg : t->write_segs) {
+    any_deadline = any_deadline || seg.expire_micros != 0;
+  }
+  size_t live = t->write_used;
+  if (any_deadline) {
+    const uint64_t now_us = NowMicros();
+    size_t w = 0;
+    for (auto& seg : t->write_segs) {
+      if (seg.expire_micros != 0 && now_us > seg.expire_micros) {
+        seg.expired = true;
+        continue;
+      }
+      const size_t new_start = w;
+      for (size_t i = seg.start; i < seg.start + seg.count; ++i, ++w) {
+        if (w != i) std::swap(t->write_entries[w], t->write_entries[i]);
+      }
+      seg.start = new_start;
+    }
+    live = w;
+  }
+  bool any_io_error = false;
+  if (live > 0) {
+    std::span<const core::KvEntry> entries(t->write_entries.data(), live);
+    (void)store_->WriteBatch(entries, core::WriteOptions(), &t->write_result);
+    tc.write_runs.fetch_add(1, std::memory_order_relaxed);
+    for (size_t i = 0; i < live; ++i) {
+      any_io_error = any_io_error || t->write_result.statuses[i].IsIoError();
+    }
+  }
+  if (any_io_error) {
+    // The store may have just crossed into degraded; re-read health now so
+    // these responses (and every later write) reflect it deterministically
+    // instead of waiting out the stats-poll interval.
+    store_degraded_.store(
+        store_->Stats().health == core::HealthStatus::kDegraded,
+        std::memory_order_relaxed);
+  }
+  const bool degraded = store_degraded_.load(std::memory_order_relaxed);
 
   for (const auto& seg : t->write_segs) {
+    if (seg.expired) {
+      tc.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+      TenantFor(c, seg.tenant_id)
+          ->errors.fetch_add(1, std::memory_order_relaxed);
+      EmitError(c, seg.request_id, seg.tenant_id,
+                StatusCode::kDeadlineExceeded,
+                "deadline expired before write run");
+      continue;
+    }
     std::string& p = t->payload_scratch;
     p.clear();
     if (seg.op == kOpPut) {
       const Status& s = t->write_result.statuses[seg.start];
+      if (degraded && s.IsIoError()) {
+        // Degradation contract: the store stays read-only and keeps
+        // serving GETs; writes bounce as retryable kUnavailable with a
+        // backoff hint rather than surfacing the shard's IoError.
+        tc.degraded_write_rejects.fetch_add(1, std::memory_order_relaxed);
+        TenantFor(c, seg.tenant_id)
+            ->rejected.fetch_add(1, std::memory_order_relaxed);
+        EmitError(c, seg.request_id, seg.tenant_id, StatusCode::kUnavailable,
+                  "shard degraded; writes unavailable",
+                  options_.retry_after_millis);
+        continue;
+      }
       p.push_back(static_cast<char>(EncodeStatusCode(s.code())));
     } else {
       PutFixed32(&p, static_cast<uint32_t>(seg.count));
+      bool seg_rejected = false;
       for (size_t i = 0; i < seg.count; ++i) {
-        p.push_back(static_cast<char>(
-            EncodeStatusCode(t->write_result.statuses[seg.start + i].code())));
+        const Status& s = t->write_result.statuses[seg.start + i];
+        StatusCode code = s.code();
+        if (degraded && s.IsIoError()) {
+          code = StatusCode::kUnavailable;
+          seg_rejected = true;
+        }
+        p.push_back(static_cast<char>(EncodeStatusCode(code)));
+      }
+      if (seg_rejected) {
+        tc.degraded_write_rejects.fetch_add(1, std::memory_order_relaxed);
+        TenantFor(c, seg.tenant_id)
+            ->rejected.fetch_add(1, std::memory_order_relaxed);
       }
     }
     AppendFrame(&c->out, seg.op | kResponseBit, seg.request_id, seg.tenant_id,
@@ -712,23 +967,63 @@ TenantCounters* Server::TenantFor(Conn* c, uint32_t tenant_id) {
 }
 
 void Server::EmitError(Conn* c, uint32_t request_id, uint32_t tenant_id,
-                       StatusCode code, std::string_view message) {
+                       StatusCode code, std::string_view message,
+                       uint32_t retry_after_millis) {
   std::string p;
   p.push_back(static_cast<char>(EncodeStatusCode(code)));
+  PutFixed32(&p, retry_after_millis);
   p.append(message);
   AppendFrame(&c->out, kOpError | kResponseBit, request_id, tenant_id, p);
   thread_counters_[c->owner->index]->frames_out.fetch_add(
       1, std::memory_order_relaxed);
 }
 
+void Server::EmitHealth(IoThread* t, Conn* c, uint32_t request_id,
+                        uint32_t tenant_id) {
+  // HEALTH reads live per-shard health (not the cached poll) so a client
+  // probing after a fault sees the truth immediately; the cached flag is
+  // refreshed as a side effect.
+  const std::vector<core::HealthStatus> shards = store_->PerShardHealth();
+  bool degraded = false;
+  for (core::HealthStatus h : shards) {
+    degraded = degraded || h == core::HealthStatus::kDegraded;
+  }
+  store_degraded_.store(degraded, std::memory_order_relaxed);
+
+  std::string& p = t->payload_scratch;
+  p.clear();
+  p.push_back(degraded ? 1 : 0);
+  PutFixed32(&p, degraded ? options_.retry_after_millis : 0);
+  PutFixed32(&p, static_cast<uint32_t>(shards.size()));
+  for (core::HealthStatus h : shards) {
+    p.push_back(h == core::HealthStatus::kDegraded ? 1 : 0);
+  }
+  const ServerCounters agg = counters();
+  PutFixed64(&p, agg.shed_frames);
+  PutFixed64(&p, agg.deadline_expired);
+  PutFixed64(&p, agg.watchdog_kills);
+  PutFixed64(&p, agg.degraded_write_rejects);
+  AppendFrame(&c->out, kOpHealth | kResponseBit, request_id, tenant_id, p);
+  ThreadCounters& tc = *thread_counters_[t->index];
+  tc.frames_out.fetch_add(1, std::memory_order_relaxed);
+  TenantFor(c, tenant_id)
+      ->bytes_out.fetch_add(kHeaderSize + p.size(), std::memory_order_relaxed);
+}
+
 bool Server::FlushOutput(IoThread* t, Conn* c) {
+  bool progressed = false;
   while (c->out_sent < c->out.size()) {
     // MSG_NOSIGNAL: a peer that closed its read side must surface as EPIPE,
     // not kill the process with SIGPIPE.
-    ssize_t w = send(c->fd, c->out.data() + c->out_sent,
-                     c->out.size() - c->out_sent, MSG_NOSIGNAL);
+    ssize_t w =
+        c->channel != nullptr
+            ? c->channel->Send(c->fd, c->out.data() + c->out_sent,
+                               c->out.size() - c->out_sent, MSG_NOSIGNAL)
+            : send(c->fd, c->out.data() + c->out_sent,
+                   c->out.size() - c->out_sent, MSG_NOSIGNAL);
     if (w > 0) {
       c->out_sent += static_cast<size_t>(w);
+      progressed = true;
       thread_counters_[t->index]->bytes_out.fetch_add(
           static_cast<uint64_t>(w), std::memory_order_relaxed);
       continue;
@@ -736,6 +1031,15 @@ bool Server::FlushOutput(IoThread* t, Conn* c) {
     if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     if (w < 0 && errno == EINTR) continue;
     return false;
+  }
+  // Watchdog bookkeeping: blocked_since is the time of the last write
+  // progress while output remains unsent (0 = not blocked). A connection
+  // that never drains — the slowloris shape — keeps one timestamp and
+  // ages out; one that trickles keeps resetting and survives.
+  if (c->unsent() == 0) {
+    c->blocked_since = 0;
+  } else if (progressed || c->blocked_since == 0) {
+    c->blocked_since = clock_->NowSeconds();
   }
   if (c->out_sent == c->out.size()) {
     c->out.clear();
@@ -777,7 +1081,10 @@ void Server::MaybePollStoreStats() {
     if (now - last_stats_poll_ < options_.stats_poll_seconds) return;
     last_stats_poll_ = now;
   }
-  admission_.ObserveStoreStats(store_->Stats());
+  const core::KvStoreStats st = store_->Stats();
+  admission_.ObserveStoreStats(st);
+  store_degraded_.store(st.health == core::HealthStatus::kDegraded,
+                        std::memory_order_relaxed);
 }
 
 ServerCounters Server::counters() const {
@@ -795,6 +1102,12 @@ ServerCounters Server::counters() const {
     out.windows += tc->windows.load(std::memory_order_relaxed);
     out.read_runs += tc->read_runs.load(std::memory_order_relaxed);
     out.write_runs += tc->write_runs.load(std::memory_order_relaxed);
+    out.shed_frames += tc->shed_frames.load(std::memory_order_relaxed);
+    out.deadline_expired +=
+        tc->deadline_expired.load(std::memory_order_relaxed);
+    out.watchdog_kills += tc->watchdog_kills.load(std::memory_order_relaxed);
+    out.degraded_write_rejects +=
+        tc->degraded_write_rejects.load(std::memory_order_relaxed);
   }
   return out;
 }
@@ -818,10 +1131,15 @@ std::string Server::StatsText() const {
   add("server.windows", c.windows);
   add("server.read_runs", c.read_runs);
   add("server.write_runs", c.write_runs);
+  add("server.shed_frames", c.shed_frames);
+  add("server.deadline_expired", c.deadline_expired);
+  add("server.watchdog_kills", c.watchdog_kills);
+  add("server.degraded_write_rejects", c.degraded_write_rejects);
   add("admission.pushback_windows", admission_.pushback_windows());
   add("admission.rejected", admission_.rejected());
 
   const core::KvStoreStats st = store_->Stats();
+  add("store.health_degraded", st.health == core::HealthStatus::kDegraded);
   add("store.reads", st.reads);
   add("store.writes", st.writes);
   add("store.hits", st.hits);

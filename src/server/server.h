@@ -17,6 +17,10 @@
 #include "server/admission.h"
 #include "server/protocol.h"
 
+namespace costperf::fault {
+class NetFaultInjector;
+}  // namespace costperf::fault
+
 namespace costperf::server {
 
 struct ServerOptions {
@@ -39,6 +43,32 @@ struct ServerOptions {
   // spraying ids cannot grow the registry (or STATS output) unboundedly.
   size_t max_tracked_tenants = 1024;
   AdmissionOptions admission;
+
+  // --- robustness / degradation knobs -------------------------------------
+  // Slow-connection watchdog: a connection whose unsent output makes no
+  // write progress for this long is closed (the slowloris hole the net
+  // fault injector proves exists). <= 0 disables the watchdog.
+  double write_stall_timeout_seconds = 5.0;
+  // How often each I/O thread sweeps its connections for stalls.
+  double watchdog_poll_seconds = 0.25;
+  // Load shedding by queue depth: once a connection's unparsed input
+  // backlog exceeds this many bytes, every frame that arrived past the
+  // budget point is answered kUnavailable (+ retry_after) instead of being
+  // staged, until the backlog fully drains. Bounds the work a client can
+  // buy by blasting a pipelined firehose. 0 disables.
+  size_t shed_backlog_bytes = 4u << 20;
+  // Load shedding by age: a frame that sat buffered longer than this
+  // before staging is shed the same way (its issuer has likely timed out).
+  // 0 disables.
+  uint64_t shed_age_micros = 0;
+  // Hint stamped on kUnavailable / kResourceExhausted error frames so
+  // clients back off instead of hammering a shedding or degraded server.
+  uint32_t retry_after_millis = 50;
+  // Optional scripted network fault injection (tests/chaos lane). When
+  // null — the production configuration — reads and writes are the raw
+  // syscalls; when set, each accepted connection is wrapped in a
+  // NetChannel from this injector. Must outlive the server.
+  fault::NetFaultInjector* net_fault = nullptr;
 };
 
 // Global wire/server counters (monotonic; snapshot via Server::counters()).
@@ -53,6 +83,10 @@ struct ServerCounters {
   uint64_t windows = 0;          // event-loop passes that executed frames
   uint64_t read_runs = 0;        // MultiGet calls issued for read windows
   uint64_t write_runs = 0;       // WriteBatch calls issued for write windows
+  uint64_t shed_frames = 0;      // frames answered kUnavailable by load shed
+  uint64_t deadline_expired = 0; // frames answered kDeadlineExceeded
+  uint64_t watchdog_kills = 0;   // connections closed for write stalls
+  uint64_t degraded_write_rejects = 0;  // writes bounced off a degraded shard
 };
 
 // Epoll-based pipelined binary server over a KvStore.
@@ -106,13 +140,20 @@ class Server {
   void ExecuteReadRun(IoThread* t, Conn* c);
   void ExecuteWriteRun(IoThread* t, Conn* c);
   void EmitError(Conn* c, uint32_t request_id, uint32_t tenant_id,
-                 StatusCode code, std::string_view message);
+                 StatusCode code, std::string_view message,
+                 uint32_t retry_after_millis = 0);
+  void EmitHealth(IoThread* t, Conn* c, uint32_t request_id,
+                  uint32_t tenant_id);
   TenantCounters* TenantFor(Conn* c, uint32_t tenant_id);
   // Returns false when the socket died.
   bool FlushOutput(IoThread* t, Conn* c);
   void UpdateInterest(IoThread* t, Conn* c);
   void CloseConn(IoThread* t, Conn* c);
   void MaybePollStoreStats();
+  // Closes connections write-blocked past write_stall_timeout_seconds.
+  void WatchdogSweep(IoThread* t);
+  std::unique_ptr<Conn> MakeConn(IoThread* t, int fd);
+  uint64_t NowMicros() const { return clock_->NowNanos() / 1000; }
 
   core::KvStore* const store_;
   const ServerOptions options_;
@@ -128,6 +169,11 @@ class Server {
 
   TenantRegistry tenants_;
   AdmissionController admission_;
+
+  // Last observed composite store health; written by the stats poll, the
+  // HEALTH opcode, and write-run IoError refreshes, read per write frame.
+  // A degraded store keeps serving reads; writes bounce with kUnavailable.
+  std::atomic<bool> store_degraded_{false};
 
   Mutex stats_poll_mu_;
   double last_stats_poll_ GUARDED_BY(stats_poll_mu_) = 0;
@@ -146,6 +192,10 @@ class Server {
     std::atomic<uint64_t> windows{0};
     std::atomic<uint64_t> read_runs{0};
     std::atomic<uint64_t> write_runs{0};
+    std::atomic<uint64_t> shed_frames{0};
+    std::atomic<uint64_t> deadline_expired{0};
+    std::atomic<uint64_t> watchdog_kills{0};
+    std::atomic<uint64_t> degraded_write_rejects{0};
   };
   std::vector<std::unique_ptr<ThreadCounters>> thread_counters_;
 };

@@ -453,6 +453,43 @@ TEST_F(ServerE2eTest, StopClosesPendingHandoffConnections) {
   EXPECT_EQ(counters.connections_accepted, counters.connections_closed);
 }
 
+TEST_F(ServerE2eTest, HealthReportsAllShardsHealthy) {
+  StartServer(1);
+  SyncClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server_->port()).ok());
+  ASSERT_TRUE(c.Put("k", "v").ok());
+
+  SyncClient::HealthReport hr;
+  ASSERT_TRUE(c.Health(&hr).ok());
+  EXPECT_FALSE(hr.degraded);
+  EXPECT_EQ(hr.retry_after_millis, 0u);
+  ASSERT_EQ(hr.shards.size(), 4u);  // StartServer builds a 4-shard store
+  for (auto s : hr.shards) EXPECT_EQ(s, core::HealthStatus::kHealthy);
+  EXPECT_EQ(hr.deadline_expired, 0u);
+  EXPECT_EQ(hr.watchdog_kills, 0u);
+  EXPECT_EQ(hr.degraded_write_rejects, 0u);
+}
+
+TEST_F(ServerE2eTest, GenerousDeadlineRoundTripsOnV2Frames) {
+  StartServer(1);
+  SyncClient c;
+  ASSERT_TRUE(c.Connect("127.0.0.1", server_->port()).ok());
+  // A deadline far in the future upgrades every data frame to the v2
+  // header; the server must decode it and serve the window normally.
+  c.set_deadline_micros(60'000'000);
+  ASSERT_TRUE(c.Put("alpha", "1").ok());
+  auto got = c.Get("alpha");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "1");
+  std::vector<std::string> keys = {"alpha", "missing"};
+  core::BatchReadResult batch;
+  ASSERT_TRUE(c.MultiGet(keys, &batch).ok());
+  ASSERT_EQ(batch.statuses.size(), 2u);
+  EXPECT_TRUE(batch.statuses[0].ok());
+  EXPECT_TRUE(batch.statuses[1].IsNotFound());
+  EXPECT_EQ(server_->counters().deadline_expired, 0u);
+}
+
 TEST_F(ServerE2eTest, TenantRegistrySnapshotIsStable) {
   StartServer(1);
   SyncClient c;

@@ -80,11 +80,71 @@ TEST(ProtocolTest, EveryCorruptedHeaderByteIsCaught) {
 
 TEST(ProtocolTest, BadVersionDetected) {
   FrameHeader h;
-  h.version = kWireVersion + 1;
-  char buf[kHeaderSize];
-  EncodeHeader(h, buf);  // checksum is valid for the bogus version
+  h.version = kMaxWireVersion + 1;
+  char buf[kHeaderSizeV2];  // bogus versions >= 2 encode the v2 layout
+  EncodeHeader(h, buf);     // checksum is valid for the bogus version
   FrameHeader d;
   EXPECT_EQ(DecodeHeader(buf, sizeof(buf), &d), DecodeResult::kBadVersion);
+}
+
+TEST(ProtocolTest, V2HeaderRoundTripsDeadline) {
+  FrameHeader h;
+  h.version = kWireVersion2;
+  h.opcode = kOpGet;
+  h.request_id = 0xfeedface;
+  h.tenant_id = 9;
+  h.payload_len = 77;
+  h.deadline_micros = 0x0123456789abcdefull;
+  char buf[kHeaderSizeV2];
+  EncodeHeader(h, buf);
+
+  FrameHeader d;
+  // Every prefix short of the full v2 header asks for more bytes — in
+  // particular the [kHeaderSize, kHeaderSizeV2) range where a v1 decoder
+  // would already have a "complete" header.
+  for (size_t len = 2; len < kHeaderSizeV2; ++len) {
+    EXPECT_EQ(DecodeHeader(buf, len, &d), DecodeResult::kNeedMore) << len;
+  }
+  ASSERT_EQ(DecodeHeader(buf, sizeof(buf), &d), DecodeResult::kOk);
+  EXPECT_EQ(d.version, kWireVersion2);
+  EXPECT_EQ(d.header_size, kHeaderSizeV2);
+  EXPECT_EQ(d.deadline_micros, 0x0123456789abcdefull);
+  EXPECT_EQ(d.request_id, 0xfeedfaceu);
+  EXPECT_EQ(d.payload_len, 77u);
+}
+
+TEST(ProtocolTest, EveryCorruptedV2HeaderByteIsCaught) {
+  FrameHeader ref;
+  ref.version = kWireVersion2;
+  ref.opcode = kOpPut;
+  ref.request_id = 99;
+  ref.tenant_id = 3;
+  ref.payload_len = 64;
+  ref.deadline_micros = 5'000'000;
+  char good[kHeaderSizeV2];
+  EncodeHeader(ref, good);
+  for (size_t i = 0; i < kHeaderSizeV2; ++i) {
+    char buf[kHeaderSizeV2];
+    memcpy(buf, good, kHeaderSizeV2);
+    buf[i] ^= 0x10;
+    FrameHeader h;
+    EXPECT_NE(DecodeHeader(buf, sizeof(buf), &h), DecodeResult::kOk)
+        << "byte " << i;
+  }
+}
+
+TEST(ProtocolTest, AppendFrameDeadlinePicksVersionByDeadline) {
+  // Deadline-free traffic must stay byte-identical to v1.
+  std::string v1, v1b, v2;
+  AppendFrame(&v1, kOpGet, 1, 0, "k");
+  AppendFrameDeadline(&v1b, kOpGet, 1, 0, 0, "k");
+  EXPECT_EQ(v1, v1b);
+  AppendFrameDeadline(&v2, kOpGet, 1, 0, 1500, "k");
+  EXPECT_EQ(v2.size(), kHeaderSizeV2 + 1);
+  FrameHeader h;
+  ASSERT_EQ(DecodeHeader(v2.data(), v2.size(), &h), DecodeResult::kOk);
+  EXPECT_EQ(h.version, kWireVersion2);
+  EXPECT_EQ(h.deadline_micros, 1500u);
 }
 
 TEST(ProtocolTest, OversizedPayloadRejected) {
