@@ -256,9 +256,14 @@ int RunThreadSweep() {
 // row per thread count so successive PRs can diff the scaling trajectory.
 // Every store-side mutex is off the read path here, so this sweep is the
 // direct measure of hot-path serialization (cache Touch, shard routing).
-// A second section ("ss_sweep") runs a budget-bounded SS-heavy mix in
-// inline vs background maintenance mode so the tail-latency effect of
-// moving eviction/GC off the op path is diffable too.
+// A "batched_sweep" section repeats it with reads issued as 64-key
+// MultiGet batches — the AMAC-interleaved index probe path; 64 keys
+// over 8 shards leaves ~8 probes per shard group, a full interleave
+// window for the state machine — recording
+// the batched/single throughput ratio per thread count. A third section
+// ("ss_sweep") runs a budget-bounded SS-heavy mix in inline vs
+// background maintenance mode so the tail-latency effect of moving
+// eviction/GC off the op path is diffable too.
 int RunSmokeJson(const char* path) {
   constexpr uint64_t kSmokeRecords = 20'000;
   // Total ops, split across threads. Large enough that one row runs for
@@ -282,6 +287,8 @@ int RunSmokeJson(const char* path) {
          "cpu ops/s", "aggregate", "p50us", "p99us", "p999us");
 
   bool first = true;
+  double single_aggregate[4] = {0, 0, 0, 0};  // per thread-count row
+  int row_index = 0;
   for (int threads : {1, 2, 4, 8}) {
     core::CachingStoreOptions opts;
     opts.memory_budget_bytes = 0;  // unbounded: fully in-cache
@@ -308,6 +315,7 @@ int RunSmokeJson(const char* path) {
       fclose(out);
       return 1;
     }
+    single_aggregate[row_index++] = r.modeled_parallel_ops_per_sec;
     printf("%7d | %12.0f %12.0f %12.0f | %8.1f %8.1f %8.1f\n", threads,
            r.ops_per_wall_sec, r.ops_per_cpu_sec,
            r.modeled_parallel_ops_per_sec, r.p50_micros, r.p99_micros,
@@ -321,6 +329,57 @@ int RunSmokeJson(const char* path) {
             first ? "" : ",\n", threads, r.ops_per_wall_sec,
             r.ops_per_cpu_sec, r.modeled_parallel_ops_per_sec, r.p50_micros,
             r.p99_micros, r.p999_micros);
+    first = false;
+  }
+  fprintf(out, "\n  ],\n");
+
+  // The same in-cache sweep issuing reads as 16-key MultiGet batches:
+  // grouped per shard by ShardedStore::BatchGet, then served by the
+  // Bw-tree's AMAC-interleaved MultiGetBatch with SIMD node search.
+  // "x single" is the ratio against the same-thread single-probe row —
+  // the acceptance gate for the batched read path is >= 1.5x at 8T.
+  printf("smoke: in-cache YCSB-C sweep, batched reads (batch=64)\n");
+  printf("%7s | %12s %12s %12s | %8s\n", "threads", "wall ops/s",
+         "cpu ops/s", "aggregate", "x single");
+  fprintf(out, "  \"batched_sweep\": [\n");
+  first = true;
+  row_index = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    core::CachingStoreOptions opts;
+    opts.memory_budget_bytes = 0;
+    opts.device.capacity_bytes = 256ull << 20;
+    opts.device.max_iops = 0;
+    opts.maintenance_interval_ops = 128;
+    opts.cache_touch_sample = 16;
+    auto store = core::ShardedStore::OfCaching(kShards, opts);
+
+    workload::WorkloadSpec spec = workload::WorkloadSpec::YcsbC(kSmokeRecords);
+    spec.batch_size = 64;
+    workload::RunnerOptions ropts;
+    ropts.threads = threads;
+    ropts.ops_per_thread = kSmokeOps / threads;
+    ropts.latency_sample = 8;
+    workload::Runner runner(store.get(), spec, ropts);
+    workload::RunReport r = runner.LoadAndRun();
+    if (r.failed_ops > 0) {
+      fprintf(stderr, "smoke: %llu failed ops at %d threads (batched)\n",
+              (unsigned long long)r.failed_ops, threads);
+      fclose(out);
+      return 1;
+    }
+    const double base = single_aggregate[row_index++];
+    const double ratio =
+        base > 0 ? r.modeled_parallel_ops_per_sec / base : 0.0;
+    printf("%7d | %12.0f %12.0f %12.0f | %7.2fx\n", threads,
+           r.ops_per_wall_sec, r.ops_per_cpu_sec,
+           r.modeled_parallel_ops_per_sec, ratio);
+    fprintf(out,
+            "%s    {\"threads\": %d, \"batch_size\": 64, "
+            "\"ops_per_wall_sec\": %.0f, \"ops_per_cpu_sec\": %.0f, "
+            "\"modeled_parallel_ops_per_sec\": %.0f, "
+            "\"vs_single_probe\": %.3f}",
+            first ? "" : ",\n", threads, r.ops_per_wall_sec,
+            r.ops_per_cpu_sec, r.modeled_parallel_ops_per_sec, ratio);
     first = false;
   }
   fprintf(out, "\n  ],\n");

@@ -56,12 +56,9 @@ int main() {
   // 5. Durability point: flush dirty pages and the log buffer.
   if (!store.Checkpoint().ok()) return 1;
 
-  // 6. What the stack did. StatsString() is the display rendering; code
+  // 6. What the stack did. DebugString() is the display rendering; code
   // that needs the numbers should consume structured Stats() instead.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  printf("\n--- store internals ---\n%s\n", store.StatsString().c_str());
-#pragma GCC diagnostic pop
+  printf("\n--- store internals ---\n%s\n", store.DebugString().c_str());
   printf("\nresident footprint: %llu bytes (budget %llu)\n",
          (unsigned long long)store.MemoryFootprintBytes(),
          (unsigned long long)options.memory_budget_bytes);

@@ -6,8 +6,12 @@
 # explicit message rather than silently passing.
 #
 # Usage: scripts/check.sh [--list] [lane...]
-#   lanes: plain analyze asan tsan ubsan stress serve chaos tidy
+#   lanes: plain analyze asan tsan ubsan simd stress serve chaos tidy
 #   (default: all but bench)
+#   `simd` rebuilds with -DCOSTPERF_NO_SIMD=ON (scalar key-slice search,
+#   no vector kernels, no cpu dispatch) and runs the index + batch-probe
+#   tests — proof the scalar fallback is a complete, correct
+#   implementation and not just a compile-time stub.
 #   `tidy` runs clang-tidy (scripts/run_clang_tidy.sh) with the base
 #   .clang-tidy check set plus the costperf-* plugin checks when the
 #   plugin was built; it skips with a message when LLVM is missing.
@@ -39,6 +43,7 @@ analyze  Clang -Werror=thread-safety build (locks + epoch capabilities)
 asan     Debug + AddressSanitizer build + ctest + reduced torture
 tsan     Debug + ThreadSanitizer build + ctest + reduced torture
 ubsan    Debug + UBSanitizer (no-recover) build + ctest + reduced torture
+simd     Release -DCOSTPERF_NO_SIMD=ON build; index/batch tests on the scalar path
 stress   SS-heavy steady-state bench; asserts maintenance stays off op path
 serve    TSan server+loadgen loopback smoke with clean-shutdown assertions
 chaos    TSan network fault-injection suite (seeded plans, sheds, watchdog)
@@ -48,7 +53,7 @@ EOF
   exit 0
 fi
 LANES=("$@")
-[[ ${#LANES[@]} -eq 0 ]] && LANES=(plain analyze asan tsan ubsan stress serve chaos tidy)
+[[ ${#LANES[@]} -eq 0 ]] && LANES=(plain analyze asan tsan ubsan simd stress serve chaos tidy)
 
 failures=()
 skips=()
@@ -142,6 +147,27 @@ for lane in "${LANES[@]}"; do
     ubsan)
       run_lane ubsan -DCMAKE_BUILD_TYPE=Debug -DCOSTPERF_SANITIZE=undefined
       ;;
+    simd)
+      # Scalar-fallback lane: the SIMD wrapper compiled with the vector
+      # kernels and runtime dispatch forced off. Runs the tests that
+      # exercise key-slice search and the batched probes; the simd_test
+      # backend assertion pins BackendName() == "scalar" in this build.
+      echo
+      echo "=== lane: simd ==="
+      dir="$ROOT/build-simd"
+      if cmake -S "$ROOT" -B "$dir" -DCMAKE_BUILD_TYPE=Release \
+           -DCOSTPERF_NO_SIMD=ON >/dev/null &&
+         cmake --build "$dir" --target simd_test batch_probe_test \
+           bwtree_test masstree_test sharded_store_test -j "$JOBS" \
+           >/dev/null &&
+         ctest --test-dir "$dir" --output-on-failure -j "$JOBS" \
+           -R 'Simd|NodeSearch|Batch|BwTree|MassTree|ShardedStore'
+      then
+        echo "lane simd: scalar fallback passes the index/batch suite"
+      else
+        failures+=("simd")
+      fi
+      ;;
     stress)
       echo
       echo "=== lane: stress ==="
@@ -208,7 +234,7 @@ for lane in "${LANES[@]}"; do
       fi
       ;;
     *)
-      echo "unknown lane '$lane' (want: plain analyze asan tsan ubsan stress serve chaos tidy bench)" >&2
+      echo "unknown lane '$lane' (want: plain analyze asan tsan ubsan simd stress serve chaos tidy bench)" >&2
       exit 2
       ;;
   esac

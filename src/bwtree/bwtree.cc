@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/op_class.h"
+#include "common/simd.h"
 
 namespace costperf::bwtree {
 
@@ -228,14 +229,11 @@ PageId BwTree::DescendToLeaf(const Slice& key, std::vector<PageId>* path) {
     // fences go stale when merges detach subtrees, while leaf-level
     // fences are always maintained (split installs, merge deltas); a
     // descent through a stale parent is corrected by the leaf hop below.
-    size_t idx = std::upper_bound(inner->seps.begin(), inner->seps.end(),
-                                  key,
-                                  [](const Slice& k, const std::string& s) {
-                                    return k.compare(Slice(s)) < 0;
-                                  }) -
-                 inner->seps.begin();
+    size_t idx = NodeUpperBound(inner->seps, inner->search, key);
     if (path != nullptr) path->push_back(pid);
     pid = inner->children[idx];
+    // Hide part of the child mapping-entry miss behind the loop overhead.
+    table_.Prefetch(pid);
   }
 }
 
@@ -251,6 +249,9 @@ bool BwTree::SearchResidentChain(Node* head, const Slice& key, bool* found,
   bool have_delta = false;
   VersionedOp best{};
   for (Node* n = head; n != nullptr; n = n->next) {
+    // Delta-chain walk: overlap the next node's miss with this node's
+    // key compare.
+    if (n->next != nullptr) simd::PrefetchRead(n->next);
     switch (n->type) {
       case NodeType::kInsertDelta: {
         auto* d = static_cast<InsertDelta*>(n);
@@ -279,13 +280,10 @@ bool BwTree::SearchResidentChain(Node* head, const Slice& key, bool* found,
           return true;
         }
         auto* base = static_cast<LeafBase*>(n);
-        auto it = std::lower_bound(base->keys.begin(), base->keys.end(), key,
-                                   [](const std::string& s, const Slice& k) {
-                                     return Slice(s).compare(k) < 0;
-                                   });
-        if (it != base->keys.end() && Slice(*it) == key) {
+        const size_t li = NodeLowerBound(base->keys, base->search, key);
+        if (li < base->keys.size() && Slice(base->keys[li]) == key) {
           *found = true;
-          *value = base->values[it - base->keys.begin()];
+          *value = base->values[li];
         } else {
           *found = false;
         }
@@ -311,14 +309,12 @@ bool BwTree::SearchResidentChain(Node* head, const Slice& key, bool* found,
             if (*found) *value = best.value;
             return true;
           }
-          auto it = std::lower_bound(m->right_base->keys.begin(),
-                                     m->right_base->keys.end(), key,
-                                     [](const std::string& s, const Slice& k) {
-                                       return Slice(s).compare(k) < 0;
-                                     });
-          if (it != m->right_base->keys.end() && Slice(*it) == key) {
+          const size_t ri = NodeLowerBound(m->right_base->keys,
+                                           m->right_base->search, key);
+          if (ri < m->right_base->keys.size() &&
+              Slice(m->right_base->keys[ri]) == key) {
             *found = true;
-            *value = m->right_base->values[it - m->right_base->keys.begin()];
+            *value = m->right_base->values[ri];
           } else {
             *found = false;
           }
@@ -416,6 +412,191 @@ Status BwTree::Get(const Slice& key, std::string* value_out) {
     if (!s.ok() && !s.IsAborted()) return s;
   }
   return Status::Internal("Get retry budget exhausted");
+}
+
+// ---------------------------------------------------------------------
+// Batched reads (AMAC interleaving)
+// ---------------------------------------------------------------------
+
+// One lane of the batch machine. A probe moves kResolve -> kInspect per
+// descent level: kResolve turns the pid into a mapping word and
+// prefetches the decoded node; kInspect dereferences it (now likely a
+// cache hit), takes one hop — remove-node redirect, inner child pick,
+// B-link fence hop — or searches the leaf chain and finishes. The flash
+// (SS) paths stay synchronous: they are I/O-bound, not miss-bound, and
+// re-descend afterwards exactly like Get's attempt loop.
+struct BwTree::BatchProbe {
+  enum class St : uint8_t { kResolve, kInspect, kDone };
+
+  Slice key;
+  std::string* value = nullptr;
+  Status* status = nullptr;
+  St st = St::kResolve;
+  PageId pid = kInvalidPageId;
+  uint64_t word = 0;
+  Node* head = nullptr;
+  int restarts = 0;  // full re-descents; same 1000 budget as Get
+  OpContext ctx;
+  std::vector<PageId> path;  // inner path for split posting
+};
+
+void BwTree::StepProbe(BatchProbe* p, OpStatCell& cell) {
+  auto finish = [p](Status s) {
+    *p->status = s;
+    p->st = BatchProbe::St::kDone;
+  };
+  // Full restart from the root, mirroring one iteration of Get's
+  // attempt loop (LoadAndInstall rounds and races consume budget; hops
+  // within a descent do not).
+  auto restart = [this, p, &finish]() {
+    if (++p->restarts >= 1000) {
+      finish(Status::Internal("Get retry budget exhausted"));
+      return;
+    }
+    p->pid = root_pid_.load(std::memory_order_acquire);
+    p->path.clear();
+    p->st = BatchProbe::St::kResolve;
+  };
+
+  switch (p->st) {
+    case BatchProbe::St::kResolve: {
+      p->word = table_.Get(p->pid);
+      if (p->word == 0) {
+        // Freed page under our feet (concurrent restructure).
+        restart();
+        return;
+      }
+      if (IsFlashWord(p->word)) {
+        // Leaf on flash: synchronous SS load, then re-descend.
+        Status s = LoadAndInstall(p->pid, p->word, &p->ctx);
+        if (!s.ok() && !s.IsAborted()) {
+          finish(s);
+          return;
+        }
+        restart();
+        return;
+      }
+      p->head = DecodePointer(p->word);
+      simd::PrefetchRead(p->head);
+      p->st = BatchProbe::St::kInspect;
+      return;
+    }
+
+    case BatchProbe::St::kInspect: {
+      Node* head = p->head;
+      if (head->type == NodeType::kRemoveNode) {
+        // Page merged away: its contents live in the left sibling now.
+        p->pid = static_cast<RemoveNodeDelta*>(head)->left_pid;
+        table_.Prefetch(p->pid);
+        p->st = BatchProbe::St::kResolve;
+        return;
+      }
+      if (head->type == NodeType::kInnerBase) {
+        auto* inner = static_cast<InnerBase*>(head);
+        // Inner B-link hops are deliberately not taken; see
+        // DescendToLeaf.
+        const size_t idx = NodeUpperBound(inner->seps, inner->search,
+                                          p->key);
+        p->path.push_back(p->pid);
+        p->pid = inner->children[idx];
+        table_.Prefetch(p->pid);
+        p->st = BatchProbe::St::kResolve;
+        return;
+      }
+      // Leaf chain. Follow the leaf-level fence when the key moved
+      // right past a mid-split page.
+      {
+        const std::string* high_key = nullptr;
+        PageId right_sib = kInvalidPageId;
+        if (ChainFences(head, &high_key, &right_sib) &&
+            !high_key->empty() &&
+            p->key.compare(Slice(*high_key)) >= 0 &&
+            right_sib != kInvalidPageId) {
+          p->pid = right_sib;
+          table_.Prefetch(p->pid);
+          p->st = BatchProbe::St::kResolve;
+          return;
+        }
+      }
+      bool found = false;
+      if (SearchResidentChain(head, p->key, &found, p->value)) {
+        CacheTouch(p->pid);
+        Node* tail = ChainTail(head);
+        if (tail->type == NodeType::kFlashPointer) {
+          // Answered by an in-memory delta over an evicted base: a
+          // record-cache hit whether the answer was found or deleted.
+          Bump(cell.rc_hits);
+        }
+        if (p->ctx.flash_reads > 0) {
+          Bump(cell.ss);
+          opclass::Publish(OpClass::kSs);
+        } else {
+          Bump(cell.mm);
+          opclass::Publish(OpClass::kMm);
+        }
+        if (head->chain_length >= options_.consolidate_threshold) {
+          MaybeConsolidate(p->pid, &p->path);
+        }
+        finish(found ? Status::Ok() : Status::NotFound());
+        return;
+      }
+      // Base needed but on flash: load it (SS), then re-descend.
+      Status s = LoadAndInstall(p->pid, p->word, &p->ctx);
+      if (!s.ok() && !s.IsAborted()) {
+        finish(s);
+        return;
+      }
+      restart();
+      return;
+    }
+
+    case BatchProbe::St::kDone:
+      return;
+  }
+}
+
+void BwTree::MultiGetBatch(BatchGetOp* ops, size_t count, size_t interleave) {
+  if (count == 0) return;
+  if (interleave == 0) interleave = options_.batch_interleave;
+  if (interleave == 0) interleave = 1;
+  OpStatCell& cell = StatCell();
+  // Lane state is reused across calls (cleared, not freed), like the
+  // thread-local descent path in Get.
+  thread_local std::vector<BatchProbe> lanes;
+  if (lanes.size() < interleave) lanes.resize(interleave);
+
+  for (size_t base = 0; base < count; base += interleave) {
+    const size_t n = std::min<size_t>(interleave, count - base);
+    // One guard per interleave group: probes carry decoded node
+    // pointers across quanta (the guard keeps them from being
+    // reclaimed), and one Enter/Exit amortizes the epoch reservation
+    // over the whole group instead of paying it per key.
+    EpochGuard guard(&epochs_);
+    for (size_t i = 0; i < n; ++i) {
+      BatchProbe& p = lanes[i];
+      p.key = ops[base + i].key;
+      p.value = ops[base + i].value;
+      p.status = ops[base + i].status;
+      p.st = BatchProbe::St::kResolve;
+      p.pid = root_pid_.load(std::memory_order_acquire);
+      p.word = 0;
+      p.head = nullptr;
+      p.restarts = 0;
+      p.ctx = OpContext{};
+      p.path.clear();
+      Bump(cell.gets);
+      table_.Prefetch(p.pid);
+    }
+    size_t live = n;
+    while (live > 0) {
+      for (size_t i = 0; i < n; ++i) {
+        BatchProbe& p = lanes[i];
+        if (p.st == BatchProbe::St::kDone) continue;
+        StepProbe(&p, cell);
+        if (p.st == BatchProbe::St::kDone) --live;
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -671,6 +852,7 @@ LeafBase* BwTree::ConsolidateChain(Node* head) const {
       ++bi;
     }
   }
+  fresh->search.Build(fresh->keys);
   return fresh;
 }
 
@@ -731,6 +913,7 @@ void BwTree::SplitLeaf(PageId pid, uint64_t expected_word,
                        consolidated->values.end());
   right->high_key = consolidated->high_key;
   right->right_sibling = consolidated->right_sibling;
+  right->search.Build(right->keys);
   const std::string sep = right->keys.front();
 
   // Publish the right page in two steps so raw mapping-slot scanners
@@ -762,6 +945,7 @@ void BwTree::SplitLeaf(PageId pid, uint64_t expected_word,
                       consolidated->values.begin() + split_at);
   left->high_key = sep;
   left->right_sibling = right_pid;
+  left->search.Build(left->keys);
   delete consolidated;
 
   // The left half must reflect exactly the chain we consolidated; CAS
@@ -830,6 +1014,7 @@ void BwTree::PostSplitToParent(PageId left_pid, const std::string& sep,
       new_root->seps.push_back(sep);
       new_root->children.push_back(left_pid);
       new_root->children.push_back(right_pid);
+      new_root->search.Build(new_root->seps);
       PageId new_root_pid = table_.Allocate(EncodePointer(new_root));
       if (new_root_pid == kInvalidPageId) {
         delete new_root;
@@ -867,6 +1052,8 @@ void BwTree::PostSplitToParent(PageId left_pid, const std::string& sep,
                  fresh->seps.begin();
     fresh->seps.insert(fresh->seps.begin() + idx, sep);
     fresh->children.insert(fresh->children.begin() + idx + 1, right_pid);
+    // The copy above reset the search index; rebuild over the final seps.
+    fresh->search.Build(fresh->seps);
 
     if (fresh->children.size() > options_.max_inner_children) {
       if (table_.Cas(parent, w, EncodePointer(fresh))) {
@@ -901,6 +1088,7 @@ void BwTree::SplitInner(PageId pid, InnerBase* inner,
                          inner->children.end());
   right->high_key = inner->high_key;
   right->right_sibling = inner->right_sibling;
+  right->search.Build(right->seps);
   PageId right_pid = table_.Allocate(EncodePointer(right));
   if (right_pid == kInvalidPageId) {
     delete right;
@@ -913,6 +1101,7 @@ void BwTree::SplitInner(PageId pid, InnerBase* inner,
                         inner->children.begin() + mid + 1);
   left->high_key = up_sep;
   left->right_sibling = right_pid;
+  left->search.Build(left->seps);
 
   if (table_.Cas(pid, EncodePointer(inner), EncodePointer(left))) {
     s_inner_splits_.fetch_add(1, std::memory_order_relaxed);
@@ -1121,6 +1310,7 @@ Status BwTree::LoadAndInstall(PageId pid, uint64_t entry_word,
   }
 
   LeafBase* fresh = leaf.release();
+  fresh->search.Build(fresh->keys);
   if (table_.Cas(pid, entry_word, EncodePointer(fresh))) {
     s_loads_.fetch_add(1, std::memory_order_relaxed);
     if (old_head != nullptr) RetireChain(old_head);
@@ -1770,6 +1960,7 @@ Status BwTree::RemoveChildFromParent(PageId child_pid,
     // for idx == 0 the (already re-routed) range's old first separator
     // goes.
     fresh->seps.erase(fresh->seps.begin() + (idx == 0 ? 0 : idx - 1));
+    fresh->search.Build(fresh->seps);
 
     if (table_.Cas(parent, w, EncodePointer(fresh))) {
       RetireChain(head);
@@ -1821,6 +2012,7 @@ Status BwTree::ReplaceBoundarySep(const Slice& old_sep,
         auto* fresh = new InnerBase(*inner);
         fresh->next = nullptr;
         fresh->seps[idx - 1] = new_sep.ToString();
+        fresh->search.Build(fresh->seps);
         if (table_.Cas(pid, w, EncodePointer(fresh))) {
           RetireChain(head);
           replaced = true;
@@ -2110,6 +2302,7 @@ Status BwTree::RecoverFromStore() {
         inner->children.push_back(level[i + c]);
         if (c + 1 < take) inner->seps.push_back(level_seps[i + c]);
       }
+      inner->search.Build(inner->seps);
       PageId ipid = table_.Allocate(EncodePointer(inner));
       if (ipid == kInvalidPageId) {
         delete inner;

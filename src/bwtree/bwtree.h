@@ -12,6 +12,7 @@
 
 #include "bwtree/node.h"
 #include "bwtree/page_codec.h"
+#include "common/batch_op.h"
 #include "common/epoch.h"
 #include "common/mutex.h"
 #include "common/retry.h"
@@ -31,6 +32,11 @@ struct BwTreeOptions {
   uint64_t max_page_bytes = 4096;
   // Delta-chain length that triggers consolidation on access.
   uint32_t consolidate_threshold = 8;
+  // Probes MultiGetBatch keeps in flight per thread (the AMAC interleave
+  // width): each probe advances one descent hop, prefetches its next
+  // node, then yields, so up to this many cache misses overlap instead
+  // of serializing. 1 degenerates to sequential Gets.
+  uint32_t batch_interleave = 8;
   // Inner-node fanout cap before an inner split.
   size_t max_inner_children = 64;
   // Log-structured store for page flush/load. May be null for a purely
@@ -133,6 +139,23 @@ class BwTree {
   // Out-param read: writes the value into *value_out (capacity reused by
   // callers), NotFound when the key is absent.
   Status Get(const Slice& key, std::string* value_out);
+
+  // One probe of a batched read: the stack-wide shared op type (see
+  // common/batch_op.h), so KvStore-layer callers pass their op arrays
+  // down without translation. On return *status is Ok (*value written),
+  // NotFound, or the error the probe hit.
+  using BatchGetOp = ::costperf::BatchGetOp;
+
+  // Batched point reads. Equivalent to Get(op.key, op.value) per op, but
+  // runs up to `interleave` probes (0 = options().batch_interleave) as
+  // an AMAC-style state machine: each probe advances one hop — mapping
+  // resolve, inner-node descent, leaf-chain search — issues a software
+  // prefetch for the node it will touch next, and yields to the next
+  // probe, so the group's DRAM misses overlap instead of serializing.
+  // One EpochGuard covers each interleave group (amortizing the
+  // reservation CAS over the group); stats/consolidation behavior
+  // matches Get exactly, per probe.
+  void MultiGetBatch(BatchGetOp* ops, size_t count, size_t interleave = 0);
 
   // Blind delete (posts a delete delta).
   Status Delete(const Slice& key) { return Delete(key, 0); }
@@ -270,6 +293,15 @@ class BwTree {
   // needed but on flash.
   bool SearchResidentChain(Node* head, const Slice& key, bool* found,
                            std::string* value) const
+      REQUIRES_EPOCH(epochs_);
+
+  // Per-probe state of the MultiGetBatch machine (defined in bwtree.cc).
+  struct BatchProbe;
+  struct OpStatCell;  // defined below (per-thread stat cells)
+  // Advances one probe by one hop/quantum; runs inside the group guard
+  // (decoded node pointers in the probe state outlive the quantum only
+  // because the guard blocks reclamation).
+  COSTPERF_HOT void StepProbe(BatchProbe* p, OpStatCell& cell)
       REQUIRES_EPOCH(epochs_);
 
   // Loads the flash portion of `pid` and installs a consolidated base.

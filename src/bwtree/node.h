@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/hot_path.h"
+#include "common/slice.h"
 #include "llama/flash_address.h"
 #include "mapping/mapping_table.h"
 
@@ -13,6 +15,54 @@ namespace costperf::bwtree {
 using mapping::PageId;
 using mapping::kInvalidPageId;
 using llama::FlashAddress;
+
+// SIMD search accelerator embedded in base nodes: the 8-byte big-endian
+// key slice of every key, taken at the node's common-prefix offset
+// `skip` (workload keys often share a long prefix — "user000000012345" —
+// so slicing at offset 0 would leave every slice identical and the
+// vector compare useless). Built once right before a base node is
+// installed; the node's key array is immutable afterwards, so the index
+// never goes stale on the read path.
+//
+// Copies deliberately produce an EMPTY index. SMO sites copy a node and
+// then mutate its key array in place (ReplaceBoundarySep even keeps the
+// array sizes equal, so a size-only staleness guard cannot catch it); a
+// copied node therefore degrades to scalar search until Build() is
+// explicitly called on the final key array. Ready() is the guard the
+// search helpers check before trusting the slices.
+//
+// Not counted in ApproxBytes: that models the packed on-page image the
+// cost model compares layouts with, and the index never goes to flash.
+struct NodeSearchIndex {
+  uint32_t skip = 0;             // common-prefix bytes skipped per key
+  std::vector<uint64_t> slices;  // KeySliceAt(keys[i], skip), same order
+
+  NodeSearchIndex() = default;
+  NodeSearchIndex(const NodeSearchIndex&) {}
+  NodeSearchIndex& operator=(const NodeSearchIndex&) {
+    skip = 0;
+    slices.clear();
+    return *this;
+  }
+
+  // `keys` must be sorted (skip = LCP of front and back covers all).
+  void Build(const std::vector<std::string>& keys);
+  bool Ready(size_t n) const { return n != 0 && slices.size() == n; }
+};
+
+// Index of the first element of sorted `keys` that is >= `key`
+// (std::lower_bound). Uses `idx`'s SIMD slice search when it is current
+// for `keys`, refined by full string compares over the (short) run of
+// equal slices; falls back to scalar binary search otherwise.
+COSTPERF_HOT size_t NodeLowerBound(const std::vector<std::string>& keys,
+                                   const NodeSearchIndex& idx,
+                                   const Slice& key);
+
+// Index of the first element of sorted `seps` that is > `key`
+// (std::upper_bound) — the inner-node child-selection rule.
+COSTPERF_HOT size_t NodeUpperBound(const std::vector<std::string>& seps,
+                                   const NodeSearchIndex& idx,
+                                   const Slice& key);
 
 // In-memory node kinds. A logical page is a chain of immutable nodes:
 // zero or more deltas prepended (latch-free, via mapping-table CAS) onto a
@@ -49,6 +99,9 @@ struct LeafBase : Node {
   std::string high_key;
   // B-link pointer: the sibling holding keys >= high_key.
   PageId right_sibling = kInvalidPageId;
+  // SIMD slice index over `keys`; Build() after the final key array is
+  // in place, before install. Empty (scalar search) on copies.
+  NodeSearchIndex search;
 
   // Footprint of the page in its packed on-page representation: the
   // paper's Deuteronomy pages are variable-size and ~100% utilized, so a
@@ -81,6 +134,9 @@ struct InnerBase : Node {
   std::vector<PageId> children;  // seps.size() + 1 entries
   std::string high_key;          // empty = +inf
   PageId right_sibling = kInvalidPageId;
+  // SIMD slice index over `seps`; see NodeSearchIndex for the staleness
+  // contract (copy-then-mutate SMO sites get an empty index).
+  NodeSearchIndex search;
 
   uint64_t ApproxBytes() const {
     uint64_t b = sizeof(InnerBase) + children.size() * sizeof(PageId);

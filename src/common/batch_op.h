@@ -1,0 +1,30 @@
+#ifndef COSTPERF_COMMON_BATCH_OP_H_
+#define COSTPERF_COMMON_BATCH_OP_H_
+
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace costperf {
+
+// One probe of a batched point read, shared by every layer of the stack
+// (KvStore::BatchGet, BwTree::MultiGetBatch, MassTree::LookupBatch): a
+// key plus the caller-owned output slots it fills. Scatter-friendly: a
+// composite store can hand each inner store an op array whose slots
+// point straight into the caller's result buffers, so grouping costs no
+// copy-back pass. Being ONE type end to end also means the store layers
+// pass the same array straight down to the tree's probe machine — no
+// per-layer translation copy on the hot batched-read path.
+//
+// `value` and `status` must be non-null; *value is meaningful only when
+// *status is Ok; `key` must stay valid for the duration of the call.
+struct BatchGetOp {
+  Slice key;
+  std::string* value = nullptr;
+  Status* status = nullptr;
+};
+
+}  // namespace costperf
+
+#endif  // COSTPERF_COMMON_BATCH_OP_H_

@@ -1,0 +1,41 @@
+#ifndef COSTPERF_COMMON_RACY_H_
+#define COSTPERF_COMMON_RACY_H_
+
+// Relaxed access to plain fields that optimistic readers inspect while a
+// latch-holding writer mutates them in place (MassTree node slots: the
+// version snapshot/recheck discards any torn result). The __atomic
+// builtins work on ordinary objects, compile to the same mov as a plain
+// access on x86-64, and mark the overlap as intentional so TSan checks
+// the validation protocol instead of reporting every reader/writer
+// interleaving as a bug.
+//
+// COSTPERF_TSAN gates snapshot-then-search copies in front of SIMD
+// kernels: vector loads cannot carry atomic semantics, so under TSan the
+// racy array is first captured slot-by-slot with RacyLoad.
+
+#if defined(__SANITIZE_THREAD__)
+#define COSTPERF_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define COSTPERF_TSAN 1
+#endif
+#endif
+#ifndef COSTPERF_TSAN
+#define COSTPERF_TSAN 0
+#endif
+
+namespace costperf {
+
+template <typename T>
+inline T RacyLoad(const T* p) {
+  return __atomic_load_n(p, __ATOMIC_RELAXED);
+}
+
+template <typename T>
+inline void RacyStore(T* p, T v) {
+  __atomic_store_n(p, v, __ATOMIC_RELAXED);
+}
+
+}  // namespace costperf
+
+#endif  // COSTPERF_COMMON_RACY_H_

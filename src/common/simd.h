@@ -1,0 +1,86 @@
+#ifndef COSTPERF_COMMON_SIMD_H_
+#define COSTPERF_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/hot_path.h"
+
+namespace costperf::simd {
+
+// Small vectorized-search toolkit for the index hot paths: branchless
+// lower/upper bound and equality matching over short sorted arrays of
+// 64-bit key slices (Bw-tree base-page slice arrays, MassTree border and
+// interior slice arrays). Both indexes reduce string comparison to
+// unsigned 8-byte big-endian slices first, so one wide compare replaces
+// up to four string probes.
+//
+// Dispatch policy (the compile-time + runtime scheme the batch-probe
+// design relies on):
+//  - Compile time: -DCOSTPERF_NO_SIMD (CMake option COSTPERF_NO_SIMD)
+//    forces the portable scalar backend everywhere — the fallback lane
+//    scripts/check.sh builds to keep it from rotting. Non-x86 targets
+//    and compilers without the `target` attribute get the same scalar
+//    backend automatically.
+//  - Run time: on x86-64 the AVX2 backend is selected once at startup
+//    via __builtin_cpu_supports("avx2"); without AVX2 an SSE2 backend
+//    (baseline on x86-64) runs, so the binary never executes an
+//    unsupported instruction.
+//
+// All functions are total: n == 0 is legal, arrays need no alignment,
+// and the scalar and vector backends return bit-identical results (the
+// simd lane asserts this property in tests/simd_test.cc).
+
+#if !defined(COSTPERF_NO_SIMD) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define COSTPERF_SIMD_X86 1
+#else
+#define COSTPERF_SIMD_X86 0
+#endif
+
+// Name of the backend selected at startup ("avx2", "sse2", "scalar");
+// benches record it so BENCH_index.json rows are attributable.
+const char* BackendName();
+
+// Count of a[i] < key over sorted `a` — i.e. std::lower_bound index.
+// Branchless over the whole array (n is small: <= ~256 slices per node).
+size_t LowerBoundU64(const uint64_t* a, size_t n, uint64_t key);
+
+// Count of a[i] <= key over sorted `a` — i.e. std::upper_bound index.
+size_t UpperBoundU64(const uint64_t* a, size_t n, uint64_t key);
+
+// Bitmask of positions with a[i] == key; n must be <= 32 (MassTree
+// borders hold 15 entries). Bit i set <=> a[i] == key.
+uint32_t MatchEqU64(const uint64_t* a, size_t n, uint64_t key);
+
+// Big-endian 8-byte key slice at `offset`, zero-padded past the end of
+// the key. Monotonic with lexicographic order for keys sharing the first
+// `offset` bytes: k1 < k2 implies Slice(k1) <= Slice(k2) (ties happen
+// only when the keys agree on bytes [offset, offset+8)).
+COSTPERF_HOT inline uint64_t KeySliceAt(const char* data, size_t len,
+                                        size_t offset) {
+  unsigned char buf[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  if (offset < len) {
+    const size_t take = len - offset < 8 ? len - offset : 8;
+    std::memcpy(buf, data + offset, take);
+  }
+  uint64_t s = 0;
+  for (int i = 0; i < 8; ++i) s = (s << 8) | buf[i];
+  return s;
+}
+
+// Best-effort read prefetch of the cache line holding `p`. The batch
+// probe machines issue one of these per hop so up to `interleave`
+// misses are in flight per thread.
+COSTPERF_HOT inline void PrefetchRead(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace costperf::simd
+
+#endif  // COSTPERF_COMMON_SIMD_H_

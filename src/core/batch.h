@@ -7,12 +7,21 @@
 #include <utility>
 #include <vector>
 
+#include "common/batch_op.h"
+#include "common/slice.h"
 #include "common/status.h"
 
 namespace costperf::core {
 
 // One upsert entry of a write batch.
 using KvEntry = std::pair<std::string, std::string>;
+
+// One probe of a low-level batched read (KvStore::BatchGet). The struct
+// itself lives in common/batch_op.h because the index structures speak
+// the very same type (BwTree::MultiGetBatch, MassTree::LookupBatch):
+// the store layers hand the caller's op array straight down without a
+// per-layer translation copy.
+using BatchGetOp = ::costperf::BatchGetOp;
 
 // Per-call read knobs, carried through the batch surface so a new knob is
 // an added field instead of a signature change everywhere.

@@ -97,6 +97,16 @@ Status CachingStore::Get(const Slice& key, std::string* value_out) {
   return s;
 }
 
+void CachingStore::BatchGet(BatchGetOp* ops, size_t count) {
+  // core::BatchGetOp and BwTree::BatchGetOp are the same shared type
+  // (common/batch_op.h): the op array goes straight to the interleaved
+  // probe machine, no per-op translation.
+  tree_->MultiGetBatch(ops, count);
+  // Same maintenance pacing as N single Gets — one counter jump, every
+  // crossed boundary replayed — without N shared-atomic RMWs per batch.
+  NoteBatchOps(count);
+}
+
 Status CachingStore::Delete(const Slice& key) {
   if (Status w = CheckWritable(); !w.ok()) return w;
   MaybeStallForDebt();
@@ -169,12 +179,42 @@ void CachingStore::MaybeMaintain() {
   }
 }
 
+void CachingStore::NoteBatchOps(uint64_t count) {
+  if (count == 0) return;
+  const uint64_t after =
+      op_counter_.fetch_add(count, std::memory_order_relaxed) + count;
+  const uint64_t before = after - count;
+  const uint64_t crossings = IntervalCrossings(before, after);
+  if (scheduler_ != nullptr) {
+    bool signal = crossings != 0;
+    // Same 1-in-32 sampling as the single-op path: run the threshold
+    // checks when the jump passed a multiple of 32.
+    if ((before >> 5) != (after >> 5)) signal = PressureThresholds() || signal;
+    if (signal) scheduler_->Signal(maint_handle_);
+    return;
+  }
+  // Inline mode: one Maintain() per boundary crossed, the same pacing N
+  // single ops would have produced.
+  for (uint64_t k = 0; k < crossings; ++k) {
+    foreground_maintenance_ops_.fetch_add(1, std::memory_order_relaxed);
+    Maintain();
+  }
+}
+
 bool CachingStore::IntervalCrossed(uint64_t n) const {
   if (maintenance_mask_ != 0) {  // power-of-two interval: no division
     return (n & maintenance_mask_) == 0;
   }
   const uint64_t interval = options_.maintenance_interval_ops;
   return interval != 0 && n % interval == 0;
+}
+
+uint64_t CachingStore::IntervalCrossings(uint64_t before, uint64_t after) const {
+  const uint64_t interval = maintenance_mask_ != 0
+                                ? maintenance_mask_ + 1
+                                : options_.maintenance_interval_ops;
+  if (interval == 0) return 0;
+  return after / interval - before / interval;
 }
 
 void CachingStore::MaybeSignalPressure(uint64_t n) {
@@ -184,25 +224,29 @@ void CachingStore::MaybeSignalPressure(uint64_t n) {
   bool signal = IntervalCrossed(n);
   // Threshold checks every 32 ops: resident_bytes() sums the cache's
   // per-shard atomics, too heavy for every op.
-  if ((n & 31) == 0) {
-    const uint64_t resident = cache_->resident_bytes();
-    if (resident > fill_trigger_bytes_) signal = true;
-    if (stall_limit_bytes_ != 0) {
-      const bool over = resident > stall_limit_bytes_;
-      if (over) {
-        stall_flag_.store(true, std::memory_order_relaxed);
-        signal = true;
-      } else if (stall_flag_.exchange(false, std::memory_order_relaxed)) {
-        MutexLock lock(&stall_mu_);
-        stall_cv_.notify_all();
-      }
-    }
-    if (options_.background.log_dead_trigger > 0 &&
-        log_->DeadSpaceFraction() >= options_.background.log_dead_trigger) {
+  if ((n & 31) == 0) signal = PressureThresholds() || signal;
+  if (signal) scheduler_->Signal(maint_handle_);
+}
+
+bool CachingStore::PressureThresholds() {
+  bool signal = false;
+  const uint64_t resident = cache_->resident_bytes();
+  if (resident > fill_trigger_bytes_) signal = true;
+  if (stall_limit_bytes_ != 0) {
+    const bool over = resident > stall_limit_bytes_;
+    if (over) {
+      stall_flag_.store(true, std::memory_order_relaxed);
       signal = true;
+    } else if (stall_flag_.exchange(false, std::memory_order_relaxed)) {
+      MutexLock lock(&stall_mu_);
+      stall_cv_.notify_all();
     }
   }
-  if (signal) scheduler_->Signal(maint_handle_);
+  if (options_.background.log_dead_trigger > 0 &&
+      log_->DeadSpaceFraction() >= options_.background.log_dead_trigger) {
+    signal = true;
+  }
+  return signal;
 }
 
 void CachingStore::MaybeStallForDebt() {
@@ -508,7 +552,7 @@ KvStoreStats CachingStore::Stats() const {
   return s;
 }
 
-std::string CachingStore::StatsString() const {
+std::string CachingStore::DebugString() const {
   auto t = tree_->stats();
   auto d = attached_device_->stats();
   auto l = log_->stats();

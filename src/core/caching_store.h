@@ -104,6 +104,11 @@ class CachingStore : public KvStore,
   Status Put(const Slice& key, const Slice& value) override;
   Result<std::string> Get(const Slice& key) override;
   Status Get(const Slice& key, std::string* value_out) override;
+  // Batched point reads through the Bw-tree's AMAC-interleaved
+  // MultiGetBatch: a group of probes overlaps its mapping-table and
+  // delta-chain cache misses instead of paying them serially. Advances
+  // the maintenance op counter once per key, like N single Gets.
+  void BatchGet(BatchGetOp* ops, size_t count) override;
   Status Delete(const Slice& key) override;
   Status Scan(const Slice& start, size_t limit,
               std::vector<std::pair<std::string, std::string>>* out) override;
@@ -117,8 +122,7 @@ class CachingStore : public KvStore,
 
   uint64_t MemoryFootprintBytes() const override;
   KvStoreStats Stats() const override;
-  [[deprecated("display-only rendering; consume structured Stats()")]]
-  std::string StatsString() const override;
+  std::string DebugString() const override;
   void Maintain() override;
   // Runs BwTreeValidator, MappingTableAuditor and LogStoreAuditor over
   // this store's components (quiescent stores only).
@@ -156,11 +160,22 @@ class CachingStore : public KvStore,
 
  private:
   void MaybeMaintain();
+  // Batched form of MaybeMaintain: advances the op counter by `count` in
+  // one atomic add and replays every pacing boundary the jump crossed, so
+  // a batch of N keys paces maintenance exactly like N single ops without
+  // paying N shared-counter RMWs on the hot path.
+  void NoteBatchOps(uint64_t count);
   // True when op number n crosses the maintenance_interval_ops pacing
   // boundary (single helper for the pow2-mask and modulo paths).
   bool IntervalCrossed(uint64_t n) const;
+  // Number of pacing boundaries inside (before, after].
+  uint64_t IntervalCrossings(uint64_t before, uint64_t after) const;
   // Background mode: threshold checks + Signal(); no maintenance I/O.
   void MaybeSignalPressure(uint64_t n);
+  // The sampled cache-fill / stall / log-dead-space threshold checks
+  // shared by the single-op and batched signal paths. Returns whether
+  // any threshold wants a maintenance step.
+  bool PressureThresholds();
   // Write backpressure: bounded stall while eviction debt exceeds the
   // stall budget. Called from Put/Delete before the tree write.
   void MaybeStallForDebt();

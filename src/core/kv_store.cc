@@ -105,16 +105,35 @@ Status KvStore::Get(const Slice& key, std::string* value_out) {
   return Status::Ok();
 }
 
+void KvStore::BatchGet(BatchGetOp* ops, size_t count) {
+  for (size_t i = 0; i < count; ++i) {
+    *ops[i].status = Get(ops[i].key, ops[i].value);
+  }
+}
+
 Status KvStore::MultiGet(std::span<const std::string> keys,
                          const ReadOptions& options, BatchReadResult* out) {
   out->Reset(keys.size());
+  // Route through BatchGet so a store that overrides only the batch
+  // probe (CachingStore, MemoryStore) serves MultiGet through it too.
+  // Scratch is per thread: the op array is rebuilt each call but its
+  // capacity survives, so a steady-state batch loop does not allocate.
+  thread_local std::vector<BatchGetOp> ops;
+  ops.resize(keys.size());
   for (size_t i = 0; i < keys.size(); ++i) {
-    Status s = Get(Slice(keys[i]), &out->values[i]);
-    if (s.ok() && options.max_value_bytes != 0 &&
-        out->values[i].size() > options.max_value_bytes) {
-      s = Status::ResourceExhausted("value exceeds max_value_bytes");
+    ops[i].key = Slice(keys[i]);
+    ops[i].value = &out->values[i];
+    ops[i].status = &out->statuses[i];
+  }
+  BatchGet(ops.data(), ops.size());
+  if (options.max_value_bytes != 0) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (out->statuses[i].ok() &&
+          out->values[i].size() > options.max_value_bytes) {
+        out->statuses[i] =
+            Status::ResourceExhausted("value exceeds max_value_bytes");
+      }
     }
-    out->statuses[i] = std::move(s);
   }
   return out->FirstError();
 }
@@ -136,32 +155,6 @@ Status KvStore::WriteBatch(std::span<const KvEntry> entries,
     }
   }
   return out->FirstError();
-}
-
-// Deprecated adapters: pay the per-key Result<std::string> allocation /
-// collapse per-entry outcomes, exactly what the out-param surface exists
-// to avoid. Kept one release for out-of-tree callers.
-std::vector<Result<std::string>> KvStore::MultiGet(
-    std::span<const std::string> keys) {
-  BatchReadResult batch;
-  (void)MultiGet(keys, ReadOptions(), &batch);
-  std::vector<Result<std::string>> out;
-  out.reserve(keys.size());
-  for (size_t i = 0; i < keys.size(); ++i) {
-    if (batch.statuses[i].ok()) {
-      out.push_back(std::move(batch.values[i]));
-    } else {
-      out.push_back(batch.statuses[i]);
-    }
-  }
-  return out;
-}
-
-Status KvStore::WriteBatch(
-    const std::vector<std::pair<std::string, std::string>>& entries) {
-  BatchWriteResult batch;
-  return WriteBatch(std::span<const KvEntry>(entries), WriteOptions(),
-                    &batch);
 }
 
 }  // namespace costperf::core

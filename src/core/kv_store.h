@@ -29,7 +29,7 @@ inline const char* HealthStatusName(HealthStatus h) {
 }
 
 // Structured operation/IO counters common to every KvStore. Benches and
-// tests consume these fields directly instead of parsing StatsString().
+// tests consume these fields directly instead of parsing DebugString().
 // "hits" are operations completed purely in memory (the paper's MM ops);
 // "misses" needed at least one secondary-storage read (SS ops) — for a
 // pure main-memory store misses is always zero.
@@ -96,7 +96,7 @@ struct KvStoreStats {
   KvStoreStats& operator+=(const KvStoreStats& other);
 
   // One-line "kv: reads=... writes=..." rendering; the canonical body of
-  // StatsString().
+  // DebugString().
   std::string ToString() const;
 };
 
@@ -136,6 +136,15 @@ class KvStore {
     return MultiGet(keys, ReadOptions(), out);
   }
 
+  // Lowest-level batched read surface: each op names a key and the
+  // caller-owned value/status slots it fills (see BatchGetOp). MultiGet
+  // routes through this. Index-backed stores override it with the
+  // miss-interleaved batch probe (Bw-tree MultiGetBatch / MassTree
+  // LookupBatch) so a group of point reads overlaps its descent cache
+  // misses instead of serializing them; the default loops the
+  // out-param Get(). NotFound is a per-op status, never a call failure.
+  virtual void BatchGet(BatchGetOp* ops, size_t count);
+
   // Batched upserts, the canonical batch write surface: one status per
   // entry in input order via *out (nothing is swallowed after the first
   // failure — that was the old contract's flaw). Returns
@@ -148,19 +157,6 @@ class KvStore {
   Status WriteBatch(std::span<const KvEntry> entries, BatchWriteResult* out) {
     return WriteBatch(entries, WriteOptions(), out);
   }
-
-  // ---- Deprecated batch adapters (one release) -------------------------
-  // Thin shims over the out-param surface for out-of-tree callers mid
-  // migration. They re-introduce exactly the costs the redesign retired:
-  // a fresh Result<std::string> allocation per key, and a single Status
-  // that hides every per-entry outcome after the first failure. No
-  // in-tree caller remains (tests cover the shims under a pragma).
-  [[deprecated("use Status MultiGet(keys, BatchReadResult*)")]]
-  std::vector<Result<std::string>> MultiGet(std::span<const std::string> keys);
-
-  [[deprecated("use Status WriteBatch(entries, BatchWriteResult*)")]]
-  Status WriteBatch(
-      const std::vector<std::pair<std::string, std::string>>& entries);
 
   // True when Get/MultiGet may be called concurrently with any other
   // operation on this store without external locking. CachingStore's
@@ -185,12 +181,14 @@ class KvStore {
     return {Stats().health};
   }
 
-  // Human-readable counters for reports. The base rendering is just
-  // Stats().ToString(); implementations may append component detail.
-  // Deprecated for programmatic use: it is a display string, not a
-  // format — parse nothing out of it, consume Stats() instead.
-  [[deprecated("display-only rendering; consume structured Stats()")]]
-  virtual std::string StatsString() const { return Stats().ToString(); }
+  // Human-readable counters for reports and debug dumps. The base
+  // rendering is Stats().ToString(); implementations append component
+  // detail (tree/device/cache lines). Display-only by contract: it is
+  // not a format — parse nothing out of it, consume Stats() instead.
+  // (The old StatsString() name, which callers had started parsing, is
+  // gone; this replacement makes the display-only contract part of the
+  // name.)
+  virtual std::string DebugString() const { return Stats().ToString(); }
 
   // Gives the store a chance to run maintenance (eviction, GC, epoch
   // reclamation). Called periodically by workload runners.

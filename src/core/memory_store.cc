@@ -4,6 +4,13 @@
 
 namespace costperf::core {
 
+void MemoryStore::BatchGet(BatchGetOp* ops, size_t count) {
+  // core::BatchGetOp and MassTree::LookupOp are the same shared type
+  // (common/batch_op.h): the op array goes straight to the interleaved
+  // probe machine, no per-op translation.
+  tree_->LookupBatch(ops, count);
+}
+
 KvStoreStats MemoryStore::Stats() const {
   auto t = tree_->stats();
   KvStoreStats s;
@@ -17,7 +24,7 @@ KvStoreStats MemoryStore::Stats() const {
   return s;
 }
 
-std::string MemoryStore::StatsString() const {
+std::string MemoryStore::DebugString() const {
   auto s = tree_->stats();
   char buf[512];
   snprintf(buf, sizeof(buf),

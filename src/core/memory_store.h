@@ -23,6 +23,11 @@ class MemoryStore : public KvStore {
     return tree_->Get(key);
   }
   using KvStore::Get;  // keep the out-param overload visible
+  // Batched reads go through MassTree's miss-interleaved LookupBatch;
+  // core::BatchGetOp and masstree::MassTree::LookupOp are the same
+  // shared type (common/batch_op.h), so the op array passes straight
+  // through.
+  void BatchGet(BatchGetOp* ops, size_t count) override;
   Status Delete(const Slice& key) override { return tree_->Delete(key); }
   Status Scan(const Slice& start, size_t limit,
               std::vector<std::pair<std::string, std::string>>* out)
@@ -35,8 +40,7 @@ class MemoryStore : public KvStore {
   }
 
   KvStoreStats Stats() const override;
-  [[deprecated("display-only rendering; consume structured Stats()")]]
-  std::string StatsString() const override;
+  std::string DebugString() const override;
   void Maintain() override { tree_->ReclaimMemory(); }
 
   masstree::MassTree* tree() { return tree_.get(); }

@@ -160,6 +160,10 @@ struct GroupScratch {
   std::vector<uint32_t> start;     // shard_count+1 prefix offsets
   std::vector<uint32_t> cursor;    // scatter cursors (copy of start)
   std::vector<uint32_t> order;     // item positions grouped by shard
+  // Read ops scattered into shard-grouped order (BatchGet only). Each
+  // op keeps the caller's value/status pointers, so per-shard batch
+  // probes write straight into the caller's slots — no merge-back pass.
+  std::vector<BatchGetOp> grouped;
 };
 
 GroupScratch& TlsGroupScratch() {
@@ -169,18 +173,15 @@ GroupScratch& TlsGroupScratch() {
 
 }  // namespace
 
-Status ShardedStore::MultiGet(std::span<const std::string> keys,
-                              const ReadOptions& options,
-                              BatchReadResult* out) {
-  out->Reset(keys.size());
-  const size_t n = keys.size();
+void ShardedStore::BatchGet(BatchGetOp* ops, size_t count) {
+  const size_t n = count;
   const size_t shard_count = shards_.size();
   GroupScratch& g = TlsGroupScratch();
   g.shard_of.resize(n);
   g.start.assign(shard_count + 1, 0);
   g.order.resize(n);
   for (size_t i = 0; i < n; ++i) {
-    const uint32_t s = static_cast<uint32_t>(ShardIndexOf(Slice(keys[i])));
+    const uint32_t s = static_cast<uint32_t>(ShardIndexOf(ops[i].key));
     g.shard_of[i] = s;
     ++g.start[s + 1];
   }
@@ -189,6 +190,11 @@ Status ShardedStore::MultiGet(std::span<const std::string> keys,
   for (size_t i = 0; i < n; ++i) {
     g.order[g.cursor[g.shard_of[i]]++] = static_cast<uint32_t>(i);
   }
+  // Scatter ops into shard-grouped order so each shard gets one
+  // contiguous run for its batch probe. Slot pointers ride along, so
+  // the probes fill the caller's buffers directly.
+  g.grouped.resize(n);
+  for (size_t k = 0; k < n; ++k) g.grouped[k] = ops[g.order[k]];
 
   uint64_t groups = 0;
   for (size_t s = 0; s < shard_count; ++s) {
@@ -198,32 +204,15 @@ Status ShardedStore::MultiGet(std::span<const std::string> keys,
     Shard& shard = *shards_[s];
     if (shard.reader != nullptr) {
       // Latch-free reader: the whole group runs without the shard latch.
-      for (uint32_t k = begin; k < end; ++k) {
-        const uint32_t i = g.order[k];
-        Status st = shard.reader->Get(Slice(keys[i]), &out->values[i]);
-        if (st.ok() && options.max_value_bytes != 0 &&
-            out->values[i].size() > options.max_value_bytes) {
-          st = Status::ResourceExhausted("value exceeds max_value_bytes");
-        }
-        out->statuses[i] = std::move(st);
-      }
+      shard.reader->BatchGet(g.grouped.data() + begin, end - begin);
       continue;
     }
     MutexLock lock(&shard.mu);
-    for (uint32_t k = begin; k < end; ++k) {
-      const uint32_t i = g.order[k];
-      Status st = shard.store->Get(Slice(keys[i]), &out->values[i]);
-      if (st.ok() && options.max_value_bytes != 0 &&
-          out->values[i].size() > options.max_value_bytes) {
-        st = Status::ResourceExhausted("value exceeds max_value_bytes");
-      }
-      out->statuses[i] = std::move(st);
-    }
+    shard.store->BatchGet(g.grouped.data() + begin, end - begin);
   }
   multiget_batches_.fetch_add(1, std::memory_order_relaxed);
   multiget_keys_.fetch_add(n, std::memory_order_relaxed);
   multiget_groups_.fetch_add(groups, std::memory_order_relaxed);
-  return out->FirstError();
 }
 
 Status ShardedStore::WriteBatch(std::span<const KvEntry> entries,
@@ -333,7 +322,7 @@ std::vector<HealthStatus> ShardedStore::PerShardHealth() const {
   return out;
 }
 
-std::string ShardedStore::StatsString() const {
+std::string ShardedStore::DebugString() const {
   return "sharded[" + std::to_string(shards_.size()) + "] " +
          Stats().ToString();
 }

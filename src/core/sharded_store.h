@@ -64,14 +64,18 @@ class ShardedStore : public KvStore {
   // land at their input positions, so order is preserved by construction,
   // and per-shard outcomes merge back in input order. The grouping scratch
   // is thread-local: the steady-state batched path allocates nothing.
-  Status MultiGet(std::span<const std::string> keys,
-                  const ReadOptions& options, BatchReadResult* out) override;
+  //
+  // Reads group at the BatchGet level: each shard receives a contiguous
+  // run of scatter ops (value/status slots still pointing at the caller's
+  // buffers) and serves it with its own batch probe — the Bw-tree /
+  // MassTree miss-interleaved descent for index-backed shards. MultiGet
+  // is inherited from KvStore, which routes through BatchGet.
+  void BatchGet(BatchGetOp* ops, size_t count) override;
   Status WriteBatch(std::span<const KvEntry> entries,
                     const WriteOptions& options,
                     BatchWriteResult* out) override;
-  // Keep the non-virtual convenience overloads and deprecated adapters
-  // visible alongside the overrides.
-  using KvStore::MultiGet;
+  // Keep the non-virtual convenience overloads visible alongside the
+  // WriteBatch override.
   using KvStore::WriteBatch;
 
   // The composite is safe for concurrent callers regardless of the inner
@@ -83,8 +87,7 @@ class ShardedStore : public KvStore {
   // Aggregated across shards, plus this composite's own batch-grouping
   // counters (multiget_batches/keys/shard_groups, writebatch_*).
   KvStoreStats Stats() const override;
-  [[deprecated("display-only rendering; consume structured Stats()")]]
-  std::string StatsString() const override;
+  std::string DebugString() const override;
   // Per-shard maintenance, each shard under its own lock.
   void Maintain() override;
   // Union of every shard's violations, each entity prefixed "shard i".

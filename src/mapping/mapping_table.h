@@ -62,6 +62,17 @@ class MappingTable {
     return entries_[id].load(std::memory_order_acquire);
   }
 
+  // Best-effort prefetch of the entry's cache line, for the PID→node hop:
+  // batch probes issue this one quantum before Get() so the entry load
+  // (and nothing it decodes to — that still needs an epoch) is likely a
+  // hit. Reads nothing, so no epoch or bounds contract beyond id being a
+  // valid index.
+  COSTPERF_HOT void Prefetch(PageId id) const {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(&entries_[id], /*rw=*/0, /*locality=*/3);
+#endif
+  }
+
   // Single CAS — the Bw-tree's only write primitive on the index.
   COSTPERF_HOT bool Cas(PageId id, uint64_t expected, uint64_t desired) {
     return entries_[id].compare_exchange_strong(

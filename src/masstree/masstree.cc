@@ -1,8 +1,12 @@
 #include "masstree/masstree.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstring>
+
+#include "common/racy.h"
+#include "common/simd.h"
 
 namespace costperf::masstree {
 
@@ -41,6 +45,32 @@ namespace {
 // Composite (slice, len) ordering used within borders.
 inline bool EntryLess(uint64_t s1, uint8_t l1, uint64_t s2, uint8_t l2) {
   return s1 < s2 || (s1 == s2 && l1 < l2);
+}
+
+// SIMD search over slot arrays a latch-holding writer may be shifting in
+// place; the surrounding version check discards torn results. Under TSan
+// the slots are snapshotted with relaxed loads first (vector loads can't
+// carry atomic semantics); other builds search the array directly.
+inline size_t RacyUpperBoundU64(const uint64_t* a, size_t n, uint64_t key) {
+#if COSTPERF_TSAN
+  uint64_t snap[16];  // callers clamp n to the 15-slot node caps
+  if (n > 16) n = 16;
+  for (size_t i = 0; i < n; ++i) snap[i] = RacyLoad(&a[i]);
+  return simd::UpperBoundU64(snap, n, key);
+#else
+  return simd::UpperBoundU64(a, n, key);
+#endif
+}
+
+inline uint32_t RacyMatchEqU64(const uint64_t* a, size_t n, uint64_t key) {
+#if COSTPERF_TSAN
+  uint64_t snap[16];
+  if (n > 16) n = 16;
+  for (size_t i = 0; i < n; ++i) snap[i] = RacyLoad(&a[i]);
+  return simd::MatchEqU64(snap, n, key);
+#else
+  return simd::MatchEqU64(a, n, key);
+#endif
 }
 
 }  // namespace
@@ -137,16 +167,23 @@ MassTree::Border* MassTree::FindBorder(const Layer* layer,
     while (level > 0) {
       auto* in = static_cast<Interior*>(node);
       uint64_t v = in->version.StableSnapshot();
-      int n = in->n;
-      int idx = 0;
-      while (idx < n && slice >= in->keys[idx]) ++idx;
-      void* child = in->children[idx];
+      // Clamp the snapshot of n: a torn read racing a split must not
+      // take the SIMD search (or children[]) out of bounds — the
+      // version check below discards the result either way.
+      int n = RacyLoad(&in->n);
+      if (n < 0) n = 0;
+      if (n > kInteriorCap) n = kInteriorCap;
+      // Child index = count of keys <= slice, one vector compare wide.
+      const size_t idx = RacyUpperBoundU64(
+          in->keys, static_cast<size_t>(n), slice);
+      void* child = RacyLoad(&in->children[idx]);
       if (in->version.Changed(v)) {
         s_retries_.fetch_add(1, std::memory_order_relaxed);
         restart = true;
         break;
       }
       node = child;
+      simd::PrefetchRead(child);
       --level;
     }
     if (restart) continue;
@@ -155,9 +192,11 @@ MassTree::Border* MassTree::FindBorder(const Layer* layer,
     // right before the parent (or a stale root) reflected it. A border's
     // first slice is its immutable lower bound, so this read is safe.
     int hops = 0;
-    while (b->next != nullptr && b->next->n > 0 &&
-           slice >= b->next->slices[0] && hops++ < 1024) {
-      b = b->next;
+    Border* nx = RacyLoad(&b->next);
+    while (nx != nullptr && RacyLoad(&nx->n) > 0 &&
+           slice >= RacyLoad(&nx->slices[0]) && hops++ < 1024) {
+      b = nx;
+      nx = RacyLoad(&b->next);
     }
     return b;
   }
@@ -170,15 +209,22 @@ Result<std::string> MassTree::GetInLayer(const Layer* layer,
   for (int attempt = 0; attempt < 1 << 20; ++attempt) {
     Border* b = FindBorder(layer, slice);
     uint64_t v = b->version.StableSnapshot();
-    // Snapshot the matching entry.
+    // Snapshot the matching entry: one vector equality over the slice
+    // array, then the (rare) same-slice candidates checked by length.
     void* payload = nullptr;
     bool found = false;
-    for (int i = 0; i < b->n; ++i) {
-      if (b->slices[i] == slice && b->lens[i] == len) {
+    int n = RacyLoad(&b->n);
+    if (n < 0) n = 0;
+    if (n > kLeafCap) n = kLeafCap;
+    uint32_t m = RacyMatchEqU64(b->slices, static_cast<size_t>(n), slice);
+    while (m != 0) {
+      const int i = std::countr_zero(m);
+      if (RacyLoad(&b->lens[i]) == len) {
         payload = b->payloads[i].load(std::memory_order_acquire);
         found = true;
         break;
       }
+      m &= m - 1;
     }
     std::string value;
     const Layer* sublayer = nullptr;
@@ -207,6 +253,191 @@ Result<std::string> MassTree::Get(const Slice& key) const {
   s_gets_.fetch_add(1, std::memory_order_relaxed);
   EpochGuard guard(&epochs_);
   return GetInLayer(root_layer_, key);
+}
+
+// ---------------------------------------------------------------------
+// Batched lookups (AMAC interleaving)
+// ---------------------------------------------------------------------
+
+// One lane of the batch machine. A probe advances one descent step per
+// quantum — kRoot resolves the layer root, kInterior takes one
+// version-validated level, kBorder takes one B-link hop, kRead does the
+// copy-then-validate entry read — prefetching the node it will
+// dereference next before yielding. Sublayer links re-enter kRoot with
+// the 8-byte-advanced suffix, exactly like GetInLayer's recursion.
+struct MassTree::LookupProbe {
+  enum class St : uint8_t { kRoot, kInterior, kBorder, kRead, kDone };
+
+  Slice key;  // suffix within the current layer
+  std::string* value = nullptr;
+  Status* status = nullptr;
+  const Layer* layer = nullptr;
+  uint64_t slice = 0;
+  uint8_t len = 0;
+  St st = St::kRoot;
+  void* node = nullptr;
+  int level = 0;
+  int hops = 0;      // B-link hops in the current border walk
+  int attempts = 0;  // kRoot entries; same 1<<20 budget as GetInLayer
+
+  void EnterLayer(const Layer* l, Slice suffix) {
+    layer = l;
+    key = suffix;
+    slice = MakeSlice(suffix, &len);
+    st = St::kRoot;
+  }
+};
+
+void MassTree::StepLookup(LookupProbe* p) const {
+  auto finish = [p](Status s) {
+    *p->status = s;
+    p->st = LookupProbe::St::kDone;
+  };
+
+  switch (p->st) {
+    case LookupProbe::St::kRoot: {
+      if (++p->attempts >= (1 << 20)) {
+        finish(Status::Internal("Get retry budget exhausted"));
+        return;
+      }
+      void* root = p->layer->root.load(std::memory_order_acquire);
+      const int level =
+          p->layer->root_level.load(std::memory_order_acquire);
+      if (p->layer->root.load(std::memory_order_acquire) != root) {
+        return;  // root moved between the two loads; stay in kRoot
+      }
+      p->node = root;
+      p->level = level;
+      p->hops = 0;
+      simd::PrefetchRead(root);
+      p->st = level > 0 ? LookupProbe::St::kInterior
+                        : LookupProbe::St::kBorder;
+      return;
+    }
+
+    case LookupProbe::St::kInterior: {
+      auto* in = static_cast<Interior*>(p->node);
+      const uint64_t v = in->version.StableSnapshot();
+      int n = RacyLoad(&in->n);
+      if (n < 0) n = 0;
+      if (n > kInteriorCap) n = kInteriorCap;
+      const size_t idx = RacyUpperBoundU64(
+          in->keys, static_cast<size_t>(n), p->slice);
+      void* child = RacyLoad(&in->children[idx]);
+      if (in->version.Changed(v)) {
+        s_retries_.fetch_add(1, std::memory_order_relaxed);
+        p->st = LookupProbe::St::kRoot;  // restart this layer's descent
+        return;
+      }
+      p->node = child;
+      --p->level;
+      simd::PrefetchRead(child);
+      p->st = p->level > 0 ? LookupProbe::St::kInterior
+                           : LookupProbe::St::kBorder;
+      return;
+    }
+
+    case LookupProbe::St::kBorder: {
+      // One B-link hop per quantum: a concurrent split may have moved
+      // the slice range right before the parent reflected it.
+      auto* b = static_cast<Border*>(p->node);
+      Border* nx = RacyLoad(&b->next);
+      if (nx != nullptr && RacyLoad(&nx->n) > 0 &&
+          p->slice >= RacyLoad(&nx->slices[0]) && p->hops++ < 1024) {
+        p->node = nx;
+        simd::PrefetchRead(&nx->payloads[0]);
+        return;  // stay in kBorder
+      }
+      p->st = LookupProbe::St::kRead;
+      return;
+    }
+
+    case LookupProbe::St::kRead: {
+      auto* b = static_cast<Border*>(p->node);
+      const uint64_t v = b->version.StableSnapshot();
+      void* payload = nullptr;
+      bool found = false;
+      int n = RacyLoad(&b->n);
+      if (n < 0) n = 0;
+      if (n > kLeafCap) n = kLeafCap;
+      uint32_t m = RacyMatchEqU64(b->slices, static_cast<size_t>(n),
+                                  p->slice);
+      while (m != 0) {
+        const int i = std::countr_zero(m);
+        if (RacyLoad(&b->lens[i]) == p->len) {
+          payload = b->payloads[i].load(std::memory_order_acquire);
+          found = true;
+          break;
+        }
+        m &= m - 1;
+      }
+      const Layer* sublayer = nullptr;
+      if (found) {
+        if (p->len == kLinkLen) {
+          sublayer = static_cast<const Layer*>(payload);
+        } else {
+          // Copy before the version check (the payload string is
+          // epoch-retired, never freed under us) so a racing overwrite
+          // is caught by Changed and retried, same as GetInLayer.
+          *p->value = *static_cast<std::string*>(payload);
+        }
+      }
+      if (b->version.Changed(v)) {
+        s_retries_.fetch_add(1, std::memory_order_relaxed);
+        p->st = LookupProbe::St::kRoot;
+        return;
+      }
+      if (!found) {
+        finish(Status::NotFound());
+        return;
+      }
+      if (sublayer != nullptr) {
+        simd::PrefetchRead(sublayer);
+        p->EnterLayer(sublayer,
+                      Slice(p->key.data() + 8, p->key.size() - 8));
+        return;
+      }
+      finish(Status::Ok());
+      return;
+    }
+
+    case LookupProbe::St::kDone:
+      return;
+  }
+}
+
+void MassTree::LookupBatch(const LookupOp* ops, size_t count,
+                           size_t interleave) const {
+  if (count == 0) return;
+  if (interleave == 0) interleave = 1;
+  s_gets_.fetch_add(count, std::memory_order_relaxed);
+  // Lane state reused across calls (no per-call allocation once warm).
+  thread_local std::vector<LookupProbe> lanes;
+  if (lanes.size() < interleave) lanes.resize(interleave);
+
+  for (size_t base = 0; base < count; base += interleave) {
+    const size_t n = std::min<size_t>(interleave, count - base);
+    // One guard per interleave group: probes hold node pointers across
+    // quanta (the guard blocks reclamation) and the epoch reservation
+    // cost is amortized over the group.
+    EpochGuard guard(&epochs_);
+    for (size_t i = 0; i < n; ++i) {
+      LookupProbe& p = lanes[i];
+      p.value = ops[base + i].value;
+      p.status = ops[base + i].status;
+      p.attempts = 0;
+      p.EnterLayer(root_layer_, ops[base + i].key);
+    }
+    size_t live = n;
+    while (live > 0) {
+      for (size_t i = 0; i < n; ++i) {
+        LookupProbe& p = lanes[i];
+        if (p.st == LookupProbe::St::kDone) continue;
+        StepLookup(&p);
+        if (p.st == LookupProbe::St::kDone) --live;
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------
@@ -250,15 +481,17 @@ void MassTree::InsertIntoParent(Layer* layer, std::vector<Interior*>* path,
   if (parent->n < kInteriorCap) {
     parent->version.Lock();
     parent->version.MarkInserting();
+    // RacyStore on every slot mutation: optimistic readers walk this
+    // node concurrently and rely on the version recheck, not the latch.
     int idx = 0;
     while (idx < parent->n && parent->keys[idx] < sep) ++idx;
     for (int i = parent->n; i > idx; --i) {
-      parent->keys[i] = parent->keys[i - 1];
-      parent->children[i + 1] = parent->children[i];
+      RacyStore(&parent->keys[i], parent->keys[i - 1]);
+      RacyStore(&parent->children[i + 1], parent->children[i]);
     }
-    parent->keys[idx] = sep;
-    parent->children[idx + 1] = right;
-    parent->n++;
+    RacyStore(&parent->keys[idx], sep);
+    RacyStore(&parent->children[idx + 1], right);
+    RacyStore(&parent->n, parent->n + 1);
     parent->version.Unlock();
     return;
   }
@@ -294,9 +527,11 @@ void MassTree::InsertIntoParent(Layer* layer, std::vector<Interior*>* path,
 
   parent->version.Lock();
   parent->version.MarkSplitting();
-  parent->n = mid;
-  for (int i = 0; i < mid; ++i) parent->keys[i] = all_keys[i];
-  for (int i = 0; i <= mid; ++i) parent->children[i] = all_children[i];
+  RacyStore(&parent->n, mid);
+  for (int i = 0; i < mid; ++i) RacyStore(&parent->keys[i], all_keys[i]);
+  for (int i = 0; i <= mid; ++i) {
+    RacyStore(&parent->children[i], all_children[i]);
+  }
   parent->version.Unlock();
 
   InsertIntoParent(layer, path, parent, up_key, right_in, parent->level);
@@ -308,21 +543,23 @@ void MassTree::InsertIntoBorder(Layer* layer, Border* b,
   if (b->n < kLeafCap) {
     b->version.Lock();
     b->version.MarkInserting();
+    // RacyStore on slot mutations: optimistic readers snapshot these
+    // fields without the latch and validate via the version recheck.
     int idx = 0;
     while (idx < b->n && EntryLess(b->slices[idx], b->lens[idx], slice, len)) {
       ++idx;
     }
     for (int i = b->n; i > idx; --i) {
-      b->slices[i] = b->slices[i - 1];
-      b->lens[i] = b->lens[i - 1];
+      RacyStore(&b->slices[i], b->slices[i - 1]);
+      RacyStore(&b->lens[i], b->lens[i - 1]);
       b->payloads[i].store(
           b->payloads[i - 1].load(std::memory_order_relaxed),
           std::memory_order_release);
     }
-    b->slices[idx] = slice;
-    b->lens[idx] = len;
+    RacyStore(&b->slices[idx], slice);
+    RacyStore(&b->lens[idx], len);
     b->payloads[idx].store(payload, std::memory_order_release);
-    b->n++;
+    RacyStore(&b->n, b->n + 1);
     b->version.Unlock();
     return;
   }
@@ -360,8 +597,8 @@ void MassTree::InsertIntoBorder(Layer* layer, Border* b,
 
   b->version.Lock();
   b->version.MarkSplitting();
-  b->n = split;
-  b->next = right;
+  RacyStore(&b->n, split);
+  RacyStore(&b->next, right);
   b->version.Unlock();
 
   std::vector<Interior*> parent_path(*path);
@@ -451,13 +688,13 @@ Status MassTree::DeleteInLayer(Layer* layer, const Slice& key) {
       b->version.Lock();
       b->version.MarkInserting();
       for (int j = i; j < b->n - 1; ++j) {
-        b->slices[j] = b->slices[j + 1];
-        b->lens[j] = b->lens[j + 1];
+        RacyStore(&b->slices[j], b->slices[j + 1]);
+        RacyStore(&b->lens[j], b->lens[j + 1]);
         b->payloads[j].store(
             b->payloads[j + 1].load(std::memory_order_relaxed),
             std::memory_order_release);
       }
-      b->n--;
+      RacyStore(&b->n, b->n - 1);
       b->version.Unlock();
       epochs_.Retire([old] { delete old; });
       count_.fetch_sub(1, std::memory_order_acq_rel);
@@ -501,14 +738,14 @@ bool MassTree::ScanLayer(
   while (b != nullptr) {
     // Optimistically snapshot the border.
     uint64_t v = b->version.StableSnapshot();
-    int n = b->n;
+    int n = RacyLoad(&b->n);
     uint64_t slices[kLeafCap];
     uint8_t lens[kLeafCap];
     void* payloads[kLeafCap];
-    Border* next = b->next;
+    Border* next = RacyLoad(&b->next);
     for (int i = 0; i < n && i < kLeafCap; ++i) {
-      slices[i] = b->slices[i];
-      lens[i] = b->lens[i];
+      slices[i] = RacyLoad(&b->slices[i]);
+      lens[i] = RacyLoad(&b->lens[i]);
       payloads[i] = b->payloads[i].load(std::memory_order_acquire);
     }
     if (b->version.Changed(v)) {

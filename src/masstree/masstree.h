@@ -8,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/batch_op.h"
 #include "common/epoch.h"
 #include "common/latch.h"
 #include "common/slice.h"
@@ -50,6 +51,22 @@ class MassTree {
   Status Put(const Slice& key, const Slice& value);
   Result<std::string> Get(const Slice& key) const;
   Status Delete(const Slice& key);
+
+  // One probe of a batched lookup: the stack-wide shared op type (see
+  // common/batch_op.h), so KvStore-layer callers pass their op arrays
+  // down without translation. *value is meaningful only when *status
+  // is Ok.
+  using LookupOp = ::costperf::BatchGetOp;
+
+  // Batched point lookups: up to `interleave` probes run as an
+  // AMAC-style state machine, each advancing one descent step (root
+  // resolve, one interior level, one B-link hop, version-validated
+  // border read) and prefetching the node it touches next before
+  // yielding — so a group's DRAM misses overlap instead of
+  // serializing. Results match per-key Get exactly; one EpochGuard
+  // covers each interleave group.
+  void LookupBatch(const LookupOp* ops, size_t count,
+                   size_t interleave = 8) const;
 
   // Ordered scan: up to `limit` records with key >= start (and < end when
   // end is non-empty).
@@ -101,6 +118,11 @@ class MassTree {
       REQUIRES_EPOCH(epochs_);
 
   Border* FindBorder(const Layer* layer, uint64_t slice) const
+      REQUIRES_EPOCH(epochs_);
+  // Per-probe state of the LookupBatch machine (defined in masstree.cc).
+  struct LookupProbe;
+  // Advances one probe by one descent step; runs inside the group guard.
+  COSTPERF_HOT void StepLookup(LookupProbe* p) const
       REQUIRES_EPOCH(epochs_);
   // Writer-side descent (layer latch held).
   Border* FindBorderLocked(Layer* layer, uint64_t slice,

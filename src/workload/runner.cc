@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <condition_variable>
 #include <cstdio>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -147,8 +148,12 @@ void RunPhase(core::KvStore* store, const WorkloadSpec& spec,
 
   // Batch staging and results, reused across groups (the out-param batch
   // surface keeps value-buffer capacity across calls, so the batched loop
-  // settles into zero allocations per group).
+  // settles into zero allocations per group). read_keys is a string pool:
+  // it only ever grows to the batch size and keys are assign()ed into the
+  // existing elements, so staging a read costs a copy into retained
+  // capacity, not a fresh string per key.
   std::vector<std::string> read_keys;
+  size_t staged_reads = 0;
   std::vector<core::KvEntry> write_entries;
   std::vector<Op> singles;
   core::BatchReadResult read_result;
@@ -158,7 +163,7 @@ void RunPhase(core::KvStore* store, const WorkloadSpec& spec,
   const uint64_t cpu_start = ThreadCpuNanos();
 
   uint64_t done = 0;
-  Op op;  // reused in unbatched mode: key/value capacity persists
+  Op op;  // reused across ops in both modes: key/value capacity persists
   while (done < options.ops_per_thread) {
     if (batch == 1) {
       workload.NextOp(&op);
@@ -176,28 +181,31 @@ void RunPhase(core::KvStore* store, const WorkloadSpec& spec,
     // (scans, RMW) individually.
     const uint64_t group =
         std::min<uint64_t>(batch, options.ops_per_thread - done);
-    read_keys.clear();
+    staged_reads = 0;
     write_entries.clear();
     singles.clear();
     for (uint64_t i = 0; i < group; ++i) {
-      Op staged = workload.NextOp();
-      ++result->op_counts[static_cast<int>(staged.type)];
-      switch (staged.type) {
+      workload.NextOp(&op);
+      ++result->op_counts[static_cast<int>(op.type)];
+      switch (op.type) {
         case OpType::kRead:
-          read_keys.push_back(std::move(staged.key));
+          if (staged_reads == read_keys.size()) read_keys.emplace_back();
+          read_keys[staged_reads].assign(op.key);
+          ++staged_reads;
           break;
         case OpType::kUpdate:
         case OpType::kInsert:
-          write_entries.emplace_back(std::move(staged.key),
-                                     std::move(staged.value));
+          write_entries.emplace_back(std::move(op.key), std::move(op.value));
           break;
         default:
-          singles.push_back(std::move(staged));
+          singles.push_back(op);
       }
     }
-    if (!read_keys.empty()) {
+    if (staged_reads != 0) {
       timer.Start();
-      (void)store->MultiGet(read_keys, &read_result);
+      (void)store->MultiGet(
+          std::span<const std::string>(read_keys.data(), staged_reads),
+          &read_result);
       timer.Stop();
       ++result->batch_calls;
       for (const Status& s : read_result.statuses) {

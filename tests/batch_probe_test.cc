@@ -1,0 +1,239 @@
+// Batched index probes (BwTree::MultiGetBatch / MassTree::LookupBatch):
+// equivalence with single-key Get across interleave depths, and races
+// against the structure modifications the interleaved state machines
+// must survive (border/interior splits, Bw-tree SMOs, consolidation,
+// delta chains, flash-resident pages).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bwtree/bwtree.h"
+#include "common/random.h"
+#include "core/caching_store.h"
+#include "masstree/masstree.h"
+
+namespace costperf {
+namespace {
+
+std::string Key(uint64_t i) {
+  char buf[32];
+  snprintf(buf, sizeof(buf), "key%010llu", static_cast<unsigned long long>(i));
+  return buf;
+}
+std::string Val(uint64_t i) { return "value-" + std::to_string(i); }
+// Long keys sharing an 8+ byte prefix: forces MassTree sublayers.
+std::string DeepKey(uint64_t i) {
+  return "deep-prefix-shared-across-layers-" + Key(i);
+}
+
+const size_t kInterleaves[] = {1, 2, 8, 16};
+
+TEST(MassTreeBatchTest, MatchesGetAcrossInterleaves) {
+  masstree::MassTree t;
+  constexpr uint64_t kN = 1500;
+  std::vector<std::string> keys;
+  for (uint64_t i = 0; i < kN; ++i) {
+    keys.push_back(i % 3 == 0 ? DeepKey(i) : Key(i));
+    ASSERT_TRUE(t.Put(keys.back(), Val(i)).ok());
+  }
+  // Probe set: every present key plus interspersed misses.
+  std::vector<std::string> probes;
+  for (uint64_t i = 0; i < kN; ++i) {
+    probes.push_back(keys[i]);
+    if (i % 5 == 0) probes.push_back(Key(kN + i));           // absent
+    if (i % 7 == 0) probes.push_back(DeepKey(kN + i));       // absent, deep
+  }
+  std::vector<std::string> values(probes.size());
+  std::vector<Status> statuses(probes.size());
+  std::vector<masstree::MassTree::LookupOp> ops(probes.size());
+  for (size_t interleave : kInterleaves) {
+    for (size_t i = 0; i < probes.size(); ++i) {
+      values[i].clear();
+      ops[i] = {Slice(probes[i]), &values[i], &statuses[i]};
+    }
+    t.LookupBatch(ops.data(), ops.size(), interleave);
+    for (size_t i = 0; i < probes.size(); ++i) {
+      auto ref = t.Get(probes[i]);
+      ASSERT_EQ(statuses[i].ok(), ref.ok())
+          << "interleave=" << interleave << " key=" << probes[i];
+      if (ref.ok()) {
+        ASSERT_EQ(values[i], *ref) << "interleave=" << interleave;
+      } else {
+        ASSERT_TRUE(statuses[i].IsNotFound());
+      }
+    }
+  }
+}
+
+TEST(MassTreeBatchTest, BatchedLookupsRaceBorderSplits) {
+  masstree::MassTree t;
+  // Stable set the readers check; the writer then grows the tree past
+  // many border/interior splits (and sublayer creation) underneath them.
+  constexpr uint64_t kStable = 400;
+  std::vector<std::string> stable;
+  for (uint64_t i = 0; i < kStable; ++i) {
+    stable.push_back(i % 2 == 0 ? Key(i) : DeepKey(i));
+    ASSERT_TRUE(t.Put(stable.back(), Val(i)).ok());
+  }
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t i = kStable;
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)t.Put(i % 2 == 0 ? Key(i) : DeepKey(i), Val(i));
+      ++i;
+    }
+  });
+  std::vector<std::string> values(stable.size());
+  std::vector<Status> statuses(stable.size());
+  std::vector<masstree::MassTree::LookupOp> ops(stable.size());
+  for (int round = 0; round < 60; ++round) {
+    const size_t interleave = kInterleaves[round % 4];
+    for (size_t i = 0; i < stable.size(); ++i) {
+      ops[i] = {Slice(stable[i]), &values[i], &statuses[i]};
+    }
+    t.LookupBatch(ops.data(), ops.size(), interleave);
+    for (size_t i = 0; i < stable.size(); ++i) {
+      ASSERT_TRUE(statuses[i].ok())
+          << "round=" << round << " key=" << stable[i] << " "
+          << statuses[i].ToString();
+      ASSERT_EQ(values[i], Val(i));
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+class BwTreeBatchTest : public ::testing::Test {
+ protected:
+  void SetUpStore(uint64_t max_page_bytes = 1024,
+                  uint32_t consolidate_threshold = 4) {
+    storage::SsdOptions dev;
+    dev.capacity_bytes = 256ull << 20;
+    dev.max_iops = 0;
+    device_ = std::make_unique<storage::SsdDevice>(dev);
+    log_ = std::make_unique<llama::LogStructuredStore>(device_.get());
+    bwtree::BwTreeOptions opts;
+    opts.max_page_bytes = max_page_bytes;
+    opts.consolidate_threshold = consolidate_threshold;
+    opts.max_inner_children = 8;
+    opts.log_store = log_.get();
+    tree_ = std::make_unique<bwtree::BwTree>(opts);
+  }
+
+  std::unique_ptr<storage::SsdDevice> device_;
+  std::unique_ptr<llama::LogStructuredStore> log_;
+  std::unique_ptr<bwtree::BwTree> tree_;
+};
+
+TEST_F(BwTreeBatchTest, MatchesGetOverDeltaChainsAndBasePages) {
+  // High consolidation threshold keeps delta chains alive, so one batch
+  // crosses a mix of plain base pages and chains of insert/delete deltas.
+  SetUpStore(/*max_page_bytes=*/1024, /*consolidate_threshold=*/12);
+  constexpr uint64_t kN = 600;
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(tree_->Put(Key(i), Val(i)).ok());
+  }
+  for (uint64_t i = 0; i < kN; i += 3) {                // overwrite deltas
+    ASSERT_TRUE(tree_->Put(Key(i), Val(i * 1000)).ok());
+  }
+  for (uint64_t i = 1; i < kN; i += 9) {                // delete deltas
+    ASSERT_TRUE(tree_->Delete(Key(i)).ok());
+  }
+  std::vector<std::string> probes;
+  for (uint64_t i = 0; i < kN + 50; ++i) probes.push_back(Key(i));
+  std::vector<std::string> values(probes.size());
+  std::vector<Status> statuses(probes.size());
+  std::vector<bwtree::BwTree::BatchGetOp> ops(probes.size());
+  for (size_t interleave : kInterleaves) {
+    for (size_t i = 0; i < probes.size(); ++i) {
+      values[i].clear();
+      ops[i] = {Slice(probes[i]), &values[i], &statuses[i]};
+    }
+    tree_->MultiGetBatch(ops.data(), ops.size(), interleave);
+    for (size_t i = 0; i < probes.size(); ++i) {
+      auto ref = tree_->Get(probes[i]);
+      ASSERT_EQ(statuses[i].ok(), ref.ok())
+          << "interleave=" << interleave << " key=" << probes[i];
+      if (ref.ok()) {
+        ASSERT_EQ(values[i], *ref) << "interleave=" << interleave;
+      } else {
+        ASSERT_TRUE(statuses[i].IsNotFound()) << statuses[i].ToString();
+      }
+    }
+  }
+}
+
+TEST_F(BwTreeBatchTest, BatchedReadsRaceSplitsAndConsolidations) {
+  // Small pages + low threshold: the writer's stream of puts drives
+  // splits, parent posts, and consolidations while batches are in
+  // flight with several probes interleaved.
+  SetUpStore(/*max_page_bytes=*/512, /*consolidate_threshold=*/4);
+  constexpr uint64_t kStable = 300;
+  std::vector<std::string> stable;
+  for (uint64_t i = 0; i < kStable; ++i) {
+    stable.push_back(Key(i * 2));  // gaps leave room for writer inserts
+    ASSERT_TRUE(tree_->Put(stable.back(), Val(i)).ok());
+  }
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    uint64_t next = kStable * 2;
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)tree_->Put(Key(next | 1), Val(next));  // odd keys only
+      if (next % 4 == 0) (void)tree_->Delete(Key((next - 8) | 1));
+      ++next;
+    }
+  });
+  std::vector<std::string> values(stable.size());
+  std::vector<Status> statuses(stable.size());
+  std::vector<bwtree::BwTree::BatchGetOp> ops(stable.size());
+  for (int round = 0; round < 60; ++round) {
+    const size_t interleave = kInterleaves[round % 4];
+    for (size_t i = 0; i < stable.size(); ++i) {
+      ops[i] = {Slice(stable[i]), &values[i], &statuses[i]};
+    }
+    tree_->MultiGetBatch(ops.data(), ops.size(), interleave);
+    for (size_t i = 0; i < stable.size(); ++i) {
+      ASSERT_TRUE(statuses[i].ok())
+          << "round=" << round << " key=" << stable[i] << " "
+          << statuses[i].ToString();
+      ASSERT_EQ(values[i], Val(i));
+    }
+  }
+  stop.store(true);
+  writer.join();
+  EXPECT_GT(tree_->stats().leaf_splits, 0u);
+}
+
+TEST(CachingStoreBatchTest, BatchLoadsFlashResidentPages) {
+  // Evicted pages force the batch machine down its synchronous flash
+  // load + restart edge; every key must still come back.
+  core::CachingStoreOptions opts;
+  opts.device.capacity_bytes = 256ull << 20;
+  opts.device.max_iops = 0;
+  opts.tree.max_page_bytes = 1024;
+  opts.maintenance_interval_ops = 0;
+  core::CachingStore store(opts);
+  constexpr uint64_t kN = 400;
+  std::vector<std::string> keys;
+  for (uint64_t i = 0; i < kN; ++i) {
+    keys.push_back(Key(i));
+    ASSERT_TRUE(store.Put(keys.back(), Val(i)).ok());
+  }
+  ASSERT_TRUE(store.EvictAll().ok());
+
+  core::BatchReadResult result;
+  ASSERT_TRUE(store.MultiGet(keys, &result).ok());
+  for (uint64_t i = 0; i < kN; ++i) {
+    ASSERT_TRUE(result.statuses[i].ok()) << keys[i];
+    ASSERT_EQ(result.values[i], Val(i));
+  }
+  EXPECT_GT(store.Stats().misses, 0u) << "eviction should have forced SS ops";
+}
+
+}  // namespace
+}  // namespace costperf

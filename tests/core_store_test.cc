@@ -121,15 +121,12 @@ TEST(CachingStoreTest, LruPolicyKeepsPagesWithoutPressure) {
       << "LRU without budget pressure evicts nothing";
 }
 
-TEST(CachingStoreTest, StatsStringMentionsComponents) {
+TEST(CachingStoreTest, DebugStringMentionsComponents) {
   CachingStore store(SmallStoreOptions());
   ASSERT_TRUE(store.Put("a", "b").ok());
-  // StatsString() is deprecated for programmatic use; this is a spot-check
-  // of the human-readable rendering, which stays supported.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  std::string s = store.StatsString();
-#pragma GCC diagnostic pop
+  // DebugString() is display-only by contract; this is a spot-check of
+  // the human-readable rendering, which stays supported.
+  std::string s = store.DebugString();
   EXPECT_NE(s.find("bwtree:"), std::string::npos);
   EXPECT_NE(s.find("device:"), std::string::npos);
   EXPECT_NE(s.find("cache:"), std::string::npos);

@@ -88,13 +88,10 @@ TEST(ShardedStoreTest, StatsAggregateAcrossShards) {
   EXPECT_EQ(total.memory_bytes, manual.memory_bytes);
   EXPECT_EQ(total.memory_bytes, store->MemoryFootprintBytes());
 
-  // StatsString is a display-only rendering of Stats() (deprecated for
-  // programmatic use); a spot-check that the rendering exists is all the
-  // coverage it needs — the counters above are asserted structurally.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_NE(store->StatsString().find("sharded[3]"), std::string::npos);
-#pragma GCC diagnostic pop
+  // DebugString is a display-only rendering of Stats(); a spot-check that
+  // the rendering exists is all the coverage it needs — the counters
+  // above are asserted structurally.
+  EXPECT_NE(store->DebugString().find("sharded[3]"), std::string::npos);
 }
 
 TEST(ShardedStoreTest, MultiGetPreservesInputOrder) {
@@ -266,22 +263,23 @@ TEST(ShardedStoreTest, DefaultBatchOpsWorkOnUnshardedStores) {
   EXPECT_EQ(rr.values[2], "a");
 }
 
-TEST(ShardedStoreTest, DeprecatedBatchAdaptersStillWork) {
-  // The one-release migration shims wrap the out-param surface; no other
-  // in-tree caller uses them.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(ShardedStoreTest, BatchGetScattersAcrossShards) {
+  // The low-level scatter surface: ops grouped per shard, results landing
+  // in caller-owned slots at input positions.
   auto store = ShardedStore::OfMemory(3);
-  std::vector<std::pair<std::string, std::string>> entries = {
-      {Key(1), "a"}, {Key(2), "b"}};
-  ASSERT_TRUE(store->WriteBatch(entries).ok());
+  ASSERT_TRUE(store->Put(Key(1), "a").ok());
+  ASSERT_TRUE(store->Put(Key(2), "b").ok());
   std::vector<std::string> keys = {Key(2), Key(9), Key(1)};
-  std::vector<Result<std::string>> results = store->MultiGet(keys);
-  ASSERT_EQ(results.size(), 3u);
-  EXPECT_EQ(*results[0], "b");
-  EXPECT_TRUE(results[1].status().IsNotFound());
-  EXPECT_EQ(*results[2], "a");
-#pragma GCC diagnostic pop
+  std::vector<std::string> values(keys.size());
+  std::vector<Status> statuses(keys.size());
+  std::vector<BatchGetOp> ops(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ops[i] = {Slice(keys[i]), &values[i], &statuses[i]};
+  }
+  store->BatchGet(ops.data(), ops.size());
+  EXPECT_EQ(values[0], "b");
+  EXPECT_TRUE(statuses[1].IsNotFound());
+  EXPECT_EQ(values[2], "a");
 }
 
 TEST(ShardedStoreTest, EachShardRecoversFromItsOwnDevice) {

@@ -1,0 +1,206 @@
+#include "common/simd.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "bwtree/node.h"
+#include "common/random.h"
+#include "common/slice.h"
+
+namespace costperf::simd {
+namespace {
+
+// Reference implementations the dispatched kernels must match bit for
+// bit, regardless of which backend (avx2/sse2/scalar) was selected at
+// static init.
+size_t RefLower(const std::vector<uint64_t>& a, uint64_t key) {
+  return static_cast<size_t>(
+      std::lower_bound(a.begin(), a.end(), key) - a.begin());
+}
+size_t RefUpper(const std::vector<uint64_t>& a, uint64_t key) {
+  return static_cast<size_t>(
+      std::upper_bound(a.begin(), a.end(), key) - a.begin());
+}
+uint32_t RefMatch(const std::vector<uint64_t>& a, uint64_t key) {
+  uint32_t m = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == key) m |= 1u << i;
+  }
+  return m;
+}
+
+// Keys that straddle the sign-flip boundary the AVX2 kernels depend on
+// (unsigned compare via _mm256_cmpgt_epi64 after flipping the top bit).
+const uint64_t kEdgeKeys[] = {
+    0,
+    1,
+    0x7fffffffffffffffull - 1,
+    0x7fffffffffffffffull,
+    0x8000000000000000ull,
+    0x8000000000000001ull,
+    std::numeric_limits<uint64_t>::max() - 1,
+    std::numeric_limits<uint64_t>::max(),
+};
+
+TEST(SimdTest, BackendNameIsSet) {
+  const std::string name = BackendName();
+  EXPECT_TRUE(name == "avx2" || name == "sse2" || name == "scalar") << name;
+#ifdef COSTPERF_NO_SIMD
+  EXPECT_EQ(name, "scalar");
+#endif
+}
+
+TEST(SimdTest, BoundsMatchScalarOnEdgeValues) {
+  // Arrays built from every subset size of the edge values, sorted.
+  std::vector<uint64_t> all(std::begin(kEdgeKeys), std::end(kEdgeKeys));
+  for (size_t n = 0; n <= all.size(); ++n) {
+    std::vector<uint64_t> a(all.begin(), all.begin() + n);
+    for (uint64_t key : kEdgeKeys) {
+      EXPECT_EQ(LowerBoundU64(a.data(), a.size(), key), RefLower(a, key))
+          << "n=" << n << " key=" << key;
+      EXPECT_EQ(UpperBoundU64(a.data(), a.size(), key), RefUpper(a, key))
+          << "n=" << n << " key=" << key;
+    }
+  }
+}
+
+TEST(SimdTest, BoundsMatchScalarOnRandomArrays) {
+  Random rng(42);
+  for (int round = 0; round < 200; ++round) {
+    // Sizes sweep the vector-width boundaries (0..40 covers remainders
+    // 0..3 for 4-lane AVX2 and several full blocks).
+    const size_t n = rng.Uniform(41);
+    std::vector<uint64_t> a(n);
+    for (auto& v : a) {
+      // Small value range => plenty of duplicate runs.
+      v = rng.Uniform(32);
+    }
+    std::sort(a.begin(), a.end());
+    for (int probe = 0; probe < 40; ++probe) {
+      const uint64_t key = rng.Uniform(34);
+      ASSERT_EQ(LowerBoundU64(a.data(), n, key), RefLower(a, key))
+          << "n=" << n << " key=" << key;
+      ASSERT_EQ(UpperBoundU64(a.data(), n, key), RefUpper(a, key))
+          << "n=" << n << " key=" << key;
+    }
+  }
+}
+
+TEST(SimdTest, MatchEqMatchesScalar) {
+  Random rng(7);
+  for (int round = 0; round < 200; ++round) {
+    const size_t n = rng.Uniform(33);  // MatchEq contract: n <= 32
+    std::vector<uint64_t> a(n);
+    for (auto& v : a) v = rng.Uniform(8);  // unsorted, duplicate-heavy
+    for (uint64_t key = 0; key < 9; ++key) {
+      ASSERT_EQ(MatchEqU64(a.data(), n, key), RefMatch(a, key))
+          << "n=" << n << " key=" << key;
+    }
+  }
+}
+
+TEST(SimdTest, KeySliceAtEncodesBigEndianZeroPadded) {
+  const std::string k = "ABCDEFGHIJ";
+  // Full 8 bytes from offset 0: big-endian packing.
+  EXPECT_EQ(KeySliceAt(k.data(), k.size(), 0), 0x4142434445464748ull);
+  // Offset past the front: remaining bytes, zero-padded at the bottom.
+  EXPECT_EQ(KeySliceAt(k.data(), k.size(), 8), 0x494a000000000000ull);
+  // Offset at/beyond the end: all zero.
+  EXPECT_EQ(KeySliceAt(k.data(), k.size(), 10), 0ull);
+  EXPECT_EQ(KeySliceAt(k.data(), k.size(), 100), 0ull);
+  // Short key: zero-padded.
+  EXPECT_EQ(KeySliceAt("A", 1, 0), 0x4100000000000000ull);
+  EXPECT_EQ(KeySliceAt("", 0, 0), 0ull);
+}
+
+TEST(SimdTest, KeySliceOrderIsNonStrictlyMonotonic) {
+  // The slice order must never contradict lexicographic order at the
+  // same offset: a <= b (lex) implies slice(a) <= slice(b). Equal slices
+  // with different strings are fine (resolved by full compares).
+  std::vector<std::string> keys = {"",     "a",    "ab",   "abc",
+                                   "abcd", "abd",  "b",    "ba",
+                                   "aa\x01", "aa\xff", "zzzzzzzzz"};
+  std::sort(keys.begin(), keys.end());
+  for (size_t i = 1; i < keys.size(); ++i) {
+    const uint64_t prev =
+        KeySliceAt(keys[i - 1].data(), keys[i - 1].size(), 0);
+    const uint64_t cur = KeySliceAt(keys[i].data(), keys[i].size(), 0);
+    EXPECT_LE(prev, cur) << keys[i - 1] << " vs " << keys[i];
+  }
+}
+
+}  // namespace
+}  // namespace costperf::simd
+
+namespace costperf::bwtree {
+namespace {
+
+// NodeLowerBound/NodeUpperBound must agree with std::lower/upper_bound
+// over the raw keys whether the per-node slice index is Ready or empty
+// (the scalar degradation path a copy-reset index falls back to).
+TEST(NodeSearchTest, BoundsMatchStdWithAndWithoutIndex) {
+  Random rng(13);
+  for (int round = 0; round < 50; ++round) {
+    const size_t n = 1 + rng.Uniform(40);
+    std::vector<std::string> keys;
+    for (size_t i = 0; i < n; ++i) {
+      // Shared prefix exercises the skip/common-prefix logic; short
+      // random tails create duplicate slices.
+      std::string k = "commonprefix-";
+      const size_t tail = rng.Uniform(4);
+      for (size_t t = 0; t < tail; ++t) {
+        k.push_back(static_cast<char>('a' + rng.Uniform(3)));
+      }
+      keys.push_back(std::move(k));
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+    NodeSearchIndex built;
+    built.Build(keys);
+    ASSERT_TRUE(built.Ready(keys.size()));
+    NodeSearchIndex empty;  // never built: scalar path
+
+    auto probe_at = [&](const std::string& probe) {
+      const Slice key(probe);
+      const size_t ref_lo = static_cast<size_t>(
+          std::lower_bound(keys.begin(), keys.end(), probe) - keys.begin());
+      const size_t ref_hi = static_cast<size_t>(
+          std::upper_bound(keys.begin(), keys.end(), probe) - keys.begin());
+      ASSERT_EQ(NodeLowerBound(keys, built, key), ref_lo) << probe;
+      ASSERT_EQ(NodeUpperBound(keys, built, key), ref_hi) << probe;
+      ASSERT_EQ(NodeLowerBound(keys, empty, key), ref_lo) << probe;
+      ASSERT_EQ(NodeUpperBound(keys, empty, key), ref_hi) << probe;
+    };
+
+    for (const auto& k : keys) probe_at(k);       // exact hits
+    probe_at("");                                 // before everything
+    probe_at("commonprefix");                     // shorter than the skip
+    probe_at("commonprefix-aa");                  // inside the range
+    probe_at("commonprefiy");                     // above the prefix
+    probe_at("zzz");                              // after everything
+  }
+}
+
+TEST(NodeSearchTest, CopyProducesEmptyIndex) {
+  std::vector<std::string> keys = {"a", "b", "c"};
+  NodeSearchIndex idx;
+  idx.Build(keys);
+  ASSERT_TRUE(idx.Ready(3));
+  // Copy-then-mutate is how SMOs build their new nodes; the copy must
+  // come out empty so a forgotten rebuild degrades to scalar search
+  // instead of silently consulting stale slices.
+  NodeSearchIndex copied(idx);
+  EXPECT_FALSE(copied.Ready(3));
+  NodeSearchIndex assigned;
+  assigned = idx;
+  EXPECT_FALSE(assigned.Ready(3));
+}
+
+}  // namespace
+}  // namespace costperf::bwtree

@@ -1,0 +1,74 @@
+#include "BatchSerialDescentCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+namespace costperf_tidy {
+
+using namespace clang::ast_matchers;  // NOLINT: matcher DSL convention
+
+namespace {
+
+constexpr llvm::StringRef kHotAnnotation = "costperf_hot";
+
+// Mirrors HotPathAllocationCheck: the annotate attribute is usually
+// spelled on the in-class declaration while the match lands on the
+// out-of-line definition, so walk every redeclaration.
+bool IsHotFunction(const clang::FunctionDecl* FD) {
+  for (const clang::FunctionDecl* Redecl : FD->redecls()) {
+    for (const auto* A : Redecl->specific_attrs<clang::AnnotateAttr>()) {
+      if (A->getAnnotation() == kHotAnnotation) return true;
+    }
+  }
+  return false;
+}
+
+// The batch machinery by name: the batched entry points themselves
+// (anything with "Batch" in the name) and the per-hop state-machine
+// steps. Only these are held to the no-serial-descent contract — a
+// plain hot Get calling DescendToLeaf is the single-probe path working
+// as designed.
+bool IsBatchFunction(const clang::FunctionDecl* FD) {
+  const std::string Name = FD->getNameAsString();
+  if (Name.find("Batch") != std::string::npos) return true;
+  return Name == "StepProbe" || Name == "StepLookup";
+}
+
+}  // namespace
+
+void BatchSerialDescentCheck::registerMatchers(MatchFinder* Finder) {
+  auto HotFn =
+      functionDecl(isDefinition(), hasAttr(clang::attr::Annotate)).bind("fn");
+
+  // Class-scoped single-probe descent entry points. Scoping by the
+  // fully qualified method matters: StepProbe legitimately calls
+  // MappingTable::Get (the per-hop PID translation) — only the trees'
+  // own per-key descents defeat the interleaved machine.
+  auto SerialDescent = cxxMethodDecl(hasAnyName(
+      "::costperf::bwtree::BwTree::Get",
+      "::costperf::bwtree::BwTree::DescendToLeaf",
+      "::costperf::masstree::MassTree::Get",
+      "::costperf::masstree::MassTree::GetInLayer",
+      "::costperf::masstree::MassTree::FindBorder"));
+
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(SerialDescent), hasAncestor(HotFn))
+          .bind("call"),
+      this);
+}
+
+void BatchSerialDescentCheck::check(const MatchFinder::MatchResult& Result) {
+  const auto* FD = Result.Nodes.getNodeAs<clang::FunctionDecl>("fn");
+  const auto* Call = Result.Nodes.getNodeAs<clang::CXXMemberCallExpr>("call");
+  if (FD == nullptr || Call == nullptr) return;
+  if (!IsHotFunction(FD) || !IsBatchFunction(FD)) return;
+
+  diag(Call->getBeginLoc(),
+       "single-probe descent call in COSTPERF_HOT batch function %0; "
+       "batched probes must advance through the interleaved state machine "
+       "(MultiGetBatch/LookupBatch), not fall back to per-key descent")
+      << FD;
+}
+
+}  // namespace costperf_tidy

@@ -1,0 +1,43 @@
+#ifndef COSTPERF_TOOLS_COSTPERF_TIDY_BATCH_SERIAL_DESCENT_CHECK_H_
+#define COSTPERF_TOOLS_COSTPERF_TIDY_BATCH_SERIAL_DESCENT_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace costperf_tidy {
+
+// costperf-batch-serial-descent
+//
+// The batched read surfaces (BwTree::MultiGetBatch, MassTree::
+// LookupBatch and their StepProbe/StepLookup state machines) exist to
+// overlap index-descent cache misses across a group of probes. Falling
+// back to the single-probe entry points from inside them — a loop of
+// tree->Get(key) per op — silently serializes the misses again while
+// keeping the batched API shape, which is exactly the regression the
+// perf work guards against.
+//
+// The check flags calls to the single-probe descent entry points
+//   BwTree::Get / BwTree::DescendToLeaf
+//   MassTree::Get / MassTree::GetInLayer / MassTree::FindBorder
+// from COSTPERF_HOT functions that are part of the batch machinery:
+// name contains "Batch", or is one of the per-hop state-machine steps
+// (StepProbe, StepLookup). Matching is scoped by class, so e.g.
+// MappingTable::Get from StepProbe — the per-hop PID translation —
+// stays legal.
+class BatchSerialDescentCheck : public clang::tidy::ClangTidyCheck {
+ public:
+  BatchSerialDescentCheck(llvm::StringRef Name,
+                          clang::tidy::ClangTidyContext* Context)
+      : ClangTidyCheck(Name, Context) {}
+
+  bool isLanguageVersionSupported(
+      const clang::LangOptions& LangOpts) const override {
+    return LangOpts.CPlusPlus;
+  }
+  void registerMatchers(clang::ast_matchers::MatchFinder* Finder) override;
+  void check(
+      const clang::ast_matchers::MatchFinder::MatchResult& Result) override;
+};
+
+}  // namespace costperf_tidy
+
+#endif  // COSTPERF_TOOLS_COSTPERF_TIDY_BATCH_SERIAL_DESCENT_CHECK_H_

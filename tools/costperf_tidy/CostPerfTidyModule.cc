@@ -1,9 +1,11 @@
-// costperf-tidy — the project's clang-tidy module. Three checks enforce
+// costperf-tidy — the project's clang-tidy module. Four checks enforce
 // the hot-path contracts DESIGN.md states in prose:
 //
 //   costperf-hot-path-allocation   COSTPERF_HOT functions allocate nothing
 //   costperf-explicit-memory-order no defaulted seq_cst in src/ engine dirs
 //   costperf-epoch-guard-escape    guarded pointers must not outlive guards
+//   costperf-batch-serial-descent  batch probes never fall back to per-key
+//                                  single-probe descent
 //
 // Built as a plugin (tools/costperf_tidy/CMakeLists.txt) and loaded via
 //   clang-tidy -load libcostperf_tidy.so -checks=costperf-*
@@ -13,6 +15,7 @@
 #include "clang-tidy/ClangTidyModule.h"
 #include "clang-tidy/ClangTidyModuleRegistry.h"
 
+#include "BatchSerialDescentCheck.h"
 #include "EpochGuardEscapeCheck.h"
 #include "ExplicitMemoryOrderCheck.h"
 #include "HotPathAllocationCheck.h"
@@ -29,6 +32,8 @@ class CostPerfTidyModule : public clang::tidy::ClangTidyModule {
         "costperf-explicit-memory-order");
     Factories.registerCheck<EpochGuardEscapeCheck>(
         "costperf-epoch-guard-escape");
+    Factories.registerCheck<BatchSerialDescentCheck>(
+        "costperf-batch-serial-descent");
   }
 };
 

@@ -1,0 +1,68 @@
+// Fixture for costperf-batch-serial-descent. Self-contained: models the
+// tree classes and the annotate attribute directly instead of including
+// repo headers so the runner needs no include paths.
+//
+// tidy-check: costperf-batch-serial-descent
+// expect: single-probe descent call in COSTPERF_HOT batch function 'MultiGetBatch'
+// expect: single-probe descent call in COSTPERF_HOT batch function 'StepProbe'
+// expect: single-probe descent call in COSTPERF_HOT batch function 'StepLookup'
+// expect-not: 'Get'
+// expect-not: 'hot_single_get'
+// expect-not: 'cold_batch'
+
+#define COSTPERF_HOT [[clang::annotate("costperf_hot")]]
+
+namespace costperf {
+namespace mapping {
+// Not a tree: MappingTable::Get is the per-hop PID translation and is
+// legal from anywhere, including the probe state machine.
+struct MappingTable {
+  unsigned long Get(unsigned long pid) { return pid; }
+};
+}  // namespace mapping
+
+namespace bwtree {
+struct BwTree {
+  int Get(int key) { return key; }
+  int DescendToLeaf(int key) { return key; }
+
+  // Batch entry point looping per-key descent: the exact regression the
+  // check exists for. Both the Get and the DescendToLeaf call are
+  // flagged.
+  COSTPERF_HOT void MultiGetBatch(const int* keys, unsigned n) {
+    for (unsigned i = 0; i < n; ++i) {
+      (void)Get(keys[i]);            // flagged
+      (void)DescendToLeaf(keys[i]);  // flagged
+    }
+  }
+
+  // Per-hop quantum of the probe machine: the mapping-table translation
+  // is the legal per-hop work; no tree-level descent here.
+  COSTPERF_HOT unsigned long StepProbe(mapping::MappingTable& table,
+                                       unsigned long pid, int key) {
+    (void)DescendToLeaf(key);  // flagged
+    return table.Get(pid);     // NOT flagged: MappingTable, not the tree
+  }
+
+  // The single-probe path itself may descend — it is not batch
+  // machinery, hot or not.
+  COSTPERF_HOT int hot_single_get(int key) { return Get(key); }
+
+  // Unannotated batch-shaped helper: out of scope for a hot-path check.
+  void cold_batch(const int* keys, unsigned n) {
+    for (unsigned i = 0; i < n; ++i) (void)Get(keys[i]);
+  }
+};
+}  // namespace bwtree
+
+namespace masstree {
+struct MassTree {
+  int Get(int key) const { return key; }
+  int FindBorder(int slice) const { return slice; }
+
+  COSTPERF_HOT int StepLookup(int slice) const {
+    return FindBorder(slice);  // flagged
+  }
+};
+}  // namespace masstree
+}  // namespace costperf
