@@ -12,6 +12,10 @@
 #     background maintenance mode — tail latency and the maintenance
 #     attribution counters (foreground_maintenance_ops is 0 when the
 #     MaintenanceScheduler does the work).
+#   - "css_sweep": the Fig. 8 three-tier sweep — a compressible zipf
+#     mix at three cache budgets, each with the CSS tier off and on.
+#     Rows carry hit_rate_per_dollar plus the measured-vs-modeled
+#     T_i and CSS/SS breakeven rates computed from actual demotions.
 # Plus BENCH_index.json from bench/index_probe: per-probe ns of single
 # vs batch-interleaved descent over both index structures, swept over
 # batch size and interleave depth.

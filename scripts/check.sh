@@ -8,6 +8,12 @@
 # Usage: scripts/check.sh [--list] [lane...]
 #   lanes: plain analyze asan tsan ubsan simd stress serve chaos tidy
 #   (default: all but bench)
+#   Every ctest lane includes the three-tier suite — css_tier_test's
+#   demotion/promotion/reheat policies, compressor_robustness_test's
+#   adversarial decompression inputs, and the crash-recovery torture
+#   with CSS demotions active — so the sanitizer lanes (asan/tsan/
+#   ubsan) exercise the compressed tier's concurrency and memory
+#   safety, not just the plain build.
 #   `simd` rebuilds with -DCOSTPERF_NO_SIMD=ON (scalar key-slice search,
 #   no vector kernels, no cpu dispatch) and runs the index + batch-probe
 #   tests — proof the scalar fallback is a complete, correct

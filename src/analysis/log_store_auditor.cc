@@ -20,6 +20,8 @@ std::vector<Violation> LogStoreAuditor::Check() {
 
   uint64_t directory_record_bytes = 0;
   uint64_t directory_dead_bytes = 0;
+  uint64_t directory_css_stored = 0;
+  uint64_t directory_css_raw = 0;
   bool open_found = false;
 
   for (const llama::SegmentInfo& seg : segments) {
@@ -52,6 +54,15 @@ std::vector<Violation> LogStoreAuditor::Check() {
     }
     directory_record_bytes += record_bytes;
     directory_dead_bytes += seg.dead_bytes;
+    directory_css_stored += seg.css_stored_bytes;
+    directory_css_raw += seg.css_raw_bytes;
+    if (seg.css_stored_bytes > record_bytes) {
+      out.push_back(Violation{
+          "LogStoreAuditor", "css-exceeds-live", SegEntity(seg.id),
+          std::to_string(seg.css_stored_bytes) +
+              " compressed stored bytes exceed the " +
+              std::to_string(record_bytes) + " record bytes ever written"});
+    }
   }
 
   if (!open_found) {
@@ -91,6 +102,38 @@ std::vector<Violation> LogStoreAuditor::Check() {
         "LogStoreAuditor", "dead-accounting", "log",
         "dead_bytes_marked = " + std::to_string(stats.dead_bytes_marked) +
             " but directory+collected = " + std::to_string(dead_accounted)});
+  }
+
+  // Compressed-record closure, the same write-side identity restricted to
+  // CSS records, in both stored (on-media) and raw (pre-compression)
+  // bytes. A corrupt compressed record is excluded everywhere (recovery
+  // skips it, no segment charges it), so the identity holds exactly.
+  const uint64_t css_stored_produced =
+      stats.css_stored_bytes_appended + stats.css_stored_bytes_recovered;
+  const uint64_t css_stored_accounted =
+      directory_css_stored + stats.css_stored_bytes_collected;
+  if (css_stored_produced != css_stored_accounted) {
+    out.push_back(Violation{
+        "LogStoreAuditor", "css-accounting", "log",
+        "css stored appended+recovered = " +
+            std::to_string(css_stored_produced) +
+            " but directory+collected = " +
+            std::to_string(css_stored_accounted) + " (directory " +
+            std::to_string(directory_css_stored) + ", collected " +
+            std::to_string(stats.css_stored_bytes_collected) + ")"});
+  }
+  const uint64_t css_raw_produced =
+      stats.css_raw_bytes_appended + stats.css_raw_bytes_recovered;
+  const uint64_t css_raw_accounted =
+      directory_css_raw + stats.css_raw_bytes_collected;
+  if (css_raw_produced != css_raw_accounted) {
+    out.push_back(Violation{
+        "LogStoreAuditor", "css-accounting", "log",
+        "css raw appended+recovered = " + std::to_string(css_raw_produced) +
+            " but directory+collected = " +
+            std::to_string(css_raw_accounted) + " (directory " +
+            std::to_string(directory_css_raw) + ", collected " +
+            std::to_string(stats.css_raw_bytes_collected) + ")"});
   }
 
   return out;

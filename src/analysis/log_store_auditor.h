@@ -22,6 +22,13 @@ namespace costperf::analysis {
 //   dead-accounting  same closure for dead marks:
 //                      dead_bytes_marked ==
 //                          Σ_segments(dead) + dead_bytes_collected
+//   css-exceeds-live a segment charges more compressed stored bytes than
+//                    record bytes ever written to it
+//   css-accounting   the write-side closure restricted to compressed
+//                    records, in stored and raw bytes:
+//                      css_stored_appended + css_stored_recovered ==
+//                          Σ_segments(css_stored) + css_stored_collected
+//                    (likewise css_raw_*)
 class LogStoreAuditor : public InvariantChecker {
  public:
   explicit LogStoreAuditor(llama::LogStructuredStore* store)

@@ -7,6 +7,7 @@
 
 #include "common/op_class.h"
 #include "common/simd.h"
+#include "compression/compressor.h"
 
 namespace costperf::bwtree {
 
@@ -1182,6 +1183,18 @@ Result<FlashAddress> BwTree::RetryAppend(PageId pid, const Slice& image) {
   return out;
 }
 
+Result<FlashAddress> BwTree::RetryAppendCompressed(PageId pid,
+                                                   const Slice& compressed,
+                                                   uint32_t raw_len) {
+  Result<FlashAddress> out = Status::Internal("append never ran");
+  Status s = RetryIo([&]() {
+    out = options_.log_store->AppendCompressed(pid, compressed, raw_len);
+    return out.status();
+  });
+  if (!s.ok()) return s;
+  return out;
+}
+
 Status BwTree::MaterializeFromFlash(FlashAddress addr, LeafBase* leaf,
                                     OpContext* ctx) {
   if (options_.log_store == nullptr) {
@@ -1192,17 +1205,27 @@ Status BwTree::MaterializeFromFlash(FlashAddress addr, LeafBase* leaf,
   FlashAddress cur = addr;
   while (cur.valid()) {
     std::string image;
-    Status s = RetryIo(
-        [&]() { return options_.log_store->Read(cur, &image); });
+    bool was_compressed = false;
+    Status s = RetryIo([&]() {
+      return options_.log_store->Read(cur, &image, nullptr, &was_compressed);
+    });
     if (!s.ok()) return s;
     ctx->flash_reads++;
     s_flash_reads_.fetch_add(1, std::memory_order_relaxed);
+    if (was_compressed) {
+      // CSS-tier record: the log store already decompressed it; this op
+      // paid decompress CPU instead of the larger SS transfer.
+      ctx->compressed_reads++;
+      s_compressed_loads_.fetch_add(1, std::memory_order_relaxed);
+    }
     uint8_t kind = 0;
     Status ks = PageCodec::PeekKind(Slice(image), &kind);
     if (!ks.ok()) return ks;
     images.push_back(std::move(image));
     if (PageCodec::IsLeafKind(kind)) {
-      if (kind == PageCodec::kCompressedLeaf) {
+      if (kind == PageCodec::kCompressedLeaf && !was_compressed) {
+        // Legacy codec-level compressed image (the tier now compresses
+        // at the log-record layer instead).
         s_compressed_loads_.fetch_add(1, std::memory_order_relaxed);
       }
       break;
@@ -1267,8 +1290,20 @@ Status BwTree::LoadAndInstall(PageId pid, uint64_t entry_word,
   }
 
   auto leaf = std::make_unique<LeafBase>();
+  const uint32_t pre_compressed = ctx->compressed_reads;
   Status s = MaterializeFromFlash(addr, leaf.get(), ctx);
-  if (!s.ok()) return s;
+  if (!s.ok()) {
+    if (s.IsCorruption() && table_.Get(pid) != entry_word) {
+      // The mapping word moved while we were reading: GC relocated the
+      // record (and may already have trimmed the victim segment, so the
+      // bytes we read were reclaimed media, not damage) or a concurrent
+      // flush/load replaced the chain. Retry against the new word.
+      s_read_relocation_retries_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Aborted("page relocated during load");
+    }
+    return s;
+  }
+  const bool from_css = ctx->compressed_reads > pre_compressed;
 
   bool had_memory_deltas = false;
   if (old_head != nullptr) {
@@ -1313,6 +1348,11 @@ Status BwTree::LoadAndInstall(PageId pid, uint64_t entry_word,
   fresh->search.Build(fresh->keys);
   if (table_.Cas(pid, entry_word, EncodePointer(fresh))) {
     s_loads_.fetch_add(1, std::memory_order_relaxed);
+    // The install counts as a CSS hit when the base image came back from
+    // a compressed record: the tier answered instead of plain SS. The
+    // cache manager's Insert below doubles as the CSS -> DRAM promotion
+    // when it was tracking this page in the compressed tier.
+    if (from_css) s_css_hits_.fetch_add(1, std::memory_order_relaxed);
     if (old_head != nullptr) RetireChain(old_head);
     MetaSetChain(pid, MetaGet(pid).flash_chain, had_memory_deltas);
     CacheInsertOrResize(pid, fresh);
@@ -1469,13 +1509,23 @@ Status BwTree::FlushPage(PageId pid, FlushMode mode) {
       return ss;
     }
   }
+  // The image is always the plain leaf encoding; for the compressed
+  // tier the *log record* carries the compression (flags + raw length
+  // in the record header), so recovery, GC, and the auditor see one
+  // uniform record identity instead of a second page kind.
   std::string image;
+  PageCodec::EncodeLeaf(*fresh, &image);
+  uint64_t stored_len = image.size();
+  Result<FlashAddress> addr = Status::Internal("flush never appended");
   if (mode == FlushMode::kCompressedPage) {
-    PageCodec::EncodeCompressedLeaf(*fresh, &image);
+    std::string compressed;
+    compression::Compressor::Compress(Slice(image), &compressed);
+    stored_len = compressed.size();
+    addr = RetryAppendCompressed(pid, Slice(compressed),
+                                 static_cast<uint32_t>(image.size()));
   } else {
-    PageCodec::EncodeLeaf(*fresh, &image);
+    addr = RetryAppend(pid, Slice(image));
   }
-  auto addr = RetryAppend(pid, Slice(image));
   if (!addr.ok()) {
     if (addr.status().code() == StatusCode::kInvalidArgument &&
         fresh->keys.size() >= 2) {
@@ -1497,7 +1547,7 @@ Status BwTree::FlushPage(PageId pid, FlushMode mode) {
       s_compressed_flushes_.fetch_add(1, std::memory_order_relaxed);
     }
     s_full_flushes_.fetch_add(1, std::memory_order_relaxed);
-    s_bytes_flushed_.fetch_add(image.size(), std::memory_order_relaxed);
+    s_bytes_flushed_.fetch_add(stored_len, std::memory_order_relaxed);
     if (head != fresh) RetireChain(head);
     MarkChainDead(meta.flash_chain);
     MetaSetChain(pid, {addr->packed()}, /*dirty=*/false);
@@ -1618,6 +1668,98 @@ Status BwTree::EvictPage(PageId pid, EvictMode mode) {
     s_cas_failures_.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::Aborted("EvictPage kept racing writers");
+}
+
+Status BwTree::DemotePage(PageId pid, const CssPolicy& policy,
+                          DemoteResult* out) {
+  if (options_.log_store == nullptr) {
+    return Status::FailedPrecondition("no log store configured");
+  }
+  DemoteResult local;
+  DemoteResult* res = out != nullptr ? out : &local;
+  *res = DemoteResult{};
+
+  EpochGuard guard(&epochs_);
+  uint64_t w = table_.Get(pid);
+  if (w == 0) return Status::NotFound("no such page");
+  if (IsFlashWord(w)) return Status::Ok();  // already non-resident
+
+  Node* head = DecodePointer(w);
+  if (head->type == NodeType::kRemoveNode) return Status::Ok();
+  Node* tail = ChainTail(head);
+  if (tail->type == NodeType::kInnerBase) {
+    return Status::InvalidArgument("inner pages are not demoted");
+  }
+  if (tail->type == NodeType::kFlashPointer) {
+    // Record-cache form: the base is already on flash. Plain eviction
+    // owns this shape; demotion only compresses resident bases.
+    return Status::FailedPrecondition("page base not resident");
+  }
+
+  // Anti-thrash refusal: a page that keeps getting promoted back out of
+  // CSS pays decompress_r on every reheat — past the policy limit the
+  // tier is a measured loss for it (Fig. 8's argument in reverse).
+  if (options_.cache != nullptr &&
+      options_.cache->ReheatCount(pid) > policy.max_reheats) {
+    s_css_refusals_.fetch_add(1, std::memory_order_relaxed);
+    return Status::FailedPrecondition("page reheats too often for CSS");
+  }
+
+  LeafBase* fresh = ConsolidateChain(head);
+  if (fresh == nullptr) return Status::Internal("consolidation failed");
+  Status ss = EnsureSplitSiblingDurable(fresh->right_sibling);
+  if (!ss.ok()) {
+    delete fresh;
+    return ss;
+  }
+
+  std::string image;
+  PageCodec::EncodeLeaf(*fresh, &image);
+  std::string compressed;
+  compression::CompressInfo info;
+  // One Compress call both produces the stored image and measures the
+  // ratio the policy gates on.
+  compression::Compressor::Compress(Slice(image), &compressed, &info);
+  res->raw_bytes = info.raw_size;
+  res->stored_bytes = info.compressed_size;
+  if (info.ratio() > policy.min_ratio) {
+    delete fresh;
+    s_css_refusals_.fetch_add(1, std::memory_order_relaxed);
+    return Status::FailedPrecondition("compression ratio above threshold");
+  }
+
+  auto addr = RetryAppendCompressed(pid, Slice(compressed),
+                                    static_cast<uint32_t>(image.size()));
+  if (!addr.ok()) {
+    delete fresh;
+    return addr.status();
+  }
+
+  PageMeta meta = MetaGet(pid);
+  // Flush and eviction in one step: swing the mapping word straight to
+  // the new record's flash address.
+  if (table_.Cas(pid, w, EncodeFlash(*addr))) {
+    s_compressed_flushes_.fetch_add(1, std::memory_order_relaxed);
+    s_css_demotions_.fetch_add(1, std::memory_order_relaxed);
+    s_css_raw_demoted_.fetch_add(info.raw_size, std::memory_order_relaxed);
+    s_css_stored_demoted_.fetch_add(info.compressed_size,
+                                    std::memory_order_relaxed);
+    s_bytes_flushed_.fetch_add(compressed.size(), std::memory_order_relaxed);
+    RetireChain(head);
+    delete fresh;  // never installed; only its encoding reached the log
+    MarkChainDead(meta.flash_chain);
+    MetaSetChain(pid, {addr->packed()}, /*dirty=*/false);
+    if (options_.cache != nullptr) {
+      options_.cache->SetTier(pid, llama::CacheTier::kCss,
+                              compressed.size());
+    }
+    res->demoted = true;
+    return Status::Ok();
+  }
+  s_cas_failures_.fetch_add(1, std::memory_order_relaxed);
+  delete fresh;
+  options_.log_store->MarkDead(*addr);
+  return Status::Aborted("page changed during demotion");
 }
 
 Status BwTree::FlushAll() {
@@ -2525,6 +2667,8 @@ BwTreeStats BwTree::stats() const {
   s.leaf_merges = s_leaf_merges_.load(std::memory_order_relaxed);
   s.root_collapses = s_root_collapses_.load(std::memory_order_relaxed);
   s.cas_failures = s_cas_failures_.load(std::memory_order_relaxed);
+  s.read_relocation_retries =
+      s_read_relocation_retries_.load(std::memory_order_relaxed);
   s.page_loads = s_loads_.load(std::memory_order_relaxed);
   s.full_flushes = s_full_flushes_.load(std::memory_order_relaxed);
   s.delta_flushes = s_delta_flushes_.load(std::memory_order_relaxed);
@@ -2537,6 +2681,13 @@ BwTreeStats BwTree::stats() const {
   s.io_retries = s_io_retries_.load(std::memory_order_relaxed);
   s.io_retry_give_ups = s_io_give_ups_.load(std::memory_order_relaxed);
   s.salvage_recoveries = s_salvage_.load(std::memory_order_relaxed);
+  s.css_hits = s_css_hits_.load(std::memory_order_relaxed);
+  s.css_demotions = s_css_demotions_.load(std::memory_order_relaxed);
+  s.css_demotion_refusals = s_css_refusals_.load(std::memory_order_relaxed);
+  s.css_raw_bytes_demoted =
+      s_css_raw_demoted_.load(std::memory_order_relaxed);
+  s.css_stored_bytes_demoted =
+      s_css_stored_demoted_.load(std::memory_order_relaxed);
   return s;
 }
 

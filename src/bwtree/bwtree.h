@@ -74,6 +74,26 @@ enum class EvictMode {
   kKeepDeltas,    // record cache: deltas survive, base page is dropped
 };
 
+// When is a page worth demoting to the compressed tier? Both knobs guard
+// the Fig. 8 breakeven from the cost side: a page that barely compresses
+// saves too little media to pay its decompression tax, and a page that
+// keeps getting promoted back pays that tax over and over.
+struct CssPolicy {
+  // Refuse demotion when compressed/raw exceeds this (measured from the
+  // single Compress call that produces the stored image).
+  double min_ratio = 0.85;
+  // Refuse pages already promoted out of CSS more than this many times.
+  uint32_t max_reheats = 4;
+};
+
+// What a successful (or refused) demotion did, for the tiering loop's
+// accounting and the measured-ratio feed to the cost model.
+struct DemoteResult {
+  bool demoted = false;
+  uint64_t raw_bytes = 0;     // consolidated image size
+  uint64_t stored_bytes = 0;  // compressed bytes that reached the log
+};
+
 struct BwTreeStats {
   // Operation counts.
   uint64_t gets = 0, puts = 0, deletes = 0, scans = 0;
@@ -89,12 +109,21 @@ struct BwTreeStats {
   uint64_t leaf_splits = 0, inner_splits = 0, root_splits = 0;
   uint64_t leaf_merges = 0, root_collapses = 0;
   uint64_t cas_failures = 0;
+  // Flash loads that read reclaimed media because GC relocated the page
+  // mid-read (benign: the op retried against the new address).
+  uint64_t read_relocation_retries = 0;
   // Paging.
   uint64_t page_loads = 0;
   uint64_t full_flushes = 0, delta_flushes = 0, compressed_flushes = 0;
   uint64_t compressed_loads = 0;
   uint64_t full_evictions = 0, record_cache_evictions = 0;
   uint64_t bytes_flushed = 0;
+  // Tier hierarchy (§7.2 / Fig. 8).
+  uint64_t css_hits = 0;  // page loads satisfied by a compressed record
+  uint64_t css_demotions = 0;          // DemotePage successes
+  uint64_t css_demotion_refusals = 0;  // policy said CSS would be a loss
+  uint64_t css_raw_bytes_demoted = 0;     // pre-compression image bytes
+  uint64_t css_stored_bytes_demoted = 0;  // bytes that reached the log
   // Fault handling.
   uint64_t io_retries = 0;          // extra attempts after transient errors
   uint64_t io_retry_give_ups = 0;   // retry budgets exhausted
@@ -171,6 +200,17 @@ class BwTree {
 
   Status FlushPage(PageId pid, FlushMode mode);
   Status EvictPage(PageId pid, EvictMode mode);
+  // Demotes a resident leaf to the compressed tier: consolidates the
+  // chain, compresses the image once (the same call that measures the
+  // ratio), appends it as a compressed log record, and swings the
+  // mapping entry to the flash address — flush and eviction in one CAS.
+  // The cache manager keeps tracking the page in the CSS tier (recency,
+  // compressed footprint, reheats); the next access promotes it back
+  // through the ordinary load path. Refuses with FailedPrecondition when
+  // `policy` says CSS would be a loss for this page (poor ratio or too
+  // many reheats) or when the base is not resident; Aborted on races.
+  Status DemotePage(PageId pid, const CssPolicy& policy,
+                    DemoteResult* out = nullptr);
   // Makes the page resident (SS work happens here).
   Status LoadPage(PageId pid);
   // Flushes every dirty leaf (full images).
@@ -280,6 +320,9 @@ class BwTree {
   // Per-operation bookkeeping for MM/SS classification.
   struct OpContext {
     uint32_t flash_reads = 0;
+    // Of those, reads whose log record was stored compressed (CSS tier):
+    // the op paid decompression CPU instead of a larger SS transfer.
+    uint32_t compressed_reads = 0;
     bool touched_flash_tail = false;
   };
 
@@ -365,6 +408,9 @@ class BwTree {
   // the attempt counts into stats.
   Status RetryIo(const std::function<Status()>& fn);
   Result<FlashAddress> RetryAppend(PageId pid, const Slice& image);
+  Result<FlashAddress> RetryAppendCompressed(PageId pid,
+                                             const Slice& compressed,
+                                             uint32_t raw_len);
 
   // Frees every resident chain and resets mapping/meta state (recovery
   // preamble, shared by the fast path and the salvage fallback).
@@ -438,12 +484,15 @@ class BwTree {
   mutable std::atomic<uint64_t> s_flash_reads_{0};
   mutable std::atomic<uint64_t> s_consolidations_{0}, s_leaf_splits_{0},
       s_inner_splits_{0}, s_root_splits_{0}, s_leaf_merges_{0},
-      s_root_collapses_{0}, s_cas_failures_{0};
+      s_root_collapses_{0}, s_cas_failures_{0},
+      s_read_relocation_retries_{0};
   mutable std::atomic<uint64_t> s_loads_{0}, s_full_flushes_{0},
       s_delta_flushes_{0}, s_compressed_flushes_{0}, s_compressed_loads_{0},
       s_full_evictions_{0}, s_rc_evictions_{0}, s_bytes_flushed_{0};
   mutable std::atomic<uint64_t> s_io_retries_{0}, s_io_give_ups_{0},
       s_salvage_{0};
+  mutable std::atomic<uint64_t> s_css_hits_{0}, s_css_demotions_{0},
+      s_css_refusals_{0}, s_css_raw_demoted_{0}, s_css_stored_demoted_{0};
   // Decorrelates concurrent retry jitter streams (see RetryTransient).
   std::atomic<uint64_t> retry_salt_{0};
 };

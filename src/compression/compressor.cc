@@ -64,6 +64,13 @@ void Compressor::Compress(const Slice& input, std::string* out) {
   emit(literal_start, n - literal_start, 0, 0);
 }
 
+void Compressor::Compress(const Slice& input, std::string* out,
+                          CompressInfo* info) {
+  Compress(input, out);
+  info->raw_size = input.size();
+  info->compressed_size = out->size();
+}
+
 Status Compressor::Decompress(const Slice& input, std::string* out,
                               size_t max_raw_size) {
   out->clear();
@@ -82,6 +89,12 @@ Status Compressor::Decompress(const Slice& input, std::string* out,
     if (p == nullptr) return Status::Corruption("truncated literal length");
     if (static_cast<uint64_t>(limit - p) < lit_len) {
       return Status::Corruption("truncated literals");
+    }
+    // Bound literals by the declared size too: without this a malformed
+    // stream could grow *out past raw_size (and past max_raw_size) before
+    // the final size check fires.
+    if (out->size() + lit_len > raw_size) {
+      return Status::Corruption("output overruns declared size");
     }
     out->append(p, lit_len);
     p += lit_len;
@@ -110,10 +123,10 @@ Status Compressor::Decompress(const Slice& input, std::string* out,
 }
 
 double Compressor::MeasureRatio(const Slice& input) {
-  if (input.empty()) return 1.0;
   std::string out;
-  Compress(input, &out);
-  return static_cast<double>(out.size()) / static_cast<double>(input.size());
+  CompressInfo info;
+  Compress(input, &out, &info);
+  return info.ratio();
 }
 
 }  // namespace costperf::compression

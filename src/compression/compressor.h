@@ -20,10 +20,28 @@ namespace costperf::compression {
 // Matches are found with a 4-byte hash table over a 64 KiB window —
 // LZ4-class speed/ratio, which is what a store would actually run on its
 // cold tier. Decompression cost is the model's `decompress_r` input.
+// Raw/compressed byte counts from a single Compress call, so a demotion
+// path can apply a ratio policy without compressing twice.
+struct CompressInfo {
+  uint64_t raw_size = 0;
+  uint64_t compressed_size = 0;
+  // compressed/raw; 1.0 for empty input (nothing saved, nothing lost).
+  double ratio() const {
+    return raw_size == 0 ? 1.0
+                         : static_cast<double>(compressed_size) /
+                               static_cast<double>(raw_size);
+  }
+};
+
 class Compressor {
  public:
   // Appends the compressed form of `input` to *out (out is cleared first).
   static void Compress(const Slice& input, std::string* out);
+
+  // Same, reporting raw/compressed sizes of this one call so callers that
+  // gate on the ratio (tier demotion) never compress the input twice.
+  static void Compress(const Slice& input, std::string* out,
+                       CompressInfo* info);
 
   // Decompresses into *out (cleared first). Fails with Corruption on
   // malformed input; refuses outputs larger than max_raw_size.

@@ -6,6 +6,7 @@
 #include "analysis/bwtree_validator.h"
 #include "analysis/log_store_auditor.h"
 #include "analysis/mapping_table_auditor.h"
+#include "costmodel/five_minute_rule.h"
 
 namespace costperf::core {
 
@@ -30,6 +31,7 @@ CachingStore::CachingStore(CachingStoreOptions options)
   cache_opts.touch_sample = options_.cache_touch_sample;
   cache_opts.shards = options_.cache_shards;
   cache_ = std::make_unique<llama::CacheManager>(cache_opts);
+  cache_->set_css_budget(options_.tier.css_budget_bytes);
 
   bwtree::BwTreeOptions tree_opts = options_.tree;
   tree_opts.log_store = log_.get();
@@ -289,6 +291,7 @@ bool CachingStore::MaintenanceStep(const maintenance::MaintenanceQuota& quota) {
     tree_->ReclaimMemory();
   } else {
     more |= BackgroundEvictStep(quota);
+    more |= BackgroundTierStep(quota);
     more |= BackgroundGcStep(quota);
     BackgroundHousekeepingStep(quota);
     tree_->ReclaimMemory();
@@ -309,12 +312,16 @@ bool CachingStore::BackgroundEvictStep(
   }
   auto victims = cache_->PickVictims(want, quota.evict_pages);
   bool progressed = false;
+  uint32_t demoted = 0;
   for (auto pid : victims) {
-    if (options_.css_idle_interval_seconds > 0 &&
-        cache_->IdleSeconds(pid) > options_.css_idle_interval_seconds) {
-      NoteWriteOutcome(
-          tree_->FlushPage(pid, bwtree::FlushMode::kCompressedPage),
-          /*reset_on_ok=*/true);
+    // Demote-before-evict: a cold victim goes to the compressed tier
+    // when the policy says it pays; demotion IS its eviction (one CAS
+    // moved the page out of DRAM), so plain eviction is skipped.
+    if (demoted < quota.compress_pages && TryDemote(pid)) {
+      ++demoted;
+      progressed = true;
+      if (degraded_.load(std::memory_order_acquire)) return false;
+      continue;
     }
     Status s = tree_->EvictPage(pid, options_.evict_mode);
     NoteWriteOutcome(s, /*reset_on_ok=*/true);
@@ -328,6 +335,74 @@ bool CachingStore::BackgroundEvictStep(
   // a step that made no progress (all victims pinned/aborted) must not
   // spin the worker — the next op-path signal retries it.
   return progressed && cache_->resident_bytes() > effective_budget_;
+}
+
+bool CachingStore::TryDemote(mapping::PageId pid) {
+  const auto& tier = options_.tier;
+  if (tier.css_budget_bytes == 0) return false;
+  if (cache_->GetTier(pid) != llama::CacheTier::kDram) return false;
+  const double idle = cache_->IdleSeconds(pid);
+  if (idle < tier.demote_idle_seconds) return false;
+  if (cache_->css_resident_bytes() >= tier.css_budget_bytes) return false;
+  bwtree::CssPolicy policy;
+  policy.min_ratio = tier.min_ratio;
+  policy.max_reheats = tier.max_reheats;
+  bwtree::DemoteResult res;
+  Status s = tree_->DemotePage(pid, policy, &res);
+  NoteWriteOutcome(s, /*reset_on_ok=*/res.demoted);
+  if (s.ok() && res.demoted) {
+    bg_pages_demoted_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  // Refused (FailedPrecondition), raced (Aborted), or failed: the caller
+  // falls back to plain eviction for this victim.
+  return false;
+}
+
+bool CachingStore::BackgroundTierStep(
+    const maintenance::MaintenanceQuota& quota) {
+  const auto& tier = options_.tier;
+  if (tier.css_budget_bytes == 0) return false;
+
+  // Proactive demotion, independent of memory pressure: DRAM rental on a
+  // page idle past the demotion floor is already a loss (§4.2), and the
+  // compressed record shrinks its media footprint on top (Fig. 8).
+  for (auto pid : cache_->PickDemotionCandidates(quota.compress_pages,
+                                                 tier.demote_idle_seconds)) {
+    if (cache_->css_resident_bytes() >= tier.css_budget_bytes) break;
+    TryDemote(pid);
+    if (degraded_.load(std::memory_order_acquire)) return false;
+  }
+
+  // CSS overflow: the coldest compressed pages fall through to plain SS.
+  // Their durable record already exists — dropping the cache entry is
+  // the entire eviction (the mapping word is already a flash address).
+  bool more = false;
+  const uint64_t css = cache_->css_resident_bytes();
+  if (css > tier.css_budget_bytes) {
+    for (auto pid : cache_->PickCssVictims(css - tier.css_budget_bytes,
+                                           quota.evict_pages)) {
+      cache_->Erase(pid);
+      bg_css_fallthroughs_.fetch_add(1, std::memory_order_relaxed);
+    }
+    more = cache_->css_resident_bytes() > tier.css_budget_bytes;
+  }
+
+  // Background promotion: while DRAM has clear headroom, pay the
+  // decompression for the hottest CSS pages ahead of demand.
+  if (tier.promote_fill_floor > 0 && effective_budget_ != ~0ull) {
+    const uint64_t floor_bytes = static_cast<uint64_t>(
+        static_cast<double>(effective_budget_) * tier.promote_fill_floor);
+    if (cache_->resident_bytes() < floor_bytes) {
+      for (auto pid : cache_->PickPromotionCandidates(quota.promote_pages)) {
+        if (tree_->LoadPage(pid).ok()) {
+          bg_pages_promoted_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (cache_->resident_bytes() >= floor_bytes) break;
+      }
+    }
+  }
+  return more;
 }
 
 bool CachingStore::BackgroundGcStep(
@@ -383,23 +458,25 @@ void CachingStore::EnforceBudget() {
   uint64_t want = 0;
   uint64_t resident = cache_->resident_bytes();
   if (resident > effective_budget_) want = resident - effective_budget_;
-  if (want == 0 &&
-      options_.eviction_policy != llama::EvictionPolicy::kCostBased) {
-    return;
-  }
-  auto victims = cache_->PickVictims(want);
-  for (auto pid : victims) {
-    // CSS tiering: the very coldest victims go to flash compressed — the
-    // Fig. 8 regime where even flash rental is worth shrinking.
-    if (options_.css_idle_interval_seconds > 0 &&
-        cache_->IdleSeconds(pid) > options_.css_idle_interval_seconds) {
-      NoteWriteOutcome(
-          tree_->FlushPage(pid, bwtree::FlushMode::kCompressedPage),
-          /*reset_on_ok=*/true);
+  if (want != 0 ||
+      options_.eviction_policy == llama::EvictionPolicy::kCostBased) {
+    auto victims = cache_->PickVictims(want);
+    for (auto pid : victims) {
+      // Demote-before-evict: a cold victim whose measured economics pay
+      // moves to the compressed tier (its demotion IS its eviction); the
+      // rest take the plain SS path.
+      if (TryDemote(pid)) continue;
+      NoteWriteOutcome(tree_->EvictPage(pid, options_.evict_mode),
+                       /*reset_on_ok=*/true);
+      if (degraded_.load(std::memory_order_acquire)) return;
     }
-    NoteWriteOutcome(tree_->EvictPage(pid, options_.evict_mode),
-                     /*reset_on_ok=*/true);
-    if (degraded_.load(std::memory_order_acquire)) return;
+  }
+  // Inline tier upkeep for stores running without the background
+  // scheduler: the same proactive-demotion and overflow passes
+  // BackgroundTierStep runs, under the default per-step quota. Runs even
+  // under budget — demotion is about idle pages' rent, not memory debt.
+  if (options_.tier.css_budget_bytes != 0) {
+    (void)BackgroundTierStep(maintenance::MaintenanceQuota{});
   }
 }
 
@@ -548,6 +625,46 @@ KvStoreStats CachingStore::Stats() const {
                 llama::LogStoreStats::kGroupSizeBuckets);
   for (size_t i = 0; i < l.group_size_hist.size(); ++i) {
     s.log_group_size_hist[i] = l.group_size_hist[i];
+  }
+  // Three-tier hierarchy: occupancy and traffic from the cache and tree,
+  // then the Fig. 8 / Eq. 6 breakevens — once at the paper's modeled
+  // constants, and again at the page size and compression ratio this
+  // store actually measured while demoting.
+  s.tier_dram_pages = c.resident_pages;
+  s.tier_dram_bytes = c.resident_bytes;
+  s.tier_css_pages = c.css_pages;
+  s.tier_css_bytes = c.css_bytes;
+  s.tier_css_hits = t.css_hits;
+  s.tier_demotions = t.css_demotions;
+  s.tier_promotions = c.promotions;
+  s.tier_demotion_refusals = t.css_demotion_refusals;
+  s.tier_css_fallthroughs =
+      bg_css_fallthroughs_.load(std::memory_order_relaxed);
+  s.css_raw_bytes = t.css_raw_bytes_demoted;
+  s.css_stored_bytes = t.css_stored_bytes_demoted;
+  s.tier_dram_interval_nanos = c.dram_interval_nanos;
+  s.tier_dram_interval_samples = c.dram_interval_samples;
+  s.tier_css_interval_nanos = c.css_interval_nanos;
+  s.tier_css_interval_samples = c.css_interval_samples;
+  s.background_pages_demoted =
+      bg_pages_demoted_.load(std::memory_order_relaxed);
+  s.background_pages_promoted =
+      bg_pages_promoted_.load(std::memory_order_relaxed);
+  const costmodel::CostParams modeled = costmodel::CostParams::PaperDefaults();
+  s.modeled_t_i_seconds = costmodel::BreakevenIntervalSeconds(modeled);
+  s.modeled_css_breakeven_ops =
+      costmodel::CssSsBreakevenOpsPerSec(modeled, costmodel::CompressionParams{});
+  if (t.css_demotions > 0 && t.css_raw_bytes_demoted > 0) {
+    costmodel::CostParams measured = modeled;
+    measured.page_size_bytes = static_cast<double>(t.css_raw_bytes_demoted) /
+                               static_cast<double>(t.css_demotions);
+    costmodel::CompressionParams ratio;
+    ratio.compression_ratio =
+        static_cast<double>(t.css_stored_bytes_demoted) /
+        static_cast<double>(t.css_raw_bytes_demoted);
+    s.measured_t_i_seconds = costmodel::BreakevenIntervalSeconds(measured);
+    s.measured_css_breakeven_ops =
+        costmodel::CssSsBreakevenOpsPerSec(measured, ratio);
   }
   return s;
 }

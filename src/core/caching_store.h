@@ -29,10 +29,29 @@ struct CachingStoreOptions {
   // What eviction keeps in memory and how dirty pages reach flash.
   bwtree::EvictMode evict_mode = bwtree::EvictMode::kFullEviction;
   bwtree::FlushMode flush_mode = bwtree::FlushMode::kFullPage;
-  // CSS tier (§7.2/Fig. 8): pages idle beyond this interval are flushed
-  // *compressed* when evicted — lower media footprint, decompression CPU
-  // on their next (rare) access. 0 disables the compressed tier.
-  double css_idle_interval_seconds = 0;
+  // The compressed-secondary-storage tier (§7.2 / Fig. 8): with a
+  // non-zero budget the store runs a live three-level hierarchy —
+  // DRAM -> compressed-SS -> SS. Cold DRAM pages demote to a compressed
+  // log record (still tracked by the cache manager, promoted back on
+  // touch); CSS overflow falls through to plain SS; demotion refuses
+  // pages whose measured compression ratio or reheat rate would make the
+  // tier a loss.
+  struct TierOptions {
+    // Stored-byte budget for CSS-tier pages. 0 disables the tier.
+    uint64_t css_budget_bytes = 0;
+    // Only pages idle at least this long are demotion candidates.
+    double demote_idle_seconds = 30.0;
+    // Refuse demotion when compressed/raw exceeds this.
+    double min_ratio = 0.85;
+    // Refuse pages already promoted back out of CSS this many times.
+    uint32_t max_reheats = 4;
+    // Background promotion: pull the hottest CSS pages back to DRAM
+    // while resident bytes sit below this fraction of the memory budget
+    // (<= 0 disables proactive promotion; demand promotion on touch
+    // always works).
+    double promote_fill_floor = 0.7;
+  };
+  TierOptions tier;
   // Cache recency sampling: only every Nth Touch per thread reads the
   // clock and refreshes the recency tick; the rest just set the CLOCK
   // reference bit. 1 = exact recency on every touch (see
@@ -183,6 +202,14 @@ class CachingStore : public KvStore,
   bool MaintenanceStep(const maintenance::MaintenanceQuota& quota) override;
   bool BackgroundEvictStep(const maintenance::MaintenanceQuota& quota)
       REQUIRES(maintenance_mu_);
+  // CSS tier maintenance: demotes cold DRAM pages (quota.compress_pages),
+  // drops CSS overflow to plain SS, and promotes hot CSS pages back while
+  // DRAM has headroom (quota.promote_pages). No-op when the tier is off.
+  bool BackgroundTierStep(const maintenance::MaintenanceQuota& quota)
+      REQUIRES(maintenance_mu_);
+  // Demote-before-evict decision for one victim: true when the page went
+  // to the CSS tier (so plain eviction must be skipped).
+  bool TryDemote(mapping::PageId pid) REQUIRES(maintenance_mu_);
   bool BackgroundGcStep(const maintenance::MaintenanceQuota& quota)
       REQUIRES(maintenance_mu_);
   // One prepare-then-collect GC round: picks the coldest sealed segment at
@@ -259,6 +286,9 @@ class CachingStore : public KvStore,
   std::atomic<uint64_t> foreground_maintenance_ops_{0};
   std::atomic<uint64_t> background_steps_{0};
   std::atomic<uint64_t> bg_pages_evicted_{0};
+  std::atomic<uint64_t> bg_pages_demoted_{0};
+  std::atomic<uint64_t> bg_pages_promoted_{0};
+  std::atomic<uint64_t> bg_css_fallthroughs_{0};
   std::atomic<uint64_t> bg_gc_segments_{0};
   std::atomic<uint64_t> bg_consolidations_{0};
   std::atomic<uint64_t> bg_leaf_flushes_{0};

@@ -37,6 +37,36 @@ KvStoreStats& KvStoreStats::operator+=(const KvStoreStats& other) {
   background_leaf_flushes += other.background_leaf_flushes;
   write_stalls += other.write_stalls;
   stall_micros_total += other.stall_micros_total;
+  tier_dram_pages += other.tier_dram_pages;
+  tier_dram_bytes += other.tier_dram_bytes;
+  tier_css_pages += other.tier_css_pages;
+  tier_css_bytes += other.tier_css_bytes;
+  tier_css_hits += other.tier_css_hits;
+  tier_demotions += other.tier_demotions;
+  tier_promotions += other.tier_promotions;
+  tier_demotion_refusals += other.tier_demotion_refusals;
+  tier_css_fallthroughs += other.tier_css_fallthroughs;
+  css_raw_bytes += other.css_raw_bytes;
+  css_stored_bytes += other.css_stored_bytes;
+  tier_dram_interval_nanos += other.tier_dram_interval_nanos;
+  tier_dram_interval_samples += other.tier_dram_interval_samples;
+  tier_css_interval_nanos += other.tier_css_interval_nanos;
+  tier_css_interval_samples += other.tier_css_interval_samples;
+  background_pages_demoted += other.background_pages_demoted;
+  background_pages_promoted += other.background_pages_promoted;
+  // Breakeven figures are per-store, not additive: adopt the first
+  // non-zero contributor (shards share cost parameters; an exact
+  // aggregate can be recomputed from the additive accumulators).
+  if (modeled_t_i_seconds == 0) modeled_t_i_seconds = other.modeled_t_i_seconds;
+  if (measured_t_i_seconds == 0) {
+    measured_t_i_seconds = other.measured_t_i_seconds;
+  }
+  if (modeled_css_breakeven_ops == 0) {
+    modeled_css_breakeven_ops = other.modeled_css_breakeven_ops;
+  }
+  if (measured_css_breakeven_ops == 0) {
+    measured_css_breakeven_ops = other.measured_css_breakeven_ops;
+  }
   // Aggregate health: degraded if any contributor is degraded.
   if (other.health == HealthStatus::kDegraded) health = HealthStatus::kDegraded;
   return *this;
@@ -95,7 +125,34 @@ std::string KvStoreStats::ToString() const {
            (unsigned long long)background_leaf_flushes,
            (unsigned long long)write_stalls,
            (unsigned long long)stall_micros_total);
-  return std::string(buf) + contention + batch + maintenance;
+  std::string out = std::string(buf) + contention + batch + maintenance;
+  // Tier line only when a tier has ever been active — the common
+  // two-level configuration keeps the dump compact.
+  if (tier_css_pages != 0 || tier_demotions != 0 || tier_css_hits != 0 ||
+      tier_demotion_refusals != 0) {
+    char tier[512];
+    snprintf(tier, sizeof(tier),
+             "\ntier: dram=%llu pages/%llu B css=%llu pages/%llu B "
+             "css_hits=%llu demotions=%llu promotions=%llu refusals=%llu "
+             "fallthroughs=%llu ratio=%.3f dram_interval=%.3fs "
+             "css_interval=%.3fs T_i=%.1fs (modeled %.1fs) "
+             "css_breakeven=%.1f ops/s (modeled %.1f)",
+             (unsigned long long)tier_dram_pages,
+             (unsigned long long)tier_dram_bytes,
+             (unsigned long long)tier_css_pages,
+             (unsigned long long)tier_css_bytes,
+             (unsigned long long)tier_css_hits,
+             (unsigned long long)tier_demotions,
+             (unsigned long long)tier_promotions,
+             (unsigned long long)tier_demotion_refusals,
+             (unsigned long long)tier_css_fallthroughs,
+             MeasuredCompressionRatio(), MeanDramIntervalSeconds(),
+             MeanCssIntervalSeconds(), measured_t_i_seconds,
+             modeled_t_i_seconds, measured_css_breakeven_ops,
+             modeled_css_breakeven_ops);
+    out += tier;
+  }
+  return out;
 }
 
 Status KvStore::Get(const Slice& key, std::string* value_out) {

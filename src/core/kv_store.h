@@ -86,6 +86,58 @@ struct KvStoreStats {
   uint64_t write_stalls = 0;
   uint64_t stall_micros_total = 0;
 
+  // Three-tier hierarchy (DRAM -> compressed-SS -> SS, §7.2 / Fig. 8).
+  // Occupancy (point-in-time), traffic (cumulative), and the per-tier
+  // access-interval accumulators that make the five-minute-rule breakeven
+  // a *measured* quantity. Stores without a tier leave these 0.
+  uint64_t tier_dram_pages = 0;
+  uint64_t tier_dram_bytes = 0;
+  uint64_t tier_css_pages = 0;
+  uint64_t tier_css_bytes = 0;          // compressed (stored) footprint
+  uint64_t tier_css_hits = 0;           // loads served by compressed records
+  uint64_t tier_demotions = 0;          // DRAM -> CSS
+  uint64_t tier_promotions = 0;         // CSS -> DRAM
+  uint64_t tier_demotion_refusals = 0;  // policy said CSS would be a loss
+  uint64_t tier_css_fallthroughs = 0;   // CSS -> plain SS (budget overflow)
+  uint64_t css_raw_bytes = 0;           // pre-compression bytes demoted
+  uint64_t css_stored_bytes = 0;        // compressed bytes demoted
+  uint64_t tier_dram_interval_nanos = 0;    // sum of DRAM touch gaps
+  uint64_t tier_dram_interval_samples = 0;
+  uint64_t tier_css_interval_nanos = 0;     // sum of CSS reheat gaps
+  uint64_t tier_css_interval_samples = 0;
+  uint64_t background_pages_demoted = 0;
+  uint64_t background_pages_promoted = 0;
+  // Five-minute-rule breakeven T_i (Eq. 6): the modeled value at the
+  // paper's §4.1 constants, and the measured value with the mean demoted
+  // page size observed from running code. Likewise the Fig. 8 CSS-vs-SS
+  // crossover at the modeled vs the measured compression ratio. Per-store
+  // quantities: operator+= adopts the first non-zero value (shards share
+  // parameters; recompute from the additive accumulators for exactness).
+  double modeled_t_i_seconds = 0;
+  double measured_t_i_seconds = 0;
+  double modeled_css_breakeven_ops = 0;
+  double measured_css_breakeven_ops = 0;
+
+  // Measured compression ratio across all demotions (1.0 before any).
+  double MeasuredCompressionRatio() const {
+    return css_raw_bytes == 0 ? 1.0
+                              : static_cast<double>(css_stored_bytes) /
+                                    static_cast<double>(css_raw_bytes);
+  }
+  // Mean measured inter-access gap per tier, seconds (0 with no samples).
+  double MeanDramIntervalSeconds() const {
+    return tier_dram_interval_samples == 0
+               ? 0.0
+               : static_cast<double>(tier_dram_interval_nanos) * 1e-9 /
+                     static_cast<double>(tier_dram_interval_samples);
+  }
+  double MeanCssIntervalSeconds() const {
+    return tier_css_interval_samples == 0
+               ? 0.0
+               : static_cast<double>(tier_css_interval_nanos) * 1e-9 /
+                     static_cast<double>(tier_css_interval_samples);
+  }
+
   // Fraction of classified ops that missed (the paper's F). 0 when the
   // store classified nothing.
   double MissFraction() const {

@@ -97,6 +97,10 @@ void CacheManager::GrowTable(Shard& shard) {
                   std::memory_order_relaxed);
     dst.referenced.store(src.referenced.load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
+    dst.tier.store(src.tier.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    dst.reheats.store(src.reheats.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
     dst.pid.store(pid, std::memory_order_release);
   }
   // Tombstones are dropped by the rehash.
@@ -151,9 +155,24 @@ void CacheManager::Insert(mapping::PageId pid, uint64_t bytes) {
   const uint64_t now = clock_->NowNanos();
   const uint64_t seq = lru_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
   if (s->pid.load(std::memory_order_relaxed) == pid) {
-    // Re-insert of a resident page: treat as resize + touch (move to MRU).
     const uint64_t old = s->bytes.load(std::memory_order_relaxed);
-    shard.resident_bytes.fetch_add(bytes - old, std::memory_order_relaxed);
+    if (static_cast<CacheTier>(s->tier.load(std::memory_order_relaxed)) ==
+        CacheTier::kCss) {
+      // The page's chain just got rebuilt in memory: this Insert IS the
+      // CSS -> DRAM promotion. Move its footprint between the tier
+      // accounts and remember the reheat — a page that keeps coming
+      // back will be refused by the next demotion pass.
+      shard.css_bytes.fetch_sub(old, std::memory_order_relaxed);
+      shard.css_pages.fetch_sub(1, std::memory_order_relaxed);
+      shard.resident_bytes.fetch_add(bytes, std::memory_order_relaxed);
+      shard.promotions.fetch_add(1, std::memory_order_relaxed);
+      s->reheats.fetch_add(1, std::memory_order_relaxed);
+      s->tier.store(static_cast<uint32_t>(CacheTier::kDram),
+                    std::memory_order_relaxed);
+    } else {
+      // Re-insert of a resident page: treat as resize + touch (MRU).
+      shard.resident_bytes.fetch_add(bytes - old, std::memory_order_relaxed);
+    }
     s->bytes.store(bytes, std::memory_order_relaxed);
     s->tick.store(now, std::memory_order_relaxed);
     s->seq.store(seq, std::memory_order_relaxed);
@@ -164,6 +183,9 @@ void CacheManager::Insert(mapping::PageId pid, uint64_t bytes) {
   s->tick.store(now, std::memory_order_relaxed);
   s->seq.store(seq, std::memory_order_relaxed);
   s->referenced.store(1, std::memory_order_relaxed);
+  s->tier.store(static_cast<uint32_t>(CacheTier::kDram),
+                std::memory_order_relaxed);
+  s->reheats.store(0, std::memory_order_relaxed);
   s->pid.store(pid, std::memory_order_release);
   shard.live++;
   if (!claimed_tombstone) shard.used++;
@@ -203,8 +225,26 @@ void CacheManager::Touch(mapping::PageId pid) {
   Shard& shard = ShardFor(pid);
   Slot* s = FindSlot(shard, pid);
   if (s == nullptr) return;
-  s->tick.store(clock_->NowNanos(), std::memory_order_relaxed);
+  const uint64_t now = clock_->NowNanos();
+  const uint64_t prev = s->tick.load(std::memory_order_relaxed);
+  s->tick.store(now, std::memory_order_relaxed);
   s->referenced.store(1, std::memory_order_relaxed);
+  // Accumulate the inter-reference gap into this thread's cell, binned
+  // by tier: the per-tier mean gap is the measured access interval the
+  // five-minute-rule breakeven gets compared against. Racing touches
+  // can double-count or drop a gap — advisory statistics, like ticks.
+  if (prev != 0 && now > prev) {
+    const bool css =
+        static_cast<CacheTier>(s->tier.load(std::memory_order_relaxed)) ==
+        CacheTier::kCss;
+    std::atomic<uint64_t>& sum =
+        css ? cell.css_interval_nanos : cell.dram_interval_nanos;
+    std::atomic<uint64_t>& cnt =
+        css ? cell.css_interval_samples : cell.dram_interval_samples;
+    sum.store(sum.load(std::memory_order_relaxed) + (now - prev),
+              std::memory_order_relaxed);
+    BumpCell(cnt);
+  }
 }
 
 void CacheManager::Resize(mapping::PageId pid, uint64_t new_bytes) {
@@ -214,7 +254,15 @@ void CacheManager::Resize(mapping::PageId pid, uint64_t new_bytes) {
   if (s == nullptr) return;
   const uint64_t old = s->bytes.load(std::memory_order_relaxed);
   s->bytes.store(new_bytes, std::memory_order_relaxed);
-  shard.resident_bytes.fetch_add(new_bytes - old, std::memory_order_relaxed);
+  // Adjust whichever tier account the entry is charged against (a CSS
+  // entry's footprint never changes in practice, but keep the books
+  // closed regardless).
+  std::atomic<uint64_t>& account =
+      static_cast<CacheTier>(s->tier.load(std::memory_order_relaxed)) ==
+              CacheTier::kCss
+          ? shard.css_bytes
+          : shard.resident_bytes;
+  account.fetch_add(new_bytes - old, std::memory_order_relaxed);
 }
 
 void CacheManager::Erase(mapping::PageId pid) {
@@ -223,10 +271,17 @@ void CacheManager::Erase(mapping::PageId pid) {
   Slot* s = FindSlot(shard, pid);
   if (s == nullptr) return;
   const uint64_t bytes = s->bytes.load(std::memory_order_relaxed);
+  const CacheTier tier =
+      static_cast<CacheTier>(s->tier.load(std::memory_order_relaxed));
   // Tombstone keeps the probe chain intact for concurrent readers.
   s->pid.store(kTombstonePid, std::memory_order_release);
   shard.live--;
-  shard.resident_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+  if (tier == CacheTier::kCss) {
+    shard.css_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+    shard.css_pages.fetch_sub(1, std::memory_order_relaxed);
+  } else {
+    shard.resident_bytes.fetch_sub(bytes, std::memory_order_relaxed);
+  }
   shard.evictions.fetch_add(1, std::memory_order_relaxed);
 }
 
@@ -254,8 +309,63 @@ double CacheManager::IdleSeconds(mapping::PageId pid) const {
          1e-9;
 }
 
+bool CacheManager::SetTier(mapping::PageId pid, CacheTier tier,
+                           uint64_t bytes) {
+  Shard& shard = ShardFor(pid);
+  MutexLock lk(&shard.mu);
+  Slot* s = FindSlot(shard, pid);
+  if (s == nullptr) return false;
+  const CacheTier cur =
+      static_cast<CacheTier>(s->tier.load(std::memory_order_relaxed));
+  if (cur == tier) return false;
+  const uint64_t old = s->bytes.load(std::memory_order_relaxed);
+  if (tier == CacheTier::kCss) {
+    shard.resident_bytes.fetch_sub(old, std::memory_order_relaxed);
+    shard.css_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    shard.css_pages.fetch_add(1, std::memory_order_relaxed);
+    shard.demotions.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    shard.css_bytes.fetch_sub(old, std::memory_order_relaxed);
+    shard.css_pages.fetch_sub(1, std::memory_order_relaxed);
+    shard.resident_bytes.fetch_add(bytes, std::memory_order_relaxed);
+    shard.promotions.fetch_add(1, std::memory_order_relaxed);
+    s->reheats.fetch_add(1, std::memory_order_relaxed);
+  }
+  s->bytes.store(bytes, std::memory_order_relaxed);
+  s->tier.store(static_cast<uint32_t>(tier), std::memory_order_relaxed);
+  return true;
+}
+
+CacheTier CacheManager::GetTier(mapping::PageId pid) const {
+  Slot* s = FindSlot(ShardFor(pid), pid);
+  if (s == nullptr) return CacheTier::kDram;
+  return static_cast<CacheTier>(s->tier.load(std::memory_order_relaxed));
+}
+
+uint32_t CacheManager::ReheatCount(mapping::PageId pid) const {
+  Slot* s = FindSlot(ShardFor(pid), pid);
+  if (s == nullptr) return 0;
+  return s->reheats.load(std::memory_order_relaxed);
+}
+
+uint64_t CacheManager::css_resident_bytes() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->css_bytes.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void CacheManager::set_css_budget(uint64_t bytes) {
+  css_budget_.store(bytes, std::memory_order_relaxed);
+}
+
+bool CacheManager::CssOverBudget() const {
+  return css_resident_bytes() > css_budget_.load(std::memory_order_relaxed);
+}
+
 std::vector<CacheManager::VictimCandidate>
-CacheManager::SnapshotByRecency() {
+CacheManager::SnapshotByRecency(CacheTier tier) {
   std::vector<VictimCandidate> all;
   for (const auto& shard : shards_) {
     MutexLock lk(&shard->mu);
@@ -264,6 +374,10 @@ CacheManager::SnapshotByRecency() {
       Slot& s = t->slots[i];
       const uint64_t pid = s.pid.load(std::memory_order_relaxed);
       if (pid == kEmptyPid || pid == kTombstonePid) continue;
+      if (static_cast<CacheTier>(s.tier.load(std::memory_order_relaxed)) !=
+          tier) {
+        continue;
+      }
       all.push_back({pid, s.bytes.load(std::memory_order_relaxed),
                      s.tick.load(std::memory_order_relaxed),
                      s.seq.load(std::memory_order_relaxed), &s.referenced});
@@ -291,7 +405,9 @@ std::vector<mapping::PageId> CacheManager::PickVictims(uint64_t want_bytes,
   const uint64_t now = clock_->NowNanos();
   const uint64_t breakeven_nanos =
       static_cast<uint64_t>(options_.breakeven_interval_seconds * 1e9);
-  std::vector<VictimCandidate> order = SnapshotByRecency();
+  // Victim selection is a DRAM-tier concern: CSS entries hold no memory
+  // worth reclaiming here (PickCssVictims handles CSS overflow).
+  std::vector<VictimCandidate> order = SnapshotByRecency(CacheTier::kDram);
 
   switch (options_.policy) {
     case EvictionPolicy::kLru: {
@@ -355,6 +471,69 @@ std::vector<mapping::PageId> CacheManager::PickVictims(uint64_t want_bytes,
   return victims;
 }
 
+std::vector<mapping::PageId> CacheManager::PickDemotionCandidates(
+    size_t max_pages, double min_idle_seconds) {
+  std::vector<mapping::PageId> out;
+  if (max_pages == 0) return out;
+  const uint64_t now = clock_->NowNanos();
+  const uint64_t min_idle_nanos =
+      static_cast<uint64_t>(min_idle_seconds * 1e9);
+  // Coldest-first; stop at the first page younger than the idle floor —
+  // everything after it in recency order is younger still.
+  for (const VictimCandidate& c : SnapshotByRecency(CacheTier::kDram)) {
+    if (now - c.tick < min_idle_nanos) break;
+    out.push_back(c.pid);
+    if (out.size() >= max_pages) break;
+  }
+  return out;
+}
+
+std::vector<mapping::PageId> CacheManager::PickCssVictims(
+    uint64_t want_bytes, size_t max_pages) {
+  std::vector<mapping::PageId> out;
+  if (max_pages == 0) return out;
+  uint64_t picked = 0;
+  for (const VictimCandidate& c : SnapshotByRecency(CacheTier::kCss)) {
+    if (picked >= want_bytes || out.size() >= max_pages) break;
+    out.push_back(c.pid);
+    picked += c.bytes;
+  }
+  return out;
+}
+
+std::vector<mapping::PageId> CacheManager::PickPromotionCandidates(
+    size_t max_pages) {
+  std::vector<mapping::PageId> out;
+  if (max_pages == 0) return out;
+  std::vector<VictimCandidate> order = SnapshotByRecency(CacheTier::kCss);
+  // Hottest first: walk the coldest-first snapshot backwards.
+  for (auto it = order.rbegin(); it != order.rend() && out.size() < max_pages;
+       ++it) {
+    out.push_back(it->pid);
+  }
+  return out;
+}
+
+std::vector<std::pair<mapping::PageId, uint64_t>> CacheManager::CssEntries()
+    const {
+  std::vector<std::pair<mapping::PageId, uint64_t>> out;
+  for (const auto& shard : shards_) {
+    MutexLock lk(&shard->mu);
+    Table* t = shard->table.load(std::memory_order_relaxed);
+    for (size_t i = 0; i <= t->mask; ++i) {
+      const Slot& s = t->slots[i];
+      const uint64_t pid = s.pid.load(std::memory_order_relaxed);
+      if (pid == kEmptyPid || pid == kTombstonePid) continue;
+      if (static_cast<CacheTier>(s.tier.load(std::memory_order_relaxed)) !=
+          CacheTier::kCss) {
+        continue;
+      }
+      out.emplace_back(pid, s.bytes.load(std::memory_order_relaxed));
+    }
+  }
+  return out;
+}
+
 std::vector<std::pair<mapping::PageId, uint64_t>>
 CacheManager::ResidentEntries() const {
   std::vector<std::pair<mapping::PageId, uint64_t>> out;
@@ -365,6 +544,12 @@ CacheManager::ResidentEntries() const {
       const Slot& s = t->slots[i];
       const uint64_t pid = s.pid.load(std::memory_order_relaxed);
       if (pid == kEmptyPid || pid == kTombstonePid) continue;
+      // DRAM tier only: a CSS entry's mapping word is a flash address
+      // with no live chain, so auditors must not expect one.
+      if (static_cast<CacheTier>(s.tier.load(std::memory_order_relaxed)) !=
+          CacheTier::kDram) {
+        continue;
+      }
       out.emplace_back(pid, s.bytes.load(std::memory_order_relaxed));
     }
   }
@@ -377,12 +562,26 @@ CacheStats CacheManager::stats() const {
     s.insertions += shard->insertions.load(std::memory_order_relaxed);
     s.evictions += shard->evictions.load(std::memory_order_relaxed);
     s.resident_bytes += shard->resident_bytes.load(std::memory_order_relaxed);
+    s.css_bytes += shard->css_bytes.load(std::memory_order_relaxed);
+    s.demotions += shard->demotions.load(std::memory_order_relaxed);
+    s.promotions += shard->promotions.load(std::memory_order_relaxed);
+    const uint64_t css_pages =
+        shard->css_pages.load(std::memory_order_relaxed);
+    s.css_pages += css_pages;
     MutexLock lk(&shard->mu);
-    s.resident_pages += shard->live;
+    s.resident_pages += shard->live - css_pages;  // live spans both tiers
   }
   for (const TouchCell& cell : touch_cells_) {
     s.touches += cell.touches.load(std::memory_order_relaxed);
     s.touches_sampled += cell.sampled.load(std::memory_order_relaxed);
+    s.dram_interval_nanos +=
+        cell.dram_interval_nanos.load(std::memory_order_relaxed);
+    s.dram_interval_samples +=
+        cell.dram_interval_samples.load(std::memory_order_relaxed);
+    s.css_interval_nanos +=
+        cell.css_interval_nanos.load(std::memory_order_relaxed);
+    s.css_interval_samples +=
+        cell.css_interval_samples.load(std::memory_order_relaxed);
   }
   return s;
 }

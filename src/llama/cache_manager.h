@@ -31,6 +31,17 @@ enum class EvictionPolicy {
 
 std::string EvictionPolicyName(EvictionPolicy p);
 
+// Which tier of the paper's three-level hierarchy (§7.2 / Fig. 8) a
+// tracked page currently occupies. kDram pages have a live in-memory
+// delta chain; kCss pages live only as a compressed record on secondary
+// storage but stay tracked here so the tiering policy can see their
+// recency, reheat history, and compressed footprint. Pages that fall all
+// the way to plain SS are simply erased from the cache manager.
+enum class CacheTier : uint8_t {
+  kDram = 0,
+  kCss = 1,
+};
+
 struct CacheOptions {
   uint64_t memory_budget_bytes = 64ull << 20;
   EvictionPolicy policy = EvictionPolicy::kLru;
@@ -56,6 +67,32 @@ struct CacheStats {
   // Touches that took the sampled fast path (skipped: no table probe,
   // no clock read). touches counts every Touch call.
   uint64_t touches_sampled = 0;
+  // Compressed-secondary-storage tier occupancy and traffic.
+  uint64_t css_pages = 0;
+  uint64_t css_bytes = 0;    // compressed (stored) footprint
+  uint64_t demotions = 0;    // DRAM -> CSS transitions
+  uint64_t promotions = 0;   // CSS -> DRAM transitions (reheats)
+  // Per-tier access-interval accumulators: sum of (touch - previous
+  // touch) gaps in nanoseconds, and how many gaps were sampled. The
+  // mean interval is the store's *measured* inter-reference time, the
+  // input the five-minute-rule breakeven is compared against.
+  uint64_t dram_interval_nanos = 0;
+  uint64_t dram_interval_samples = 0;
+  uint64_t css_interval_nanos = 0;
+  uint64_t css_interval_samples = 0;
+
+  double MeanDramIntervalSeconds() const {
+    return dram_interval_samples == 0
+               ? 0.0
+               : static_cast<double>(dram_interval_nanos) * 1e-9 /
+                     static_cast<double>(dram_interval_samples);
+  }
+  double MeanCssIntervalSeconds() const {
+    return css_interval_samples == 0
+               ? 0.0
+               : static_cast<double>(css_interval_nanos) * 1e-9 /
+                     static_cast<double>(css_interval_samples);
+  }
 };
 
 // Resident-set accounting and victim selection for the data cache. The
@@ -95,7 +132,11 @@ class CacheManager {
   CacheManager(const CacheManager&) = delete;
   CacheManager& operator=(const CacheManager&) = delete;
 
-  // Page became resident with the given footprint.
+  // Page became resident (DRAM tier) with the given footprint. If pid is
+  // currently tracked in the CSS tier this IS the promotion path: the
+  // entry flips to kDram, byte accounting moves between tiers, and its
+  // reheat counter bumps — so the tree's ordinary load-and-install flow
+  // promotes compressed pages without any tier-specific calls.
   void Insert(mapping::PageId pid, uint64_t bytes);
   // Page was accessed (sets reference bit / refreshes last-touch tick).
   // Lock-free.
@@ -125,13 +166,58 @@ class CacheManager {
   // Seconds since pid was last touched; negative if unknown. Lock-free.
   double IdleSeconds(mapping::PageId pid) const;
 
+  // --- Tier hierarchy (DESIGN.md §3.7) -----------------------------------
+
+  // Moves a tracked page between tiers; `bytes` is its footprint in the
+  // destination tier (compressed size for kCss, raw chain size for
+  // kDram). Returns false (no accounting change) if pid is untracked or
+  // already in `tier`. kCss -> kDram through here counts a promotion and
+  // a reheat, same as the Insert path.
+  bool SetTier(mapping::PageId pid, CacheTier tier, uint64_t bytes);
+  // Current tier; kDram if untracked (use Contains to distinguish).
+  // Lock-free.
+  CacheTier GetTier(mapping::PageId pid) const;
+  // How many times this page has been promoted back out of CSS. The
+  // demotion policy refuses pages that keep reheating — repeatedly
+  // paying decompress_r for the same page erases the storage saving
+  // (Fig. 8's breakeven argument in reverse). 0 if untracked. Lock-free.
+  uint32_t ReheatCount(mapping::PageId pid) const;
+
+  uint64_t css_resident_bytes() const;
+  void set_css_budget(uint64_t bytes);
+  uint64_t css_budget() const {
+    return css_budget_.load(std::memory_order_relaxed);
+  }
+  bool CssOverBudget() const;
+
+  // Coldest-first DRAM-tier pages idle for at least min_idle_seconds:
+  // the demotion work list. Does not change any state — the caller runs
+  // DemotePage (which may refuse) and the tier flips via SetTier.
+  std::vector<mapping::PageId> PickDemotionCandidates(
+      size_t max_pages, double min_idle_seconds);
+  // Coldest-first CSS-tier pages covering want_bytes: when the CSS tier
+  // itself is over budget these fall through to plain SS (their durable
+  // record already exists — the caller just Erases them here).
+  std::vector<mapping::PageId> PickCssVictims(uint64_t want_bytes,
+                                              size_t max_pages);
+  // Hottest-first CSS-tier pages: promotion candidates for when DRAM has
+  // headroom and background work can pay decompression ahead of demand.
+  std::vector<mapping::PageId> PickPromotionCandidates(size_t max_pages);
+
+  // Snapshot of (pid, stored bytes) for every CSS-tier page, for
+  // invariant auditing against the log store's compressed-record
+  // accounting.
+  std::vector<std::pair<mapping::PageId, uint64_t>> CssEntries() const;
+
   CacheStats stats() const;
   const CacheOptions& options() const { return options_; }
   void set_memory_budget(uint64_t bytes);
 
-  // Snapshot of (pid, bytes) for every page the cache believes resident.
-  // For invariant auditing: the analysis layer cross-checks this set
-  // against the mapping table and the tree's resident chains.
+  // Snapshot of (pid, bytes) for every page the cache believes resident
+  // in DRAM. For invariant auditing: the analysis layer cross-checks
+  // this set against the mapping table and the tree's resident chains —
+  // CSS-tier pages are excluded because their mapping word is a flash
+  // address, not a live chain.
   std::vector<std::pair<mapping::PageId, uint64_t>> ResidentEntries() const;
 
   size_t shard_count() const { return shards_.size(); }
@@ -153,6 +239,12 @@ class CacheManager {
     // pages whose ticks are equal, reproducing exact LRU order.
     std::atomic<uint64_t> seq{0};
     std::atomic<uint32_t> referenced{0};  // second-chance bit
+    // CacheTier the entry occupies (raw uint32 so lock-free readers can
+    // load it relaxed like the other payload fields).
+    std::atomic<uint32_t> tier{0};
+    // Promotions out of CSS survived so far; input to the anti-thrash
+    // demotion refusal.
+    std::atomic<uint32_t> reheats{0};
   };
 
   struct Table {
@@ -178,8 +270,15 @@ class CacheManager {
     size_t live GUARDED_BY(mu) = 0;  // valid pids
     size_t used GUARDED_BY(mu) = 0;  // valid pids + tombstones
     std::atomic<uint64_t> resident_bytes{0};
+    // Stored (compressed) footprint and page count of this shard's
+    // CSS-tier entries; disjoint from resident_bytes, which is DRAM-tier
+    // only (`live` counts both tiers).
+    std::atomic<uint64_t> css_bytes{0};
+    std::atomic<uint64_t> css_pages{0};
     std::atomic<uint64_t> insertions{0};
     std::atomic<uint64_t> evictions{0};
+    std::atomic<uint64_t> demotions{0};
+    std::atomic<uint64_t> promotions{0};
   };
 
   // Touch counters are striped per thread (not per shard): every touch
@@ -190,6 +289,14 @@ class CacheManager {
   struct alignas(64) TouchCell {
     std::atomic<uint64_t> touches{0};
     std::atomic<uint64_t> sampled{0};
+    // Per-tier inter-reference gap accumulators (nanoseconds / gap
+    // count), fed by the full-touch path reading the slot's previous
+    // tick before refreshing it. Same single-writer load+store
+    // discipline as the counters above.
+    std::atomic<uint64_t> dram_interval_nanos{0};
+    std::atomic<uint64_t> dram_interval_samples{0};
+    std::atomic<uint64_t> css_interval_nanos{0};
+    std::atomic<uint64_t> css_interval_samples{0};
   };
   static constexpr int kTouchCells = 64;
   static int TouchCellIndex();
@@ -214,9 +321,9 @@ class CacheManager {
   Slot* FindOrClaimSlot(Shard& shard, mapping::PageId pid,
                         bool* claimed_tombstone) REQUIRES(shard.mu);
   void GrowTable(Shard& shard) REQUIRES(shard.mu);
-  // Snapshot of every resident page across all shards, sorted by
+  // Snapshot of every page in `tier` across all shards, sorted by
   // (tick, seq) — i.e. exact LRU order, coldest first.
-  std::vector<VictimCandidate> SnapshotByRecency();
+  std::vector<VictimCandidate> SnapshotByRecency(CacheTier tier);
 
   // memory_budget_bytes is mirrored in budget_ so OverBudget stays
   // lock-free; the remaining options fields are immutable after
@@ -224,6 +331,8 @@ class CacheManager {
   CacheOptions options_;
   Clock* clock_;
   std::atomic<uint64_t> budget_;
+  // Stored-byte ceiling for the CSS tier; 0 = tier disabled.
+  std::atomic<uint64_t> css_budget_{0};
   // Monotonic recency tiebreak, bumped on insert/re-insert.
   std::atomic<uint64_t> lru_seq_{0};
   size_t shard_mask_ = 0;

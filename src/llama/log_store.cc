@@ -7,6 +7,7 @@
 
 #include "common/coding.h"
 #include "common/crc32.h"
+#include "compression/compressor.h"
 
 namespace costperf::llama {
 
@@ -37,27 +38,24 @@ void LogStructuredStore::OpenSegmentLocked(uint64_t id) {
   directory_[id] = info;
 }
 
-void LogStructuredStore::EncodeRecord(PageId pid, const Slice& image,
-                                      std::string* dst) {
-  PutFixed32(dst, kRecordMagic);
-  PutFixed64(dst, pid);
-  PutFixed32(dst, static_cast<uint32_t>(image.size()));
-  PutFixed32(dst, MaskCrc(Crc32c(image.data(), image.size())));
-  dst->append(image.data(), image.size());
-}
-
-void LogStructuredStore::EncodeRecordTo(PageId pid, const Slice& image,
+void LogStructuredStore::EncodeRecordTo(PageId pid, const Slice& stored,
+                                        uint8_t flags, uint32_t raw_len,
                                         char* dst) {
   EncodeFixed32(dst, kRecordMagic);
   EncodeFixed64(dst + 4, pid);
-  EncodeFixed32(dst + 12, static_cast<uint32_t>(image.size()));
-  EncodeFixed32(dst + 16, MaskCrc(Crc32c(image.data(), image.size())));
-  memcpy(dst + kHeaderBytes, image.data(), image.size());
+  EncodeFixed32(dst + 12, static_cast<uint32_t>(stored.size()));
+  // The CRC covers the stored bytes — the compressed form for CSS
+  // records — so torn-tail recovery validates both forms the same way.
+  EncodeFixed32(dst + 16, MaskCrc(Crc32c(stored.data(), stored.size())));
+  dst[20] = static_cast<char>(flags);
+  EncodeFixed32(dst + 21, raw_len);
+  memcpy(dst + kHeaderBytes, stored.data(), stored.size());
 }
 
 Status LogStructuredStore::DecodeRecord(const char* data, uint64_t len,
                                         bool verify, PageId* pid,
-                                        Slice* payload) {
+                                        Slice* payload, uint8_t* flags,
+                                        uint32_t* raw_len) {
   if (len < kHeaderBytes) return Status::Corruption("record too short");
   if (DecodeFixed32(data) != kRecordMagic) {
     return Status::Corruption("bad record magic");
@@ -65,6 +63,8 @@ Status LogStructuredStore::DecodeRecord(const char* data, uint64_t len,
   uint64_t record_pid = DecodeFixed64(data + 4);
   uint32_t payload_len = DecodeFixed32(data + 12);
   uint32_t stored_crc = UnmaskCrc(DecodeFixed32(data + 16));
+  uint8_t record_flags = static_cast<uint8_t>(data[20]);
+  uint32_t record_raw_len = DecodeFixed32(data + 21);
   if (kHeaderBytes + payload_len > len) {
     return Status::Corruption("record payload truncated");
   }
@@ -72,8 +72,17 @@ Status LogStructuredStore::DecodeRecord(const char* data, uint64_t len,
       Crc32c(data + kHeaderBytes, payload_len) != stored_crc) {
     return Status::Corruption("record checksum mismatch");
   }
+  if ((record_flags & ~kRecordFlagCompressed) != 0) {
+    return Status::Corruption("unknown record flags");
+  }
+  if ((record_flags & kRecordFlagCompressed) == 0 &&
+      record_raw_len != payload_len) {
+    return Status::Corruption("raw length mismatch on plain record");
+  }
   *pid = record_pid;
   *payload = Slice(data + kHeaderBytes, payload_len);
+  *flags = record_flags;
+  *raw_len = record_raw_len;
   return Status::Ok();
 }
 
@@ -96,13 +105,29 @@ void LogStructuredStore::RecordGroupLocked(uint64_t size) {
 
 Result<FlashAddress> LogStructuredStore::Append(PageId pid,
                                                 const Slice& image) {
-  const uint64_t record_len = kHeaderBytes + image.size();
+  if (image.size() > UINT32_MAX) {
+    return Status::InvalidArgument("page image exceeds length field");
+  }
+  return AppendRecord(pid, image, 0, static_cast<uint32_t>(image.size()));
+}
+
+Result<FlashAddress> LogStructuredStore::AppendCompressed(
+    PageId pid, const Slice& compressed, uint32_t raw_len) {
+  return AppendRecord(pid, compressed, kRecordFlagCompressed, raw_len);
+}
+
+Result<FlashAddress> LogStructuredStore::AppendRecord(PageId pid,
+                                                      const Slice& stored,
+                                                      uint8_t flags,
+                                                      uint32_t raw_len) {
+  const uint64_t record_len = kHeaderBytes + stored.size();
   if (record_len > options_.segment_bytes - kSegmentHeaderBytes) {
     return Status::InvalidArgument("page image exceeds segment size");
   }
   if (record_len > FlashAddress::kMaxLen) {
     return Status::InvalidArgument("page image exceeds address length field");
   }
+  const bool compressed = (flags & kRecordFlagCompressed) != 0;
   uint64_t device_offset = 0;
   char* dst = nullptr;
   {
@@ -122,15 +147,23 @@ Result<FlashAddress> LogStructuredStore::Append(PageId pid,
     dst = open_buffer_.data() + in_segment;
     pending_fills_++;
     group_reserved_++;
-    directory_[open_segment_id_].used_bytes = open_buffer_.size();
+    SegmentInfo& seg = directory_[open_segment_id_];
+    seg.used_bytes = open_buffer_.size();
     stats_.records_appended++;
     stats_.bytes_appended += record_len;
-    stats_.payload_bytes_appended += image.size();
+    stats_.payload_bytes_appended += stored.size();
+    if (compressed) {
+      seg.css_stored_bytes += stored.size();
+      seg.css_raw_bytes += raw_len;
+      stats_.css_records_appended++;
+      stats_.css_stored_bytes_appended += stored.size();
+      stats_.css_raw_bytes_appended += raw_len;
+    }
     approx_used_bytes_.fetch_add(record_len, std::memory_order_relaxed);
   }
   // Header, checksum, and payload copy happen outside the latch —
   // concurrent appends encode their disjoint ranges in parallel.
-  EncodeRecordTo(pid, image, dst);
+  EncodeRecordTo(pid, stored, flags, raw_len, dst);
   {
     MutexLock lk(&mu_);
     if (--pending_fills_ == 0) {
@@ -167,11 +200,36 @@ Status LogStructuredStore::Flush() {
   return FlushLocked();
 }
 
+namespace {
+
+// Materializes a decoded record's payload into *image, inflating
+// compressed records. The header's raw_len bounds the decompression, and
+// a post-CRC decompress failure is Corruption — a compressed image whose
+// checksum passes but whose stream is malformed must never be adopted.
+Status MaterializeRecordPayload(const Slice& payload, uint8_t flags,
+                                uint32_t raw_len, std::string* image) {
+  if ((flags & LogStructuredStore::kRecordFlagCompressed) == 0) {
+    image->assign(payload.data(), payload.size());
+    return Status::Ok();
+  }
+  Status s = compression::Compressor::Decompress(payload, image, raw_len);
+  if (!s.ok()) return s;
+  if (image->size() != raw_len) {
+    return Status::Corruption("compressed record raw length mismatch");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 Status LogStructuredStore::Read(FlashAddress addr, std::string* image,
-                                PageId* pid_out) {
+                                PageId* pid_out, bool* was_compressed) {
   if (!addr.valid()) return Status::InvalidArgument("invalid flash address");
   const uint64_t seg = addr.offset() / options_.segment_bytes;
+  // Raw record bytes land here (copied out of the open buffer, or read
+  // from the device); decode and any decompression run latch-free.
   std::string raw;
+  bool buffered = false;
   {
     MutexLock lk(&mu_);
     // Wait out in-flight encodes so we never read a reserved-but-unfilled
@@ -179,34 +237,36 @@ Status LogStructuredStore::Read(FlashAddress addr, std::string* image,
     // device path.
     while (seg == open_segment_id_ && pending_fills_ > 0) cv_.wait(mu_);
     if (seg == open_segment_id_) {
-      // Served from the open write buffer: no device I/O.
+      // Served from the open write buffer: no device I/O. Copy the record
+      // out so decode/decompress need not hold the append latch.
       const uint64_t in_seg = addr.offset() % options_.segment_bytes;
       if (in_seg + addr.len() > open_buffer_.size()) {
         return Status::Corruption("address beyond open buffer");
       }
       stats_.buffer_reads++;
-      PageId pid = 0;
-      Slice payload;
-      Status s = DecodeRecord(open_buffer_.data() + in_seg, addr.len(),
-                              options_.verify_checksums, &pid, &payload);
-      if (!s.ok()) return s;
-      if (pid_out != nullptr) *pid_out = pid;
-      image->assign(payload.data(), payload.size());
-      return Status::Ok();
+      raw.assign(open_buffer_.data() + in_seg, addr.len());
+      buffered = true;
+    } else {
+      stats_.device_reads++;
     }
-    stats_.device_reads++;
   }
-  raw.resize(addr.len());
-  Status s = device_->Read(addr.offset(), addr.len(), raw.data());
-  if (!s.ok()) return s;
+  if (!buffered) {
+    raw.resize(addr.len());
+    Status s = device_->Read(addr.offset(), addr.len(), raw.data());
+    if (!s.ok()) return s;
+  }
   PageId pid = 0;
   Slice payload;
-  s = DecodeRecord(raw.data(), raw.size(), options_.verify_checksums, &pid,
-                   &payload);
+  uint8_t flags = 0;
+  uint32_t raw_len = 0;
+  Status s = DecodeRecord(raw.data(), raw.size(), options_.verify_checksums,
+                          &pid, &payload, &flags, &raw_len);
   if (!s.ok()) return s;
   if (pid_out != nullptr) *pid_out = pid;
-  image->assign(payload.data(), payload.size());
-  return Status::Ok();
+  if (was_compressed != nullptr) {
+    *was_compressed = (flags & kRecordFlagCompressed) != 0;
+  }
+  return MaterializeRecordPayload(payload, flags, raw_len, image);
 }
 
 void LogStructuredStore::MarkDead(FlashAddress addr) {
@@ -260,11 +320,14 @@ Result<GcStats> LogStructuredStore::CollectSegment(uint64_t segment_id,
          DecodeFixed32(raw.data() + pos) == kRecordMagic) {
     PageId pid = 0;
     Slice payload;
+    uint8_t flags = 0;
+    uint32_t raw_len = 0;
     const uint64_t framed_len =
         kHeaderBytes + DecodeFixed32(raw.data() + pos + 12);
     if (pos + framed_len > scan_end) break;  // runs off the adopted range
     s = DecodeRecord(raw.data() + pos, raw.size() - pos,
-                     options_.verify_checksums, &pid, &payload);
+                     options_.verify_checksums, &pid, &payload, &flags,
+                     &raw_len);
     if (!s.ok()) {
       // Checksum-failed record (skipped and marked dead by Recover):
       // nothing live to relocate; step over it.
@@ -275,7 +338,11 @@ Result<GcStats> LogStructuredStore::CollectSegment(uint64_t segment_id,
     FlashAddress old_addr(segment_id * options_.segment_bytes + pos,
                           record_len);
     if (live(pid, old_addr)) {
-      Result<FlashAddress> appended = Append(pid, payload);
+      // Relocate the stored bytes verbatim, preserving the record's
+      // form — GC must never pay a recompression, and a compressed
+      // record stays compressed at its new address.
+      Result<FlashAddress> appended = AppendRecord(pid, payload, flags,
+                                                   raw_len);
       if (!appended.ok()) return appended.status();
       if (install(pid, old_addr, *appended)) {
         gc.relocated_records++;
@@ -327,6 +394,8 @@ Result<GcStats> LogStructuredStore::CollectSegment(uint64_t segment_id,
       // marks) leave the directory with the collected segment.
       stats_.bytes_collected += it->second.used_bytes - kSegmentHeaderBytes;
       stats_.dead_bytes_collected += it->second.dead_bytes;
+      stats_.css_stored_bytes_collected += it->second.css_stored_bytes;
+      stats_.css_raw_bytes_collected += it->second.css_raw_bytes;
       approx_used_bytes_.fetch_sub(it->second.used_bytes - kSegmentHeaderBytes,
                                    std::memory_order_relaxed);
       approx_dead_bytes_.fetch_sub(it->second.dead_bytes,
@@ -437,11 +506,14 @@ Status LogStructuredStore::Recover(
     // record with a valid checksum; framed-but-corrupt records before that
     // point are skipped (marked dead), everything after it is torn tail.
     struct Rec {
-      uint64_t pos;
-      uint64_t len;
-      PageId pid;
-      Slice payload;
-      bool valid;
+      uint64_t pos = 0;
+      uint64_t len = 0;
+      PageId pid = 0;
+      Slice payload;           // stored bytes (compressed for CSS records)
+      std::string inflated;    // decompressed form of a valid CSS record
+      uint8_t flags = 0;
+      uint32_t raw_len = 0;
+      bool valid = false;
     };
     std::vector<Rec> recs;
     uint64_t pos = kSegmentHeaderBytes;
@@ -449,12 +521,23 @@ Status LogStructuredStore::Recover(
            DecodeFixed32(raw.data() + pos) == kRecordMagic) {
       const uint64_t payload_len = DecodeFixed32(raw.data() + pos + 12);
       if (pos + kHeaderBytes + payload_len > raw.size()) break;  // runs off
-      PageId pid = 0;
-      Slice payload;
+      Rec rec;
+      rec.pos = pos;
+      rec.len = kHeaderBytes + payload_len;
       Status ds = DecodeRecord(raw.data() + pos, raw.size() - pos,
-                               options_.verify_checksums, &pid, &payload);
-      recs.push_back(
-          {pos, kHeaderBytes + payload_len, pid, payload, ds.ok()});
+                               options_.verify_checksums, &rec.pid,
+                               &rec.payload, &rec.flags, &rec.raw_len);
+      rec.valid = ds.ok();
+      if (rec.valid && (rec.flags & kRecordFlagCompressed) != 0) {
+        // A compressed image must inflate cleanly to be adoptable: a
+        // record whose CRC passes but whose stream is torn/malformed is
+        // treated exactly like a checksum failure (skipped, marked dead)
+        // rather than surfacing garbage to the visitor.
+        rec.valid = MaterializeRecordPayload(rec.payload, rec.flags,
+                                             rec.raw_len, &rec.inflated)
+                        .ok();
+      }
+      recs.push_back(std::move(rec));
       pos += kHeaderBytes + payload_len;
     }
     size_t last_valid = recs.size();
@@ -483,10 +566,18 @@ Status LogStructuredStore::Recover(
         skipped_dead += r.len;
         continue;
       }
+      if ((r.flags & kRecordFlagCompressed) != 0) {
+        // CSS accounting covers only records adopted as compressed; a
+        // corrupt record's form is unknowable (its header may be the
+        // damage), so it stays out of the css closure on both sides.
+        info.css_stored_bytes += r.payload.size();
+        info.css_raw_bytes += r.raw_len;
+      }
       rep.records_adopted++;
       visitor(r.pid,
               FlashAddress(seg * options_.segment_bytes + r.pos, r.len),
-              r.payload);
+              (r.flags & kRecordFlagCompressed) != 0 ? Slice(r.inflated)
+                                                     : r.payload);
     }
     info.dead_bytes = skipped_dead;
     rep.bytes_adopted += adopted_end - kSegmentHeaderBytes;
@@ -494,6 +585,8 @@ Status LogStructuredStore::Recover(
       MutexLock lk(&mu_);
       directory_[seg] = info;
       stats_.recovered_bytes += info.used_bytes - kSegmentHeaderBytes;
+      stats_.css_stored_bytes_recovered += info.css_stored_bytes;
+      stats_.css_raw_bytes_recovered += info.css_raw_bytes;
       stats_.dead_bytes_marked += skipped_dead;
       approx_used_bytes_.fetch_add(info.used_bytes - kSegmentHeaderBytes,
                                    std::memory_order_relaxed);

@@ -33,7 +33,7 @@ struct LogStoreOptions {
 struct LogStoreStats {
   uint64_t records_appended = 0;
   uint64_t bytes_appended = 0;       // payload + headers
-  uint64_t payload_bytes_appended = 0;
+  uint64_t payload_bytes_appended = 0;  // stored (on-media) payload bytes
   uint64_t segments_written = 0;
   uint64_t buffer_reads = 0;    // reads served from the open write buffer
   uint64_t device_reads = 0;
@@ -46,6 +46,20 @@ struct LogStoreStats {
   uint64_t bytes_collected = 0;       // record bytes retired with GC'd segments
   uint64_t dead_bytes_collected = 0;  // dead marks retired with GC'd segments
   uint64_t recovered_bytes = 0;       // record bytes adopted by Recover()
+  // CSS (compressed-record) accounting. `stored` is bytes on media,
+  // `raw` the decompressed size the header declares. These close their
+  // own auditor identity, mirroring the space-accounting closure above:
+  //   css_stored_appended + css_stored_recovered
+  //     == sum(segment css_stored_bytes) + css_stored_collected
+  // (and the same for raw). GC relocation of a compressed record counts
+  // as a fresh compressed append, exactly like bytes_appended does.
+  uint64_t css_records_appended = 0;
+  uint64_t css_stored_bytes_appended = 0;
+  uint64_t css_raw_bytes_appended = 0;
+  uint64_t css_stored_bytes_collected = 0;
+  uint64_t css_raw_bytes_collected = 0;
+  uint64_t css_stored_bytes_recovered = 0;
+  uint64_t css_raw_bytes_recovered = 0;
   // Group-append visibility: appends reserve space under the latch and
   // encode outside it; a "group" is the run of appends whose encodes
   // overlapped (the fill counter rose from and returned to zero). With no
@@ -60,6 +74,11 @@ struct SegmentInfo {
   uint64_t id = 0;
   uint64_t used_bytes = 0;
   uint64_t dead_bytes = 0;
+  // Compressed-record payload bytes appended into this segment (stored =
+  // on media, raw = declared decompressed size). Never decremented by
+  // MarkDead: like used_bytes these retire with the segment.
+  uint64_t css_stored_bytes = 0;
+  uint64_t css_raw_bytes = 0;
   bool sealed = false;
   double live_fraction() const {
     return used_bytes == 0
@@ -122,11 +141,23 @@ class LogStructuredStore {
   // if the record does not fit.
   Result<FlashAddress> Append(PageId pid, const Slice& image);
 
+  // Buffers an already-compressed record (the caller ran the image
+  // through compression::Compressor — demotion compresses exactly once
+  // and applies its ratio policy on the same call). `raw_len` is the
+  // decompressed size, carried in the header so Read/Recover can bound
+  // and validate decompression. The CRC covers the compressed bytes as
+  // stored, so torn-tail recovery sees both record forms identically.
+  Result<FlashAddress> AppendCompressed(PageId pid, const Slice& compressed,
+                                        uint32_t raw_len);
+
   // Reads a record's payload. Serves from the open write buffer when the
   // address has not been flushed yet (no I/O — this is what makes freshly
   // written pages cheap to re-read). Verifies pid and checksum.
+  // Compressed records are decompressed transparently; *was_compressed
+  // (when non-null) reports which form was on media so callers can count
+  // CSS-tier reads.
   Status Read(FlashAddress addr, std::string* image,
-              PageId* pid_out = nullptr);
+              PageId* pid_out = nullptr, bool* was_compressed = nullptr);
 
   // Seals the open buffer and writes it to the device (no-op if empty).
   Status Flush();
@@ -192,10 +223,15 @@ class LogStructuredStore {
   void TestOnlyAdjustSegmentAccounting(uint64_t segment_id,
                                        int64_t used_delta, int64_t dead_delta);
 
-  // On-media record header size (magic, pid, len, crc).
-  static constexpr uint64_t kHeaderBytes = 4 + 8 + 4 + 4;
+  // On-media record header size: magic(4) pid(8) stored_len(4) crc(4)
+  // flags(1) raw_len(4). `stored_len` stays at offset 12 so GC/recovery
+  // framing is form-agnostic; the CRC at offset 16 covers the stored
+  // payload bytes (compressed form for CSS records).
+  static constexpr uint64_t kHeaderBytes = 4 + 8 + 4 + 4 + 1 + 4;
   static constexpr uint32_t kRecordMagic = 0x4C4C414Du;   // "LLAM"
   static constexpr uint32_t kSegmentMagic = 0x5345474Du;  // "SEGM"
+  // Record flag bits (header byte at offset 20).
+  static constexpr uint8_t kRecordFlagCompressed = 0x01;
   // Segment header: magic + id.
   static constexpr uint64_t kSegmentHeaderBytes = 4 + 8;
 
@@ -204,15 +240,22 @@ class LogStructuredStore {
   void OpenSegmentLocked(uint64_t id) REQUIRES(mu_);
   // Writes and seals the open segment.
   Status FlushLocked() REQUIRES(mu_);
-  static void EncodeRecord(PageId pid, const Slice& image, std::string* dst);
+  // Shared append path: `stored` is what goes on media verbatim. Both
+  // public Append forms and GC relocation (which must preserve the
+  // record's form) funnel through here.
+  Result<FlashAddress> AppendRecord(PageId pid, const Slice& stored,
+                                    uint8_t flags, uint32_t raw_len);
   // Encodes into a pre-reserved buffer range of exactly
-  // kHeaderBytes + image.size() bytes (the unlatched half of Append).
-  static void EncodeRecordTo(PageId pid, const Slice& image, char* dst);
+  // kHeaderBytes + stored.size() bytes (the unlatched half of Append).
+  static void EncodeRecordTo(PageId pid, const Slice& stored, uint8_t flags,
+                             uint32_t raw_len, char* dst);
   // Accounts a completed append group of `size` records.
   void RecordGroupLocked(uint64_t size) REQUIRES(mu_);
-  // Parses the record at `data`; returns payload view or error.
+  // Parses the record at `data`; returns the *stored* payload view (still
+  // compressed for CSS records) plus the form fields, or error.
   static Status DecodeRecord(const char* data, uint64_t len, bool verify,
-                             PageId* pid, Slice* payload);
+                             PageId* pid, Slice* payload, uint8_t* flags,
+                             uint32_t* raw_len);
 
   storage::SsdDevice* device_;
   LogStoreOptions options_;

@@ -25,6 +25,8 @@ struct MaintenanceQuota {
   uint32_t gc_segments = 1;              // log segments collected per step
   uint32_t consolidate_scan_pages = 128; // mapping slots scanned for long chains
   uint32_t flush_dirty_leaves = 8;       // dirty leaves flushed per step
+  uint32_t compress_pages = 16;          // pages demoted to the CSS tier per step
+  uint32_t promote_pages = 8;            // CSS pages promoted back per step
 };
 
 // A store-side source of background work. MaintenanceStep() runs on a

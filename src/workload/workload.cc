@@ -129,6 +129,20 @@ uint64_t Workload::NextKeyIndex() {
 
 std::string Workload::RandomValue() {
   std::string v(spec_.value_size, '\0');
+  if (spec_.compressible_values) {
+    // Structured payload, as real records tend to be: a random serial
+    // followed by a repeated field template. Compresses to roughly the
+    // ratios the paper's §7.2 CSS tier assumes; incompressible noise
+    // (the default) would gate the tier off entirely.
+    char frag[64];
+    const int n =
+        snprintf(frag, sizeof(frag), "id=%08llx|status=active|region=2|",
+                 static_cast<unsigned long long>(rng_.Next()));
+    for (size_t i = 0; i < v.size(); ++i) {
+      v[i] = frag[i % static_cast<size_t>(n)];
+    }
+    return v;
+  }
   rng_.Fill(v.data(), v.size());
   return v;
 }

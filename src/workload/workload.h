@@ -35,6 +35,10 @@ struct WorkloadSpec {
   double hotspot_access_fraction = 0.9;
 
   size_t value_size = 100;
+  // Structured (compressible) values instead of random noise. The CSS
+  // tier benches need payloads that actually compress; noise keeps the
+  // demotion ratio gate shut.
+  bool compressible_values = false;
   size_t max_scan_len = 100;
   std::string key_prefix = "user";
   uint64_t seed = 0xC0FFEE;

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "compression/compressor.h"
+
+namespace costperf::compression {
+namespace {
+
+// Robustness contract of Decompress (the CSS tier's read path): any byte
+// string — truncated, bit-flipped, or pure noise — either round-trips or
+// fails with a clean Corruption. It must never crash, hang, or allocate
+// past max_raw_size, because a torn or corrupted log record reaches this
+// code before the CRC layer has vouched for it during recovery scans.
+
+std::string StructuredPayload(size_t records) {
+  std::string out;
+  for (size_t i = 0; i < records; ++i) {
+    char buf[96];
+    snprintf(buf, sizeof(buf), "name=customer_%04zu|city=city_%03zu|tier=%s|",
+             i % 1000, i % 250, i % 3 ? "gold" : "basic");
+    out += buf;
+  }
+  return out;
+}
+
+void ExpectDecompressIsTotal(const Slice& input, size_t max_raw) {
+  std::string out;
+  Status s = Compressor::Decompress(input, &out, max_raw);
+  if (s.ok()) {
+    EXPECT_LE(out.size(), max_raw);
+  } else {
+    EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+  }
+}
+
+TEST(CompressorRobustnessTest, TruncationAtEveryLengthIsClean) {
+  std::string compressed;
+  Compressor::Compress(Slice(StructuredPayload(200)), &compressed);
+  ASSERT_GT(compressed.size(), 8u);
+  for (size_t len = 0; len < compressed.size(); ++len) {
+    ExpectDecompressIsTotal(Slice(compressed.data(), len), 1 << 20);
+  }
+}
+
+TEST(CompressorRobustnessTest, SingleBitFlipsAreCleanOrRoundTrip) {
+  const std::string raw = StructuredPayload(120);
+  std::string compressed;
+  Compressor::Compress(Slice(raw), &compressed);
+  // Every bit of the stream flipped once. A flip the format cannot detect
+  // may "succeed" with different bytes — that is the CRC layer's job —
+  // but it must stay within max_raw_size and never crash.
+  for (size_t byte = 0; byte < compressed.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = compressed;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      ExpectDecompressIsTotal(Slice(mutated), raw.size() * 4);
+    }
+  }
+}
+
+TEST(CompressorRobustnessTest, RandomNoiseBuffersAreClean) {
+  Random rng(20260808);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const size_t len = rng.Uniform(512);
+    std::string noise(len, '\0');
+    for (size_t i = 0; i < len; ++i) {
+      noise[i] = static_cast<char>(rng.Uniform(256));
+    }
+    ExpectDecompressIsTotal(Slice(noise), 1 << 16);
+  }
+}
+
+TEST(CompressorRobustnessTest, ClaimedRawSizePastLimitIsRefused) {
+  // A stream whose raw_size varint claims far more than the caller's
+  // bound must be refused up front, not after allocating the claim.
+  std::string compressed;
+  Compressor::Compress(Slice(StructuredPayload(300)), &compressed);
+  std::string out;
+  Status s = Compressor::Decompress(Slice(compressed), &out,
+                                    /*max_raw_size=*/16);
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST(CompressorRobustnessTest, RoundTripRepetitive) {
+  const std::string raw(256 << 10, 'z');
+  std::string compressed, back;
+  CompressInfo info;
+  Compressor::Compress(Slice(raw), &compressed, &info);
+  EXPECT_EQ(info.raw_size, raw.size());
+  EXPECT_EQ(info.compressed_size, compressed.size());
+  EXPECT_LT(info.ratio(), 0.05);
+  ASSERT_TRUE(Compressor::Decompress(Slice(compressed), &back).ok());
+  EXPECT_EQ(back, raw);
+}
+
+TEST(CompressorRobustnessTest, RoundTripIncompressible) {
+  Random rng(42);
+  std::string raw(64 << 10, '\0');
+  for (auto& c : raw) c = static_cast<char>(rng.Uniform(256));
+  std::string compressed, back;
+  CompressInfo info;
+  Compressor::Compress(Slice(raw), &compressed, &info);
+  // Noise cannot shrink; the format's literal framing keeps the
+  // expansion bounded rather than letting it run away.
+  EXPECT_LT(info.ratio(), 1.1);
+  ASSERT_TRUE(Compressor::Decompress(Slice(compressed), &back).ok());
+  EXPECT_EQ(back, raw);
+}
+
+TEST(CompressorRobustnessTest, RoundTripEmpty) {
+  std::string compressed, back;
+  CompressInfo info;
+  Compressor::Compress(Slice(), &compressed, &info);
+  EXPECT_EQ(info.raw_size, 0u);
+  EXPECT_EQ(info.ratio(), 1.0);
+  ASSERT_TRUE(Compressor::Decompress(Slice(compressed), &back).ok());
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(CompressorRobustnessTest, RoundTripRandomLengthsRandomContent) {
+  Random rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t len = rng.Uniform(8192);
+    std::string raw(len, '\0');
+    // Mix of compressible runs and noise, stressing match emission.
+    for (size_t i = 0; i < len; ++i) {
+      raw[i] = rng.Bernoulli(0.3) ? static_cast<char>(rng.Uniform(256))
+                                  : static_cast<char>('a' + (i / 7) % 4);
+    }
+    std::string compressed, back;
+    Compressor::Compress(Slice(raw), &compressed);
+    ASSERT_TRUE(Compressor::Decompress(Slice(compressed), &back).ok())
+        << "trial " << trial;
+    ASSERT_EQ(back, raw) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace costperf::compression

@@ -52,6 +52,7 @@ TEST(CrashRecoveryTortureTest, RandomCrashPointsNeverLoseCheckpointedData) {
          (unsigned long long)base_seed);
   int crashes_fired = 0;
   int salvages = 0;
+  uint64_t total_demotions = 0;
 
   for (int iter = 0; iter < iters; ++iter) {
     const uint64_t seed = Hash64(base_seed + static_cast<uint64_t>(iter));
@@ -73,6 +74,12 @@ TEST(CrashRecoveryTortureTest, RandomCrashPointsNeverLoseCheckpointedData) {
     opts.tree.max_page_bytes = 4 << 10;
     opts.tree.io_retry.max_attempts = 1;  // crash errors are not transient
     opts.degrade_after_write_failures = 0;
+    // CSS tier armed with a zero idle floor: every Maintain() demotes a
+    // batch of pages compressed, so seeded crash points regularly land
+    // mid-compressed-record. Recovery must stay lossless through both
+    // record forms.
+    opts.tier.css_budget_bytes = 4ull << 20;
+    opts.tier.demote_idle_seconds = 0.0;
 
     std::map<std::string, std::string> shadow;
     auto key_of = [&rng]() { return "key" + std::to_string(rng.Uniform(400)); };
@@ -126,9 +133,11 @@ TEST(CrashRecoveryTortureTest, RandomCrashPointsNeverLoseCheckpointedData) {
           a.not_found_ok = true;
           (void)store->Delete(key);
         }
+        if (op % 16 == 7) store->Maintain();  // drives CSS demotions
         if (op % 16 == 15) (void)store->Checkpoint();
       }
       if (fi.crashed()) ++crashes_fired;
+      total_demotions += store->Stats().tier_demotions;
       // The store dies with the machine; nothing else reaches media.
     }
 
@@ -167,10 +176,15 @@ TEST(CrashRecoveryTortureTest, RandomCrashPointsNeverLoseCheckpointedData) {
     EXPECT_EQ(*store->Get("post-recovery-probe"), "alive");
   }
 
-  printf("torture: %d/%d crash points fired, %d salvage recoveries\n",
-         crashes_fired, iters, salvages);
-  // The plan must actually bite: most iterations reach their crash point.
+  printf("torture: %d/%d crash points fired, %d salvage recoveries, "
+         "%llu CSS demotions\n",
+         crashes_fired, iters, salvages,
+         (unsigned long long)total_demotions);
+  // The plan must actually bite: most iterations reach their crash point,
+  // and the compressed tier is live enough that crash points land among
+  // compressed records too.
   EXPECT_GT(crashes_fired, iters / 4);
+  EXPECT_GT(total_demotions, 0u);
 }
 
 // Same durability contract, but with background maintenance active and a
@@ -185,6 +199,7 @@ TEST(CrashRecoveryTortureTest, CrashMidBackgroundMaintenanceRecovers) {
   printf("bg torture: %d crash points, base seed %llu\n", iters,
          (unsigned long long)base_seed);
   int crashes_fired = 0;
+  uint64_t total_demotions = 0;
 
   for (int iter = 0; iter < iters; ++iter) {
     const uint64_t seed = Hash64(base_seed + static_cast<uint64_t>(iter));
@@ -212,6 +227,11 @@ TEST(CrashRecoveryTortureTest, CrashMidBackgroundMaintenanceRecovers) {
     // must not turn the remaining (unstallable) debt into long waits.
     opts.background.stall_max_wait_micros = 2000;
     opts.gc_live_threshold = 0.8;
+    // Zero idle floor: background eviction demotes its victims to the
+    // compressed tier until the CSS budget fills, so the crash also
+    // lands mid-compressed-record on scheduler threads.
+    opts.tier.css_budget_bytes = 1ull << 20;
+    opts.tier.demote_idle_seconds = 0.0;
 
     std::map<std::string, std::string> shadow;
     auto key_of = [&rng]() { return "key" + std::to_string(rng.Uniform(300)); };
@@ -256,6 +276,7 @@ TEST(CrashRecoveryTortureTest, CrashMidBackgroundMaintenanceRecovers) {
         (void)store->Put(key, val);
       }
       if (fi.crashed()) ++crashes_fired;
+      total_demotions += store->Stats().tier_demotions;
       // Store destruction deregisters from the scheduler, waiting out
       // any step that is mid-GC on the now-dead device.
     }
@@ -292,8 +313,10 @@ TEST(CrashRecoveryTortureTest, CrashMidBackgroundMaintenanceRecovers) {
     EXPECT_EQ(*store->Get("post-recovery-probe"), "alive");
   }
 
-  printf("bg torture: %d/%d crash points fired\n", crashes_fired, iters);
+  printf("bg torture: %d/%d crash points fired, %llu CSS demotions\n",
+         crashes_fired, iters, (unsigned long long)total_demotions);
   EXPECT_GT(crashes_fired, iters / 4);
+  EXPECT_GT(total_demotions, 0u);
 }
 
 }  // namespace

@@ -173,7 +173,8 @@ TEST(CssStoreTest, TieringPolicySendsColdestPagesToCss) {
   opts.device.max_iops = 0;
   opts.eviction_policy = llama::EvictionPolicy::kCostBased;
   opts.breakeven_interval_seconds = 45.0;
-  opts.css_idle_interval_seconds = 200.0;
+  opts.tier.css_budget_bytes = 64ull << 20;
+  opts.tier.demote_idle_seconds = 200.0;
   opts.memory_budget_bytes = 0;
   opts.maintenance_interval_ops = 0;
   core::CachingStore store(opts);
@@ -185,28 +186,80 @@ TEST(CssStoreTest, TieringPolicySendsColdestPagesToCss) {
   ASSERT_TRUE(store.Checkpoint().ok());
 
   // Phase 1: 60s idle -> pages pass the MM/SS breakeven and are evicted
-  // uncompressed (idle < css threshold).
+  // uncompressed (idle < the demotion floor).
   clock.AdvanceSeconds(60);
   store.Maintain();
-  EXPECT_EQ(store.tree()->stats().compressed_flushes, 0u);
+  EXPECT_EQ(store.Stats().tier_demotions, 0u);
   EXPECT_EQ(store.tree()->resident_leaves(), 0u);
 
   // Touch everything back in, then let it go stone cold.
   for (int i = 0; i < 3000; i += 10) {
     ASSERT_TRUE(store.Get("k" + std::to_string(i)).ok());
   }
-  clock.AdvanceSeconds(300);  // beyond the CSS threshold
+  clock.AdvanceSeconds(300);  // beyond the demotion floor
   store.Maintain();
-  EXPECT_GT(store.tree()->stats().compressed_flushes, 0u)
-      << "stone-cold pages must be re-flushed compressed";
+  const auto after_demote = store.Stats();
+  EXPECT_GT(after_demote.tier_demotions, 0u)
+      << "stone-cold pages must demote to the compressed tier";
+  EXPECT_GT(after_demote.tier_css_pages, 0u);
+  EXPECT_GT(after_demote.tier_css_bytes, 0u);
+  EXPECT_LT(after_demote.MeasuredCompressionRatio(), 0.7)
+      << "structured payloads must actually shrink";
+  EXPECT_GT(after_demote.measured_css_breakeven_ops, 0.0)
+      << "demotions must feed the measured Fig. 8 breakeven";
+  EXPECT_GT(after_demote.measured_t_i_seconds, 0.0);
 
-  // Data still correct through the compressed tier.
+  // Data still correct through the compressed tier, and reading it IS
+  // the promotion path: the load decompresses and flips the entry back
+  // to DRAM.
   for (int i = 0; i < 3000; i += 97) {
     auto r = store.Get("k" + std::to_string(i));
     ASSERT_TRUE(r.ok()) << i;
     EXPECT_EQ(*r, StructuredValue(i));
   }
-  EXPECT_GT(store.tree()->stats().compressed_loads, 0u);
+  const auto after_reads = store.Stats();
+  EXPECT_GT(after_reads.tier_css_hits, 0u)
+      << "reads of demoted pages must be served from compressed records";
+  EXPECT_GT(after_reads.tier_promotions, 0u)
+      << "a touched CSS page must promote back to DRAM";
+  EXPECT_LT(after_reads.tier_css_pages, after_demote.tier_css_pages);
+}
+
+TEST(CssStoreTest, ReheatLimitRefusesThrashingPages) {
+  VirtualClock clock(1);
+  core::CachingStoreOptions opts;
+  opts.clock = &clock;
+  opts.device.capacity_bytes = 256ull << 20;
+  opts.device.max_iops = 0;
+  opts.eviction_policy = llama::EvictionPolicy::kCostBased;
+  opts.breakeven_interval_seconds = 45.0;
+  opts.tier.css_budget_bytes = 64ull << 20;
+  opts.tier.demote_idle_seconds = 50.0;
+  opts.tier.max_reheats = 1;
+  opts.memory_budget_bytes = 0;
+  opts.maintenance_interval_ops = 0;
+  core::CachingStore store(opts);
+
+  for (int i = 0; i < 1500; ++i) {
+    ASSERT_TRUE(
+        store.Put("k" + std::to_string(i), StructuredValue(i)).ok());
+  }
+  ASSERT_TRUE(store.Checkpoint().ok());
+
+  // Demote -> touch (promote) cycles past the reheat limit: the policy
+  // must eventually refuse to demote pages that keep coming back.
+  for (int round = 0; round < 4; ++round) {
+    clock.AdvanceSeconds(100);
+    store.Maintain();
+    for (int i = 0; i < 1500; i += 10) {
+      ASSERT_TRUE(store.Get("k" + std::to_string(i)).ok());
+    }
+  }
+  const auto s = store.Stats();
+  EXPECT_GT(s.tier_demotions, 0u);
+  EXPECT_GT(s.tier_promotions, 0u);
+  EXPECT_GT(s.tier_demotion_refusals, 0u)
+      << "pages reheated past max_reheats must be refused CSS";
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "analysis/log_store_auditor.h"
+#include "compression/compressor.h"
 #include "fault/fault_injector.h"
 #include "llama/log_store.h"
 
@@ -62,7 +63,7 @@ TEST(TornRecoveryTest, TornTailIsTruncatedValidPrefixAdopted) {
   fault::FaultInjector fi;
   fi.Attach(&device);
 
-  const std::string payload(200, 'A');  // 220-byte records
+  const std::string payload(200, 'A');  // 225-byte records (25B header)
   {
     LogStructuredStore store(&device, SmallSegments());
     for (PageId pid = 1; pid <= 20; ++pid) {
@@ -73,8 +74,8 @@ TEST(TornRecoveryTest, TornTailIsTruncatedValidPrefixAdopted) {
       ASSERT_TRUE(store.Append(pid, Slice(payload)).ok());
     }
     // Crash halfway through segment 1's device write. Buffer is
-    // 12 + 20*220 = 4412 bytes; 2206 persist: the header plus 9 full
-    // records (12 + 9*220 = 1992) and a torn 10th.
+    // 12 + 20*225 = 4512 bytes; 2256 persist: the header plus 9 full
+    // records (12 + 9*225 = 2037) and a torn 10th.
     fi.ScheduleCrash(/*writes=*/0, /*torn_fraction=*/0.5);
     EXPECT_TRUE(store.Flush().IsIoError());
   }
@@ -118,8 +119,8 @@ TEST(TornRecoveryTest, CorruptMidSegmentRecordSkippedLaterRecordsAdopted) {
     ASSERT_TRUE(store.Flush().ok());
   }
   // Flip one bit inside record 3's payload: seg header (12) + 3 records
-  // (3*220) + record header (20) lands in its payload.
-  constexpr uint64_t kRec3Payload = 12 + 3 * 220 + 20;
+  // (3*225) + record header (25) lands in its payload.
+  constexpr uint64_t kRec3Payload = 12 + 3 * 225 + 25;
   ASSERT_TRUE(fi.CorruptRange(kRec3Payload, 50, /*bits=*/1).ok());
 
   LogStructuredStore reopened(&device, SmallSegments());
@@ -154,7 +155,8 @@ TEST(TornRecoveryTest, TornSegmentHeaderConsumesSlotAdoptsNothing) {
     ASSERT_TRUE(store.Append(7, Slice(payload)).ok());
     // Crash two bytes into the segment write: even the 4-byte segment
     // magic is torn, so the slot reads back as unframed garbage.
-    fi.ScheduleCrash(/*writes=*/0, /*torn_fraction=*/2.0 / 132.0);
+    // (Buffer is 12 + 25 + 100 = 137 bytes.)
+    fi.ScheduleCrash(/*writes=*/0, /*torn_fraction=*/2.0 / 137.0);
     EXPECT_TRUE(store.Flush().IsIoError());
   }
   fi.ClearCrash();
@@ -182,6 +184,134 @@ TEST(TornRecoveryTest, TornSegmentHeaderConsumesSlotAdoptsNothing) {
   ASSERT_EQ(recovered2.count(8), 1u);
   EXPECT_EQ(recovered2[8], payload);
   ExpectAuditClean(&third);
+}
+
+// A compressible page image, as the CSS tier would demote.
+std::string StructuredPayload() {
+  std::string out;
+  for (int i = 0; i < 40; ++i) {
+    char buf[64];
+    snprintf(buf, sizeof(buf), "name=customer_%04d|tier=gold|", i);
+    out += buf;
+  }
+  return out;
+}
+
+TEST(TornRecoveryTest, TornTailMidCompressedRecordAdoptsValidPrefix) {
+  storage::SsdDevice device(SmallDevice());
+  fault::FaultInjector fi;
+  fi.Attach(&device);
+
+  const std::string raw = StructuredPayload();
+  std::string compressed;
+  compression::Compressor::Compress(Slice(raw), &compressed);
+  ASSERT_LT(compressed.size(), raw.size());
+  const uint64_t rec_len = LogStructuredStore::kHeaderBytes +
+                           compressed.size();
+  {
+    LogStructuredStore store(&device, SmallSegments());
+    // Segment 0: compressed records, sealed intact.
+    for (PageId pid = 1; pid <= 10; ++pid) {
+      ASSERT_TRUE(store
+                      .AppendCompressed(pid, Slice(compressed),
+                                        static_cast<uint32_t>(raw.size()))
+                      .ok());
+    }
+    ASSERT_TRUE(store.Flush().ok());
+    // Segment 1: ten more; the crash lands mid-way through one of them.
+    for (PageId pid = 11; pid <= 20; ++pid) {
+      ASSERT_TRUE(store
+                      .AppendCompressed(pid, Slice(compressed),
+                                        static_cast<uint32_t>(raw.size()))
+                      .ok());
+    }
+    fi.ScheduleCrash(/*writes=*/0, /*torn_fraction=*/0.5);
+    EXPECT_TRUE(store.Flush().IsIoError());
+  }
+  fi.ClearCrash();
+
+  // How many whole compressed records fit in the persisted prefix.
+  const uint64_t buffer = LogStructuredStore::kSegmentHeaderBytes +
+                          10 * rec_len;
+  const uint64_t persisted = buffer / 2;
+  const uint64_t full_in_prefix =
+      (persisted - LogStructuredStore::kSegmentHeaderBytes) / rec_len;
+  ASSERT_GT(full_in_prefix, 0u);
+  ASSERT_LT(full_in_prefix, 10u) << "crash must tear a record in half";
+
+  LogStructuredStore reopened(&device, SmallSegments());
+  RecoveryReport report;
+  auto recovered = RecoverAll(&device, &reopened, &report);
+
+  EXPECT_EQ(report.torn_segments, 1u) << report.ToString();
+  EXPECT_EQ(report.corrupt_records_skipped, 0u);
+  EXPECT_EQ(report.records_adopted, 10u + full_in_prefix);
+  ASSERT_EQ(recovered.size(), 10u + full_in_prefix);
+  // Every adopted compressed record inflates back to the exact raw image.
+  for (const auto& [pid, payload] : recovered) {
+    EXPECT_EQ(payload, raw) << pid;
+  }
+  // The css closure (stored and raw) holds over the torn boundary.
+  ExpectAuditClean(&reopened);
+  EXPECT_EQ(reopened.stats().css_stored_bytes_recovered,
+            (10u + full_in_prefix) * compressed.size());
+  EXPECT_EQ(reopened.stats().css_raw_bytes_recovered,
+            (10u + full_in_prefix) * raw.size());
+}
+
+TEST(TornRecoveryTest, CorruptCompressedRecordSkippedOthersInflate) {
+  storage::SsdDevice device(SmallDevice());
+  fault::FaultInjector fi(7);
+  fi.Attach(&device);
+
+  const std::string raw = StructuredPayload();
+  std::string compressed;
+  compression::Compressor::Compress(Slice(raw), &compressed);
+  const uint64_t rec_len = LogStructuredStore::kHeaderBytes +
+                           compressed.size();
+  const std::string plain(150, 'P');
+  {
+    LogStructuredStore store(&device, SmallSegments());
+    // Alternate forms so the corrupt record sits between both kinds:
+    // pids 0,2,4 compressed; pids 1,3 plain.
+    for (PageId pid = 0; pid < 5; ++pid) {
+      if (pid % 2 == 0) {
+        ASSERT_TRUE(store
+                        .AppendCompressed(pid + 100, Slice(compressed),
+                                          static_cast<uint32_t>(raw.size()))
+                        .ok());
+      } else {
+        ASSERT_TRUE(store.Append(pid + 100, Slice(plain)).ok());
+      }
+    }
+    ASSERT_TRUE(store.Flush().ok());
+  }
+  // Flip a bit inside record 2's (compressed, pid 102) payload: the CRC
+  // covers the stored bytes, so the damage is caught before inflation.
+  const uint64_t plain_len = LogStructuredStore::kHeaderBytes + plain.size();
+  const uint64_t rec2_payload = LogStructuredStore::kSegmentHeaderBytes +
+                                rec_len + plain_len +
+                                LogStructuredStore::kHeaderBytes;
+  ASSERT_TRUE(fi.CorruptRange(rec2_payload, 5, /*bits=*/1).ok());
+
+  LogStructuredStore reopened(&device, SmallSegments());
+  RecoveryReport report;
+  auto recovered = RecoverAll(&device, &reopened, &report);
+
+  EXPECT_EQ(report.corrupt_records_skipped, 1u) << report.ToString();
+  EXPECT_EQ(report.records_adopted, 4u);
+  EXPECT_EQ(recovered.count(102), 0u) << "corrupt record must not surface";
+  EXPECT_EQ(recovered[100], raw);
+  EXPECT_EQ(recovered[104], raw);
+  EXPECT_EQ(recovered[101], plain);
+  EXPECT_EQ(recovered[103], plain);
+  // The corrupt record is excluded from the css closure on BOTH sides
+  // (not recovered, not charged to the segment), so the audit stays
+  // clean — including the css-accounting identity.
+  ExpectAuditClean(&reopened);
+  EXPECT_EQ(reopened.stats().css_stored_bytes_recovered,
+            2 * compressed.size());
+  EXPECT_EQ(reopened.stats().css_raw_bytes_recovered, 2 * raw.size());
 }
 
 TEST(TornRecoveryTest, PristineDeviceRecoversEmpty) {
